@@ -1,0 +1,169 @@
+//! Workspace and cost estimation from catalog statistics.
+//!
+//! Paper §6: "In addition to conventional statistical information such as
+//! relation size and image size of indices, **estimating the amount of
+//! local workspace becomes necessary**." This module provides those
+//! estimates, deriving each operator's expected state size from the
+//! characterizations of Tables 1–3 via Little's law:
+//!
+//! > the expected number of tuples whose lifespan spans a sweep point is
+//! > `λ · E[duration]`.
+//!
+//! The experiments harness compares these predictions against measured
+//! workspace high-water marks (EXPERIMENTS.md, E1/E2/E11).
+
+use tdb_core::TemporalStats;
+
+/// Which stream operator a workspace estimate is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkspaceKind {
+    /// Contain-join under `(TS↑, TS↑)` — Table 1 state (a).
+    ContainJoinTsTs,
+    /// Contain-join under `(TS↑, TE↑)` — Table 1 state (b).
+    ContainJoinTsTe,
+    /// Contain-/Contained-semijoin under `(TS↑, TS↑)` — Table 1 state (c).
+    SemijoinSweep,
+    /// The stab semijoins — Table 1 state (d): two buffers.
+    SemijoinStab,
+    /// Overlap-join under `(TS↑, TS↑)` — Table 2 state (a).
+    OverlapJoin,
+    /// Overlap-semijoin (general) — Table 2 state (b): two buffers.
+    OverlapSemijoinGeneral,
+    /// Contained-semijoin(X,X) — Table 3 state (a): one state tuple.
+    SelfSemijoinContained,
+    /// Contain-semijoin(X,X) ascending — Table 3 state (b).
+    SelfSemijoinContain,
+    /// A degenerate ("-") ordering: no GC criteria, state = |X| + |Y|.
+    NoGc,
+}
+
+/// Predicted workspace (expected resident state tuples) for an operator
+/// over instances with statistics `x` and (optionally) `y`.
+pub fn predict_workspace(
+    kind: WorkspaceKind,
+    x: &TemporalStats,
+    y: Option<&TemporalStats>,
+) -> f64 {
+    // Little's law: expected spanning tuples of a stream.
+    let span = |s: &TemporalStats| s.expected_spanning().unwrap_or(s.count as f64);
+    match kind {
+        WorkspaceKind::ContainJoinTsTs => {
+            // State (a): X tuples spanning the sweep + Y tuples whose TS
+            // lies inside the buffered X lifespan (≈ λ_y · E[D_x]).
+            let y = y.expect("two-input operator");
+            let y_component = match (y.lambda, x.count) {
+                (Some(ly), _) => ly * x.mean_duration,
+                _ => 0.0,
+            };
+            span(x) + y_component
+        }
+        WorkspaceKind::ContainJoinTsTe => span(x),
+        WorkspaceKind::SemijoinSweep => {
+            // State (c) ⊆ state (a): bound by the join state.
+            let y = y.expect("two-input operator");
+            let y_component = y.lambda.map(|ly| ly * x.mean_duration).unwrap_or(0.0);
+            span(x) + y_component
+        }
+        WorkspaceKind::SemijoinStab | WorkspaceKind::OverlapSemijoinGeneral => 2.0,
+        WorkspaceKind::OverlapJoin => {
+            let y = y.expect("two-input operator");
+            span(x) + span(y)
+        }
+        WorkspaceKind::SelfSemijoinContained => 1.0,
+        WorkspaceKind::SelfSemijoinContain => span(x),
+        WorkspaceKind::NoGc => {
+            x.count as f64 + y.map(|s| s.count as f64).unwrap_or(0.0)
+        }
+    }
+}
+
+/// A simple cost estimate for plan comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Expected tuple comparisons.
+    pub comparisons: f64,
+    /// Expected tuples read.
+    pub reads: f64,
+    /// Expected workspace (state tuples).
+    pub workspace: f64,
+}
+
+/// Cost of a nested-loop join.
+pub fn nested_loop_cost(x: &TemporalStats, y: &TemporalStats) -> CostEstimate {
+    CostEstimate {
+        comparisons: x.count as f64 * y.count as f64,
+        reads: x.count as f64 + (x.count as f64 * y.count as f64),
+        workspace: y.count as f64,
+    }
+}
+
+/// Cost of a single-pass stream join (reads each input once; comparisons
+/// scale with state size × arrivals).
+pub fn stream_join_cost(
+    kind: WorkspaceKind,
+    x: &TemporalStats,
+    y: &TemporalStats,
+) -> CostEstimate {
+    let workspace = predict_workspace(kind, x, Some(y));
+    CostEstimate {
+        comparisons: (x.count + y.count) as f64 * workspace.max(1.0),
+        reads: (x.count + y.count) as f64,
+        workspace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_core::TsTuple;
+
+    fn stats(gap: i64, dur: i64, n: usize) -> TemporalStats {
+        let v: Vec<_> = (0..n as i64)
+            .map(|i| TsTuple::interval(i * gap, i * gap + dur).unwrap())
+            .collect();
+        TemporalStats::compute(&v)
+    }
+
+    #[test]
+    fn littles_law_drives_join_state() {
+        // λ = 1/2, E[D] = 20 → ≈10 spanning tuples per side.
+        let x = stats(2, 20, 1000);
+        let y = stats(2, 20, 1000);
+        let w = predict_workspace(WorkspaceKind::ContainJoinTsTs, &x, Some(&y));
+        assert!((w - 20.0).abs() < 1.0, "predicted {w}");
+        let w = predict_workspace(WorkspaceKind::ContainJoinTsTe, &x, Some(&y));
+        assert!((w - 10.0).abs() < 0.5, "predicted {w}");
+    }
+
+    #[test]
+    fn constant_workspace_operators() {
+        let x = stats(2, 20, 100);
+        let y = stats(2, 20, 100);
+        assert_eq!(
+            predict_workspace(WorkspaceKind::SemijoinStab, &x, Some(&y)),
+            2.0
+        );
+        assert_eq!(
+            predict_workspace(WorkspaceKind::SelfSemijoinContained, &x, None),
+            1.0
+        );
+    }
+
+    #[test]
+    fn no_gc_degenerates_to_input_sizes() {
+        let x = stats(2, 20, 100);
+        let y = stats(2, 20, 50);
+        assert_eq!(predict_workspace(WorkspaceKind::NoGc, &x, Some(&y)), 150.0);
+    }
+
+    #[test]
+    fn stream_beats_nested_loop_on_comparisons_for_sparse_overlap() {
+        // Long gaps, short durations: tiny state → stream wins decisively.
+        let x = stats(100, 5, 10_000);
+        let y = stats(100, 5, 10_000);
+        let nl = nested_loop_cost(&x, &y);
+        let st = stream_join_cost(WorkspaceKind::ContainJoinTsTs, &x, &y);
+        assert!(st.comparisons < nl.comparisons / 100.0);
+        assert!(st.reads < nl.reads);
+    }
+}

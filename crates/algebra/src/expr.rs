@@ -1,0 +1,344 @@
+//! Predicate atoms: comparisons over range-variable attributes.
+//!
+//! Paper Figure 2 shows each temporal operator as a conjunction of
+//! "explicit constraints" — comparisons between the timestamp attributes of
+//! two range variables. [`Atom`] is one such comparison (possibly against a
+//! constant), and a predicate is a `Vec<Atom>` conjunction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tdb_core::{TdbError, TdbResult, Value};
+
+/// A qualified column reference `var.attr` (e.g. `f1.ValidFrom`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Range variable (tuple variable) name.
+    pub var: String,
+    /// Attribute name within the variable's relation.
+    pub attr: String,
+}
+
+impl ColumnRef {
+    /// Build a reference.
+    pub fn new(var: impl Into<String>, attr: impl Into<String>) -> ColumnRef {
+        ColumnRef {
+            var: var.into(),
+            attr: attr.into(),
+        }
+    }
+
+    /// Is this a timestamp attribute (`ValidFrom` / `ValidTo`)?
+    pub fn is_temporal(&self) -> bool {
+        self.attr == "ValidFrom" || self.attr == "ValidTo"
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.var, self.attr)
+    }
+}
+
+/// One side of a comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A column reference.
+    Column(ColumnRef),
+    /// A literal constant.
+    Const(Value),
+}
+
+impl Term {
+    /// Column constructor shorthand.
+    pub fn col(var: impl Into<String>, attr: impl Into<String>) -> Term {
+        Term::Column(ColumnRef::new(var, attr))
+    }
+
+    /// The column reference, if this is one.
+    pub fn as_column(&self) -> Option<&ColumnRef> {
+        match self {
+            Term::Column(c) => Some(c),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Column(c) => write!(f, "{c}"),
+            Term::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CompOp {
+    /// Evaluate the comparison on two values (total order on [`Value`]).
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        match self {
+            CompOp::Eq => a == b,
+            CompOp::Ne => a != b,
+            CompOp::Lt => a < b,
+            CompOp::Le => a <= b,
+            CompOp::Gt => a > b,
+            CompOp::Ge => a >= b,
+        }
+    }
+
+    /// The operator with its operands exchanged: `a op b ⇔ b op.flip() a`.
+    pub fn flip(self) -> CompOp {
+        match self {
+            CompOp::Eq => CompOp::Eq,
+            CompOp::Ne => CompOp::Ne,
+            CompOp::Lt => CompOp::Gt,
+            CompOp::Gt => CompOp::Lt,
+            CompOp::Le => CompOp::Ge,
+            CompOp::Ge => CompOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CompOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CompOp::Eq => "=",
+            CompOp::Ne => "≠",
+            CompOp::Lt => "<",
+            CompOp::Le => "≤",
+            CompOp::Gt => ">",
+            CompOp::Ge => "≥",
+        })
+    }
+}
+
+/// One comparison in a conjunction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Atom {
+    /// Left operand.
+    pub left: Term,
+    /// Comparison operator.
+    pub op: CompOp,
+    /// Right operand.
+    pub right: Term,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(left: Term, op: CompOp, right: Term) -> Atom {
+        Atom { left, op, right }
+    }
+
+    /// `var.attr op other.attr` shorthand.
+    pub fn cols(
+        lvar: &str,
+        lattr: &str,
+        op: CompOp,
+        rvar: &str,
+        rattr: &str,
+    ) -> Atom {
+        Atom::new(Term::col(lvar, lattr), op, Term::col(rvar, rattr))
+    }
+
+    /// `var.attr op constant` shorthand.
+    pub fn col_const(var: &str, attr: &str, op: CompOp, v: impl Into<Value>) -> Atom {
+        Atom::new(Term::col(var, attr), op, Term::Const(v.into()))
+    }
+
+    /// The range variables this atom mentions.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut vs = Vec::new();
+        for t in [&self.left, &self.right] {
+            if let Term::Column(c) = t {
+                if !vs.contains(&c.var.as_str()) {
+                    vs.push(c.var.as_str());
+                }
+            }
+        }
+        vs
+    }
+
+    /// The atom with operands exchanged (same truth value).
+    pub fn flipped(&self) -> Atom {
+        Atom {
+            left: self.right.clone(),
+            op: self.op.flip(),
+            right: self.left.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// Render a conjunction for parse-tree display.
+pub fn display_conjunction(atoms: &[Atom]) -> String {
+    if atoms.is_empty() {
+        return "true".into();
+    }
+    atoms
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(" ∧ ")
+}
+
+/// A compiled atom: column references resolved to row indices.
+#[derive(Debug, Clone)]
+pub struct ResolvedAtom {
+    left: ResolvedTerm,
+    op: CompOp,
+    right: ResolvedTerm,
+}
+
+#[derive(Debug, Clone)]
+enum ResolvedTerm {
+    Index(usize),
+    Const(Value),
+}
+
+impl ResolvedAtom {
+    /// Resolve an atom against a column lookup function.
+    pub fn resolve(
+        atom: &Atom,
+        mut index_of: impl FnMut(&ColumnRef) -> TdbResult<usize>,
+    ) -> TdbResult<ResolvedAtom> {
+        let mut res = |t: &Term| -> TdbResult<ResolvedTerm> {
+            Ok(match t {
+                Term::Column(c) => ResolvedTerm::Index(index_of(c)?),
+                Term::Const(v) => ResolvedTerm::Const(v.clone()),
+            })
+        };
+        Ok(ResolvedAtom {
+            left: res(&atom.left)?,
+            op: atom.op,
+            right: res(&atom.right)?,
+        })
+    }
+
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &tdb_core::Row) -> bool {
+        let get = |t: &ResolvedTerm| -> Value {
+            match t {
+                ResolvedTerm::Index(i) => row.get(*i).clone(),
+                ResolvedTerm::Const(v) => v.clone(),
+            }
+        };
+        self.op.eval(&get(&self.left), &get(&self.right))
+    }
+}
+
+/// Resolve a whole conjunction.
+pub fn resolve_all(
+    atoms: &[Atom],
+    mut index_of: impl FnMut(&ColumnRef) -> TdbResult<usize>,
+) -> TdbResult<Vec<ResolvedAtom>> {
+    atoms
+        .iter()
+        .map(|a| ResolvedAtom::resolve(a, &mut index_of))
+        .collect()
+}
+
+/// Evaluate a resolved conjunction against a row.
+pub fn eval_conjunction(atoms: &[ResolvedAtom], row: &tdb_core::Row) -> bool {
+    atoms.iter().all(|a| a.eval(row))
+}
+
+/// Convenience error for unknown columns.
+pub fn unknown_column(c: &ColumnRef) -> TdbError {
+    TdbError::Plan(format!("unknown column `{c}` in this scope"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_core::Row;
+
+    #[test]
+    fn comp_ops_and_flip() {
+        let a = Value::Int(1);
+        let b = Value::Int(2);
+        assert!(CompOp::Lt.eval(&a, &b));
+        assert!(!CompOp::Ge.eval(&a, &b));
+        for op in [CompOp::Eq, CompOp::Ne, CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge] {
+            assert_eq!(op.eval(&a, &b), op.flip().eval(&b, &a));
+        }
+    }
+
+    #[test]
+    fn atom_vars_and_display() {
+        let a = Atom::cols("f1", "ValidFrom", CompOp::Lt, "f3", "ValidTo");
+        assert_eq!(a.vars(), vec!["f1", "f3"]);
+        assert_eq!(a.to_string(), "f1.ValidFrom < f3.ValidTo");
+        let c = Atom::col_const("f3", "Rank", CompOp::Eq, "Associate");
+        assert_eq!(c.vars(), vec!["f3"]);
+        assert_eq!(c.to_string(), "f3.Rank = \"Associate\"");
+    }
+
+    #[test]
+    fn flipped_preserves_truth() {
+        let a = Atom::cols("x", "ValidFrom", CompOp::Lt, "y", "ValidTo");
+        let f = a.flipped();
+        assert_eq!(f.op, CompOp::Gt);
+        assert_eq!(f.left, Term::col("y", "ValidTo"));
+    }
+
+    #[test]
+    fn resolution_and_evaluation() {
+        // Row layout: [x.a, y.b]
+        let atom = Atom::cols("x", "a", CompOp::Lt, "y", "b");
+        let resolved = ResolvedAtom::resolve(&atom, |c| match (c.var.as_str(), c.attr.as_str()) {
+            ("x", "a") => Ok(0),
+            ("y", "b") => Ok(1),
+            _ => Err(unknown_column(c)),
+        })
+        .unwrap();
+        assert!(resolved.eval(&Row::new(vec![Value::Int(1), Value::Int(5)])));
+        assert!(!resolved.eval(&Row::new(vec![Value::Int(5), Value::Int(1)])));
+    }
+
+    #[test]
+    fn resolution_fails_on_unknown_columns() {
+        let atom = Atom::cols("x", "a", CompOp::Lt, "z", "q");
+        assert!(ResolvedAtom::resolve(&atom, |c| {
+            if c.var == "x" {
+                Ok(0)
+            } else {
+                Err(unknown_column(c))
+            }
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn conjunction_display() {
+        assert_eq!(display_conjunction(&[]), "true");
+        let atoms = vec![
+            Atom::col_const("f1", "Rank", CompOp::Eq, "Assistant"),
+            Atom::cols("f1", "Name", CompOp::Eq, "f2", "Name"),
+        ];
+        assert_eq!(
+            display_conjunction(&atoms),
+            "f1.Rank = \"Assistant\" ∧ f1.Name = f2.Name"
+        );
+    }
+}

@@ -1,0 +1,437 @@
+//! Logical plans and their parse-tree rendering (paper Figure 3).
+//!
+//! A [`LogicalPlan`] is the algebraic form a query takes after translation
+//! from Quel (paper §3): projections over selections over products of range
+//! variables, later rewritten by [`crate::rewrite`] into the "conventionally
+//! optimized" shape of Figure 3(b). Each node exposes its [`Scope`] — the
+//! qualified columns it produces — so predicates can be resolved to row
+//! indices.
+
+use crate::expr::{display_conjunction, Atom, ColumnRef};
+use std::fmt;
+use tdb_core::{TdbError, TdbResult};
+
+/// The qualified output columns of a plan node, in row order.
+///
+/// Entry `i` names the value found at row index `i`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Scope {
+    entries: Vec<ColumnRef>,
+}
+
+impl Scope {
+    /// A scope from qualified columns.
+    pub fn new(entries: Vec<ColumnRef>) -> Scope {
+        Scope { entries }
+    }
+
+    /// Scope of a range variable over a relation schema: `var.attr` for
+    /// each attribute.
+    pub fn for_var(var: &str, attrs: &[String]) -> Scope {
+        Scope {
+            entries: attrs
+                .iter()
+                .map(|a| ColumnRef::new(var, a.clone()))
+                .collect(),
+        }
+    }
+
+    /// The columns, in row order.
+    pub fn columns(&self) -> &[ColumnRef] {
+        &self.entries
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Row index of `col`.
+    pub fn index_of(&self, col: &ColumnRef) -> TdbResult<usize> {
+        self.entries
+            .iter()
+            .position(|c| c == col)
+            .ok_or_else(|| TdbError::Plan(format!("unknown column `{col}` in scope")))
+    }
+
+    /// Concatenated scope (join/product output).
+    pub fn concat(&self, other: &Scope) -> Scope {
+        let mut entries = self.entries.clone();
+        entries.extend(other.entries.iter().cloned());
+        Scope { entries }
+    }
+
+    /// The distinct range variables in this scope.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut vs: Vec<&str> = Vec::new();
+        for e in &self.entries {
+            if !vs.contains(&e.var.as_str()) {
+                vs.push(&e.var);
+            }
+        }
+        vs
+    }
+
+    /// Does this scope define every column the atom references?
+    pub fn covers(&self, atom: &Atom) -> bool {
+        [&atom.left, &atom.right].into_iter().all(|t| match t {
+            crate::expr::Term::Column(c) => self.entries.contains(c),
+            crate::expr::Term::Const(_) => true,
+        })
+    }
+
+    /// Indices of `var`'s `ValidFrom` / `ValidTo` columns.
+    pub fn period_of_var(&self, var: &str) -> TdbResult<(usize, usize)> {
+        let ts = self.index_of(&ColumnRef::new(var, "ValidFrom"))?;
+        let te = self.index_of(&ColumnRef::new(var, "ValidTo"))?;
+        Ok((ts, te))
+    }
+}
+
+/// A logical query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a base relation through a range variable (`range of f1 is
+    /// Faculty`).
+    Scan {
+        /// Relation name in the catalog.
+        relation: String,
+        /// Range-variable name qualifying the output columns.
+        var: String,
+        /// Attribute names of the relation (filled from the catalog at
+        /// translation time so scopes are computable without a catalog).
+        attrs: Vec<String>,
+    },
+    /// Selection σ.
+    Select {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Conjunction of atoms.
+        predicate: Vec<Atom>,
+    },
+    /// Projection π.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Columns to keep, with output names.
+        columns: Vec<(ColumnRef, String)>,
+    },
+    /// Cartesian product ×.
+    Product {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+    },
+    /// Theta-join ⋈.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Join predicate (conjunction).
+        predicate: Vec<Atom>,
+    },
+    /// Semijoin ⋉: left rows with at least one matching right row.
+    Semijoin {
+        /// Left (output) input.
+        left: Box<LogicalPlan>,
+        /// Right (existential) input.
+        right: Box<LogicalPlan>,
+        /// Match predicate (conjunction).
+        predicate: Vec<Atom>,
+    },
+}
+
+impl LogicalPlan {
+    /// Scan constructor.
+    pub fn scan(relation: &str, var: &str, attrs: &[&str]) -> LogicalPlan {
+        LogicalPlan::Scan {
+            relation: relation.into(),
+            var: var.into(),
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Selection constructor.
+    pub fn select(self, predicate: Vec<Atom>) -> LogicalPlan {
+        LogicalPlan::Select {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Projection constructor.
+    pub fn project(self, columns: Vec<(ColumnRef, String)>) -> LogicalPlan {
+        LogicalPlan::Project {
+            input: Box::new(self),
+            columns,
+        }
+    }
+
+    /// Product constructor.
+    pub fn product(self, right: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::Product {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Join constructor.
+    pub fn join(self, right: LogicalPlan, predicate: Vec<Atom>) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            predicate,
+        }
+    }
+
+    /// Semijoin constructor.
+    pub fn semijoin(self, right: LogicalPlan, predicate: Vec<Atom>) -> LogicalPlan {
+        LogicalPlan::Semijoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            predicate,
+        }
+    }
+
+    /// The output scope of this plan.
+    pub fn scope(&self) -> Scope {
+        match self {
+            LogicalPlan::Scan { var, attrs, .. } => Scope::for_var(var, attrs),
+            LogicalPlan::Select { input, .. } => input.scope(),
+            LogicalPlan::Project { columns, .. } => Scope::new(
+                columns
+                    .iter()
+                    .map(|(_, name)| ColumnRef::new("", name.clone()))
+                    .collect(),
+            ),
+            LogicalPlan::Product { left, right } | LogicalPlan::Join { left, right, .. } => {
+                left.scope().concat(&right.scope())
+            }
+            LogicalPlan::Semijoin { left, .. } => left.scope(),
+        }
+    }
+
+    /// Validate that every predicate/projection column resolves in its
+    /// node's input scope. Returns the first offending column otherwise.
+    pub fn check_columns(&self) -> TdbResult<()> {
+        match self {
+            LogicalPlan::Scan { .. } => Ok(()),
+            LogicalPlan::Select { input, predicate } => {
+                input.check_columns()?;
+                let scope = input.scope();
+                for a in predicate {
+                    if !scope.covers(a) {
+                        return Err(TdbError::Plan(format!(
+                            "selection atom `{a}` references columns outside its input"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            LogicalPlan::Project { input, columns } => {
+                input.check_columns()?;
+                let scope = input.scope();
+                for (c, _) in columns {
+                    scope.index_of(c)?;
+                }
+                Ok(())
+            }
+            LogicalPlan::Product { left, right } => {
+                left.check_columns()?;
+                right.check_columns()
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                predicate,
+            }
+            | LogicalPlan::Semijoin {
+                left,
+                right,
+                predicate,
+            } => {
+                left.check_columns()?;
+                right.check_columns()?;
+                let scope = left.scope().concat(&right.scope());
+                for a in predicate {
+                    if !scope.covers(a) {
+                        return Err(TdbError::Plan(format!(
+                            "join atom `{a}` references columns outside its inputs"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Render the plan as an indented parse tree (Figure 3 style).
+    pub fn parse_tree(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out
+    }
+
+    fn render(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Scan { relation, var, .. } => {
+                out.push_str(&format!("{pad}Scan {relation} as {var}\n"));
+            }
+            LogicalPlan::Select { input, predicate } => {
+                out.push_str(&format!("{pad}σ[{}]\n", display_conjunction(predicate)));
+                input.render(out, depth + 1);
+            }
+            LogicalPlan::Project { input, columns } => {
+                let cols: Vec<String> = columns
+                    .iter()
+                    .map(|(c, n)| {
+                        if &c.to_string() == n {
+                            n.clone()
+                        } else {
+                            format!("{c} as {n}")
+                        }
+                    })
+                    .collect();
+                out.push_str(&format!("{pad}π[{}]\n", cols.join(", ")));
+                input.render(out, depth + 1);
+            }
+            LogicalPlan::Product { left, right } => {
+                out.push_str(&format!("{pad}×\n"));
+                left.render(out, depth + 1);
+                right.render(out, depth + 1);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                predicate,
+            } => {
+                out.push_str(&format!("{pad}⋈[{}]\n", display_conjunction(predicate)));
+                left.render(out, depth + 1);
+                right.render(out, depth + 1);
+            }
+            LogicalPlan::Semijoin {
+                left,
+                right,
+                predicate,
+            } => {
+                out.push_str(&format!("{pad}⋉[{}]\n", display_conjunction(predicate)));
+                left.render(out, depth + 1);
+                right.render(out, depth + 1);
+            }
+        }
+    }
+
+    /// Count the `Scan` leaves (Figure 3's "three references to the Faculty
+    /// relation").
+    pub fn scan_count(&self) -> usize {
+        match self {
+            LogicalPlan::Scan { .. } => 1,
+            LogicalPlan::Select { input, .. } | LogicalPlan::Project { input, .. } => {
+                input.scan_count()
+            }
+            LogicalPlan::Product { left, right }
+            | LogicalPlan::Join { left, right, .. }
+            | LogicalPlan::Semijoin { left, right, .. } => {
+                left.scan_count() + right.scan_count()
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.parse_tree())
+    }
+}
+
+/// The canonical Faculty attribute list used throughout tests and examples.
+pub const FACULTY_ATTRS: [&str; 4] = ["Name", "Rank", "ValidFrom", "ValidTo"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CompOp;
+
+    fn scan(var: &str) -> LogicalPlan {
+        LogicalPlan::scan("Faculty", var, &FACULTY_ATTRS)
+    }
+
+    #[test]
+    fn scope_of_scan_and_join() {
+        let s = scan("f1");
+        assert_eq!(s.scope().arity(), 4);
+        assert_eq!(
+            s.scope().index_of(&ColumnRef::new("f1", "Rank")).unwrap(),
+            1
+        );
+        let j = scan("f1").join(
+            scan("f2"),
+            vec![Atom::cols("f1", "Name", CompOp::Eq, "f2", "Name")],
+        );
+        assert_eq!(j.scope().arity(), 8);
+        assert_eq!(
+            j.scope()
+                .index_of(&ColumnRef::new("f2", "ValidTo"))
+                .unwrap(),
+            7
+        );
+        assert_eq!(j.scope().vars(), vec!["f1", "f2"]);
+    }
+
+    #[test]
+    fn period_of_var() {
+        let j = scan("f1").product(scan("f2"));
+        assert_eq!(j.scope().period_of_var("f2").unwrap(), (6, 7));
+        assert!(j.scope().period_of_var("f9").is_err());
+    }
+
+    #[test]
+    fn column_checking() {
+        let ok = scan("f1").select(vec![Atom::col_const("f1", "Rank", CompOp::Eq, "Full")]);
+        ok.check_columns().unwrap();
+        let bad = scan("f1").select(vec![Atom::col_const("f9", "Rank", CompOp::Eq, "Full")]);
+        assert!(bad.check_columns().is_err());
+        let bad_join = scan("f1").join(
+            scan("f2"),
+            vec![Atom::cols("f1", "Name", CompOp::Eq, "f3", "Name")],
+        );
+        assert!(bad_join.check_columns().is_err());
+    }
+
+    #[test]
+    fn parse_tree_rendering() {
+        let plan = scan("f1")
+            .select(vec![Atom::col_const("f1", "Rank", CompOp::Eq, "Assistant")])
+            .join(
+                scan("f2"),
+                vec![Atom::cols("f1", "Name", CompOp::Eq, "f2", "Name")],
+            )
+            .project(vec![(ColumnRef::new("f1", "Name"), "Name".into())]);
+        let tree = plan.parse_tree();
+        assert!(tree.contains("π[f1.Name as Name]"));
+        assert!(tree.contains("⋈[f1.Name = f2.Name]"));
+        assert!(tree.contains("σ[f1.Rank = \"Assistant\"]"));
+        assert!(tree.contains("Scan Faculty as f1"));
+        // Indentation reflects tree depth.
+        assert!(tree.contains("\n  ⋈"));
+    }
+
+    #[test]
+    fn scan_count_matches_superstar_shape() {
+        let three_way = scan("f1").product(scan("f2")).product(scan("f3"));
+        assert_eq!(three_way.scan_count(), 3);
+    }
+
+    #[test]
+    fn semijoin_scope_is_left_scope() {
+        let sj = scan("f1").semijoin(
+            scan("f2"),
+            vec![Atom::cols("f1", "ValidFrom", CompOp::Gt, "f2", "ValidFrom")],
+        );
+        assert_eq!(sj.scope().arity(), 4);
+        assert_eq!(sj.scope().vars(), vec!["f1"]);
+    }
+}

@@ -1,0 +1,928 @@
+//! Physical plans and the executor.
+//!
+//! A [`PhysicalPlan`] binds each logical operator to an implementation:
+//! sequential scans over the catalog's heap files, filters, projections,
+//! merge equi-joins, the §4 stream temporal operators, and nested-loop
+//! fallbacks. Operators exchange materialized row vectors (simple,
+//! measurable); the stream operators of `tdb-stream` run inside the join
+//! nodes over [`PeriodRow`] wrappers and report their workspace high-water
+//! marks into [`ExecStats`].
+//!
+//! Sorting is performed lazily inside the nodes that need it: if the input
+//! already satisfies the required order (verified in O(n)) the sort is
+//! skipped and *not* counted — making "interesting orders" measurable, as
+//! §4.1's tradeoff demands.
+
+use crate::expr::{display_conjunction, eval_conjunction, resolve_all, Atom, ColumnRef};
+use crate::logical::Scope;
+use crate::pattern::TemporalPattern;
+use std::fmt;
+use tdb_core::{PeriodRow, Row, StreamOrder, TdbError, TdbResult, Temporal};
+use tdb_storage::Catalog;
+use tdb_stream::{
+    from_sorted_vec, BeforeJoin, BeforeSemijoin, ContainJoinTsTe, ContainSelfSemijoin,
+    ContainSemijoinStab, ContainedSelfSemijoin, ContainedSemijoinStab, MergeEquiJoin,
+    OverlapJoin, OverlapMode, OverlapSemijoin, ReadPolicy, TupleStream,
+};
+
+/// Aggregate execution statistics of one query run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Base-relation rows read.
+    pub rows_scanned: usize,
+    /// Predicate evaluations / comparisons across all operators.
+    pub comparisons: u64,
+    /// Rows flowing between operators (intermediate result sizes).
+    pub intermediate_rows: usize,
+    /// Explicit sorts performed (inputs that were not already ordered).
+    pub sorts_performed: usize,
+    /// Rows passed through those sorts.
+    pub sort_rows: usize,
+    /// Maximum stream-operator workspace (state tuples) observed.
+    pub max_workspace: usize,
+    /// Rows in the final result.
+    pub output_rows: usize,
+}
+
+/// The result of executing a physical plan.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Result rows.
+    pub rows: Vec<Row>,
+    /// Qualified column names of the result.
+    pub scope: Scope,
+    /// Execution statistics.
+    pub stats: ExecStats,
+}
+
+/// A physical operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Sequential scan of a catalog relation, qualified by a range
+    /// variable.
+    SeqScan {
+        /// Relation name.
+        relation: String,
+        /// Range variable.
+        var: String,
+    },
+    /// Filter by a conjunction.
+    Filter {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Conjunction of atoms.
+        atoms: Vec<Atom>,
+    },
+    /// Projection with renaming.
+    Project {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Columns to keep and their output names.
+        columns: Vec<(ColumnRef, String)>,
+    },
+    /// Cartesian product.
+    Product {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+    },
+    /// Nested-loop theta-join (the conventional strategy of §3).
+    NestedLoop {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Join predicate.
+        atoms: Vec<Atom>,
+    },
+    /// Merge equi-join on one column pair plus residual predicate.
+    MergeEqui {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Left join key.
+        left_key: ColumnRef,
+        /// Right join key.
+        right_key: ColumnRef,
+        /// Residual atoms applied to joined rows.
+        residual: Vec<Atom>,
+    },
+    /// A §4 stream temporal join on the periods of two range variables.
+    StreamTemporal {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Variable whose period drives the left side.
+        left_var: String,
+        /// Variable whose period drives the right side.
+        right_var: String,
+        /// The recognized relationship.
+        pattern: TemporalPattern,
+        /// Residual atoms applied to joined rows.
+        residual: Vec<Atom>,
+    },
+    /// A §4 stream temporal semijoin (left rows kept).
+    StreamSemijoin {
+        /// Left (output) input.
+        left: Box<PhysicalPlan>,
+        /// Right (existential) input.
+        right: Box<PhysicalPlan>,
+        /// Variable whose period drives the left side.
+        left_var: String,
+        /// Variable whose period drives the right side.
+        right_var: String,
+        /// The recognized relationship (must cover the whole predicate).
+        pattern: TemporalPattern,
+    },
+    /// The §4.2.3 single-scan self semijoin.
+    SelfSemijoin {
+        /// The shared input (scanned once).
+        input: Box<PhysicalPlan>,
+        /// Variable whose period is compared.
+        var: String,
+        /// `true` = Contained-semijoin(X,X); `false` = Contain-semijoin.
+        contained: bool,
+    },
+    /// Merge equi-semijoin: keep left rows whose key appears on the right.
+    MergeSemijoin {
+        /// Left (output) input.
+        left: Box<PhysicalPlan>,
+        /// Right (existential) input.
+        right: Box<PhysicalPlan>,
+        /// Left match key.
+        left_key: ColumnRef,
+        /// Right match key.
+        right_key: ColumnRef,
+    },
+    /// Nested-loop semijoin fallback.
+    NestedSemijoin {
+        /// Left (output) input.
+        left: Box<PhysicalPlan>,
+        /// Right (existential) input.
+        right: Box<PhysicalPlan>,
+        /// Match predicate over the concatenated scope.
+        atoms: Vec<Atom>,
+    },
+}
+
+impl PhysicalPlan {
+    /// The output scope of this plan.
+    pub fn scope(&self, catalog: &Catalog) -> TdbResult<Scope> {
+        Ok(match self {
+            PhysicalPlan::SeqScan { relation, var } => {
+                let meta = catalog.meta(relation)?;
+                let attrs: Vec<String> = meta
+                    .schema
+                    .schema
+                    .fields()
+                    .iter()
+                    .map(|f| f.name.clone())
+                    .collect();
+                Scope::for_var(var, &attrs)
+            }
+            PhysicalPlan::Filter { input, .. } => input.scope(catalog)?,
+            PhysicalPlan::Project { columns, .. } => Scope::new(
+                columns
+                    .iter()
+                    .map(|(_, name)| ColumnRef::new("", name.clone()))
+                    .collect(),
+            ),
+            PhysicalPlan::Product { left, right }
+            | PhysicalPlan::NestedLoop { left, right, .. }
+            | PhysicalPlan::MergeEqui { left, right, .. }
+            | PhysicalPlan::StreamTemporal { left, right, .. } => {
+                left.scope(catalog)?.concat(&right.scope(catalog)?)
+            }
+            PhysicalPlan::StreamSemijoin { left, .. }
+            | PhysicalPlan::MergeSemijoin { left, .. }
+            | PhysicalPlan::NestedSemijoin { left, .. } => left.scope(catalog)?,
+            PhysicalPlan::SelfSemijoin { input, .. } => input.scope(catalog)?,
+        })
+    }
+
+    /// Execute the plan against `catalog`.
+    pub fn execute(&self, catalog: &Catalog) -> TdbResult<QueryOutput> {
+        let mut stats = ExecStats::default();
+        let (rows, scope) = self.run(catalog, &mut stats)?;
+        stats.output_rows = rows.len();
+        Ok(QueryOutput { rows, scope, stats })
+    }
+
+    fn run(&self, catalog: &Catalog, stats: &mut ExecStats) -> TdbResult<(Vec<Row>, Scope)> {
+        match self {
+            PhysicalPlan::SeqScan { relation, var } => {
+                let rows = catalog.scan(relation)?;
+                stats.rows_scanned += rows.len();
+                let scope = self.scope(catalog)?;
+                let _ = var;
+                Ok((rows, scope))
+            }
+            PhysicalPlan::Filter { input, atoms } => {
+                let (rows, scope) = input.run(catalog, stats)?;
+                let resolved = resolve_all(atoms, |c| scope.index_of(c))?;
+                stats.comparisons += (rows.len() * atoms.len()) as u64;
+                let rows: Vec<Row> = rows
+                    .into_iter()
+                    .filter(|r| eval_conjunction(&resolved, r))
+                    .collect();
+                stats.intermediate_rows += rows.len();
+                Ok((rows, scope))
+            }
+            PhysicalPlan::Project { input, columns } => {
+                let (rows, scope) = input.run(catalog, stats)?;
+                let indices: Vec<usize> = columns
+                    .iter()
+                    .map(|(c, _)| scope.index_of(c))
+                    .collect::<TdbResult<_>>()?;
+                let rows: Vec<Row> = rows.iter().map(|r| r.project(&indices)).collect();
+                stats.intermediate_rows += rows.len();
+                Ok((rows, self.scope(catalog)?))
+            }
+            PhysicalPlan::Product { left, right } => {
+                let (lrows, lscope) = left.run(catalog, stats)?;
+                let (rrows, rscope) = right.run(catalog, stats)?;
+                let mut out = Vec::with_capacity(lrows.len() * rrows.len());
+                for l in &lrows {
+                    for r in &rrows {
+                        out.push(l.concat(r));
+                    }
+                }
+                stats.intermediate_rows += out.len();
+                Ok((out, lscope.concat(&rscope)))
+            }
+            PhysicalPlan::NestedLoop { left, right, atoms } => {
+                let (lrows, lscope) = left.run(catalog, stats)?;
+                let (rrows, rscope) = right.run(catalog, stats)?;
+                let scope = lscope.concat(&rscope);
+                let resolved = resolve_all(atoms, |c| scope.index_of(c))?;
+                let mut out = Vec::new();
+                for l in &lrows {
+                    for r in &rrows {
+                        stats.comparisons += atoms.len().max(1) as u64;
+                        let joined = l.concat(r);
+                        if eval_conjunction(&resolved, &joined) {
+                            out.push(joined);
+                        }
+                    }
+                }
+                stats.intermediate_rows += out.len();
+                Ok((out, scope))
+            }
+            PhysicalPlan::MergeEqui {
+                left,
+                right,
+                left_key,
+                right_key,
+                residual,
+            } => {
+                let (lrows, lscope) = left.run(catalog, stats)?;
+                let (rrows, rscope) = right.run(catalog, stats)?;
+                let li = lscope.index_of(left_key)?;
+                let ri = rscope.index_of(right_key)?;
+                let lrows = sort_rows_by_key(lrows, li, stats);
+                let rrows = sort_rows_by_key(rrows, ri, stats);
+                let mut join = MergeEquiJoin::new(
+                    tdb_stream::from_vec(lrows),
+                    tdb_stream::from_vec(rrows),
+                    move |r: &Row| r.get(li).clone(),
+                    move |r: &Row| r.get(ri).clone(),
+                );
+                let scope = lscope.concat(&rscope);
+                let resolved = resolve_all(residual, |c| scope.index_of(c))?;
+                let mut out = Vec::new();
+                while let Some((l, r)) = join.next()? {
+                    stats.comparisons += residual.len() as u64;
+                    let joined = l.concat(&r);
+                    if eval_conjunction(&resolved, &joined) {
+                        out.push(joined);
+                    }
+                }
+                let m = join.metrics();
+                stats.comparisons += m.comparisons as u64;
+                stats.max_workspace = stats.max_workspace.max(join.max_workspace());
+                stats.intermediate_rows += out.len();
+                Ok((out, scope))
+            }
+            PhysicalPlan::StreamTemporal {
+                left,
+                right,
+                left_var,
+                right_var,
+                pattern,
+                residual,
+            } => {
+                let (lrows, lscope) = left.run(catalog, stats)?;
+                let (rrows, rscope) = right.run(catalog, stats)?;
+                let lp = lscope.period_of_var(left_var)?;
+                let rp = rscope.period_of_var(right_var)?;
+                let lwrapped = wrap_rows(lrows, lp)?;
+                let rwrapped = wrap_rows(rrows, rp)?;
+                let scope = lscope.concat(&rscope);
+                let resolved = resolve_all(residual, |c| scope.index_of(c))?;
+                let (pairs, ws, cmps) =
+                    run_stream_join(*pattern, lwrapped, rwrapped, stats)?;
+                stats.max_workspace = stats.max_workspace.max(ws);
+                stats.comparisons += cmps;
+                let mut out = Vec::new();
+                for (l, r) in pairs {
+                    let joined = l.row.concat(&r.row);
+                    stats.comparisons += residual.len() as u64;
+                    if eval_conjunction(&resolved, &joined) {
+                        out.push(joined);
+                    }
+                }
+                stats.intermediate_rows += out.len();
+                Ok((out, scope))
+            }
+            PhysicalPlan::StreamSemijoin {
+                left,
+                right,
+                left_var,
+                right_var,
+                pattern,
+            } => {
+                let (lrows, lscope) = left.run(catalog, stats)?;
+                let (rrows, rscope) = right.run(catalog, stats)?;
+                let lp = lscope.period_of_var(left_var)?;
+                let rp = rscope.period_of_var(right_var)?;
+                let lwrapped = wrap_rows(lrows, lp)?;
+                let rwrapped = wrap_rows(rrows, rp)?;
+                let (kept, ws, cmps) =
+                    run_stream_semijoin(*pattern, lwrapped, rwrapped, stats)?;
+                stats.max_workspace = stats.max_workspace.max(ws);
+                stats.comparisons += cmps;
+                let out: Vec<Row> = kept.into_iter().map(|p| p.row).collect();
+                stats.intermediate_rows += out.len();
+                Ok((out, lscope))
+            }
+            PhysicalPlan::SelfSemijoin {
+                input,
+                var,
+                contained,
+            } => {
+                let (rows, scope) = input.run(catalog, stats)?;
+                let p = scope.period_of_var(var)?;
+                let wrapped = wrap_rows(rows, p)?;
+                let order = StreamOrder::TS_ASC_TE_ASC;
+                let sorted = sort_wrapped(wrapped, order, stats);
+                let input_stream = from_sorted_vec(sorted, order)?;
+                let (out_rows, cmps, ws): (Vec<PeriodRow>, u64, usize) = if *contained {
+                    let mut op = ContainedSelfSemijoin::new(input_stream)?;
+                    let v = op.collect_vec()?;
+                    (v, op.metrics().comparisons as u64, op.max_workspace())
+                } else {
+                    let mut op = ContainSelfSemijoin::new(input_stream)?;
+                    let v = op.collect_vec()?;
+                    (
+                        v,
+                        op.metrics().comparisons as u64,
+                        op.workspace().max_resident,
+                    )
+                };
+                stats.comparisons += cmps;
+                stats.max_workspace = stats.max_workspace.max(ws);
+                let out: Vec<Row> = out_rows.into_iter().map(|p| p.row).collect();
+                stats.intermediate_rows += out.len();
+                Ok((out, scope))
+            }
+            PhysicalPlan::MergeSemijoin {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let (lrows, lscope) = left.run(catalog, stats)?;
+                let (rrows, rscope) = right.run(catalog, stats)?;
+                let li = lscope.index_of(left_key)?;
+                let ri = rscope.index_of(right_key)?;
+                let lrows = sort_rows_by_key(lrows, li, stats);
+                let mut rkeys: Vec<tdb_core::Value> =
+                    rrows.iter().map(|r| r.get(ri).clone()).collect();
+                rkeys.sort();
+                rkeys.dedup();
+                stats.comparisons +=
+                    (lrows.len() as u64) * (rkeys.len().max(2).ilog2() as u64);
+                let out: Vec<Row> = lrows
+                    .into_iter()
+                    .filter(|l| rkeys.binary_search(l.get(li)).is_ok())
+                    .collect();
+                stats.intermediate_rows += out.len();
+                Ok((out, lscope))
+            }
+            PhysicalPlan::NestedSemijoin { left, right, atoms } => {
+                let (lrows, lscope) = left.run(catalog, stats)?;
+                let (rrows, rscope) = right.run(catalog, stats)?;
+                let scope = lscope.concat(&rscope);
+                let resolved = resolve_all(atoms, |c| scope.index_of(c))?;
+                let mut out = Vec::new();
+                for l in &lrows {
+                    let mut matched = false;
+                    for r in &rrows {
+                        stats.comparisons += atoms.len().max(1) as u64;
+                        if eval_conjunction(&resolved, &l.concat(r)) {
+                            matched = true;
+                            break;
+                        }
+                    }
+                    if matched {
+                        out.push(l.clone());
+                    }
+                }
+                stats.intermediate_rows += out.len();
+                Ok((out, lscope))
+            }
+        }
+    }
+
+    /// Render the physical plan as an indented tree (EXPLAIN output).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out
+    }
+
+    fn render(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysicalPlan::SeqScan { relation, var } => {
+                out.push_str(&format!("{pad}SeqScan {relation} as {var}\n"));
+            }
+            PhysicalPlan::Filter { input, atoms } => {
+                out.push_str(&format!("{pad}Filter [{}]\n", display_conjunction(atoms)));
+                input.render(out, depth + 1);
+            }
+            PhysicalPlan::Project { input, columns } => {
+                let cols: Vec<String> =
+                    columns.iter().map(|(c, n)| format!("{c}→{n}")).collect();
+                out.push_str(&format!("{pad}Project [{}]\n", cols.join(", ")));
+                input.render(out, depth + 1);
+            }
+            PhysicalPlan::Product { left, right } => {
+                out.push_str(&format!("{pad}Product\n"));
+                left.render(out, depth + 1);
+                right.render(out, depth + 1);
+            }
+            PhysicalPlan::NestedLoop { left, right, atoms } => {
+                out.push_str(&format!(
+                    "{pad}NestedLoopJoin [{}]\n",
+                    display_conjunction(atoms)
+                ));
+                left.render(out, depth + 1);
+                right.render(out, depth + 1);
+            }
+            PhysicalPlan::MergeEqui {
+                left,
+                right,
+                left_key,
+                right_key,
+                residual,
+            } => {
+                out.push_str(&format!(
+                    "{pad}MergeEquiJoin [{left_key} = {right_key}] residual [{}]\n",
+                    display_conjunction(residual)
+                ));
+                left.render(out, depth + 1);
+                right.render(out, depth + 1);
+            }
+            PhysicalPlan::StreamTemporal {
+                left,
+                right,
+                left_var,
+                right_var,
+                pattern,
+                residual,
+            } => {
+                out.push_str(&format!(
+                    "{pad}StreamTemporalJoin {pattern:?}({left_var}, {right_var}) residual [{}]\n",
+                    display_conjunction(residual)
+                ));
+                left.render(out, depth + 1);
+                right.render(out, depth + 1);
+            }
+            PhysicalPlan::StreamSemijoin {
+                left,
+                right,
+                left_var,
+                right_var,
+                pattern,
+            } => {
+                out.push_str(&format!(
+                    "{pad}StreamSemijoin {pattern:?}({left_var}, {right_var})\n"
+                ));
+                left.render(out, depth + 1);
+                right.render(out, depth + 1);
+            }
+            PhysicalPlan::SelfSemijoin {
+                input,
+                var,
+                contained,
+            } => {
+                let kind = if *contained { "Contained" } else { "Contain" };
+                out.push_str(&format!(
+                    "{pad}{kind}SelfSemijoin({var}) — single scan\n"
+                ));
+                input.render(out, depth + 1);
+            }
+            PhysicalPlan::MergeSemijoin {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                out.push_str(&format!(
+                    "{pad}MergeSemijoin [{left_key} = {right_key}]\n"
+                ));
+                left.render(out, depth + 1);
+                right.render(out, depth + 1);
+            }
+            PhysicalPlan::NestedSemijoin { left, right, atoms } => {
+                out.push_str(&format!(
+                    "{pad}NestedLoopSemijoin [{}]\n",
+                    display_conjunction(atoms)
+                ));
+                left.render(out, depth + 1);
+                right.render(out, depth + 1);
+            }
+        }
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+fn wrap_rows(rows: Vec<Row>, (ts, te): (usize, usize)) -> TdbResult<Vec<PeriodRow>> {
+    rows.into_iter()
+        .map(|row| {
+            let s = row.get(ts).as_time().ok_or_else(|| {
+                TdbError::Eval(format!("ValidFrom column holds {}", row.get(ts)))
+            })?;
+            let e = row.get(te).as_time().ok_or_else(|| {
+                TdbError::Eval(format!("ValidTo column holds {}", row.get(te)))
+            })?;
+            Ok(PeriodRow::new(row, tdb_core::Period::new(s, e)?))
+        })
+        .collect()
+}
+
+fn sort_rows_by_key(mut rows: Vec<Row>, key: usize, stats: &mut ExecStats) -> Vec<Row> {
+    let sorted = rows.windows(2).all(|w| w[0].get(key) <= w[1].get(key));
+    if !sorted {
+        stats.sorts_performed += 1;
+        stats.sort_rows += rows.len();
+        rows.sort_by(|a, b| a.get(key).cmp(b.get(key)));
+    }
+    rows
+}
+
+fn sort_wrapped(
+    mut rows: Vec<PeriodRow>,
+    order: StreamOrder,
+    stats: &mut ExecStats,
+) -> Vec<PeriodRow> {
+    if order.first_violation(&rows).is_some() {
+        stats.sorts_performed += 1;
+        stats.sort_rows += rows.len();
+        order.sort(&mut rows);
+    }
+    rows
+}
+
+type PairResult = (Vec<(PeriodRow, PeriodRow)>, usize, u64);
+
+fn run_stream_join(
+    pattern: TemporalPattern,
+    l: Vec<PeriodRow>,
+    r: Vec<PeriodRow>,
+    stats: &mut ExecStats,
+) -> TdbResult<PairResult> {
+    match pattern {
+        TemporalPattern::Contains | TemporalPattern::During => {
+            // Normalize to container ⊇ containee; During swaps sides.
+            let swap = pattern == TemporalPattern::During;
+            let (c, e) = if swap { (r, l) } else { (l, r) };
+            let c = sort_wrapped(c, StreamOrder::TS_ASC, stats);
+            let e = sort_wrapped(e, StreamOrder::TE_ASC, stats);
+            let mut op = ContainJoinTsTe::new(
+                from_sorted_vec(c, StreamOrder::TS_ASC)?,
+                from_sorted_vec(e, StreamOrder::TE_ASC)?,
+            )?;
+            let mut pairs = op.collect_vec()?;
+            if swap {
+                pairs = pairs.into_iter().map(|(a, b)| (b, a)).collect();
+            }
+            Ok((pairs, op.max_workspace(), op.metrics().comparisons as u64))
+        }
+        TemporalPattern::GeneralOverlap | TemporalPattern::AllenOverlaps => {
+            let mode = if pattern == TemporalPattern::GeneralOverlap {
+                OverlapMode::General
+            } else {
+                OverlapMode::Strict
+            };
+            let l = sort_wrapped(l, StreamOrder::TS_ASC, stats);
+            let r = sort_wrapped(r, StreamOrder::TS_ASC, stats);
+            let mut op = OverlapJoin::new(
+                from_sorted_vec(l, StreamOrder::TS_ASC)?,
+                from_sorted_vec(r, StreamOrder::TS_ASC)?,
+                mode,
+                ReadPolicy::MinKey,
+            )?;
+            let pairs = op.collect_vec()?;
+            Ok((pairs, op.max_workspace(), op.metrics().comparisons as u64))
+        }
+        TemporalPattern::Before | TemporalPattern::After => {
+            let swap = pattern == TemporalPattern::After;
+            let (a, b) = if swap { (r, l) } else { (l, r) };
+            let mut op =
+                BeforeJoin::new(tdb_stream::from_vec(a), tdb_stream::from_vec(b))?;
+            let mut pairs = op.collect_vec()?;
+            if swap {
+                pairs = pairs.into_iter().map(|(x, y)| (y, x)).collect();
+            }
+            Ok((pairs, op.max_workspace(), op.metrics().comparisons as u64))
+        }
+    }
+}
+
+type SemiResult = (Vec<PeriodRow>, usize, u64);
+
+fn run_stream_semijoin(
+    pattern: TemporalPattern,
+    l: Vec<PeriodRow>,
+    r: Vec<PeriodRow>,
+    stats: &mut ExecStats,
+) -> TdbResult<SemiResult> {
+    match pattern {
+        TemporalPattern::During => {
+            // Left rows contained in some right row: the Figure 6 stab
+            // algorithm with left sorted TE ↑ and right sorted TS ↑.
+            let l = sort_wrapped(l, StreamOrder::TE_ASC, stats);
+            let r = sort_wrapped(r, StreamOrder::TS_ASC, stats);
+            let mut op = ContainedSemijoinStab::new(
+                from_sorted_vec(l, StreamOrder::TE_ASC)?,
+                from_sorted_vec(r, StreamOrder::TS_ASC)?,
+            )?;
+            let kept = op.collect_vec()?;
+            Ok((kept, 0, op.metrics().comparisons as u64))
+        }
+        TemporalPattern::Contains => {
+            let l = sort_wrapped(l, StreamOrder::TS_ASC, stats);
+            let r = sort_wrapped(r, StreamOrder::TE_ASC, stats);
+            let mut op = ContainSemijoinStab::new(
+                from_sorted_vec(l, StreamOrder::TS_ASC)?,
+                from_sorted_vec(r, StreamOrder::TE_ASC)?,
+            )?;
+            let kept = op.collect_vec()?;
+            Ok((kept, 0, op.metrics().comparisons as u64))
+        }
+        TemporalPattern::GeneralOverlap | TemporalPattern::AllenOverlaps => {
+            let mode = if pattern == TemporalPattern::GeneralOverlap {
+                OverlapMode::General
+            } else {
+                OverlapMode::Strict
+            };
+            let l = sort_wrapped(l, StreamOrder::TS_ASC, stats);
+            let r = sort_wrapped(r, StreamOrder::TS_ASC, stats);
+            let mut op = OverlapSemijoin::new(
+                from_sorted_vec(l, StreamOrder::TS_ASC)?,
+                from_sorted_vec(r, StreamOrder::TS_ASC)?,
+                mode,
+                ReadPolicy::MinKey,
+            )?;
+            let kept = op.collect_vec()?;
+            Ok((kept, op.max_workspace(), op.metrics().comparisons as u64))
+        }
+        TemporalPattern::Before => {
+            let mut op =
+                BeforeSemijoin::new(tdb_stream::from_vec(l), tdb_stream::from_vec(r))?;
+            let kept = op.collect_vec()?;
+            Ok((kept, 1, op.metrics().comparisons as u64))
+        }
+        TemporalPattern::After => {
+            // x after y ⇔ ∃y: y.TE < x.TS — keep x with x.TS > min(y.TE).
+            let min_te = r.iter().map(|p| p.te()).min();
+            let kept: Vec<PeriodRow> = match min_te {
+                Some(m) => l.into_iter().filter(|x| m < x.ts()).collect(),
+                None => Vec::new(),
+            };
+            Ok((kept, 1, 0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CompOp;
+    use tdb_core::{TemporalSchema, Value};
+    use tdb_storage::IoStats;
+
+    fn test_catalog(name: &str) -> Catalog {
+        let dir = std::env::temp_dir().join(format!(
+            "tdb-algebra-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cat = Catalog::open(dir, IoStats::new()).unwrap();
+        let schema = TemporalSchema::time_sequence("Name", "Rank");
+        let rows: Vec<Row> = tdb_gen::FacultyGen::figure1_instance()
+            .iter()
+            .map(|t| t.to_row())
+            .collect();
+        cat.create_relation("Faculty", schema, &rows, vec![]).unwrap();
+        cat
+    }
+
+    fn scan(var: &str) -> PhysicalPlan {
+        PhysicalPlan::SeqScan {
+            relation: "Faculty".into(),
+            var: var.into(),
+        }
+    }
+
+    #[test]
+    fn seq_scan_and_filter() {
+        let cat = test_catalog("scan");
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(scan("f")),
+            atoms: vec![Atom::col_const("f", "Rank", CompOp::Eq, "Associate")],
+        };
+        let out = plan.execute(&cat).unwrap();
+        assert_eq!(out.rows.len(), 3); // Smith, Jones, Brown associates
+        assert_eq!(out.stats.rows_scanned, 8);
+    }
+
+    #[test]
+    fn project_renames() {
+        let cat = test_catalog("proj");
+        let plan = PhysicalPlan::Project {
+            input: Box::new(scan("f")),
+            columns: vec![(ColumnRef::new("f", "Name"), "who".into())],
+        };
+        let out = plan.execute(&cat).unwrap();
+        assert_eq!(out.rows[0].arity(), 1);
+        assert_eq!(
+            out.scope.columns()[0],
+            ColumnRef::new("", "who")
+        );
+    }
+
+    #[test]
+    fn nested_loop_equijoin() {
+        let cat = test_catalog("nl");
+        let plan = PhysicalPlan::NestedLoop {
+            left: Box::new(scan("f1")),
+            right: Box::new(scan("f2")),
+            atoms: vec![Atom::cols("f1", "Name", CompOp::Eq, "f2", "Name")],
+        };
+        let out = plan.execute(&cat).unwrap();
+        // Smith 3², Jones 3², Brown 2² = 9 + 9 + 4.
+        assert_eq!(out.rows.len(), 22);
+        assert_eq!(out.stats.comparisons, 64);
+    }
+
+    #[test]
+    fn merge_equi_matches_nested_loop() {
+        let cat = test_catalog("merge");
+        let nl = PhysicalPlan::NestedLoop {
+            left: Box::new(scan("f1")),
+            right: Box::new(scan("f2")),
+            atoms: vec![Atom::cols("f1", "Name", CompOp::Eq, "f2", "Name")],
+        };
+        let me = PhysicalPlan::MergeEqui {
+            left: Box::new(scan("f1")),
+            right: Box::new(scan("f2")),
+            left_key: ColumnRef::new("f1", "Name"),
+            right_key: ColumnRef::new("f2", "Name"),
+            residual: vec![],
+        };
+        let mut a = nl.execute(&cat).unwrap().rows;
+        let mut b = me.execute(&cat).unwrap().rows;
+        a.sort_by_key(|r| format!("{r}"));
+        b.sort_by_key(|r| format!("{r}"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_temporal_contains_join() {
+        let cat = test_catalog("stream");
+        // Pairs (f1, f2) where f1's lifespan contains f2's.
+        let stream = PhysicalPlan::StreamTemporal {
+            left: Box::new(scan("f1")),
+            right: Box::new(scan("f2")),
+            left_var: "f1".into(),
+            right_var: "f2".into(),
+            pattern: TemporalPattern::Contains,
+            residual: vec![],
+        };
+        let nl = PhysicalPlan::NestedLoop {
+            left: Box::new(scan("f1")),
+            right: Box::new(scan("f2")),
+            atoms: vec![
+                Atom::cols("f1", "ValidFrom", CompOp::Lt, "f2", "ValidFrom"),
+                Atom::cols("f2", "ValidTo", CompOp::Lt, "f1", "ValidTo"),
+            ],
+        };
+        let mut a = stream.execute(&cat).unwrap().rows;
+        let mut b = nl.execute(&cat).unwrap().rows;
+        a.sort_by_key(|r| format!("{r}"));
+        b.sort_by_key(|r| format!("{r}"));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn self_semijoin_runs_single_scan() {
+        let cat = test_catalog("selfsj");
+        // Associates contained in other associates' periods.
+        let assoc = PhysicalPlan::Filter {
+            input: Box::new(scan("f")),
+            atoms: vec![Atom::col_const("f", "Rank", CompOp::Eq, "Associate")],
+        };
+        let plan = PhysicalPlan::SelfSemijoin {
+            input: Box::new(assoc),
+            var: "f".into(),
+            contained: true,
+        };
+        let out = plan.execute(&cat).unwrap();
+        // Smith's associate [5,9) ⊂ Jones's [4,12): Smith kept.
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].get(0), &Value::str("Smith"));
+        assert!(out.stats.max_workspace <= 1);
+        // Only one scan of the 8-row base relation.
+        assert_eq!(out.stats.rows_scanned, 8);
+    }
+
+    #[test]
+    fn stream_semijoin_during() {
+        let cat = test_catalog("sj");
+        let plan = PhysicalPlan::StreamSemijoin {
+            left: Box::new(scan("f1")),
+            right: Box::new(scan("f2")),
+            left_var: "f1".into(),
+            right_var: "f2".into(),
+            pattern: TemporalPattern::During,
+        };
+        let nested = PhysicalPlan::NestedSemijoin {
+            left: Box::new(scan("f1")),
+            right: Box::new(scan("f2")),
+            atoms: vec![
+                Atom::cols("f2", "ValidFrom", CompOp::Lt, "f1", "ValidFrom"),
+                Atom::cols("f1", "ValidTo", CompOp::Lt, "f2", "ValidTo"),
+            ],
+        };
+        let mut a = plan.execute(&cat).unwrap().rows;
+        let mut b = nested.execute(&cat).unwrap().rows;
+        a.sort_by_key(|r| format!("{r}"));
+        b.sort_by_key(|r| format!("{r}"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explain_renders_operators() {
+        let plan = PhysicalPlan::StreamSemijoin {
+            left: Box::new(scan("f1")),
+            right: Box::new(scan("f2")),
+            left_var: "f1".into(),
+            right_var: "f2".into(),
+            pattern: TemporalPattern::During,
+        };
+        let text = plan.explain();
+        assert!(text.contains("StreamSemijoin During(f1, f2)"));
+        assert!(text.contains("SeqScan Faculty as f1"));
+    }
+
+    #[test]
+    fn sorts_are_counted_only_when_needed() {
+        let cat = test_catalog("sorts");
+        let plan = PhysicalPlan::StreamTemporal {
+            left: Box::new(scan("f1")),
+            right: Box::new(scan("f2")),
+            left_var: "f1".into(),
+            right_var: "f2".into(),
+            pattern: TemporalPattern::GeneralOverlap,
+            residual: vec![],
+        };
+        let out = plan.execute(&cat).unwrap();
+        // Figure-1 data arrives grouped by name, not by time: both sides
+        // need sorting.
+        assert_eq!(out.stats.sorts_performed, 2);
+        let _ = out.stats.comparisons;
+        let filter_time = PhysicalPlan::Filter {
+            input: Box::new(scan("f")),
+            atoms: vec![Atom::col_const(
+                "f",
+                "Rank",
+                CompOp::Eq,
+                "NoSuchRank",
+            )],
+        };
+        let out = filter_time.execute(&cat).unwrap();
+        assert_eq!(out.rows.len(), 0);
+    }
+}

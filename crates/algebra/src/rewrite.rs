@@ -1,0 +1,253 @@
+//! Conventional algebraic optimization (paper §3, Figure 3(a) → 3(b)).
+//!
+//! "The parse tree can then be ameliorated by applying well-known
+//! traditional algebraic manipulation methods; e.g. the selections and
+//! projection are pushed as far down the parse tree as possible."
+//!
+//! [`conventional_optimize`] applies, to a fixpoint:
+//!
+//! 1. **selection splitting** — a σ with a conjunction becomes atoms that
+//!    move independently;
+//! 2. **selection pushdown** — each atom sinks to the lowest node whose
+//!    scope covers it (below products, joins and other selections);
+//! 3. **product-to-join formation** — σ directly above × becomes ⋈ with the
+//!    covering atoms as the join predicate;
+//! 4. **selection merging** — adjacent σ nodes collapse.
+//!
+//! The result on the Superstar query is exactly the Figure 3(b) shape: rank
+//! selections on the scans, an equi-join on `Name`, and the less-than join
+//! (the inequality conjunction θ′) on top.
+
+use crate::expr::Atom;
+use crate::logical::LogicalPlan;
+
+/// Apply the conventional rewrites to a fixpoint.
+pub fn conventional_optimize(plan: LogicalPlan) -> LogicalPlan {
+    let mut current = plan;
+    loop {
+        let next = pass(current.clone());
+        if next == current {
+            return next;
+        }
+        current = next;
+    }
+}
+
+fn pass(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Select { input, predicate } => push_select(*input, predicate),
+        LogicalPlan::Project { input, columns } => LogicalPlan::Project {
+            input: Box::new(pass(*input)),
+            columns,
+        },
+        LogicalPlan::Product { left, right } => LogicalPlan::Product {
+            left: Box::new(pass(*left)),
+            right: Box::new(pass(*right)),
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            predicate,
+        } => LogicalPlan::Join {
+            left: Box::new(pass(*left)),
+            right: Box::new(pass(*right)),
+            predicate,
+        },
+        LogicalPlan::Semijoin {
+            left,
+            right,
+            predicate,
+        } => LogicalPlan::Semijoin {
+            left: Box::new(pass(*left)),
+            right: Box::new(pass(*right)),
+            predicate,
+        },
+        leaf @ LogicalPlan::Scan { .. } => leaf,
+    }
+}
+
+/// Push the atoms of a selection into `input` as deep as their scopes
+/// allow; atoms that reach a product convert it to a join.
+fn push_select(input: LogicalPlan, atoms: Vec<Atom>) -> LogicalPlan {
+    match input {
+        LogicalPlan::Select {
+            input: inner,
+            predicate: mut inner_atoms,
+        } => {
+            // Merge adjacent selections, then push the union.
+            inner_atoms.extend(atoms);
+            push_select(*inner, inner_atoms)
+        }
+        LogicalPlan::Product { left, right } => {
+            let (to_left, rest): (Vec<_>, Vec<_>) =
+                atoms.into_iter().partition(|a| left.scope().covers(a));
+            let (to_right, join_atoms): (Vec<_>, Vec<_>) =
+                rest.into_iter().partition(|a| right.scope().covers(a));
+            let left = sink(*left, to_left);
+            let right = sink(*right, to_right);
+            if join_atoms.is_empty() {
+                LogicalPlan::Product {
+                    left: Box::new(pass(left)),
+                    right: Box::new(pass(right)),
+                }
+            } else {
+                // σ over × becomes ⋈ (rewrite 3).
+                LogicalPlan::Join {
+                    left: Box::new(pass(left)),
+                    right: Box::new(pass(right)),
+                    predicate: join_atoms,
+                }
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            mut predicate,
+        } => {
+            let (to_left, rest): (Vec<_>, Vec<_>) =
+                atoms.into_iter().partition(|a| left.scope().covers(a));
+            let (to_right, to_join): (Vec<_>, Vec<_>) =
+                rest.into_iter().partition(|a| right.scope().covers(a));
+            predicate.extend(to_join);
+            LogicalPlan::Join {
+                left: Box::new(pass(sink(*left, to_left))),
+                right: Box::new(pass(sink(*right, to_right))),
+                predicate,
+            }
+        }
+        other => {
+            // Scan, Project, Semijoin: stop pushing here (projection may
+            // rename; semijoin output is its left side — pushing through is
+            // possible for left-only atoms but kept conservative).
+            sink(pass(other), atoms)
+        }
+    }
+}
+
+/// Wrap `plan` in a selection unless `atoms` is empty.
+fn sink(plan: LogicalPlan, atoms: Vec<Atom>) -> LogicalPlan {
+    if atoms.is_empty() {
+        plan
+    } else {
+        match plan {
+            // Merge into an existing selection.
+            LogicalPlan::Select { input, mut predicate } => {
+                predicate.extend(atoms);
+                LogicalPlan::Select { input, predicate }
+            }
+            other => LogicalPlan::Select {
+                input: Box::new(other),
+                predicate: atoms,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Atom, ColumnRef, CompOp};
+    use crate::logical::FACULTY_ATTRS;
+
+    fn scan(var: &str) -> LogicalPlan {
+        LogicalPlan::scan("Faculty", var, &FACULTY_ATTRS)
+    }
+
+    /// The unoptimized Superstar plan of Figure 3(a):
+    /// π(σ_θ(Faculty × Faculty × Faculty)).
+    pub fn superstar_unoptimized() -> LogicalPlan {
+        let theta = vec![
+            Atom::cols("f1", "Name", CompOp::Eq, "f2", "Name"),
+            Atom::col_const("f1", "Rank", CompOp::Eq, "Assistant"),
+            Atom::col_const("f2", "Rank", CompOp::Eq, "Full"),
+            Atom::col_const("f3", "Rank", CompOp::Eq, "Associate"),
+            Atom::cols("f1", "ValidFrom", CompOp::Lt, "f3", "ValidTo"),
+            Atom::cols("f3", "ValidFrom", CompOp::Lt, "f1", "ValidTo"),
+            Atom::cols("f2", "ValidFrom", CompOp::Lt, "f3", "ValidTo"),
+            Atom::cols("f3", "ValidFrom", CompOp::Lt, "f2", "ValidTo"),
+        ];
+        scan("f1")
+            .product(scan("f2"))
+            .product(scan("f3"))
+            .select(theta)
+            .project(vec![
+                (ColumnRef::new("f1", "Name"), "Name".into()),
+                (ColumnRef::new("f1", "ValidFrom"), "ValidFrom".into()),
+                (ColumnRef::new("f2", "ValidTo"), "ValidTo".into()),
+            ])
+    }
+
+    #[test]
+    fn superstar_optimizes_to_figure_3b_shape() {
+        let optimized = conventional_optimize(superstar_unoptimized());
+        optimized.check_columns().unwrap();
+        let tree = optimized.parse_tree();
+
+        // No Cartesian product survives.
+        assert!(!tree.contains("×"), "products should become joins:\n{tree}");
+        // Rank selections sit directly on the scans.
+        assert!(tree.contains("σ[f1.Rank = \"Assistant\"]"));
+        assert!(tree.contains("σ[f2.Rank = \"Full\"]"));
+        assert!(tree.contains("σ[f3.Rank = \"Associate\"]"));
+        // The equi-join on Name is an inner join; the θ′ inequalities form
+        // the outer (less-than) join.
+        assert!(tree.contains("⋈[f1.Name = f2.Name]"));
+        assert!(tree.contains("f1.ValidFrom < f3.ValidTo"));
+        assert_eq!(optimized.scan_count(), 3);
+    }
+
+    #[test]
+    fn optimization_is_idempotent() {
+        let once = conventional_optimize(superstar_unoptimized());
+        let twice = conventional_optimize(once.clone());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn single_relation_selection_stays_put() {
+        let p = scan("f1").select(vec![Atom::col_const("f1", "Rank", CompOp::Eq, "Full")]);
+        let o = conventional_optimize(p.clone());
+        assert_eq!(o, p);
+    }
+
+    #[test]
+    fn adjacent_selections_merge() {
+        let p = scan("f1")
+            .select(vec![Atom::col_const("f1", "Rank", CompOp::Eq, "Full")])
+            .select(vec![Atom::col_const("f1", "Name", CompOp::Eq, "Smith")]);
+        let o = conventional_optimize(p);
+        let LogicalPlan::Select { predicate, input } = &o else {
+            panic!("expected a single selection, got\n{o}");
+        };
+        assert_eq!(predicate.len(), 2);
+        assert!(matches!(**input, LogicalPlan::Scan { .. }));
+    }
+
+    #[test]
+    fn pure_product_without_predicates_stays_product() {
+        let p = scan("f1").product(scan("f2"));
+        let o = conventional_optimize(p.clone());
+        assert_eq!(o, p);
+    }
+
+    #[test]
+    fn join_predicates_absorb_pushed_atoms() {
+        let p = scan("f1")
+            .join(
+                scan("f2"),
+                vec![Atom::cols("f1", "Name", CompOp::Eq, "f2", "Name")],
+            )
+            .select(vec![Atom::cols(
+                "f1",
+                "ValidTo",
+                CompOp::Lt,
+                "f2",
+                "ValidFrom",
+            )]);
+        let o = conventional_optimize(p);
+        let LogicalPlan::Join { predicate, .. } = &o else {
+            panic!("expected join at root:\n{o}");
+        };
+        assert_eq!(predicate.len(), 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! E6 wall-clock (Figure 4): streaming grouped sum vs hash aggregation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb::prelude::*;
+
+fn rows(n_groups: usize, per_group: usize) -> Vec<(Value, i64)> {
+    (0..n_groups)
+        .flat_map(|g| (0..per_group).map(move |i| (Value::Int(g as i64), i as i64)))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate");
+    for n_groups in [1_000usize, 10_000] {
+        let data = rows(n_groups, 50);
+        group.bench_with_input(
+            BenchmarkId::new("grouped_stream", n_groups),
+            &n_groups,
+            |b, _| {
+                b.iter(|| {
+                    let mut op =
+                        GroupedSum::new(from_vec(data.clone()), |r| r.0.clone(), |r| r.1);
+                    let mut k = 0u64;
+                    while op.next().unwrap().is_some() {
+                        k += 1;
+                    }
+                    k
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hash", n_groups),
+            &n_groups,
+            |b, _| {
+                b.iter(|| {
+                    tdb::stream::HashSum::run(from_vec(data.clone()), |r| r.0.clone(), |r| r.1)
+                        .unwrap()
+                        .0
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E4 wall-clock (Figure 2): Allen-relationship classification throughput
+//! and per-relation predicate evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tdb::prelude::*;
+use tdb_bench::Workload;
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::standard(2_000, 41);
+    let pairs: Vec<(Period, Period)> = w
+        .xs
+        .iter()
+        .zip(&w.ys)
+        .map(|(a, b)| (a.period, b.period))
+        .collect();
+
+    c.bench_function("allen_classify_2k_pairs", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|(x, y)| AllenRelation::classify(x, y) as usize)
+                .sum::<usize>()
+        })
+    });
+
+    c.bench_function("allen_holds_all13_2k_pairs", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for (x, y) in &pairs {
+                for rel in tdb::core::allen::ALL_RELATIONS {
+                    if rel.holds(x, y) {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E14 wall-clock: external merge sort across memory budgets — the price
+//! of producing the "properly sorted" streams of §4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("external_sort");
+    group.sample_size(10);
+    let data = IntervalGen::poisson(50_000, 3.0, 25.0, 43).generate();
+    // Shuffle so the sort has real work.
+    let mut shuffled = data;
+    shuffled.sort_by_key(|t| t.value.as_int().unwrap_or(0) % 7919);
+
+    for budget in [1_000usize, 10_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("budget", budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    let sorter = ExternalSorter::new(
+                        budget,
+                        |a: &TsTuple, b: &TsTuple| StreamOrder::TS_ASC.compare(a, b),
+                        IoStats::new(),
+                    );
+                    let (out, stats) = sorter.sort(shuffled.clone()).unwrap();
+                    let n = out.count();
+                    (n, stats.runs)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

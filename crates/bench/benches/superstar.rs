@@ -1,0 +1,48 @@
+//! E10 wall-clock (§3 + §5): the Superstar query under each formulation —
+//! including the O(n³) unoptimized plan on a tiny population.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb::prelude::*;
+use tdb_bench::bench_catalog;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("superstar");
+    group.sample_size(10);
+
+    // The unoptimized Figure 3(a) plan: triple product, tiny input only.
+    let tiny = bench_catalog("ss-tiny", 25, 31);
+    let unopt = tdb::semantic::superstar::superstar_unoptimized();
+    let unopt_phys = plan(&unopt, PlannerConfig::naive()).unwrap();
+    group.bench_function("unoptimized_fig3a_n25", |b| {
+        b.iter(|| unopt_phys.execute(&tiny).unwrap().rows.len())
+    });
+
+    for n in [400usize, 1_600] {
+        let catalog = bench_catalog(&format!("ss-{n}"), n, 37);
+        for (label, logical) in superstar_plans(true) {
+            if label.starts_with("unoptimized") {
+                continue;
+            }
+            let config = if label.starts_with("conventional") {
+                PlannerConfig::conventional()
+            } else {
+                PlannerConfig::stream()
+            };
+            let phys = plan(&logical, config).unwrap();
+            let short = if label.starts_with("conventional") {
+                "conventional_fig3b"
+            } else if label.starts_with("semantic") {
+                "reduced_fig8b"
+            } else {
+                "selfsemijoin_s5"
+            };
+            group.bench_with_input(BenchmarkId::new(short, n), &n, |b, _| {
+                b.iter(|| phys.execute(&catalog).unwrap().rows.len())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

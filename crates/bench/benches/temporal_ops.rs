@@ -1,0 +1,58 @@
+//! Extension operators: coalescing throughput, timeslice via sorted scan
+//! vs. interval-index stab, and the concurrency profile sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb::prelude::*;
+use tdb::storage::IntervalIndex;
+use tdb::stream::{coalesce_relation, concurrency_profile, Timeslice};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("temporal_ops");
+    for n in [10_000usize, 40_000] {
+        let data = IntervalGen::poisson(n, 3.0, 25.0, 47).generate();
+        let mut sorted = data.clone();
+        StreamOrder::TS_ASC.sort(&mut sorted);
+        let mid = sorted[n / 2].period.start();
+
+        group.bench_with_input(BenchmarkId::new("coalesce", n), &n, |b, _| {
+            b.iter(|| coalesce_relation(data.clone()).unwrap().len())
+        });
+
+        group.bench_with_input(BenchmarkId::new("profile_sweep", n), &n, |b, _| {
+            b.iter(|| {
+                concurrency_profile(
+                    from_sorted_vec(sorted.clone(), StreamOrder::TS_ASC).unwrap(),
+                )
+                .unwrap()
+                .1
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("timeslice_scan", n), &n, |b, _| {
+            b.iter(|| {
+                let mut op = Timeslice::new(
+                    from_sorted_vec(sorted.clone(), StreamOrder::TS_ASC).unwrap(),
+                    mid,
+                );
+                let mut k = 0u64;
+                while op.next().unwrap().is_some() {
+                    k += 1;
+                }
+                k
+            })
+        });
+
+        let index = IntervalIndex::build(
+            data.iter()
+                .enumerate()
+                .map(|(i, t)| (t.period, i as u64)),
+        );
+        group.bench_with_input(BenchmarkId::new("timeslice_index_stab", n), &n, |b, _| {
+            b.iter(|| index.stab(mid).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,379 @@
+//! # tdb-cli — an interactive shell for the temporal database
+//!
+//! A small REPL wrapping the full pipeline: generate or load temporal
+//! relations, type modified-Quel queries (terminated by `;`), inspect
+//! logical/physical plans, and compare the Superstar formulations.
+//!
+//! ```text
+//! $ cargo run -p tdb-cli --bin tdb
+//! tdb> \gen faculty 200 42
+//! tdb> range of f is Faculty retrieve (N=f.Name) where f.Rank = "Full";
+//! tdb> \explain on
+//! tdb> \superstar
+//! ```
+//!
+//! The engine lives in [`Session`]; `main.rs` is a thin stdin loop, so the
+//! command surface is fully unit-testable.
+
+use std::fmt::Write as _;
+use tdb::prelude::*;
+
+/// REPL state.
+pub struct Session {
+    catalog: Catalog,
+    /// Echo logical and physical plans before running queries.
+    pub explain: bool,
+    /// Planner strategy for queries.
+    pub config: PlannerConfig,
+    /// Maximum rows printed per result.
+    pub row_limit: usize,
+    buffer: String,
+}
+
+/// The outcome of feeding one input line to the session.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineResult {
+    /// Output to display.
+    Output(String),
+    /// The line was buffered; the query is not yet terminated by `;`.
+    Continue,
+    /// The user asked to quit.
+    Quit,
+}
+
+impl Session {
+    /// Create a session backed by a catalog directory.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> TdbResult<Session> {
+        Ok(Session {
+            catalog: Catalog::open(dir, IoStats::new())?,
+            explain: false,
+            config: PlannerConfig::stream(),
+            row_limit: 20,
+            buffer: String::new(),
+        })
+    }
+
+    /// Feed one input line.
+    pub fn feed(&mut self, line: &str) -> LineResult {
+        let trimmed = line.trim();
+        if self.buffer.is_empty() && trimmed.starts_with('\\') {
+            return match self.command(trimmed) {
+                Ok(Some(out)) => LineResult::Output(out),
+                Ok(None) => LineResult::Quit,
+                Err(e) => LineResult::Output(format!("error: {e}")),
+            };
+        }
+        if trimmed.is_empty() && self.buffer.is_empty() {
+            return LineResult::Output(String::new());
+        }
+        self.buffer.push_str(line);
+        self.buffer.push('\n');
+        if trimmed.ends_with(';') {
+            let text = std::mem::take(&mut self.buffer);
+            let text = text.trim_end().trim_end_matches(';');
+            match self.run_query(text) {
+                Ok(out) => LineResult::Output(out),
+                Err(e) => LineResult::Output(format!("error: {e}")),
+            }
+        } else {
+            LineResult::Continue
+        }
+    }
+
+    fn command(&mut self, line: &str) -> TdbResult<Option<String>> {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            ["\\help"] => Ok(Some(HELP.to_string())),
+            ["\\quit"] | ["\\q"] => Ok(None),
+            ["\\tables"] => {
+                let mut out = String::new();
+                for name in self.catalog.relation_names() {
+                    let meta = self.catalog.meta(&name)?;
+                    let lambda = meta
+                        .stats
+                        .lambda
+                        .map(|l| format!("{l:.3}"))
+                        .unwrap_or_else(|| "-".into());
+                    writeln!(
+                        out,
+                        "{name}: {} rows, schema {}, λ={lambda}, mean dur {:.1}, max concurrency {}",
+                        meta.rows,
+                        meta.schema.schema,
+                        meta.stats.mean_duration,
+                        meta.stats.max_concurrency
+                    )
+                    .ok();
+                }
+                if out.is_empty() {
+                    out = "no relations — try \\gen faculty 100\n".into();
+                }
+                Ok(Some(out))
+            }
+            ["\\explain", v @ ("on" | "off")] => {
+                self.explain = *v == "on";
+                Ok(Some(format!("explain {v}\n")))
+            }
+            ["\\config", c] => {
+                self.config = match *c {
+                    "stream" => PlannerConfig::stream(),
+                    "conventional" => PlannerConfig::conventional(),
+                    "naive" => PlannerConfig::naive(),
+                    other => {
+                        return Ok(Some(format!(
+                            "unknown config `{other}` (stream|conventional|naive)\n"
+                        )))
+                    }
+                };
+                Ok(Some(format!("planner config: {c}\n")))
+            }
+            ["\\gen", "faculty", n, rest @ ..] => {
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| TdbError::Eval(format!("bad count `{n}`")))?;
+                let seed: u64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(0);
+                let faculty = FacultyGen {
+                    n_faculty: n,
+                    seed,
+                    continuous_employment: true,
+                    ..FacultyGen::default()
+                }
+                .generate();
+                let rows: Vec<Row> = faculty.iter().map(|t| t.to_row()).collect();
+                self.catalog.create_relation(
+                    "Faculty",
+                    TemporalSchema::time_sequence("Name", "Rank"),
+                    &rows,
+                    vec![],
+                )?;
+                Ok(Some(format!(
+                    "Faculty loaded: {} members, {} tuples (seed {seed})\n",
+                    n,
+                    rows.len()
+                )))
+            }
+            ["\\gen", "intervals", name, n, gap, dur, rest @ ..] => {
+                let parse_f =
+                    |s: &str| s.parse::<f64>().map_err(|_| TdbError::Eval(format!("bad number `{s}`")));
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| TdbError::Eval(format!("bad count `{n}`")))?;
+                let seed: u64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(0);
+                let tuples =
+                    IntervalGen::poisson(n, parse_f(gap)?, parse_f(dur)?, seed).generate();
+                let rows: Vec<Row> = tuples
+                    .iter()
+                    .map(|t| {
+                        Row::new(vec![
+                            t.surrogate.clone(),
+                            t.value.clone(),
+                            Value::Time(t.ts()),
+                            Value::Time(t.te()),
+                        ])
+                    })
+                    .collect();
+                let schema = TemporalSchema::new(
+                    tdb::core::Schema::new(vec![
+                        tdb::core::Field::new("Id", tdb::core::FieldType::Str),
+                        tdb::core::Field::new("Seq", tdb::core::FieldType::Int),
+                        tdb::core::Field::new("ValidFrom", tdb::core::FieldType::Time),
+                        tdb::core::Field::new("ValidTo", tdb::core::FieldType::Time),
+                    ]),
+                    2,
+                    3,
+                )?;
+                self.catalog
+                    .create_relation(name, schema, &rows, vec![StreamOrder::TS_ASC])?;
+                Ok(Some(format!("{name} loaded: {} tuples\n", rows.len())))
+            }
+            ["\\superstar"] => self.superstar().map(Some),
+            _ => Ok(Some(format!(
+                "unknown command `{line}` — try \\help\n"
+            ))),
+        }
+    }
+
+    fn run_query(&mut self, text: &str) -> TdbResult<String> {
+        let (logical, _query) = compile(text, &self.catalog)?;
+        let optimized = conventional_optimize(logical.clone());
+        let physical = plan(&optimized, self.config)?;
+        let mut out = String::new();
+        if self.explain {
+            writeln!(out, "── logical (translated) ──\n{}", logical.parse_tree()).ok();
+            writeln!(out, "── logical (optimized) ──\n{}", optimized.parse_tree()).ok();
+            writeln!(out, "── physical ──\n{}", physical.explain()).ok();
+        }
+        let start = std::time::Instant::now();
+        let result = physical.execute(&self.catalog)?;
+        let elapsed = start.elapsed();
+
+        let header: Vec<String> = result
+            .scope
+            .columns()
+            .iter()
+            .map(|c| if c.var.is_empty() { c.attr.clone() } else { c.to_string() })
+            .collect();
+        writeln!(out, "{}", header.join(" | ")).ok();
+        for row in result.rows.iter().take(self.row_limit) {
+            let cells: Vec<String> = row.values().iter().map(|v| v.to_string()).collect();
+            writeln!(out, "{}", cells.join(" | ")).ok();
+        }
+        if result.rows.len() > self.row_limit {
+            writeln!(out, "… ({} more rows)", result.rows.len() - self.row_limit).ok();
+        }
+        writeln!(
+            out,
+            "{} rows in {elapsed:.2?} — {} scanned, {} comparisons, workspace {}, {} sorts",
+            result.rows.len(),
+            result.stats.rows_scanned,
+            result.stats.comparisons,
+            result.stats.max_workspace,
+            result.stats.sorts_performed,
+        )
+        .ok();
+        Ok(out)
+    }
+
+    fn superstar(&mut self) -> TdbResult<String> {
+        self.catalog.meta("Faculty").map_err(|_| {
+            TdbError::Catalog("load Faculty first: \\gen faculty 200".into())
+        })?;
+        let mut out = String::new();
+        for (label, logical) in superstar_plans(true) {
+            if label.starts_with("unoptimized") {
+                continue;
+            }
+            let config = if label.starts_with("conventional") {
+                PlannerConfig::conventional()
+            } else {
+                PlannerConfig::stream()
+            };
+            let physical = plan(&logical, config)?;
+            let start = std::time::Instant::now();
+            let result = physical.execute(&self.catalog)?;
+            let names: std::collections::BTreeSet<&str> = result
+                .rows
+                .iter()
+                .filter_map(|r| r.get(0).as_str())
+                .collect();
+            writeln!(
+                out,
+                "{label:<30} {:>10.2?}  {:>12} comparisons  {} superstars",
+                start.elapsed(),
+                result.stats.comparisons,
+                names.len()
+            )
+            .ok();
+        }
+        Ok(out)
+    }
+}
+
+/// Help text.
+pub const HELP: &str = r#"commands:
+  \gen faculty <n> [seed]                     load a generated Faculty relation
+  \gen intervals <name> <n> <gap> <dur> [seed]  load a Poisson interval relation
+  \tables                                     list relations and statistics
+  \explain on|off                             show plans before running
+  \config stream|conventional|naive           planner strategy
+  \superstar                                  compare the Superstar formulations
+  \help   \quit
+queries: modified Quel, terminated by `;`, e.g.
+  range of f is Faculty retrieve (N=f.Name) where f.Rank = "Full";
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(tag: &str) -> Session {
+        let dir = std::env::temp_dir().join(format!("tdb-cli-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Session::open(dir).unwrap()
+    }
+
+    fn out(r: LineResult) -> String {
+        match r {
+            LineResult::Output(s) => s,
+            other => panic!("expected output, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generate_and_query() {
+        let mut s = session("a");
+        let msg = out(s.feed("\\gen faculty 50 7"));
+        assert!(msg.contains("Faculty loaded"), "{msg}");
+        let msg = out(s.feed(
+            "range of f is Faculty retrieve (N=f.Name) where f.Rank = \"Full\";",
+        ));
+        assert!(msg.contains("rows in"), "{msg}");
+        assert!(msg.contains("comparisons"));
+    }
+
+    #[test]
+    fn multi_line_queries_buffer_until_semicolon() {
+        let mut s = session("b");
+        out(s.feed("\\gen faculty 20 1"));
+        assert_eq!(s.feed("range of f is Faculty"), LineResult::Continue);
+        assert_eq!(s.feed("retrieve (N=f.Name)"), LineResult::Continue);
+        let msg = out(s.feed("where f.Rank = \"Associate\";"));
+        assert!(msg.contains("rows in"), "{msg}");
+    }
+
+    #[test]
+    fn explain_mode_prints_plans() {
+        let mut s = session("c");
+        out(s.feed("\\gen faculty 20 1"));
+        out(s.feed("\\explain on"));
+        let msg = out(s.feed("range of f is Faculty retrieve (N=f.Name);"));
+        assert!(msg.contains("── physical ──"), "{msg}");
+        assert!(msg.contains("SeqScan Faculty"));
+    }
+
+    #[test]
+    fn superstar_command_compares_plans() {
+        let mut s = session("d");
+        out(s.feed("\\gen faculty 80 3"));
+        let msg = out(s.feed("\\superstar"));
+        assert!(msg.contains("conventional"), "{msg}");
+        assert!(msg.contains("self-semijoin"));
+        // Without Faculty: helpful error.
+        let mut s2 = session("d2");
+        let msg = out(s2.feed("\\superstar"));
+        assert!(msg.contains("load Faculty first"), "{msg}");
+    }
+
+    #[test]
+    fn tables_and_config_and_errors() {
+        let mut s = session("e");
+        let msg = out(s.feed("\\tables"));
+        assert!(msg.contains("no relations"));
+        out(s.feed("\\gen intervals Sensors 100 3 10 5"));
+        let msg = out(s.feed("\\tables"));
+        assert!(msg.contains("Sensors: 100 rows"), "{msg}");
+        let msg = out(s.feed("\\config conventional"));
+        assert!(msg.contains("conventional"));
+        let msg = out(s.feed("\\config bogus"));
+        assert!(msg.contains("unknown config"));
+        let msg = out(s.feed("\\nonsense"));
+        assert!(msg.contains("unknown command"));
+        let msg = out(s.feed("range of f is Nope retrieve (N=f.Name);"));
+        assert!(msg.starts_with("error:"), "{msg}");
+    }
+
+    #[test]
+    fn quit() {
+        let mut s = session("f");
+        assert_eq!(s.feed("\\quit"), LineResult::Quit);
+        assert_eq!(s.feed("\\q"), LineResult::Quit);
+    }
+
+    #[test]
+    fn row_limit_truncates_output() {
+        let mut s = session("g");
+        s.row_limit = 3;
+        out(s.feed("\\gen intervals T 50 3 10 1"));
+        let msg = out(s.feed("range of t is T retrieve (A=t.ValidFrom);"));
+        assert!(msg.contains("more rows"), "{msg}");
+    }
+}

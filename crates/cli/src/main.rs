@@ -1,0 +1,47 @@
+//! The `tdb` interactive shell. See [`tdb_cli::Session`] for the command
+//! surface (`\help` inside the shell).
+
+use std::io::{BufRead, Write};
+use tdb_cli::{LineResult, Session, HELP};
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("tdb-cli-data"));
+    let mut session = match Session::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to open catalog at {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    println!("tdb — temporal database shell (catalog: {})", dir.display());
+    println!("{HELP}");
+
+    let stdin = std::io::stdin();
+    let mut continuation = false;
+    loop {
+        print!("{}", if continuation { "...> " } else { "tdb> " });
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        match session.feed(&line) {
+            LineResult::Output(out) => {
+                continuation = false;
+                if !out.is_empty() {
+                    println!("{out}");
+                }
+            }
+            LineResult::Continue => continuation = true,
+            LineResult::Quit => break,
+        }
+    }
+}

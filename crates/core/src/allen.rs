@@ -1,0 +1,296 @@
+//! Allen's thirteen elementary temporal relationships (paper Figure 2).
+//!
+//! The paper lists seven operators (`equal`, `meets`, `starts`, `finishes`,
+//! `during`, `overlaps`, `before`) plus the six inverses, and stresses that
+//! they are "just syntactic sugar" for explicit conjunctions of timestamp
+//! constraints. [`AllenRelation::classify`] computes the unique relationship
+//! holding between two periods; the thirteen relations partition the space of
+//! interval pairs (validated by property test).
+
+use crate::period::Period;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of Allen's thirteen elementary interval relationships.
+///
+/// The first seven are the paper's Figure 2 rows; the remaining six are the
+/// inverses of the non-symmetric rows (`equal` is its own inverse).
+///
+/// ```
+/// use tdb_core::{AllenRelation, Period};
+///
+/// let x = Period::new(0, 5)?;
+/// let y = Period::new(3, 8)?;
+/// assert_eq!(AllenRelation::classify(&x, &y), AllenRelation::Overlaps);
+/// assert_eq!(AllenRelation::classify(&y, &x), AllenRelation::OverlappedBy);
+/// assert!(AllenRelation::Overlaps.holds(&x, &y));
+/// # Ok::<(), tdb_core::TdbError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AllenRelation {
+    /// `X.TS = Y.TS ∧ X.TE = Y.TE`
+    Equal,
+    /// `X.TE = Y.TS`
+    Meets,
+    /// `X.TS = Y.TS ∧ X.TE < Y.TE`
+    Starts,
+    /// `X.TE = Y.TE ∧ X.TS > Y.TS`
+    Finishes,
+    /// `X.TS > Y.TS ∧ X.TE < Y.TE`
+    During,
+    /// `X.TS < Y.TS ∧ X.TE > Y.TS ∧ X.TE < Y.TE`
+    Overlaps,
+    /// `X.TE < Y.TS`
+    Before,
+    /// inverse of [`AllenRelation::Meets`]: `Y.TE = X.TS`
+    MetBy,
+    /// inverse of [`AllenRelation::Starts`]: `Y starts X`
+    StartedBy,
+    /// inverse of [`AllenRelation::Finishes`]: `Y finishes X`
+    FinishedBy,
+    /// inverse of [`AllenRelation::During`]: `Y during X` — X *contains* Y
+    Contains,
+    /// inverse of [`AllenRelation::Overlaps`]: `Y overlaps X`
+    OverlappedBy,
+    /// inverse of [`AllenRelation::Before`]: `Y before X`
+    After,
+}
+
+/// All thirteen relations, in a stable order (paper rows first, then
+/// inverses).
+pub const ALL_RELATIONS: [AllenRelation; 13] = [
+    AllenRelation::Equal,
+    AllenRelation::Meets,
+    AllenRelation::Starts,
+    AllenRelation::Finishes,
+    AllenRelation::During,
+    AllenRelation::Overlaps,
+    AllenRelation::Before,
+    AllenRelation::MetBy,
+    AllenRelation::StartedBy,
+    AllenRelation::FinishedBy,
+    AllenRelation::Contains,
+    AllenRelation::OverlappedBy,
+    AllenRelation::After,
+];
+
+impl AllenRelation {
+    /// Classify the unique relationship `x <rel> y` between two periods.
+    ///
+    /// Because the thirteen relations partition the space of interval pairs,
+    /// exactly one always holds.
+    pub fn classify(x: &Period, y: &Period) -> AllenRelation {
+        use std::cmp::Ordering::*;
+        match (x.start().cmp(&y.start()), x.end().cmp(&y.end())) {
+            (Equal, Equal) => AllenRelation::Equal,
+            (Equal, Less) => AllenRelation::Starts,
+            (Equal, Greater) => AllenRelation::StartedBy,
+            (Greater, Equal) => AllenRelation::Finishes,
+            (Less, Equal) => AllenRelation::FinishedBy,
+            (Greater, Less) => AllenRelation::During,
+            (Less, Greater) => AllenRelation::Contains,
+            (Less, Less) => match x.end().cmp(&y.start()) {
+                Less => AllenRelation::Before,
+                Equal => AllenRelation::Meets,
+                Greater => AllenRelation::Overlaps,
+            },
+            (Greater, Greater) => match y.end().cmp(&x.start()) {
+                Less => AllenRelation::After,
+                Equal => AllenRelation::MetBy,
+                Greater => AllenRelation::OverlappedBy,
+            },
+        }
+    }
+
+    /// Evaluate this relation as a predicate on `(x, y)`.
+    pub fn holds(self, x: &Period, y: &Period) -> bool {
+        match self {
+            AllenRelation::Equal => x.equal(y),
+            AllenRelation::Meets => x.meets(y),
+            AllenRelation::Starts => x.starts(y),
+            AllenRelation::Finishes => x.finishes(y),
+            AllenRelation::During => y.contains(x),
+            AllenRelation::Overlaps => x.allen_overlaps(y),
+            AllenRelation::Before => x.before(y),
+            AllenRelation::MetBy => y.meets(x),
+            AllenRelation::StartedBy => y.starts(x),
+            AllenRelation::FinishedBy => y.finishes(x),
+            AllenRelation::Contains => x.contains(y),
+            AllenRelation::OverlappedBy => y.allen_overlaps(x),
+            AllenRelation::After => y.before(x),
+        }
+    }
+
+    /// The inverse relationship: `x rel y ⇔ y rel.inverse() x`.
+    pub fn inverse(self) -> AllenRelation {
+        match self {
+            AllenRelation::Equal => AllenRelation::Equal,
+            AllenRelation::Meets => AllenRelation::MetBy,
+            AllenRelation::MetBy => AllenRelation::Meets,
+            AllenRelation::Starts => AllenRelation::StartedBy,
+            AllenRelation::StartedBy => AllenRelation::Starts,
+            AllenRelation::Finishes => AllenRelation::FinishedBy,
+            AllenRelation::FinishedBy => AllenRelation::Finishes,
+            AllenRelation::During => AllenRelation::Contains,
+            AllenRelation::Contains => AllenRelation::During,
+            AllenRelation::Overlaps => AllenRelation::OverlappedBy,
+            AllenRelation::OverlappedBy => AllenRelation::Overlaps,
+            AllenRelation::Before => AllenRelation::After,
+            AllenRelation::After => AllenRelation::Before,
+        }
+    }
+
+    /// Is this an "inequality-temporal" operator in the paper's sense
+    /// (Section 4.2): its explicit constraints are inequalities only, no
+    /// equalities between timestamps?
+    pub fn is_inequality_only(self) -> bool {
+        matches!(
+            self,
+            AllenRelation::During
+                | AllenRelation::Contains
+                | AllenRelation::Overlaps
+                | AllenRelation::OverlappedBy
+                | AllenRelation::Before
+                | AllenRelation::After
+        )
+    }
+
+    /// The operator's name as used in query text.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllenRelation::Equal => "equal",
+            AllenRelation::Meets => "meets",
+            AllenRelation::Starts => "starts",
+            AllenRelation::Finishes => "finishes",
+            AllenRelation::During => "during",
+            AllenRelation::Overlaps => "overlaps",
+            AllenRelation::Before => "before",
+            AllenRelation::MetBy => "met-by",
+            AllenRelation::StartedBy => "started-by",
+            AllenRelation::FinishedBy => "finished-by",
+            AllenRelation::Contains => "contains",
+            AllenRelation::OverlappedBy => "overlapped-by",
+            AllenRelation::After => "after",
+        }
+    }
+}
+
+impl fmt::Display for AllenRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(s: i64, e: i64) -> Period {
+        Period::new(s, e).unwrap()
+    }
+
+    #[test]
+    fn classify_matches_figure_2_examples() {
+        assert_eq!(
+            AllenRelation::classify(&p(0, 5), &p(0, 5)),
+            AllenRelation::Equal
+        );
+        assert_eq!(
+            AllenRelation::classify(&p(0, 3), &p(3, 7)),
+            AllenRelation::Meets
+        );
+        assert_eq!(
+            AllenRelation::classify(&p(0, 3), &p(0, 7)),
+            AllenRelation::Starts
+        );
+        assert_eq!(
+            AllenRelation::classify(&p(4, 7), &p(0, 7)),
+            AllenRelation::Finishes
+        );
+        assert_eq!(
+            AllenRelation::classify(&p(2, 5), &p(0, 7)),
+            AllenRelation::During
+        );
+        assert_eq!(
+            AllenRelation::classify(&p(0, 4), &p(2, 7)),
+            AllenRelation::Overlaps
+        );
+        assert_eq!(
+            AllenRelation::classify(&p(0, 2), &p(4, 7)),
+            AllenRelation::Before
+        );
+    }
+
+    #[test]
+    fn classify_inverse_rows() {
+        assert_eq!(
+            AllenRelation::classify(&p(3, 7), &p(0, 3)),
+            AllenRelation::MetBy
+        );
+        assert_eq!(
+            AllenRelation::classify(&p(0, 7), &p(0, 3)),
+            AllenRelation::StartedBy
+        );
+        assert_eq!(
+            AllenRelation::classify(&p(0, 7), &p(4, 7)),
+            AllenRelation::FinishedBy
+        );
+        assert_eq!(
+            AllenRelation::classify(&p(0, 7), &p(2, 5)),
+            AllenRelation::Contains
+        );
+        assert_eq!(
+            AllenRelation::classify(&p(2, 7), &p(0, 4)),
+            AllenRelation::OverlappedBy
+        );
+        assert_eq!(
+            AllenRelation::classify(&p(4, 7), &p(0, 2)),
+            AllenRelation::After
+        );
+    }
+
+    #[test]
+    fn inverse_is_an_involution() {
+        for r in ALL_RELATIONS {
+            assert_eq!(r.inverse().inverse(), r);
+        }
+    }
+
+    #[test]
+    fn inequality_only_set() {
+        let ineq: Vec<_> = ALL_RELATIONS
+            .into_iter()
+            .filter(|r| r.is_inequality_only())
+            .collect();
+        assert_eq!(ineq.len(), 6);
+        assert!(ineq.contains(&AllenRelation::During));
+        assert!(!ineq.contains(&AllenRelation::Meets));
+    }
+
+    fn arb_period() -> impl Strategy<Value = Period> {
+        (-50i64..50, 1i64..30).prop_map(|(s, d)| p(s, s + d))
+    }
+
+    proptest! {
+        /// Figure 2 reproduction: the 13 relations partition the space —
+        /// exactly one holds for any pair of periods, and it is the one
+        /// `classify` returns.
+        #[test]
+        fn relations_partition_pairs(x in arb_period(), y in arb_period()) {
+            let holding: Vec<_> = ALL_RELATIONS
+                .into_iter()
+                .filter(|r| r.holds(&x, &y))
+                .collect();
+            prop_assert_eq!(holding.len(), 1, "x={} y={}", x, y);
+            prop_assert_eq!(holding[0], AllenRelation::classify(&x, &y));
+        }
+
+        /// `x rel y ⇔ y rel.inverse() x`.
+        #[test]
+        fn inverse_swaps_operands(x in arb_period(), y in arb_period()) {
+            let r = AllenRelation::classify(&x, &y);
+            prop_assert_eq!(AllenRelation::classify(&y, &x), r.inverse());
+        }
+    }
+}

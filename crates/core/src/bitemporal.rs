@@ -1,0 +1,331 @@
+//! Bitemporal support: transaction time and rollback (paper §6).
+//!
+//! "In the TQuel data model, two other temporal attributes
+//! (TransactionStart and TransactionStop) can be augmented to relational
+//! tables to capture the 'rollback' capability. ... We are extending our
+//! data model to incorporate these features." This module is that
+//! extension: a [`BitemporalTuple`] carries both a *valid-time* lifespan
+//! (when the fact held in the modeled world) and a *transaction-time*
+//! lifespan (when the database believed it), and a [`BitemporalTable`] is
+//! an append-only log supporting `as_of` rollback — reconstructing the
+//! valid-time relation exactly as it was recorded at any past transaction
+//! time.
+//!
+//! Transaction-time semantics are the standard ones: inserting a fact at
+//! transaction time `t` opens its transaction period `[t, ∞)`; logically
+//! deleting it at `t'` closes the period to `[t, t')`. Rows are never
+//! physically removed, so every past database state remains answerable.
+
+use crate::error::{TdbError, TdbResult};
+use crate::period::Period;
+use crate::time::TimePoint;
+use crate::tuple::{Temporal, TsTuple};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tuple with both valid time and transaction time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitemporalTuple {
+    /// Surrogate (object identity).
+    pub surrogate: Value,
+    /// Time-varying attribute value.
+    pub value: Value,
+    /// Valid-time lifespan `[ValidFrom, ValidTo)`.
+    pub valid: Period,
+    /// Transaction time at which this version was recorded (inclusive).
+    pub tx_start: TimePoint,
+    /// Transaction time at which this version was superseded (exclusive);
+    /// [`TimePoint::MAX`] while current.
+    pub tx_stop: TimePoint,
+}
+
+impl BitemporalTuple {
+    /// Is this version still believed (never logically deleted)?
+    pub fn is_current(&self) -> bool {
+        self.tx_stop == TimePoint::MAX
+    }
+
+    /// Was this version believed at transaction time `tx`?
+    pub fn believed_at(&self, tx: TimePoint) -> bool {
+        self.tx_start <= tx && tx < self.tx_stop
+    }
+
+    /// Project away transaction time, yielding the valid-time tuple.
+    pub fn to_valid_time(&self) -> TsTuple {
+        TsTuple {
+            surrogate: self.surrogate.clone(),
+            value: self.value.clone(),
+            period: self.valid,
+        }
+    }
+}
+
+impl Temporal for BitemporalTuple {
+    fn period(&self) -> Period {
+        self.valid
+    }
+}
+
+impl fmt::Display for BitemporalTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "⟨{}, {}, v:{}, tx:[{}, {})⟩",
+            self.surrogate, self.value, self.valid, self.tx_start, self.tx_stop
+        )
+    }
+}
+
+/// An append-only bitemporal table with monotone transaction time.
+///
+/// ```
+/// use tdb_core::{BitemporalTable, Period, TimePoint};
+///
+/// let mut t = BitemporalTable::new();
+/// t.insert("Smith", "Assistant", Period::new(0, 5)?, TimePoint(100))?;
+/// // Later we learn the period was wrong; correct it at tx 200.
+/// t.update_where(
+///     TimePoint(200),
+///     |r| r.surrogate == "Smith".into(),
+///     |r| tdb_core::BitemporalTuple { valid: Period::new(0, 6).unwrap(), ..r.clone() },
+/// )?;
+/// assert_eq!(t.as_of(TimePoint(150))[0].period, Period::new(0, 5)?); // rollback
+/// assert_eq!(t.current()[0].period, Period::new(0, 6)?);
+/// # Ok::<(), tdb_core::TdbError>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BitemporalTable {
+    rows: Vec<BitemporalTuple>,
+    /// Latest transaction time used, to enforce monotonicity.
+    last_tx: Option<TimePoint>,
+}
+
+impl BitemporalTable {
+    /// An empty table.
+    pub fn new() -> BitemporalTable {
+        BitemporalTable::default()
+    }
+
+    /// All versions ever recorded (the full log).
+    pub fn log(&self) -> &[BitemporalTuple] {
+        &self.rows
+    }
+
+    fn advance_tx(&mut self, tx: TimePoint) -> TdbResult<()> {
+        if tx == TimePoint::MAX {
+            return Err(TdbError::Eval(
+                "transaction time MAX is reserved for open periods".into(),
+            ));
+        }
+        if let Some(last) = self.last_tx {
+            if tx < last {
+                return Err(TdbError::OrderViolation {
+                    context: "BitemporalTable",
+                    detail: format!("transaction time regressed from {last} to {tx}"),
+                });
+            }
+        }
+        self.last_tx = Some(tx);
+        Ok(())
+    }
+
+    /// Record a fact at transaction time `tx`.
+    pub fn insert(
+        &mut self,
+        surrogate: impl Into<Value>,
+        value: impl Into<Value>,
+        valid: Period,
+        tx: TimePoint,
+    ) -> TdbResult<()> {
+        self.advance_tx(tx)?;
+        self.rows.push(BitemporalTuple {
+            surrogate: surrogate.into(),
+            value: value.into(),
+            valid,
+            tx_start: tx,
+            tx_stop: TimePoint::MAX,
+        });
+        Ok(())
+    }
+
+    /// Logically delete, at transaction time `tx`, every current version
+    /// matching `pred`. Returns how many versions were closed.
+    pub fn delete_where(
+        &mut self,
+        tx: TimePoint,
+        mut pred: impl FnMut(&BitemporalTuple) -> bool,
+    ) -> TdbResult<usize> {
+        self.advance_tx(tx)?;
+        let mut closed = 0;
+        for row in &mut self.rows {
+            if row.is_current() && pred(row) {
+                row.tx_stop = tx;
+                closed += 1;
+            }
+        }
+        Ok(closed)
+    }
+
+    /// Correct a fact: close the old version and record the new one in a
+    /// single transaction (the classic bitemporal update).
+    pub fn update_where(
+        &mut self,
+        tx: TimePoint,
+        mut pred: impl FnMut(&BitemporalTuple) -> bool,
+        mut replace: impl FnMut(&BitemporalTuple) -> BitemporalTuple,
+    ) -> TdbResult<usize> {
+        self.advance_tx(tx)?;
+        let mut replacements = Vec::new();
+        for row in &mut self.rows {
+            if row.is_current() && pred(row) {
+                row.tx_stop = tx;
+                let mut new_row = replace(row);
+                new_row.tx_start = tx;
+                new_row.tx_stop = TimePoint::MAX;
+                replacements.push(new_row);
+            }
+        }
+        let n = replacements.len();
+        self.rows.extend(replacements);
+        Ok(n)
+    }
+
+    /// The rollback operation of §6: the valid-time relation exactly as the
+    /// database recorded it at transaction time `tx`.
+    pub fn as_of(&self, tx: TimePoint) -> Vec<TsTuple> {
+        self.rows
+            .iter()
+            .filter(|r| r.believed_at(tx))
+            .map(BitemporalTuple::to_valid_time)
+            .collect()
+    }
+
+    /// The currently believed valid-time relation.
+    pub fn current(&self) -> Vec<TsTuple> {
+        self.rows
+            .iter()
+            .filter(|r| r.is_current())
+            .map(BitemporalTuple::to_valid_time)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: i64, e: i64) -> Period {
+        Period::new(s, e).unwrap()
+    }
+
+    #[test]
+    fn insert_and_current() {
+        let mut t = BitemporalTable::new();
+        t.insert("Smith", "Assistant", p(0, 5), TimePoint(100)).unwrap();
+        t.insert("Smith", "Associate", p(5, 9), TimePoint(101)).unwrap();
+        assert_eq!(t.current().len(), 2);
+        assert!(t.log().iter().all(|r| r.is_current()));
+    }
+
+    #[test]
+    fn rollback_reconstructs_past_states() {
+        let mut t = BitemporalTable::new();
+        // tx 100: believe Smith was Assistant [0,5).
+        t.insert("Smith", "Assistant", p(0, 5), TimePoint(100)).unwrap();
+        // tx 200: discover the period was wrong; correct to [0,6).
+        t.update_where(
+            TimePoint(200),
+            |r| r.surrogate == Value::str("Smith"),
+            |r| BitemporalTuple {
+                valid: p(0, 6),
+                ..r.clone()
+            },
+        )
+        .unwrap();
+
+        // Before anything was recorded: empty.
+        assert!(t.as_of(TimePoint(50)).is_empty());
+        // Between tx 100 and 200: the original belief.
+        let v = t.as_of(TimePoint(150));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].period, p(0, 5));
+        // After the correction: the new belief, exactly once.
+        let v = t.as_of(TimePoint(250));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].period, p(0, 6));
+        assert_eq!(t.current(), v);
+        // The log keeps both versions.
+        assert_eq!(t.log().len(), 2);
+    }
+
+    #[test]
+    fn logical_delete_is_reversible_history() {
+        let mut t = BitemporalTable::new();
+        t.insert("S", "A", p(0, 5), TimePoint(10)).unwrap();
+        let closed = t
+            .delete_where(TimePoint(20), |r| r.surrogate == Value::str("S"))
+            .unwrap();
+        assert_eq!(closed, 1);
+        assert!(t.current().is_empty());
+        assert_eq!(t.as_of(TimePoint(15)).len(), 1, "still visible in the past");
+        assert!(t.as_of(TimePoint(20)).is_empty(), "half-open tx periods");
+    }
+
+    #[test]
+    fn transaction_time_must_be_monotone() {
+        let mut t = BitemporalTable::new();
+        t.insert("S", "A", p(0, 5), TimePoint(10)).unwrap();
+        assert!(matches!(
+            t.insert("S", "B", p(5, 9), TimePoint(5)),
+            Err(TdbError::OrderViolation { .. })
+        ));
+        assert!(t.insert("S", "B", p(5, 9), TimePoint::MAX).is_err());
+        // Equal transaction times are fine (one transaction, many rows).
+        t.insert("S", "B", p(5, 9), TimePoint(10)).unwrap();
+    }
+
+    #[test]
+    fn delete_only_touches_matching_current_rows() {
+        let mut t = BitemporalTable::new();
+        t.insert("A", "x", p(0, 5), TimePoint(1)).unwrap();
+        t.insert("B", "x", p(0, 5), TimePoint(1)).unwrap();
+        t.delete_where(TimePoint(2), |r| r.surrogate == Value::str("A"))
+            .unwrap();
+        // Deleting A again is a no-op: it is no longer current.
+        let n = t
+            .delete_where(TimePoint(3), |r| r.surrogate == Value::str("A"))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(t.current().len(), 1);
+    }
+
+    #[test]
+    fn as_of_streams_compose_with_temporal_operators() {
+        // The rollback output is a plain valid-time relation: feed it to a
+        // §4 operator.
+        let mut t = BitemporalTable::new();
+        t.insert("S1", "v", p(0, 10), TimePoint(1)).unwrap();
+        t.insert("S2", "v", p(2, 6), TimePoint(1)).unwrap();
+        let snapshot = t.as_of(TimePoint(1));
+        let contained: Vec<_> = snapshot
+            .iter()
+            .filter(|x| snapshot.iter().any(|y| y.period.contains(&x.period)))
+            .collect();
+        assert_eq!(contained.len(), 1);
+        assert_eq!(contained[0].surrogate, Value::str("S2"));
+    }
+
+    #[test]
+    fn display() {
+        let r = BitemporalTuple {
+            surrogate: Value::str("S"),
+            value: Value::str("v"),
+            valid: p(0, 5),
+            tx_start: TimePoint(9),
+            tx_stop: TimePoint::MAX,
+        };
+        let s = r.to_string();
+        assert!(s.contains("tx:[t9, now+)"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Sort orderings over temporal streams.
+//!
+//! The central theme of Section 4 of the paper: *which* timestamp attribute a
+//! stream is sorted on, and in which direction, determines how much local
+//! workspace a stream operator needs — Tables 1–3 are indexed by exactly
+//! these orderings. [`StreamOrder`] captures a primary (and optional
+//! secondary) sort key over the temporal attributes and produces comparators
+//! for [`Temporal`] items.
+
+use crate::time::TimePoint;
+use crate::tuple::Temporal;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Which temporal attribute a stream is sorted on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SortKey {
+    /// Sort on `ValidFrom` (TS).
+    ValidFrom,
+    /// Sort on `ValidTo` (TE).
+    ValidTo,
+}
+
+impl SortKey {
+    /// Extract this key from a temporal item.
+    #[inline]
+    pub fn extract<T: Temporal>(self, t: &T) -> TimePoint {
+        match self {
+            SortKey::ValidFrom => t.ts(),
+            SortKey::ValidTo => t.te(),
+        }
+    }
+
+    /// The other key.
+    pub fn other(self) -> SortKey {
+        match self {
+            SortKey::ValidFrom => SortKey::ValidTo,
+            SortKey::ValidTo => SortKey::ValidFrom,
+        }
+    }
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Ascending (the paper's `↑`).
+    Asc,
+    /// Descending (the paper's `↓`).
+    Desc,
+}
+
+impl Direction {
+    /// Apply this direction to an [`Ordering`].
+    #[inline]
+    pub fn apply(self, o: Ordering) -> Ordering {
+        match self {
+            Direction::Asc => o,
+            Direction::Desc => o.reverse(),
+        }
+    }
+
+    /// The opposite direction.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Asc => Direction::Desc,
+            Direction::Desc => Direction::Asc,
+        }
+    }
+}
+
+/// One sort criterion: a key and a direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SortSpec {
+    /// The temporal attribute sorted on.
+    pub key: SortKey,
+    /// Ascending or descending.
+    pub direction: Direction,
+}
+
+impl SortSpec {
+    /// `ValidFrom ↑`
+    pub const TS_ASC: SortSpec = SortSpec {
+        key: SortKey::ValidFrom,
+        direction: Direction::Asc,
+    };
+    /// `ValidFrom ↓`
+    pub const TS_DESC: SortSpec = SortSpec {
+        key: SortKey::ValidFrom,
+        direction: Direction::Desc,
+    };
+    /// `ValidTo ↑`
+    pub const TE_ASC: SortSpec = SortSpec {
+        key: SortKey::ValidTo,
+        direction: Direction::Asc,
+    };
+    /// `ValidTo ↓`
+    pub const TE_DESC: SortSpec = SortSpec {
+        key: SortKey::ValidTo,
+        direction: Direction::Desc,
+    };
+
+    /// Compare two temporal items under this criterion alone.
+    #[inline]
+    pub fn compare<T: Temporal>(&self, a: &T, b: &T) -> Ordering {
+        self.direction
+            .apply(self.key.extract(a).cmp(&self.key.extract(b)))
+    }
+
+    /// The mirror criterion (paper Section 4.2.1: "sorting both relations on
+    /// ValidTo in descending order has the same effect as sorting them on
+    /// ValidFrom in ascending order" — the mirror flips key *and* direction).
+    pub fn mirror(self) -> SortSpec {
+        SortSpec {
+            key: self.key.other(),
+            direction: self.direction.reverse(),
+        }
+    }
+}
+
+impl fmt::Display for SortSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let key = match self.key {
+            SortKey::ValidFrom => "ValidFrom",
+            SortKey::ValidTo => "ValidTo",
+        };
+        let dir = match self.direction {
+            Direction::Asc => "↑",
+            Direction::Desc => "↓",
+        };
+        write!(f, "{key} {dir}")
+    }
+}
+
+/// The declared ordering of a stream: a primary criterion plus an optional
+/// secondary tie-breaker.
+///
+/// The paper's Section 4.2.3 self-semijoin, for instance, requires primary
+/// `ValidFrom ↑` with secondary `ValidTo ↑`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamOrder {
+    /// Primary sort criterion.
+    pub primary: SortSpec,
+    /// Optional secondary tie-breaker.
+    pub secondary: Option<SortSpec>,
+}
+
+impl StreamOrder {
+    /// A single-criterion ordering.
+    pub const fn by(primary: SortSpec) -> StreamOrder {
+        StreamOrder {
+            primary,
+            secondary: None,
+        }
+    }
+
+    /// A two-criterion ordering.
+    pub const fn by_then(primary: SortSpec, secondary: SortSpec) -> StreamOrder {
+        StreamOrder {
+            primary,
+            secondary: Some(secondary),
+        }
+    }
+
+    /// `ValidFrom ↑` (no tie-breaker).
+    pub const TS_ASC: StreamOrder = StreamOrder::by(SortSpec::TS_ASC);
+    /// `ValidTo ↑` (no tie-breaker).
+    pub const TE_ASC: StreamOrder = StreamOrder::by(SortSpec::TE_ASC);
+    /// `ValidFrom ↓`.
+    pub const TS_DESC: StreamOrder = StreamOrder::by(SortSpec::TS_DESC);
+    /// `ValidTo ↓`.
+    pub const TE_DESC: StreamOrder = StreamOrder::by(SortSpec::TE_DESC);
+    /// `ValidFrom ↑` then `ValidTo ↑` (Section 4.2.3 self-semijoin order).
+    pub const TS_ASC_TE_ASC: StreamOrder =
+        StreamOrder::by_then(SortSpec::TS_ASC, SortSpec::TE_ASC);
+
+    /// Compare two temporal items under the full ordering.
+    #[inline]
+    pub fn compare<T: Temporal>(&self, a: &T, b: &T) -> Ordering {
+        let primary = self.primary.compare(a, b);
+        match (primary, self.secondary) {
+            (Ordering::Equal, Some(sec)) => sec.compare(a, b),
+            _ => primary,
+        }
+    }
+
+    /// Does a stream sorted `self` *satisfy* a requirement of `required`?
+    ///
+    /// True when the primary criteria agree and, if the requirement names a
+    /// secondary criterion, this ordering names the same one.
+    pub fn satisfies(&self, required: &StreamOrder) -> bool {
+        self.primary == required.primary
+            && match required.secondary {
+                None => true,
+                Some(sec) => self.secondary == Some(sec),
+            }
+    }
+
+    /// Verify that `items` is sorted under this ordering; returns the index
+    /// of the first violation, if any.
+    pub fn first_violation<T: Temporal>(&self, items: &[T]) -> Option<usize> {
+        items
+            .windows(2)
+            .position(|w| self.compare(&w[0], &w[1]) == Ordering::Greater)
+            .map(|i| i + 1)
+    }
+
+    /// Sort a slice in place under this ordering (stable).
+    pub fn sort<T: Temporal>(&self, items: &mut [T]) {
+        items.sort_by(|a, b| self.compare(a, b));
+    }
+}
+
+impl fmt::Display for StreamOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.primary)?;
+        if let Some(sec) = self.secondary {
+            write!(f, ", then {sec}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::TsTuple;
+
+    fn iv(s: i64, e: i64) -> TsTuple {
+        TsTuple::interval(s, e).unwrap()
+    }
+
+    #[test]
+    fn sort_spec_compares_on_chosen_key() {
+        let a = iv(0, 10);
+        let b = iv(2, 5);
+        assert_eq!(SortSpec::TS_ASC.compare(&a, &b), Ordering::Less);
+        assert_eq!(SortSpec::TE_ASC.compare(&a, &b), Ordering::Greater);
+        assert_eq!(SortSpec::TS_DESC.compare(&a, &b), Ordering::Greater);
+    }
+
+    #[test]
+    fn mirror_flips_key_and_direction() {
+        assert_eq!(SortSpec::TS_ASC.mirror(), SortSpec::TE_DESC);
+        assert_eq!(SortSpec::TE_DESC.mirror(), SortSpec::TS_ASC);
+        assert_eq!(SortSpec::TE_ASC.mirror(), SortSpec::TS_DESC);
+    }
+
+    #[test]
+    fn stream_order_uses_secondary_on_ties() {
+        let a = iv(0, 10);
+        let b = iv(0, 5);
+        assert_eq!(StreamOrder::TS_ASC.compare(&a, &b), Ordering::Equal);
+        assert_eq!(
+            StreamOrder::TS_ASC_TE_ASC.compare(&a, &b),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn satisfies_requirements() {
+        assert!(StreamOrder::TS_ASC_TE_ASC.satisfies(&StreamOrder::TS_ASC));
+        assert!(StreamOrder::TS_ASC_TE_ASC.satisfies(&StreamOrder::TS_ASC_TE_ASC));
+        assert!(!StreamOrder::TS_ASC.satisfies(&StreamOrder::TS_ASC_TE_ASC));
+        assert!(!StreamOrder::TE_ASC.satisfies(&StreamOrder::TS_ASC));
+    }
+
+    #[test]
+    fn violation_detection_and_sorting() {
+        let mut v = vec![iv(3, 4), iv(1, 9), iv(2, 3)];
+        assert_eq!(StreamOrder::TS_ASC.first_violation(&v), Some(1));
+        StreamOrder::TS_ASC.sort(&mut v);
+        assert_eq!(StreamOrder::TS_ASC.first_violation(&v), None);
+        assert_eq!(v[0].ts(), TimePoint(1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(StreamOrder::TS_ASC.to_string(), "ValidFrom ↑");
+        assert_eq!(
+            StreamOrder::TS_ASC_TE_ASC.to_string(),
+            "ValidFrom ↑, then ValidTo ↑"
+        );
+        assert_eq!(StreamOrder::TE_DESC.to_string(), "ValidTo ↓");
+    }
+}

@@ -1,0 +1,294 @@
+//! Half-open lifespans `[ValidFrom, ValidTo)`.
+//!
+//! Paper Section 2: a temporal data value `⟨S, V, ValidFrom, ValidTo⟩`
+//! carries the lifespan `[ValidFrom, ValidTo)` during which the object `S`
+//! holds value `V` (a stepwise-constant interpolation, footnote 3), and the
+//! intra-tuple integrity constraint `ValidFrom < ValidTo` always holds.
+//!
+//! [`Period`] enforces that invariant at construction, so every downstream
+//! algorithm may rely on `start < end` — exactly the way the paper's
+//! garbage-collection proofs do.
+
+use crate::error::{TdbError, TdbResult};
+use crate::time::{TimeDelta, TimePoint};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A non-empty half-open interval `[start, end)` on the time axis.
+///
+/// Invariant: `start < end` (the paper's intra-tuple constraint
+/// `ValidFrom < ValidTo`). Construct with [`Period::new`], which rejects
+/// violations, or [`Period::new_unchecked`] in `debug_assert`-guarded hot
+/// paths.
+///
+/// ```
+/// use tdb_core::{Period, TimePoint};
+///
+/// let career = Period::new(0, 20)?;
+/// let associate = Period::new(5, 9)?;
+/// assert!(career.contains(&associate));          // strict "during"
+/// assert!(career.overlaps(&associate));          // general overlap
+/// assert!(associate.spans(TimePoint(5)));        // half-open: 5 is in
+/// assert!(!associate.spans(TimePoint(9)));       //             9 is out
+/// assert!(Period::new(9, 9).is_err());           // ValidFrom < ValidTo
+/// # Ok::<(), tdb_core::TdbError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Period {
+    start: TimePoint,
+    end: TimePoint,
+}
+
+impl Period {
+    /// Create a period, enforcing `start < end`.
+    pub fn new(start: impl Into<TimePoint>, end: impl Into<TimePoint>) -> TdbResult<Period> {
+        let (start, end) = (start.into(), end.into());
+        if start < end {
+            Ok(Period { start, end })
+        } else {
+            Err(TdbError::InvalidPeriod { start, end })
+        }
+    }
+
+    /// Create a period without the runtime check.
+    ///
+    /// Only checked in debug builds; callers must guarantee `start < end`.
+    #[inline]
+    pub fn new_unchecked(start: TimePoint, end: TimePoint) -> Period {
+        debug_assert!(start < end, "Period invariant violated: {start} >= {end}");
+        Period { start, end }
+    }
+
+    /// `ValidFrom` — the (inclusive) start of the lifespan. Abbreviated `TS`
+    /// in the paper.
+    #[inline]
+    pub const fn start(&self) -> TimePoint {
+        self.start
+    }
+
+    /// `ValidTo` — the (exclusive) end of the lifespan. Abbreviated `TE` in
+    /// the paper.
+    #[inline]
+    pub const fn end(&self) -> TimePoint {
+        self.end
+    }
+
+    /// The duration `end - start` (always strictly positive).
+    #[inline]
+    pub fn duration(&self) -> TimeDelta {
+        self.end - self.start
+    }
+
+    /// Does this lifespan *span* (contain) the time point `t`?
+    ///
+    /// Half-open semantics: `start ≤ t < end`. This is the test behind the
+    /// paper's state characterizations such as "X tuples whose lifespan span
+    /// y_b.ValidFrom" (Table 1, state (a)).
+    #[inline]
+    pub fn spans(&self, t: TimePoint) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Strict containment of `other` within `self`:
+    /// `self.TS < other.TS ∧ other.TE < self.TE`.
+    ///
+    /// This is the paper's Contain-join predicate (Section 4.2.1): "the
+    /// lifespan of X contains that of Y", i.e. *Y during X* in Figure 2.
+    #[inline]
+    pub fn contains(&self, other: &Period) -> bool {
+        self.start < other.start && other.end < self.end
+    }
+
+    /// Strict Allen *overlaps*: `self.TS < other.TS ∧ self.TE > other.TS ∧
+    /// self.TE < other.TE` (Figure 2, row 6).
+    #[inline]
+    pub fn allen_overlaps(&self, other: &Period) -> bool {
+        self.start < other.start && self.end > other.start && self.end < other.end
+    }
+
+    /// TQuel's general `overlap` (Snodgrass, used by the Superstar query;
+    /// paper footnote 6): the lifespans share at least one time point:
+    /// `self.TS < other.TE ∧ other.TS < self.TE`.
+    ///
+    /// Unlike [`Period::allen_overlaps`] this is symmetric and also covers
+    /// the *equal*, *starts*, *finishes* and *during* relationships.
+    #[inline]
+    pub fn overlaps(&self, other: &Period) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Allen *before*: `self.TE < other.TS` (Figure 2, row 7).
+    #[inline]
+    pub fn before(&self, other: &Period) -> bool {
+        self.end < other.start
+    }
+
+    /// Allen *meets*: `self.TE = other.TS` (Figure 2, row 2).
+    #[inline]
+    pub fn meets(&self, other: &Period) -> bool {
+        self.end == other.start
+    }
+
+    /// Allen *starts*: `self.TS = other.TS ∧ self.TE < other.TE`
+    /// (Figure 2, row 3).
+    #[inline]
+    pub fn starts(&self, other: &Period) -> bool {
+        self.start == other.start && self.end < other.end
+    }
+
+    /// Allen *finishes*: `self.TE = other.TE ∧ self.TS > other.TS`
+    /// (Figure 2, row 4).
+    #[inline]
+    pub fn finishes(&self, other: &Period) -> bool {
+        self.end == other.end && self.start > other.start
+    }
+
+    /// Allen *equal*: identical lifespans (Figure 2, row 1).
+    #[inline]
+    pub fn equal(&self, other: &Period) -> bool {
+        self == other
+    }
+
+    /// The intersection of two lifespans, if non-empty.
+    pub fn intersection(&self, other: &Period) -> Option<Period> {
+        let start = self.start.max_of(other.start);
+        let end = self.end.min_of(other.end);
+        (start < end).then_some(Period { start, end })
+    }
+
+    /// The smallest period covering both lifespans.
+    pub fn hull(&self, other: &Period) -> Period {
+        Period {
+            start: self.start.min_of(other.start),
+            end: self.end.max_of(other.end),
+        }
+    }
+
+    /// The gap `[self.TE, other.TS)` between this period and a strictly
+    /// later one, if it is non-empty.
+    ///
+    /// Section 5 uses this derived period: for a continuously employed
+    /// faculty member, `[f1.TE, f2.TS)` is exactly the time spent at the
+    /// Associate rank.
+    pub fn gap_until(&self, other: &Period) -> Option<Period> {
+        (self.end < other.start).then_some(Period {
+            start: self.end,
+            end: other.start,
+        })
+    }
+}
+
+impl fmt::Display for Period {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: i64, e: i64) -> Period {
+        Period::new(s, e).unwrap()
+    }
+
+    #[test]
+    fn construction_enforces_invariant() {
+        assert!(Period::new(1, 2).is_ok());
+        assert!(matches!(
+            Period::new(2, 2),
+            Err(TdbError::InvalidPeriod { .. })
+        ));
+        assert!(Period::new(3, 1).is_err());
+    }
+
+    #[test]
+    fn spans_is_half_open() {
+        let x = p(2, 5);
+        assert!(!x.spans(TimePoint(1)));
+        assert!(x.spans(TimePoint(2)));
+        assert!(x.spans(TimePoint(4)));
+        assert!(!x.spans(TimePoint(5)));
+    }
+
+    #[test]
+    fn contains_is_strict() {
+        let outer = p(0, 10);
+        assert!(outer.contains(&p(1, 9)));
+        // Shared endpoint on either side is *starts*/*finishes*, not during.
+        assert!(!outer.contains(&p(0, 9)));
+        assert!(!outer.contains(&p(1, 10)));
+        assert!(!outer.contains(&outer));
+        assert!(!p(1, 9).contains(&outer));
+    }
+
+    #[test]
+    fn allen_overlaps_is_strict_and_asymmetric() {
+        let x = p(0, 5);
+        let y = p(3, 8);
+        assert!(x.allen_overlaps(&y));
+        assert!(!y.allen_overlaps(&x));
+        // Merely touching (meets) is not overlapping.
+        assert!(!p(0, 3).allen_overlaps(&p(3, 8)));
+        // Containment is not Allen-overlap.
+        assert!(!p(0, 10).allen_overlaps(&p(3, 8)));
+    }
+
+    #[test]
+    fn general_overlap_is_symmetric_and_covers_containment() {
+        let x = p(0, 10);
+        let y = p(3, 8);
+        assert!(x.overlaps(&y) && y.overlaps(&x));
+        assert!(p(0, 5).overlaps(&p(3, 8)));
+        // meets-only does not share a point under half-open semantics.
+        assert!(!p(0, 3).overlaps(&p(3, 8)));
+        assert!(!p(0, 2).overlaps(&p(3, 8)));
+    }
+
+    #[test]
+    fn before_and_meets() {
+        assert!(p(0, 2).before(&p(3, 4)));
+        assert!(!p(0, 3).before(&p(3, 4))); // meets, not before
+        assert!(p(0, 3).meets(&p(3, 4)));
+        assert!(!p(0, 2).meets(&p(3, 4)));
+    }
+
+    #[test]
+    fn starts_finishes_equal() {
+        assert!(p(0, 3).starts(&p(0, 8)));
+        assert!(!p(0, 8).starts(&p(0, 3)));
+        assert!(p(5, 8).finishes(&p(0, 8)));
+        assert!(!p(0, 8).finishes(&p(5, 8)));
+        assert!(p(1, 2).equal(&p(1, 2)));
+    }
+
+    #[test]
+    fn intersection_and_hull() {
+        assert_eq!(p(0, 5).intersection(&p(3, 8)), Some(p(3, 5)));
+        assert_eq!(p(0, 3).intersection(&p(3, 8)), None);
+        assert_eq!(p(0, 5).hull(&p(3, 8)), p(0, 8));
+        assert_eq!(p(0, 2).hull(&p(6, 8)), p(0, 8));
+    }
+
+    #[test]
+    fn gap_until_yields_associate_period() {
+        // Assistant [0,4), Full [9,20) → Associate-time [4,9).
+        let assistant = p(0, 4);
+        let full = p(9, 20);
+        assert_eq!(assistant.gap_until(&full), Some(p(4, 9)));
+        // Contiguous promotion: no gap.
+        assert_eq!(p(0, 4).gap_until(&p(4, 9)), None);
+        assert_eq!(p(0, 4).gap_until(&p(2, 9)), None);
+    }
+
+    #[test]
+    fn duration_is_positive() {
+        assert_eq!(p(2, 9).duration(), TimeDelta(7));
+        assert!(p(0, 1).duration().is_positive());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(p(1, 4).to_string(), "[t1, t4)");
+    }
+}

@@ -1,0 +1,334 @@
+//! Relation schemas.
+//!
+//! A [`Schema`] names and types the columns of a relation; a
+//! [`TemporalSchema`] additionally designates which columns hold `ValidFrom`
+//! and `ValidTo` (paper Section 2: extended models "augment relations of the
+//! snapshot data model with several temporal attributes ... which store the
+//! relevant timestamps").
+
+use crate::error::{TdbError, TdbResult};
+use crate::period::Period;
+use crate::tuple::Row;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FieldType {
+    /// Booleans.
+    Bool,
+    /// 64-bit integers.
+    Int,
+    /// Time points.
+    Time,
+    /// Strings.
+    Str,
+}
+
+impl FieldType {
+    /// Does `v` inhabit this type (`Null` inhabits every type)?
+    pub fn admits(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (FieldType::Bool, Value::Bool(_))
+                | (FieldType::Int, Value::Int(_))
+                | (FieldType::Time, Value::Time(_))
+                | (FieldType::Str, Value::Str(_))
+        )
+    }
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FieldType::Bool => "bool",
+            FieldType::Int => "int",
+            FieldType::Time => "time",
+            FieldType::Str => "str",
+        })
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: FieldType,
+}
+
+impl Field {
+    /// Build a field.
+    pub fn new(name: impl Into<String>, ty: FieldType) -> Field {
+        Field {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Arc<Vec<Field>>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema {
+            fields: Arc::new(fields),
+        }
+    }
+
+    /// The columns, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Index of the column called `name`.
+    pub fn index_of(&self, name: &str) -> TdbResult<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| TdbError::Schema(format!("unknown column `{name}`")))
+    }
+
+    /// The field at `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Concatenate two schemas (join output schema), prefixing duplicated
+    /// names with nothing — callers that need disambiguation qualify names
+    /// up front (the algebra layer always does).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut fields = Vec::with_capacity(self.arity() + other.arity());
+        fields.extend_from_slice(&self.fields);
+        fields.extend_from_slice(&other.fields);
+        Schema::new(fields)
+    }
+
+    /// Project onto the given column indices.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+
+    /// Check that a row inhabits this schema.
+    pub fn check_row(&self, row: &Row) -> TdbResult<()> {
+        if row.arity() != self.arity() {
+            return Err(TdbError::Schema(format!(
+                "arity mismatch: row has {}, schema has {}",
+                row.arity(),
+                self.arity()
+            )));
+        }
+        for (i, f) in self.fields.iter().enumerate() {
+            if !f.ty.admits(row.get(i)) {
+                return Err(TdbError::Schema(format!(
+                    "column `{}` expects {} but row holds {}",
+                    f.name,
+                    f.ty,
+                    row.get(i)
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", fld.name, fld.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A schema with designated `ValidFrom` / `ValidTo` columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalSchema {
+    /// The underlying column list.
+    pub schema: Schema,
+    /// Index of the `ValidFrom` column (must have type [`FieldType::Time`]).
+    pub valid_from: usize,
+    /// Index of the `ValidTo` column (must have type [`FieldType::Time`]).
+    pub valid_to: usize,
+}
+
+impl TemporalSchema {
+    /// Build a temporal schema, validating the timestamp columns.
+    pub fn new(schema: Schema, valid_from: usize, valid_to: usize) -> TdbResult<TemporalSchema> {
+        for (label, idx) in [("ValidFrom", valid_from), ("ValidTo", valid_to)] {
+            let f = schema.fields().get(idx).ok_or_else(|| {
+                TdbError::Schema(format!("{label} index {idx} out of range"))
+            })?;
+            if f.ty != FieldType::Time {
+                return Err(TdbError::Schema(format!(
+                    "{label} column `{}` must have type time, found {}",
+                    f.name, f.ty
+                )));
+            }
+        }
+        if valid_from == valid_to {
+            return Err(TdbError::Schema(
+                "ValidFrom and ValidTo must be distinct columns".into(),
+            ));
+        }
+        Ok(TemporalSchema {
+            schema,
+            valid_from,
+            valid_to,
+        })
+    }
+
+    /// The paper's canonical Time-Sequence layout
+    /// `(S: str, V: str, ValidFrom: time, ValidTo: time)` with custom column
+    /// names, e.g. `Faculty(Name, Rank, ValidFrom, ValidTo)`.
+    pub fn time_sequence(surrogate: &str, attribute: &str) -> TemporalSchema {
+        TemporalSchema::new(
+            Schema::new(vec![
+                Field::new(surrogate, FieldType::Str),
+                Field::new(attribute, FieldType::Str),
+                Field::new("ValidFrom", FieldType::Time),
+                Field::new("ValidTo", FieldType::Time),
+            ]),
+            2,
+            3,
+        )
+        .expect("canonical layout is valid")
+    }
+
+    /// Extract the lifespan of a row under this schema.
+    pub fn period_of(&self, row: &Row) -> TdbResult<Period> {
+        let ts = row.get(self.valid_from).as_time().ok_or_else(|| {
+            TdbError::Schema(format!(
+                "ValidFrom column holds non-time value {}",
+                row.get(self.valid_from)
+            ))
+        })?;
+        let te = row.get(self.valid_to).as_time().ok_or_else(|| {
+            TdbError::Schema(format!(
+                "ValidTo column holds non-time value {}",
+                row.get(self.valid_to)
+            ))
+        })?;
+        Period::new(ts, te)
+    }
+
+    /// Check a row against the schema, including the period invariant.
+    pub fn check_row(&self, row: &Row) -> TdbResult<()> {
+        self.schema.check_row(row)?;
+        self.period_of(row)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimePoint;
+
+    fn faculty() -> TemporalSchema {
+        TemporalSchema::time_sequence("Name", "Rank")
+    }
+
+    fn smith_row() -> Row {
+        Row::new(vec![
+            Value::str("Smith"),
+            Value::str("Assistant"),
+            Value::Time(TimePoint(0)),
+            Value::Time(TimePoint(5)),
+        ])
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = faculty();
+        assert_eq!(s.schema.index_of("Rank").unwrap(), 1);
+        assert!(s.schema.index_of("Salary").is_err());
+    }
+
+    #[test]
+    fn row_checking_accepts_valid_rows() {
+        faculty().check_row(&smith_row()).unwrap();
+    }
+
+    #[test]
+    fn row_checking_rejects_arity_and_type_errors() {
+        let s = faculty();
+        assert!(s.schema.check_row(&Row::new(vec![Value::Int(1)])).is_err());
+        let bad_type = Row::new(vec![
+            Value::Int(1), // Name should be Str
+            Value::str("Assistant"),
+            Value::Time(TimePoint(0)),
+            Value::Time(TimePoint(5)),
+        ]);
+        assert!(s.schema.check_row(&bad_type).is_err());
+    }
+
+    #[test]
+    fn row_checking_rejects_inverted_period() {
+        let s = faculty();
+        let inverted = Row::new(vec![
+            Value::str("Smith"),
+            Value::str("Assistant"),
+            Value::Time(TimePoint(5)),
+            Value::Time(TimePoint(0)),
+        ]);
+        assert!(matches!(
+            s.check_row(&inverted),
+            Err(TdbError::InvalidPeriod { .. })
+        ));
+    }
+
+    #[test]
+    fn period_extraction() {
+        let s = faculty();
+        let p = s.period_of(&smith_row()).unwrap();
+        assert_eq!(p.start(), TimePoint(0));
+        assert_eq!(p.end(), TimePoint(5));
+    }
+
+    #[test]
+    fn temporal_schema_validates_timestamp_columns() {
+        let plain = Schema::new(vec![
+            Field::new("a", FieldType::Int),
+            Field::new("b", FieldType::Time),
+        ]);
+        assert!(TemporalSchema::new(plain.clone(), 0, 1).is_err()); // a is int
+        assert!(TemporalSchema::new(plain.clone(), 1, 1).is_err()); // same col
+        assert!(TemporalSchema::new(plain, 1, 5).is_err()); // out of range
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let s = faculty();
+        let joined = s.schema.concat(&s.schema);
+        assert_eq!(joined.arity(), 8);
+        let proj = joined.project(&[0, 2, 7]);
+        assert_eq!(proj.arity(), 3);
+        assert_eq!(proj.field(1).name, "ValidFrom");
+    }
+
+    #[test]
+    fn nulls_admitted_everywhere() {
+        assert!(FieldType::Str.admits(&Value::Null));
+        assert!(FieldType::Time.admits(&Value::Null));
+        assert!(!FieldType::Time.admits(&Value::Int(3)));
+    }
+}

@@ -1,0 +1,251 @@
+//! Discrete, totally ordered time.
+//!
+//! The paper (Section 2) models time as `Time = {t₀, t₁, …, now}` — a
+//! sequence of discrete, consecutive, equally-distanced points, isomorphic to
+//! the natural numbers, with no commitment to a time unit. We represent a
+//! point as a signed 64-bit tick count so arithmetic on deltas never
+//! underflows near the origin.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point on the discrete time axis.
+///
+/// `TimePoint`s are totally ordered and support delta arithmetic. The unit is
+/// deliberately unspecified (paper Section 2: "we do not specify the time
+/// unit").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TimePoint(pub i64);
+
+/// A signed distance between two [`TimePoint`]s, in ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TimeDelta(pub i64);
+
+impl TimePoint {
+    /// The origin `t₀` of the time axis.
+    pub const ORIGIN: TimePoint = TimePoint(0);
+    /// The smallest representable point (used as a sentinel for "-∞").
+    pub const MIN: TimePoint = TimePoint(i64::MIN);
+    /// The largest representable point (used as a sentinel for "+∞" / `now`
+    /// in an open-ended history).
+    pub const MAX: TimePoint = TimePoint(i64::MAX);
+
+    /// Construct a point from a raw tick count.
+    #[inline]
+    pub const fn new(ticks: i64) -> Self {
+        TimePoint(ticks)
+    }
+
+    /// The raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> i64 {
+        self.0
+    }
+
+    /// The immediate successor point (saturating at [`TimePoint::MAX`]).
+    #[inline]
+    pub fn succ(self) -> Self {
+        TimePoint(self.0.saturating_add(1))
+    }
+
+    /// The immediate predecessor point (saturating at [`TimePoint::MIN`]).
+    #[inline]
+    pub fn pred(self) -> Self {
+        TimePoint(self.0.saturating_sub(1))
+    }
+
+    /// Distance from `other` to `self` (`self - other`).
+    #[inline]
+    pub fn delta_from(self, other: TimePoint) -> TimeDelta {
+        TimeDelta(self.0 - other.0)
+    }
+
+    /// The later of two points.
+    #[inline]
+    pub fn max_of(self, other: TimePoint) -> TimePoint {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two points.
+    #[inline]
+    pub fn min_of(self, other: TimePoint) -> TimePoint {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl TimeDelta {
+    /// The zero-length delta.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+
+    /// Construct a delta from a raw tick count.
+    #[inline]
+    pub const fn new(ticks: i64) -> Self {
+        TimeDelta(ticks)
+    }
+
+    /// The raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> i64 {
+        self.0
+    }
+
+    /// `true` if this delta is strictly positive.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// This delta as a floating-point tick count (for statistics).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add<TimeDelta> for TimePoint {
+    type Output = TimePoint;
+    #[inline]
+    fn add(self, rhs: TimeDelta) -> TimePoint {
+        TimePoint(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for TimePoint {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TimeDelta> for TimePoint {
+    type Output = TimePoint;
+    #[inline]
+    fn sub(self, rhs: TimeDelta) -> TimePoint {
+        TimePoint(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<TimeDelta> for TimePoint {
+    #[inline]
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub<TimePoint> for TimePoint {
+    type Output = TimeDelta;
+    #[inline]
+    fn sub(self, rhs: TimePoint) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl Add<TimeDelta> for TimeDelta {
+    type Output = TimeDelta;
+    #[inline]
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl From<i64> for TimePoint {
+    #[inline]
+    fn from(t: i64) -> Self {
+        TimePoint(t)
+    }
+}
+
+impl From<i64> for TimeDelta {
+    #[inline]
+    fn from(t: i64) -> Self {
+        TimeDelta(t)
+    }
+}
+
+impl fmt::Display for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TimePoint::MIN => write!(f, "-inf"),
+            TimePoint::MAX => write!(f, "now+"),
+            TimePoint(t) => write!(f, "t{t}"),
+        }
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_matches_ticks() {
+        assert!(TimePoint(1) < TimePoint(2));
+        assert!(TimePoint(-5) < TimePoint::ORIGIN);
+        assert_eq!(TimePoint(7), TimePoint(7));
+        assert!(TimePoint::MIN < TimePoint::MAX);
+    }
+
+    #[test]
+    fn delta_arithmetic_round_trips() {
+        let a = TimePoint(10);
+        let d = TimeDelta(32);
+        assert_eq!(a + d - d, a);
+        assert_eq!((a + d) - a, d);
+        assert_eq!(a.delta_from(TimePoint(4)), TimeDelta(6));
+    }
+
+    #[test]
+    fn succ_pred_are_adjacent() {
+        let t = TimePoint(3);
+        assert_eq!(t.succ(), TimePoint(4));
+        assert_eq!(t.pred(), TimePoint(2));
+        assert_eq!(t.succ().pred(), t);
+    }
+
+    #[test]
+    fn succ_pred_saturate_at_sentinels() {
+        assert_eq!(TimePoint::MAX.succ(), TimePoint::MAX);
+        assert_eq!(TimePoint::MIN.pred(), TimePoint::MIN);
+    }
+
+    #[test]
+    fn min_max_of() {
+        let (a, b) = (TimePoint(1), TimePoint(9));
+        assert_eq!(a.max_of(b), b);
+        assert_eq!(a.min_of(b), a);
+        assert_eq!(a.max_of(a), a);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TimePoint(42).to_string(), "t42");
+        assert_eq!(TimePoint::MIN.to_string(), "-inf");
+        assert_eq!(TimePoint::MAX.to_string(), "now+");
+        assert_eq!(TimeDelta(-3).to_string(), "-3");
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut t = TimePoint(5);
+        t += TimeDelta(3);
+        assert_eq!(t, TimePoint(8));
+        t -= TimeDelta(10);
+        assert_eq!(t, TimePoint(-2));
+    }
+}

@@ -1,0 +1,254 @@
+//! Temporal tuples: the paper's 4-tuple `⟨S, V, ValidFrom, ValidTo⟩` and the
+//! generic [`Temporal`] trait that lets every stream operator run over raw
+//! time-sequence tuples, algebra rows, or joined composites alike.
+
+use crate::error::TdbResult;
+use crate::period::Period;
+use crate::time::TimePoint;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Anything that carries a lifespan `[ValidFrom, ValidTo)`.
+///
+/// Stream operators in `tdb-stream` are generic over `T: Temporal + Clone`,
+/// so the Contain-join of Section 4.2.1 joins plain [`TsTuple`]s exactly as
+/// well as full algebra rows.
+pub trait Temporal {
+    /// The tuple's lifespan.
+    fn period(&self) -> Period;
+
+    /// `ValidFrom` (abbreviated `TS` in the paper).
+    #[inline]
+    fn ts(&self) -> TimePoint {
+        self.period().start()
+    }
+
+    /// `ValidTo` (abbreviated `TE` in the paper).
+    #[inline]
+    fn te(&self) -> TimePoint {
+        self.period().end()
+    }
+}
+
+impl Temporal for Period {
+    #[inline]
+    fn period(&self) -> Period {
+        *self
+    }
+}
+
+impl<T: Temporal> Temporal for &T {
+    #[inline]
+    fn period(&self) -> Period {
+        (*self).period()
+    }
+}
+
+/// A Time-Sequence tuple `⟨S, V, ValidFrom, ValidTo⟩` (paper Section 2).
+///
+/// `S` is the surrogate (object identity), `V` the time-varying attribute
+/// value, and `period` the lifespan during which `S` holds `V`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TsTuple {
+    /// Surrogate / object identity (e.g. faculty `Name`).
+    pub surrogate: Value,
+    /// Time-varying attribute value (e.g. `Rank`).
+    pub value: Value,
+    /// Lifespan `[ValidFrom, ValidTo)`.
+    pub period: Period,
+}
+
+impl TsTuple {
+    /// Build a tuple from parts, enforcing the period invariant.
+    pub fn new(
+        surrogate: impl Into<Value>,
+        value: impl Into<Value>,
+        valid_from: impl Into<TimePoint>,
+        valid_to: impl Into<TimePoint>,
+    ) -> TdbResult<TsTuple> {
+        Ok(TsTuple {
+            surrogate: surrogate.into(),
+            value: value.into(),
+            period: Period::new(valid_from, valid_to)?,
+        })
+    }
+
+    /// Build a tuple with only a lifespan (surrogate and value null); handy
+    /// in tests and workload generators that exercise pure interval logic.
+    pub fn interval(valid_from: i64, valid_to: i64) -> TdbResult<TsTuple> {
+        TsTuple::new(Value::Null, Value::Null, valid_from, valid_to)
+    }
+}
+
+impl Temporal for TsTuple {
+    #[inline]
+    fn period(&self) -> Period {
+        self.period
+    }
+}
+
+impl fmt::Display for TsTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "⟨{}, {}, {}, {}⟩",
+            self.surrogate,
+            self.value,
+            self.period.start(),
+            self.period.end()
+        )
+    }
+}
+
+/// A general relational row: a vector of scalar [`Value`]s, interpreted via a
+/// [`crate::schema::Schema`].
+///
+/// Rows are what the algebra executor moves between physical operators; a
+/// row produced by a join is the concatenation of its inputs' rows (paper
+/// Section 4.2.1: "outputs the concatenation of tuples X and Y").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Build a row from values.
+    pub fn new(values: Vec<Value>) -> Row {
+        Row { values }
+    }
+
+    /// The row's values.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value at column `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Concatenate two rows (join output).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Row { values }
+    }
+
+    /// Project the row onto the given column indices.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row {
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Consume the row, yielding its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A row paired with the lifespan of one of its range variables.
+///
+/// Physical temporal operators need to know *which* `[TS, TE)` columns of a
+/// wide (possibly already-joined) row to treat as the operand lifespan; the
+/// executor wraps rows in `PeriodRow` with the relevant period extracted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeriodRow {
+    /// The underlying row.
+    pub row: Row,
+    /// The lifespan of the range variable this operator joins on.
+    pub period: Period,
+}
+
+impl PeriodRow {
+    /// Wrap a row with an explicit operand lifespan.
+    pub fn new(row: Row, period: Period) -> PeriodRow {
+        PeriodRow { row, period }
+    }
+}
+
+impl Temporal for PeriodRow {
+    #[inline]
+    fn period(&self) -> Period {
+        self.period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ts_tuple_construction_checks_period() {
+        let t = TsTuple::new("Smith", "Assistant", 0, 5).unwrap();
+        assert_eq!(t.ts(), TimePoint(0));
+        assert_eq!(t.te(), TimePoint(5));
+        assert!(TsTuple::new("Smith", "Assistant", 5, 5).is_err());
+    }
+
+    #[test]
+    fn temporal_trait_on_references() {
+        let t = TsTuple::interval(1, 4).unwrap();
+        let r = &t;
+        assert_eq!(r.ts(), TimePoint(1));
+        assert_eq!(Temporal::period(&r), t.period);
+    }
+
+    #[test]
+    fn row_concat_and_project() {
+        let a = Row::new(vec![Value::Int(1), Value::str("x")]);
+        let b = Row::new(vec![Value::Bool(true)]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.get(2), &Value::Bool(true));
+        let p = c.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::Bool(true), Value::Int(1)]);
+    }
+
+    #[test]
+    fn period_row_is_temporal() {
+        let pr = PeriodRow::new(
+            Row::new(vec![Value::Int(1)]),
+            Period::new(2, 9).unwrap(),
+        );
+        assert_eq!(pr.ts(), TimePoint(2));
+        assert_eq!(pr.te(), TimePoint(9));
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = TsTuple::new("Smith", "Full", 9, 20).unwrap();
+        assert_eq!(t.to_string(), "⟨\"Smith\", \"Full\", t9, t20⟩");
+        let r = Row::new(vec![Value::Int(1), Value::str("a")]);
+        assert_eq!(r.to_string(), "(1, \"a\")");
+    }
+}

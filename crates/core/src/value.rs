@@ -1,0 +1,224 @@
+//! Scalar attribute values.
+//!
+//! The paper's model stores a surrogate `S` and a time-varying attribute `V`
+//! per tuple; the algebra layer additionally manipulates projected columns
+//! and constants from query text. [`Value`] is the common scalar domain.
+
+use crate::time::TimePoint;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A scalar value: the domain of surrogates, time-varying attributes and
+/// query constants.
+///
+/// `Value` has a *total* order (needed for sorting and merge joins):
+/// `Null < Bool < Int < Time < Str`, with `Int` compared numerically,
+/// `Str` lexicographically. Cross-variant comparisons are only used for
+/// deterministic sorting; the query layer type-checks predicates so that
+/// semantically meaningless comparisons are rejected at plan time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent / unknown value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// A time point surfaced as data (e.g. a projected `ValidFrom`).
+    Time(TimePoint),
+    /// Interned string (cheap to clone across operator pipelines).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Numeric rank of the variant, for the cross-variant total order.
+    fn variant_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Time(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+
+    /// `true` if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// View as `i64` if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// View as `&str` if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as [`TimePoint`] if this is a [`Value::Time`].
+    pub fn as_time(&self) -> Option<TimePoint> {
+        match self {
+            Value::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// View as `bool` if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Time(a), Value::Time(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
+            _ => self.variant_rank().cmp(&other.variant_rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.variant_rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Time(t) => t.hash(state),
+            Value::Str(s) => s.as_ref().hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Time(t) => write!(f, "{t}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<TimePoint> for Value {
+    fn from(v: TimePoint) -> Self {
+        Value::Time(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_variant_comparisons() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::str("Assistant") < Value::str("Associate"));
+        assert_eq!(Value::str("Full"), Value::str("Full"));
+        assert!(Value::Time(TimePoint(3)) < Value::Time(TimePoint(9)));
+        assert!(Value::Bool(false) < Value::Bool(true));
+    }
+
+    #[test]
+    fn cross_variant_order_is_total_and_stable() {
+        let mut vs = [Value::str("z"),
+            Value::Int(0),
+            Value::Null,
+            Value::Time(TimePoint(1)),
+            Value::Bool(true)];
+        vs.sort();
+        assert!(vs[0].is_null());
+        assert_eq!(vs[1], Value::Bool(true));
+        assert_eq!(vs[2], Value::Int(0));
+        assert_eq!(vs[3], Value::Time(TimePoint(1)));
+        assert_eq!(vs[4], Value::str("z"));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(4).as_int(), Some(4));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Time(TimePoint(2)).as_time(), Some(TimePoint(2)));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Null.as_int(), None);
+    }
+
+    #[test]
+    fn hash_agrees_with_eq() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::str("Smith"));
+        assert!(set.contains(&Value::str("Smith")));
+        assert!(!set.contains(&Value::str("Jones")));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::str("a").to_string(), "\"a\"");
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+}

@@ -1,0 +1,378 @@
+//! The paper's running example: faculty career histories.
+//!
+//! Section 2 of the paper fixes the `Faculty(Name, Rank, ValidFrom, ValidTo)`
+//! relation with these integrity constraints:
+//!
+//! * `Rank ∈ {Assistant, Associate, Full}` with a **chronological ordering**
+//!   — promotion goes Assistant → Associate → Full, so for one faculty
+//!   member `ValidTo₁ ≤ ValidFrom₂` and `ValidTo₂ ≤ ValidFrom₃` (Figure 1);
+//! * intra-tuple `ValidFrom < ValidTo`;
+//! * under the Section 5 *continuous employment* assumption, the
+//!   inequalities tighten to equalities (`ValidTo₁ = ValidFrom₂`, …) and all
+//!   faculty are hired as assistants.
+//!
+//! [`FacultyGen`] generates histories obeying these constraints, with knobs
+//! for how many careers reach each rank and whether employment gaps
+//! (re-hiring) occur.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdb_core::{Period, Row, Temporal, TsTuple, Value};
+
+/// A faculty rank, in chronological (promotion) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rank {
+    /// Entry rank.
+    Assistant,
+    /// Middle rank.
+    Associate,
+    /// Terminal rank.
+    Full,
+}
+
+impl Rank {
+    /// The rank's name as stored in the `Rank` column.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rank::Assistant => "Assistant",
+            Rank::Associate => "Associate",
+            Rank::Full => "Full",
+        }
+    }
+
+    /// All ranks in chronological order — the Section 5 "chronological
+    /// ordering of data values" constraint over the `Rank` domain.
+    pub const CHRONOLOGICAL: [Rank; 3] = [Rank::Assistant, Rank::Associate, Rank::Full];
+}
+
+/// One `Faculty` tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FacultyTuple {
+    /// Faculty member's name (the surrogate).
+    pub name: String,
+    /// Rank held during `period`.
+    pub rank: Rank,
+    /// Lifespan of the rank.
+    pub period: Period,
+}
+
+impl Temporal for FacultyTuple {
+    fn period(&self) -> Period {
+        self.period
+    }
+}
+
+impl FacultyTuple {
+    /// Convert to a Time-Sequence tuple (`⟨Name, Rank, TS, TE⟩`).
+    pub fn to_ts_tuple(&self) -> TsTuple {
+        TsTuple {
+            surrogate: Value::str(&self.name),
+            value: Value::str(self.rank.name()),
+            period: self.period,
+        }
+    }
+
+    /// Convert to an algebra row under
+    /// `TemporalSchema::time_sequence("Name", "Rank")`.
+    pub fn to_row(&self) -> Row {
+        Row::new(vec![
+            Value::str(&self.name),
+            Value::str(self.rank.name()),
+            Value::Time(self.period.start()),
+            Value::Time(self.period.end()),
+        ])
+    }
+}
+
+/// Generator for faculty career histories.
+#[derive(Debug, Clone)]
+pub struct FacultyGen {
+    /// Number of faculty members.
+    pub n_faculty: usize,
+    /// Mean gap between successive hires (controls λ).
+    pub mean_hire_gap: f64,
+    /// Range of years (ticks) spent at each rank.
+    pub rank_duration: (i64, i64),
+    /// Probability an assistant is promoted to associate.
+    pub p_promote_associate: f64,
+    /// Probability an associate is promoted to full.
+    pub p_promote_full: f64,
+    /// If `true`, enforce the Section 5 continuous-employment assumption
+    /// (`ValidToᵢ = ValidFromᵢ₊₁`); otherwise insert random gaps
+    /// (re-hiring), which still satisfies the chronological ordering
+    /// `ValidToᵢ ≤ ValidFromᵢ₊₁`.
+    pub continuous_employment: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FacultyGen {
+    fn default() -> Self {
+        FacultyGen {
+            n_faculty: 100,
+            mean_hire_gap: 3.0,
+            rank_duration: (4, 9),
+            p_promote_associate: 0.8,
+            p_promote_full: 0.7,
+            continuous_employment: true,
+            seed: 0,
+        }
+    }
+}
+
+impl FacultyGen {
+    /// Generate the career histories, returned grouped by faculty member in
+    /// hire order (each member's tuples in rank order).
+    pub fn generate(&self) -> Vec<FacultyTuple> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        let mut hire_t: i64 = 0;
+        let (dmin, dmax) = self.rank_duration;
+        for i in 0..self.n_faculty {
+            let name = format!("F{i:05}");
+            let mut t = hire_t;
+
+            // Assistant period — everyone is hired as an assistant
+            // (Section 5 assumption; harmless in the general case too).
+            let d = rng.gen_range(dmin..=dmax);
+            out.push(FacultyTuple {
+                name: name.clone(),
+                rank: Rank::Assistant,
+                period: Period::new(t, t + d).unwrap(),
+            });
+            t += d;
+
+            if rng.gen_bool(self.p_promote_associate) {
+                if !self.continuous_employment {
+                    t += rng.gen_range(0..=3); // possible employment gap
+                }
+                let d = rng.gen_range(dmin..=dmax);
+                out.push(FacultyTuple {
+                    name: name.clone(),
+                    rank: Rank::Associate,
+                    period: Period::new(t, t + d).unwrap(),
+                });
+                t += d;
+
+                if rng.gen_bool(self.p_promote_full) {
+                    if !self.continuous_employment {
+                        t += rng.gen_range(0..=3);
+                    }
+                    let d = rng.gen_range(dmin..=dmax);
+                    out.push(FacultyTuple {
+                        name: name.clone(),
+                        rank: Rank::Full,
+                        period: Period::new(t, t + d).unwrap(),
+                    });
+                }
+            }
+
+            // Next hire.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            hire_t += (-u.ln() * self.mean_hire_gap).round().max(0.0) as i64;
+        }
+        out
+    }
+
+    /// Generate as algebra rows (for loading into the catalog).
+    pub fn generate_rows(&self) -> Vec<Row> {
+        self.generate().iter().map(FacultyTuple::to_row).collect()
+    }
+
+    /// Generate rows with a second time-varying attribute — the §6
+    /// extension ("a temporal relation may naturally have multiple
+    /// time-varying attributes such as Rank and Salary").
+    ///
+    /// Schema: `(Name: str, Rank: str, Salary: int, ValidFrom, ValidTo)`.
+    /// Salaries are rank-dependent with per-person noise, strictly
+    /// increasing across promotions.
+    pub fn generate_rows_with_salary(&self) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x5a1a)); // distinct stream
+        self.generate()
+            .iter()
+            .map(|t| {
+                let base = match t.rank {
+                    Rank::Assistant => 60_000,
+                    Rank::Associate => 80_000,
+                    Rank::Full => 110_000,
+                };
+                let salary = base + rng.gen_range(0..15_000);
+                Row::new(vec![
+                    Value::str(&t.name),
+                    Value::str(t.rank.name()),
+                    Value::Int(salary),
+                    Value::Time(t.period.start()),
+                    Value::Time(t.period.end()),
+                ])
+            })
+            .collect()
+    }
+
+    /// The temporal schema matching [`FacultyGen::generate_rows_with_salary`].
+    pub fn salary_schema() -> tdb_core::TemporalSchema {
+        use tdb_core::{Field, FieldType, Schema, TemporalSchema};
+        TemporalSchema::new(
+            Schema::new(vec![
+                Field::new("Name", FieldType::Str),
+                Field::new("Rank", FieldType::Str),
+                Field::new("Salary", FieldType::Int),
+                Field::new("ValidFrom", FieldType::Time),
+                Field::new("ValidTo", FieldType::Time),
+            ]),
+            3,
+            4,
+        )
+        .expect("static schema is valid")
+    }
+
+    /// The paper's Figure 1 micro-instance: Smith's three-rank career,
+    /// plus two colleagues, hand-picked so the Superstar query has a
+    /// non-trivial, known answer. Continuous employment holds.
+    ///
+    /// * Smith: Assistant `[0,5)`, Associate `[5,9)`, Full `[9,20)`
+    /// * Jones: Assistant `[1,4)`, Associate `[4,12)`, Full `[12,18)`
+    /// * Brown: Assistant `[2,6)`, Associate `[6,15)`
+    ///
+    /// Smith's associate period `[5,9)` is strictly inside Jones's `[4,12)`
+    /// and Brown's `[6,15)` overlaps both — Smith is the superstar.
+    pub fn figure1_instance() -> Vec<FacultyTuple> {
+        let mk = |name: &str, rank: Rank, s: i64, e: i64| FacultyTuple {
+            name: name.to_string(),
+            rank,
+            period: Period::new(s, e).unwrap(),
+        };
+        vec![
+            mk("Smith", Rank::Assistant, 0, 5),
+            mk("Smith", Rank::Associate, 5, 9),
+            mk("Smith", Rank::Full, 9, 20),
+            mk("Jones", Rank::Assistant, 1, 4),
+            mk("Jones", Rank::Associate, 4, 12),
+            mk("Jones", Rank::Full, 12, 18),
+            mk("Brown", Rank::Assistant, 2, 6),
+            mk("Brown", Rank::Associate, 6, 15),
+        ]
+    }
+}
+
+/// Verify the Section 2 integrity constraints over a generated history:
+/// per-member rank periods are disjoint and chronologically ordered, and
+/// under continuity each rank starts exactly when the previous ends.
+/// Returns a description of the first violation, if any.
+pub fn check_faculty_constraints(tuples: &[FacultyTuple], continuous: bool) -> Option<String> {
+    use std::collections::BTreeMap;
+    let mut by_name: BTreeMap<&str, Vec<&FacultyTuple>> = BTreeMap::new();
+    for t in tuples {
+        by_name.entry(&t.name).or_default().push(t);
+    }
+    for (name, mut career) in by_name {
+        career.sort_by_key(|t| t.rank);
+        for w in career.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if a.rank >= b.rank {
+                return Some(format!("{name}: duplicate rank {:?}", a.rank));
+            }
+            if a.period.end() > b.period.start() {
+                return Some(format!(
+                    "{name}: {:?} {} not before {:?} {}",
+                    a.rank, a.period, b.rank, b.period
+                ));
+            }
+            if continuous && a.period.end() != b.period.start() {
+                return Some(format!(
+                    "{name}: employment gap between {:?} and {:?}",
+                    a.rank, b.rank
+                ));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_histories_obey_constraints() {
+        let gen = FacultyGen {
+            n_faculty: 500,
+            seed: 1,
+            ..FacultyGen::default()
+        };
+        let v = gen.generate();
+        assert!(check_faculty_constraints(&v, true).is_none());
+        assert!(v.len() > 500, "most careers should have several ranks");
+    }
+
+    #[test]
+    fn discontinuous_mode_allows_gaps_but_keeps_ordering() {
+        let gen = FacultyGen {
+            n_faculty: 500,
+            continuous_employment: false,
+            seed: 2,
+            ..FacultyGen::default()
+        };
+        let v = gen.generate();
+        assert!(check_faculty_constraints(&v, false).is_none());
+        // With random gaps, strict continuity should fail somewhere.
+        assert!(check_faculty_constraints(&v, true).is_some());
+    }
+
+    #[test]
+    fn promotion_probabilities_shape_the_population() {
+        let all_full = FacultyGen {
+            n_faculty: 200,
+            p_promote_associate: 1.0,
+            p_promote_full: 1.0,
+            seed: 3,
+            ..FacultyGen::default()
+        }
+        .generate();
+        assert_eq!(all_full.len(), 600);
+        let none_promoted = FacultyGen {
+            n_faculty: 200,
+            p_promote_associate: 0.0,
+            seed: 3,
+            ..FacultyGen::default()
+        }
+        .generate();
+        assert_eq!(none_promoted.len(), 200);
+        assert!(none_promoted.iter().all(|t| t.rank == Rank::Assistant));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = FacultyGen::default().generate();
+        let b = FacultyGen::default().generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn figure1_instance_is_consistent() {
+        let v = FacultyGen::figure1_instance();
+        assert!(check_faculty_constraints(&v, true).is_none());
+        assert_eq!(v.len(), 8);
+        // Smith's associate period is strictly inside Jones's.
+        let smith_assoc = &v[1];
+        let jones_assoc = &v[4];
+        assert!(jones_assoc.period.contains(&smith_assoc.period));
+    }
+
+    #[test]
+    fn conversions() {
+        let t = &FacultyGen::figure1_instance()[0];
+        let ts = t.to_ts_tuple();
+        assert_eq!(ts.surrogate, Value::str("Smith"));
+        assert_eq!(ts.value, Value::str("Assistant"));
+        let row = t.to_row();
+        assert_eq!(row.arity(), 4);
+        assert_eq!(row.get(1), &Value::str("Assistant"));
+    }
+
+    #[test]
+    fn rank_ordering_is_chronological() {
+        assert!(Rank::Assistant < Rank::Associate);
+        assert!(Rank::Associate < Rank::Full);
+        assert_eq!(Rank::CHRONOLOGICAL[0].name(), "Assistant");
+    }
+}

@@ -1,0 +1,18 @@
+//! # tdb-gen — seeded synthetic temporal workloads
+//!
+//! The paper's workspace analysis (Section 4) is parameterized by the
+//! statistics of data instances: arrival rates (`1/λ` mean gap between
+//! consecutive `ValidFrom`s) and lifespan durations. This crate generates
+//! interval streams with exactly those knobs exposed, plus the running
+//! example of the paper — faculty career histories obeying the Section 2
+//! integrity constraints (chronological rank ordering, optional continuous
+//! employment).
+//!
+//! All generators are deterministic given a seed, so experiments and
+//! property tests are reproducible.
+
+pub mod faculty;
+pub mod intervals;
+
+pub use faculty::{FacultyGen, FacultyTuple, Rank};
+pub use intervals::{ArrivalProcess, DurationDist, IntervalGen};

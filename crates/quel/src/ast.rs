@@ -1,0 +1,124 @@
+//! Abstract syntax of the modified-Quel dialect.
+
+use tdb_core::Value;
+
+/// A parsed `retrieve` query with its `range` declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `range of <var> is <relation>` declarations, in order.
+    pub ranges: Vec<(String, String)>,
+    /// Optional `retrieve into <name>`.
+    pub into: Option<String>,
+    /// Target list: output name and source column.
+    pub targets: Vec<Target>,
+    /// The `where` qualification: a conjunction of terms.
+    pub qual: Vec<QualTerm>,
+}
+
+/// One entry of the target list (`Name = f1.Name`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Target {
+    /// Output column name.
+    pub name: String,
+    /// Source range variable.
+    pub var: String,
+    /// Source attribute.
+    pub attr: String,
+}
+
+/// One side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// `var.attr`
+    Column {
+        /// Range variable.
+        var: String,
+        /// Attribute.
+        attr: String,
+    },
+    /// A literal constant.
+    Const(Value),
+}
+
+/// A term of the qualification conjunction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QualTerm {
+    /// An ordinary comparison `operand op operand`.
+    Comparison {
+        /// Left operand.
+        left: Operand,
+        /// Operator (reusing the algebra's comparison ops).
+        op: tdb_algebra::CompOp,
+        /// Right operand.
+        right: Operand,
+    },
+    /// A temporal operator between two range variables (`f1 overlap f3`).
+    Temporal {
+        /// Left range variable.
+        left: String,
+        /// The operator.
+        op: TemporalOp,
+        /// Right range variable.
+        right: String,
+    },
+}
+
+/// The temporal infix operators accepted in query text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemporalOp {
+    /// TQuel's symmetric `overlap` (paper footnote 6).
+    Overlap,
+    /// Allen's strict `overlaps` (Figure 2 row 6).
+    Overlaps,
+    /// Allen `during` (strict containment in the other operand).
+    During,
+    /// Inverse of during — left strictly contains right.
+    Contains,
+    /// Allen `before`.
+    Before,
+    /// Inverse of before.
+    After,
+    /// Allen `meets`.
+    Meets,
+    /// Allen `starts`.
+    Starts,
+    /// Allen `finishes`.
+    Finishes,
+    /// Allen `equal`.
+    Equal,
+}
+
+impl TemporalOp {
+    /// Parse an operator keyword.
+    pub fn from_keyword(kw: &str) -> Option<TemporalOp> {
+        Some(match kw {
+            "overlap" => TemporalOp::Overlap,
+            "overlaps" => TemporalOp::Overlaps,
+            "during" => TemporalOp::During,
+            "contains" => TemporalOp::Contains,
+            "before" => TemporalOp::Before,
+            "after" => TemporalOp::After,
+            "meets" => TemporalOp::Meets,
+            "starts" => TemporalOp::Starts,
+            "finishes" => TemporalOp::Finishes,
+            "equal" => TemporalOp::Equal,
+            _ => None?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_parsing() {
+        assert_eq!(TemporalOp::from_keyword("overlap"), Some(TemporalOp::Overlap));
+        assert_eq!(
+            TemporalOp::from_keyword("overlaps"),
+            Some(TemporalOp::Overlaps)
+        );
+        assert_eq!(TemporalOp::from_keyword("during"), Some(TemporalOp::During));
+        assert_eq!(TemporalOp::from_keyword("rank"), None);
+    }
+}

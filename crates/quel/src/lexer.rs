@@ -1,0 +1,269 @@
+//! Tokenizer for the modified-Quel dialect.
+
+use tdb_core::{TdbError, TdbResult};
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Double-quoted string literal (unescaped).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenize `text`.
+pub fn tokenize(text: &str) -> TdbResult<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut column = 1usize;
+    let mut chars = text.chars().peekable();
+
+    macro_rules! err {
+        ($($arg:tt)*) => {
+            return Err(TdbError::Parse { line, column, message: format!($($arg)*) })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, column);
+        let mut advance = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                column = 1;
+            } else if c.is_some() {
+                column += 1;
+            }
+            c
+        };
+
+        if c.is_whitespace() {
+            advance(&mut chars);
+            continue;
+        }
+        if c == '#' {
+            // Comment to end of line.
+            while let Some(&c) = chars.peek() {
+                advance(&mut chars);
+                if c == '\n' {
+                    break;
+                }
+            }
+            continue;
+        }
+        let kind = if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    s.push(c);
+                    advance(&mut chars);
+                } else {
+                    break;
+                }
+            }
+            TokenKind::Ident(s)
+        } else if c.is_ascii_digit() || c == '-' {
+            let mut s = String::new();
+            s.push(c);
+            advance(&mut chars);
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_digit() {
+                    s.push(c);
+                    advance(&mut chars);
+                } else {
+                    break;
+                }
+            }
+            match s.parse::<i64>() {
+                Ok(i) => TokenKind::Int(i),
+                Err(_) => err!("invalid number `{s}`"),
+            }
+        } else if c == '"' {
+            advance(&mut chars);
+            let mut s = String::new();
+            loop {
+                match chars.peek() {
+                    Some(&'"') => {
+                        advance(&mut chars);
+                        break;
+                    }
+                    Some(&c) => {
+                        s.push(c);
+                        advance(&mut chars);
+                    }
+                    None => err!("unterminated string literal"),
+                }
+            }
+            TokenKind::Str(s)
+        } else {
+            advance(&mut chars);
+            match c {
+                '=' => TokenKind::Eq,
+                '(' => TokenKind::LParen,
+                ')' => TokenKind::RParen,
+                ',' => TokenKind::Comma,
+                '.' => TokenKind::Dot,
+                '<' => {
+                    if chars.peek() == Some(&'=') {
+                        advance(&mut chars);
+                        TokenKind::Le
+                    } else {
+                        TokenKind::Lt
+                    }
+                }
+                '>' => {
+                    if chars.peek() == Some(&'=') {
+                        advance(&mut chars);
+                        TokenKind::Ge
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                '!' => {
+                    if chars.peek() == Some(&'=') {
+                        advance(&mut chars);
+                        TokenKind::Ne
+                    } else {
+                        err!("unexpected `!` (did you mean `!=`?)")
+                    }
+                }
+                other => {
+                    return Err(TdbError::Parse {
+                        line: tline,
+                        column: tcol,
+                        message: format!("unexpected character `{other}`"),
+                    })
+                }
+            }
+        };
+        tokens.push(Token {
+            kind,
+            line: tline,
+            column: tcol,
+        });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        column,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<TokenKind> {
+        tokenize(text).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("range of f1 is Faculty"),
+            vec![
+                TokenKind::Ident("range".into()),
+                TokenKind::Ident("of".into()),
+                TokenKind::Ident("f1".into()),
+                TokenKind::Ident("is".into()),
+                TokenKind::Ident("Faculty".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_punctuation() {
+        assert_eq!(
+            kinds("a<b <= c >= d != e = (f.g, -3)"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("b".into()),
+                TokenKind::Le,
+                TokenKind::Ident("c".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("d".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("e".into()),
+                TokenKind::Eq,
+                TokenKind::LParen,
+                TokenKind::Ident("f".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("g".into()),
+                TokenKind::Comma,
+                TokenKind::Int(-3),
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        assert_eq!(
+            kinds("x = \"Associate Prof\" # trailing comment\ny"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Eq,
+                TokenKind::Str("Associate Prof".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = tokenize("ab\n  cd").unwrap();
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = tokenize("x @ y").unwrap_err();
+        let TdbError::Parse { line, column, .. } = e else {
+            panic!("expected parse error");
+        };
+        assert_eq!((line, column), (1, 3));
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+}

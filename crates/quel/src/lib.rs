@@ -1,0 +1,40 @@
+//! # tdb-quel — the paper's modified-Quel dialect
+//!
+//! Section 3 of the paper expresses temporal queries in a Quel dialect
+//! extended with Allen's temporal operators as infix predicates:
+//!
+//! ```text
+//! range of f1 is Faculty
+//! range of f2 is Faculty
+//! range of f3 is Faculty
+//! retrieve into Stars (Name=f1.Name, ValidFrom=f1.ValidFrom, ValidTo=f2.ValidTo)
+//! where f3.Rank = "Associate" and f1.Name = f2.Name
+//!   and f1.Rank = "Assistant" and f2.Rank = "Full"
+//!   and (f1 overlap f3) and (f2 overlap f3)
+//! ```
+//!
+//! The pipeline mirrors the paper's: the temporal operators are "just
+//! syntactic sugar" — [`translate`] expands each into its Figure 2
+//! inequality conjunction (with `overlap` as the symmetric TQuel operator of
+//! footnote 6) and produces a [`tdb_algebra::LogicalPlan`] — a product of
+//! the range variables under a single selection, i.e. the *unoptimized*
+//! Figure 3(a) parse tree, ready for [`tdb_algebra::conventional_optimize`].
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod translate;
+
+pub use ast::{Operand, Query, QualTerm, TemporalOp};
+pub use parser::parse_query;
+pub use translate::{translate, SchemaLookup};
+
+/// Parse and translate in one step.
+pub fn compile(
+    text: &str,
+    schemas: &dyn SchemaLookup,
+) -> tdb_core::TdbResult<(tdb_algebra::LogicalPlan, Query)> {
+    let query = parse_query(text)?;
+    let plan = translate(&query, schemas)?;
+    Ok((plan, query))
+}

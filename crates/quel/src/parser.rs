@@ -1,0 +1,368 @@
+//! Recursive-descent parser for the modified-Quel dialect.
+//!
+//! ```text
+//! query      := range_decl+ retrieve
+//! range_decl := "range" "of" IDENT "is" IDENT
+//! retrieve   := "retrieve" ["into" IDENT]
+//!               "(" target ("," target)* ")" ["where" qual]
+//! target     := IDENT "=" IDENT "." IDENT
+//! qual       := term ("and" term)*
+//! term       := "(" qual ")" | comparison | temporal
+//! comparison := operand OP operand          OP ∈ {=, !=, <, <=, >, >=}
+//! temporal   := IDENT TEMPORAL_KW IDENT
+//! operand    := IDENT "." IDENT | STRING | INT
+//! ```
+
+use crate::ast::{Operand, QualTerm, Query, Target, TemporalOp};
+use crate::lexer::{tokenize, Token, TokenKind};
+use tdb_algebra::CompOp;
+use tdb_core::{TdbError, TdbResult, TimePoint, Value};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> TdbError {
+        let t = self.peek();
+        TdbError::Parse {
+            line: t.line,
+            column: t.column,
+            message: message.into(),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> TdbResult<()> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == kw => {
+                self.next();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> TdbResult<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.next();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> TdbResult<()> {
+        if self.peek().kind == kind {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn parse_query(&mut self) -> TdbResult<Query> {
+        let mut ranges = Vec::new();
+        while self.is_keyword("range") {
+            self.next();
+            self.expect_keyword("of")?;
+            let var = self.expect_ident("range variable")?;
+            self.expect_keyword("is")?;
+            let relation = self.expect_ident("relation name")?;
+            if ranges.iter().any(|(v, _)| v == &var) {
+                return Err(self.error(format!("duplicate range variable `{var}`")));
+            }
+            ranges.push((var, relation));
+        }
+        if ranges.is_empty() {
+            return Err(self.error("expected at least one `range of` declaration"));
+        }
+
+        self.expect_keyword("retrieve")?;
+        let into = if self.is_keyword("into") {
+            self.next();
+            Some(self.expect_ident("result relation name")?)
+        } else {
+            None
+        };
+
+        self.expect(TokenKind::LParen, "`(` opening the target list")?;
+        let mut targets = Vec::new();
+        loop {
+            let name = self.expect_ident("target name")?;
+            self.expect(TokenKind::Eq, "`=` in target")?;
+            let var = self.expect_ident("range variable")?;
+            self.expect(TokenKind::Dot, "`.` in column reference")?;
+            let attr = self.expect_ident("attribute name")?;
+            targets.push(Target { name, var, attr });
+            match self.peek().kind {
+                TokenKind::Comma => {
+                    self.next();
+                }
+                TokenKind::RParen => break,
+                _ => return Err(self.error("expected `,` or `)` in target list")),
+            }
+        }
+        self.expect(TokenKind::RParen, "`)` closing the target list")?;
+
+        let qual = if self.is_keyword("where") {
+            self.next();
+            self.parse_qual()?
+        } else {
+            Vec::new()
+        };
+
+        if self.peek().kind != TokenKind::Eof {
+            return Err(self.error("unexpected trailing input after query"));
+        }
+        Ok(Query {
+            ranges,
+            into,
+            targets,
+            qual,
+        })
+    }
+
+    fn parse_qual(&mut self) -> TdbResult<Vec<QualTerm>> {
+        let mut terms = self.parse_term()?;
+        while self.is_keyword("and") {
+            self.next();
+            terms.extend(self.parse_term()?);
+        }
+        Ok(terms)
+    }
+
+    fn parse_term(&mut self) -> TdbResult<Vec<QualTerm>> {
+        if self.peek().kind == TokenKind::LParen {
+            self.next();
+            let inner = self.parse_qual()?;
+            self.expect(TokenKind::RParen, "`)`")?;
+            return Ok(inner);
+        }
+        // Lookahead: IDENT TEMPORAL_KW IDENT is a temporal term;
+        // everything else is a comparison.
+        if let TokenKind::Ident(first) = &self.peek().kind {
+            let first = first.clone();
+            if let TokenKind::Ident(second) =
+                &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+            {
+                if let Some(op) = TemporalOp::from_keyword(second) {
+                    self.next(); // first var
+                    self.next(); // operator
+                    let right = self.expect_ident("range variable")?;
+                    return Ok(vec![QualTerm::Temporal {
+                        left: first,
+                        op,
+                        right,
+                    }]);
+                }
+            }
+        }
+        let left = self.parse_operand()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => CompOp::Eq,
+            TokenKind::Ne => CompOp::Ne,
+            TokenKind::Lt => CompOp::Lt,
+            TokenKind::Le => CompOp::Le,
+            TokenKind::Gt => CompOp::Gt,
+            TokenKind::Ge => CompOp::Ge,
+            _ => return Err(self.error("expected a comparison operator")),
+        };
+        self.next();
+        let right = self.parse_operand()?;
+        Ok(vec![QualTerm::Comparison { left, op, right }])
+    }
+
+    fn parse_operand(&mut self) -> TdbResult<Operand> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(var) => {
+                self.next();
+                self.expect(TokenKind::Dot, "`.` after range variable")?;
+                let attr = self.expect_ident("attribute name")?;
+                Ok(Operand::Column { var, attr })
+            }
+            TokenKind::Str(s) => {
+                self.next();
+                Ok(Operand::Const(Value::str(s)))
+            }
+            TokenKind::Int(i) => {
+                self.next();
+                // Bare integers compared against timestamp attributes are
+                // interpreted as time points at translation; keep as Int
+                // here and let translation coerce.
+                Ok(Operand::Const(Value::Int(i)))
+            }
+            other => Err(self.error(format!("expected an operand, found {other:?}"))),
+        }
+    }
+}
+
+/// Parse a complete query.
+pub fn parse_query(text: &str) -> TdbResult<Query> {
+    let tokens = tokenize(text)?;
+    Parser { tokens, pos: 0 }.parse_query()
+}
+
+/// Coerce an integer literal to a time point (used by translation when the
+/// other side of a comparison is a timestamp attribute).
+pub fn int_as_time(v: &Value) -> Option<Value> {
+    v.as_int().map(|i| Value::Time(TimePoint::new(i)))
+}
+
+/// The paper's Superstar query, §3 (modified from [Sno87]).
+pub const SUPERSTAR: &str = r#"
+range of f1 is Faculty
+range of f2 is Faculty
+range of f3 is Faculty
+retrieve into Stars (Name=f1.Name, ValidFrom=f1.ValidFrom, ValidTo=f2.ValidTo)
+where f3.Rank="Associate" and f1.Name=f2.Name
+  and f1.Rank="Assistant" and f2.Rank="Full"
+  and (f1 overlap f3) and (f2 overlap f3)
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_superstar_query() {
+        let q = parse_query(SUPERSTAR).unwrap();
+        assert_eq!(q.ranges.len(), 3);
+        assert_eq!(q.ranges[0], ("f1".into(), "Faculty".into()));
+        assert_eq!(q.into.as_deref(), Some("Stars"));
+        assert_eq!(q.targets.len(), 3);
+        assert_eq!(q.targets[2].name, "ValidTo");
+        assert_eq!(q.targets[2].var, "f2");
+        assert_eq!(q.qual.len(), 6);
+        let temporal: Vec<_> = q
+            .qual
+            .iter()
+            .filter(|t| matches!(t, QualTerm::Temporal { .. }))
+            .collect();
+        assert_eq!(temporal.len(), 2);
+        assert!(matches!(
+            temporal[0],
+            QualTerm::Temporal {
+                op: TemporalOp::Overlap,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_comparisons_and_constants() {
+        let q = parse_query(
+            "range of f is Faculty\nretrieve (N=f.Name) where f.ValidFrom >= 10 and f.Rank != \"Full\"",
+        )
+        .unwrap();
+        assert!(q.into.is_none());
+        assert_eq!(q.qual.len(), 2);
+        let QualTerm::Comparison { op, right, .. } = &q.qual[0] else {
+            panic!("expected comparison");
+        };
+        assert_eq!(*op, CompOp::Ge);
+        assert_eq!(*right, Operand::Const(Value::Int(10)));
+    }
+
+    #[test]
+    fn parses_all_temporal_keywords() {
+        for kw in [
+            "overlap",
+            "overlaps",
+            "during",
+            "contains",
+            "before",
+            "after",
+            "meets",
+            "starts",
+            "finishes",
+            "equal",
+        ] {
+            let text = format!(
+                "range of a is R\nrange of b is R\nretrieve (X=a.Name) where a {kw} b"
+            );
+            let q = parse_query(&text).unwrap_or_else(|e| panic!("{kw}: {e}"));
+            assert_eq!(q.qual.len(), 1, "{kw}");
+        }
+    }
+
+    #[test]
+    fn error_cases_carry_positions() {
+        for text in [
+            "retrieve (N=f.Name)",                       // no range decls
+            "range of f is Faculty\nretrieve N=f.Name",  // missing parens
+            "range of f is Faculty\nretrieve (N=f.Name) where f.Rank ~ 3",
+            "range of f is Faculty\nrange of f is Other\nretrieve (N=f.Name)",
+            "range of f is Faculty\nretrieve (N=f.Name) where",
+            "range of f is Faculty\nretrieve (N=f.Name) extra",
+        ] {
+            let e = parse_query(text).unwrap_err();
+            assert!(matches!(e, TdbError::Parse { .. }), "text: {text}");
+        }
+    }
+
+    proptest::proptest! {
+        /// Fuzz: arbitrary input never panics the lexer/parser — it either
+        /// parses or returns a positioned error.
+        #[test]
+        fn arbitrary_text_never_panics(text in proptest::string::string_regex(
+            "[a-zA-Z0-9_ .,;()<>=!\"\n\\#-]{0,200}").unwrap())
+        {
+            let _ = parse_query(&text);
+        }
+
+        /// Round-trip-ish: generated well-formed queries always parse.
+        #[test]
+        fn generated_queries_parse(
+            n_ranges in 1usize..4,
+            n_comparisons in 0usize..4,
+            with_temporal in proptest::bool::ANY,
+        ) {
+            let mut text = String::new();
+            for i in 0..n_ranges {
+                text.push_str(&format!("range of v{i} is Rel{i}\n"));
+            }
+            text.push_str("retrieve (Out=v0.Name)");
+            let mut preds = Vec::new();
+            for i in 0..n_comparisons {
+                preds.push(format!("v0.ValidFrom <= {i}"));
+            }
+            if with_temporal && n_ranges >= 2 {
+                preds.push("v0 during v1".to_string());
+            }
+            if !preds.is_empty() {
+                text.push_str(" where ");
+                text.push_str(&preds.join(" and "));
+            }
+            let q = parse_query(&text).unwrap();
+            proptest::prop_assert_eq!(q.ranges.len(), n_ranges);
+        }
+    }
+
+    #[test]
+    fn nested_parentheses_flatten_into_conjunction() {
+        let q = parse_query(
+            "range of a is R\nrange of b is R\nretrieve (X=a.Name) where ((a before b) and (a.Name = b.Name))",
+        )
+        .unwrap();
+        assert_eq!(q.qual.len(), 2);
+    }
+}

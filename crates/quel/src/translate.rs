@@ -1,0 +1,290 @@
+//! Translation from the Quel AST to the logical algebra.
+//!
+//! This is the paper's "syntactic sugaring" step in reverse (§3): each
+//! temporal operator is expanded into its Figure 2 explicit-constraint
+//! conjunction — `overlap` using the symmetric TQuel definition of
+//! footnote 6:
+//!
+//! ```text
+//! (f1 overlap f3) ≡ f1.ValidFrom < f3.ValidTo ∧ f3.ValidFrom < f1.ValidTo
+//! ```
+//!
+//! The output is the *unoptimized* plan of Figure 3(a): the product of the
+//! range variables, one big selection with every atom, and the projection
+//! of the target list.
+
+use crate::ast::{Operand, QualTerm, Query, Target, TemporalOp};
+use tdb_algebra::{Atom, ColumnRef, CompOp, LogicalPlan, Term};
+use tdb_core::{TdbError, TdbResult, TimePoint, Value};
+
+/// Resolves relation names to their attribute lists.
+pub trait SchemaLookup {
+    /// Attribute names of `relation`, in column order.
+    fn attributes(&self, relation: &str) -> TdbResult<Vec<String>>;
+}
+
+/// A fixed in-memory lookup (used by tests and examples).
+pub struct StaticSchemas(pub Vec<(String, Vec<String>)>);
+
+impl SchemaLookup for StaticSchemas {
+    fn attributes(&self, relation: &str) -> TdbResult<Vec<String>> {
+        self.0
+            .iter()
+            .find(|(n, _)| n == relation)
+            .map(|(_, a)| a.clone())
+            .ok_or_else(|| TdbError::Catalog(format!("unknown relation `{relation}`")))
+    }
+}
+
+impl SchemaLookup for tdb_storage::Catalog {
+    fn attributes(&self, relation: &str) -> TdbResult<Vec<String>> {
+        Ok(self
+            .meta(relation)?
+            .schema
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect())
+    }
+}
+
+/// Expand a temporal operator into its Figure 2 inequality/equality atoms.
+pub fn desugar_temporal(left: &str, op: TemporalOp, right: &str) -> Vec<Atom> {
+    let lt = |lv: &str, la: &str, rv: &str, ra: &str| Atom::cols(lv, la, CompOp::Lt, rv, ra);
+    let eq = |lv: &str, la: &str, rv: &str, ra: &str| Atom::cols(lv, la, CompOp::Eq, rv, ra);
+    let (l, r) = (left, right);
+    match op {
+        // Footnote 6: the general, symmetric overlap of TQuel.
+        TemporalOp::Overlap => vec![
+            lt(l, "ValidFrom", r, "ValidTo"),
+            lt(r, "ValidFrom", l, "ValidTo"),
+        ],
+        // Figure 2 row 6, strict Allen overlaps.
+        TemporalOp::Overlaps => vec![
+            lt(l, "ValidFrom", r, "ValidFrom"),
+            lt(r, "ValidFrom", l, "ValidTo"),
+            lt(l, "ValidTo", r, "ValidTo"),
+        ],
+        // Figure 2 row 5: X during Y ≡ X.TS > Y.TS ∧ X.TE < Y.TE.
+        TemporalOp::During => vec![
+            lt(r, "ValidFrom", l, "ValidFrom"),
+            lt(l, "ValidTo", r, "ValidTo"),
+        ],
+        TemporalOp::Contains => vec![
+            lt(l, "ValidFrom", r, "ValidFrom"),
+            lt(r, "ValidTo", l, "ValidTo"),
+        ],
+        // Figure 2 row 7.
+        TemporalOp::Before => vec![lt(l, "ValidTo", r, "ValidFrom")],
+        TemporalOp::After => vec![lt(r, "ValidTo", l, "ValidFrom")],
+        // Figure 2 row 2.
+        TemporalOp::Meets => vec![eq(l, "ValidTo", r, "ValidFrom")],
+        // Figure 2 row 3.
+        TemporalOp::Starts => vec![
+            eq(l, "ValidFrom", r, "ValidFrom"),
+            lt(l, "ValidTo", r, "ValidTo"),
+        ],
+        // Figure 2 row 4.
+        TemporalOp::Finishes => vec![
+            eq(l, "ValidTo", r, "ValidTo"),
+            lt(r, "ValidFrom", l, "ValidFrom"),
+        ],
+        // Figure 2 row 1.
+        TemporalOp::Equal => vec![
+            eq(l, "ValidFrom", r, "ValidFrom"),
+            eq(l, "ValidTo", r, "ValidTo"),
+        ],
+    }
+}
+
+fn operand_to_term(op: &Operand, temporal_context: bool) -> Term {
+    match op {
+        Operand::Column { var, attr } => Term::col(var.clone(), attr.clone()),
+        Operand::Const(v) => {
+            // Integer literals compared against timestamp columns denote
+            // time points.
+            if temporal_context {
+                if let Some(i) = v.as_int() {
+                    return Term::Const(Value::Time(TimePoint::new(i)));
+                }
+            }
+            Term::Const(v.clone())
+        }
+    }
+}
+
+fn operand_is_temporal_col(op: &Operand) -> bool {
+    matches!(op, Operand::Column { attr, .. } if attr == "ValidFrom" || attr == "ValidTo")
+}
+
+/// Translate a parsed query into the unoptimized Figure 3(a) plan.
+pub fn translate(query: &Query, schemas: &dyn SchemaLookup) -> TdbResult<LogicalPlan> {
+    // Build the product of range variables, in declaration order.
+    let mut plan: Option<LogicalPlan> = None;
+    for (var, relation) in &query.ranges {
+        let attrs = schemas.attributes(relation)?;
+        let attrs_ref: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
+        let scan = LogicalPlan::scan(relation, var, &attrs_ref);
+        plan = Some(match plan {
+            Some(p) => p.product(scan),
+            None => scan,
+        });
+    }
+    let plan = plan.ok_or_else(|| TdbError::Plan("query has no range variables".into()))?;
+
+    // Desugar the qualification into one conjunction.
+    let mut atoms = Vec::new();
+    for term in &query.qual {
+        match term {
+            QualTerm::Comparison { left, op, right } => {
+                let temporal_ctx =
+                    operand_is_temporal_col(left) || operand_is_temporal_col(right);
+                atoms.push(Atom::new(
+                    operand_to_term(left, temporal_ctx),
+                    *op,
+                    operand_to_term(right, temporal_ctx),
+                ));
+            }
+            QualTerm::Temporal { left, op, right } => {
+                atoms.extend(desugar_temporal(left, *op, right));
+            }
+        }
+    }
+    let plan = if atoms.is_empty() {
+        plan
+    } else {
+        plan.select(atoms)
+    };
+
+    // Projection of the target list.
+    let columns: Vec<(ColumnRef, String)> = query
+        .targets
+        .iter()
+        .map(|Target { name, var, attr }| (ColumnRef::new(var.clone(), attr.clone()), name.clone()))
+        .collect();
+    let plan = plan.project(columns);
+    plan.check_columns()?;
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, SUPERSTAR};
+
+    fn faculty_schemas() -> StaticSchemas {
+        StaticSchemas(vec![(
+            "Faculty".into(),
+            vec![
+                "Name".into(),
+                "Rank".into(),
+                "ValidFrom".into(),
+                "ValidTo".into(),
+            ],
+        )])
+    }
+
+    #[test]
+    fn superstar_translates_to_figure_3a() {
+        let q = parse_query(SUPERSTAR).unwrap();
+        let plan = translate(&q, &faculty_schemas()).unwrap();
+        let tree = plan.parse_tree();
+        // Figure 3(a): projection over one selection over products.
+        assert!(tree.starts_with("π["));
+        assert!(tree.contains("×"));
+        assert_eq!(plan.scan_count(), 3);
+        // The overlap sugar expanded into the θ′ inequalities.
+        assert!(tree.contains("f1.ValidFrom < f3.ValidTo"));
+        assert!(tree.contains("f3.ValidFrom < f1.ValidTo"));
+        assert!(tree.contains("f2.ValidFrom < f3.ValidTo"));
+        assert!(tree.contains("f3.ValidFrom < f2.ValidTo"));
+        // Eight atoms total: 4 from sugar + 3 selections + 1 equi-join.
+        let LogicalPlan::Project { input, .. } = &plan else {
+            panic!()
+        };
+        let LogicalPlan::Select { predicate, .. } = &**input else {
+            panic!()
+        };
+        assert_eq!(predicate.len(), 8);
+    }
+
+    #[test]
+    fn desugaring_matches_figure_2() {
+        use tdb_core::{AllenRelation, Period};
+        // Property-style spot check: the desugared atoms, evaluated on
+        // concrete periods, agree with the AllenRelation predicates.
+        let cases = [
+            (TemporalOp::Overlaps, AllenRelation::Overlaps),
+            (TemporalOp::During, AllenRelation::During),
+            (TemporalOp::Contains, AllenRelation::Contains),
+            (TemporalOp::Before, AllenRelation::Before),
+            (TemporalOp::After, AllenRelation::After),
+            (TemporalOp::Meets, AllenRelation::Meets),
+            (TemporalOp::Starts, AllenRelation::Starts),
+            (TemporalOp::Finishes, AllenRelation::Finishes),
+            (TemporalOp::Equal, AllenRelation::Equal),
+        ];
+        let periods: Vec<Period> = (0..6)
+            .flat_map(|s| (1..6).map(move |d| Period::new(s, s + d).unwrap()))
+            .collect();
+        for (top, rel) in cases {
+            let atoms = desugar_temporal("x", top, "y");
+            for px in &periods {
+                for py in &periods {
+                    let via_atoms = atoms.iter().all(|a| eval_atom_on_periods(a, px, py));
+                    assert_eq!(
+                        via_atoms,
+                        rel.holds(px, py),
+                        "{top:?} on {px} vs {py}"
+                    );
+                }
+            }
+        }
+    }
+
+    fn eval_atom_on_periods(a: &Atom, x: &tdb_core::Period, y: &tdb_core::Period) -> bool {
+        let get = |t: &Term| -> Value {
+            match t {
+                Term::Column(c) => {
+                    let p = if c.var == "x" { x } else { y };
+                    Value::Time(if c.attr == "ValidFrom" {
+                        p.start()
+                    } else {
+                        p.end()
+                    })
+                }
+                Term::Const(v) => v.clone(),
+            }
+        };
+        a.op.eval(&get(&a.left), &get(&a.right))
+    }
+
+    #[test]
+    fn general_overlap_admits_containment() {
+        let atoms = desugar_temporal("x", TemporalOp::Overlap, "y");
+        let x = tdb_core::Period::new(0, 10).unwrap();
+        let y = tdb_core::Period::new(3, 8).unwrap();
+        assert!(atoms.iter().all(|a| eval_atom_on_periods(a, &x, &y)));
+        assert!(atoms.iter().all(|a| eval_atom_on_periods(a, &y, &x)));
+    }
+
+    #[test]
+    fn int_literals_coerce_to_time_in_temporal_context() {
+        let q = parse_query(
+            "range of f is Faculty\nretrieve (N=f.Name) where f.ValidFrom >= 10",
+        )
+        .unwrap();
+        let plan = translate(&q, &faculty_schemas()).unwrap();
+        let tree = plan.parse_tree();
+        assert!(tree.contains("f.ValidFrom ≥ t10"), "{tree}");
+    }
+
+    #[test]
+    fn unknown_relation_and_columns_are_rejected() {
+        let q = parse_query("range of f is Nope\nretrieve (N=f.Name)").unwrap();
+        assert!(translate(&q, &faculty_schemas()).is_err());
+        let q = parse_query("range of f is Faculty\nretrieve (N=f.Salary)").unwrap();
+        assert!(translate(&q, &faculty_schemas()).is_err());
+    }
+}

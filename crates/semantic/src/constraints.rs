@@ -1,0 +1,389 @@
+//! Temporal integrity constraints and constraint-edge derivation.
+//!
+//! Paper §2 fixes the Faculty constraints; §5 shows how they drive
+//! optimization. A [`ConstraintSet`] holds the declared constraints of each
+//! relation and, given the atoms of a query, instantiates the inequality
+//! edges they imply between range-variable timestamps.
+
+use crate::igraph::Edge;
+use tdb_algebra::{Atom, ColumnRef, CompOp, Term};
+use tdb_core::{Row, TdbResult, TemporalSchema, Value};
+
+/// One integrity constraint over a temporal relation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    /// `ValidFrom < ValidTo` within every tuple (paper §2). Declared
+    /// implicitly for every temporal relation; listed here so derivations
+    /// can cite it.
+    IntraTuple,
+    /// Chronological ordering of the values of `attr` per `surrogate`
+    /// (paper §2/§5): if two tuples share a surrogate and hold values
+    /// `values[i]`, `values[j]` with `i < j`, then
+    /// `tᵢ.ValidTo ≤ tⱼ.ValidFrom`.
+    ChronologicalOrder {
+        /// The time-varying attribute (e.g. `Rank`).
+        attr: String,
+        /// Its values in chronological order.
+        values: Vec<Value>,
+        /// The surrogate attribute (e.g. `Name`).
+        surrogate: String,
+    },
+    /// The §5 strengthening: no re-hiring — consecutive values meet
+    /// exactly (`tᵢ.ValidTo = tᵢ₊₁.ValidFrom`) and every object starts at
+    /// `values[0]`.
+    Continuity {
+        /// The time-varying attribute.
+        attr: String,
+        /// Its values in chronological order.
+        values: Vec<Value>,
+        /// The surrogate attribute.
+        surrogate: String,
+    },
+}
+
+/// The constraints declared for one relation.
+#[derive(Debug, Clone, Default)]
+pub struct ConstraintSet {
+    /// Relation name.
+    pub relation: String,
+    /// Declared constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// The paper's Faculty constraints, with chronological rank ordering.
+    pub fn faculty() -> ConstraintSet {
+        ConstraintSet {
+            relation: "Faculty".into(),
+            constraints: vec![
+                Constraint::IntraTuple,
+                Constraint::ChronologicalOrder {
+                    attr: "Rank".into(),
+                    values: vec![
+                        Value::str("Assistant"),
+                        Value::str("Associate"),
+                        Value::str("Full"),
+                    ],
+                    surrogate: "Name".into(),
+                },
+            ],
+        }
+    }
+
+    /// Faculty constraints under the §5 continuous-employment assumption.
+    pub fn faculty_continuous() -> ConstraintSet {
+        let mut c = ConstraintSet::faculty();
+        c.constraints.push(Constraint::Continuity {
+            attr: "Rank".into(),
+            values: vec![
+                Value::str("Assistant"),
+                Value::str("Associate"),
+                Value::str("Full"),
+            ],
+            surrogate: "Name".into(),
+        });
+        c
+    }
+
+    /// Does this set assume continuity for `attr`?
+    pub fn has_continuity(&self, attr: &str) -> bool {
+        self.constraints
+            .iter()
+            .any(|c| matches!(c, Constraint::Continuity { attr: a, .. } if a == attr))
+    }
+
+    /// Derive the inequality edges these constraints imply for a query
+    /// whose range variables `vars` all range over this relation and whose
+    /// qualification contains `atoms`.
+    ///
+    /// Implemented derivations:
+    /// * [`Constraint::IntraTuple`]: `v.ValidFrom < v.ValidTo` per var;
+    /// * [`Constraint::ChronologicalOrder`]/[`Constraint::Continuity`]:
+    ///   for vars `a`, `b` linked by a surrogate equality atom and pinned by
+    ///   selections to values `vᵢ`, `vⱼ` with `i < j`:
+    ///   `a.ValidTo ≤ b.ValidFrom` (strengthened to `=`, i.e. edges both
+    ///   ways, when `j = i + 1` under continuity).
+    pub fn derive_edges(&self, vars: &[&str], atoms: &[Atom]) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        for v in vars {
+            // Intra-tuple constraint, always present for temporal relations.
+            edges.push(Edge {
+                from: ColumnRef::new(*v, "ValidFrom"),
+                to: ColumnRef::new(*v, "ValidTo"),
+                strict: true,
+            });
+        }
+
+        // Which value each var's `attr` is pinned to by an equality
+        // selection.
+        let pinned = |attr: &str, var: &str| -> Option<Value> {
+            atoms.iter().find_map(|a| {
+                if a.op != CompOp::Eq {
+                    return None;
+                }
+                match (&a.left, &a.right) {
+                    (Term::Column(c), Term::Const(v)) | (Term::Const(v), Term::Column(c))
+                        if c.var == var && c.attr == attr =>
+                    {
+                        Some(v.clone())
+                    }
+                    _ => None,
+                }
+            })
+        };
+
+        // Are two vars linked by an equality on the surrogate?
+        let surrogate_linked = |surrogate: &str, a: &str, b: &str| -> bool {
+            atoms.iter().any(|atom| {
+                if atom.op != CompOp::Eq {
+                    return false;
+                }
+                match (&atom.left, &atom.right) {
+                    (Term::Column(x), Term::Column(y)) => {
+                        x.attr == surrogate
+                            && y.attr == surrogate
+                            && ((x.var == a && y.var == b) || (x.var == b && y.var == a))
+                    }
+                    _ => false,
+                }
+            })
+        };
+
+        for c in &self.constraints {
+            let (attr, values, surrogate, continuous) = match c {
+                Constraint::ChronologicalOrder {
+                    attr,
+                    values,
+                    surrogate,
+                } => (attr, values, surrogate, false),
+                Constraint::Continuity {
+                    attr,
+                    values,
+                    surrogate,
+                } => (attr, values, surrogate, true),
+                Constraint::IntraTuple => continue,
+            };
+            for a in vars {
+                for b in vars {
+                    if a == b || !surrogate_linked(surrogate, a, b) {
+                        continue;
+                    }
+                    let (Some(va), Some(vb)) = (pinned(attr, a), pinned(attr, b)) else {
+                        continue;
+                    };
+                    let (Some(i), Some(j)) = (
+                        values.iter().position(|v| *v == va),
+                        values.iter().position(|v| *v == vb),
+                    ) else {
+                        continue;
+                    };
+                    if i < j {
+                        // a's value precedes b's: a.TE ≤ b.TS.
+                        edges.push(Edge {
+                            from: ColumnRef::new(*a, "ValidTo"),
+                            to: ColumnRef::new(*b, "ValidFrom"),
+                            strict: false,
+                        });
+                        if continuous && j == i + 1 {
+                            // Consecutive under continuity: equality.
+                            edges.push(Edge {
+                                from: ColumnRef::new(*b, "ValidFrom"),
+                                to: ColumnRef::new(*a, "ValidTo"),
+                                strict: false,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Validate a relation instance against these constraints.
+    ///
+    /// Used at load time: constraint-based optimization is only sound when
+    /// the data actually satisfies the constraints.
+    pub fn check_rows(&self, schema: &TemporalSchema, rows: &[Row]) -> TdbResult<()> {
+        use std::collections::BTreeMap;
+        for c in &self.constraints {
+            let (attr, values, surrogate, continuous) = match c {
+                Constraint::IntraTuple => {
+                    for r in rows {
+                        schema.period_of(r)?; // enforces TS < TE
+                    }
+                    continue;
+                }
+                Constraint::ChronologicalOrder {
+                    attr,
+                    values,
+                    surrogate,
+                } => (attr, values, surrogate, false),
+                Constraint::Continuity {
+                    attr,
+                    values,
+                    surrogate,
+                } => (attr, values, surrogate, true),
+            };
+            let attr_idx = schema.schema.index_of(attr)?;
+            let sur_idx = schema.schema.index_of(surrogate)?;
+            let mut by_surrogate: BTreeMap<&Value, Vec<(usize, tdb_core::Period)>> =
+                BTreeMap::new();
+            for r in rows {
+                let value_pos = values.iter().position(|v| v == r.get(attr_idx));
+                let Some(pos) = value_pos else {
+                    return Err(tdb_core::TdbError::ConstraintViolation(format!(
+                        "value {} outside the chronological domain of `{attr}`",
+                        r.get(attr_idx)
+                    )));
+                };
+                by_surrogate
+                    .entry(r.get(sur_idx))
+                    .or_default()
+                    .push((pos, schema.period_of(r)?));
+            }
+            for (sur, mut career) in by_surrogate {
+                career.sort_by_key(|(pos, _)| *pos);
+                for w in career.windows(2) {
+                    let ((pi, pa), (pj, pb)) = (&w[0], &w[1]);
+                    if pi == pj {
+                        return Err(tdb_core::TdbError::ConstraintViolation(format!(
+                            "{sur}: duplicate `{attr}` stage"
+                        )));
+                    }
+                    if pa.end() > pb.start() {
+                        return Err(tdb_core::TdbError::ConstraintViolation(format!(
+                            "{sur}: `{attr}` stages overlap ({pa} then {pb})"
+                        )));
+                    }
+                    if continuous && pj == &(pi + 1) && pa.end() != pb.start() {
+                        return Err(tdb_core::TdbError::ConstraintViolation(format!(
+                            "{sur}: employment gap between consecutive `{attr}` stages"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_gen::FacultyGen;
+
+    fn superstar_atoms() -> Vec<Atom> {
+        vec![
+            Atom::cols("f1", "Name", CompOp::Eq, "f2", "Name"),
+            Atom::col_const("f1", "Rank", CompOp::Eq, "Assistant"),
+            Atom::col_const("f2", "Rank", CompOp::Eq, "Full"),
+            Atom::col_const("f3", "Rank", CompOp::Eq, "Associate"),
+        ]
+    }
+
+    #[test]
+    fn derives_intra_tuple_edges_for_all_vars() {
+        let cs = ConstraintSet::faculty();
+        let edges = cs.derive_edges(&["f1", "f2", "f3"], &[]);
+        assert_eq!(edges.len(), 3);
+        assert!(edges.iter().all(|e| e.strict));
+        assert!(edges
+            .iter()
+            .any(|e| e.from == ColumnRef::new("f2", "ValidFrom")));
+    }
+
+    #[test]
+    fn derives_chronological_edge_from_superstar_atoms() {
+        let cs = ConstraintSet::faculty();
+        let edges = cs.derive_edges(&["f1", "f2", "f3"], &superstar_atoms());
+        // 3 intra-tuple + f1.TE ≤ f2.TS.
+        assert_eq!(edges.len(), 4);
+        let chrono = &edges[3];
+        assert_eq!(chrono.from, ColumnRef::new("f1", "ValidTo"));
+        assert_eq!(chrono.to, ColumnRef::new("f2", "ValidFrom"));
+        assert!(!chrono.strict);
+    }
+
+    #[test]
+    fn no_edge_without_surrogate_link() {
+        let cs = ConstraintSet::faculty();
+        let atoms = vec![
+            Atom::col_const("f1", "Rank", CompOp::Eq, "Assistant"),
+            Atom::col_const("f2", "Rank", CompOp::Eq, "Full"),
+        ];
+        let edges = cs.derive_edges(&["f1", "f2"], &atoms);
+        assert_eq!(edges.len(), 2, "only intra-tuple edges without Name link");
+    }
+
+    #[test]
+    fn continuity_adds_equality_for_consecutive_stages() {
+        let cs = ConstraintSet::faculty_continuous();
+        let atoms = vec![
+            Atom::cols("a", "Name", CompOp::Eq, "b", "Name"),
+            Atom::col_const("a", "Rank", CompOp::Eq, "Assistant"),
+            Atom::col_const("b", "Rank", CompOp::Eq, "Associate"),
+        ];
+        let edges = cs.derive_edges(&["a", "b"], &atoms);
+        // 2 intra + (chrono ≤) + (continuity ≤ both ways: from chrono set
+        // and continuity set) — count both-direction pair present.
+        let fwd = edges.iter().filter(|e| {
+            e.from == ColumnRef::new("a", "ValidTo") && e.to == ColumnRef::new("b", "ValidFrom")
+        });
+        let bwd = edges.iter().filter(|e| {
+            e.from == ColumnRef::new("b", "ValidFrom") && e.to == ColumnRef::new("a", "ValidTo")
+        });
+        assert!(fwd.count() >= 1);
+        assert_eq!(bwd.count(), 1);
+        assert!(cs.has_continuity("Rank"));
+        assert!(!ConstraintSet::faculty().has_continuity("Rank"));
+    }
+
+    #[test]
+    fn assistant_to_full_skips_a_stage_so_no_equality() {
+        let cs = ConstraintSet::faculty_continuous();
+        let edges = cs.derive_edges(&["f1", "f2"], &superstar_atoms());
+        let bwd = edges.iter().any(|e| {
+            e.from == ColumnRef::new("f2", "ValidFrom") && e.to == ColumnRef::new("f1", "ValidTo")
+        });
+        assert!(!bwd, "Assistant→Full are not consecutive: no equality");
+    }
+
+    #[test]
+    fn data_validation_accepts_generated_and_rejects_corrupt() {
+        let schema = tdb_core::TemporalSchema::time_sequence("Name", "Rank");
+        let rows: Vec<Row> = FacultyGen::default()
+            .generate()
+            .iter()
+            .map(|t| t.to_row())
+            .collect();
+        ConstraintSet::faculty_continuous()
+            .check_rows(&schema, &rows)
+            .unwrap();
+
+        // Corrupt: an Associate period overlapping the Assistant one.
+        let mk = |n: &str, r: &str, s: i64, e: i64| {
+            Row::new(vec![
+                Value::str(n),
+                Value::str(r),
+                Value::Time(tdb_core::TimePoint(s)),
+                Value::Time(tdb_core::TimePoint(e)),
+            ])
+        };
+        let bad = vec![
+            mk("X", "Assistant", 0, 6),
+            mk("X", "Associate", 4, 9),
+        ];
+        assert!(ConstraintSet::faculty().check_rows(&schema, &bad).is_err());
+
+        // Gap violates continuity but not plain chronological ordering.
+        let gap = vec![mk("X", "Assistant", 0, 4), mk("X", "Associate", 6, 9)];
+        assert!(ConstraintSet::faculty().check_rows(&schema, &gap).is_ok());
+        assert!(ConstraintSet::faculty_continuous()
+            .check_rows(&schema, &gap)
+            .is_err());
+
+        // Unknown rank value.
+        let odd = vec![mk("X", "Emeritus", 0, 4)];
+        assert!(ConstraintSet::faculty().check_rows(&schema, &odd).is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! The inequality graph: transitive reasoning over timestamp orderings.
+//!
+//! Nodes are qualified columns (`f1.ValidTo`); a directed edge `a → b`
+//! asserts `a ≤ b`, and a *strict* edge asserts `a < b`. The transitive
+//! closure (Floyd–Warshall over the three-valued domain {unrelated, ≤, <})
+//! answers implication queries: a path is strict iff any of its edges is.
+//!
+//! This is the engine behind §5's observations: it proves atoms of θ′
+//! redundant ("subsumed by other inequalities") and detects provably empty
+//! qualifications (a strict cycle).
+
+use tdb_algebra::{Atom, ColumnRef, CompOp, Term};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An inequality edge `from ≤ to` (or `from < to` when `strict`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Smaller term.
+    pub from: ColumnRef,
+    /// Larger term.
+    pub to: ColumnRef,
+    /// `<` rather than `≤`.
+    pub strict: bool,
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}",
+            self.from,
+            if self.strict { "<" } else { "≤" },
+            self.to
+        )
+    }
+}
+
+/// Relation between two nodes in the closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rel {
+    None,
+    Le,
+    Lt,
+}
+
+impl Rel {
+    fn chain(a: Rel, b: Rel) -> Rel {
+        match (a, b) {
+            (Rel::None, _) | (_, Rel::None) => Rel::None,
+            (Rel::Lt, _) | (_, Rel::Lt) => Rel::Lt,
+            _ => Rel::Le,
+        }
+    }
+
+    fn strengthen(self, other: Rel) -> Rel {
+        match (self, other) {
+            (Rel::Lt, _) | (_, Rel::Lt) => Rel::Lt,
+            (Rel::Le, _) | (_, Rel::Le) => Rel::Le,
+            _ => Rel::None,
+        }
+    }
+}
+
+/// A directed inequality graph with transitive closure.
+#[derive(Debug, Clone, Default)]
+pub struct InequalityGraph {
+    nodes: Vec<ColumnRef>,
+    index: HashMap<ColumnRef, usize>,
+    /// Adjacency closure: `rel[i][j]` = relation `nodeᵢ → nodeⱼ`.
+    rel: Vec<Vec<Rel>>,
+    closed: bool,
+}
+
+impl InequalityGraph {
+    /// An empty graph.
+    pub fn new() -> InequalityGraph {
+        InequalityGraph::default()
+    }
+
+    fn node(&mut self, c: &ColumnRef) -> usize {
+        if let Some(&i) = self.index.get(c) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(c.clone());
+        self.index.insert(c.clone(), i);
+        for row in &mut self.rel {
+            row.push(Rel::None);
+        }
+        self.rel.push(vec![Rel::None; i + 1]);
+        self.rel[i][i] = Rel::Le;
+        self.closed = false;
+        i
+    }
+
+    /// Add an edge.
+    pub fn add_edge(&mut self, e: &Edge) {
+        let (i, j) = (self.node(&e.from), self.node(&e.to));
+        let r = if e.strict { Rel::Lt } else { Rel::Le };
+        self.rel[i][j] = self.rel[i][j].strengthen(r);
+        self.closed = false;
+    }
+
+    /// Add a column-to-column atom (constants and `≠` are ignored — they
+    /// carry no ordering information for the graph).
+    pub fn add_atom(&mut self, atom: &Atom) {
+        let (Term::Column(a), Term::Column(b)) = (&atom.left, &atom.right) else {
+            return;
+        };
+        match atom.op {
+            CompOp::Lt => self.add_edge(&Edge {
+                from: a.clone(),
+                to: b.clone(),
+                strict: true,
+            }),
+            CompOp::Le => self.add_edge(&Edge {
+                from: a.clone(),
+                to: b.clone(),
+                strict: false,
+            }),
+            CompOp::Gt => self.add_edge(&Edge {
+                from: b.clone(),
+                to: a.clone(),
+                strict: true,
+            }),
+            CompOp::Ge => self.add_edge(&Edge {
+                from: b.clone(),
+                to: a.clone(),
+                strict: false,
+            }),
+            CompOp::Eq => {
+                self.add_edge(&Edge {
+                    from: a.clone(),
+                    to: b.clone(),
+                    strict: false,
+                });
+                self.add_edge(&Edge {
+                    from: b.clone(),
+                    to: a.clone(),
+                    strict: false,
+                });
+            }
+            CompOp::Ne => {}
+        }
+    }
+
+    fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        let n = self.nodes.len();
+        for k in 0..n {
+            for i in 0..n {
+                if self.rel[i][k] == Rel::None {
+                    continue;
+                }
+                for j in 0..n {
+                    let through = Rel::chain(self.rel[i][k], self.rel[k][j]);
+                    if through != Rel::None {
+                        self.rel[i][j] = self.rel[i][j].strengthen(through);
+                    }
+                }
+            }
+        }
+        self.closed = true;
+    }
+
+    /// Does the closure prove `a op b` (for `<`, `≤` and their flips)?
+    pub fn implies(&mut self, a: &ColumnRef, op: CompOp, b: &ColumnRef) -> bool {
+        self.close();
+        let (Some(&i), Some(&j)) = (self.index.get(a), self.index.get(b)) else {
+            return false;
+        };
+        match op {
+            CompOp::Lt => self.rel[i][j] == Rel::Lt,
+            CompOp::Le => matches!(self.rel[i][j], Rel::Lt | Rel::Le),
+            CompOp::Gt => self.rel[j][i] == Rel::Lt,
+            CompOp::Ge => matches!(self.rel[j][i], Rel::Lt | Rel::Le),
+            CompOp::Eq => {
+                matches!(self.rel[i][j], Rel::Le) && matches!(self.rel[j][i], Rel::Le)
+            }
+            CompOp::Ne => false,
+        }
+    }
+
+    /// Does the closure prove the atom (column-to-column only)?
+    pub fn implies_atom(&mut self, atom: &Atom) -> bool {
+        let (Term::Column(a), Term::Column(b)) = (&atom.left, &atom.right) else {
+            return false;
+        };
+        self.implies(a, atom.op, b)
+    }
+
+    /// Is the graph contradictory (some strict cycle, i.e. `a < a`)?
+    pub fn contradictory(&mut self) -> bool {
+        self.close();
+        (0..self.nodes.len()).any(|i| self.rel[i][i] == Rel::Lt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(var: &str, attr: &str) -> ColumnRef {
+        ColumnRef::new(var, attr)
+    }
+
+    fn lt(a: (&str, &str), b: (&str, &str)) -> Edge {
+        Edge {
+            from: c(a.0, a.1),
+            to: c(b.0, b.1),
+            strict: true,
+        }
+    }
+
+    fn le(a: (&str, &str), b: (&str, &str)) -> Edge {
+        Edge {
+            from: c(a.0, a.1),
+            to: c(b.0, b.1),
+            strict: false,
+        }
+    }
+
+    #[test]
+    fn transitive_strictness() {
+        let mut g = InequalityGraph::new();
+        g.add_edge(&le(("a", "TS"), ("b", "TS")));
+        g.add_edge(&lt(("b", "TS"), ("c", "TS")));
+        assert!(g.implies(&c("a", "TS"), CompOp::Lt, &c("c", "TS")));
+        assert!(g.implies(&c("a", "TS"), CompOp::Le, &c("b", "TS")));
+        // ≤ chain alone is not strict.
+        let mut g = InequalityGraph::new();
+        g.add_edge(&le(("a", "TS"), ("b", "TS")));
+        g.add_edge(&le(("b", "TS"), ("c", "TS")));
+        assert!(!g.implies(&c("a", "TS"), CompOp::Lt, &c("c", "TS")));
+        assert!(g.implies(&c("a", "TS"), CompOp::Le, &c("c", "TS")));
+    }
+
+    #[test]
+    fn flipped_queries() {
+        let mut g = InequalityGraph::new();
+        g.add_edge(&lt(("a", "TS"), ("b", "TS")));
+        assert!(g.implies(&c("b", "TS"), CompOp::Gt, &c("a", "TS")));
+        assert!(g.implies(&c("b", "TS"), CompOp::Ge, &c("a", "TS")));
+        assert!(!g.implies(&c("a", "TS"), CompOp::Gt, &c("b", "TS")));
+    }
+
+    #[test]
+    fn equality_via_cycles() {
+        let mut g = InequalityGraph::new();
+        g.add_edge(&le(("a", "TS"), ("b", "TS")));
+        g.add_edge(&le(("b", "TS"), ("a", "TS")));
+        assert!(g.implies(&c("a", "TS"), CompOp::Eq, &c("b", "TS")));
+        assert!(!g.contradictory());
+    }
+
+    #[test]
+    fn strict_cycle_is_contradiction() {
+        let mut g = InequalityGraph::new();
+        g.add_edge(&lt(("a", "TS"), ("b", "TS")));
+        g.add_edge(&le(("b", "TS"), ("a", "TS")));
+        assert!(g.contradictory());
+    }
+
+    #[test]
+    fn atoms_feed_the_graph() {
+        let mut g = InequalityGraph::new();
+        g.add_atom(&Atom::cols("x", "ValidTo", CompOp::Gt, "y", "ValidTo"));
+        assert!(g.implies(&c("y", "ValidTo"), CompOp::Lt, &c("x", "ValidTo")));
+        g.add_atom(&Atom::cols("x", "Name", CompOp::Eq, "y", "Name"));
+        assert!(g.implies(&c("x", "Name"), CompOp::Eq, &c("y", "Name")));
+        // Constant atoms are ignored without panicking.
+        g.add_atom(&Atom::col_const("x", "Rank", CompOp::Eq, "Full"));
+    }
+
+    #[test]
+    fn unknown_nodes_imply_nothing() {
+        let mut g = InequalityGraph::new();
+        assert!(!g.implies(&c("q", "TS"), CompOp::Le, &c("r", "TS")));
+    }
+
+    /// The paper's §5 deduction: with f1.TE ≤ f2.TS (chronological
+    /// ordering) and the intra-tuple constraints, two of the θ′ atoms are
+    /// implied by the other two.
+    #[test]
+    fn superstar_redundancy_deduction() {
+        let mut g = InequalityGraph::new();
+        // Intra-tuple.
+        for v in ["f1", "f2", "f3"] {
+            g.add_edge(&lt((v, "ValidFrom"), (v, "ValidTo")));
+        }
+        // Chronological ordering consequence.
+        g.add_edge(&le(("f1", "ValidTo"), ("f2", "ValidFrom")));
+        // Two of the four θ′ atoms.
+        g.add_atom(&Atom::cols("f2", "ValidFrom", CompOp::Lt, "f3", "ValidTo"));
+        g.add_atom(&Atom::cols("f3", "ValidFrom", CompOp::Lt, "f1", "ValidTo"));
+        // The other two follow.
+        assert!(g.implies_atom(&Atom::cols(
+            "f1",
+            "ValidFrom",
+            CompOp::Lt,
+            "f3",
+            "ValidTo"
+        )));
+        assert!(g.implies_atom(&Atom::cols(
+            "f3",
+            "ValidFrom",
+            CompOp::Lt,
+            "f2",
+            "ValidTo"
+        )));
+    }
+}

@@ -1,0 +1,37 @@
+//! # tdb-semantic — semantic query optimization (paper Section 5)
+//!
+//! "Undoubtedly semantic constraints in temporal databases occur more
+//! naturally and are more plentiful, and consequently a temporal query
+//! optimizer should profitably exploit the semantic constraints."
+//!
+//! This crate implements the paper's semantic optimization pipeline:
+//!
+//! 1. **Integrity constraints** ([`constraints`]) — the intra-tuple rule
+//!    `ValidFrom < ValidTo`, the *chronological ordering* of attribute
+//!    values (`Assistant → Associate → Full`), and the *continuous
+//!    employment* strengthening (`ValidToᵢ = ValidFromᵢ₊₁`).
+//! 2. **Constraint-edge derivation** — given a query's equality and
+//!    selection atoms, constraints instantiate inequality edges between
+//!    range-variable timestamps (e.g. `f1.Name = f2.Name ∧ f1.Rank =
+//!    "Assistant" ∧ f2.Rank = "Full"` yields `f1.ValidTo ≤ f2.ValidFrom`).
+//! 3. **The inequality graph** ([`igraph`]) — transitive closure over
+//!    strict/non-strict edges; detects *redundant* atoms (implied by the
+//!    rest plus the constraints) and *contradictions* (provably empty
+//!    queries).
+//! 4. **Recognition and transformation** ([`superstar`]) — after redundancy
+//!    elimination the Superstar less-than join collapses to the
+//!    Contained-semijoin of Figure 8(b); with continuity it becomes the
+//!    single-scan self semijoin over Associate tuples of §4.2.3.
+
+pub mod constraints;
+pub mod igraph;
+pub mod simplify;
+pub mod superstar;
+
+pub use constraints::{Constraint, ConstraintSet};
+pub use igraph::InequalityGraph;
+pub use simplify::{simplify_predicate, SimplifiedPredicate};
+pub use superstar::{
+    recognize_gap_containment, superstar_plans, transform_promotion_query, GapContainment,
+};
+pub use superstar::{superstar_selfsemijoin, superstar_selfsemijoin_guarded};

@@ -1,0 +1,188 @@
+//! Redundant-atom elimination.
+//!
+//! Paper §5: "these inequalities in θ′ are redundant — i.e. they are
+//! subsumed by other inequalities", and eliminating them both removes
+//! per-tuple testing overhead and — crucially — makes the remaining
+//! conjunction *recognizable* as a temporal operator.
+//!
+//! [`simplify_predicate`] removes every timestamp atom implied by (the
+//! closure of) the remaining atoms plus the constraint-derived edges, and
+//! reports contradictions (provably empty qualifications).
+
+use crate::igraph::{Edge, InequalityGraph};
+use tdb_algebra::{Atom, Term};
+
+/// Outcome of predicate simplification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplifiedPredicate {
+    /// The surviving atoms (same order as input).
+    pub kept: Vec<Atom>,
+    /// Atoms removed as redundant.
+    pub removed: Vec<Atom>,
+    /// The predicate is provably unsatisfiable under the constraints.
+    pub contradictory: bool,
+}
+
+fn is_timestamp_atom(atom: &Atom) -> bool {
+    let col_ok = |t: &Term| match t {
+        Term::Column(c) => c.is_temporal(),
+        Term::Const(_) => false,
+    };
+    col_ok(&atom.left) && col_ok(&atom.right)
+}
+
+/// Simplify a conjunction under constraint-derived edges.
+///
+/// Only timestamp/timestamp atoms participate in redundancy elimination;
+/// equality atoms on data attributes and constant comparisons are kept
+/// untouched (they are what *instantiated* the constraint edges).
+pub fn simplify_predicate(atoms: &[Atom], constraint_edges: &[Edge]) -> SimplifiedPredicate {
+    // Contradiction check over everything.
+    let mut full = InequalityGraph::new();
+    for e in constraint_edges {
+        full.add_edge(e);
+    }
+    for a in atoms {
+        full.add_atom(a);
+    }
+    if full.contradictory() {
+        return SimplifiedPredicate {
+            kept: Vec::new(),
+            removed: atoms.to_vec(),
+            contradictory: true,
+        };
+    }
+
+    let mut kept: Vec<Atom> = Vec::new();
+    let mut removed: Vec<Atom> = Vec::new();
+    let candidates: Vec<usize> = (0..atoms.len())
+        .filter(|&i| is_timestamp_atom(&atoms[i]))
+        .collect();
+
+    // Greedy elimination: an atom is dropped if the closure of the
+    // constraints plus all *other* currently-surviving atoms implies it.
+    let mut alive: Vec<bool> = vec![true; atoms.len()];
+    for &i in &candidates {
+        let mut g = InequalityGraph::new();
+        for e in constraint_edges {
+            g.add_edge(e);
+        }
+        for (j, a) in atoms.iter().enumerate() {
+            if j != i && alive[j] {
+                g.add_atom(a);
+            }
+        }
+        if g.implies_atom(&atoms[i]) {
+            alive[i] = false;
+        }
+    }
+    for (i, a) in atoms.iter().enumerate() {
+        if alive[i] {
+            kept.push(a.clone());
+        } else {
+            removed.push(a.clone());
+        }
+    }
+    SimplifiedPredicate {
+        kept,
+        removed,
+        contradictory: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::ConstraintSet;
+    use tdb_algebra::CompOp;
+
+    fn superstar_theta() -> Vec<Atom> {
+        vec![
+            Atom::cols("f1", "Name", CompOp::Eq, "f2", "Name"),
+            Atom::col_const("f1", "Rank", CompOp::Eq, "Assistant"),
+            Atom::col_const("f2", "Rank", CompOp::Eq, "Full"),
+            Atom::col_const("f3", "Rank", CompOp::Eq, "Associate"),
+            Atom::cols("f1", "ValidFrom", CompOp::Lt, "f3", "ValidTo"),
+            Atom::cols("f3", "ValidFrom", CompOp::Lt, "f1", "ValidTo"),
+            Atom::cols("f2", "ValidFrom", CompOp::Lt, "f3", "ValidTo"),
+            Atom::cols("f3", "ValidFrom", CompOp::Lt, "f2", "ValidTo"),
+        ]
+    }
+
+    /// The §5 headline: under the chronological-ordering constraint the
+    /// Superstar θ′ loses exactly `f1.TS < f3.TE` and `f3.TS < f2.TE`,
+    /// leaving the Figure 8(b) Contained-semijoin condition.
+    #[test]
+    fn superstar_theta_reduces_to_figure_8b() {
+        let cs = ConstraintSet::faculty();
+        let atoms = superstar_theta();
+        let edges = cs.derive_edges(&["f1", "f2", "f3"], &atoms);
+        let s = simplify_predicate(&atoms, &edges);
+        assert!(!s.contradictory);
+        assert_eq!(s.removed.len(), 2, "removed: {:?}", s.removed);
+        assert!(s
+            .removed
+            .contains(&Atom::cols("f1", "ValidFrom", CompOp::Lt, "f3", "ValidTo")));
+        assert!(s
+            .removed
+            .contains(&Atom::cols("f3", "ValidFrom", CompOp::Lt, "f2", "ValidTo")));
+        // Survivors include the Figure 8(b) pair.
+        assert!(s
+            .kept
+            .contains(&Atom::cols("f3", "ValidFrom", CompOp::Lt, "f1", "ValidTo")));
+        assert!(s
+            .kept
+            .contains(&Atom::cols("f2", "ValidFrom", CompOp::Lt, "f3", "ValidTo")));
+        // Non-timestamp atoms are untouched.
+        assert!(s
+            .kept
+            .contains(&Atom::cols("f1", "Name", CompOp::Eq, "f2", "Name")));
+    }
+
+    #[test]
+    fn without_constraints_nothing_is_removed() {
+        let atoms = superstar_theta();
+        let edges = ConstraintSet::faculty().derive_edges(&["f1", "f2", "f3"], &[]);
+        // Intra-tuple alone cannot subsume the θ′ atoms.
+        let s = simplify_predicate(&atoms, &edges);
+        assert!(s.removed.is_empty());
+    }
+
+    #[test]
+    fn duplicate_atoms_collapse() {
+        let atoms = vec![
+            Atom::cols("a", "ValidFrom", CompOp::Lt, "b", "ValidFrom"),
+            Atom::cols("a", "ValidFrom", CompOp::Lt, "b", "ValidFrom"),
+        ];
+        let s = simplify_predicate(&atoms, &[]);
+        assert_eq!(s.kept.len(), 1);
+        assert_eq!(s.removed.len(), 1);
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let atoms = vec![
+            Atom::cols("a", "ValidFrom", CompOp::Lt, "b", "ValidFrom"),
+            Atom::cols("b", "ValidFrom", CompOp::Lt, "a", "ValidFrom"),
+        ];
+        let s = simplify_predicate(&atoms, &[]);
+        assert!(s.contradictory);
+        assert!(s.kept.is_empty());
+    }
+
+    #[test]
+    fn constraint_contradiction_detected() {
+        // Query demands f2 strictly before f1 while constraints say
+        // f1.TE ≤ f2.TS: provably empty.
+        let cs = ConstraintSet::faculty();
+        let atoms = vec![
+            Atom::cols("f1", "Name", CompOp::Eq, "f2", "Name"),
+            Atom::col_const("f1", "Rank", CompOp::Eq, "Assistant"),
+            Atom::col_const("f2", "Rank", CompOp::Eq, "Full"),
+            Atom::cols("f2", "ValidTo", CompOp::Lt, "f1", "ValidFrom"),
+        ];
+        let edges = cs.derive_edges(&["f1", "f2"], &atoms);
+        let s = simplify_predicate(&atoms, &edges);
+        assert!(s.contradictory);
+    }
+}

@@ -1,0 +1,458 @@
+//! The Superstar query and its semantic transformation (paper §3 + §5).
+//!
+//! Three equivalent formulations, in increasing order of optimization:
+//!
+//! 1. [`superstar_unoptimized`] — Figure 3(a): one big selection over a
+//!    triple product.
+//! 2. [`superstar_conventional`] — Figure 3(b): selections pushed down,
+//!    equi-join on `Name`, the θ′ inequality conjunction as a less-than
+//!    join on top.
+//! 3. [`superstar_reduced`] — §5 step 1–2: the θ′ atoms proved redundant by
+//!    the chronological-ordering constraint are deleted, and (because the
+//!    projection uses no `f3` column) the less-than join becomes a
+//!    **semijoin** — Figure 8(b)'s Contained-semijoin of the derived gap
+//!    period `[f1.TE, f2.TS)` within `f3`'s lifespan.
+//! 4. [`superstar_selfsemijoin`] — §5 step 3: under *continuous
+//!    employment* the gap `[f1.TE, f2.TS)` **is** the faculty member's
+//!    Associate period, so the query collapses to
+//!    `π(Contained-semijoin(σ_Associate(F_i), σ_Associate(F_j)))` — which
+//!    the planner executes as the §4.2.3 single-scan self semijoin.
+//!
+//! Note on formulation 4: as in the paper, the transformed query reports
+//! each superstar's *Associate* period rather than the Assistant-start /
+//! Full-end pair, and a faculty member witnessed by several colleagues is
+//! reported once (semijoin semantics). The answered set of names is
+//! identical; equivalence tests compare name sets.
+
+use crate::constraints::ConstraintSet;
+use crate::igraph::{Edge, InequalityGraph};
+use crate::simplify::simplify_predicate;
+use tdb_algebra::{Atom, ColumnRef, CompOp, LogicalPlan, Term};
+use tdb_core::{TdbError, TdbResult};
+
+/// Recognition result: the period `[gap_start_var.TE, gap_end_var.TS)` is
+/// strictly contained in `container`'s lifespan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GapContainment {
+    /// The variable whose lifespan contains the gap (`f3`).
+    pub container: String,
+    /// The variable whose `ValidTo` starts the gap (`f1`).
+    pub gap_start_var: String,
+    /// The variable whose `ValidFrom` ends the gap (`f2`).
+    pub gap_end_var: String,
+}
+
+/// Recognize Figure 8(b): atoms `container.TS < a.TE` and
+/// `b.TS < container.TE` where the constraint edges imply `a.TE ≤ b.TS` —
+/// i.e. `[a.TE, b.TS)` lies strictly inside the container's lifespan.
+pub fn recognize_gap_containment(
+    atoms: &[Atom],
+    constraint_edges: &[Edge],
+) -> Option<GapContainment> {
+    let mut graph = InequalityGraph::new();
+    for e in constraint_edges {
+        graph.add_edge(e);
+    }
+
+    // Collect strict atoms container.TS < a.TE and b.TS < container.TE.
+    let as_lt = |atom: &Atom| -> Option<(ColumnRef, ColumnRef)> {
+        let (Term::Column(l), Term::Column(r)) = (&atom.left, &atom.right) else {
+            return None;
+        };
+        match atom.op {
+            CompOp::Lt => Some((l.clone(), r.clone())),
+            CompOp::Gt => Some((r.clone(), l.clone())),
+            _ => None,
+        }
+    };
+
+    let lts: Vec<(ColumnRef, ColumnRef)> = atoms.iter().filter_map(as_lt).collect();
+    for (c_ts, a_te) in &lts {
+        if c_ts.attr != "ValidFrom" || a_te.attr != "ValidTo" {
+            continue;
+        }
+        for (b_ts, c_te) in &lts {
+            if b_ts.attr != "ValidFrom" || c_te.attr != "ValidTo" {
+                continue;
+            }
+            // Same container on both sides, three distinct variables.
+            if c_ts.var != c_te.var || c_ts.var == a_te.var || c_ts.var == b_ts.var {
+                continue;
+            }
+            if a_te.var == b_ts.var {
+                continue;
+            }
+            // Gap must be provably non-inverted: a.TE ≤ b.TS.
+            if graph.implies(a_te, CompOp::Le, b_ts) {
+                return Some(GapContainment {
+                    container: c_ts.var.clone(),
+                    gap_start_var: a_te.var.clone(),
+                    gap_end_var: b_ts.var.clone(),
+                });
+            }
+        }
+    }
+    None
+}
+
+fn scan(var: &str) -> LogicalPlan {
+    LogicalPlan::scan("Faculty", var, &tdb_algebra::logical::FACULTY_ATTRS)
+}
+
+/// Figure 3(a): `π(σ_θ(Faculty × Faculty × Faculty))`.
+pub fn superstar_unoptimized() -> LogicalPlan {
+    let theta = vec![
+        Atom::cols("f1", "Name", CompOp::Eq, "f2", "Name"),
+        Atom::col_const("f1", "Rank", CompOp::Eq, "Assistant"),
+        Atom::col_const("f2", "Rank", CompOp::Eq, "Full"),
+        Atom::col_const("f3", "Rank", CompOp::Eq, "Associate"),
+        Atom::cols("f1", "ValidFrom", CompOp::Lt, "f3", "ValidTo"),
+        Atom::cols("f3", "ValidFrom", CompOp::Lt, "f1", "ValidTo"),
+        Atom::cols("f2", "ValidFrom", CompOp::Lt, "f3", "ValidTo"),
+        Atom::cols("f3", "ValidFrom", CompOp::Lt, "f2", "ValidTo"),
+    ];
+    scan("f1")
+        .product(scan("f2"))
+        .product(scan("f3"))
+        .select(theta)
+        .project(vec![
+            (ColumnRef::new("f1", "Name"), "Name".into()),
+            (ColumnRef::new("f1", "ValidFrom"), "ValidFrom".into()),
+            (ColumnRef::new("f2", "ValidTo"), "ValidTo".into()),
+        ])
+}
+
+/// Figure 3(b): the conventionally optimized plan.
+pub fn superstar_conventional() -> LogicalPlan {
+    tdb_algebra::conventional_optimize(superstar_unoptimized())
+}
+
+/// Collect every atom appearing anywhere in the plan (the whole query is
+/// one conjunction, so this is sound context for constraint derivation).
+fn collect_atoms(plan: &LogicalPlan, out: &mut Vec<Atom>) {
+    match plan {
+        LogicalPlan::Scan { .. } => {}
+        LogicalPlan::Select { input, predicate } => {
+            out.extend(predicate.iter().cloned());
+            collect_atoms(input, out);
+        }
+        LogicalPlan::Project { input, .. } => collect_atoms(input, out),
+        LogicalPlan::Product { left, right } => {
+            collect_atoms(left, out);
+            collect_atoms(right, out);
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            predicate,
+        }
+        | LogicalPlan::Semijoin {
+            left,
+            right,
+            predicate,
+        } => {
+            out.extend(predicate.iter().cloned());
+            collect_atoms(left, out);
+            collect_atoms(right, out);
+        }
+    }
+}
+
+fn collect_vars(plan: &LogicalPlan, relation: &str, out: &mut Vec<String>) {
+    match plan {
+        LogicalPlan::Scan {
+            relation: r, var, ..
+        } => {
+            if r == relation && !out.contains(var) {
+                out.push(var.clone());
+            }
+        }
+        LogicalPlan::Select { input, .. } | LogicalPlan::Project { input, .. } => {
+            collect_vars(input, relation, out)
+        }
+        LogicalPlan::Product { left, right }
+        | LogicalPlan::Join { left, right, .. }
+        | LogicalPlan::Semijoin { left, right, .. } => {
+            collect_vars(left, relation, out);
+            collect_vars(right, relation, out);
+        }
+    }
+}
+
+/// §5 steps 1–2 applied to a `Project(Join(L, R, θ))` plan: simplify θ
+/// under the constraints and convert the join to a semijoin when the
+/// projection uses only `L` columns.
+///
+/// Errors if the constraints prove the query empty ([`TdbError::Plan`] —
+/// the caller should answer with the empty result instead).
+pub fn superstar_reduced(cs: &ConstraintSet) -> TdbResult<LogicalPlan> {
+    let plan = superstar_conventional();
+    semantically_reduce(plan, cs)
+}
+
+/// Generic version of [`superstar_reduced`]: works on any
+/// `Project(Join(..))` whose scans range over the constraint relation.
+pub fn semantically_reduce(plan: LogicalPlan, cs: &ConstraintSet) -> TdbResult<LogicalPlan> {
+    let LogicalPlan::Project { input, columns } = plan else {
+        return Err(TdbError::Plan(
+            "semantic reduction expects a projection root".into(),
+        ));
+    };
+    let LogicalPlan::Join {
+        left,
+        right,
+        predicate,
+    } = *input
+    else {
+        return Err(TdbError::Plan(
+            "semantic reduction expects a join beneath the projection".into(),
+        ));
+    };
+
+    // Derive constraint edges from the full conjunction context.
+    let mut context = predicate.clone();
+    collect_atoms(&left, &mut context);
+    collect_atoms(&right, &mut context);
+    let mut vars = Vec::new();
+    collect_vars(&left, &cs.relation, &mut vars);
+    collect_vars(&right, &cs.relation, &mut vars);
+    let var_refs: Vec<&str> = vars.iter().map(|s| s.as_str()).collect();
+    let edges = cs.derive_edges(&var_refs, &context);
+
+    let simplified = simplify_predicate(&predicate, &edges);
+    if simplified.contradictory {
+        return Err(TdbError::Plan(
+            "qualification is unsatisfiable under the integrity constraints".into(),
+        ));
+    }
+
+    // Join → semijoin when the projection only references the left side.
+    let left_scope = left.scope();
+    let projection_left_only = columns
+        .iter()
+        .all(|(c, _)| left_scope.index_of(c).is_ok());
+    let reduced = if projection_left_only {
+        LogicalPlan::Semijoin {
+            left,
+            right,
+            predicate: simplified.kept,
+        }
+    } else {
+        LogicalPlan::Join {
+            left,
+            right,
+            predicate: simplified.kept,
+        }
+    };
+    Ok(LogicalPlan::Project {
+        input: Box::new(reduced),
+        columns,
+    })
+}
+
+/// §5 step 3, the paper's formulation verbatim —
+/// `π(Contained-semijoin(σ_Associate(F_i), σ_Associate(F_j)))`.
+///
+/// The planner recognizes the identical subplans and runs the §4.2.3
+/// single-scan algorithm with one state tuple.
+///
+/// **Soundness caveat** (documented reproduction note): the paper's
+/// transformed query quietly assumes that, besides continuity and
+/// hired-as-assistant, every faculty member's career eventually reaches
+/// Full — only then is every Associate period a promotion gap
+/// `[f1.TE, f2.TS)`. Without that assumption an associate who never became
+/// Full can be falsely reported; use [`superstar_selfsemijoin_guarded`]
+/// then, which pre-filters the containee side to members holding a Full
+/// tuple and is sound under continuity alone.
+pub fn superstar_selfsemijoin() -> LogicalPlan {
+    let assoc = |v: &str| {
+        scan(v).select(vec![Atom::col_const(v, "Rank", CompOp::Eq, "Associate")])
+    };
+    assoc("fi")
+        .semijoin(
+            assoc("fj"),
+            vec![
+                // fi during fj: fj.TS < fi.TS ∧ fi.TE < fj.TE.
+                Atom::cols("fj", "ValidFrom", CompOp::Lt, "fi", "ValidFrom"),
+                Atom::cols("fi", "ValidTo", CompOp::Lt, "fj", "ValidTo"),
+            ],
+        )
+        .project(vec![
+            (ColumnRef::new("fi", "Name"), "Name".into()),
+            (ColumnRef::new("fi", "ValidFrom"), "ValidFrom".into()),
+            (ColumnRef::new("fi", "ValidTo"), "ValidTo".into()),
+        ])
+}
+
+/// The sound §5 formulation under continuity alone: like
+/// [`superstar_selfsemijoin`], but the output (containee) side is first
+/// semijoined on `Name` against Full holders, so only genuine
+/// assistant-to-full promotion gaps participate.
+///
+/// The containment semijoin still runs as a single-pass stream operator
+/// (the Figure 6 stab algorithm); the Name guard is an ordinary
+/// equi-semijoin. Both semijoins are order-preserving (§4.2.3).
+pub fn superstar_selfsemijoin_guarded() -> LogicalPlan {
+    let assoc = |v: &str| {
+        scan(v).select(vec![Atom::col_const(v, "Rank", CompOp::Eq, "Associate")])
+    };
+    let fulls = scan("fk").select(vec![Atom::col_const("fk", "Rank", CompOp::Eq, "Full")]);
+    let promoted_associates = assoc("fi").semijoin(
+        fulls,
+        vec![Atom::cols("fi", "Name", CompOp::Eq, "fk", "Name")],
+    );
+    promoted_associates
+        .semijoin(
+            assoc("fj"),
+            vec![
+                Atom::cols("fj", "ValidFrom", CompOp::Lt, "fi", "ValidFrom"),
+                Atom::cols("fi", "ValidTo", CompOp::Lt, "fj", "ValidTo"),
+            ],
+        )
+        .project(vec![
+            (ColumnRef::new("fi", "Name"), "Name".into()),
+            (ColumnRef::new("fi", "ValidFrom"), "ValidFrom".into()),
+            (ColumnRef::new("fi", "ValidTo"), "ValidTo".into()),
+        ])
+}
+
+/// Build a §5-style self-semijoin plan for any promotion-chain relation:
+/// objects whose `middle_value` stage is strictly contained in another
+/// object's same stage.
+pub fn transform_promotion_query(
+    relation: &str,
+    attrs: &[&str],
+    surrogate: &str,
+    attr: &str,
+    middle_value: &str,
+) -> LogicalPlan {
+    let stage = |v: &str| {
+        LogicalPlan::scan(relation, v, attrs)
+            .select(vec![Atom::col_const(v, attr, CompOp::Eq, middle_value)])
+    };
+    stage("xi")
+        .semijoin(
+            stage("xj"),
+            vec![
+                Atom::cols("xj", "ValidFrom", CompOp::Lt, "xi", "ValidFrom"),
+                Atom::cols("xi", "ValidTo", CompOp::Lt, "xj", "ValidTo"),
+            ],
+        )
+        .project(vec![
+            (ColumnRef::new("xi", surrogate), surrogate.to_string()),
+            (ColumnRef::new("xi", "ValidFrom"), "ValidFrom".into()),
+            (ColumnRef::new("xi", "ValidTo"), "ValidTo".into()),
+        ])
+}
+
+/// All Superstar formulations, labeled, for experiments and examples.
+/// `continuous` gates the self-semijoin formulation (only valid under the
+/// continuity constraint).
+pub fn superstar_plans(continuous: bool) -> Vec<(&'static str, LogicalPlan)> {
+    let cs = if continuous {
+        ConstraintSet::faculty_continuous()
+    } else {
+        ConstraintSet::faculty()
+    };
+    let mut plans = vec![
+        ("unoptimized (Fig 3a)", superstar_unoptimized()),
+        ("conventional (Fig 3b)", superstar_conventional()),
+        (
+            "semantic-reduced (Fig 8b)",
+            superstar_reduced(&cs).expect("superstar is satisfiable"),
+        ),
+    ];
+    if continuous {
+        plans.push(("self-semijoin (§5, guarded)", superstar_selfsemijoin_guarded()));
+    }
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_algebra::{plan, PlannerConfig};
+
+    #[test]
+    fn reduced_plan_is_a_semijoin_with_two_inequalities() {
+        let cs = ConstraintSet::faculty();
+        let reduced = superstar_reduced(&cs).unwrap();
+        let LogicalPlan::Project { input, .. } = &reduced else {
+            panic!("projection root expected");
+        };
+        let LogicalPlan::Semijoin { predicate, .. } = &**input else {
+            panic!("semijoin expected, got:\n{reduced}");
+        };
+        let temporal: Vec<_> = predicate
+            .iter()
+            .filter(|a| a.vars().len() == 2)
+            .collect();
+        assert_eq!(temporal.len(), 2, "θ′ reduced from 4 atoms to 2");
+    }
+
+    #[test]
+    fn gap_containment_recognized_after_reduction() {
+        let cs = ConstraintSet::faculty();
+        let atoms = vec![
+            Atom::cols("f3", "ValidFrom", CompOp::Lt, "f1", "ValidTo"),
+            Atom::cols("f2", "ValidFrom", CompOp::Lt, "f3", "ValidTo"),
+        ];
+        let context = vec![
+            Atom::cols("f1", "Name", CompOp::Eq, "f2", "Name"),
+            Atom::col_const("f1", "Rank", CompOp::Eq, "Assistant"),
+            Atom::col_const("f2", "Rank", CompOp::Eq, "Full"),
+        ];
+        let mut all = atoms.clone();
+        all.extend(context);
+        let edges = cs.derive_edges(&["f1", "f2", "f3"], &all);
+        let g = recognize_gap_containment(&atoms, &edges).unwrap();
+        assert_eq!(
+            g,
+            GapContainment {
+                container: "f3".into(),
+                gap_start_var: "f1".into(),
+                gap_end_var: "f2".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn gap_containment_needs_the_constraint_edge() {
+        let atoms = vec![
+            Atom::cols("f3", "ValidFrom", CompOp::Lt, "f1", "ValidTo"),
+            Atom::cols("f2", "ValidFrom", CompOp::Lt, "f3", "ValidTo"),
+        ];
+        // Without the chronological edge f1.TE ≤ f2.TS, no recognition.
+        assert!(recognize_gap_containment(&atoms, &[]).is_none());
+    }
+
+    #[test]
+    fn selfsemijoin_plan_gets_single_scan_physical_operator() {
+        let p = plan(&superstar_selfsemijoin(), PlannerConfig::stream()).unwrap();
+        let explain = p.explain();
+        assert!(
+            explain.contains("ContainedSelfSemijoin"),
+            "expected single-scan operator:\n{explain}"
+        );
+    }
+
+    #[test]
+    fn generic_promotion_transform_matches_superstar_shape() {
+        let p = transform_promotion_query(
+            "Faculty",
+            &["Name", "Rank", "ValidFrom", "ValidTo"],
+            "Name",
+            "Rank",
+            "Associate",
+        );
+        assert_eq!(p.scan_count(), 2);
+        let physical = plan(&p, PlannerConfig::stream()).unwrap();
+        assert!(physical.explain().contains("ContainedSelfSemijoin"));
+    }
+
+    #[test]
+    fn plan_inventory() {
+        assert_eq!(superstar_plans(false).len(), 3);
+        assert_eq!(superstar_plans(true).len(), 4);
+    }
+}

@@ -1,0 +1,301 @@
+//! On-disk heap files: an unordered sequence of slotted pages.
+//!
+//! A heap file is the base storage of a relation. Records append into the
+//! last page, spilling onto a new page when full; scans read pages in order
+//! through the shared [`IoStats`] counters.
+
+use crate::codec::Codec;
+use crate::iostats::IoStats;
+use crate::page::{Page, PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use tdb_core::{TdbError, TdbResult};
+
+/// An on-disk heap file of slotted pages.
+pub struct HeapFile {
+    file: File,
+    path: PathBuf,
+    page_count: u64,
+    /// Tail page being filled (flushed on drop or explicit `flush`).
+    tail: Option<(u64, Page)>,
+    io: IoStats,
+}
+
+impl std::fmt::Debug for HeapFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapFile")
+            .field("path", &self.path)
+            .field("pages", &self.page_count)
+            .finish()
+    }
+}
+
+impl HeapFile {
+    /// Create a new, empty heap file at `path` (truncating any existing
+    /// file).
+    pub fn create(path: impl AsRef<Path>, io: IoStats) -> TdbResult<HeapFile> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(HeapFile {
+            file,
+            path,
+            page_count: 0,
+            tail: None,
+            io,
+        })
+    }
+
+    /// Open an existing heap file.
+    pub fn open(path: impl AsRef<Path>, io: IoStats) -> TdbResult<HeapFile> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(TdbError::Corrupt(format!(
+                "heap file {} has size {len}, not a multiple of {PAGE_SIZE}",
+                path.display()
+            )));
+        }
+        Ok(HeapFile {
+            file,
+            path,
+            page_count: len / PAGE_SIZE as u64,
+            tail: None,
+            io,
+        })
+    }
+
+    /// The file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of pages, including an unflushed tail.
+    pub fn page_count(&self) -> u64 {
+        self.page_count + u64::from(self.tail.is_some())
+    }
+
+    fn write_page(&mut self, page_no: u64, page: &Page) -> TdbResult<()> {
+        self.file
+            .seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
+        self.file.write_all(page.as_bytes())?;
+        self.io.record_write(PAGE_SIZE as u64);
+        Ok(())
+    }
+
+    /// Read page `page_no` from disk (the unflushed tail is served from
+    /// memory).
+    pub fn read_page(&mut self, page_no: u64) -> TdbResult<Page> {
+        if let Some((tail_no, tail)) = &self.tail {
+            if *tail_no == page_no {
+                return Ok(tail.clone());
+            }
+        }
+        if page_no >= self.page_count {
+            return Err(TdbError::Corrupt(format!(
+                "page {page_no} beyond end of {} ({} pages)",
+                self.path.display(),
+                self.page_count
+            )));
+        }
+        self.file
+            .seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.file.read_exact(&mut buf)?;
+        self.io.record_read(PAGE_SIZE as u64);
+        Page::from_bytes(&buf)
+    }
+
+    /// Append one encoded record.
+    pub fn append_record(&mut self, record: &[u8]) -> TdbResult<()> {
+        if record.len() + 8 > PAGE_SIZE {
+            return Err(TdbError::Corrupt(format!(
+                "record of {} bytes exceeds page capacity",
+                record.len()
+            )));
+        }
+        let (tail_no, tail) = match self.tail.take() {
+            Some(t) => t,
+            None => (self.page_count, Page::new()),
+        };
+        let mut tail = tail;
+        if tail.insert(record).is_none() {
+            // Tail is full: flush it and start a new page.
+            self.write_page(tail_no, &tail)?;
+            self.page_count = self.page_count.max(tail_no + 1);
+            let mut fresh = Page::new();
+            fresh
+                .insert(record)
+                .expect("empty page must fit a sub-page record");
+            self.tail = Some((self.page_count, fresh));
+        } else {
+            self.tail = Some((tail_no, tail));
+        }
+        Ok(())
+    }
+
+    /// Append one typed item.
+    pub fn append<T: Codec>(&mut self, item: &T) -> TdbResult<()> {
+        self.append_record(&item.to_bytes())
+    }
+
+    /// Flush the tail page to disk.
+    pub fn flush(&mut self) -> TdbResult<()> {
+        if let Some((tail_no, tail)) = self.tail.take() {
+            self.write_page(tail_no, &tail)?;
+            self.page_count = self.page_count.max(tail_no + 1);
+        }
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Scan every record in file order, decoding to `T`.
+    pub fn scan<T: Codec>(&mut self) -> TdbResult<HeapScan<'_, T>> {
+        self.flush()?;
+        Ok(HeapScan {
+            heap: self,
+            page_no: 0,
+            page: None,
+            slot: 0,
+            _marker: std::marker::PhantomData,
+        })
+    }
+}
+
+/// Iterator over all records of a heap file.
+pub struct HeapScan<'a, T> {
+    heap: &'a mut HeapFile,
+    page_no: u64,
+    page: Option<Page>,
+    slot: u16,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Codec> Iterator for HeapScan<'_, T> {
+    type Item = TdbResult<T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.page.is_none() {
+                if self.page_no >= self.heap.page_count {
+                    return None;
+                }
+                match self.heap.read_page(self.page_no) {
+                    Ok(p) => {
+                        self.page = Some(p);
+                        self.slot = 0;
+                    }
+                    Err(e) => {
+                        self.page_no = self.heap.page_count; // poison
+                        return Some(Err(e));
+                    }
+                }
+            }
+            let page = self.page.as_ref().expect("just loaded");
+            if self.slot < page.slot_count() {
+                let rec = match page.get(self.slot) {
+                    Ok(r) => r,
+                    Err(e) => return Some(Err(e)),
+                };
+                self.slot += 1;
+                return Some(T::from_bytes(rec));
+            }
+            self.page = None;
+            self.page_no += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_core::TsTuple;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "tdb-heap-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn append_scan_round_trip() {
+        let path = tmpdir().join("a.heap");
+        let io = IoStats::new();
+        let mut h = HeapFile::create(&path, io.clone()).unwrap();
+        let tuples: Vec<_> = (0..1000)
+            .map(|i| TsTuple::new(format!("S{i}"), i, i, i + 10).unwrap())
+            .collect();
+        for t in &tuples {
+            h.append(t).unwrap();
+        }
+        let back: Vec<_> = h.scan::<TsTuple>().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(back, tuples);
+        assert!(io.snapshot().pages_written >= 1);
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let path = tmpdir().join("b.heap");
+        let io = IoStats::new();
+        {
+            let mut h = HeapFile::create(&path, io.clone()).unwrap();
+            for i in 0..50 {
+                h.append(&TsTuple::interval(i, i + 1).unwrap()).unwrap();
+            }
+            h.flush().unwrap();
+        }
+        let mut h = HeapFile::open(&path, io).unwrap();
+        let n = h.scan::<TsTuple>().unwrap().count();
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn io_counters_track_pages() {
+        let path = tmpdir().join("c.heap");
+        let io = IoStats::new();
+        let mut h = HeapFile::create(&path, io.clone()).unwrap();
+        for i in 0..5000 {
+            h.append(&TsTuple::new(format!("S{i}"), i, i, i + 3).unwrap())
+                .unwrap();
+        }
+        h.flush().unwrap();
+        let written = io.snapshot().pages_written;
+        assert!(written > 5, "expected multiple pages, got {written}");
+        let before = io.snapshot();
+        let _ = h.scan::<TsTuple>().unwrap().count();
+        let delta = io.snapshot().since(&before);
+        assert!(delta.pages_read >= written - 1);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let path = tmpdir().join("d.heap");
+        let mut h = HeapFile::create(&path, IoStats::new()).unwrap();
+        let huge = vec![0u8; PAGE_SIZE];
+        assert!(h.append_record(&huge).is_err());
+    }
+
+    #[test]
+    fn open_rejects_ragged_file() {
+        let path = tmpdir().join("e.heap");
+        std::fs::write(&path, [1, 2, 3]).unwrap();
+        assert!(HeapFile::open(&path, IoStats::new()).is_err());
+    }
+
+    #[test]
+    fn empty_heap_scans_empty() {
+        let path = tmpdir().join("f.heap");
+        let mut h = HeapFile::create(&path, IoStats::new()).unwrap();
+        assert_eq!(h.scan::<TsTuple>().unwrap().count(), 0);
+    }
+}

@@ -1,0 +1,303 @@
+//! An interval-tree access path for temporal relations.
+//!
+//! The paper's §1 taxonomy places "new access methods and data
+//! organization strategies" (Lum, Ahn, Rotem & Segev) alongside query
+//! processing; the stream operators of §4 deliberately need only sorted
+//! scans, but point queries — "who was valid at time t?" — deserve better
+//! than a full scan. [`IntervalIndex`] is a classic centered interval
+//! tree, bulk-built over `(Period, row-id)` pairs:
+//!
+//! * [`IntervalIndex::stab`] — all rows whose lifespan spans a time point,
+//!   in `O(log n + k)`;
+//! * [`IntervalIndex::overlapping`] — all rows whose lifespan intersects a
+//!   query period.
+
+use tdb_core::{Period, TimePoint};
+
+/// One indexed entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    period: Period,
+    row_id: u64,
+}
+
+#[derive(Debug)]
+struct Node {
+    center: TimePoint,
+    /// Intervals containing `center`, sorted by start ascending.
+    by_start: Vec<Entry>,
+    /// The same intervals, sorted by end descending.
+    by_end: Vec<Entry>,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+/// A static (bulk-built) centered interval tree over row lifespans.
+#[derive(Debug)]
+pub struct IntervalIndex {
+    root: Option<Box<Node>>,
+    len: usize,
+}
+
+impl IntervalIndex {
+    /// Build the index from `(period, row_id)` pairs.
+    pub fn build(items: impl IntoIterator<Item = (Period, u64)>) -> IntervalIndex {
+        let entries: Vec<Entry> = items
+            .into_iter()
+            .map(|(period, row_id)| Entry { period, row_id })
+            .collect();
+        let len = entries.len();
+        IntervalIndex {
+            root: Self::build_node(entries),
+            len,
+        }
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn build_node(entries: Vec<Entry>) -> Option<Box<Node>> {
+        if entries.is_empty() {
+            return None;
+        }
+        // Median endpoint as the center.
+        let mut points: Vec<TimePoint> = entries
+            .iter()
+            .flat_map(|e| [e.period.start(), e.period.end()])
+            .collect();
+        points.sort_unstable();
+        let center = points[points.len() / 2];
+
+        let n = entries.len();
+        let mut here = Vec::new();
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for e in entries {
+            if e.period.end() <= center && !e.period.spans(center) {
+                // Entirely left of center (half-open: end ≤ center means
+                // it cannot span center unless start ≤ center < end).
+                left.push(e);
+            } else if e.period.start() > center {
+                right.push(e);
+            } else {
+                here.push(e);
+            }
+        }
+        // Degenerate split (e.g. all periods identical with the median
+        // endpoint at their shared end): force progress by keeping
+        // everything at this node — stab/overlap remain correct because
+        // node lists are always tested against the query.
+        if left.len() == n || right.len() == n {
+            here.append(&mut left);
+            here.append(&mut right);
+        }
+        let mut by_start = here.clone();
+        by_start.sort_by_key(|e| e.period.start());
+        let mut by_end = here;
+        by_end.sort_by_key(|e| std::cmp::Reverse(e.period.end()));
+        Some(Box::new(Node {
+            center,
+            by_start,
+            by_end,
+            left: Self::build_node(left),
+            right: Self::build_node(right),
+        }))
+    }
+
+    /// Row ids whose lifespan spans `t` (`start ≤ t < end`), in ascending
+    /// row order.
+    pub fn stab(&self, t: TimePoint) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut node = self.root.as_deref();
+        while let Some(n) = node {
+            if t < n.center {
+                // Early exit is sound on the start-sorted list; each push
+                // is verified (degenerate-split nodes may hold entries not
+                // spanning the center).
+                for e in &n.by_start {
+                    if e.period.start() > t {
+                        break;
+                    }
+                    if e.period.spans(t) {
+                        out.push(e.row_id);
+                    }
+                }
+                node = n.left.as_deref();
+            } else {
+                for e in &n.by_end {
+                    if e.period.end() <= t {
+                        break;
+                    }
+                    if e.period.spans(t) {
+                        out.push(e.row_id);
+                    }
+                }
+                node = n.right.as_deref();
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Row ids whose lifespan shares at least one point with `q` (the
+    /// general `overlap` of footnote 6), in ascending row order.
+    pub fn overlapping(&self, q: &Period) -> Vec<u64> {
+        let mut out = Vec::new();
+        Self::collect_overlapping(self.root.as_deref(), q, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn collect_overlapping(node: Option<&Node>, q: &Period, out: &mut Vec<u64>) {
+        let Some(n) = node else { return };
+        // Entries at this node span the center; test each against q via
+        // the sorted lists with early exit.
+        if q.end() <= n.center {
+            // Query entirely left of center: only entries starting before
+            // q.end can overlap; verify each (degenerate-split nodes).
+            for e in &n.by_start {
+                if e.period.start() >= q.end() {
+                    break;
+                }
+                if e.period.overlaps(q) {
+                    out.push(e.row_id);
+                }
+            }
+            Self::collect_overlapping(n.left.as_deref(), q, out);
+        } else if q.start() > n.center {
+            for e in &n.by_end {
+                if e.period.end() <= q.start() {
+                    break;
+                }
+                if e.period.overlaps(q) {
+                    out.push(e.row_id);
+                }
+            }
+            Self::collect_overlapping(n.right.as_deref(), q, out);
+        } else {
+            for e in &n.by_start {
+                if e.period.overlaps(q) {
+                    out.push(e.row_id);
+                }
+            }
+            Self::collect_overlapping(n.left.as_deref(), q, out);
+            Self::collect_overlapping(n.right.as_deref(), q, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(s: i64, e: i64) -> Period {
+        Period::new(s, e).unwrap()
+    }
+
+    fn linear_stab(items: &[(Period, u64)], t: TimePoint) -> Vec<u64> {
+        let mut v: Vec<u64> = items
+            .iter()
+            .filter(|(pd, _)| pd.spans(t))
+            .map(|(_, id)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn linear_overlap(items: &[(Period, u64)], q: &Period) -> Vec<u64> {
+        let mut v: Vec<u64> = items
+            .iter()
+            .filter(|(pd, _)| pd.overlaps(q))
+            .map(|(_, id)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn stab_basic() {
+        let items = vec![(p(0, 10), 0), (p(5, 15), 1), (p(20, 25), 2)];
+        let idx = IntervalIndex::build(items.clone());
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.stab(TimePoint(7)), vec![0, 1]);
+        assert_eq!(idx.stab(TimePoint(0)), vec![0]);
+        assert_eq!(idx.stab(TimePoint(10)), vec![1]); // half-open end
+        assert_eq!(idx.stab(TimePoint(17)), Vec::<u64>::new());
+        assert_eq!(idx.stab(TimePoint(24)), vec![2]);
+    }
+
+    #[test]
+    fn overlap_basic() {
+        let items = vec![(p(0, 10), 0), (p(5, 15), 1), (p(20, 25), 2)];
+        let idx = IntervalIndex::build(items);
+        assert_eq!(idx.overlapping(&p(8, 21)), vec![0, 1, 2]);
+        assert_eq!(idx.overlapping(&p(15, 20)), Vec::<u64>::new()); // meets both, shares no point
+        assert_eq!(idx.overlapping(&p(-5, 1)), vec![0]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = IntervalIndex::build(Vec::new());
+        assert!(idx.is_empty());
+        assert!(idx.stab(TimePoint(0)).is_empty());
+        assert!(idx.overlapping(&p(0, 1)).is_empty());
+    }
+
+    #[test]
+    fn duplicates_and_identical_periods() {
+        let items = vec![(p(0, 5), 0), (p(0, 5), 1), (p(0, 5), 2)];
+        let idx = IntervalIndex::build(items);
+        assert_eq!(idx.stab(TimePoint(3)), vec![0, 1, 2]);
+    }
+
+    proptest! {
+        #[test]
+        fn stab_matches_linear_scan(
+            periods in proptest::collection::vec((-50i64..50, 1i64..30), 0..80),
+            probes in proptest::collection::vec(-60i64..60, 1..20),
+        ) {
+            let items: Vec<(Period, u64)> = periods
+                .iter()
+                .enumerate()
+                .map(|(i, (s, d))| (p(*s, s + d), i as u64))
+                .collect();
+            let idx = IntervalIndex::build(items.clone());
+            for t in probes {
+                prop_assert_eq!(
+                    idx.stab(TimePoint(t)),
+                    linear_stab(&items, TimePoint(t)),
+                    "stab at {}", t
+                );
+            }
+        }
+
+        #[test]
+        fn overlap_matches_linear_scan(
+            periods in proptest::collection::vec((-50i64..50, 1i64..30), 0..80),
+            queries in proptest::collection::vec((-60i64..60, 1i64..25), 1..10),
+        ) {
+            let items: Vec<(Period, u64)> = periods
+                .iter()
+                .enumerate()
+                .map(|(i, (s, d))| (p(*s, s + d), i as u64))
+                .collect();
+            let idx = IntervalIndex::build(items.clone());
+            for (s, d) in queries {
+                let q = p(s, s + d);
+                prop_assert_eq!(
+                    idx.overlapping(&q),
+                    linear_overlap(&items, &q),
+                    "overlap with {}", q
+                );
+            }
+        }
+    }
+}

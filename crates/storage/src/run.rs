@@ -1,0 +1,220 @@
+//! Sequential run files.
+//!
+//! A *run* is a sorted sequence of records written once and read once —
+//! the unit the external sorter spills and merges, and the natural on-disk
+//! representation of a "properly sorted stream" (paper Section 4.1).
+//! Records are length-prefixed (`u32` little-endian) and buffered in
+//! page-sized chunks so the I/O counters reflect page-granular access.
+
+use crate::codec::Codec;
+use crate::iostats::IoStats;
+use crate::page::PAGE_SIZE;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+use tdb_core::{TdbError, TdbResult};
+
+/// Writes a run file.
+pub struct RunWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    records: u64,
+    bytes: u64,
+    io: IoStats,
+}
+
+impl RunWriter {
+    /// Create a run file at `path`.
+    pub fn create(path: impl AsRef<Path>, io: IoStats) -> TdbResult<RunWriter> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(RunWriter {
+            out: BufWriter::with_capacity(PAGE_SIZE, file),
+            path,
+            records: 0,
+            bytes: 0,
+            io,
+        })
+    }
+
+    /// Append one record.
+    pub fn push<T: Codec>(&mut self, item: &T) -> TdbResult<()> {
+        let payload = item.to_bytes();
+        self.out.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.out.write_all(&payload)?;
+        let written = 4 + payload.len() as u64;
+        let pages_before = self.bytes / PAGE_SIZE as u64;
+        self.bytes += written;
+        let pages_after = self.bytes / PAGE_SIZE as u64;
+        for _ in pages_before..pages_after {
+            self.io.record_write(PAGE_SIZE as u64);
+        }
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// Has anything been written?
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Flush and close, returning the path and record count.
+    pub fn finish(mut self) -> TdbResult<(PathBuf, u64)> {
+        self.out.flush()?;
+        if !self.bytes.is_multiple_of(PAGE_SIZE as u64) {
+            self.io.record_write(self.bytes % PAGE_SIZE as u64);
+        }
+        Ok((self.path, self.records))
+    }
+}
+
+/// Reads a run file sequentially.
+pub struct RunReader<T> {
+    input: BufReader<File>,
+    bytes_read: u64,
+    io: IoStats,
+    done: bool,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Codec> RunReader<T> {
+    /// Open a run file for reading.
+    pub fn open(path: impl AsRef<Path>, io: IoStats) -> TdbResult<RunReader<T>> {
+        let file = File::open(path.as_ref())?;
+        Ok(RunReader {
+            input: BufReader::with_capacity(PAGE_SIZE, file),
+            bytes_read: 0,
+            io,
+            done: false,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Read the next record, or `None` at end of file.
+    pub fn next_record(&mut self) -> TdbResult<Option<T>> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut len_buf = [0u8; 4];
+        match self.input.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => {
+                self.done = true;
+                // Account for the final partial page.
+                if !self.bytes_read.is_multiple_of(PAGE_SIZE as u64) {
+                    self.io.record_read(self.bytes_read % PAGE_SIZE as u64);
+                }
+                return Ok(None);
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > 64 * 1024 * 1024 {
+            return Err(TdbError::Corrupt(format!(
+                "record length {len} is implausible; run file corrupt"
+            )));
+        }
+        let mut payload = vec![0u8; len];
+        self.input.read_exact(&mut payload).map_err(|e| {
+            if e.kind() == ErrorKind::UnexpectedEof {
+                TdbError::Corrupt("run file truncated mid-record".into())
+            } else {
+                e.into()
+            }
+        })?;
+        let pages_before = self.bytes_read / PAGE_SIZE as u64;
+        self.bytes_read += 4 + len as u64;
+        let pages_after = self.bytes_read / PAGE_SIZE as u64;
+        for _ in pages_before..pages_after {
+            self.io.record_read(PAGE_SIZE as u64);
+        }
+        T::from_bytes(&payload).map(Some)
+    }
+}
+
+impl<T: Codec> Iterator for RunReader<T> {
+    type Item = TdbResult<T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_core::TsTuple;
+
+    fn tmppath(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tdb-run-test-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name)
+    }
+
+    #[test]
+    fn round_trip() {
+        let path = tmppath("r1.run");
+        let io = IoStats::new();
+        let mut w = RunWriter::create(&path, io.clone()).unwrap();
+        let tuples: Vec<_> = (0..500)
+            .map(|i| TsTuple::new(format!("S{i}"), i, i, i + 5).unwrap())
+            .collect();
+        for t in &tuples {
+            w.push(t).unwrap();
+        }
+        assert_eq!(w.len(), 500);
+        let (path, n) = w.finish().unwrap();
+        assert_eq!(n, 500);
+        let r = RunReader::<TsTuple>::open(&path, io).unwrap();
+        let back: Vec<_> = r.map(|x| x.unwrap()).collect();
+        assert_eq!(back, tuples);
+    }
+
+    #[test]
+    fn empty_run() {
+        let path = tmppath("r2.run");
+        let w = RunWriter::create(&path, IoStats::new()).unwrap();
+        assert!(w.is_empty());
+        let (path, n) = w.finish().unwrap();
+        assert_eq!(n, 0);
+        let mut r = RunReader::<TsTuple>::open(&path, IoStats::new()).unwrap();
+        assert!(r.next_record().unwrap().is_none());
+        // Reads after EOF stay None.
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_file_is_detected() {
+        let path = tmppath("r3.run");
+        let io = IoStats::new();
+        let mut w = RunWriter::create(&path, io.clone()).unwrap();
+        w.push(&TsTuple::interval(0, 5).unwrap()).unwrap();
+        let (path, _) = w.finish().unwrap();
+        // Chop the last byte off.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 1]).unwrap();
+        let mut r = RunReader::<TsTuple>::open(&path, io).unwrap();
+        assert!(r.next_record().is_err());
+    }
+
+    #[test]
+    fn io_counters_advance_per_page() {
+        let path = tmppath("r4.run");
+        let io = IoStats::new();
+        let mut w = RunWriter::create(&path, io.clone()).unwrap();
+        for i in 0..20_000i64 {
+            w.push(&TsTuple::interval(i, i + 1).unwrap()).unwrap();
+        }
+        w.finish().unwrap();
+        assert!(io.snapshot().pages_written > 10);
+    }
+}

@@ -1,0 +1,361 @@
+//! External merge sort.
+//!
+//! Produces the "properly sorted" input streams that every Section 4 stream
+//! operator requires. The sorter consumes any iterator of items, holds at
+//! most `memory_budget` items in memory, spills sorted runs to disk, and
+//! merges them with a k-way tournament over run heads. Comparators are
+//! arbitrary (a [`tdb_core::StreamOrder`] comparison in practice), so one
+//! sorter serves every row of the paper's Tables 1–3.
+
+use crate::codec::Codec;
+use crate::iostats::IoStats;
+use crate::run::{RunReader, RunWriter};
+use std::cmp::Ordering;
+use std::path::PathBuf;
+use tdb_core::TdbResult;
+
+/// Configuration for an external sort.
+pub struct ExternalSorter<C> {
+    /// Maximum number of items held in memory at once.
+    pub memory_budget: usize,
+    /// Directory for spill files (cleaned up when readers finish).
+    pub spill_dir: PathBuf,
+    /// Comparator defining the output order (must be a total order).
+    pub cmp: C,
+    /// I/O counters.
+    pub io: IoStats,
+    /// Unique prefix for spill file names.
+    pub tag: String,
+}
+
+/// Outcome statistics of a sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SortStats {
+    /// Number of input items.
+    pub items: usize,
+    /// Number of spilled runs (0 means the sort was purely in-memory).
+    pub runs: usize,
+}
+
+impl<C> ExternalSorter<C> {
+    /// A sorter spilling into the system temp directory.
+    pub fn new(memory_budget: usize, cmp: C, io: IoStats) -> ExternalSorter<C> {
+        let spill_dir = std::env::temp_dir().join(format!("tdb-sort-{}", std::process::id()));
+        ExternalSorter {
+            memory_budget: memory_budget.max(2),
+            spill_dir,
+            cmp,
+            io,
+            tag: format!(
+                "s{}",
+                SORTER_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            ),
+        }
+    }
+}
+
+/// Process-wide sequence number keeping concurrent sorters' spill files
+/// distinct.
+static SORTER_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl<C> ExternalSorter<C> {
+    /// Sort `input`, returning an iterator over the items in order plus
+    /// sort statistics.
+    pub fn sort<T>(
+        &self,
+        input: impl IntoIterator<Item = T>,
+    ) -> TdbResult<(SortedRuns<T, &C>, SortStats)>
+    where
+        T: Codec,
+        C: Fn(&T, &T) -> Ordering,
+    {
+        std::fs::create_dir_all(&self.spill_dir)?;
+        let mut runs: Vec<PathBuf> = Vec::new();
+        let mut buf: Vec<T> = Vec::with_capacity(self.memory_budget.min(1 << 16));
+        let mut items = 0usize;
+
+        for item in input {
+            items += 1;
+            buf.push(item);
+            if buf.len() >= self.memory_budget {
+                self.spill(&mut buf, &mut runs)?;
+            }
+        }
+
+        if runs.is_empty() {
+            // Pure in-memory sort: no I/O at all.
+            buf.sort_by(&self.cmp);
+            let stats = SortStats { items, runs: 0 };
+            return Ok((SortedRuns::in_memory(buf), stats));
+        }
+
+        if !buf.is_empty() {
+            self.spill(&mut buf, &mut runs)?;
+        }
+        let stats = SortStats {
+            items,
+            runs: runs.len(),
+        };
+        let readers = runs
+            .iter()
+            .map(|p| RunReader::open(p, self.io.clone()))
+            .collect::<TdbResult<Vec<_>>>()?;
+        Ok((SortedRuns::merging(readers, &self.cmp, runs)?, stats))
+    }
+
+    fn spill<T>(&self, buf: &mut Vec<T>, runs: &mut Vec<PathBuf>) -> TdbResult<()>
+    where
+        T: Codec,
+        C: Fn(&T, &T) -> Ordering,
+    {
+        buf.sort_by(&self.cmp);
+        let path = self
+            .spill_dir
+            .join(format!("{}-{}.run", self.tag, runs.len()));
+        let mut w = RunWriter::create(&path, self.io.clone())?;
+        for item in buf.drain(..) {
+            w.push(&item)?;
+        }
+        w.finish()?;
+        runs.push(path);
+        Ok(())
+    }
+}
+
+/// Iterator over the sorted output: either an in-memory vector or a k-way
+/// merge of spilled runs.
+pub struct SortedRuns<T, C> {
+    state: SortedState<T, C>,
+    /// Spill files to delete when the iterator is dropped.
+    cleanup: Vec<PathBuf>,
+}
+
+enum SortedState<T, C> {
+    Memory(std::vec::IntoIter<T>),
+    Merge {
+        readers: Vec<RunReader<T>>,
+        /// Tournament heap of (head item, run index); a binary min-heap
+        /// ordered by the comparator, maintained manually because the
+        /// comparator is a closure rather than an `Ord` impl.
+        heap: Vec<(T, usize)>,
+        cmp: C,
+    },
+    /// An error terminated the merge.
+    Poisoned,
+}
+
+impl<T: Codec, C: Fn(&T, &T) -> Ordering> SortedRuns<T, C> {
+    fn in_memory(mut buf: Vec<T>) -> SortedRuns<T, C> {
+        // Already sorted by caller; IntoIter just drains.
+        SortedRuns {
+            state: SortedState::Memory(std::mem::take(&mut buf).into_iter()),
+            cleanup: Vec::new(),
+        }
+    }
+
+    fn merging(
+        mut readers: Vec<RunReader<T>>,
+        cmp: C,
+        cleanup: Vec<PathBuf>,
+    ) -> TdbResult<SortedRuns<T, C>> {
+        let mut heap: Vec<(T, usize)> = Vec::with_capacity(readers.len());
+        for (i, r) in readers.iter_mut().enumerate() {
+            if let Some(item) = r.next_record()? {
+                heap.push((item, i));
+            }
+        }
+        let mut s = SortedRuns {
+            state: SortedState::Merge { readers, heap, cmp },
+            cleanup,
+        };
+        s.heapify();
+        Ok(s)
+    }
+
+    fn heapify(&mut self) {
+        if let SortedState::Merge { heap, .. } = &self.state {
+            let n = heap.len();
+            for i in (0..n / 2).rev() {
+                self.sift_down(i);
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let SortedState::Merge { heap, cmp, .. } = &mut self.state else {
+            return;
+        };
+        let n = heap.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < n && cmp(&heap[l].0, &heap[smallest].0) == Ordering::Less {
+                smallest = l;
+            }
+            if r < n && cmp(&heap[r].0, &heap[smallest].0) == Ordering::Less {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            heap.swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    fn next_merged(&mut self) -> TdbResult<Option<T>> {
+        let SortedState::Merge { readers, heap, .. } = &mut self.state else {
+            unreachable!("next_merged only called in merge state")
+        };
+        if heap.is_empty() {
+            return Ok(None);
+        }
+        let run = heap[0].1;
+        let replacement = match readers[run].next_record() {
+            Ok(r) => r,
+            Err(e) => {
+                self.state = SortedState::Poisoned;
+                return Err(e);
+            }
+        };
+        let out = match replacement {
+            Some(item) => std::mem::replace(&mut heap[0], (item, run)).0,
+            None => {
+                let last = heap.len() - 1;
+                heap.swap(0, last);
+                heap.pop().expect("nonempty").0
+            }
+        };
+        self.sift_down(0);
+        Ok(Some(out))
+    }
+}
+
+impl<T: Codec, C: Fn(&T, &T) -> Ordering> Iterator for SortedRuns<T, C> {
+    type Item = TdbResult<T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.state {
+            SortedState::Memory(it) => it.next().map(Ok),
+            SortedState::Merge { .. } => self.next_merged().transpose(),
+            SortedState::Poisoned => None,
+        }
+    }
+}
+
+impl<T, C> Drop for SortedRuns<T, C> {
+    fn drop(&mut self) {
+        for p in &self.cleanup {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tdb_core::{StreamOrder, Temporal, TsTuple};
+
+    fn shuffled_tuples(n: usize, seed: u64) -> Vec<TsTuple> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let s = rng.gen_range(-1000..1000);
+                let d = rng.gen_range(1..100);
+                TsTuple::new(format!("S{i}"), i as i64, s, s + d).unwrap()
+            })
+            .collect()
+    }
+
+    fn ts_cmp(a: &TsTuple, b: &TsTuple) -> Ordering {
+        StreamOrder::TS_ASC_TE_ASC.compare(a, b)
+    }
+
+    #[test]
+    fn in_memory_sort_when_budget_suffices() {
+        let io = IoStats::new();
+        let sorter = ExternalSorter::new(10_000, ts_cmp, io.clone());
+        let input = shuffled_tuples(1000, 1);
+        let (out, stats) = sorter.sort(input.clone()).unwrap();
+        let sorted: Vec<_> = out.map(|r| r.unwrap()).collect();
+        assert_eq!(stats.runs, 0);
+        assert_eq!(stats.items, 1000);
+        assert_eq!(sorted.len(), 1000);
+        assert_eq!(StreamOrder::TS_ASC_TE_ASC.first_violation(&sorted), None);
+        assert_eq!(io.snapshot().pages_written, 0, "no spill expected");
+    }
+
+    #[test]
+    fn external_sort_spills_and_merges_correctly() {
+        let io = IoStats::new();
+        let sorter = ExternalSorter::new(128, ts_cmp, io.clone());
+        let input = shuffled_tuples(5000, 2);
+        let (out, stats) = sorter.sort(input.clone()).unwrap();
+        let sorted: Vec<_> = out.map(|r| r.unwrap()).collect();
+        assert!(stats.runs >= 30, "expected many runs, got {}", stats.runs);
+        assert_eq!(sorted.len(), 5000);
+        assert_eq!(StreamOrder::TS_ASC_TE_ASC.first_violation(&sorted), None);
+        assert!(io.snapshot().pages_written > 0);
+        assert!(io.snapshot().pages_read > 0);
+
+        // Output is a permutation of the input.
+        let mut a: Vec<_> = input.iter().map(|t| t.ts().ticks()).collect();
+        let mut b: Vec<_> = sorted.iter().map(|t| t.ts().ticks()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input() {
+        let sorter = ExternalSorter::new(16, ts_cmp, IoStats::new());
+        let (out, stats) = sorter.sort(Vec::<TsTuple>::new()).unwrap();
+        assert_eq!(stats.items, 0);
+        assert_eq!(out.count(), 0);
+    }
+
+    #[test]
+    fn sorts_under_descending_comparators() {
+        let sorter = ExternalSorter::new(
+            64,
+            |a: &TsTuple, b: &TsTuple| StreamOrder::TE_DESC.compare(a, b),
+            IoStats::new(),
+        );
+        let (out, _) = sorter.sort(shuffled_tuples(1500, 3)).unwrap();
+        let sorted: Vec<_> = out.map(|r| r.unwrap()).collect();
+        assert_eq!(StreamOrder::TE_DESC.first_violation(&sorted), None);
+    }
+
+    #[test]
+    fn duplicate_keys_survive() {
+        let input: Vec<_> = (0..100)
+            .map(|i| TsTuple::new(format!("S{i}"), i, 5, 10).unwrap())
+            .collect();
+        let sorter = ExternalSorter::new(8, ts_cmp, IoStats::new());
+        let (out, _) = sorter.sort(input).unwrap();
+        assert_eq!(out.count(), 100);
+    }
+
+    #[test]
+    fn spill_files_are_cleaned_up() {
+        let io = IoStats::new();
+        let sorter = ExternalSorter::new(32, ts_cmp, io);
+        let spill_dir = sorter.spill_dir.clone();
+        let tag = sorter.tag.clone();
+        {
+            let (out, stats) = sorter.sort(shuffled_tuples(1000, 4)).unwrap();
+            assert!(stats.runs > 0);
+            let _ = out.count();
+        }
+        let leftovers = std::fs::read_dir(&spill_dir)
+            .map(|d| {
+                d.filter_map(|e| e.ok())
+                    .filter(|e| e.file_name().to_string_lossy().starts_with(&tag))
+                    .count()
+            })
+            .unwrap_or(0);
+        assert_eq!(leftovers, 0, "spill files should be removed on drop");
+    }
+}

@@ -1,0 +1,215 @@
+//! Algorithm selection for a temporal join.
+//!
+//! Given an Allen operator and the orderings the inputs arrive in,
+//! [`plan_allen_join`] picks the stream algorithm of §4.2 that evaluates it
+//! — or reports what would have to change (re-sort, fall back to
+//! nested-loop/buffered). This is the kernel of the physical planner in
+//! `tdb-algebra`; it is kept here, next to the operators, so the mapping
+//! from Table 1/Table 2 rows to implementations is in one place and unit
+//! tested.
+
+use tdb_core::{AllenRelation, StreamOrder};
+
+/// The algorithm chosen for a temporal join, with the orderings it needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllenJoinPlan {
+    /// [`crate::ContainJoinTsTs`] — Table 1 state (a). `swap` means the
+    /// operator runs with the inputs exchanged (the relation was `During`,
+    /// i.e. Y contains X).
+    ContainTsTs {
+        /// Run with inputs exchanged.
+        swap: bool,
+    },
+    /// [`crate::ContainJoinTsTe`] — Table 1 state (b).
+    ContainTsTe {
+        /// Run with inputs exchanged.
+        swap: bool,
+    },
+    /// [`crate::OverlapJoin`] in strict mode — Table 2 state (a). `swap`
+    /// for `OverlappedBy`.
+    Overlap {
+        /// Run with inputs exchanged.
+        swap: bool,
+    },
+    /// [`crate::BeforeJoin`] (Y materialized; suffix emission). `swap` for
+    /// `After`.
+    Before {
+        /// Run with inputs exchanged.
+        swap: bool,
+    },
+    /// [`crate::EventMergeJoin`] for the equality-bearing operators.
+    EventMerge {
+        /// The relation (equal/meets/starts/finishes or an inverse).
+        relation: AllenRelation,
+    },
+    /// Inputs are not usefully ordered: either re-sort to `resort_to` and
+    /// use `then`, or run the no-GC [`crate::BufferedJoin`].
+    Resort {
+        /// Ordering to impose on (X, Y).
+        resort_to: (StreamOrder, StreamOrder),
+        /// The plan that becomes available after re-sorting.
+        then: Box<AllenJoinPlan>,
+    },
+}
+
+impl AllenJoinPlan {
+    /// Is this plan executable without re-sorting?
+    pub fn is_direct(&self) -> bool {
+        !matches!(self, AllenJoinPlan::Resort { .. })
+    }
+}
+
+/// Choose an algorithm for `x <relation> y` given the arrival orders.
+///
+/// `x_order`/`y_order` are the orders the inputs already satisfy (`None` =
+/// unordered). The function prefers a direct single-pass plan; otherwise it
+/// recommends the cheapest re-sort.
+pub fn plan_allen_join(
+    relation: AllenRelation,
+    x_order: Option<StreamOrder>,
+    y_order: Option<StreamOrder>,
+) -> AllenJoinPlan {
+    let has = |o: &Option<StreamOrder>, need: StreamOrder| {
+        o.map(|x| x.satisfies(&need)).unwrap_or(false)
+    };
+    let ts = StreamOrder::TS_ASC;
+    let te = StreamOrder::TE_ASC;
+
+    match relation {
+        AllenRelation::Contains | AllenRelation::During => {
+            // Normalize to "left contains right".
+            let swap = relation == AllenRelation::During;
+            let (c_order, e_order) = if swap {
+                (&y_order, &x_order)
+            } else {
+                (&x_order, &y_order)
+            };
+            if has(c_order, ts) && has(e_order, te) {
+                AllenJoinPlan::ContainTsTe { swap }
+            } else if has(c_order, ts) && has(e_order, ts) {
+                AllenJoinPlan::ContainTsTs { swap }
+            } else if has(c_order, ts) {
+                // Container side already usable: sort the containee on TE ↑
+                // for the smaller state (b).
+                AllenJoinPlan::Resort {
+                    resort_to: if swap { (te, ts) } else { (ts, te) },
+                    then: Box::new(AllenJoinPlan::ContainTsTe { swap }),
+                }
+            } else {
+                AllenJoinPlan::Resort {
+                    resort_to: (ts, ts),
+                    then: Box::new(AllenJoinPlan::ContainTsTs { swap }),
+                }
+            }
+        }
+        AllenRelation::Overlaps | AllenRelation::OverlappedBy => {
+            let swap = relation == AllenRelation::OverlappedBy;
+            if has(&x_order, ts) && has(&y_order, ts) {
+                AllenJoinPlan::Overlap { swap }
+            } else {
+                AllenJoinPlan::Resort {
+                    resort_to: (ts, ts),
+                    then: Box::new(AllenJoinPlan::Overlap { swap }),
+                }
+            }
+        }
+        AllenRelation::Before => AllenJoinPlan::Before { swap: false },
+        AllenRelation::After => AllenJoinPlan::Before { swap: true },
+        rel => AllenJoinPlan::EventMerge { relation: rel },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_prefers_ts_te_configuration() {
+        let plan = plan_allen_join(
+            AllenRelation::Contains,
+            Some(StreamOrder::TS_ASC),
+            Some(StreamOrder::TE_ASC),
+        );
+        assert_eq!(plan, AllenJoinPlan::ContainTsTe { swap: false });
+
+        let plan = plan_allen_join(
+            AllenRelation::Contains,
+            Some(StreamOrder::TS_ASC),
+            Some(StreamOrder::TS_ASC),
+        );
+        assert_eq!(plan, AllenJoinPlan::ContainTsTs { swap: false });
+    }
+
+    #[test]
+    fn during_swaps_roles() {
+        // x during y ⇔ y contains x: containers are on the right.
+        let plan = plan_allen_join(
+            AllenRelation::During,
+            Some(StreamOrder::TE_ASC),
+            Some(StreamOrder::TS_ASC),
+        );
+        assert_eq!(plan, AllenJoinPlan::ContainTsTe { swap: true });
+    }
+
+    #[test]
+    fn unordered_inputs_get_resort_recommendations() {
+        let plan = plan_allen_join(AllenRelation::Contains, None, None);
+        let AllenJoinPlan::Resort { resort_to, then } = plan else {
+            panic!("expected resort");
+        };
+        assert_eq!(resort_to, (StreamOrder::TS_ASC, StreamOrder::TS_ASC));
+        assert_eq!(*then, AllenJoinPlan::ContainTsTs { swap: false });
+
+        // Container usable, containee not: prefer the state-(b) config.
+        let plan = plan_allen_join(AllenRelation::Contains, Some(StreamOrder::TS_ASC), None);
+        let AllenJoinPlan::Resort { resort_to, then } = plan else {
+            panic!("expected resort");
+        };
+        assert_eq!(resort_to, (StreamOrder::TS_ASC, StreamOrder::TE_ASC));
+        assert_eq!(*then, AllenJoinPlan::ContainTsTe { swap: false });
+    }
+
+    #[test]
+    fn overlaps_requires_both_ts_asc() {
+        let plan = plan_allen_join(
+            AllenRelation::Overlaps,
+            Some(StreamOrder::TS_ASC),
+            Some(StreamOrder::TS_ASC),
+        );
+        assert_eq!(plan, AllenJoinPlan::Overlap { swap: false });
+        let plan = plan_allen_join(
+            AllenRelation::OverlappedBy,
+            Some(StreamOrder::TE_ASC),
+            Some(StreamOrder::TS_ASC),
+        );
+        assert!(!plan.is_direct());
+    }
+
+    #[test]
+    fn before_after_and_equalities() {
+        assert_eq!(
+            plan_allen_join(AllenRelation::Before, None, None),
+            AllenJoinPlan::Before { swap: false }
+        );
+        assert_eq!(
+            plan_allen_join(AllenRelation::After, None, None),
+            AllenJoinPlan::Before { swap: true }
+        );
+        assert_eq!(
+            plan_allen_join(AllenRelation::Meets, None, None),
+            AllenJoinPlan::EventMerge {
+                relation: AllenRelation::Meets
+            }
+        );
+    }
+
+    #[test]
+    fn secondary_orders_still_satisfy() {
+        let plan = plan_allen_join(
+            AllenRelation::Contains,
+            Some(StreamOrder::TS_ASC_TE_ASC),
+            Some(StreamOrder::TS_ASC_TE_ASC),
+        );
+        assert_eq!(plan, AllenJoinPlan::ContainTsTs { swap: false });
+    }
+}

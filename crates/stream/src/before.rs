@@ -1,0 +1,349 @@
+//! Before join and semijoin (§4.2.4).
+//!
+//! `Before-join(X,Y)` pairs `x` with every *later* `y`: `x.TE < y.TS`.
+//! The paper observes that "there is no sort ordering that would
+//! significantly limit the amount of state information required when the
+//! Before-join is implemented by a stream processor" — the output itself is
+//! Θ(|X|·|Y|) in the worst case — but that "with proper sort orders,
+//! nested-loop join can avoid scanning the inner relation in its entirety."
+//!
+//! [`BeforeJoin`] exploits exactly that: with Y sorted `ValidFrom ↑`, the
+//! matches of each `x` form a *suffix* of Y located by binary search, so the
+//! inner relation is scanned only over actual matches (plus `log |Y|`
+//! probes). The inner relation must still be materialized — that Θ(|Y|)
+//! workspace is the paper's point, and [`BeforeJoin::max_workspace`]
+//! reports it.
+//!
+//! `Before-semijoin(X,Y)` selects `x` with *some* later `y`, which only
+//! requires the **maximum `ValidFrom` of Y**: one scan of each input, two
+//! scalar cells of state, any input order — the paper's "simple algorithm
+//! which scans both operand relations only once and is independent of any
+//! sort orderings; we omit the detail for brevity." [`BeforeSemijoin`] is
+//! that detail.
+
+use crate::metrics::OpMetrics;
+use crate::stream::TupleStream;
+use tdb_core::{StreamOrder, TdbResult, TimePoint, Temporal};
+
+/// Before-join: emits every pair `(x, y)` with `x.TE < y.TS`.
+///
+/// Y is materialized and sorted on `ValidFrom ↑` internally (one pass over
+/// the Y input); X streams through in its input order.
+pub struct BeforeJoin<X: TupleStream, Y: TupleStream>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    x: X,
+    /// Y sorted by `ValidFrom ↑`; matches of an `x` are a suffix.
+    ys: Vec<Y::Item>,
+    current_x: Option<X::Item>,
+    /// Index of the next y to pair with `current_x`.
+    y_idx: usize,
+    metrics: OpMetrics,
+}
+
+impl<X: TupleStream, Y: TupleStream> BeforeJoin<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    /// Build the operator; consumes and materializes the entire Y input.
+    pub fn new(x: X, mut y: Y) -> TdbResult<Self> {
+        let mut ys = y.collect_vec()?;
+        let read_right = ys.len();
+        // If Y already arrives in ValidFrom ↑ order the sort is a no-op
+        // verification; otherwise we sort here (the workspace is Θ(|Y|)
+        // regardless — the paper's point about Before-join).
+        StreamOrder::TS_ASC.sort(&mut ys);
+        Ok(BeforeJoin {
+            x,
+            ys,
+            current_x: None,
+            y_idx: 0,
+            metrics: OpMetrics {
+                read_right,
+                passes: 1,
+                ..OpMetrics::default()
+            },
+        })
+    }
+
+    /// Execution metrics.
+    pub fn metrics(&self) -> OpMetrics {
+        self.metrics
+    }
+
+    /// The materialized-Y workspace — Θ(|Y|), demonstrating the paper's
+    /// claim that no sort ordering bounds Before-join state.
+    pub fn max_workspace(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// Total number of result pairs, computed without materializing them:
+    /// one binary search per x. Consumes the operator.
+    pub fn count(mut self) -> TdbResult<u64> {
+        let mut total = 0u64;
+        while let Some(x) = self.x.next()? {
+            self.metrics.read_left += 1;
+            let suffix = self.suffix_start(x.te());
+            total += (self.ys.len() - suffix) as u64;
+        }
+        Ok(total)
+    }
+
+    /// First index of the Y suffix with `y.TS > te`.
+    fn suffix_start(&mut self, te: TimePoint) -> usize {
+        self.metrics.comparisons += (self.ys.len().max(2)).ilog2() as usize;
+        self.ys.partition_point(|y| y.ts() <= te)
+    }
+}
+
+impl<X: TupleStream, Y: TupleStream> TupleStream for BeforeJoin<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    type Item = (X::Item, Y::Item);
+
+    fn next(&mut self) -> TdbResult<Option<Self::Item>> {
+        loop {
+            if let Some(x) = &self.current_x {
+                if self.y_idx < self.ys.len() {
+                    let pair = (x.clone(), self.ys[self.y_idx].clone());
+                    self.y_idx += 1;
+                    self.metrics.emitted += 1;
+                    return Ok(Some(pair));
+                }
+                self.current_x = None;
+            }
+            let Some(x) = self.x.next()? else {
+                return Ok(None);
+            };
+            self.metrics.read_left += 1;
+            self.y_idx = self.suffix_start(x.te());
+            self.current_x = Some(x);
+        }
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        None
+    }
+}
+
+/// Before-semijoin: emits each `x` with `x.TE < max(y.TS)`.
+///
+/// One pass over each input, O(1) state, independent of sort order.
+pub struct BeforeSemijoin<X: TupleStream>
+where
+    X::Item: Temporal + Clone,
+{
+    x: X,
+    /// Maximum `ValidFrom` over all of Y; `None` when Y was empty.
+    max_y_ts: Option<TimePoint>,
+    metrics: OpMetrics,
+    input_order: Option<StreamOrder>,
+}
+
+impl<X: TupleStream> BeforeSemijoin<X>
+where
+    X::Item: Temporal + Clone,
+{
+    /// Build the operator, consuming Y in a single pass to find its maximum
+    /// `ValidFrom`.
+    pub fn new<Y: TupleStream>(x: X, mut y: Y) -> TdbResult<Self>
+    where
+        Y::Item: Temporal,
+    {
+        let mut max_y_ts: Option<TimePoint> = None;
+        let mut read_right = 0;
+        while let Some(yt) = y.next()? {
+            read_right += 1;
+            let ts = yt.ts();
+            max_y_ts = Some(match max_y_ts {
+                Some(m) => m.max_of(ts),
+                None => ts,
+            });
+        }
+        let input_order = x.order();
+        Ok(BeforeSemijoin {
+            x,
+            max_y_ts,
+            metrics: OpMetrics {
+                read_right,
+                passes: 1,
+                ..OpMetrics::default()
+            },
+            input_order,
+        })
+    }
+
+    /// Execution metrics.
+    pub fn metrics(&self) -> OpMetrics {
+        self.metrics
+    }
+
+    /// State beyond the input buffer: a single time point.
+    pub fn max_workspace(&self) -> usize {
+        1
+    }
+}
+
+impl<X: TupleStream> TupleStream for BeforeSemijoin<X>
+where
+    X::Item: Temporal + Clone,
+{
+    type Item = X::Item;
+
+    fn next(&mut self) -> TdbResult<Option<X::Item>> {
+        let Some(cutoff) = self.max_y_ts else {
+            // Empty Y: no x ever qualifies; drain lazily without reading X.
+            return Ok(None);
+        };
+        while let Some(x) = self.x.next()? {
+            self.metrics.read_left += 1;
+            self.metrics.comparisons += 1;
+            if x.te() < cutoff {
+                self.metrics.emitted += 1;
+                return Ok(Some(x));
+            }
+        }
+        Ok(None)
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        // Output is a filtered subsequence of X: order-preserving.
+        self.input_order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{from_sorted_vec, from_vec};
+    use proptest::prelude::*;
+    use tdb_core::TsTuple;
+
+    fn iv(s: i64, e: i64) -> TsTuple {
+        TsTuple::interval(s, e).unwrap()
+    }
+
+    fn canon_pairs(mut v: Vec<(TsTuple, TsTuple)>) -> Vec<(TsTuple, TsTuple)> {
+        v.sort_by_key(|(x, y)| {
+            (
+                x.ts().ticks(),
+                x.te().ticks(),
+                y.ts().ticks(),
+                y.te().ticks(),
+            )
+        });
+        v
+    }
+
+    fn join_oracle(xs: &[TsTuple], ys: &[TsTuple]) -> Vec<(TsTuple, TsTuple)> {
+        let mut out = Vec::new();
+        for x in xs {
+            for y in ys {
+                if x.period.before(&y.period) {
+                    out.push((x.clone(), y.clone()));
+                }
+            }
+        }
+        canon_pairs(out)
+    }
+
+    #[test]
+    fn join_basic() {
+        let xs = vec![iv(0, 2), iv(5, 8)];
+        let ys = vec![iv(3, 4), iv(9, 12), iv(1, 2)];
+        let mut op = BeforeJoin::new(from_vec(xs.clone()), from_vec(ys.clone())).unwrap();
+        let got = canon_pairs(op.collect_vec().unwrap());
+        assert_eq!(got, join_oracle(&xs, &ys));
+        // [0,2) before [3,4) and [9,12); [5,8) before [9,12) → 3 pairs.
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn meets_is_not_before() {
+        let mut op =
+            BeforeJoin::new(from_vec(vec![iv(0, 3)]), from_vec(vec![iv(3, 5)])).unwrap();
+        assert!(op.collect_vec().unwrap().is_empty());
+    }
+
+    #[test]
+    fn count_avoids_materialization() {
+        let xs: Vec<_> = (0..100).map(|i| iv(i, i + 1)).collect();
+        let ys: Vec<_> = (0..100).map(|i| iv(i, i + 1)).collect();
+        let expected = join_oracle(&xs, &ys).len() as u64;
+        let op = BeforeJoin::new(from_vec(xs), from_vec(ys)).unwrap();
+        assert_eq!(op.count().unwrap(), expected);
+    }
+
+    #[test]
+    fn join_workspace_is_theta_y() {
+        let ys: Vec<_> = (0..250).map(|i| iv(i, i + 1)).collect();
+        let op = BeforeJoin::new(from_vec(vec![iv(0, 1)]), from_vec(ys)).unwrap();
+        assert_eq!(op.max_workspace(), 250);
+    }
+
+    #[test]
+    fn semijoin_is_order_independent() {
+        let xs = vec![iv(5, 8), iv(0, 2), iv(30, 40)];
+        let ys = vec![iv(9, 12), iv(3, 4)];
+        // max y.TS = 9 → x qualifies iff x.TE < 9 → [5,8) and [0,2).
+        let mut op = BeforeSemijoin::new(from_vec(xs), from_vec(ys)).unwrap();
+        let got = op.collect_vec().unwrap();
+        assert_eq!(got, vec![iv(5, 8), iv(0, 2)]);
+        assert_eq!(op.metrics().read_right, 2);
+        assert_eq!(op.max_workspace(), 1);
+    }
+
+    #[test]
+    fn semijoin_empty_y_short_circuits() {
+        let mut op =
+            BeforeSemijoin::new(from_vec(vec![iv(0, 1)]), from_vec(Vec::<TsTuple>::new()))
+                .unwrap();
+        assert!(op.next().unwrap().is_none());
+        assert_eq!(op.metrics().read_left, 0, "X never read when Y empty");
+    }
+
+    #[test]
+    fn semijoin_preserves_input_order_declaration() {
+        let x = from_sorted_vec(vec![iv(0, 2), iv(1, 3)], StreamOrder::TS_ASC).unwrap();
+        let op = BeforeSemijoin::new(x, from_vec(vec![iv(10, 11)])).unwrap();
+        assert_eq!(op.order(), Some(StreamOrder::TS_ASC));
+    }
+
+    fn arb_intervals(n: usize) -> impl Strategy<Value = Vec<TsTuple>> {
+        proptest::collection::vec((-60i64..60, 1i64..40), 0..n)
+            .prop_map(|v| v.into_iter().map(|(s, d)| iv(s, s + d)).collect())
+    }
+
+    proptest! {
+        #[test]
+        fn join_matches_oracle(xs in arb_intervals(30), ys in arb_intervals(30)) {
+            let mut op = BeforeJoin::new(from_vec(xs.clone()), from_vec(ys.clone())).unwrap();
+            let got = canon_pairs(op.collect_vec().unwrap());
+            prop_assert_eq!(got, join_oracle(&xs, &ys));
+        }
+
+        #[test]
+        fn semijoin_matches_oracle(xs in arb_intervals(30), ys in arb_intervals(30)) {
+            let expected: Vec<_> = xs
+                .iter()
+                .filter(|x| ys.iter().any(|y| x.period.before(&y.period)))
+                .cloned()
+                .collect();
+            let mut op = BeforeSemijoin::new(from_vec(xs), from_vec(ys)).unwrap();
+            prop_assert_eq!(op.collect_vec().unwrap(), expected);
+        }
+
+        #[test]
+        fn count_equals_materialized_length(xs in arb_intervals(25), ys in arb_intervals(25)) {
+            let mut op = BeforeJoin::new(from_vec(xs.clone()), from_vec(ys.clone())).unwrap();
+            let n = op.collect_vec().unwrap().len() as u64;
+            let op2 = BeforeJoin::new(from_vec(xs), from_vec(ys)).unwrap();
+            prop_assert_eq!(op2.count().unwrap(), n);
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Merge joins on timestamp equality — the non-inequality temporal
+//! operators.
+//!
+//! Paper footnote 8: "For non-inequality constraints, an obvious stream
+//! processing method appears to be sorting both relations on attributes that
+//! are involved in the equalities followed by a conventional merge-join
+//! (and perhaps combined with filtering using inequality constraints)."
+//!
+//! [`EventMergeJoin`] is that method, parameterized by which timestamp each
+//! side equi-joins on plus a residual filter; constructors cover the four
+//! equality-bearing Allen operators:
+//!
+//! | operator | X key | Y key | residual |
+//! |---|---|---|---|
+//! | `equal`    | TS | TS | `X.TE = Y.TE` |
+//! | `meets`    | TE | TS | — |
+//! | `starts`   | TS | TS | `X.TE < Y.TE` |
+//! | `finishes` | TE | TE | `X.TS > Y.TS` |
+
+use crate::metrics::OpMetrics;
+use crate::stream::TupleStream;
+use std::collections::VecDeque;
+use tdb_core::{SortKey, SortSpec, StreamOrder, TdbError, TdbResult, Temporal};
+
+/// Merge join on timestamp keys with a residual predicate.
+pub struct EventMergeJoin<X: TupleStream, Y: TupleStream>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    x: X,
+    y: Y,
+    x_key: SortKey,
+    y_key: SortKey,
+    residual: fn(&dyn Temporal, &dyn Temporal) -> bool,
+    x_buf: Option<X::Item>,
+    y_buf: Option<Y::Item>,
+    /// Buffered group of Y tuples sharing the current key (classic merge
+    /// join duplicate handling).
+    y_group: Vec<Y::Item>,
+    y_group_key: Option<tdb_core::TimePoint>,
+    pending: VecDeque<(X::Item, Y::Item)>,
+    metrics: OpMetrics,
+    started: bool,
+    max_group: usize,
+}
+
+fn always(_: &dyn Temporal, _: &dyn Temporal) -> bool {
+    true
+}
+
+fn residual_equal(x: &dyn Temporal, y: &dyn Temporal) -> bool {
+    x.te() == y.te()
+}
+
+fn residual_starts(x: &dyn Temporal, y: &dyn Temporal) -> bool {
+    x.te() < y.te()
+}
+
+fn residual_finishes(x: &dyn Temporal, y: &dyn Temporal) -> bool {
+    x.ts() > y.ts()
+}
+
+impl<X: TupleStream, Y: TupleStream> EventMergeJoin<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    fn build(
+        x: X,
+        y: Y,
+        x_key: SortKey,
+        y_key: SortKey,
+        residual: fn(&dyn Temporal, &dyn Temporal) -> bool,
+        name: &'static str,
+    ) -> TdbResult<Self> {
+        let need_x = StreamOrder::by(SortSpec {
+            key: x_key,
+            direction: tdb_core::Direction::Asc,
+        });
+        let need_y = StreamOrder::by(SortSpec {
+            key: y_key,
+            direction: tdb_core::Direction::Asc,
+        });
+        for (side, order, need) in [("X", x.order(), need_x), ("Y", y.order(), need_y)] {
+            match order {
+                Some(o) if o.satisfies(&need) => {}
+                other => {
+                    return Err(TdbError::UnsupportedOrdering {
+                        operator: name,
+                        detail: format!("{side} input must be sorted {need}, found {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(EventMergeJoin {
+            x,
+            y,
+            x_key,
+            y_key,
+            residual,
+            x_buf: None,
+            y_buf: None,
+            y_group: Vec::new(),
+            y_group_key: None,
+            pending: VecDeque::new(),
+            metrics: OpMetrics {
+                passes: 1,
+                ..OpMetrics::default()
+            },
+            started: false,
+            max_group: 0,
+        })
+    }
+
+    /// Allen `equal`: identical lifespans. Inputs sorted `ValidFrom ↑`.
+    pub fn equal(x: X, y: Y) -> TdbResult<Self> {
+        Self::build(
+            x,
+            y,
+            SortKey::ValidFrom,
+            SortKey::ValidFrom,
+            residual_equal,
+            "EventMergeJoin(equal)",
+        )
+    }
+
+    /// Allen `meets`: `X.TE = Y.TS`. X sorted `ValidTo ↑`, Y `ValidFrom ↑`.
+    pub fn meets(x: X, y: Y) -> TdbResult<Self> {
+        Self::build(
+            x,
+            y,
+            SortKey::ValidTo,
+            SortKey::ValidFrom,
+            always,
+            "EventMergeJoin(meets)",
+        )
+    }
+
+    /// Allen `starts`: `X.TS = Y.TS ∧ X.TE < Y.TE`. Inputs `ValidFrom ↑`.
+    pub fn starts(x: X, y: Y) -> TdbResult<Self> {
+        Self::build(
+            x,
+            y,
+            SortKey::ValidFrom,
+            SortKey::ValidFrom,
+            residual_starts,
+            "EventMergeJoin(starts)",
+        )
+    }
+
+    /// Allen `finishes`: `X.TE = Y.TE ∧ X.TS > Y.TS`. Inputs `ValidTo ↑`.
+    pub fn finishes(x: X, y: Y) -> TdbResult<Self> {
+        Self::build(
+            x,
+            y,
+            SortKey::ValidTo,
+            SortKey::ValidTo,
+            residual_finishes,
+            "EventMergeJoin(finishes)",
+        )
+    }
+
+    /// Execution metrics.
+    pub fn metrics(&self) -> OpMetrics {
+        self.metrics
+    }
+
+    /// Maximum buffered Y-group size (the merge join's only state).
+    pub fn max_workspace(&self) -> usize {
+        self.max_group
+    }
+
+    fn refill_x(&mut self) -> TdbResult<()> {
+        self.x_buf = self.x.next()?;
+        if self.x_buf.is_some() {
+            self.metrics.read_left += 1;
+        }
+        Ok(())
+    }
+
+    fn refill_y(&mut self) -> TdbResult<()> {
+        self.y_buf = self.y.next()?;
+        if self.y_buf.is_some() {
+            self.metrics.read_right += 1;
+        }
+        Ok(())
+    }
+
+    /// Load the group of Y tuples whose key equals `key` into `y_group`.
+    fn load_y_group(&mut self, key: tdb_core::TimePoint) -> TdbResult<()> {
+        self.y_group.clear();
+        self.y_group_key = Some(key);
+        while let Some(yb) = &self.y_buf {
+            if self.y_key.extract(yb) == key {
+                self.y_group
+                    .push(self.y_buf.take().expect("checked above"));
+                self.refill_y()?;
+            } else {
+                break;
+            }
+        }
+        self.max_group = self.max_group.max(self.y_group.len());
+        Ok(())
+    }
+}
+
+impl<X: TupleStream, Y: TupleStream> TupleStream for EventMergeJoin<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    type Item = (X::Item, Y::Item);
+
+    fn next(&mut self) -> TdbResult<Option<Self::Item>> {
+        loop {
+            if let Some(pair) = self.pending.pop_front() {
+                self.metrics.emitted += 1;
+                return Ok(Some(pair));
+            }
+            if !self.started {
+                self.started = true;
+                self.refill_x()?;
+                self.refill_y()?;
+            }
+            let Some(xb) = &self.x_buf else {
+                return Ok(None);
+            };
+            let x_key = self.x_key.extract(xb);
+
+            // Reuse the buffered group if the key matches; otherwise advance
+            // the Y side to (or past) the X key and load the group.
+            if self.y_group_key != Some(x_key) {
+                // Skip Y tuples with smaller keys.
+                loop {
+                    match &self.y_buf {
+                        Some(yb) if self.y_key.extract(yb) < x_key => {
+                            self.metrics.comparisons += 1;
+                            self.refill_y()?;
+                        }
+                        _ => break,
+                    }
+                }
+                match &self.y_buf {
+                    Some(yb) if self.y_key.extract(yb) == x_key => {
+                        self.load_y_group(x_key)?;
+                    }
+                    _ => {
+                        // No Y group for this key: if Y is exhausted and no
+                        // group matches, no further X can match either only
+                        // when keys grow — they do, so terminate when Y dry.
+                        if self.y_buf.is_none() {
+                            return Ok(None);
+                        }
+                        self.y_group.clear();
+                        self.y_group_key = Some(x_key); // empty group marker
+                    }
+                }
+            }
+
+            let x = self.x_buf.take().expect("checked above");
+            for y in &self.y_group {
+                self.metrics.comparisons += 1;
+                if (self.residual)(&x, y) {
+                    self.pending.push_back((x.clone(), y.clone()));
+                }
+            }
+            self.refill_x()?;
+        }
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::from_sorted_vec;
+    use proptest::prelude::*;
+    use tdb_core::{AllenRelation, StreamOrder, TsTuple};
+
+    fn iv(s: i64, e: i64) -> TsTuple {
+        TsTuple::interval(s, e).unwrap()
+    }
+
+    fn canon(mut v: Vec<(TsTuple, TsTuple)>) -> Vec<(TsTuple, TsTuple)> {
+        v.sort_by_key(|(x, y)| {
+            (
+                x.ts().ticks(),
+                x.te().ticks(),
+                y.ts().ticks(),
+                y.te().ticks(),
+            )
+        });
+        v
+    }
+
+    fn oracle(xs: &[TsTuple], ys: &[TsTuple], rel: AllenRelation) -> Vec<(TsTuple, TsTuple)> {
+        let mut out = Vec::new();
+        for x in xs {
+            for y in ys {
+                if rel.holds(&x.period, &y.period) {
+                    out.push((x.clone(), y.clone()));
+                }
+            }
+        }
+        canon(out)
+    }
+
+    fn run(
+        mut xs: Vec<TsTuple>,
+        mut ys: Vec<TsTuple>,
+        rel: AllenRelation,
+    ) -> Vec<(TsTuple, TsTuple)> {
+        let (xo, yo) = match rel {
+            AllenRelation::Equal | AllenRelation::Starts => {
+                (StreamOrder::TS_ASC, StreamOrder::TS_ASC)
+            }
+            AllenRelation::Meets => (StreamOrder::TE_ASC, StreamOrder::TS_ASC),
+            AllenRelation::Finishes => (StreamOrder::TE_ASC, StreamOrder::TE_ASC),
+            _ => unreachable!(),
+        };
+        xo.sort(&mut xs);
+        yo.sort(&mut ys);
+        let x = from_sorted_vec(xs, xo).unwrap();
+        let y = from_sorted_vec(ys, yo).unwrap();
+        let mut op = match rel {
+            AllenRelation::Equal => EventMergeJoin::equal(x, y).unwrap(),
+            AllenRelation::Meets => EventMergeJoin::meets(x, y).unwrap(),
+            AllenRelation::Starts => EventMergeJoin::starts(x, y).unwrap(),
+            AllenRelation::Finishes => EventMergeJoin::finishes(x, y).unwrap(),
+            _ => unreachable!(),
+        };
+        canon(op.collect_vec().unwrap())
+    }
+
+    #[test]
+    fn meets_basic() {
+        let xs = vec![iv(0, 3), iv(1, 3), iv(4, 6)];
+        let ys = vec![iv(3, 5), iv(3, 9), iv(6, 7), iv(2, 4)];
+        let got = run(xs.clone(), ys.clone(), AllenRelation::Meets);
+        assert_eq!(got, oracle(&xs, &ys, AllenRelation::Meets));
+        assert_eq!(got.len(), 5); // two x's meet two y's at 3; [4,6) meets [6,7)
+    }
+
+    #[test]
+    fn equal_requires_both_endpoints() {
+        let xs = vec![iv(0, 5), iv(0, 7)];
+        let ys = vec![iv(0, 5), iv(0, 9)];
+        let got = run(xs, ys, AllenRelation::Equal);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, iv(0, 5));
+    }
+
+    #[test]
+    fn starts_and_finishes_are_strict() {
+        let xs = vec![iv(0, 5)];
+        let ys = vec![iv(0, 5), iv(0, 9)];
+        let got = run(xs, ys, AllenRelation::Starts);
+        assert_eq!(got.len(), 1); // only [0,9): equal is excluded
+        let xs = vec![iv(3, 5)];
+        let ys = vec![iv(0, 5), iv(3, 5), iv(4, 5)];
+        let got = run(xs, ys, AllenRelation::Finishes);
+        assert_eq!(got.len(), 1); // only [0,5): x.TS must exceed y.TS
+    }
+
+    #[test]
+    fn duplicate_keys_produce_full_groups() {
+        let xs = vec![iv(0, 3), iv(0, 3)];
+        let ys = vec![iv(3, 4), iv(3, 5), iv(3, 6)];
+        let got = run(xs, ys, AllenRelation::Meets);
+        assert_eq!(got.len(), 6);
+    }
+
+    #[test]
+    fn rejects_wrong_order() {
+        let x = from_sorted_vec(vec![iv(0, 3)], StreamOrder::TS_ASC).unwrap();
+        let y = from_sorted_vec(vec![iv(3, 4)], StreamOrder::TS_ASC).unwrap();
+        assert!(EventMergeJoin::meets(x, y).is_err()); // X must be TE ↑
+    }
+
+    fn arb_small_intervals(n: usize) -> impl Strategy<Value = Vec<TsTuple>> {
+        // Small key space so equalities actually occur.
+        proptest::collection::vec((-8i64..8, 1i64..8), 0..n)
+            .prop_map(|v| v.into_iter().map(|(s, d)| iv(s, s + d)).collect())
+    }
+
+    proptest! {
+        #[test]
+        fn all_four_match_oracle(xs in arb_small_intervals(30), ys in arb_small_intervals(30)) {
+            for rel in [
+                AllenRelation::Equal,
+                AllenRelation::Meets,
+                AllenRelation::Starts,
+                AllenRelation::Finishes,
+            ] {
+                prop_assert_eq!(
+                    run(xs.clone(), ys.clone(), rel),
+                    oracle(&xs, &ys, rel),
+                    "relation {}",
+                    rel
+                );
+            }
+        }
+    }
+}

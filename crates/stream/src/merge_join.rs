@@ -1,0 +1,274 @@
+//! Classic merge equi-join on arbitrary [`Value`] keys.
+//!
+//! §4.1 cites the merge-join as "a classical example of stream processing
+//! operations": with both inputs sorted on the join key, each is read once
+//! and "at any point we need only one tuple from each table as the state"
+//! (plus the duplicate group). In the Superstar query this operator handles
+//! `f1.Name = f2.Name`.
+
+use crate::metrics::OpMetrics;
+use crate::stream::TupleStream;
+use std::collections::VecDeque;
+use tdb_core::{StreamOrder, TdbError, TdbResult, Value};
+
+/// Merge join on a `Value` key extracted from each side.
+///
+/// Both inputs must arrive in nondecreasing key order; this is verified at
+/// runtime (key regression yields [`TdbError::OrderViolation`]).
+pub struct MergeEquiJoin<X: TupleStream, Y: TupleStream, KX, KY>
+where
+    X::Item: Clone,
+    Y::Item: Clone,
+    KX: Fn(&X::Item) -> Value,
+    KY: Fn(&Y::Item) -> Value,
+{
+    x: X,
+    y: Y,
+    key_x: KX,
+    key_y: KY,
+    x_buf: Option<X::Item>,
+    y_buf: Option<Y::Item>,
+    last_x_key: Option<Value>,
+    last_y_key: Option<Value>,
+    y_group: Vec<Y::Item>,
+    y_group_key: Option<Value>,
+    pending: VecDeque<(X::Item, Y::Item)>,
+    metrics: OpMetrics,
+    max_group: usize,
+    started: bool,
+}
+
+impl<X: TupleStream, Y: TupleStream, KX, KY> MergeEquiJoin<X, Y, KX, KY>
+where
+    X::Item: Clone,
+    Y::Item: Clone,
+    KX: Fn(&X::Item) -> Value,
+    KY: Fn(&Y::Item) -> Value,
+{
+    /// Build the operator.
+    pub fn new(x: X, y: Y, key_x: KX, key_y: KY) -> Self {
+        MergeEquiJoin {
+            x,
+            y,
+            key_x,
+            key_y,
+            x_buf: None,
+            y_buf: None,
+            last_x_key: None,
+            last_y_key: None,
+            y_group: Vec::new(),
+            y_group_key: None,
+            pending: VecDeque::new(),
+            metrics: OpMetrics {
+                passes: 1,
+                ..OpMetrics::default()
+            },
+            max_group: 0,
+            started: false,
+        }
+    }
+
+    /// Execution metrics.
+    pub fn metrics(&self) -> OpMetrics {
+        self.metrics
+    }
+
+    /// Largest duplicate group buffered — the merge join's state.
+    pub fn max_workspace(&self) -> usize {
+        self.max_group
+    }
+
+    fn refill_x(&mut self) -> TdbResult<()> {
+        self.x_buf = self.x.next()?;
+        if let Some(xb) = &self.x_buf {
+            self.metrics.read_left += 1;
+            let k = (self.key_x)(xb);
+            if let Some(prev) = &self.last_x_key {
+                if *prev > k {
+                    return Err(TdbError::OrderViolation {
+                        context: "MergeEquiJoin",
+                        detail: format!("X key regressed from {prev} to {k}"),
+                    });
+                }
+            }
+            self.last_x_key = Some(k);
+        }
+        Ok(())
+    }
+
+    fn refill_y(&mut self) -> TdbResult<()> {
+        self.y_buf = self.y.next()?;
+        if let Some(yb) = &self.y_buf {
+            self.metrics.read_right += 1;
+            let k = (self.key_y)(yb);
+            if let Some(prev) = &self.last_y_key {
+                if *prev > k {
+                    return Err(TdbError::OrderViolation {
+                        context: "MergeEquiJoin",
+                        detail: format!("Y key regressed from {prev} to {k}"),
+                    });
+                }
+            }
+            self.last_y_key = Some(k);
+        }
+        Ok(())
+    }
+}
+
+impl<X: TupleStream, Y: TupleStream, KX, KY> TupleStream for MergeEquiJoin<X, Y, KX, KY>
+where
+    X::Item: Clone,
+    Y::Item: Clone,
+    KX: Fn(&X::Item) -> Value,
+    KY: Fn(&Y::Item) -> Value,
+{
+    type Item = (X::Item, Y::Item);
+
+    fn next(&mut self) -> TdbResult<Option<Self::Item>> {
+        loop {
+            if let Some(pair) = self.pending.pop_front() {
+                self.metrics.emitted += 1;
+                return Ok(Some(pair));
+            }
+            if !self.started {
+                self.started = true;
+                self.refill_x()?;
+                self.refill_y()?;
+            }
+            let Some(xb) = &self.x_buf else {
+                return Ok(None);
+            };
+            let x_key = (self.key_x)(xb);
+
+            if self.y_group_key.as_ref() != Some(&x_key) {
+                // Advance Y to the X key.
+                loop {
+                    match &self.y_buf {
+                        Some(yb) if (self.key_y)(yb) < x_key => {
+                            self.metrics.comparisons += 1;
+                            self.refill_y()?;
+                        }
+                        _ => break,
+                    }
+                }
+                self.y_group.clear();
+                self.y_group_key = Some(x_key.clone());
+                while let Some(yb) = &self.y_buf {
+                    if (self.key_y)(yb) == x_key {
+                        self.y_group.push(self.y_buf.take().expect("checked"));
+                        self.refill_y()?;
+                    } else {
+                        break;
+                    }
+                }
+                self.max_group = self.max_group.max(self.y_group.len());
+                if self.y_group.is_empty() && self.y_buf.is_none() {
+                    // Y exhausted with no group: no later X key can match.
+                    return Ok(None);
+                }
+            }
+
+            let x = self.x_buf.take().expect("checked above");
+            for y in &self.y_group {
+                self.metrics.comparisons += 1;
+                self.pending.push_back((x.clone(), y.clone()));
+            }
+            self.refill_x()?;
+        }
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::from_vec;
+    use proptest::prelude::*;
+    use tdb_core::TsTuple;
+
+    fn t(name: &str, s: i64, e: i64) -> TsTuple {
+        TsTuple::new(name, "", s, e).unwrap()
+    }
+
+    fn by_name(t: &TsTuple) -> Value {
+        t.surrogate.clone()
+    }
+
+    fn canon(mut v: Vec<(TsTuple, TsTuple)>) -> Vec<(TsTuple, TsTuple)> {
+        v.sort_by(|a, b| {
+            (&a.0.surrogate, a.0.period.start(), a.1.period.start()).cmp(&(
+                &b.0.surrogate,
+                b.0.period.start(),
+                b.1.period.start(),
+            ))
+        });
+        v
+    }
+
+    #[test]
+    fn equijoin_on_names() {
+        let xs = vec![t("Brown", 0, 5), t("Jones", 0, 5), t("Smith", 0, 5)];
+        let ys = vec![t("Jones", 9, 12), t("Smith", 9, 12), t("Smith", 20, 25)];
+        let mut op = MergeEquiJoin::new(from_vec(xs), from_vec(ys), by_name, by_name);
+        let out = op.collect_vec().unwrap();
+        assert_eq!(out.len(), 3); // Jones×1, Smith×2
+        assert_eq!(op.max_workspace(), 2);
+    }
+
+    #[test]
+    fn detects_unsorted_keys() {
+        let xs = vec![t("Smith", 0, 5), t("Brown", 0, 5)];
+        let ys = vec![t("Smith", 9, 12)];
+        let mut op = MergeEquiJoin::new(from_vec(xs), from_vec(ys), by_name, by_name);
+        let mut failed = false;
+        loop {
+            match op.next() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(TdbError::OrderViolation { .. }) => {
+                    failed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(failed);
+    }
+
+    #[test]
+    fn early_termination_when_y_exhausted() {
+        let xs = vec![t("A", 0, 1), t("Z", 0, 1)];
+        let ys = vec![t("A", 0, 1)];
+        let mut op = MergeEquiJoin::new(from_vec(xs), from_vec(ys), by_name, by_name);
+        assert_eq!(op.collect_vec().unwrap().len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_oracle(
+            xk in proptest::collection::vec(0u8..6, 0..25),
+            yk in proptest::collection::vec(0u8..6, 0..25),
+        ) {
+            let mut xs: Vec<_> = xk.iter().enumerate()
+                .map(|(i, k)| t(&format!("K{k}"), i as i64, i as i64 + 1)).collect();
+            let mut ys: Vec<_> = yk.iter().enumerate()
+                .map(|(i, k)| t(&format!("K{k}"), 100 + i as i64, 101 + i as i64)).collect();
+            xs.sort_by(|a, b| a.surrogate.cmp(&b.surrogate));
+            ys.sort_by(|a, b| a.surrogate.cmp(&b.surrogate));
+            let mut op = MergeEquiJoin::new(from_vec(xs.clone()), from_vec(ys.clone()), by_name, by_name);
+            let got = canon(op.collect_vec().unwrap());
+            let mut expected = Vec::new();
+            for x in &xs {
+                for y in &ys {
+                    if x.surrogate == y.surrogate {
+                        expected.push((x.clone(), y.clone()));
+                    }
+                }
+            }
+            prop_assert_eq!(got, canon(expected));
+        }
+    }
+}

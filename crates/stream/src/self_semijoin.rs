@@ -1,0 +1,504 @@
+//! Self semijoins over a single stream (§4.2.3, Figure 7, Table 3).
+//!
+//! `Contained-semijoin(X,X)` selects every tuple whose lifespan is strictly
+//! contained within *another* tuple of the same stream;
+//! `Contain-semijoin(X,X)` selects every tuple that strictly contains
+//! another. Applying the two-stream algorithms naively would scan the
+//! operand twice; the paper shows a **single scan with one state tuple**
+//! suffices for `Contained-semijoin(X,X)` when the stream is sorted
+//! primarily on `ValidFrom ↑` with secondary `ValidTo ↑`.
+//!
+//! ### Why one state tuple suffices ([`ContainedSelfSemijoin`])
+//!
+//! Invariant: the state tuple `x_s` always has the **maximum `ValidTo`**
+//! among tuples read so far. On reading `x_b`:
+//!
+//! * `x_s.TS = x_b.TS` — replace: the secondary `TE ↑` order makes
+//!   `x_b.TE ≥ x_s.TE`, preserving the invariant; and no emission is missed
+//!   because a hypothetical other container `z` would need
+//!   `z.TE > x_b.TE ≥ x_s.TE`, contradicting the invariant;
+//! * `x_s.TE ≤ x_b.TE` — replace (preserves the invariant; `x_s` cannot
+//!   contain `x_b`, and nothing else can: `x_s.TE` was maximal);
+//! * otherwise `x_s.TS < x_b.TS ∧ x_b.TE < x_s.TE` — `x_b` is contained:
+//!   **emit** `x_b`, keep `x_s`.
+//!
+//! [`ContainSelfSemijoinDesc`] is the mirror image (sort `ValidFrom ↓` with
+//! secondary `ValidTo ↓`, state keeps the *minimum* `ValidTo`), realizing
+//! Table 3's row 2: `Contain-semijoin(X,X)` in (a)-state under descending
+//! order. Under ascending order, `Contain-semijoin(X,X)` needs the larger
+//! (b)-state `state(x_i) ⊆ {x_j | j > i and x_j overlaps x_i}` —
+//! implemented by [`ContainSelfSemijoin`].
+
+use crate::metrics::OpMetrics;
+use crate::stream::TupleStream;
+use crate::workspace::{Workspace, WorkspaceStats};
+use std::collections::VecDeque;
+use tdb_core::{Direction, SortKey, SortSpec, StreamOrder, TdbError, TdbResult, Temporal};
+
+fn require_order<S: TupleStream>(
+    s: &S,
+    required: StreamOrder,
+    operator: &'static str,
+) -> TdbResult<()> {
+    match s.order() {
+        Some(o) if o.satisfies(&required) => Ok(()),
+        Some(o) => Err(TdbError::UnsupportedOrdering {
+            operator,
+            detail: format!("input is sorted {o}, operator requires {required}"),
+        }),
+        None => Err(TdbError::UnsupportedOrdering {
+            operator,
+            detail: format!("input declares no sort order; {required} required"),
+        }),
+    }
+}
+
+/// `Contained-semijoin(X,X)`: emits tuples strictly contained in another
+/// tuple of the same stream. Single scan, one state tuple (Figure 7).
+///
+/// Requires primary `ValidFrom ↑`, secondary `ValidTo ↑`.
+///
+/// ```
+/// use tdb_stream::{from_sorted_vec, ContainedSelfSemijoin, TupleStream};
+/// use tdb_core::{StreamOrder, TsTuple};
+///
+/// let xs = vec![
+///     TsTuple::interval(0, 4)?,
+///     TsTuple::interval(3, 20)?,
+///     TsTuple::interval(5, 10)?, // inside [3,20)
+/// ];
+/// let mut op = ContainedSelfSemijoin::new(
+///     from_sorted_vec(xs, StreamOrder::TS_ASC_TE_ASC)?,
+/// )?;
+/// assert_eq!(op.collect_vec()?.len(), 1);
+/// assert!(op.max_workspace() <= 1); // Table 3 state (a)
+/// # Ok::<(), tdb_core::TdbError>(())
+/// ```
+pub struct ContainedSelfSemijoin<S: TupleStream>
+where
+    S::Item: Temporal + Clone,
+{
+    input: S,
+    state: Option<S::Item>,
+    metrics: OpMetrics,
+    max_state: usize,
+}
+
+impl<S: TupleStream> ContainedSelfSemijoin<S>
+where
+    S::Item: Temporal + Clone,
+{
+    /// Required input ordering.
+    pub const REQUIRED: StreamOrder = StreamOrder::TS_ASC_TE_ASC;
+
+    /// Build the operator.
+    pub fn new(input: S) -> TdbResult<Self> {
+        require_order(&input, Self::REQUIRED, "ContainedSelfSemijoin")?;
+        Ok(ContainedSelfSemijoin {
+            input,
+            state: None,
+            metrics: OpMetrics {
+                passes: 1,
+                ..OpMetrics::default()
+            },
+            max_state: 0,
+        })
+    }
+
+    /// Execution metrics.
+    pub fn metrics(&self) -> OpMetrics {
+        self.metrics
+    }
+
+    /// Maximum state tuples ever held — always ≤ 1 (Table 3 state (a)).
+    pub fn max_workspace(&self) -> usize {
+        self.max_state
+    }
+
+    /// The current state tuple `x_s` (exposed for the Figure 7 trace test).
+    pub fn state_tuple(&self) -> Option<&S::Item> {
+        self.state.as_ref()
+    }
+}
+
+impl<S: TupleStream> TupleStream for ContainedSelfSemijoin<S>
+where
+    S::Item: Temporal + Clone,
+{
+    type Item = S::Item;
+
+    fn next(&mut self) -> TdbResult<Option<S::Item>> {
+        loop {
+            let Some(xb) = self.input.next()? else {
+                return Ok(None);
+            };
+            self.metrics.read_left += 1;
+            let Some(xs) = &self.state else {
+                self.state = Some(xb);
+                self.max_state = self.max_state.max(1);
+                continue;
+            };
+            self.metrics.comparisons += 1;
+            if xs.ts() == xb.ts() || xs.te() <= xb.te() {
+                // Replace the state tuple (Figure 7 cases 1 and 2).
+                self.state = Some(xb);
+            } else {
+                // x_b's lifespan is contained within x_s's: output x_b,
+                // x_s remains the state tuple (Figure 7 case 3).
+                self.metrics.emitted += 1;
+                return Ok(Some(xb));
+            }
+        }
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        // Output is a subsequence of the input.
+        Some(Self::REQUIRED)
+    }
+}
+
+/// `Contain-semijoin(X,X)` under **descending** order (`ValidFrom ↓`,
+/// secondary `ValidTo ↓`): emits tuples that strictly contain another tuple.
+/// Single scan, one state tuple (Table 3 row 2, state (a)) — the mirror
+/// image of [`ContainedSelfSemijoin`], with the state tuple holding the
+/// *minimum* `ValidTo` seen so far.
+pub struct ContainSelfSemijoinDesc<S: TupleStream>
+where
+    S::Item: Temporal + Clone,
+{
+    input: S,
+    state: Option<S::Item>,
+    metrics: OpMetrics,
+    max_state: usize,
+}
+
+impl<S: TupleStream> ContainSelfSemijoinDesc<S>
+where
+    S::Item: Temporal + Clone,
+{
+    /// Required input ordering: `ValidFrom ↓`, then `ValidTo ↓`.
+    pub const REQUIRED: StreamOrder = StreamOrder::by_then(
+        SortSpec {
+            key: SortKey::ValidFrom,
+            direction: Direction::Desc,
+        },
+        SortSpec {
+            key: SortKey::ValidTo,
+            direction: Direction::Desc,
+        },
+    );
+
+    /// Build the operator.
+    pub fn new(input: S) -> TdbResult<Self> {
+        require_order(&input, Self::REQUIRED, "ContainSelfSemijoinDesc")?;
+        Ok(ContainSelfSemijoinDesc {
+            input,
+            state: None,
+            metrics: OpMetrics {
+                passes: 1,
+                ..OpMetrics::default()
+            },
+            max_state: 0,
+        })
+    }
+
+    /// Execution metrics.
+    pub fn metrics(&self) -> OpMetrics {
+        self.metrics
+    }
+
+    /// Maximum state tuples ever held — always ≤ 1.
+    pub fn max_workspace(&self) -> usize {
+        self.max_state
+    }
+}
+
+impl<S: TupleStream> TupleStream for ContainSelfSemijoinDesc<S>
+where
+    S::Item: Temporal + Clone,
+{
+    type Item = S::Item;
+
+    fn next(&mut self) -> TdbResult<Option<S::Item>> {
+        loop {
+            let Some(xb) = self.input.next()? else {
+                return Ok(None);
+            };
+            self.metrics.read_left += 1;
+            let Some(xs) = &self.state else {
+                self.state = Some(xb);
+                self.max_state = self.max_state.max(1);
+                continue;
+            };
+            self.metrics.comparisons += 1;
+            if xs.ts() == xb.ts() || xs.te() >= xb.te() {
+                self.state = Some(xb);
+            } else {
+                // x_s.TS > x_b.TS ∧ x_s.TE < x_b.TE: x_b contains x_s.
+                self.metrics.emitted += 1;
+                return Ok(Some(xb));
+            }
+        }
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        Some(Self::REQUIRED)
+    }
+}
+
+/// `Contain-semijoin(X,X)` under **ascending** order (`ValidFrom ↑`,
+/// secondary `ValidTo ↑`): emits tuples that strictly contain another.
+///
+/// Containers precede their containees in ascending order, so an emission
+/// decision must be deferred: the workspace holds the not-yet-witnessed
+/// candidates that still overlap the sweep point — Table 3 state (b),
+/// `state(x_i) ⊆ {x_j | j > i and x_j overlaps x_i}`.
+pub struct ContainSelfSemijoin<S: TupleStream>
+where
+    S::Item: Temporal + Clone,
+{
+    input: S,
+    /// Candidate containers not yet witnessed, still alive at the sweep.
+    candidates: Workspace<S::Item>,
+    pending: VecDeque<S::Item>,
+    metrics: OpMetrics,
+}
+
+impl<S: TupleStream> ContainSelfSemijoin<S>
+where
+    S::Item: Temporal + Clone,
+{
+    /// Required input ordering.
+    pub const REQUIRED: StreamOrder = StreamOrder::TS_ASC_TE_ASC;
+
+    /// Build the operator.
+    pub fn new(input: S) -> TdbResult<Self> {
+        require_order(&input, Self::REQUIRED, "ContainSelfSemijoin")?;
+        Ok(ContainSelfSemijoin {
+            input,
+            candidates: Workspace::new(),
+            pending: VecDeque::new(),
+            metrics: OpMetrics {
+                passes: 1,
+                ..OpMetrics::default()
+            },
+        })
+    }
+
+    /// Execution metrics.
+    pub fn metrics(&self) -> OpMetrics {
+        self.metrics
+    }
+
+    /// Workspace statistics (Table 3 state (b)).
+    pub fn workspace(&self) -> WorkspaceStats {
+        self.candidates.stats()
+    }
+}
+
+impl<S: TupleStream> TupleStream for ContainSelfSemijoin<S>
+where
+    S::Item: Temporal + Clone,
+{
+    type Item = S::Item;
+
+    fn next(&mut self) -> TdbResult<Option<S::Item>> {
+        loop {
+            if let Some(out) = self.pending.pop_front() {
+                self.metrics.emitted += 1;
+                return Ok(Some(out));
+            }
+            let Some(xb) = self.input.next()? else {
+                return Ok(None);
+            };
+            self.metrics.read_left += 1;
+            let p = xb.period();
+            // Candidates that died before the sweep can never be witnessed.
+            self.candidates.gc(|c| c.te() > p.start());
+            // Emit every candidate that strictly contains x_b (each exactly
+            // once — extraction removes them).
+            let comparisons = self.candidates.len();
+            self.metrics.comparisons += comparisons;
+            let witnessed = self
+                .candidates
+                .extract(|c| c.period().contains(&p));
+            self.pending.extend(witnessed);
+            self.candidates.insert(xb);
+        }
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        None // emission order is witness order, not input order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::from_sorted_vec;
+    use proptest::prelude::*;
+    use tdb_core::TsTuple;
+
+    fn iv(s: i64, e: i64) -> TsTuple {
+        TsTuple::interval(s, e).unwrap()
+    }
+
+    fn canon(mut v: Vec<TsTuple>) -> Vec<TsTuple> {
+        v.sort_by_key(|t| (t.ts().ticks(), t.te().ticks()));
+        v
+    }
+
+    fn contained_oracle(xs: &[TsTuple]) -> Vec<TsTuple> {
+        xs.iter()
+            .enumerate()
+            .filter(|(i, x)| {
+                xs.iter()
+                    .enumerate()
+                    .any(|(j, y)| *i != j && y.period.contains(&x.period))
+            })
+            .map(|(_, x)| x.clone())
+            .collect()
+    }
+
+    fn contain_oracle(xs: &[TsTuple]) -> Vec<TsTuple> {
+        xs.iter()
+            .enumerate()
+            .filter(|(i, x)| {
+                xs.iter()
+                    .enumerate()
+                    .any(|(j, y)| *i != j && x.period.contains(&y.period))
+            })
+            .map(|(_, x)| x.clone())
+            .collect()
+    }
+
+    fn sorted_asc(mut xs: Vec<TsTuple>) -> Vec<TsTuple> {
+        StreamOrder::TS_ASC_TE_ASC.sort(&mut xs);
+        xs
+    }
+
+    /// The Figure 7 walk: x1 read and kept; x2 replaces it; x3 replaces x2;
+    /// x4 is contained in x3 and output; x3 remains in the state.
+    #[test]
+    fn figure7_trace() {
+        let x1 = iv(0, 4);
+        let x2 = iv(1, 8);
+        let x3 = iv(3, 20);
+        let x4 = iv(5, 10); // inside x3
+        let input = from_sorted_vec(
+            vec![x1, x2, x3.clone(), x4.clone()],
+            StreamOrder::TS_ASC_TE_ASC,
+        )
+        .unwrap();
+        let mut op = ContainedSelfSemijoin::new(input).unwrap();
+        let first = op.next().unwrap().unwrap();
+        assert_eq!(first, x4);
+        assert_eq!(op.state_tuple(), Some(&x3), "x3 remains in the state");
+        assert!(op.next().unwrap().is_none());
+        assert!(op.max_workspace() <= 1, "at most one state tuple");
+        assert_eq!(op.metrics().read_left, 4);
+    }
+
+    #[test]
+    fn equal_ts_run_replaces_without_emitting() {
+        // Identical TS: secondary TE ↑; none strictly contained.
+        let xs = vec![iv(0, 3), iv(0, 5), iv(0, 9)];
+        let input = from_sorted_vec(xs, StreamOrder::TS_ASC_TE_ASC).unwrap();
+        let mut op = ContainedSelfSemijoin::new(input).unwrap();
+        assert!(op.collect_vec().unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_periods_are_not_contained_in_each_other() {
+        let xs = vec![iv(2, 7), iv(2, 7)];
+        let input = from_sorted_vec(xs, StreamOrder::TS_ASC_TE_ASC).unwrap();
+        let mut op = ContainedSelfSemijoin::new(input).unwrap();
+        assert!(op.collect_vec().unwrap().is_empty());
+    }
+
+    #[test]
+    fn contain_self_desc_mirrors() {
+        let mut xs = vec![iv(0, 100), iv(1, 90), iv(2, 5), iv(50, 60)];
+        ContainSelfSemijoinDesc::<crate::stream::VecStream<TsTuple>>::REQUIRED.sort(&mut xs);
+        let input =
+            from_sorted_vec(xs.clone(), ContainSelfSemijoinDesc::<crate::stream::VecStream<TsTuple>>::REQUIRED)
+                .unwrap();
+        let mut op = ContainSelfSemijoinDesc::new(input).unwrap();
+        let got = canon(op.collect_vec().unwrap());
+        assert_eq!(got, canon(contain_oracle(&xs)));
+        assert_eq!(got.len(), 2); // [0,100) and [1,90) both contain [2,5)
+        assert!(op.max_workspace() <= 1);
+    }
+
+    #[test]
+    fn contain_self_asc_finds_all_containers() {
+        let xs = sorted_asc(vec![iv(0, 100), iv(1, 90), iv(2, 5), iv(50, 60)]);
+        let input = from_sorted_vec(xs.clone(), StreamOrder::TS_ASC_TE_ASC).unwrap();
+        let mut op = ContainSelfSemijoin::new(input).unwrap();
+        let got = canon(op.collect_vec().unwrap());
+        assert_eq!(got, canon(contain_oracle(&xs)));
+    }
+
+    #[test]
+    fn rejects_missing_secondary_order() {
+        let input = from_sorted_vec(vec![iv(0, 5)], StreamOrder::TS_ASC).unwrap();
+        assert!(matches!(
+            ContainedSelfSemijoin::new(input),
+            Err(TdbError::UnsupportedOrdering { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_and_singleton_streams() {
+        let input = from_sorted_vec(Vec::<TsTuple>::new(), StreamOrder::TS_ASC_TE_ASC).unwrap();
+        assert!(ContainedSelfSemijoin::new(input)
+            .unwrap()
+            .collect_vec()
+            .unwrap()
+            .is_empty());
+        let input = from_sorted_vec(vec![iv(0, 5)], StreamOrder::TS_ASC_TE_ASC).unwrap();
+        assert!(ContainedSelfSemijoin::new(input)
+            .unwrap()
+            .collect_vec()
+            .unwrap()
+            .is_empty());
+    }
+
+    fn arb_intervals(n: usize) -> impl Strategy<Value = Vec<TsTuple>> {
+        proptest::collection::vec((-60i64..60, 1i64..50), 0..n)
+            .prop_map(|v| v.into_iter().map(|(s, d)| iv(s, s + d)).collect())
+    }
+
+    proptest! {
+        #[test]
+        fn contained_self_matches_oracle(xs in arb_intervals(60)) {
+            let xs = sorted_asc(xs);
+            let input = from_sorted_vec(xs.clone(), StreamOrder::TS_ASC_TE_ASC).unwrap();
+            let mut op = ContainedSelfSemijoin::new(input).unwrap();
+            let got = canon(op.collect_vec().unwrap());
+            prop_assert_eq!(got, canon(contained_oracle(&xs)));
+            prop_assert!(op.max_workspace() <= 1);
+        }
+
+        #[test]
+        fn contain_self_asc_matches_oracle(xs in arb_intervals(60)) {
+            let xs = sorted_asc(xs);
+            let input = from_sorted_vec(xs.clone(), StreamOrder::TS_ASC_TE_ASC).unwrap();
+            let mut op = ContainSelfSemijoin::new(input).unwrap();
+            let got = canon(op.collect_vec().unwrap());
+            prop_assert_eq!(got, canon(contain_oracle(&xs)));
+        }
+
+        #[test]
+        fn contain_self_desc_matches_oracle(xs in arb_intervals(60)) {
+            let order = ContainSelfSemijoinDesc::<crate::stream::VecStream<TsTuple>>::REQUIRED;
+            let mut xs = xs;
+            order.sort(&mut xs);
+            let input = from_sorted_vec(xs.clone(), order).unwrap();
+            let mut op = ContainSelfSemijoinDesc::new(input).unwrap();
+            let got = canon(op.collect_vec().unwrap());
+            prop_assert_eq!(got, canon(contain_oracle(&xs)));
+            prop_assert!(op.max_workspace() <= 1);
+        }
+    }
+}

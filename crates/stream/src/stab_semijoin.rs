@@ -1,0 +1,437 @@
+//! The two-buffer ("stab") semijoin algorithms of §4.2.2 / Figure 6.
+//!
+//! `Contain-semijoin(X,Y)` selects the X tuples whose lifespan strictly
+//! contains that of *some* Y tuple; `Contained-semijoin(X,Y)` selects the X
+//! tuples strictly contained in some Y tuple. "For semijoins, a stream
+//! processor can output a tuple as soon as it finds the first matching
+//! tuple. Because of this, we devise an optimized algorithm which requires
+//! just one buffer for each input stream" — Table 1 state (d).
+//!
+//! Both operators here are instances of one scan over a *container* stream
+//! sorted `ValidFrom ↑` and a *containee* stream sorted `ValidTo ↑`:
+//!
+//! * a containee whose `TS ≤` the buffered container's `TS` can be contained
+//!   in **no** current or future container (containers' `TS` only grows) —
+//!   skip it;
+//! * otherwise, if the containee ends strictly before the buffered container
+//!   (`e.TE < c.TE`), the pair matches (`c.TS < e.TS ∧ e.TE < c.TE`);
+//! * otherwise (`e.TE ≥ c.TE`) the buffered container can contain **no**
+//!   current or future containee (containees' `TE` only grows) — advance the
+//!   container.
+//!
+//! [`ContainSemijoinStab`] emits the container side (and advances it after a
+//! match — one output per container); [`ContainedSemijoinStab`] emits the
+//! containee side (and advances it after a match). The local workspace is
+//! exactly the two input buffers.
+
+use crate::metrics::OpMetrics;
+use crate::stream::TupleStream;
+use std::cmp::Ordering as CmpOrdering;
+use tdb_core::{StreamOrder, TdbError, TdbResult, Temporal};
+
+fn require_order<S: TupleStream>(
+    s: &S,
+    required: StreamOrder,
+    operator: &'static str,
+    side: &str,
+) -> TdbResult<()> {
+    match s.order() {
+        Some(o) if o.satisfies(&required) => Ok(()),
+        Some(o) => Err(TdbError::UnsupportedOrdering {
+            operator,
+            detail: format!("{side} input is sorted {o}, operator requires {required}"),
+        }),
+        None => Err(TdbError::UnsupportedOrdering {
+            operator,
+            detail: format!("{side} input declares no sort order; {required} required"),
+        }),
+    }
+}
+
+/// Which side of the containment a stab semijoin emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Emit {
+    Container,
+    Containee,
+}
+
+/// Shared two-buffer scan. `C` is the container stream (`ValidFrom ↑`),
+/// `E` the containee stream (`ValidTo ↑`).
+struct StabScan<C: TupleStream, E: TupleStream> {
+    containers: C,
+    containees: E,
+    c_buf: Option<C::Item>,
+    e_buf: Option<E::Item>,
+    emit: Emit,
+    metrics: OpMetrics,
+    started: bool,
+}
+
+enum StepOutcome<C, E> {
+    EmitContainer(C),
+    EmitContainee(E),
+    Done,
+}
+
+impl<C: TupleStream, E: TupleStream> StabScan<C, E>
+where
+    C::Item: Temporal + Clone,
+    E::Item: Temporal + Clone,
+{
+    fn new(containers: C, containees: E, emit: Emit, name: &'static str) -> TdbResult<Self> {
+        require_order(&containers, StreamOrder::TS_ASC, name, "container")?;
+        require_order(&containees, StreamOrder::TE_ASC, name, "containee")?;
+        Ok(StabScan {
+            containers,
+            containees,
+            c_buf: None,
+            e_buf: None,
+            emit,
+            metrics: OpMetrics {
+                passes: 1,
+                ..OpMetrics::default()
+            },
+            started: false,
+        })
+    }
+
+    fn refill_container(&mut self) -> TdbResult<()> {
+        self.c_buf = self.containers.next()?;
+        if self.c_buf.is_some() {
+            self.metrics.read_left += 1;
+        }
+        Ok(())
+    }
+
+    fn refill_containee(&mut self) -> TdbResult<()> {
+        self.e_buf = self.containees.next()?;
+        if self.e_buf.is_some() {
+            self.metrics.read_right += 1;
+        }
+        Ok(())
+    }
+
+    fn step(&mut self) -> TdbResult<StepOutcome<C::Item, E::Item>> {
+        if !self.started {
+            self.started = true;
+            self.refill_container()?;
+            self.refill_containee()?;
+        }
+        loop {
+            let (Some(c), Some(e)) = (&self.c_buf, &self.e_buf) else {
+                return Ok(StepOutcome::Done);
+            };
+            self.metrics.comparisons += 1;
+            match e.ts().cmp(&c.ts()) {
+                // Dead containee: no current or future container starts
+                // before it.
+                CmpOrdering::Less | CmpOrdering::Equal => {
+                    self.refill_containee()?;
+                }
+                CmpOrdering::Greater => {
+                    if e.te() < c.te() {
+                        // Match: c.TS < e.TS ∧ e.TE < c.TE.
+                        match self.emit {
+                            Emit::Container => {
+                                let out = c.clone();
+                                self.refill_container()?; // one output per container
+                                return Ok(StepOutcome::EmitContainer(out));
+                            }
+                            Emit::Containee => {
+                                let out = e.clone();
+                                self.refill_containee()?; // one output per containee
+                                return Ok(StepOutcome::EmitContainee(out));
+                            }
+                        }
+                    } else {
+                        // This container can contain no current or future
+                        // containee (their TE only grows).
+                        self.refill_container()?;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `Contain-semijoin(X, Y)` over X sorted `ValidFrom ↑`, Y sorted
+/// `ValidTo ↑`: emits each X tuple containing at least one Y tuple.
+/// Workspace: the two input buffers (Table 1 state (d)).
+pub struct ContainSemijoinStab<X: TupleStream, Y: TupleStream>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    scan: StabScan<X, Y>,
+}
+
+impl<X: TupleStream, Y: TupleStream> ContainSemijoinStab<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    /// Build the operator (X: `ValidFrom ↑`, Y: `ValidTo ↑`).
+    pub fn new(x: X, y: Y) -> TdbResult<Self> {
+        Ok(ContainSemijoinStab {
+            scan: StabScan::new(x, y, Emit::Container, "ContainSemijoinStab")?,
+        })
+    }
+
+    /// Execution metrics.
+    pub fn metrics(&self) -> OpMetrics {
+        self.scan.metrics
+    }
+
+    /// The buffered (container, containee) pair — the entire workspace.
+    pub fn buffers(&self) -> (Option<&X::Item>, Option<&Y::Item>) {
+        (self.scan.c_buf.as_ref(), self.scan.e_buf.as_ref())
+    }
+}
+
+impl<X: TupleStream, Y: TupleStream> TupleStream for ContainSemijoinStab<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    type Item = X::Item;
+
+    fn next(&mut self) -> TdbResult<Option<X::Item>> {
+        match self.scan.step()? {
+            StepOutcome::EmitContainer(c) => {
+                self.scan.metrics.emitted += 1;
+                Ok(Some(c))
+            }
+            StepOutcome::EmitContainee(_) => unreachable!("configured to emit containers"),
+            StepOutcome::Done => Ok(None),
+        }
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        // Output is a subsequence of the container input: order-preserving
+        // (§4.2.3: "the output stream from a semijoin operation has the same
+        // sort ordering as the input stream").
+        Some(StreamOrder::TS_ASC)
+    }
+}
+
+/// `Contained-semijoin(X, Y)` over X sorted `ValidTo ↑`, Y sorted
+/// `ValidFrom ↑`: emits each X tuple contained in at least one Y tuple.
+/// Workspace: the two input buffers (Table 1 state (d)).
+pub struct ContainedSemijoinStab<X: TupleStream, Y: TupleStream>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    scan: StabScan<Y, X>, // Y are the containers, X the containees
+}
+
+impl<X: TupleStream, Y: TupleStream> ContainedSemijoinStab<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    /// Build the operator (X: `ValidTo ↑`, Y: `ValidFrom ↑`).
+    pub fn new(x: X, y: Y) -> TdbResult<Self> {
+        Ok(ContainedSemijoinStab {
+            scan: StabScan::new(y, x, Emit::Containee, "ContainedSemijoinStab")?,
+        })
+    }
+
+    /// Execution metrics (note: `read_left` counts the container side,
+    /// i.e. Y).
+    pub fn metrics(&self) -> OpMetrics {
+        self.scan.metrics
+    }
+
+    /// The buffered (containee, container) pair — the entire workspace.
+    pub fn buffers(&self) -> (Option<&X::Item>, Option<&Y::Item>) {
+        (self.scan.e_buf.as_ref(), self.scan.c_buf.as_ref())
+    }
+}
+
+impl<X: TupleStream, Y: TupleStream> TupleStream for ContainedSemijoinStab<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    type Item = X::Item;
+
+    fn next(&mut self) -> TdbResult<Option<X::Item>> {
+        match self.scan.step()? {
+            StepOutcome::EmitContainee(e) => {
+                self.scan.metrics.emitted += 1;
+                Ok(Some(e))
+            }
+            StepOutcome::EmitContainer(_) => unreachable!("configured to emit containees"),
+            StepOutcome::Done => Ok(None),
+        }
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        Some(StreamOrder::TE_ASC)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::from_sorted_vec;
+    use proptest::prelude::*;
+    use tdb_core::TsTuple;
+
+    fn iv(s: i64, e: i64) -> TsTuple {
+        TsTuple::interval(s, e).unwrap()
+    }
+
+    fn contain_oracle(xs: &[TsTuple], ys: &[TsTuple]) -> Vec<TsTuple> {
+        xs.iter()
+            .filter(|x| ys.iter().any(|y| x.period.contains(&y.period)))
+            .cloned()
+            .collect()
+    }
+
+    fn contained_oracle(xs: &[TsTuple], ys: &[TsTuple]) -> Vec<TsTuple> {
+        xs.iter()
+            .filter(|x| ys.iter().any(|y| y.period.contains(&x.period)))
+            .cloned()
+            .collect()
+    }
+
+    fn canon(mut v: Vec<TsTuple>) -> Vec<TsTuple> {
+        v.sort_by_key(|t| (t.ts().ticks(), t.te().ticks()));
+        v
+    }
+
+    fn run_contain(mut xs: Vec<TsTuple>, mut ys: Vec<TsTuple>) -> Vec<TsTuple> {
+        StreamOrder::TS_ASC.sort(&mut xs);
+        StreamOrder::TE_ASC.sort(&mut ys);
+        let x = from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap();
+        let y = from_sorted_vec(ys, StreamOrder::TE_ASC).unwrap();
+        let mut op = ContainSemijoinStab::new(x, y).unwrap();
+        canon(op.collect_vec().unwrap())
+    }
+
+    fn run_contained(mut xs: Vec<TsTuple>, mut ys: Vec<TsTuple>) -> Vec<TsTuple> {
+        StreamOrder::TE_ASC.sort(&mut xs);
+        StreamOrder::TS_ASC.sort(&mut ys);
+        let x = from_sorted_vec(xs, StreamOrder::TE_ASC).unwrap();
+        let y = from_sorted_vec(ys, StreamOrder::TS_ASC).unwrap();
+        let mut op = ContainedSemijoinStab::new(x, y).unwrap();
+        canon(op.collect_vec().unwrap())
+    }
+
+    /// The Figure 6 walk: X = {x1, x2} sorted TS↑, Y = {y1..y4} sorted TE↑.
+    /// "When x1 is fetched, the local workspace contains ⟨x1, y2⟩ and for
+    /// x2 it is ⟨x2, y4⟩."
+    #[test]
+    fn figure6_trace() {
+        let x1 = iv(0, 10);
+        let x2 = iv(8, 20);
+        let y1 = iv(-2, 3); // TS ≤ x1.TS: dead
+        let y2 = iv(1, 5); // contained in x1
+        let y3 = iv(4, 7); // TS ≤ x2.TS: dead for x2
+        let y4 = iv(9, 15); // contained in x2
+        let x = from_sorted_vec(vec![x1.clone(), x2.clone()], StreamOrder::TS_ASC).unwrap();
+        let y = from_sorted_vec(
+            vec![y1, y2.clone(), y3, y4.clone()],
+            StreamOrder::TE_ASC,
+        )
+        .unwrap();
+        let mut op = ContainSemijoinStab::new(x, y).unwrap();
+
+        // First emission: x1, with y2 buffered — workspace ⟨x1 (consumed), y2⟩.
+        let first = op.next().unwrap().unwrap();
+        assert_eq!(first, x1);
+        let (c_buf, e_buf) = op.buffers();
+        assert_eq!(c_buf, Some(&x2)); // container already advanced past x1
+        assert_eq!(e_buf, Some(&y2)); // y2 retained for the next container
+
+        let second = op.next().unwrap().unwrap();
+        assert_eq!(second, x2);
+        let (_, e_buf) = op.buffers();
+        assert_eq!(e_buf, Some(&y4));
+
+        assert!(op.next().unwrap().is_none());
+        assert_eq!(op.metrics().emitted, 2);
+    }
+
+    #[test]
+    fn contained_semijoin_emits_containees() {
+        let xs = vec![iv(1, 5), iv(9, 15), iv(0, 30)];
+        let ys = vec![iv(0, 10), iv(8, 20)];
+        let got = run_contained(xs.clone(), ys.clone());
+        assert_eq!(got, canon(contained_oracle(&xs, &ys)));
+        assert_eq!(got.len(), 2); // [1,5) ⊂ [0,10); [9,15) ⊂ [8,20)
+    }
+
+    #[test]
+    fn strict_containment_at_endpoints() {
+        let xs = vec![iv(0, 10)];
+        for y in [iv(0, 5), iv(5, 10), iv(0, 10)] {
+            assert!(run_contain(xs.clone(), vec![y]).is_empty());
+        }
+        assert_eq!(run_contain(xs.clone(), vec![iv(1, 9)]).len(), 1);
+    }
+
+    #[test]
+    fn each_tuple_emitted_once_despite_multiple_matches() {
+        let xs = vec![iv(0, 100)];
+        let ys: Vec<_> = (0..10).map(|i| iv(1 + i, 50 + i)).collect();
+        let got = run_contain(xs, ys);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(run_contain(vec![], vec![iv(0, 1)]).is_empty());
+        assert!(run_contain(vec![iv(0, 1)], vec![]).is_empty());
+        assert!(run_contained(vec![], vec![]).is_empty());
+    }
+
+    #[test]
+    fn rejects_wrong_orders() {
+        let x = from_sorted_vec(vec![iv(0, 5)], StreamOrder::TE_ASC).unwrap();
+        let y = from_sorted_vec(vec![iv(0, 5)], StreamOrder::TE_ASC).unwrap();
+        assert!(ContainSemijoinStab::new(x, y).is_err());
+        let x = from_sorted_vec(vec![iv(0, 5)], StreamOrder::TE_ASC).unwrap();
+        let y = from_sorted_vec(vec![iv(0, 5)], StreamOrder::TE_ASC).unwrap();
+        assert!(ContainedSemijoinStab::new(x, y).is_err());
+    }
+
+    #[test]
+    fn output_preserves_input_order() {
+        let xs: Vec<_> = (0..50).map(|i| iv(i * 3, i * 3 + 10)).collect();
+        let ys: Vec<_> = (0..50).map(|i| iv(i * 3 + 1, i * 3 + 5)).collect();
+        let mut ys_te = ys.clone();
+        StreamOrder::TE_ASC.sort(&mut ys_te);
+        let x = from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap();
+        let y = from_sorted_vec(ys_te, StreamOrder::TE_ASC).unwrap();
+        let mut op = ContainSemijoinStab::new(x, y).unwrap();
+        let out = op.collect_vec().unwrap();
+        assert!(!out.is_empty());
+        assert_eq!(StreamOrder::TS_ASC.first_violation(&out), None);
+    }
+
+    fn arb_intervals(n: usize) -> impl Strategy<Value = Vec<TsTuple>> {
+        proptest::collection::vec((-60i64..60, 1i64..40), 0..n)
+            .prop_map(|v| v.into_iter().map(|(s, d)| iv(s, s + d)).collect())
+    }
+
+    proptest! {
+        #[test]
+        fn contain_matches_oracle(xs in arb_intervals(50), ys in arb_intervals(50)) {
+            prop_assert_eq!(
+                run_contain(xs.clone(), ys.clone()),
+                canon(contain_oracle(&xs, &ys))
+            );
+        }
+
+        #[test]
+        fn contained_matches_oracle(xs in arb_intervals(50), ys in arb_intervals(50)) {
+            prop_assert_eq!(
+                run_contained(xs.clone(), ys.clone()),
+                canon(contained_oracle(&xs, &ys))
+            );
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The stream abstraction.
+//!
+//! Paper §4.1: "a stream can be defined as an ordered sequence of data
+//! objects ... a computation on a stream has access only to one element at a
+//! time and only in the specified ordering of the stream."
+//!
+//! [`TupleStream`] is a fallible pull iterator with a *declared order*.
+//! Operators state the orders they require; [`OrderChecked`] enforces a
+//! declared order at runtime, turning a mis-sorted input into a
+//! [`TdbError::OrderViolation`] instead of silently wrong answers.
+
+use tdb_core::{StreamOrder, TdbError, TdbResult, Temporal};
+
+/// A fallible, ordered stream of tuples.
+pub trait TupleStream {
+    /// The item type flowing through the stream.
+    type Item;
+
+    /// Pull the next tuple, `Ok(None)` at end of stream.
+    fn next(&mut self) -> TdbResult<Option<Self::Item>>;
+
+    /// The ordering this stream claims its items satisfy, if any.
+    fn order(&self) -> Option<StreamOrder>;
+
+    /// Drain the stream into a vector.
+    fn collect_vec(&mut self) -> TdbResult<Vec<Self::Item>> {
+        let mut out = Vec::new();
+        while let Some(item) = self.next()? {
+            out.push(item);
+        }
+        Ok(out)
+    }
+}
+
+impl<S: TupleStream + ?Sized> TupleStream for Box<S> {
+    type Item = S::Item;
+
+    fn next(&mut self) -> TdbResult<Option<Self::Item>> {
+        (**self).next()
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        (**self).order()
+    }
+}
+
+/// A stream over an in-memory vector.
+pub struct VecStream<T> {
+    items: std::vec::IntoIter<T>,
+    order: Option<StreamOrder>,
+}
+
+impl<T> VecStream<T> {
+    /// Wrap a vector, claiming no particular order.
+    pub fn unordered(items: Vec<T>) -> VecStream<T> {
+        VecStream {
+            items: items.into_iter(),
+            order: None,
+        }
+    }
+}
+
+impl<T> TupleStream for VecStream<T> {
+    type Item = T;
+
+    fn next(&mut self) -> TdbResult<Option<T>> {
+        Ok(self.items.next())
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        self.order
+    }
+}
+
+/// Wrap an unordered vector as a stream.
+pub fn from_vec<T>(items: Vec<T>) -> VecStream<T> {
+    VecStream::unordered(items)
+}
+
+/// Wrap a vector as a stream declaring `order`, verifying the claim up
+/// front (`O(n)` comparisons, zero allocations).
+pub fn from_sorted_vec<T: Temporal>(items: Vec<T>, order: StreamOrder) -> TdbResult<VecStream<T>> {
+    if let Some(i) = order.first_violation(&items) {
+        return Err(TdbError::OrderViolation {
+            context: "from_sorted_vec",
+            detail: format!("claimed {order} violated at index {i}"),
+        });
+    }
+    Ok(VecStream {
+        items: items.into_iter(),
+        order: Some(order),
+    })
+}
+
+/// Sort a vector and wrap it as a stream declaring that order.
+pub fn sort_into_stream<T: Temporal>(mut items: Vec<T>, order: StreamOrder) -> VecStream<T> {
+    order.sort(&mut items);
+    VecStream {
+        items: items.into_iter(),
+        order: Some(order),
+    }
+}
+
+/// An adapter that verifies a declared order as items flow through.
+///
+/// Each item is compared against its predecessor under `order`; a violation
+/// poisons the stream with [`TdbError::OrderViolation`].
+pub struct OrderChecked<S: TupleStream>
+where
+    S::Item: Temporal + Clone,
+{
+    inner: S,
+    order: StreamOrder,
+    prev: Option<S::Item>,
+    count: usize,
+}
+
+impl<S: TupleStream> OrderChecked<S>
+where
+    S::Item: Temporal + Clone,
+{
+    /// Wrap `inner`, asserting it delivers items in `order`.
+    pub fn new(inner: S, order: StreamOrder) -> OrderChecked<S> {
+        OrderChecked {
+            inner,
+            order,
+            prev: None,
+            count: 0,
+        }
+    }
+}
+
+impl<S: TupleStream> TupleStream for OrderChecked<S>
+where
+    S::Item: Temporal + Clone,
+{
+    type Item = S::Item;
+
+    fn next(&mut self) -> TdbResult<Option<S::Item>> {
+        let Some(item) = self.inner.next()? else {
+            return Ok(None);
+        };
+        if let Some(prev) = &self.prev {
+            if self.order.compare(prev, &item) == std::cmp::Ordering::Greater {
+                return Err(TdbError::OrderViolation {
+                    context: "OrderChecked",
+                    detail: format!(
+                        "item {} arrived out of {} (period {})",
+                        self.count,
+                        self.order,
+                        item.period()
+                    ),
+                });
+            }
+        }
+        self.prev = Some(item.clone());
+        self.count += 1;
+        Ok(Some(item))
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        Some(self.order)
+    }
+}
+
+/// A stream that yields an error after `n` good items — failure injection
+/// for pipeline tests.
+pub struct FailingStream<T> {
+    items: std::vec::IntoIter<T>,
+    remaining: usize,
+    error: fn() -> TdbError,
+}
+
+impl<T> FailingStream<T> {
+    /// Yield the first `good` items of `items`, then fail with `error`.
+    pub fn new(items: Vec<T>, good: usize, error: fn() -> TdbError) -> FailingStream<T> {
+        FailingStream {
+            items: items.into_iter(),
+            remaining: good,
+            error,
+        }
+    }
+}
+
+impl<T> TupleStream for FailingStream<T> {
+    type Item = T;
+
+    fn next(&mut self) -> TdbResult<Option<T>> {
+        if self.remaining == 0 {
+            return Err((self.error)());
+        }
+        self.remaining -= 1;
+        Ok(self.items.next())
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_core::TsTuple;
+
+    fn iv(s: i64, e: i64) -> TsTuple {
+        TsTuple::interval(s, e).unwrap()
+    }
+
+    #[test]
+    fn vec_stream_yields_all() {
+        let mut s = from_vec(vec![iv(0, 1), iv(5, 9)]);
+        assert_eq!(s.next().unwrap().unwrap(), iv(0, 1));
+        assert_eq!(s.next().unwrap().unwrap(), iv(5, 9));
+        assert!(s.next().unwrap().is_none());
+        assert!(s.order().is_none());
+    }
+
+    #[test]
+    fn from_sorted_vec_validates() {
+        assert!(from_sorted_vec(vec![iv(0, 1), iv(5, 9)], StreamOrder::TS_ASC).is_ok());
+        assert!(matches!(
+            from_sorted_vec(vec![iv(5, 9), iv(0, 1)], StreamOrder::TS_ASC),
+            Err(TdbError::OrderViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn sort_into_stream_sorts() {
+        let mut s = sort_into_stream(vec![iv(5, 9), iv(0, 1)], StreamOrder::TS_ASC);
+        assert_eq!(s.order(), Some(StreamOrder::TS_ASC));
+        let v = s.collect_vec().unwrap();
+        assert_eq!(v[0], iv(0, 1));
+    }
+
+    #[test]
+    fn order_checked_passes_good_streams() {
+        let inner = from_vec(vec![iv(0, 9), iv(0, 3), iv(2, 4)]);
+        let mut checked = OrderChecked::new(inner, StreamOrder::TS_ASC);
+        assert_eq!(checked.collect_vec().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn order_checked_catches_violations_mid_stream() {
+        let inner = from_vec(vec![iv(0, 9), iv(5, 7), iv(2, 4)]);
+        let mut checked = OrderChecked::new(inner, StreamOrder::TS_ASC);
+        assert!(checked.next().unwrap().is_some());
+        assert!(checked.next().unwrap().is_some());
+        assert!(matches!(
+            checked.next(),
+            Err(TdbError::OrderViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn order_checked_respects_secondary_key() {
+        let inner = from_vec(vec![iv(0, 9), iv(0, 3)]);
+        let mut checked = OrderChecked::new(inner, StreamOrder::TS_ASC_TE_ASC);
+        checked.next().unwrap();
+        assert!(checked.next().is_err());
+    }
+
+    #[test]
+    fn failing_stream_fails_on_schedule() {
+        let mut s = FailingStream::new(vec![iv(0, 1), iv(1, 2), iv(2, 3)], 2, || {
+            TdbError::Eval("injected".into())
+        });
+        assert!(s.next().unwrap().is_some());
+        assert!(s.next().unwrap().is_some());
+        assert!(s.next().is_err());
+    }
+
+    #[test]
+    fn boxed_streams_work() {
+        let mut s: Box<dyn TupleStream<Item = TsTuple>> = Box::new(from_vec(vec![iv(0, 1)]));
+        assert!(s.next().unwrap().is_some());
+        assert!(s.next().unwrap().is_none());
+    }
+}

@@ -1,0 +1,387 @@
+//! Sweep-based containment semijoins for the `(ValidFrom ↑, ValidFrom ↑)`
+//! configuration — Table 1 state (c).
+//!
+//! When both inputs are sorted on `ValidFrom ↑` (instead of the stab
+//! algorithm's mixed TS/TE orders), a containment semijoin still runs in a
+//! single pass, but it must keep a state *set*: Table 1 characterizes it as
+//! a subset of the Contain-join state (a), because a semijoin may discard a
+//! tuple as soon as it is witnessed ("a stream processor can output a tuple
+//! as soon as it finds the first matching tuple").
+//!
+//! [`SweepSemijoin`] handles both directions:
+//! * [`SweepSemijoin::contain`] — emit `x ∈ X` containing some `y ∈ Y`;
+//! * [`SweepSemijoin::contained`] — emit `x ∈ X` contained in some `y ∈ Y`.
+
+use crate::metrics::OpMetrics;
+use crate::read_policy::{Advance, PolicyState, ReadPolicy};
+use crate::stream::TupleStream;
+use crate::workspace::{Workspace, WorkspaceStats};
+use std::collections::VecDeque;
+use tdb_core::{Period, StreamOrder, TdbError, TdbResult, Temporal};
+
+fn require_order<S: TupleStream>(s: &S, operator: &'static str, side: &str) -> TdbResult<()> {
+    match s.order() {
+        Some(o) if o.satisfies(&StreamOrder::TS_ASC) => Ok(()),
+        Some(o) => Err(TdbError::UnsupportedOrdering {
+            operator,
+            detail: format!("{side} input is sorted {o}, operator requires ValidFrom ↑"),
+        }),
+        None => Err(TdbError::UnsupportedOrdering {
+            operator,
+            detail: format!("{side} input declares no sort order; ValidFrom ↑ required"),
+        }),
+    }
+}
+
+/// Direction of the containment test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Emit X tuples that contain a Y tuple.
+    XContainsY,
+    /// Emit X tuples contained in a Y tuple.
+    YContainsX,
+}
+
+impl Mode {
+    /// Does the (x, y) pair match under this mode?
+    fn matches(self, x: &Period, y: &Period) -> bool {
+        match self {
+            Mode::XContainsY => x.contains(y),
+            Mode::YContainsX => y.contains(x),
+        }
+    }
+}
+
+/// Containment semijoin over two `ValidFrom ↑` streams, emitting the X side.
+pub struct SweepSemijoin<X: TupleStream, Y: TupleStream>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    x: X,
+    y: Y,
+    mode: Mode,
+    x_buf: Option<X::Item>,
+    y_buf: Option<Y::Item>,
+    /// X tuples awaiting a witness.
+    state_x: Workspace<X::Item>,
+    /// Y tuples that may still witness (or contain) a future X tuple.
+    state_y: Workspace<Y::Item>,
+    pending: VecDeque<X::Item>,
+    policy: ReadPolicy,
+    policy_state: PolicyState,
+    metrics: OpMetrics,
+    started: bool,
+}
+
+impl<X: TupleStream, Y: TupleStream> SweepSemijoin<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    /// `Contain-semijoin(X,Y)` under `(ValidFrom ↑, ValidFrom ↑)`.
+    pub fn contain(x: X, y: Y, policy: ReadPolicy) -> TdbResult<Self> {
+        Self::new(x, y, Mode::XContainsY, policy)
+    }
+
+    /// `Contained-semijoin(X,Y)` under `(ValidFrom ↑, ValidFrom ↑)`.
+    pub fn contained(x: X, y: Y, policy: ReadPolicy) -> TdbResult<Self> {
+        Self::new(x, y, Mode::YContainsX, policy)
+    }
+
+    fn new(x: X, y: Y, mode: Mode, policy: ReadPolicy) -> TdbResult<Self> {
+        require_order(&x, "SweepSemijoin", "X")?;
+        require_order(&y, "SweepSemijoin", "Y")?;
+        Ok(SweepSemijoin {
+            x,
+            y,
+            mode,
+            x_buf: None,
+            y_buf: None,
+            state_x: Workspace::new(),
+            state_y: Workspace::new(),
+            pending: VecDeque::new(),
+            policy,
+            policy_state: PolicyState::default(),
+            metrics: OpMetrics {
+                passes: 1,
+                ..OpMetrics::default()
+            },
+            started: false,
+        })
+    }
+
+    /// Execution metrics.
+    pub fn metrics(&self) -> OpMetrics {
+        self.metrics
+    }
+
+    /// Workspace statistics for the (X, Y) state sets.
+    pub fn workspace(&self) -> (WorkspaceStats, WorkspaceStats) {
+        (self.state_x.stats(), self.state_y.stats())
+    }
+
+    /// Combined maximum resident state tuples.
+    pub fn max_workspace(&self) -> usize {
+        self.state_x.stats().max_resident + self.state_y.stats().max_resident
+    }
+
+    fn refill_x(&mut self) -> TdbResult<()> {
+        self.x_buf = self.x.next()?;
+        if self.x_buf.is_some() {
+            self.metrics.read_left += 1;
+        }
+        Ok(())
+    }
+
+    fn refill_y(&mut self) -> TdbResult<()> {
+        self.y_buf = self.y.next()?;
+        if self.y_buf.is_some() {
+            self.metrics.read_right += 1;
+        }
+        Ok(())
+    }
+
+    /// GC keyed off the buffered tuples. For either containment direction a
+    /// resident tuple is dead once no current-or-future partner can satisfy
+    /// the strict inequalities — the cutoffs below are exactly the
+    /// Contain-join rules with the roles fixed per mode.
+    fn gc_phase(&mut self) {
+        match self.mode {
+            Mode::XContainsY => {
+                // x must contain a future y (y.TS ≥ y_buf.TS): dead if
+                // x.TE < y_buf.TS. y must be contained in a future x
+                // (x.TS ≥ x_buf.TS): dead if y.TS < x_buf.TS.
+                if let Some(yb) = &self.y_buf {
+                    let cutoff = yb.ts();
+                    self.state_x.gc(|x| x.te() >= cutoff);
+                } else if self.started {
+                    self.state_x.gc(|_| false);
+                }
+                if let Some(xb) = &self.x_buf {
+                    let cutoff = xb.ts();
+                    self.state_y.gc(|y| y.ts() >= cutoff);
+                } else if self.started {
+                    self.state_y.gc(|_| false);
+                }
+            }
+            Mode::YContainsX => {
+                // Mirror roles: x is the containee, y the container.
+                if let Some(yb) = &self.y_buf {
+                    let cutoff = yb.ts();
+                    self.state_x.gc(|x| x.ts() >= cutoff);
+                } else if self.started {
+                    self.state_x.gc(|_| false);
+                }
+                if let Some(xb) = &self.x_buf {
+                    let cutoff = xb.ts();
+                    self.state_y.gc(|y| y.te() >= cutoff);
+                } else if self.started {
+                    self.state_y.gc(|_| false);
+                }
+            }
+        }
+    }
+
+    fn process_x(&mut self) -> TdbResult<()> {
+        let x = self.x_buf.take().expect("buffered x");
+        let xp = x.period();
+        self.metrics.comparisons += self.state_y.len();
+        let witnessed = self
+            .state_y
+            .iter()
+            .any(|y| self.mode.matches(&xp, &y.period()));
+        if witnessed {
+            // Semijoin: emit immediately, never store.
+            self.pending.push_back(x);
+        } else {
+            self.state_x.insert(x);
+        }
+        self.refill_x()?;
+        self.gc_phase();
+        Ok(())
+    }
+
+    fn process_y(&mut self) -> TdbResult<()> {
+        let y = self.y_buf.take().expect("buffered y");
+        let yp = y.period();
+        self.metrics.comparisons += self.state_x.len();
+        let mode = self.mode;
+        let witnessed = self.state_x.extract(|x| mode.matches(&x.period(), &yp));
+        self.pending.extend(witnessed);
+        self.state_y.insert(y);
+        self.refill_y()?;
+        self.gc_phase();
+        Ok(())
+    }
+}
+
+impl<X: TupleStream, Y: TupleStream> TupleStream for SweepSemijoin<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    type Item = X::Item;
+
+    fn next(&mut self) -> TdbResult<Option<X::Item>> {
+        loop {
+            if let Some(out) = self.pending.pop_front() {
+                self.metrics.emitted += 1;
+                return Ok(Some(out));
+            }
+            if !self.started {
+                self.started = true;
+                self.refill_x()?;
+                self.refill_y()?;
+            }
+            match (&self.x_buf, &self.y_buf) {
+                (None, None) => return Ok(None),
+                (Some(_), None) => {
+                    if self.state_y.is_empty() {
+                        return Ok(None);
+                    }
+                    self.process_x()?;
+                }
+                (None, Some(_)) => {
+                    if self.state_x.is_empty() {
+                        return Ok(None);
+                    }
+                    self.process_y()?;
+                }
+                (Some(x), Some(y)) => {
+                    let d = self.policy.decide(
+                        &mut self.policy_state,
+                        x,
+                        y,
+                        x.ts(),
+                        y.ts(),
+                        self.state_x.len(),
+                        self.state_y.len(),
+                    );
+                    match d {
+                        Advance::Left => self.process_x()?,
+                        Advance::Right => self.process_y()?,
+                    }
+                }
+            }
+        }
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        None // emission order mixes arrival and witness order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::from_sorted_vec;
+    use proptest::prelude::*;
+    use tdb_core::TsTuple;
+
+    fn iv(s: i64, e: i64) -> TsTuple {
+        TsTuple::interval(s, e).unwrap()
+    }
+
+    fn canon(mut v: Vec<TsTuple>) -> Vec<TsTuple> {
+        v.sort_by_key(|t| (t.ts().ticks(), t.te().ticks(), t.value.clone()));
+        v
+    }
+
+    fn run(
+        mut xs: Vec<TsTuple>,
+        mut ys: Vec<TsTuple>,
+        contain: bool,
+        policy: ReadPolicy,
+    ) -> (Vec<TsTuple>, usize) {
+        StreamOrder::TS_ASC.sort(&mut xs);
+        StreamOrder::TS_ASC.sort(&mut ys);
+        let x = from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap();
+        let y = from_sorted_vec(ys, StreamOrder::TS_ASC).unwrap();
+        let mut op = if contain {
+            SweepSemijoin::contain(x, y, policy).unwrap()
+        } else {
+            SweepSemijoin::contained(x, y, policy).unwrap()
+        };
+        let out = op.collect_vec().unwrap();
+        (canon(out), op.max_workspace())
+    }
+
+    fn contain_oracle(xs: &[TsTuple], ys: &[TsTuple]) -> Vec<TsTuple> {
+        xs.iter()
+            .filter(|x| ys.iter().any(|y| x.period.contains(&y.period)))
+            .cloned()
+            .collect()
+    }
+
+    fn contained_oracle(xs: &[TsTuple], ys: &[TsTuple]) -> Vec<TsTuple> {
+        xs.iter()
+            .filter(|x| ys.iter().any(|y| y.period.contains(&x.period)))
+            .cloned()
+            .collect()
+    }
+
+    #[test]
+    fn basic_contain_and_contained() {
+        let xs = vec![iv(0, 10), iv(2, 6), iv(12, 14)];
+        let ys = vec![iv(1, 5), iv(11, 20)];
+        let (got, _) = run(xs.clone(), ys.clone(), true, ReadPolicy::MinKey);
+        assert_eq!(got, canon(contain_oracle(&xs, &ys))); // [0,10) ⊃ [1,5)
+        assert_eq!(got.len(), 1);
+        let (got, _) = run(xs.clone(), ys.clone(), false, ReadPolicy::MinKey);
+        assert_eq!(got, canon(contained_oracle(&xs, &ys))); // [12,14) ⊂ [11,20)
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn emits_each_x_once() {
+        let xs = vec![iv(0, 100)];
+        let ys: Vec<_> = (1..20).map(|i| iv(i, i + 2)).collect();
+        let (got, _) = run(xs, ys, true, ReadPolicy::MinKey);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn rejects_unsorted_inputs() {
+        let x = crate::stream::from_vec(vec![iv(0, 5)]);
+        let y = from_sorted_vec(vec![iv(0, 5)], StreamOrder::TS_ASC).unwrap();
+        assert!(SweepSemijoin::contain(x, y, ReadPolicy::MinKey).is_err());
+    }
+
+    #[test]
+    fn semijoin_state_is_subset_of_join_state() {
+        // Table 1: state (c) ⊆ state (a). Compare against the contain-join
+        // on identical data under the same policy.
+        let xs: Vec<_> = (0..200).map(|i| iv(i, i + 30)).collect();
+        let ys: Vec<_> = (0..200).map(|i| iv(i + 1, i + 5)).collect();
+        let (_, semi_ws) = run(xs.clone(), ys.clone(), true, ReadPolicy::MinKey);
+
+        let x = from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap();
+        let y = from_sorted_vec(ys, StreamOrder::TS_ASC).unwrap();
+        let mut join =
+            crate::contain_join::ContainJoinTsTs::new(x, y, ReadPolicy::MinKey).unwrap();
+        let _ = join.collect_vec().unwrap();
+        assert!(
+            semi_ws <= join.max_workspace() + 1,
+            "semijoin workspace {semi_ws} should not exceed join workspace {}",
+            join.max_workspace()
+        );
+    }
+
+    fn arb_intervals(n: usize) -> impl Strategy<Value = Vec<TsTuple>> {
+        proptest::collection::vec((-60i64..60, 1i64..40), 0..n)
+            .prop_map(|v| v.into_iter().map(|(s, d)| iv(s, s + d)).collect())
+    }
+
+    proptest! {
+        #[test]
+        fn matches_oracles(xs in arb_intervals(40), ys in arb_intervals(40)) {
+            for policy in [ReadPolicy::MinKey, ReadPolicy::Alternate] {
+                let (got, _) = run(xs.clone(), ys.clone(), true, policy);
+                prop_assert_eq!(got, canon(contain_oracle(&xs, &ys)));
+                let (got, _) = run(xs.clone(), ys.clone(), false, policy);
+                prop_assert_eq!(got, canon(contained_oracle(&xs, &ys)));
+            }
+        }
+    }
+}

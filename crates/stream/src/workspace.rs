@@ -1,0 +1,193 @@
+//! The instrumented local workspace.
+//!
+//! Paper §4.1: "the implementation of a function as a stream processor may
+//! require keeping some local state information ... the state represents a
+//! summary of the history of a computation". For the join and semijoin
+//! operators of §4.2 "the only form of state information we need consider is
+//! subsets of the tuples previously read".
+//!
+//! [`Workspace`] is that subset, instrumented: it tracks the high-water mark
+//! of resident tuples, the number of garbage-collection discards, and the
+//! time-averaged occupancy. The experiments validating Tables 1–3 read these
+//! numbers off the operators after a run.
+
+use std::fmt;
+
+/// Statistics of a workspace over an operator's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkspaceStats {
+    /// Maximum number of state tuples ever resident.
+    pub max_resident: usize,
+    /// Tuples currently resident.
+    pub resident: usize,
+    /// Total tuples ever inserted.
+    pub inserted: usize,
+    /// Tuples discarded by garbage collection.
+    pub discarded: usize,
+    /// Sum of residency sampled at every insertion (for mean occupancy).
+    occupancy_sum: u64,
+    /// Number of samples contributing to `occupancy_sum`.
+    samples: u64,
+}
+
+impl WorkspaceStats {
+    /// Mean number of resident tuples, sampled at insertions.
+    pub fn mean_resident(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.samples as f64
+        }
+    }
+}
+
+impl fmt::Display for WorkspaceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "max {} resident (mean {:.1}), {} inserted, {} gc-discarded",
+            self.max_resident,
+            self.mean_resident(),
+            self.inserted,
+            self.discarded
+        )
+    }
+}
+
+/// An instrumented bag of state tuples.
+///
+/// Stored as a vector: the paper's garbage-collection criteria are sweep
+/// conditions evaluated against every resident tuple, which `retain`
+/// expresses directly. State sizes are small by design (that is the point of
+/// the paper), so linear scans are appropriate.
+#[derive(Debug, Clone)]
+pub struct Workspace<T> {
+    items: Vec<T>,
+    stats: WorkspaceStats,
+}
+
+impl<T> Default for Workspace<T> {
+    fn default() -> Self {
+        Workspace::new()
+    }
+}
+
+impl<T> Workspace<T> {
+    /// An empty workspace.
+    pub fn new() -> Workspace<T> {
+        Workspace {
+            items: Vec::new(),
+            stats: WorkspaceStats::default(),
+        }
+    }
+
+    /// Insert a state tuple.
+    pub fn insert(&mut self, item: T) {
+        self.items.push(item);
+        self.stats.inserted += 1;
+        self.stats.resident = self.items.len();
+        self.stats.max_resident = self.stats.max_resident.max(self.items.len());
+        self.stats.occupancy_sum += self.items.len() as u64;
+        self.stats.samples += 1;
+    }
+
+    /// Garbage-collect: keep only tuples satisfying `keep`.
+    pub fn gc(&mut self, keep: impl FnMut(&T) -> bool) {
+        let before = self.items.len();
+        self.items.retain(keep);
+        self.stats.discarded += before - self.items.len();
+        self.stats.resident = self.items.len();
+    }
+
+    /// Remove and return tuples matching `take` (used by semijoins that
+    /// emit a state tuple on its first match).
+    pub fn extract(&mut self, mut take: impl FnMut(&T) -> bool) -> Vec<T> {
+        let mut taken = Vec::new();
+        let mut kept = Vec::with_capacity(self.items.len());
+        for item in self.items.drain(..) {
+            if take(&item) {
+                taken.push(item);
+            } else {
+                kept.push(item);
+            }
+        }
+        self.items = kept;
+        self.stats.resident = self.items.len();
+        // Extractions are matches, not GC discards.
+        taken
+    }
+
+    /// Iterate over resident tuples.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    /// Number of resident tuples.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the workspace empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> WorkspaceStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_high_water_mark() {
+        let mut w = Workspace::new();
+        for i in 0..5 {
+            w.insert(i);
+        }
+        w.gc(|&i| i >= 3);
+        assert_eq!(w.len(), 2);
+        for i in 5..7 {
+            w.insert(i);
+        }
+        let s = w.stats();
+        assert_eq!(s.max_resident, 5);
+        assert_eq!(s.inserted, 7);
+        assert_eq!(s.discarded, 3);
+        assert_eq!(s.resident, 4);
+    }
+
+    #[test]
+    fn mean_occupancy() {
+        let mut w = Workspace::new();
+        w.insert(1); // occupancy 1
+        w.insert(2); // occupancy 2
+        w.insert(3); // occupancy 3
+        assert!((w.stats().mean_resident() - 2.0).abs() < 1e-12);
+        let empty: Workspace<i32> = Workspace::new();
+        assert_eq!(empty.stats().mean_resident(), 0.0);
+    }
+
+    #[test]
+    fn extract_removes_matches_without_counting_gc() {
+        let mut w = Workspace::new();
+        for i in 0..6 {
+            w.insert(i);
+        }
+        let taken = w.extract(|&i| i % 2 == 0);
+        assert_eq!(taken, vec![0, 2, 4]);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.stats().discarded, 0);
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn display() {
+        let mut w = Workspace::new();
+        w.insert(1);
+        assert!(w.stats().to_string().contains("max 1 resident"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Bitemporal auditing (the paper's §6 rollback extension): record payroll
+//! periods with transaction time, make corrections and retractions, then
+//! answer "what did the database believe on date X?" — and run the §4
+//! temporal operators over any past belief state.
+//!
+//! Run with: `cargo run --release -p tdb --example bitemporal_audit`
+
+use tdb::core::BitemporalTable;
+use tdb::prelude::*;
+use tdb::stream::coalesce_relation;
+
+fn main() -> TdbResult<()> {
+    let mut payroll = BitemporalTable::new();
+
+    // ── Day 100: initial data entry. ──
+    payroll.insert("Smith", "Assistant", Period::new(0, 60)?, TimePoint(100))?;
+    payroll.insert("Smith", "Associate", Period::new(60, 108)?, TimePoint(100))?;
+    payroll.insert("Jones", "Assistant", Period::new(12, 72)?, TimePoint(100))?;
+    println!("day 100: {} facts recorded", payroll.current().len());
+
+    // ── Day 200: HR discovers Smith's promotion was backdated. ──
+    payroll.update_where(
+        TimePoint(200),
+        |r| r.surrogate == Value::str("Smith") && r.value == Value::str("Associate"),
+        |r| tdb::core::BitemporalTuple {
+            valid: Period::new(54, 108).unwrap(),
+            ..r.clone()
+        },
+    )?;
+    // And the Assistant period must shrink to match.
+    payroll.update_where(
+        TimePoint(200),
+        |r| r.surrogate == Value::str("Smith") && r.value == Value::str("Assistant"),
+        |r| tdb::core::BitemporalTuple {
+            valid: Period::new(0, 54).unwrap(),
+            ..r.clone()
+        },
+    )?;
+    println!("day 200: Smith's promotion corrected (backdated to t54)");
+
+    // ── Day 300: Jones's record was entered in error — retract it. ──
+    let n = payroll.delete_where(TimePoint(300), |r| r.surrogate == Value::str("Jones"))?;
+    println!("day 300: {n} Jones fact(s) retracted");
+
+    // ── Audit: what did the database believe at each point? ──
+    for day in [150i64, 250, 350] {
+        let belief = payroll.as_of(TimePoint(day));
+        println!("\nas of day {day}: {} facts believed", belief.len());
+        for t in &belief {
+            println!("  {t}");
+        }
+        // Any past belief state is a plain valid-time relation: coalesce
+        // each person's periods into employment spells.
+        let spells = coalesce_relation(
+            belief
+                .iter()
+                .map(|t| TsTuple {
+                    surrogate: t.surrogate.clone(),
+                    value: Value::str("employed"),
+                    period: t.period,
+                })
+                .collect(),
+        )?;
+        for s in &spells {
+            println!("    spell: {} over {}", s.surrogate, s.period);
+        }
+    }
+
+    // The full version log remains queryable forever.
+    println!(
+        "\nversion log: {} rows ({} current)",
+        payroll.log().len(),
+        payroll.log().iter().filter(|r| r.is_current()).count()
+    );
+    assert_eq!(payroll.log().len(), 7);
+    Ok(())
+}

@@ -1,0 +1,218 @@
+//! End-to-end integration: Quel text → parse → translate → conventional
+//! optimization → physical planning (several configs) → execution against
+//! disk-backed storage, with results cross-checked between plan variants.
+
+use std::collections::BTreeSet;
+use tdb::prelude::*;
+
+fn catalog(tag: &str, n_faculty: usize, seed: u64) -> Catalog {
+    let faculty = FacultyGen {
+        n_faculty,
+        seed,
+        continuous_employment: true,
+        ..FacultyGen::default()
+    }
+    .generate();
+    let dir = std::env::temp_dir().join(format!("tdb-e2e-{}-{tag}", std::process::id()));
+    tdb::faculty_catalog(dir, &faculty).unwrap()
+}
+
+fn run(catalog: &Catalog, text: &str, config: PlannerConfig) -> QueryOutput {
+    let (logical, _) = compile(text, catalog).unwrap();
+    let optimized = conventional_optimize(logical);
+    let physical = plan(&optimized, config).unwrap();
+    physical.execute(catalog).unwrap()
+}
+
+fn row_set(out: &QueryOutput) -> BTreeSet<String> {
+    out.rows.iter().map(|r| r.to_string()).collect()
+}
+
+#[test]
+fn superstar_query_full_pipeline() {
+    let catalog = catalog("superstar", 120, 3);
+    let conventional = run(&catalog, tdb::quel::parser::SUPERSTAR, PlannerConfig::conventional());
+    let streamed = run(&catalog, tdb::quel::parser::SUPERSTAR, PlannerConfig::stream());
+    let naive = run(&catalog, tdb::quel::parser::SUPERSTAR, PlannerConfig::naive());
+    assert_eq!(row_set(&conventional), row_set(&streamed));
+    assert_eq!(row_set(&conventional), row_set(&naive));
+    assert!(!conventional.rows.is_empty(), "population should contain superstars");
+    // The stream plan avoids the quadratic comparison blow-up.
+    assert!(streamed.stats.comparisons <= conventional.stats.comparisons);
+}
+
+#[test]
+fn superstar_answers_figure1_instance() {
+    let dir = std::env::temp_dir().join(format!("tdb-e2e-fig1-{}", std::process::id()));
+    let catalog = tdb::faculty_catalog(dir, &FacultyGen::figure1_instance()).unwrap();
+    let out = run(&catalog, tdb::quel::parser::SUPERSTAR, PlannerConfig::stream());
+    let names: BTreeSet<_> = out
+        .rows
+        .iter()
+        .map(|r| r.get(0).as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(names, BTreeSet::from(["Smith".to_string()]));
+    // Projected period: Assistant start [0] to Full end [20).
+    assert_eq!(out.rows[0].get(1), &Value::Time(TimePoint(0)));
+    assert_eq!(out.rows[0].get(2), &Value::Time(TimePoint(20)));
+}
+
+#[test]
+fn simple_selection_query() {
+    let catalog = catalog("select", 60, 4);
+    let text = r#"
+        range of f is Faculty
+        retrieve (Name=f.Name, From=f.ValidFrom)
+        where f.Rank = "Associate" and f.ValidFrom >= 10
+    "#;
+    let out = run(&catalog, text, PlannerConfig::stream());
+    let direct: Vec<Row> = catalog
+        .scan("Faculty")
+        .unwrap()
+        .into_iter()
+        .filter(|r| {
+            r.get(1) == &Value::str("Associate")
+                && r.get(2).as_time().unwrap() >= TimePoint(10)
+        })
+        .map(|r| Row::new(vec![r.get(0).clone(), r.get(2).clone()]))
+        .collect();
+    assert_eq!(out.rows.len(), direct.len());
+}
+
+#[test]
+fn during_query_all_plan_variants_agree() {
+    let catalog = catalog("during", 80, 5);
+    let text = r#"
+        range of a is Faculty
+        range of b is Faculty
+        retrieve (Inner=a.Name, Outer=b.Name)
+        where (a during b) and a.Rank = "Associate"
+    "#;
+    let conventional = run(&catalog, text, PlannerConfig::conventional());
+    let streamed = run(&catalog, text, PlannerConfig::stream());
+    assert_eq!(row_set(&conventional), row_set(&streamed));
+    // The stream plan uses bounded workspace; report it for sanity.
+    assert!(streamed.stats.max_workspace <= 10_000);
+}
+
+#[test]
+fn before_and_meets_queries() {
+    let catalog = catalog("beforemeets", 40, 6);
+    for (text, _label) in [
+        (
+            r#"range of a is Faculty
+               range of b is Faculty
+               retrieve (X=a.Name, Y=b.Name) where (a before b) and a.Name = b.Name"#,
+            "before",
+        ),
+        (
+            r#"range of a is Faculty
+               range of b is Faculty
+               retrieve (X=a.Name, Y=b.Name) where (a meets b) and a.Name = b.Name"#,
+            "meets",
+        ),
+    ] {
+        let conventional = run(&catalog, text, PlannerConfig::naive());
+        let streamed = run(&catalog, text, PlannerConfig::stream());
+        assert_eq!(row_set(&conventional), row_set(&streamed));
+        assert!(!streamed.rows.is_empty());
+    }
+}
+
+#[test]
+fn parse_and_plan_errors_are_reported() {
+    let catalog = catalog("errors", 5, 7);
+    // Unknown relation.
+    assert!(compile("range of f is Nope\nretrieve (N=f.Name)", &catalog).is_err());
+    // Unknown column.
+    assert!(compile("range of f is Faculty\nretrieve (N=f.Salary)", &catalog).is_err());
+    // Syntax error.
+    let e = compile("range of f is\nretrieve (N=f.Name)", &catalog).unwrap_err();
+    assert!(matches!(e, TdbError::Parse { .. }));
+}
+
+#[test]
+fn projection_preserves_target_order_and_names() {
+    let catalog = catalog("proj", 10, 8);
+    let text = r#"range of f is Faculty
+                  retrieve (B=f.ValidTo, A=f.ValidFrom)"#;
+    let out = run(&catalog, text, PlannerConfig::stream());
+    assert_eq!(out.scope.columns()[0].attr, "B");
+    assert_eq!(out.scope.columns()[1].attr, "A");
+    for r in &out.rows {
+        assert!(r.get(1).as_time().unwrap() < r.get(0).as_time().unwrap());
+    }
+}
+
+#[test]
+fn multi_attribute_time_sequences() {
+    // §6 extension: Rank *and* Salary vary over time in one relation.
+    let gen = FacultyGen {
+        n_faculty: 60,
+        seed: 31,
+        continuous_employment: true,
+        ..FacultyGen::default()
+    };
+    let rows = gen.generate_rows_with_salary();
+    let dir = std::env::temp_dir().join(format!("tdb-e2e-salary-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut catalog = Catalog::open(&dir, IoStats::new()).unwrap();
+    catalog
+        .create_relation("Payroll", FacultyGen::salary_schema(), &rows, vec![])
+        .unwrap();
+
+    // Who earned over 100k while overlapping someone's Assistant period?
+    let text = r#"
+        range of p is Payroll
+        range of a is Payroll
+        retrieve (Who=p.Name, Pay=p.Salary, Junior=a.Name)
+        where p.Salary >= 100000 and a.Rank = "Assistant" and (p overlap a)
+    "#;
+    let out = run(&catalog, text, PlannerConfig::stream());
+    let naive = run(&catalog, text, PlannerConfig::naive());
+    assert_eq!(row_set(&out), row_set(&naive));
+    assert!(!out.rows.is_empty());
+    // All reported salaries honour the selection.
+    for r in &out.rows {
+        assert!(r.get(1).as_int().unwrap() >= 100_000);
+    }
+}
+
+#[test]
+fn coalesce_and_timeslice_compose_with_query_results() {
+    use tdb::stream::{coalesce_relation, Timeslice};
+    let catalog = catalog("slice", 100, 41);
+    // Project every faculty's full employment as (Name, "employed") tuples
+    // and coalesce adjacent rank periods into employment spells.
+    let rows = catalog.scan("Faculty").unwrap();
+    let spans: Vec<TsTuple> = rows
+        .iter()
+        .map(|r| TsTuple {
+            surrogate: r.get(0).clone(),
+            value: Value::str("employed"),
+            period: Period::new(
+                r.get(2).as_time().unwrap(),
+                r.get(3).as_time().unwrap(),
+            )
+            .unwrap(),
+        })
+        .collect();
+    let spells = coalesce_relation(spans.clone()).unwrap();
+    // Continuous employment: one spell per person.
+    let people: std::collections::BTreeSet<_> =
+        spans.iter().map(|t| t.surrogate.clone()).collect();
+    assert_eq!(spells.len(), people.len());
+
+    // Timeslice: headcount at the median instant matches a direct count.
+    let mut sorted = spells.clone();
+    StreamOrder::TS_ASC.sort(&mut sorted);
+    let mid = sorted[sorted.len() / 2].period.start();
+    let mut slice = Timeslice::new(
+        from_sorted_vec(sorted.clone(), StreamOrder::TS_ASC).unwrap(),
+        mid,
+    );
+    let at_mid = slice.collect_vec().unwrap().len();
+    let direct = spells.iter().filter(|t| t.period.spans(mid)).count();
+    assert_eq!(at_mid, direct);
+    assert!(at_mid > 0);
+}

@@ -1,0 +1,201 @@
+//! Semantic-optimization soundness: every Superstar formulation —
+//! unoptimized, conventional, semantically reduced, single-scan self
+//! semijoin — answers the same *set* of superstars on generated
+//! populations, and the optimizations actually reduce work.
+
+use std::collections::BTreeSet;
+use tdb::prelude::*;
+use tdb::semantic::superstar::{superstar_reduced, superstar_selfsemijoin, superstar_selfsemijoin_guarded};
+
+fn population(n: usize, seed: u64, continuous: bool) -> Vec<tdb::gen::FacultyTuple> {
+    FacultyGen {
+        n_faculty: n,
+        seed,
+        continuous_employment: continuous,
+        ..FacultyGen::default()
+    }
+    .generate()
+}
+
+fn names(catalog: &Catalog, logical: &LogicalPlan, config: PlannerConfig) -> BTreeSet<String> {
+    let physical = plan(logical, config).unwrap();
+    physical
+        .execute(catalog)
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r.get(0).as_str().unwrap().to_string())
+        .collect()
+}
+
+#[test]
+fn all_formulations_agree_under_continuity() {
+    for seed in [1, 2, 3] {
+        let faculty = population(150, seed, true);
+        let dir = std::env::temp_dir().join(format!(
+            "tdb-semeq-cont-{}-{seed}",
+            std::process::id()
+        ));
+        let catalog = tdb::faculty_catalog(dir, &faculty).unwrap();
+
+        let plans = superstar_plans(true);
+        let reference = names(&catalog, &plans[1].1, PlannerConfig::conventional());
+        for (label, logical) in &plans {
+            if label.starts_with("unoptimized") && faculty.len() > 200 {
+                continue; // cubic blow-up; covered by the small-seed case
+            }
+            let got = names(&catalog, logical, PlannerConfig::stream());
+            assert_eq!(got, reference, "{label} (seed {seed})");
+        }
+        assert!(
+            !reference.is_empty(),
+            "population should contain superstars (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn reduced_formulation_agrees_without_continuity() {
+    // With employment gaps the self-semijoin shortcut is NOT valid, but
+    // the Figure 8(b) reduction (which only uses chronological ordering)
+    // still is.
+    let faculty = population(150, 11, false);
+    let dir = std::env::temp_dir().join(format!("tdb-semeq-gap-{}", std::process::id()));
+    let catalog = tdb::faculty_catalog(dir, &faculty).unwrap();
+
+    let conventional = tdb::semantic::superstar::superstar_conventional();
+    let reduced = superstar_reduced(&ConstraintSet::faculty()).unwrap();
+    let a = names(&catalog, &conventional, PlannerConfig::conventional());
+    let b = names(&catalog, &reduced, PlannerConfig::stream());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn selfsemijoin_requires_continuity_to_be_sound() {
+    // Construct a counterexample population with a re-hiring gap: a
+    // superstar whose associate period does not equal [f1.TE, f2.TS).
+    // The reduced plan stays correct; the self-semijoin plan may differ —
+    // demonstrating why §5 needs the continuity assumption.
+    let faculty = population(300, 13, false);
+    let dir = std::env::temp_dir().join(format!("tdb-semeq-unsound-{}", std::process::id()));
+    let catalog = tdb::faculty_catalog(dir, &faculty).unwrap();
+    let reduced = names(
+        &catalog,
+        &superstar_reduced(&ConstraintSet::faculty()).unwrap(),
+        PlannerConfig::stream(),
+    );
+    let shortcut = names(&catalog, &superstar_selfsemijoin(), PlannerConfig::stream());
+    // The shortcut answers a (potentially) different question here. We
+    // only assert the reduced plan matches the conventional one; if the
+    // two coincide for this population, that is fine too — the point is
+    // we never *use* the shortcut without the constraint (see
+    // superstar_plans(false)).
+    let conventional = names(
+        &catalog,
+        &tdb::semantic::superstar::superstar_conventional(),
+        PlannerConfig::conventional(),
+    );
+    assert_eq!(reduced, conventional);
+    let _ = shortcut;
+    assert!(!superstar_plans(false)
+        .iter()
+        .any(|(l, _)| l.contains("self-semijoin")));
+}
+
+#[test]
+fn semantic_reduction_cuts_comparisons() {
+    let faculty = population(250, 17, true);
+    let dir = std::env::temp_dir().join(format!("tdb-semeq-cost-{}", std::process::id()));
+    let catalog = tdb::faculty_catalog(dir, &faculty).unwrap();
+
+    let conventional = plan(
+        &tdb::semantic::superstar::superstar_conventional(),
+        PlannerConfig::conventional(),
+    )
+    .unwrap()
+    .execute(&catalog)
+    .unwrap();
+
+    let reduced = plan(
+        &superstar_reduced(&ConstraintSet::faculty_continuous()).unwrap(),
+        PlannerConfig::stream(),
+    )
+    .unwrap()
+    .execute(&catalog)
+    .unwrap();
+
+    let shortcut = plan(&superstar_selfsemijoin_guarded(), PlannerConfig::stream())
+        .unwrap()
+        .execute(&catalog)
+        .unwrap();
+
+    assert!(
+        reduced.stats.comparisons < conventional.stats.comparisons,
+        "reduced {} vs conventional {}",
+        reduced.stats.comparisons,
+        conventional.stats.comparisons
+    );
+    assert!(
+        shortcut.stats.comparisons < reduced.stats.comparisons / 2,
+        "single scan {} vs reduced {}",
+        shortcut.stats.comparisons,
+        reduced.stats.comparisons
+    );
+    assert!(
+        shortcut.stats.max_workspace <= 8,
+        "stream semijoins keep only buffers/small groups"
+    );
+}
+
+#[test]
+fn contradictory_queries_are_proven_empty() {
+    use tdb::algebra::{Atom, CompOp};
+    // Ask for a Full professor whose period ends before the *same*
+    // person's Assistant period begins — impossible under chronological
+    // ordering.
+    let atoms = vec![
+        Atom::cols("f1", "Name", CompOp::Eq, "f2", "Name"),
+        Atom::col_const("f1", "Rank", CompOp::Eq, "Assistant"),
+        Atom::col_const("f2", "Rank", CompOp::Eq, "Full"),
+        Atom::cols("f2", "ValidTo", CompOp::Lt, "f1", "ValidFrom"),
+    ];
+    let cs = ConstraintSet::faculty();
+    let edges = cs.derive_edges(&["f1", "f2"], &atoms);
+    let simplified = simplify_predicate(&atoms, &edges);
+    assert!(simplified.contradictory);
+
+    // And the data agrees: evaluating it conventionally yields nothing.
+    let faculty = population(80, 23, true);
+    let dir = std::env::temp_dir().join(format!("tdb-semeq-empty-{}", std::process::id()));
+    let catalog = tdb::faculty_catalog(dir, &faculty).unwrap();
+    let attrs = ["Name", "Rank", "ValidFrom", "ValidTo"];
+    let logical = LogicalPlan::scan("Faculty", "f1", &attrs)
+        .product(LogicalPlan::scan("Faculty", "f2", &attrs))
+        .select(atoms)
+        .project(vec![(ColumnRef::new("f1", "Name"), "Name".into())]);
+    let out = plan(&conventional_optimize(logical), PlannerConfig::conventional())
+        .unwrap()
+        .execute(&catalog)
+        .unwrap();
+    assert!(out.rows.is_empty());
+}
+
+#[test]
+fn constraint_validation_guards_loading() {
+    let schema = TemporalSchema::time_sequence("Name", "Rank");
+    let good = population(50, 29, true);
+    let rows: Vec<Row> = good.iter().map(|t| t.to_row()).collect();
+    ConstraintSet::faculty_continuous()
+        .check_rows(&schema, &rows)
+        .unwrap();
+
+    // Violation: demote someone.
+    let mut bad = rows.clone();
+    bad.push(Row::new(vec![
+        Value::str("F00000"),
+        Value::str("Assistant"),
+        Value::Time(TimePoint(500)),
+        Value::Time(TimePoint(510)),
+    ]));
+    assert!(ConstraintSet::faculty().check_rows(&schema, &bad).is_err());
+}
