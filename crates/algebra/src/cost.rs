@@ -39,11 +39,7 @@ pub enum WorkspaceKind {
 
 /// Predicted workspace (expected resident state tuples) for an operator
 /// over instances with statistics `x` and (optionally) `y`.
-pub fn predict_workspace(
-    kind: WorkspaceKind,
-    x: &TemporalStats,
-    y: Option<&TemporalStats>,
-) -> f64 {
+pub fn predict_workspace(kind: WorkspaceKind, x: &TemporalStats, y: Option<&TemporalStats>) -> f64 {
     // Little's law: expected spanning tuples of a stream.
     let span = |s: &TemporalStats| s.expected_spanning().unwrap_or(s.count as f64);
     match kind {
@@ -71,9 +67,7 @@ pub fn predict_workspace(
         }
         WorkspaceKind::SelfSemijoinContained => 1.0,
         WorkspaceKind::SelfSemijoinContain => span(x),
-        WorkspaceKind::NoGc => {
-            x.count as f64 + y.map(|s| s.count as f64).unwrap_or(0.0)
-        }
+        WorkspaceKind::NoGc => x.count as f64 + y.map(|s| s.count as f64).unwrap_or(0.0),
     }
 }
 
@@ -99,16 +93,41 @@ pub fn nested_loop_cost(x: &TemporalStats, y: &TemporalStats) -> CostEstimate {
 
 /// Cost of a single-pass stream join (reads each input once; comparisons
 /// scale with state size × arrivals).
-pub fn stream_join_cost(
-    kind: WorkspaceKind,
-    x: &TemporalStats,
-    y: &TemporalStats,
-) -> CostEstimate {
+pub fn stream_join_cost(kind: WorkspaceKind, x: &TemporalStats, y: &TemporalStats) -> CostEstimate {
     let workspace = predict_workspace(kind, x, Some(y));
     CostEstimate {
         comparisons: (x.count + y.count) as f64 * workspace.max(1.0),
         reads: (x.count + y.count) as f64,
         workspace,
+    }
+}
+
+/// Cost of running `serial` across `k` time-range partitions with fringe
+/// replication.
+///
+/// Little's law bounds the replication overhead: each of the `k − 1`
+/// interior boundaries is spanned by ≈`λ_x·E[D_x] + λ_y·E[D_y]` lifespans,
+/// each replicated into one extra partition, so the expected extra reads
+/// are `(k − 1) · (λ_x·E[D_x] + λ_y·E[D_y])` — independent of input size.
+/// Comparisons divide by `k` (workers run concurrently over ≈`1/k` of the
+/// data each) before the replicated fringe is charged back; workspace is
+/// the per-worker peak, which serial partitioning never increases.
+pub fn parallel_join_cost(
+    serial: CostEstimate,
+    k: usize,
+    x: &TemporalStats,
+    y: &TemporalStats,
+) -> CostEstimate {
+    let k = k.max(1);
+    if k == 1 {
+        return serial;
+    }
+    let fringe = |s: &TemporalStats| s.expected_spanning().unwrap_or(0.0);
+    let replicated = (k - 1) as f64 * (fringe(x) + fringe(y));
+    CostEstimate {
+        comparisons: serial.comparisons / k as f64 + replicated * serial.workspace.max(1.0),
+        reads: serial.reads + replicated,
+        workspace: serial.workspace,
     }
 }
 
@@ -154,6 +173,20 @@ mod tests {
         let x = stats(2, 20, 100);
         let y = stats(2, 20, 50);
         assert_eq!(predict_workspace(WorkspaceKind::NoGc, &x, Some(&y)), 150.0);
+    }
+
+    #[test]
+    fn parallel_cost_scales_down_with_k() {
+        let x = stats(100, 5, 10_000);
+        let y = stats(100, 5, 10_000);
+        let serial = stream_join_cost(WorkspaceKind::ContainJoinTsTs, &x, &y);
+        let p4 = parallel_join_cost(serial, 4, &x, &y);
+        // Sparse data: near-linear comparison speedup, tiny read overhead.
+        assert!(p4.comparisons < serial.comparisons / 2.0);
+        assert!(p4.reads >= serial.reads);
+        assert!(p4.reads < serial.reads * 1.01);
+        assert_eq!(p4.workspace, serial.workspace);
+        assert_eq!(parallel_join_cost(serial, 1, &x, &y), serial);
     }
 
     #[test]

@@ -5,12 +5,11 @@
 //! two range variables. [`Atom`] is one such comparison (possibly against a
 //! constant), and a predicate is a `Vec<Atom>` conjunction.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use tdb_core::{TdbError, TdbResult, Value};
 
 /// A qualified column reference `var.attr` (e.g. `f1.ValidFrom`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ColumnRef {
     /// Range variable (tuple variable) name.
     pub var: String,
@@ -40,7 +39,7 @@ impl fmt::Display for ColumnRef {
 }
 
 /// One side of a comparison.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Term {
     /// A column reference.
     Column(ColumnRef),
@@ -73,7 +72,7 @@ impl fmt::Display for Term {
 }
 
 /// Comparison operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CompOp {
     /// `=`
     Eq,
@@ -129,7 +128,7 @@ impl fmt::Display for CompOp {
 }
 
 /// One comparison in a conjunction.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Atom {
     /// Left operand.
     pub left: Term,
@@ -146,13 +145,7 @@ impl Atom {
     }
 
     /// `var.attr op other.attr` shorthand.
-    pub fn cols(
-        lvar: &str,
-        lattr: &str,
-        op: CompOp,
-        rvar: &str,
-        rattr: &str,
-    ) -> Atom {
+    pub fn cols(lvar: &str, lattr: &str, op: CompOp, rvar: &str, rattr: &str) -> Atom {
         Atom::new(Term::col(lvar, lattr), op, Term::col(rvar, rattr))
     }
 
@@ -279,7 +272,14 @@ mod tests {
         let b = Value::Int(2);
         assert!(CompOp::Lt.eval(&a, &b));
         assert!(!CompOp::Ge.eval(&a, &b));
-        for op in [CompOp::Eq, CompOp::Ne, CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge] {
+        for op in [
+            CompOp::Eq,
+            CompOp::Ne,
+            CompOp::Lt,
+            CompOp::Le,
+            CompOp::Gt,
+            CompOp::Ge,
+        ] {
             assert_eq!(op.eval(&a, &b), op.flip().eval(&b, &a));
         }
     }

@@ -334,9 +334,7 @@ impl LogicalPlan {
             }
             LogicalPlan::Product { left, right }
             | LogicalPlan::Join { left, right, .. }
-            | LogicalPlan::Semijoin { left, right, .. } => {
-                left.scan_count() + right.scan_count()
-            }
+            | LogicalPlan::Semijoin { left, right, .. } => left.scan_count() + right.scan_count(),
         }
     }
 }

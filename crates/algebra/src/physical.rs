@@ -20,9 +20,8 @@ use std::fmt;
 use tdb_core::{PeriodRow, Row, StreamOrder, TdbError, TdbResult, Temporal};
 use tdb_storage::Catalog;
 use tdb_stream::{
-    from_sorted_vec, BeforeJoin, BeforeSemijoin, ContainJoinTsTe, ContainSelfSemijoin,
-    ContainSemijoinStab, ContainedSelfSemijoin, ContainedSemijoinStab, MergeEquiJoin,
-    OverlapJoin, OverlapMode, OverlapSemijoin, ReadPolicy, TupleStream,
+    from_sorted_vec, parallel_join, parallel_semijoin, Instrumented, MergeEquiJoin, OpConfig,
+    OpMetrics, OpReport, OverlapMode, ParallelPattern, TupleStream, WorkspaceStats,
 };
 
 /// Aggregate execution statistics of one query run.
@@ -137,6 +136,20 @@ pub enum PhysicalPlan {
         /// The recognized relationship (must cover the whole predicate).
         pattern: TemporalPattern,
     },
+    /// Time-partitioned parallel execution of a stream temporal join or
+    /// semijoin: the time axis is split into `partitions` disjoint ranges,
+    /// tuples are replicated into every range their lifespan intersects
+    /// (*fringe replication*), one serial operator instance runs per range
+    /// on its own thread, and boundary duplicates are removed
+    /// deterministically. Only intersection-witnessed patterns
+    /// (containment and overlap) are eligible; `Before`/`After` children
+    /// run serially.
+    Parallel {
+        /// Number of time-range partitions (threads).
+        partitions: usize,
+        /// The stream temporal join/semijoin to parallelize.
+        child: Box<PhysicalPlan>,
+    },
     /// The §4.2.3 single-scan self semijoin.
     SelfSemijoin {
         /// The shared input (scanned once).
@@ -200,6 +213,7 @@ impl PhysicalPlan {
             | PhysicalPlan::MergeSemijoin { left, .. }
             | PhysicalPlan::NestedSemijoin { left, .. } => left.scope(catalog)?,
             PhysicalPlan::SelfSemijoin { input, .. } => input.scope(catalog)?,
+            PhysicalPlan::Parallel { child, .. } => child.scope(catalog)?,
         })
     }
 
@@ -300,9 +314,9 @@ impl PhysicalPlan {
                         out.push(joined);
                     }
                 }
-                let m = join.metrics();
-                stats.comparisons += m.comparisons as u64;
-                stats.max_workspace = stats.max_workspace.max(join.max_workspace());
+                let report = join.report();
+                stats.comparisons += report.metrics.comparisons as u64;
+                stats.max_workspace = stats.max_workspace.max(report.max_workspace());
                 stats.intermediate_rows += out.len();
                 Ok((out, scope))
             }
@@ -322,10 +336,9 @@ impl PhysicalPlan {
                 let rwrapped = wrap_rows(rrows, rp)?;
                 let scope = lscope.concat(&rscope);
                 let resolved = resolve_all(residual, |c| scope.index_of(c))?;
-                let (pairs, ws, cmps) =
-                    run_stream_join(*pattern, lwrapped, rwrapped, stats)?;
-                stats.max_workspace = stats.max_workspace.max(ws);
-                stats.comparisons += cmps;
+                let (pairs, report) = run_stream_join(*pattern, lwrapped, rwrapped, stats)?;
+                stats.max_workspace = stats.max_workspace.max(report.max_workspace());
+                stats.comparisons += report.metrics.comparisons as u64;
                 let mut out = Vec::new();
                 for (l, r) in pairs {
                     let joined = l.row.concat(&r.row);
@@ -350,14 +363,70 @@ impl PhysicalPlan {
                 let rp = rscope.period_of_var(right_var)?;
                 let lwrapped = wrap_rows(lrows, lp)?;
                 let rwrapped = wrap_rows(rrows, rp)?;
-                let (kept, ws, cmps) =
-                    run_stream_semijoin(*pattern, lwrapped, rwrapped, stats)?;
-                stats.max_workspace = stats.max_workspace.max(ws);
-                stats.comparisons += cmps;
+                let (kept, report) = run_stream_semijoin(*pattern, lwrapped, rwrapped, stats)?;
+                stats.max_workspace = stats.max_workspace.max(report.max_workspace());
+                stats.comparisons += report.metrics.comparisons as u64;
                 let out: Vec<Row> = kept.into_iter().map(|p| p.row).collect();
                 stats.intermediate_rows += out.len();
                 Ok((out, lscope))
             }
+            PhysicalPlan::Parallel { partitions, child } => match &**child {
+                PhysicalPlan::StreamTemporal {
+                    left,
+                    right,
+                    left_var,
+                    right_var,
+                    pattern,
+                    residual,
+                } if parallel_pattern(*pattern).is_some() => {
+                    let ppat = parallel_pattern(*pattern).expect("guarded");
+                    let (lrows, lscope) = left.run(catalog, stats)?;
+                    let (rrows, rscope) = right.run(catalog, stats)?;
+                    let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
+                    let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
+                    note_parallel_sorts(ppat, &lwrapped, &rwrapped, stats);
+                    let run =
+                        parallel_join(ppat, lwrapped, rwrapped, *partitions, OpConfig::new())?;
+                    stats.max_workspace = stats.max_workspace.max(run.report.max_workspace());
+                    stats.comparisons += run.report.metrics.comparisons as u64;
+                    let scope = lscope.concat(&rscope);
+                    let resolved = resolve_all(residual, |c| scope.index_of(c))?;
+                    let mut out = Vec::new();
+                    for (l, r) in run.items {
+                        let joined = l.row.concat(&r.row);
+                        stats.comparisons += residual.len() as u64;
+                        if eval_conjunction(&resolved, &joined) {
+                            out.push(joined);
+                        }
+                    }
+                    stats.intermediate_rows += out.len();
+                    Ok((out, scope))
+                }
+                PhysicalPlan::StreamSemijoin {
+                    left,
+                    right,
+                    left_var,
+                    right_var,
+                    pattern,
+                } if parallel_pattern(*pattern).is_some() => {
+                    let ppat = parallel_pattern(*pattern).expect("guarded");
+                    let (lrows, lscope) = left.run(catalog, stats)?;
+                    let (rrows, rscope) = right.run(catalog, stats)?;
+                    let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
+                    let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
+                    note_parallel_sorts(ppat, &lwrapped, &rwrapped, stats);
+                    let run =
+                        parallel_semijoin(ppat, lwrapped, rwrapped, *partitions, OpConfig::new())?;
+                    stats.max_workspace = stats.max_workspace.max(run.report.max_workspace());
+                    stats.comparisons += run.report.metrics.comparisons as u64;
+                    let out: Vec<Row> = run.items.into_iter().map(|p| p.row).collect();
+                    stats.intermediate_rows += out.len();
+                    Ok((out, lscope))
+                }
+                // Non-partitionable child (Before/After or a non-stream
+                // node): degrade gracefully to serial execution.
+                other => other.run(catalog, stats),
+            },
             PhysicalPlan::SelfSemijoin {
                 input,
                 var,
@@ -369,21 +438,18 @@ impl PhysicalPlan {
                 let order = StreamOrder::TS_ASC_TE_ASC;
                 let sorted = sort_wrapped(wrapped, order, stats);
                 let input_stream = from_sorted_vec(sorted, order)?;
-                let (out_rows, cmps, ws): (Vec<PeriodRow>, u64, usize) = if *contained {
-                    let mut op = ContainedSelfSemijoin::new(input_stream)?;
+                let cfg = OpConfig::new();
+                let (out_rows, report): (Vec<PeriodRow>, OpReport) = if *contained {
+                    let mut op = cfg.contained_self_semijoin(input_stream)?;
                     let v = op.collect_vec()?;
-                    (v, op.metrics().comparisons as u64, op.max_workspace())
+                    (v, op.report())
                 } else {
-                    let mut op = ContainSelfSemijoin::new(input_stream)?;
+                    let mut op = cfg.contain_self_semijoin(input_stream)?;
                     let v = op.collect_vec()?;
-                    (
-                        v,
-                        op.metrics().comparisons as u64,
-                        op.workspace().max_resident,
-                    )
+                    (v, op.report())
                 };
-                stats.comparisons += cmps;
-                stats.max_workspace = stats.max_workspace.max(ws);
+                stats.comparisons += report.metrics.comparisons as u64;
+                stats.max_workspace = stats.max_workspace.max(report.max_workspace());
                 let out: Vec<Row> = out_rows.into_iter().map(|p| p.row).collect();
                 stats.intermediate_rows += out.len();
                 Ok((out, scope))
@@ -403,8 +469,7 @@ impl PhysicalPlan {
                     rrows.iter().map(|r| r.get(ri).clone()).collect();
                 rkeys.sort();
                 rkeys.dedup();
-                stats.comparisons +=
-                    (lrows.len() as u64) * (rkeys.len().max(2).ilog2() as u64);
+                stats.comparisons += (lrows.len() as u64) * (rkeys.len().max(2).ilog2() as u64);
                 let out: Vec<Row> = lrows
                     .into_iter()
                     .filter(|l| rkeys.binary_search(l.get(li)).is_ok())
@@ -455,8 +520,7 @@ impl PhysicalPlan {
                 input.render(out, depth + 1);
             }
             PhysicalPlan::Project { input, columns } => {
-                let cols: Vec<String> =
-                    columns.iter().map(|(c, n)| format!("{c}→{n}")).collect();
+                let cols: Vec<String> = columns.iter().map(|(c, n)| format!("{c}→{n}")).collect();
                 out.push_str(&format!("{pad}Project [{}]\n", cols.join(", ")));
                 input.render(out, depth + 1);
             }
@@ -515,15 +579,19 @@ impl PhysicalPlan {
                 left.render(out, depth + 1);
                 right.render(out, depth + 1);
             }
+            PhysicalPlan::Parallel { partitions, child } => {
+                out.push_str(&format!(
+                    "{pad}Parallel ×{partitions} (time-partitioned, fringe replication)\n"
+                ));
+                child.render(out, depth + 1);
+            }
             PhysicalPlan::SelfSemijoin {
                 input,
                 var,
                 contained,
             } => {
                 let kind = if *contained { "Contained" } else { "Contain" };
-                out.push_str(&format!(
-                    "{pad}{kind}SelfSemijoin({var}) — single scan\n"
-                ));
+                out.push_str(&format!("{pad}{kind}SelfSemijoin({var}) — single scan\n"));
                 input.render(out, depth + 1);
             }
             PhysicalPlan::MergeSemijoin {
@@ -532,9 +600,7 @@ impl PhysicalPlan {
                 left_key,
                 right_key,
             } => {
-                out.push_str(&format!(
-                    "{pad}MergeSemijoin [{left_key} = {right_key}]\n"
-                ));
+                out.push_str(&format!("{pad}MergeSemijoin [{left_key} = {right_key}]\n"));
                 left.render(out, depth + 1);
                 right.render(out, depth + 1);
             }
@@ -559,12 +625,14 @@ impl fmt::Display for PhysicalPlan {
 fn wrap_rows(rows: Vec<Row>, (ts, te): (usize, usize)) -> TdbResult<Vec<PeriodRow>> {
     rows.into_iter()
         .map(|row| {
-            let s = row.get(ts).as_time().ok_or_else(|| {
-                TdbError::Eval(format!("ValidFrom column holds {}", row.get(ts)))
-            })?;
-            let e = row.get(te).as_time().ok_or_else(|| {
-                TdbError::Eval(format!("ValidTo column holds {}", row.get(te)))
-            })?;
+            let s = row
+                .get(ts)
+                .as_time()
+                .ok_or_else(|| TdbError::Eval(format!("ValidFrom column holds {}", row.get(ts))))?;
+            let e = row
+                .get(te)
+                .as_time()
+                .ok_or_else(|| TdbError::Eval(format!("ValidTo column holds {}", row.get(te))))?;
             Ok(PeriodRow::new(row, tdb_core::Period::new(s, e)?))
         })
         .collect()
@@ -593,7 +661,42 @@ fn sort_wrapped(
     rows
 }
 
-type PairResult = (Vec<(PeriodRow, PeriodRow)>, usize, u64);
+/// Map a planner pattern to its partitioned-parallel counterpart; `None`
+/// for `Before`/`After`, which no time-range decomposition localizes.
+pub(crate) fn parallel_pattern(pattern: TemporalPattern) -> Option<ParallelPattern> {
+    match pattern {
+        TemporalPattern::Contains => Some(ParallelPattern::Contains),
+        TemporalPattern::During => Some(ParallelPattern::During),
+        TemporalPattern::GeneralOverlap => Some(ParallelPattern::GeneralOverlap),
+        TemporalPattern::AllenOverlaps => Some(ParallelPattern::AllenOverlaps),
+        TemporalPattern::Before | TemporalPattern::After => None,
+    }
+}
+
+/// Count the sorts the parallel driver will perform internally, mirroring
+/// [`sort_wrapped`]'s "only if violated" accounting.
+fn note_parallel_sorts(
+    pattern: ParallelPattern,
+    l: &[PeriodRow],
+    r: &[PeriodRow],
+    stats: &mut ExecStats,
+) {
+    let (lo, ro) = match pattern {
+        ParallelPattern::Contains => (StreamOrder::TS_ASC, StreamOrder::TE_ASC),
+        ParallelPattern::During => (StreamOrder::TE_ASC, StreamOrder::TS_ASC),
+        ParallelPattern::GeneralOverlap | ParallelPattern::AllenOverlaps => {
+            (StreamOrder::TS_ASC, StreamOrder::TS_ASC)
+        }
+    };
+    for (rows, order) in [(l, lo), (r, ro)] {
+        if order.first_violation(rows).is_some() {
+            stats.sorts_performed += 1;
+            stats.sort_rows += rows.len();
+        }
+    }
+}
+
+type PairResult = (Vec<(PeriodRow, PeriodRow)>, OpReport);
 
 fn run_stream_join(
     pattern: TemporalPattern,
@@ -601,6 +704,7 @@ fn run_stream_join(
     r: Vec<PeriodRow>,
     stats: &mut ExecStats,
 ) -> TdbResult<PairResult> {
+    let cfg = OpConfig::new();
     match pattern {
         TemporalPattern::Contains | TemporalPattern::During => {
             // Normalize to container ⊇ containee; During swaps sides.
@@ -608,7 +712,7 @@ fn run_stream_join(
             let (c, e) = if swap { (r, l) } else { (l, r) };
             let c = sort_wrapped(c, StreamOrder::TS_ASC, stats);
             let e = sort_wrapped(e, StreamOrder::TE_ASC, stats);
-            let mut op = ContainJoinTsTe::new(
+            let mut op = cfg.contain_join_ts_te(
                 from_sorted_vec(c, StreamOrder::TS_ASC)?,
                 from_sorted_vec(e, StreamOrder::TE_ASC)?,
             )?;
@@ -616,7 +720,7 @@ fn run_stream_join(
             if swap {
                 pairs = pairs.into_iter().map(|(a, b)| (b, a)).collect();
             }
-            Ok((pairs, op.max_workspace(), op.metrics().comparisons as u64))
+            Ok((pairs, op.report()))
         }
         TemporalPattern::GeneralOverlap | TemporalPattern::AllenOverlaps => {
             let mode = if pattern == TemporalPattern::GeneralOverlap {
@@ -626,30 +730,27 @@ fn run_stream_join(
             };
             let l = sort_wrapped(l, StreamOrder::TS_ASC, stats);
             let r = sort_wrapped(r, StreamOrder::TS_ASC, stats);
-            let mut op = OverlapJoin::new(
+            let mut op = cfg.with_mode(mode).overlap_join(
                 from_sorted_vec(l, StreamOrder::TS_ASC)?,
                 from_sorted_vec(r, StreamOrder::TS_ASC)?,
-                mode,
-                ReadPolicy::MinKey,
             )?;
             let pairs = op.collect_vec()?;
-            Ok((pairs, op.max_workspace(), op.metrics().comparisons as u64))
+            Ok((pairs, op.report()))
         }
         TemporalPattern::Before | TemporalPattern::After => {
             let swap = pattern == TemporalPattern::After;
             let (a, b) = if swap { (r, l) } else { (l, r) };
-            let mut op =
-                BeforeJoin::new(tdb_stream::from_vec(a), tdb_stream::from_vec(b))?;
+            let mut op = cfg.before_join(tdb_stream::from_vec(a), tdb_stream::from_vec(b))?;
             let mut pairs = op.collect_vec()?;
             if swap {
                 pairs = pairs.into_iter().map(|(x, y)| (y, x)).collect();
             }
-            Ok((pairs, op.max_workspace(), op.metrics().comparisons as u64))
+            Ok((pairs, op.report()))
         }
     }
 }
 
-type SemiResult = (Vec<PeriodRow>, usize, u64);
+type SemiResult = (Vec<PeriodRow>, OpReport);
 
 fn run_stream_semijoin(
     pattern: TemporalPattern,
@@ -657,28 +758,29 @@ fn run_stream_semijoin(
     r: Vec<PeriodRow>,
     stats: &mut ExecStats,
 ) -> TdbResult<SemiResult> {
+    let cfg = OpConfig::new();
     match pattern {
         TemporalPattern::During => {
             // Left rows contained in some right row: the Figure 6 stab
             // algorithm with left sorted TE ↑ and right sorted TS ↑.
             let l = sort_wrapped(l, StreamOrder::TE_ASC, stats);
             let r = sort_wrapped(r, StreamOrder::TS_ASC, stats);
-            let mut op = ContainedSemijoinStab::new(
+            let mut op = cfg.contained_semijoin_stab(
                 from_sorted_vec(l, StreamOrder::TE_ASC)?,
                 from_sorted_vec(r, StreamOrder::TS_ASC)?,
             )?;
             let kept = op.collect_vec()?;
-            Ok((kept, 0, op.metrics().comparisons as u64))
+            Ok((kept, op.report()))
         }
         TemporalPattern::Contains => {
             let l = sort_wrapped(l, StreamOrder::TS_ASC, stats);
             let r = sort_wrapped(r, StreamOrder::TE_ASC, stats);
-            let mut op = ContainSemijoinStab::new(
+            let mut op = cfg.contain_semijoin_stab(
                 from_sorted_vec(l, StreamOrder::TS_ASC)?,
                 from_sorted_vec(r, StreamOrder::TE_ASC)?,
             )?;
             let kept = op.collect_vec()?;
-            Ok((kept, 0, op.metrics().comparisons as u64))
+            Ok((kept, op.report()))
         }
         TemporalPattern::GeneralOverlap | TemporalPattern::AllenOverlaps => {
             let mode = if pattern == TemporalPattern::GeneralOverlap {
@@ -688,29 +790,38 @@ fn run_stream_semijoin(
             };
             let l = sort_wrapped(l, StreamOrder::TS_ASC, stats);
             let r = sort_wrapped(r, StreamOrder::TS_ASC, stats);
-            let mut op = OverlapSemijoin::new(
+            let mut op = cfg.with_mode(mode).overlap_semijoin(
                 from_sorted_vec(l, StreamOrder::TS_ASC)?,
                 from_sorted_vec(r, StreamOrder::TS_ASC)?,
-                mode,
-                ReadPolicy::MinKey,
             )?;
             let kept = op.collect_vec()?;
-            Ok((kept, op.max_workspace(), op.metrics().comparisons as u64))
+            Ok((kept, op.report()))
         }
         TemporalPattern::Before => {
-            let mut op =
-                BeforeSemijoin::new(tdb_stream::from_vec(l), tdb_stream::from_vec(r))?;
+            let mut op = cfg.before_semijoin(tdb_stream::from_vec(l), tdb_stream::from_vec(r))?;
             let kept = op.collect_vec()?;
-            Ok((kept, 1, op.metrics().comparisons as u64))
+            Ok((kept, op.report()))
         }
         TemporalPattern::After => {
             // x after y ⇔ ∃y: y.TE < x.TS — keep x with x.TS > min(y.TE).
+            let read_left = l.len();
+            let read_right = r.len();
             let min_te = r.iter().map(|p| p.te()).min();
             let kept: Vec<PeriodRow> = match min_te {
                 Some(m) => l.into_iter().filter(|x| m < x.ts()).collect(),
                 None => Vec::new(),
             };
-            Ok((kept, 1, 0))
+            let report = OpReport::new(
+                OpMetrics {
+                    read_left,
+                    read_right,
+                    comparisons: 0,
+                    emitted: kept.len(),
+                    passes: 1,
+                },
+                WorkspaceStats::of_resident(1),
+            );
+            Ok((kept, report))
         }
     }
 }
@@ -723,10 +834,8 @@ mod tests {
     use tdb_storage::IoStats;
 
     fn test_catalog(name: &str) -> Catalog {
-        let dir = std::env::temp_dir().join(format!(
-            "tdb-algebra-test-{}-{name}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("tdb-algebra-test-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut cat = Catalog::open(dir, IoStats::new()).unwrap();
         let schema = TemporalSchema::time_sequence("Name", "Rank");
@@ -734,7 +843,8 @@ mod tests {
             .iter()
             .map(|t| t.to_row())
             .collect();
-        cat.create_relation("Faculty", schema, &rows, vec![]).unwrap();
+        cat.create_relation("Faculty", schema, &rows, vec![])
+            .unwrap();
         cat
     }
 
@@ -766,10 +876,7 @@ mod tests {
         };
         let out = plan.execute(&cat).unwrap();
         assert_eq!(out.rows[0].arity(), 1);
-        assert_eq!(
-            out.scope.columns()[0],
-            ColumnRef::new("", "who")
-        );
+        assert_eq!(out.scope.columns()[0], ColumnRef::new("", "who"));
     }
 
     #[test]
@@ -834,6 +941,69 @@ mod tests {
         b.sort_by_key(|r| format!("{r}"));
         assert_eq!(a, b);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn parallel_stream_nodes_match_serial_results() {
+        let cat = test_catalog("parallel");
+        let join = PhysicalPlan::StreamTemporal {
+            left: Box::new(scan("f1")),
+            right: Box::new(scan("f2")),
+            left_var: "f1".into(),
+            right_var: "f2".into(),
+            pattern: TemporalPattern::GeneralOverlap,
+            residual: vec![],
+        };
+        let serial = join.execute(&cat).unwrap();
+        for partitions in [1, 2, 4, 7] {
+            let par = PhysicalPlan::Parallel {
+                partitions,
+                child: Box::new(join.clone()),
+            };
+            let out = par.execute(&cat).unwrap();
+            let mut a = out.rows.clone();
+            let mut b = serial.rows.clone();
+            a.sort_by_key(|r| format!("{r}"));
+            b.sort_by_key(|r| format!("{r}"));
+            assert_eq!(a, b, "partitions={partitions}");
+            // Per-partition workspaces never exceed the serial peak (each
+            // worker sees a subset of the spanning tuples).
+            assert!(out.stats.max_workspace <= serial.stats.max_workspace);
+        }
+        let semi = PhysicalPlan::StreamSemijoin {
+            left: Box::new(scan("f1")),
+            right: Box::new(scan("f2")),
+            left_var: "f1".into(),
+            right_var: "f2".into(),
+            pattern: TemporalPattern::During,
+        };
+        let serial = semi.execute(&cat).unwrap();
+        let par = PhysicalPlan::Parallel {
+            partitions: 4,
+            child: Box::new(semi),
+        };
+        let out = par.execute(&cat).unwrap();
+        let mut a = out.rows;
+        let mut b = serial.rows.clone();
+        a.sort_by_key(|r| format!("{r}"));
+        b.sort_by_key(|r| format!("{r}"));
+        assert_eq!(a, b);
+        // A non-partitionable child degrades gracefully to serial.
+        let before = PhysicalPlan::StreamTemporal {
+            left: Box::new(scan("f1")),
+            right: Box::new(scan("f2")),
+            left_var: "f1".into(),
+            right_var: "f2".into(),
+            pattern: TemporalPattern::Before,
+            residual: vec![],
+        };
+        let serial = before.execute(&cat).unwrap();
+        let par = PhysicalPlan::Parallel {
+            partitions: 4,
+            child: Box::new(before),
+        };
+        let out = par.execute(&cat).unwrap();
+        assert_eq!(out.rows.len(), serial.rows.len());
     }
 
     #[test]
@@ -915,12 +1085,7 @@ mod tests {
         let _ = out.stats.comparisons;
         let filter_time = PhysicalPlan::Filter {
             input: Box::new(scan("f")),
-            atoms: vec![Atom::col_const(
-                "f",
-                "Rank",
-                CompOp::Eq,
-                "NoSuchRank",
-            )],
+            atoms: vec![Atom::col_const("f", "Rank", CompOp::Eq, "NoSuchRank")],
         };
         let out = filter_time.execute(&cat).unwrap();
         assert_eq!(out.rows.len(), 0);

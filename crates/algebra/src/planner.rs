@@ -32,14 +32,21 @@ pub struct PlannerConfig {
     pub use_stream_temporal: bool,
     /// Allow merge equi-joins (otherwise nested-loop).
     pub use_merge_equi: bool,
+    /// Time-range partitions for stream temporal joins/semijoins. `0` or
+    /// `1` means serial; `K > 1` wraps every eligible
+    /// (intersection-witnessed) stream node in a
+    /// [`PhysicalPlan::Parallel`] driver that runs `K` operator instances
+    /// over disjoint time ranges with fringe replication.
+    pub parallelism: usize,
 }
 
 impl PlannerConfig {
-    /// Everything enabled: the full optimizer.
+    /// Everything enabled: the full optimizer (serial execution).
     pub fn stream() -> PlannerConfig {
         PlannerConfig {
             use_stream_temporal: true,
             use_merge_equi: true,
+            parallelism: 1,
         }
     }
 
@@ -49,6 +56,7 @@ impl PlannerConfig {
         PlannerConfig {
             use_stream_temporal: false,
             use_merge_equi: true,
+            parallelism: 1,
         }
     }
 
@@ -57,7 +65,39 @@ impl PlannerConfig {
         PlannerConfig {
             use_stream_temporal: false,
             use_merge_equi: false,
+            parallelism: 1,
         }
+    }
+
+    /// Set the number of time-range partitions for stream operators.
+    pub fn with_parallelism(mut self, k: usize) -> PlannerConfig {
+        self.parallelism = k;
+        self
+    }
+
+    /// Should stream nodes be wrapped in a parallel driver?
+    fn parallel(&self) -> bool {
+        self.parallelism > 1
+    }
+}
+
+/// Wrap `plan` in a [`PhysicalPlan::Parallel`] driver when `config` asks
+/// for parallelism and the node's pattern is partitionable.
+fn maybe_parallel(plan: PhysicalPlan, config: PlannerConfig) -> PhysicalPlan {
+    let eligible = match &plan {
+        PhysicalPlan::StreamTemporal { pattern, .. }
+        | PhysicalPlan::StreamSemijoin { pattern, .. } => {
+            crate::physical::parallel_pattern(*pattern).is_some()
+        }
+        _ => false,
+    };
+    if config.parallel() && eligible {
+        PhysicalPlan::Parallel {
+            partitions: config.parallelism,
+            child: Box::new(plan),
+        }
+    } else {
+        plan
     }
 }
 
@@ -171,14 +211,17 @@ fn plan_join(
                 .filter(|(j, _)| !rec.consumed.contains(j))
                 .map(|(_, a)| a.clone())
                 .collect();
-            return Ok(PhysicalPlan::StreamTemporal {
-                left: Box::new(pleft),
-                right: Box::new(pright),
-                left_var: rec.left_var,
-                right_var: rec.right_var,
-                pattern: rec.pattern,
-                residual,
-            });
+            return Ok(maybe_parallel(
+                PhysicalPlan::StreamTemporal {
+                    left: Box::new(pleft),
+                    right: Box::new(pright),
+                    left_var: rec.left_var,
+                    right_var: rec.right_var,
+                    pattern: rec.pattern,
+                    residual,
+                },
+                config,
+            ));
         }
     }
 
@@ -230,13 +273,16 @@ fn plan_semijoin(
                         contained: rec.pattern == TemporalPattern::During,
                     });
                 }
-                return Ok(PhysicalPlan::StreamSemijoin {
-                    left: Box::new(plan_node(left, config)?),
-                    right: Box::new(plan_node(right, config)?),
-                    left_var: rec.left_var,
-                    right_var: rec.right_var,
-                    pattern: rec.pattern,
-                });
+                return Ok(maybe_parallel(
+                    PhysicalPlan::StreamSemijoin {
+                        left: Box::new(plan_node(left, config)?),
+                        right: Box::new(plan_node(right, config)?),
+                        left_var: rec.left_var,
+                        right_var: rec.right_var,
+                        pattern: rec.pattern,
+                    },
+                    config,
+                ));
             }
         }
     }
@@ -409,9 +455,8 @@ mod tests {
 
     #[test]
     fn self_semijoin_detected_for_identical_subplans() {
-        let assoc = |v: &str| {
-            scan(v).select(vec![Atom::col_const(v, "Rank", CompOp::Eq, "Associate")])
-        };
+        let assoc =
+            |v: &str| scan(v).select(vec![Atom::col_const(v, "Rank", CompOp::Eq, "Associate")]);
         // f_i contained in f_j: During pattern, identical subplans.
         let sj = assoc("fi").semijoin(
             assoc("fj"),
@@ -432,8 +477,7 @@ mod tests {
     fn different_subplans_use_two_stream_semijoin() {
         let assistants =
             scan("fi").select(vec![Atom::col_const("fi", "Rank", CompOp::Eq, "Assistant")]);
-        let fulls =
-            scan("fj").select(vec![Atom::col_const("fj", "Rank", CompOp::Eq, "Full")]);
+        let fulls = scan("fj").select(vec![Atom::col_const("fj", "Rank", CompOp::Eq, "Full")]);
         let sj = assistants.semijoin(
             fulls,
             vec![
@@ -452,6 +496,29 @@ mod tests {
         let sj = scan("f1").semijoin(scan("f2"), atoms);
         let p = plan(&sj, PlannerConfig::stream()).unwrap();
         assert!(matches!(p, PhysicalPlan::NestedSemijoin { .. }), "{p}");
+    }
+
+    #[test]
+    fn parallelism_wraps_eligible_stream_nodes() {
+        let j = scan("f1").join(scan("f2"), contains_atoms("f1", "f2"));
+        let cfg = PlannerConfig::stream().with_parallelism(4);
+        let p = plan(&j, cfg).unwrap();
+        let PhysicalPlan::Parallel { partitions, child } = &p else {
+            panic!("expected parallel wrapper, got\n{p}");
+        };
+        assert_eq!(*partitions, 4);
+        assert!(matches!(**child, PhysicalPlan::StreamTemporal { .. }));
+        assert!(p.explain().contains("Parallel ×4"));
+        // Serial config produces the bare stream node.
+        let p = plan(&j, PlannerConfig::stream()).unwrap();
+        assert!(matches!(p, PhysicalPlan::StreamTemporal { .. }));
+        // Before/After patterns stay serial even under parallelism.
+        let before = scan("f1").join(
+            scan("f2"),
+            vec![Atom::cols("f1", "ValidTo", CompOp::Lt, "f2", "ValidFrom")],
+        );
+        let p = plan(&before, cfg).unwrap();
+        assert!(matches!(p, PhysicalPlan::StreamTemporal { .. }), "{p}");
     }
 
     #[test]

@@ -131,7 +131,10 @@ fn sink(plan: LogicalPlan, atoms: Vec<Atom>) -> LogicalPlan {
     } else {
         match plan {
             // Merge into an existing selection.
-            LogicalPlan::Select { input, mut predicate } => {
+            LogicalPlan::Select {
+                input,
+                mut predicate,
+            } => {
                 predicate.extend(atoms);
                 LogicalPlan::Select { input, predicate }
             }

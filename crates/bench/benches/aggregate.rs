@@ -18,8 +18,7 @@ fn bench(c: &mut Criterion) {
             &n_groups,
             |b, _| {
                 b.iter(|| {
-                    let mut op =
-                        GroupedSum::new(from_vec(data.clone()), |r| r.0.clone(), |r| r.1);
+                    let mut op = GroupedSum::new(from_vec(data.clone()), |r| r.0.clone(), |r| r.1);
                     let mut k = 0u64;
                     while op.next().unwrap().is_some() {
                         k += 1;
@@ -28,18 +27,14 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("hash", n_groups),
-            &n_groups,
-            |b, _| {
-                b.iter(|| {
-                    tdb::stream::HashSum::run(from_vec(data.clone()), |r| r.0.clone(), |r| r.1)
-                        .unwrap()
-                        .0
-                        .len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("hash", n_groups), &n_groups, |b, _| {
+            b.iter(|| {
+                tdb::stream::HashSum::run(from_vec(data.clone()), |r| r.0.clone(), |r| r.1)
+                    .unwrap()
+                    .0
+                    .len()
+            })
+        });
     }
     group.finish();
 }

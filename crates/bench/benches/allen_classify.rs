@@ -7,12 +7,11 @@ use tdb_bench::Workload;
 
 fn bench(c: &mut Criterion) {
     let w = Workload::standard(2_000, 41);
-    let pairs: Vec<(Period, Period)> = w
-        .xs
-        .iter()
-        .zip(&w.ys)
-        .map(|(a, b)| (a.period, b.period))
-        .collect();
+    let pairs: Vec<(Period, Period)> =
+        w.xs.iter()
+            .zip(&w.ys)
+            .map(|(a, b)| (a.period, b.period))
+            .collect();
 
     c.bench_function("allen_classify_2k_pairs", |b| {
         b.iter(|| {

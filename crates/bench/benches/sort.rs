@@ -13,22 +13,18 @@ fn bench(c: &mut Criterion) {
     shuffled.sort_by_key(|t| t.value.as_int().unwrap_or(0) % 7919);
 
     for budget in [1_000usize, 10_000, 100_000] {
-        group.bench_with_input(
-            BenchmarkId::new("budget", budget),
-            &budget,
-            |b, &budget| {
-                b.iter(|| {
-                    let sorter = ExternalSorter::new(
-                        budget,
-                        |a: &TsTuple, b: &TsTuple| StreamOrder::TS_ASC.compare(a, b),
-                        IoStats::new(),
-                    );
-                    let (out, stats) = sorter.sort(shuffled.clone()).unwrap();
-                    let n = out.count();
-                    (n, stats.runs)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("budget", budget), &budget, |b, &budget| {
+            b.iter(|| {
+                let sorter = ExternalSorter::new(
+                    budget,
+                    |a: &TsTuple, b: &TsTuple| StreamOrder::TS_ASC.compare(a, b),
+                    IoStats::new(),
+                );
+                let (out, stats) = sorter.sort(shuffled.clone()).unwrap();
+                let n = out.count();
+                (n, stats.runs)
+            })
+        });
     }
     group.finish();
 }

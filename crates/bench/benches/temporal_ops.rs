@@ -20,11 +20,9 @@ fn bench(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("profile_sweep", n), &n, |b, _| {
             b.iter(|| {
-                concurrency_profile(
-                    from_sorted_vec(sorted.clone(), StreamOrder::TS_ASC).unwrap(),
-                )
-                .unwrap()
-                .1
+                concurrency_profile(from_sorted_vec(sorted.clone(), StreamOrder::TS_ASC).unwrap())
+                    .unwrap()
+                    .1
             })
         });
 
@@ -42,11 +40,8 @@ fn bench(c: &mut Criterion) {
             })
         });
 
-        let index = IntervalIndex::build(
-            data.iter()
-                .enumerate()
-                .map(|(i, t)| (t.period, i as u64)),
-        );
+        let index =
+            IntervalIndex::build(data.iter().enumerate().map(|(i, t)| (t.period, i as u64)));
         group.bench_with_input(BenchmarkId::new("timeslice_index_stab", n), &n, |b, _| {
             b.iter(|| index.stab(mid).len())
         });

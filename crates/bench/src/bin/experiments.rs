@@ -9,10 +9,10 @@
 //! Experiment IDs follow DESIGN.md: E1=Table 1, E2=Table 2, E3=Table 3,
 //! E5=Figure 3, E10=Figure 8/§5 Superstar, E11=sort-order crossover,
 //! E12=read-policy ablation, E13=Before operators, E14=sort-vs-rescan
-//! cost, E6=Figure 4 aggregation.
+//! cost, E6=Figure 4 aggregation, E15=time-partitioned parallel scaling.
 
 use std::collections::BTreeMap;
-use tdb::algebra::cost::{predict_workspace, stream_join_cost, nested_loop_cost, WorkspaceKind};
+use tdb::algebra::cost::{nested_loop_cost, predict_workspace, stream_join_cost, WorkspaceKind};
 use tdb::prelude::*;
 use tdb_bench::*;
 
@@ -27,8 +27,17 @@ fn main() {
         .collect();
     if which.is_empty() || which == ["all"] {
         which = vec![
-            "table1", "table2", "table3", "fig3", "superstar", "sweep", "policies",
-            "before", "sortcost", "aggregate",
+            "table1",
+            "table2",
+            "table3",
+            "fig3",
+            "superstar",
+            "sweep",
+            "policies",
+            "before",
+            "sortcost",
+            "aggregate",
+            "parallel",
         ];
     }
     let json_path = args
@@ -51,11 +60,13 @@ fn main() {
             "before" => before(&mut json),
             "sortcost" => sortcost(&mut json),
             "aggregate" => aggregate(&mut json),
+            "parallel" => parallel(&mut json),
             other => eprintln!("unknown experiment `{other}`"),
         }
     }
     if let Some(path) = json_path {
-        std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap()).unwrap();
+        let doc = Json::Object(json.into_iter().collect());
+        std::fs::write(&path, doc.to_string_pretty()).unwrap();
         println!("\nJSON written to {path}");
     }
 }
@@ -65,9 +76,11 @@ const N: usize = 20_000;
 /// E1 — Table 1: workspace of Contain-join / Contain-semijoin /
 /// Contained-semijoin under each sort-order combination, measured against
 /// the Little's-law predictions of the cost model.
-fn table1(json: &mut BTreeMap<String, serde_json::Value>) {
+fn table1(json: &mut BTreeMap<String, Json>) {
     println!("E1 · Table 1 — containment operators: max workspace by sort order");
-    println!("    workload: {N} tuples/side, Poisson arrivals (1/λ=3), exp durations (X:30, Y:8)\n");
+    println!(
+        "    workload: {N} tuples/side, Poisson arrivals (1/λ=3), exp durations (X:30, Y:8)\n"
+    );
     let w = Workload::poisson("t1", N, 3.0, 30.0, 3.0, 8.0, 101);
     let (sx, sy) = w.stats();
 
@@ -95,26 +108,26 @@ fn table1(json: &mut BTreeMap<String, serde_json::Value>) {
         let semi_contain = {
             let xs = w.xs_sorted(StreamOrder::TS_ASC);
             let ys = w.ys_sorted(StreamOrder::TS_ASC);
-            let mut op = SweepSemijoin::contain(
-                from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap(),
-                from_sorted_vec(ys, StreamOrder::TS_ASC).unwrap(),
-                ReadPolicy::MinKey,
-            )
-            .unwrap();
+            let mut op = OpConfig::new()
+                .contain_semijoin(
+                    from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap(),
+                    from_sorted_vec(ys, StreamOrder::TS_ASC).unwrap(),
+                )
+                .unwrap();
             while op.next().unwrap().is_some() {}
-            op.max_workspace()
+            op.report().max_workspace()
         };
         let semi_contained = {
             let xs = w.xs_sorted(StreamOrder::TS_ASC);
             let ys = w.ys_sorted(StreamOrder::TS_ASC);
-            let mut op = SweepSemijoin::contained(
-                from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap(),
-                from_sorted_vec(ys, StreamOrder::TS_ASC).unwrap(),
-                ReadPolicy::MinKey,
-            )
-            .unwrap();
+            let mut op = OpConfig::new()
+                .contained_semijoin(
+                    from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap(),
+                    from_sorted_vec(ys, StreamOrder::TS_ASC).unwrap(),
+                )
+                .unwrap();
             while op.next().unwrap().is_some() {}
-            op.max_workspace()
+            op.report().max_workspace()
         };
         println!(
             "{}",
@@ -129,10 +142,10 @@ fn table1(json: &mut BTreeMap<String, serde_json::Value>) {
                 &widths
             )
         );
-        rows_json.push(serde_json::json!({
-            "orders": "TS↑/TS↑", "join_ws": join.max_workspace, "join_pred": pred,
-            "contain_semi_ws": semi_contain, "contained_semi_ws": semi_contained,
-        }));
+        rows_json.push(jobj! {
+            "orders" => "TS↑/TS↑", "join_ws" => join.max_workspace, "join_pred" => pred,
+            "contain_semi_ws" => semi_contain, "contained_semi_ws" => semi_contained,
+        });
     }
 
     // Row (TS↑, TE↑): join state (b), Contain-semijoin state (d) buffers.
@@ -142,11 +155,12 @@ fn table1(json: &mut BTreeMap<String, serde_json::Value>) {
         let semi_contain = {
             let xs = w.xs_sorted(StreamOrder::TS_ASC);
             let ys = w.ys_sorted(StreamOrder::TE_ASC);
-            let mut op = ContainSemijoinStab::new(
-                from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap(),
-                from_sorted_vec(ys, StreamOrder::TE_ASC).unwrap(),
-            )
-            .unwrap();
+            let mut op = OpConfig::new()
+                .contain_semijoin_stab(
+                    from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap(),
+                    from_sorted_vec(ys, StreamOrder::TE_ASC).unwrap(),
+                )
+                .unwrap();
             while op.next().unwrap().is_some() {}
             0usize // two input buffers only
         };
@@ -163,10 +177,10 @@ fn table1(json: &mut BTreeMap<String, serde_json::Value>) {
                 &widths
             )
         );
-        rows_json.push(serde_json::json!({
-            "orders": "TS↑/TE↑", "join_ws": join.max_workspace, "join_pred": pred,
-            "contain_semi_ws": "buffers",
-        }));
+        rows_json.push(jobj! {
+            "orders" => "TS↑/TE↑", "join_ws" => join.max_workspace, "join_pred" => pred,
+            "contain_semi_ws" => "buffers",
+        });
     }
 
     // Row (TE↑, TS↑): Contained-semijoin state (d); join degenerate.
@@ -175,11 +189,12 @@ fn table1(json: &mut BTreeMap<String, serde_json::Value>) {
         let contained = {
             let xs = w.xs_sorted(StreamOrder::TE_ASC);
             let ys = w.ys_sorted(StreamOrder::TS_ASC);
-            let mut op = ContainedSemijoinStab::new(
-                from_sorted_vec(xs, StreamOrder::TE_ASC).unwrap(),
-                from_sorted_vec(ys, StreamOrder::TS_ASC).unwrap(),
-            )
-            .unwrap();
+            let mut op = OpConfig::new()
+                .contained_semijoin_stab(
+                    from_sorted_vec(xs, StreamOrder::TE_ASC).unwrap(),
+                    from_sorted_vec(ys, StreamOrder::TS_ASC).unwrap(),
+                )
+                .unwrap();
             while op.next().unwrap().is_some() {}
             0usize
         };
@@ -196,10 +211,10 @@ fn table1(json: &mut BTreeMap<String, serde_json::Value>) {
                 &widths
             )
         );
-        rows_json.push(serde_json::json!({
-            "orders": "TE↑/TS↑", "join_ws_degenerate": buffered.max_workspace,
-            "contained_semi_ws": "buffers",
-        }));
+        rows_json.push(jobj! {
+            "orders" => "TE↑/TS↑", "join_ws_degenerate" => buffered.max_workspace,
+            "contained_semi_ws" => "buffers",
+        });
     }
 
     // Row (TE↑, TE↑): everything degenerate.
@@ -221,113 +236,120 @@ fn table1(json: &mut BTreeMap<String, serde_json::Value>) {
     }
     println!("\n    Lower half of the paper's Table 1 (descending orders) is the mirror");
     println!("    image under time reversal and is exercised by unit tests.");
-    json.insert("table1".into(), serde_json::Value::Array(rows_json));
+    json.insert("table1".into(), Json::Array(rows_json));
 }
 
 /// E2 — Table 2: overlap operators.
-fn table2(json: &mut BTreeMap<String, serde_json::Value>) {
+fn table2(json: &mut BTreeMap<String, Json>) {
     println!("E2 · Table 2 — overlap operators: max workspace by sort order");
     let w = Workload::poisson("t2", N, 3.0, 20.0, 3.0, 20.0, 202);
     let (sx, sy) = w.stats();
 
     let xs = w.xs_sorted(StreamOrder::TS_ASC);
     let ys = w.ys_sorted(StreamOrder::TS_ASC);
-    let mut join = OverlapJoin::new(
-        from_sorted_vec(xs.clone(), StreamOrder::TS_ASC).unwrap(),
-        from_sorted_vec(ys.clone(), StreamOrder::TS_ASC).unwrap(),
-        OverlapMode::Strict,
-        ReadPolicy::MinKey,
-    )
-    .unwrap();
+    let mut join = OpConfig::new()
+        .with_mode(OverlapMode::Strict)
+        .overlap_join(
+            from_sorted_vec(xs.clone(), StreamOrder::TS_ASC).unwrap(),
+            from_sorted_vec(ys.clone(), StreamOrder::TS_ASC).unwrap(),
+        )
+        .unwrap();
     let mut n_pairs = 0u64;
     while join.next().unwrap().is_some() {
         n_pairs += 1;
     }
     let pred = predict_workspace(WorkspaceKind::OverlapJoin, &sx, Some(&sy));
 
-    let mut semi = OverlapSemijoin::new(
-        from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap(),
-        from_sorted_vec(ys, StreamOrder::TS_ASC).unwrap(),
-        OverlapMode::General,
-        ReadPolicy::MinKey,
-    )
-    .unwrap();
+    let mut semi = OpConfig::new()
+        .with_mode(OverlapMode::General)
+        .overlap_semijoin(
+            from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap(),
+            from_sorted_vec(ys, StreamOrder::TS_ASC).unwrap(),
+        )
+        .unwrap();
     while semi.next().unwrap().is_some() {}
 
     // Degenerate ordering: no GC criteria.
-    let mut buffered = BufferedJoin::new(
-        from_vec(w.xs.clone()),
-        from_vec(w.ys.clone()),
-        |a: &TsTuple, b: &TsTuple| a.period.allen_overlaps(&b.period),
-    );
+    let mut buffered = OpConfig::new()
+        .buffered_join(
+            from_vec(w.xs.clone()),
+            from_vec(w.ys.clone()),
+            |a: &TsTuple, b: &TsTuple| a.period.allen_overlaps(&b.period),
+        )
+        .unwrap();
     while buffered.next().unwrap().is_some() {}
 
-    println!("    workload: {N} tuples/side, both exp(20) durations; {n_pairs} strict-overlap pairs\n");
-    println!("    ValidFrom↑/ValidFrom↑  Overlap-join       max ws {:>6}   predicted {pred:.0}  (a)", join.max_workspace());
-    println!("    ValidFrom↑/ValidFrom↑  Overlap-semijoin   max ws {:>6}   (general mode: the two buffers)  (b)", semi.max_workspace());
-    println!("    other orderings        Overlap-join       max ws {:>6}   = Θ(n) — no GC criteria (–)", buffered.max_workspace());
+    println!(
+        "    workload: {N} tuples/side, both exp(20) durations; {n_pairs} strict-overlap pairs\n"
+    );
+    println!(
+        "    ValidFrom↑/ValidFrom↑  Overlap-join       max ws {:>6}   predicted {pred:.0}  (a)",
+        join.report().max_workspace()
+    );
+    println!("    ValidFrom↑/ValidFrom↑  Overlap-semijoin   max ws {:>6}   (general mode: the two buffers)  (b)", semi.report().max_workspace());
+    println!(
+        "    other orderings        Overlap-join       max ws {:>6}   = Θ(n) — no GC criteria (–)",
+        buffered.report().max_workspace()
+    );
     json.insert(
         "table2".into(),
-        serde_json::json!({
-            "join_ws": join.max_workspace(), "join_pred": pred,
-            "semijoin_ws": semi.max_workspace(),
-            "degenerate_ws": buffered.max_workspace(),
-        }),
+        jobj! {
+            "join_ws" => join.report().max_workspace(), "join_pred" => pred,
+            "semijoin_ws" => semi.report().max_workspace(),
+            "degenerate_ws" => buffered.report().max_workspace(),
+        },
     );
 }
 
 /// E3 — Table 3: self semijoins.
-fn table3(json: &mut BTreeMap<String, serde_json::Value>) {
+fn table3(json: &mut BTreeMap<String, Json>) {
     println!("E3 · Table 3 — self semijoins over one stream ({N} tuples, 60% nested)");
     let xs = tdb::gen::intervals::nested_stream(N, 0.6, 303);
 
-    let mut contained = ContainedSelfSemijoin::new(
-        from_sorted_vec(xs.clone(), StreamOrder::TS_ASC_TE_ASC).unwrap(),
-    )
-    .unwrap();
+    let mut contained = OpConfig::new()
+        .contained_self_semijoin(from_sorted_vec(xs.clone(), StreamOrder::TS_ASC_TE_ASC).unwrap())
+        .unwrap();
     let mut n1 = 0;
     while contained.next().unwrap().is_some() {
         n1 += 1;
     }
 
-    let mut contain_asc =
-        ContainSelfSemijoin::new(from_sorted_vec(xs.clone(), StreamOrder::TS_ASC_TE_ASC).unwrap())
-            .unwrap();
+    let mut contain_asc = OpConfig::new()
+        .contain_self_semijoin(from_sorted_vec(xs.clone(), StreamOrder::TS_ASC_TE_ASC).unwrap())
+        .unwrap();
     let mut n2 = 0;
     while contain_asc.next().unwrap().is_some() {
         n2 += 1;
     }
 
-    let desc_order = tdb::stream::ContainSelfSemijoinDesc::<
-        tdb::stream::VecStream<TsTuple>,
-    >::REQUIRED;
+    let desc_order =
+        tdb::stream::ContainSelfSemijoinDesc::<tdb::stream::VecStream<TsTuple>>::REQUIRED;
     let mut xs_desc = xs.clone();
     desc_order.sort(&mut xs_desc);
-    let mut contain_desc = tdb::stream::ContainSelfSemijoinDesc::new(
-        from_sorted_vec(xs_desc, desc_order).unwrap(),
-    )
-    .unwrap();
+    let mut contain_desc =
+        tdb::stream::ContainSelfSemijoinDesc::new(from_sorted_vec(xs_desc, desc_order).unwrap())
+            .unwrap();
     let mut n3 = 0;
     while contain_desc.next().unwrap().is_some() {
         n3 += 1;
     }
 
-    println!("\n    ValidFrom↑ (TE↑ sec)  Contained-semijoin(X,X)  max state {:>3}  (a: one tuple)   {} emitted", contained.max_workspace(), n1);
-    println!("    ValidFrom↑ (TE↑ sec)  Contain-semijoin(X,X)    max state {:>3}  (b: overlap set) {} emitted", contain_asc.workspace().max_resident, n2);
-    println!("    ValidFrom↓ (TE↓ sec)  Contain-semijoin(X,X)    max state {:>3}  (a: one tuple)   {} emitted", contain_desc.max_workspace(), n3);
+    println!("\n    ValidFrom↑ (TE↑ sec)  Contained-semijoin(X,X)  max state {:>3}  (a: one tuple)   {} emitted", contained.report().max_workspace(), n1);
+    println!("    ValidFrom↑ (TE↑ sec)  Contain-semijoin(X,X)    max state {:>3}  (b: overlap set) {} emitted", contain_asc.report().max_workspace(), n2);
+    println!("    ValidFrom↓ (TE↓ sec)  Contain-semijoin(X,X)    max state {:>3}  (a: one tuple)   {} emitted", contain_desc.report().max_workspace(), n3);
     assert_eq!(n2, n3, "ascending and descending contain-self must agree");
     json.insert(
         "table3".into(),
-        serde_json::json!({
-            "contained_asc_ws": contained.max_workspace(),
-            "contain_asc_ws": contain_asc.workspace().max_resident,
-            "contain_desc_ws": contain_desc.max_workspace(),
-        }),
+        jobj! {
+            "contained_asc_ws" => contained.report().max_workspace(),
+            "contain_asc_ws" => contain_asc.report().max_workspace(),
+            "contain_desc_ws" => contain_desc.report().max_workspace(),
+        },
     );
 }
 
 /// E5 — Figure 3: conventional optimization of the Superstar parse tree.
-fn fig3(json: &mut BTreeMap<String, serde_json::Value>) {
+fn fig3(json: &mut BTreeMap<String, Json>) {
     println!("E5 · Figure 3 — Superstar parse trees and the effect of pushdown");
     let unopt = tdb::semantic::superstar::superstar_unoptimized();
     let opt = tdb::semantic::superstar::superstar_conventional();
@@ -339,7 +361,11 @@ fn fig3(json: &mut BTreeMap<String, serde_json::Value>) {
     let run = |p: &LogicalPlan| {
         let phys = plan(p, PlannerConfig::naive()).unwrap();
         let out = phys.execute(&catalog).unwrap();
-        (out.stats.comparisons, out.stats.intermediate_rows, out.rows.len())
+        (
+            out.stats.comparisons,
+            out.stats.intermediate_rows,
+            out.rows.len(),
+        )
     };
     let (c_a, i_a, n_a) = run(&unopt);
     let (c_b, i_b, n_b) = run(&opt);
@@ -347,19 +373,22 @@ fn fig3(json: &mut BTreeMap<String, serde_json::Value>) {
     println!("measured on 40 faculty (nested-loop physical ops for both):");
     println!("    (a) {c_a:>12} comparisons, {i_a:>9} intermediate rows");
     println!("    (b) {c_b:>12} comparisons, {i_b:>9} intermediate rows");
-    println!("    pushdown cut comparisons by {:.0}×", c_a as f64 / c_b.max(1) as f64);
+    println!(
+        "    pushdown cut comparisons by {:.0}×",
+        c_a as f64 / c_b.max(1) as f64
+    );
     json.insert(
         "fig3".into(),
-        serde_json::json!({
-            "unopt_comparisons": c_a, "opt_comparisons": c_b,
-            "unopt_intermediate": i_a, "opt_intermediate": i_b,
-        }),
+        jobj! {
+            "unopt_comparisons" => c_a, "opt_comparisons" => c_b,
+            "unopt_intermediate" => i_a, "opt_intermediate" => i_b,
+        },
     );
 }
 
 /// E10 — Figure 8 / §5: the Superstar plans compared across population
 /// sizes.
-fn superstar(json: &mut BTreeMap<String, serde_json::Value>) {
+fn superstar(json: &mut BTreeMap<String, Json>) {
     println!("E10 · Figure 8 / §5 — Superstar formulations vs population size\n");
     let widths = [10usize, 16, 16, 16, 16];
     println!(
@@ -410,21 +439,21 @@ fn superstar(json: &mut BTreeMap<String, serde_json::Value>) {
         let speedup = micros[0] as f64 / *micros.last().unwrap() as f64;
         cells.push(format!("{speedup:.1}×"));
         println!("{}", row(&cells, &widths));
-        rows_json.push(serde_json::json!({
-            "n": n, "conventional_us": micros[0], "reduced_us": micros[1],
-            "selfsemijoin_us": micros[2], "speedup": speedup,
-        }));
+        rows_json.push(jobj! {
+            "n" => n, "conventional_us" => micros[0], "reduced_us" => micros[1],
+            "selfsemijoin_us" => micros[2], "speedup" => speedup,
+        });
     }
     println!("\n    (conventional = Fig 3(b) with nested-loop less-than join;");
     println!("     reduced = Fig 8(b) semijoin after constraint-based elimination;");
     println!("     self-semijoin = §5 single-pass plan with Name guard)");
-    json.insert("superstar".into(), serde_json::Value::Array(rows_json));
+    json.insert("superstar".into(), Json::Array(rows_json));
 }
 
 /// E11 — the §4.2 claim: the optimal sort ordering depends on data
 /// statistics. Sweep the Y-duration mix and watch the preferred
 /// configuration flip.
-fn sweep(json: &mut BTreeMap<String, serde_json::Value>) {
+fn sweep(json: &mut BTreeMap<String, Json>) {
     println!("E11 · sort-order choice depends on instance statistics");
     println!("    Contain-join workspace, (TS↑,TS↑) vs (TS↑,TE↑), sweeping Y mean duration\n");
     let widths = [14usize, 16, 16, 12];
@@ -462,15 +491,15 @@ fn sweep(json: &mut BTreeMap<String, serde_json::Value>) {
                 &widths
             )
         );
-        rows_json.push(serde_json::json!({
-            "dur_y": dur_y, "ws_tsts": a.max_workspace, "ws_tste": b.max_workspace,
-        }));
+        rows_json.push(jobj! {
+            "dur_y" => dur_y, "ws_tsts" => a.max_workspace, "ws_tste" => b.max_workspace,
+        });
     }
-    json.insert("sweep".into(), serde_json::Value::Array(rows_json));
+    json.insert("sweep".into(), Json::Array(rows_json));
 }
 
 /// E12 — read-policy ablation (§4.2.1's λ-guided reading).
-fn policies(json: &mut BTreeMap<String, serde_json::Value>) {
+fn policies(json: &mut BTreeMap<String, Json>) {
     println!("E12 · read-policy ablation for Contain-join (TS↑,TS↑)");
     println!("    asymmetric arrivals: X 1/λ=2 dur 40, Y 1/λ=20 dur 10\n");
     let w = Workload::poisson("pol", 20_000, 2.0, 40.0, 20.0, 10.0, 707);
@@ -490,20 +519,21 @@ fn policies(json: &mut BTreeMap<String, serde_json::Value>) {
             "    {label:<14} max workspace {:>7}   {:>12} comparisons   {:>8} pairs",
             m.max_workspace, m.comparisons, m.output
         );
-        rows_json.push(serde_json::json!({
-            "policy": label, "ws": m.max_workspace, "comparisons": m.comparisons,
-        }));
+        rows_json.push(jobj! {
+            "policy" => label, "ws" => m.max_workspace, "comparisons" => m.comparisons,
+        });
     }
-    json.insert("policies".into(), serde_json::Value::Array(rows_json));
+    json.insert("policies".into(), Json::Array(rows_json));
 }
 
 /// E13 — Before operators (§4.2.4).
-fn before(json: &mut BTreeMap<String, serde_json::Value>) {
+fn before(json: &mut BTreeMap<String, Json>) {
     println!("E13 · Before-join and Before-semijoin");
     let w = Workload::poisson("before", 30_000, 3.0, 10.0, 3.0, 10.0, 808);
 
     let (count, us_idx) = timed(|| {
-        BeforeJoin::new(from_vec(w.xs.clone()), from_vec(w.ys.clone()))
+        OpConfig::new()
+            .before_join(from_vec(w.xs.clone()), from_vec(w.ys.clone()))
             .unwrap()
             .count()
             .unwrap()
@@ -521,7 +551,9 @@ fn before(json: &mut BTreeMap<String, serde_json::Value>) {
     });
     assert_eq!(count, naive);
     let (semi_n, us_semi) = timed(|| {
-        let mut op = BeforeSemijoin::new(from_vec(w.xs.clone()), from_vec(w.ys.clone())).unwrap();
+        let mut op = OpConfig::new()
+            .before_semijoin(from_vec(w.xs.clone()), from_vec(w.ys.clone()))
+            .unwrap();
         let mut n = 0;
         while op.next().unwrap().is_some() {
             n += 1;
@@ -529,19 +561,28 @@ fn before(json: &mut BTreeMap<String, serde_json::Value>) {
         n
     });
     println!("\n    Before-join result pairs: {count} (≈n²/2: the output itself is quadratic)");
-    println!("    count via sorted suffix arithmetic: {:>8.1} ms", us_idx as f64 / 1000.0);
-    println!("    count via naive double loop:        {:>8.1} ms", us_naive as f64 / 1000.0);
-    println!("    Before-semijoin (single scan, O(1) state): {semi_n} tuples in {:.1} ms", us_semi as f64 / 1000.0);
+    println!(
+        "    count via sorted suffix arithmetic: {:>8.1} ms",
+        us_idx as f64 / 1000.0
+    );
+    println!(
+        "    count via naive double loop:        {:>8.1} ms",
+        us_naive as f64 / 1000.0
+    );
+    println!(
+        "    Before-semijoin (single scan, O(1) state): {semi_n} tuples in {:.1} ms",
+        us_semi as f64 / 1000.0
+    );
     json.insert(
         "before".into(),
-        serde_json::json!({
-            "pairs": count, "suffix_us": us_idx, "naive_us": us_naive, "semijoin_us": us_semi,
-        }),
+        jobj! {
+            "pairs" => count, "suffix_us" => us_idx, "naive_us" => us_naive, "semijoin_us" => us_semi,
+        },
     );
 }
 
 /// E14 — §4.1's third axis: paying for a sort once vs rescanning forever.
-fn sortcost(json: &mut BTreeMap<String, serde_json::Value>) {
+fn sortcost(json: &mut BTreeMap<String, Json>) {
     println!("E14 · sort-then-stream vs nested-loop, with analytic cost model");
     let mut rows_json = Vec::new();
     for n in [2_000usize, 8_000, 32_000] {
@@ -565,11 +606,12 @@ fn sortcost(json: &mut BTreeMap<String, serde_json::Value>) {
             );
             let (ys, _) = sorter.sort(w.ys.clone()).unwrap();
             let ys: Vec<_> = ys.map(|r| r.unwrap()).collect();
-            let mut j = ContainJoinTsTe::new(
-                from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap(),
-                from_sorted_vec(ys, StreamOrder::TE_ASC).unwrap(),
-            )
-            .unwrap();
+            let mut j = OpConfig::new()
+                .contain_join_ts_te(
+                    from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap(),
+                    from_sorted_vec(ys, StreamOrder::TE_ASC).unwrap(),
+                )
+                .unwrap();
             while j.next().unwrap().is_some() {}
         });
         let nl = measure_nested_contain(&w);
@@ -583,16 +625,93 @@ fn sortcost(json: &mut BTreeMap<String, serde_json::Value>) {
             model_nl.comparisons / model_stream.comparisons.max(1.0),
             nl.micros as f64 / us_stream.max(1) as f64,
         );
-        rows_json.push(serde_json::json!({
-            "n": n, "stream_us": us_stream, "nested_us": nl.micros,
-            "spill_pages": io.snapshot().pages_written,
-        }));
+        rows_json.push(jobj! {
+            "n" => n, "stream_us" => us_stream, "nested_us" => nl.micros,
+            "spill_pages" => io.snapshot().pages_written,
+        });
     }
-    json.insert("sortcost".into(), serde_json::Value::Array(rows_json));
+    json.insert("sortcost".into(), Json::Array(rows_json));
+}
+
+/// E15 — time-partitioned parallel contain-join scaling.
+///
+/// Splits the timeline into K disjoint ranges with fringe replication and
+/// runs one Contain-join instance per partition under `thread::scope`.
+/// Two speedup figures are recorded:
+///
+/// * `critical_path` — serial comparisons ÷ max per-partition comparisons,
+///   the architecture-independent bound that multi-core wall-clock tracks
+///   (modulo the Little's-law fringe overhead `(K−1)·λ·E[D]`);
+/// * `wall` — measured wall-clock ratio, which saturates at the number of
+///   hardware cores on the machine running the bench.
+///
+/// Emits `BENCH_parallel.json` next to the working directory.
+fn parallel(json: &mut BTreeMap<String, Json>) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("E15 · time-partitioned parallel Contain-join scaling ({cores} core(s))");
+    let w = Workload::poisson("par", 40_000, 3.0, 30.0, 3.0, 8.0, 1501);
+    let (sx, sy) = w.stats();
+
+    let serial_model = stream_join_cost(WorkspaceKind::ContainJoinTsTe, &sx, &sy);
+    let mut rows_json = Vec::new();
+    let mut serial_us = 0u128;
+    let mut serial_cmp = 0usize;
+    for k in [1usize, 2, 4, 8] {
+        let (run, us) = timed(|| {
+            parallel_join(
+                ParallelPattern::Contains,
+                w.xs.clone(),
+                w.ys.clone(),
+                k,
+                OpConfig::new(),
+            )
+            .unwrap()
+        });
+        if k == 1 {
+            serial_us = us;
+            serial_cmp = run.report.metrics.comparisons;
+        }
+        let critical = run
+            .per_partition
+            .iter()
+            .map(|r| r.metrics.comparisons)
+            .max()
+            .unwrap_or(serial_cmp)
+            .max(1);
+        let speedup_cp = serial_cmp as f64 / critical as f64;
+        let speedup_wall = serial_us as f64 / us.max(1) as f64;
+        let model = tdb::algebra::cost::parallel_join_cost(serial_model, k, &sx, &sy);
+        println!(
+            "    K={k}: {:>8.1} ms wall ({speedup_wall:>4.2}×)   critical-path speedup {speedup_cp:>4.2}×   \
+             {:>9} total comparisons   {} pairs",
+            us as f64 / 1000.0,
+            run.report.metrics.comparisons,
+            run.items.len(),
+        );
+        rows_json.push(jobj! {
+            "k" => k, "wall_us" => us, "pairs" => run.items.len(),
+            "comparisons" => run.report.metrics.comparisons,
+            "critical_path_comparisons" => critical,
+            "speedup_critical_path" => speedup_cp,
+            "speedup_wall" => speedup_wall,
+            "model_comparisons" => model.comparisons,
+        });
+    }
+    let doc = jobj! {
+        "experiment" => "E15 parallel contain-join scaling",
+        "cores" => cores,
+        "n_per_side" => 40_000usize,
+        "rows" => Json::Array(rows_json.clone()),
+    };
+    std::fs::write("BENCH_parallel.json", doc.to_string_pretty()).unwrap();
+    println!("\n    BENCH_parallel.json written");
+    json.insert("parallel".into(), Json::Array(rows_json));
 }
 
 /// E6 — Figure 4: grouped-sum stream processor vs hash aggregation.
-fn aggregate(json: &mut BTreeMap<String, serde_json::Value>) {
+fn aggregate(json: &mut BTreeMap<String, Json>) {
     println!("E6 · Figure 4 — grouped sum: streaming (O(1) state) vs hash (O(groups))");
     let n_groups = 5_000;
     let per_group = 40;
@@ -606,7 +725,7 @@ fn aggregate(json: &mut BTreeMap<String, serde_json::Value>) {
         while op.next().unwrap().is_some() {
             n += 1;
         }
-        (n, op.max_workspace())
+        (n, op.report().max_workspace())
     });
     let ((out_hash, ws_hash), us_hash) = timed(|| {
         tdb::stream::HashSum::run(from_vec(rows.clone()), |r| r.0.clone(), |r| r.1).unwrap()
@@ -623,9 +742,9 @@ fn aggregate(json: &mut BTreeMap<String, serde_json::Value>) {
     );
     json.insert(
         "aggregate".into(),
-        serde_json::json!({
-            "groups": n_stream, "stream_ws": ws_stream, "hash_ws": ws_hash,
-            "stream_us": us_stream, "hash_us": us_hash,
-        }),
+        jobj! {
+            "groups" => n_stream, "stream_ws" => ws_stream, "hash_ws" => ws_hash,
+            "stream_us" => us_stream, "hash_us" => us_hash,
+        },
     );
 }

@@ -65,7 +65,7 @@ impl Workload {
 }
 
 /// Measured outcome of one operator run.
-#[derive(Debug, Clone, Copy, serde::Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Measurement {
     /// Result tuples emitted.
     pub output: usize,
@@ -88,23 +88,24 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
 pub fn measure_contain_ts_ts(w: &Workload, policy: ReadPolicy) -> Measurement {
     let xs = w.xs_sorted(StreamOrder::TS_ASC);
     let ys = w.ys_sorted(StreamOrder::TS_ASC);
-    let ((n, ws, cmp), micros) = timed(|| {
-        let mut j = ContainJoinTsTs::new(
-            from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap(),
-            from_sorted_vec(ys, StreamOrder::TS_ASC).unwrap(),
-            policy,
-        )
-        .unwrap();
+    let ((n, report), micros) = timed(|| {
+        let mut j = OpConfig::new()
+            .with_policy(policy)
+            .contain_join_ts_ts(
+                from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap(),
+                from_sorted_vec(ys, StreamOrder::TS_ASC).unwrap(),
+            )
+            .unwrap();
         let mut n = 0;
         while j.next().unwrap().is_some() {
             n += 1;
         }
-        (n, j.max_workspace(), j.metrics().comparisons)
+        (n, j.report())
     });
     Measurement {
         output: n,
-        max_workspace: ws,
-        comparisons: cmp,
+        max_workspace: report.max_workspace(),
+        comparisons: report.metrics.comparisons,
         micros,
     }
 }
@@ -113,67 +114,71 @@ pub fn measure_contain_ts_ts(w: &Workload, policy: ReadPolicy) -> Measurement {
 pub fn measure_contain_ts_te(w: &Workload) -> Measurement {
     let xs = w.xs_sorted(StreamOrder::TS_ASC);
     let ys = w.ys_sorted(StreamOrder::TE_ASC);
-    let ((n, ws, cmp), micros) = timed(|| {
-        let mut j = ContainJoinTsTe::new(
-            from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap(),
-            from_sorted_vec(ys, StreamOrder::TE_ASC).unwrap(),
-        )
-        .unwrap();
+    let ((n, report), micros) = timed(|| {
+        let mut j = OpConfig::new()
+            .contain_join_ts_te(
+                from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap(),
+                from_sorted_vec(ys, StreamOrder::TE_ASC).unwrap(),
+            )
+            .unwrap();
         let mut n = 0;
         while j.next().unwrap().is_some() {
             n += 1;
         }
-        (n, j.max_workspace(), j.metrics().comparisons)
+        (n, j.report())
     });
     Measurement {
         output: n,
-        max_workspace: ws,
-        comparisons: cmp,
+        max_workspace: report.max_workspace(),
+        comparisons: report.metrics.comparisons,
         micros,
     }
 }
 
 /// Run the no-GC buffered join (degenerate orderings, Table 1 "-" rows).
 pub fn measure_buffered_contain(w: &Workload) -> Measurement {
-    let ((n, ws, cmp), micros) = timed(|| {
-        let mut j = BufferedJoin::new(
-            from_vec(w.xs.clone()),
-            from_vec(w.ys.clone()),
-            |a: &TsTuple, b: &TsTuple| a.period.contains(&b.period),
-        );
+    let ((n, report), micros) = timed(|| {
+        let mut j = OpConfig::new()
+            .buffered_join(
+                from_vec(w.xs.clone()),
+                from_vec(w.ys.clone()),
+                |a: &TsTuple, b: &TsTuple| a.period.contains(&b.period),
+            )
+            .unwrap();
         let mut n = 0;
         while j.next().unwrap().is_some() {
             n += 1;
         }
-        (n, j.max_workspace(), j.metrics().comparisons)
+        (n, j.report())
     });
     Measurement {
         output: n,
-        max_workspace: ws,
-        comparisons: cmp,
+        max_workspace: report.max_workspace(),
+        comparisons: report.metrics.comparisons,
         micros,
     }
 }
 
 /// Run the conventional nested-loop contain join.
 pub fn measure_nested_contain(w: &Workload) -> Measurement {
-    let ((n, ws, cmp), micros) = timed(|| {
-        let mut j = NestedLoopJoin::new(
-            from_vec(w.xs.clone()),
-            from_vec(w.ys.clone()),
-            |a: &TsTuple, b: &TsTuple| a.period.contains(&b.period),
-        )
-        .unwrap();
+    let ((n, report), micros) = timed(|| {
+        let mut j = OpConfig::new()
+            .nested_loop(
+                from_vec(w.xs.clone()),
+                from_vec(w.ys.clone()),
+                |a: &TsTuple, b: &TsTuple| a.period.contains(&b.period),
+            )
+            .unwrap();
         let mut n = 0;
         while j.next().unwrap().is_some() {
             n += 1;
         }
-        (n, j.max_workspace(), j.metrics().comparisons)
+        (n, j.report())
     });
     Measurement {
         output: n,
-        max_workspace: ws,
-        comparisons: cmp,
+        max_workspace: report.max_workspace(),
+        comparisons: report.metrics.comparisons,
         micros,
     }
 }

@@ -126,6 +126,17 @@ impl Session {
                 };
                 Ok(Some(format!("planner config: {c}\n")))
             }
+            ["\\set", "parallelism", n] => {
+                let k: usize = n
+                    .parse()
+                    .map_err(|_| TdbError::Eval(format!("bad partition count `{n}`")))?;
+                self.config = self.config.with_parallelism(k);
+                Ok(Some(if k > 1 {
+                    format!("parallelism: {k} time-range partitions\n")
+                } else {
+                    "parallelism: serial\n".to_string()
+                }))
+            }
             ["\\gen", "faculty", n, rest @ ..] => {
                 let n: usize = n
                     .parse()
@@ -152,14 +163,15 @@ impl Session {
                 )))
             }
             ["\\gen", "intervals", name, n, gap, dur, rest @ ..] => {
-                let parse_f =
-                    |s: &str| s.parse::<f64>().map_err(|_| TdbError::Eval(format!("bad number `{s}`")));
+                let parse_f = |s: &str| {
+                    s.parse::<f64>()
+                        .map_err(|_| TdbError::Eval(format!("bad number `{s}`")))
+                };
                 let n: usize = n
                     .parse()
                     .map_err(|_| TdbError::Eval(format!("bad count `{n}`")))?;
                 let seed: u64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(0);
-                let tuples =
-                    IntervalGen::poisson(n, parse_f(gap)?, parse_f(dur)?, seed).generate();
+                let tuples = IntervalGen::poisson(n, parse_f(gap)?, parse_f(dur)?, seed).generate();
                 let rows: Vec<Row> = tuples
                     .iter()
                     .map(|t| {
@@ -186,9 +198,7 @@ impl Session {
                 Ok(Some(format!("{name} loaded: {} tuples\n", rows.len())))
             }
             ["\\superstar"] => self.superstar().map(Some),
-            _ => Ok(Some(format!(
-                "unknown command `{line}` — try \\help\n"
-            ))),
+            _ => Ok(Some(format!("unknown command `{line}` — try \\help\n"))),
         }
     }
 
@@ -210,7 +220,13 @@ impl Session {
             .scope
             .columns()
             .iter()
-            .map(|c| if c.var.is_empty() { c.attr.clone() } else { c.to_string() })
+            .map(|c| {
+                if c.var.is_empty() {
+                    c.attr.clone()
+                } else {
+                    c.to_string()
+                }
+            })
             .collect();
         writeln!(out, "{}", header.join(" | ")).ok();
         for row in result.rows.iter().take(self.row_limit) {
@@ -234,9 +250,9 @@ impl Session {
     }
 
     fn superstar(&mut self) -> TdbResult<String> {
-        self.catalog.meta("Faculty").map_err(|_| {
-            TdbError::Catalog("load Faculty first: \\gen faculty 200".into())
-        })?;
+        self.catalog
+            .meta("Faculty")
+            .map_err(|_| TdbError::Catalog("load Faculty first: \\gen faculty 200".into()))?;
         let mut out = String::new();
         for (label, logical) in superstar_plans(true) {
             if label.starts_with("unoptimized") {
@@ -275,6 +291,7 @@ pub const HELP: &str = r#"commands:
   \tables                                     list relations and statistics
   \explain on|off                             show plans before running
   \config stream|conventional|naive           planner strategy
+  \set parallelism <k>                        time-range partitions for stream operators
   \superstar                                  compare the Superstar formulations
   \help   \quit
 queries: modified Quel, terminated by `;`, e.g.
@@ -303,9 +320,7 @@ mod tests {
         let mut s = session("a");
         let msg = out(s.feed("\\gen faculty 50 7"));
         assert!(msg.contains("Faculty loaded"), "{msg}");
-        let msg = out(s.feed(
-            "range of f is Faculty retrieve (N=f.Name) where f.Rank = \"Full\";",
-        ));
+        let msg = out(s.feed("range of f is Faculty retrieve (N=f.Name) where f.Rank = \"Full\";"));
         assert!(msg.contains("rows in"), "{msg}");
         assert!(msg.contains("comparisons"));
     }
@@ -358,6 +373,25 @@ mod tests {
         let msg = out(s.feed("\\nonsense"));
         assert!(msg.contains("unknown command"));
         let msg = out(s.feed("range of f is Nope retrieve (N=f.Name);"));
+        assert!(msg.starts_with("error:"), "{msg}");
+    }
+
+    #[test]
+    fn set_parallelism_flows_into_plans() {
+        let mut s = session("h");
+        out(s.feed("\\gen faculty 40 9"));
+        let msg = out(s.feed("\\set parallelism 4"));
+        assert!(msg.contains("4 time-range partitions"), "{msg}");
+        assert_eq!(s.config.parallelism, 4);
+        out(s.feed("\\explain on"));
+        let query = "range of f1 is Faculty range of f2 is Faculty \
+                     retrieve (N=f1.Name) \
+                     where f1.ValidFrom < f2.ValidFrom and f2.ValidTo < f1.ValidTo;";
+        let msg = out(s.feed(query));
+        assert!(msg.contains("Parallel ×4"), "{msg}");
+        let msg = out(s.feed("\\set parallelism 1"));
+        assert!(msg.contains("serial"), "{msg}");
+        let msg = out(s.feed("\\set parallelism x"));
         assert!(msg.starts_with("error:"), "{msg}");
     }
 

@@ -8,7 +8,6 @@
 //! interval pairs (validated by property test).
 
 use crate::period::Period;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of Allen's thirteen elementary interval relationships.
@@ -26,7 +25,7 @@ use std::fmt;
 /// assert!(AllenRelation::Overlaps.holds(&x, &y));
 /// # Ok::<(), tdb_core::TdbError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AllenRelation {
     /// `X.TS = Y.TS ∧ X.TE = Y.TE`
     Equal,

@@ -21,11 +21,10 @@ use crate::period::Period;
 use crate::time::TimePoint;
 use crate::tuple::{Temporal, TsTuple};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A tuple with both valid time and transaction time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitemporalTuple {
     /// Surrogate (object identity).
     pub surrogate: Value,
@@ -94,7 +93,7 @@ impl fmt::Display for BitemporalTuple {
 /// assert_eq!(t.current()[0].period, Period::new(0, 6)?);
 /// # Ok::<(), tdb_core::TdbError>(())
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct BitemporalTable {
     rows: Vec<BitemporalTuple>,
     /// Latest transaction time used, to enforce monotonicity.
@@ -222,8 +221,10 @@ mod tests {
     #[test]
     fn insert_and_current() {
         let mut t = BitemporalTable::new();
-        t.insert("Smith", "Assistant", p(0, 5), TimePoint(100)).unwrap();
-        t.insert("Smith", "Associate", p(5, 9), TimePoint(101)).unwrap();
+        t.insert("Smith", "Assistant", p(0, 5), TimePoint(100))
+            .unwrap();
+        t.insert("Smith", "Associate", p(5, 9), TimePoint(101))
+            .unwrap();
         assert_eq!(t.current().len(), 2);
         assert!(t.log().iter().all(|r| r.is_current()));
     }
@@ -232,7 +233,8 @@ mod tests {
     fn rollback_reconstructs_past_states() {
         let mut t = BitemporalTable::new();
         // tx 100: believe Smith was Assistant [0,5).
-        t.insert("Smith", "Assistant", p(0, 5), TimePoint(100)).unwrap();
+        t.insert("Smith", "Assistant", p(0, 5), TimePoint(100))
+            .unwrap();
         // tx 200: discover the period was wrong; correct to [0,6).
         t.update_where(
             TimePoint(200),

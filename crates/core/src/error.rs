@@ -52,13 +52,19 @@ impl fmt::Display for TdbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TdbError::InvalidPeriod { start, end } => {
-                write!(f, "invalid period: ValidFrom {start} must precede ValidTo {end}")
+                write!(
+                    f,
+                    "invalid period: ValidFrom {start} must precede ValidTo {end}"
+                )
             }
             TdbError::OrderViolation { context, detail } => {
                 write!(f, "sort-order violation in {context}: {detail}")
             }
             TdbError::UnsupportedOrdering { operator, detail } => {
-                write!(f, "{operator} cannot run as a stream processor under this ordering: {detail}")
+                write!(
+                    f,
+                    "{operator} cannot run as a stream processor under this ordering: {detail}"
+                )
             }
             TdbError::Io(e) => write!(f, "I/O error: {e}"),
             TdbError::Corrupt(m) => write!(f, "corrupt data: {m}"),

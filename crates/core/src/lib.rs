@@ -22,6 +22,7 @@
 pub mod allen;
 pub mod bitemporal;
 pub mod error;
+pub mod json;
 pub mod order;
 pub mod period;
 pub mod schema;
@@ -33,6 +34,7 @@ pub mod value;
 pub use allen::AllenRelation;
 pub use bitemporal::{BitemporalTable, BitemporalTuple};
 pub use error::{TdbError, TdbResult};
+pub use json::{Json, JsonError};
 pub use order::{Direction, SortKey, SortSpec, StreamOrder};
 pub use period::Period;
 pub use schema::{Field, FieldType, Schema, TemporalSchema};

@@ -9,12 +9,11 @@
 
 use crate::time::TimePoint;
 use crate::tuple::Temporal;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// Which temporal attribute a stream is sorted on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SortKey {
     /// Sort on `ValidFrom` (TS).
     ValidFrom,
@@ -42,7 +41,7 @@ impl SortKey {
 }
 
 /// Sort direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Ascending (the paper's `↑`).
     Asc,
@@ -70,7 +69,7 @@ impl Direction {
 }
 
 /// One sort criterion: a key and a direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SortSpec {
     /// The temporal attribute sorted on.
     pub key: SortKey,
@@ -137,7 +136,7 @@ impl fmt::Display for SortSpec {
 ///
 /// The paper's Section 4.2.3 self-semijoin, for instance, requires primary
 /// `ValidFrom ↑` with secondary `ValidTo ↑`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StreamOrder {
     /// Primary sort criterion.
     pub primary: SortSpec,
@@ -171,8 +170,7 @@ impl StreamOrder {
     /// `ValidTo ↓`.
     pub const TE_DESC: StreamOrder = StreamOrder::by(SortSpec::TE_DESC);
     /// `ValidFrom ↑` then `ValidTo ↑` (Section 4.2.3 self-semijoin order).
-    pub const TS_ASC_TE_ASC: StreamOrder =
-        StreamOrder::by_then(SortSpec::TS_ASC, SortSpec::TE_ASC);
+    pub const TS_ASC_TE_ASC: StreamOrder = StreamOrder::by_then(SortSpec::TS_ASC, SortSpec::TE_ASC);
 
     /// Compare two temporal items under the full ordering.
     #[inline]

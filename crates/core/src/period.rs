@@ -11,7 +11,6 @@
 
 use crate::error::{TdbError, TdbResult};
 use crate::time::{TimeDelta, TimePoint};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A non-empty half-open interval `[start, end)` on the time axis.
@@ -33,7 +32,7 @@ use std::fmt;
 /// assert!(Period::new(9, 9).is_err());           // ValidFrom < ValidTo
 /// # Ok::<(), tdb_core::TdbError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Period {
     start: TimePoint,
     end: TimePoint,
@@ -176,6 +175,43 @@ impl Period {
             end: other.start,
         })
     }
+
+    /// Split this period into `k` disjoint, contiguous sub-periods whose
+    /// union is exactly `self`.
+    ///
+    /// The sub-periods differ in length by at most one tick; when the
+    /// duration is shorter than `k` ticks, fewer (but still non-empty)
+    /// pieces are returned. This is the boundary generator behind
+    /// time-range partitioned parallel execution: each sub-period becomes
+    /// one worker's time range.
+    pub fn split_into(&self, k: usize) -> Vec<Period> {
+        let k = k.max(1);
+        let ticks = (self.end.ticks() - self.start.ticks()) as u128;
+        let k = (k as u128).min(ticks) as usize;
+        let (base, extra) = (ticks / k as u128, ticks % k as u128);
+        let mut out = Vec::with_capacity(k);
+        let mut cursor = self.start.ticks();
+        for i in 0..k {
+            let len = base + u128::from((i as u128) < extra);
+            let next = cursor + len as i64;
+            out.push(Period {
+                start: TimePoint(cursor),
+                end: TimePoint(next),
+            });
+            cursor = next;
+        }
+        debug_assert_eq!(cursor, self.end.ticks());
+        out
+    }
+
+    /// The fraction of `self` covered by `other` (0.0 when disjoint,
+    /// 1.0 when `other` covers all of `self`).
+    pub fn overlap_fraction(&self, other: &Period) -> f64 {
+        match self.intersection(other) {
+            Some(i) => i.duration().0 as f64 / self.duration().0 as f64,
+            None => 0.0,
+        }
+    }
 }
 
 impl fmt::Display for Period {
@@ -279,6 +315,32 @@ mod tests {
         // Contiguous promotion: no gap.
         assert_eq!(p(0, 4).gap_until(&p(4, 9)), None);
         assert_eq!(p(0, 4).gap_until(&p(2, 9)), None);
+    }
+
+    #[test]
+    fn split_into_partitions_exactly() {
+        let span = p(0, 10);
+        let parts = span.split_into(4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.first().unwrap().start(), span.start());
+        assert_eq!(parts.last().unwrap().end(), span.end());
+        for w in parts.windows(2) {
+            assert!(w[0].meets(&w[1]));
+        }
+        // 10 = 3 + 3 + 2 + 2.
+        assert_eq!(parts[0], p(0, 3));
+        assert_eq!(parts[3], p(8, 10));
+        // More pieces than ticks: degrade gracefully to per-tick periods.
+        assert_eq!(p(0, 2).split_into(5).len(), 2);
+        assert_eq!(p(3, 9).split_into(1), vec![p(3, 9)]);
+        assert_eq!(p(0, 1).split_into(0), vec![p(0, 1)]);
+    }
+
+    #[test]
+    fn overlap_fraction() {
+        assert_eq!(p(0, 10).overlap_fraction(&p(5, 20)), 0.5);
+        assert_eq!(p(0, 10).overlap_fraction(&p(20, 30)), 0.0);
+        assert_eq!(p(2, 4).overlap_fraction(&p(0, 10)), 1.0);
     }
 
     #[test]

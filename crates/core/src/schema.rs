@@ -10,12 +10,11 @@ use crate::error::{TdbError, TdbResult};
 use crate::period::Period;
 use crate::tuple::Row;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 /// The type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FieldType {
     /// Booleans.
     Bool,
@@ -53,7 +52,7 @@ impl fmt::Display for FieldType {
 }
 
 /// A named, typed column.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Field {
     /// Column name.
     pub name: String,
@@ -72,7 +71,7 @@ impl Field {
 }
 
 /// An ordered list of columns.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     fields: Arc<Vec<Field>>,
 }
@@ -160,7 +159,7 @@ impl fmt::Display for Schema {
 }
 
 /// A schema with designated `ValidFrom` / `ValidTo` columns.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TemporalSchema {
     /// The underlying column list.
     pub schema: Schema,
@@ -174,9 +173,10 @@ impl TemporalSchema {
     /// Build a temporal schema, validating the timestamp columns.
     pub fn new(schema: Schema, valid_from: usize, valid_to: usize) -> TdbResult<TemporalSchema> {
         for (label, idx) in [("ValidFrom", valid_from), ("ValidTo", valid_to)] {
-            let f = schema.fields().get(idx).ok_or_else(|| {
-                TdbError::Schema(format!("{label} index {idx} out of range"))
-            })?;
+            let f = schema
+                .fields()
+                .get(idx)
+                .ok_or_else(|| TdbError::Schema(format!("{label} index {idx} out of range")))?;
             if f.ty != FieldType::Time {
                 return Err(TdbError::Schema(format!(
                     "{label} column `{}` must have type time, found {}",

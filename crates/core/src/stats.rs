@@ -15,10 +15,9 @@
 
 use crate::time::TimePoint;
 use crate::tuple::Temporal;
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics of a temporal relation instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TemporalStats {
     /// Number of tuples.
     pub count: usize,

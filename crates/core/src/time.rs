@@ -6,7 +6,6 @@
 //! point as a signed 64-bit tick count so arithmetic on deltas never
 //! underflows near the origin.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
@@ -15,13 +14,11 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 /// `TimePoint`s are totally ordered and support delta arithmetic. The unit is
 /// deliberately unspecified (paper Section 2: "we do not specify the time
 /// unit").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimePoint(pub i64);
 
 /// A signed distance between two [`TimePoint`]s, in ticks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TimeDelta(pub i64);
 
 impl TimePoint {

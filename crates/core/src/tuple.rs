@@ -6,7 +6,6 @@ use crate::error::TdbResult;
 use crate::period::Period;
 use crate::time::TimePoint;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Anything that carries a lifespan `[ValidFrom, ValidTo)`.
@@ -49,7 +48,7 @@ impl<T: Temporal> Temporal for &T {
 ///
 /// `S` is the surrogate (object identity), `V` the time-varying attribute
 /// value, and `period` the lifespan during which `S` holds `V`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TsTuple {
     /// Surrogate / object identity (e.g. faculty `Name`).
     pub surrogate: Value,
@@ -107,7 +106,7 @@ impl fmt::Display for TsTuple {
 /// Rows are what the algebra executor moves between physical operators; a
 /// row produced by a join is the concatenation of its inputs' rows (paper
 /// Section 4.2.1: "outputs the concatenation of tuples X and Y").
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Row {
     values: Vec<Value>,
 }
@@ -236,10 +235,7 @@ mod tests {
 
     #[test]
     fn period_row_is_temporal() {
-        let pr = PeriodRow::new(
-            Row::new(vec![Value::Int(1)]),
-            Period::new(2, 9).unwrap(),
-        );
+        let pr = PeriodRow::new(Row::new(vec![Value::Int(1)]), Period::new(2, 9).unwrap());
         assert_eq!(pr.ts(), TimePoint(2));
         assert_eq!(pr.te(), TimePoint(9));
     }

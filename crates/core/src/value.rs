@@ -5,7 +5,6 @@
 //! and constants from query text. [`Value`] is the common scalar domain.
 
 use crate::time::TimePoint;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::sync::Arc;
@@ -18,7 +17,7 @@ use std::sync::Arc;
 /// `Str` lexicographically. Cross-variant comparisons are only used for
 /// deterministic sorting; the query layer type-checks predicates so that
 /// semantically meaningless comparisons are rejected at plan time.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// Absent / unknown value.
     Null,
@@ -184,11 +183,13 @@ mod tests {
 
     #[test]
     fn cross_variant_order_is_total_and_stable() {
-        let mut vs = [Value::str("z"),
+        let mut vs = [
+            Value::str("z"),
             Value::Int(0),
             Value::Null,
             Value::Time(TimePoint(1)),
-            Value::Bool(true)];
+            Value::Bool(true),
+        ];
         vs.sort();
         assert!(vs[0].is_null());
         assert_eq!(vs[1], Value::Bool(true));

@@ -149,13 +149,8 @@ impl IntervalGen {
         for i in 0..self.count {
             let d = self.durations.sample(&mut rng);
             out.push(
-                TsTuple::new(
-                    Value::str(format!("S{i}")),
-                    Value::Int(i as i64),
-                    t,
-                    t + d,
-                )
-                .expect("duration >= 1"),
+                TsTuple::new(Value::str(format!("S{i}")), Value::Int(i as i64), t, t + d)
+                    .expect("duration >= 1"),
             );
             t += self.arrivals.sample_gap(&mut rng);
         }

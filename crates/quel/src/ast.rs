@@ -113,7 +113,10 @@ mod tests {
 
     #[test]
     fn keyword_parsing() {
-        assert_eq!(TemporalOp::from_keyword("overlap"), Some(TemporalOp::Overlap));
+        assert_eq!(
+            TemporalOp::from_keyword("overlap"),
+            Some(TemporalOp::Overlap)
+        );
         assert_eq!(
             TemporalOp::from_keyword("overlaps"),
             Some(TemporalOp::Overlaps)

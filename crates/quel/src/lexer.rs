@@ -190,7 +190,11 @@ mod tests {
     use super::*;
 
     fn kinds(text: &str) -> Vec<TokenKind> {
-        tokenize(text).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(text)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

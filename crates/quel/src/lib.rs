@@ -25,7 +25,7 @@ pub mod lexer;
 pub mod parser;
 pub mod translate;
 
-pub use ast::{Operand, Query, QualTerm, TemporalOp};
+pub use ast::{Operand, QualTerm, Query, TemporalOp};
 pub use parser::parse_query;
 pub use translate::{translate, SchemaLookup};
 

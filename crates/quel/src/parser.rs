@@ -285,20 +285,11 @@ mod tests {
     #[test]
     fn parses_all_temporal_keywords() {
         for kw in [
-            "overlap",
-            "overlaps",
-            "during",
-            "contains",
-            "before",
-            "after",
-            "meets",
-            "starts",
-            "finishes",
-            "equal",
+            "overlap", "overlaps", "during", "contains", "before", "after", "meets", "starts",
+            "finishes", "equal",
         ] {
-            let text = format!(
-                "range of a is R\nrange of b is R\nretrieve (X=a.Name) where a {kw} b"
-            );
+            let text =
+                format!("range of a is R\nrange of b is R\nretrieve (X=a.Name) where a {kw} b");
             let q = parse_query(&text).unwrap_or_else(|e| panic!("{kw}: {e}"));
             assert_eq!(q.qual.len(), 1, "{kw}");
         }
@@ -307,8 +298,8 @@ mod tests {
     #[test]
     fn error_cases_carry_positions() {
         for text in [
-            "retrieve (N=f.Name)",                       // no range decls
-            "range of f is Faculty\nretrieve N=f.Name",  // missing parens
+            "retrieve (N=f.Name)",                      // no range decls
+            "range of f is Faculty\nretrieve N=f.Name", // missing parens
             "range of f is Faculty\nretrieve (N=f.Name) where f.Rank ~ 3",
             "range of f is Faculty\nrange of f is Other\nretrieve (N=f.Name)",
             "range of f is Faculty\nretrieve (N=f.Name) where",

@@ -138,8 +138,7 @@ pub fn translate(query: &Query, schemas: &dyn SchemaLookup) -> TdbResult<Logical
     for term in &query.qual {
         match term {
             QualTerm::Comparison { left, op, right } => {
-                let temporal_ctx =
-                    operand_is_temporal_col(left) || operand_is_temporal_col(right);
+                let temporal_ctx = operand_is_temporal_col(left) || operand_is_temporal_col(right);
                 atoms.push(Atom::new(
                     operand_to_term(left, temporal_ctx),
                     *op,
@@ -233,11 +232,7 @@ mod tests {
             for px in &periods {
                 for py in &periods {
                     let via_atoms = atoms.iter().all(|a| eval_atom_on_periods(a, px, py));
-                    assert_eq!(
-                        via_atoms,
-                        rel.holds(px, py),
-                        "{top:?} on {px} vs {py}"
-                    );
+                    assert_eq!(via_atoms, rel.holds(px, py), "{top:?} on {px} vs {py}");
                 }
             }
         }
@@ -271,10 +266,8 @@ mod tests {
 
     #[test]
     fn int_literals_coerce_to_time_in_temporal_context() {
-        let q = parse_query(
-            "range of f is Faculty\nretrieve (N=f.Name) where f.ValidFrom >= 10",
-        )
-        .unwrap();
+        let q = parse_query("range of f is Faculty\nretrieve (N=f.Name) where f.ValidFrom >= 10")
+            .unwrap();
         let plan = translate(&q, &faculty_schemas()).unwrap();
         let tree = plan.parse_tree();
         assert!(tree.contains("f.ValidFrom ≥ t10"), "{tree}");

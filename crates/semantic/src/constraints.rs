@@ -369,10 +369,7 @@ mod tests {
                 Value::Time(tdb_core::TimePoint(e)),
             ])
         };
-        let bad = vec![
-            mk("X", "Assistant", 0, 6),
-            mk("X", "Associate", 4, 9),
-        ];
+        let bad = vec![mk("X", "Assistant", 0, 6), mk("X", "Associate", 4, 9)];
         assert!(ConstraintSet::faculty().check_rows(&schema, &bad).is_err());
 
         // Gap violates continuity but not plain chronological ordering.

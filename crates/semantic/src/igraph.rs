@@ -9,9 +9,9 @@
 //! redundant ("subsumed by other inequalities") and detects provably empty
 //! qualifications (a strict cycle).
 
-use tdb_algebra::{Atom, ColumnRef, CompOp, Term};
 use std::collections::HashMap;
 use std::fmt;
+use tdb_algebra::{Atom, ColumnRef, CompOp, Term};
 
 /// An inequality edge `from ≤ to` (or `from < to` when `strict`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -177,9 +177,7 @@ impl InequalityGraph {
             CompOp::Le => matches!(self.rel[i][j], Rel::Lt | Rel::Le),
             CompOp::Gt => self.rel[j][i] == Rel::Lt,
             CompOp::Ge => matches!(self.rel[j][i], Rel::Lt | Rel::Le),
-            CompOp::Eq => {
-                matches!(self.rel[i][j], Rel::Le) && matches!(self.rel[j][i], Rel::Le)
-            }
+            CompOp::Eq => matches!(self.rel[i][j], Rel::Le) && matches!(self.rel[j][i], Rel::Le),
             CompOp::Ne => false,
         }
     }
@@ -297,19 +295,7 @@ mod tests {
         g.add_atom(&Atom::cols("f2", "ValidFrom", CompOp::Lt, "f3", "ValidTo"));
         g.add_atom(&Atom::cols("f3", "ValidFrom", CompOp::Lt, "f1", "ValidTo"));
         // The other two follow.
-        assert!(g.implies_atom(&Atom::cols(
-            "f1",
-            "ValidFrom",
-            CompOp::Lt,
-            "f3",
-            "ValidTo"
-        )));
-        assert!(g.implies_atom(&Atom::cols(
-            "f3",
-            "ValidFrom",
-            CompOp::Lt,
-            "f2",
-            "ValidTo"
-        )));
+        assert!(g.implies_atom(&Atom::cols("f1", "ValidFrom", CompOp::Lt, "f3", "ValidTo")));
+        assert!(g.implies_atom(&Atom::cols("f3", "ValidFrom", CompOp::Lt, "f2", "ValidTo")));
     }
 }

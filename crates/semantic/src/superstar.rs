@@ -228,9 +228,7 @@ pub fn semantically_reduce(plan: LogicalPlan, cs: &ConstraintSet) -> TdbResult<L
 
     // Join → semijoin when the projection only references the left side.
     let left_scope = left.scope();
-    let projection_left_only = columns
-        .iter()
-        .all(|(c, _)| left_scope.index_of(c).is_ok());
+    let projection_left_only = columns.iter().all(|(c, _)| left_scope.index_of(c).is_ok());
     let reduced = if projection_left_only {
         LogicalPlan::Semijoin {
             left,
@@ -265,9 +263,7 @@ pub fn semantically_reduce(plan: LogicalPlan, cs: &ConstraintSet) -> TdbResult<L
 /// then, which pre-filters the containee side to members holding a Full
 /// tuple and is sound under continuity alone.
 pub fn superstar_selfsemijoin() -> LogicalPlan {
-    let assoc = |v: &str| {
-        scan(v).select(vec![Atom::col_const(v, "Rank", CompOp::Eq, "Associate")])
-    };
+    let assoc = |v: &str| scan(v).select(vec![Atom::col_const(v, "Rank", CompOp::Eq, "Associate")]);
     assoc("fi")
         .semijoin(
             assoc("fj"),
@@ -293,9 +289,7 @@ pub fn superstar_selfsemijoin() -> LogicalPlan {
 /// (the Figure 6 stab algorithm); the Name guard is an ordinary
 /// equi-semijoin. Both semijoins are order-preserving (§4.2.3).
 pub fn superstar_selfsemijoin_guarded() -> LogicalPlan {
-    let assoc = |v: &str| {
-        scan(v).select(vec![Atom::col_const(v, "Rank", CompOp::Eq, "Associate")])
-    };
+    let assoc = |v: &str| scan(v).select(vec![Atom::col_const(v, "Rank", CompOp::Eq, "Associate")]);
     let fulls = scan("fk").select(vec![Atom::col_const("fk", "Rank", CompOp::Eq, "Full")]);
     let promoted_associates = assoc("fi").semijoin(
         fulls,
@@ -327,8 +321,12 @@ pub fn transform_promotion_query(
     middle_value: &str,
 ) -> LogicalPlan {
     let stage = |v: &str| {
-        LogicalPlan::scan(relation, v, attrs)
-            .select(vec![Atom::col_const(v, attr, CompOp::Eq, middle_value)])
+        LogicalPlan::scan(relation, v, attrs).select(vec![Atom::col_const(
+            v,
+            attr,
+            CompOp::Eq,
+            middle_value,
+        )])
     };
     stage("xi")
         .semijoin(
@@ -363,7 +361,10 @@ pub fn superstar_plans(continuous: bool) -> Vec<(&'static str, LogicalPlan)> {
         ),
     ];
     if continuous {
-        plans.push(("self-semijoin (§5, guarded)", superstar_selfsemijoin_guarded()));
+        plans.push((
+            "self-semijoin (§5, guarded)",
+            superstar_selfsemijoin_guarded(),
+        ));
     }
     plans
 }
@@ -383,10 +384,7 @@ mod tests {
         let LogicalPlan::Semijoin { predicate, .. } = &**input else {
             panic!("semijoin expected, got:\n{reduced}");
         };
-        let temporal: Vec<_> = predicate
-            .iter()
-            .filter(|a| a.vars().len() == 2)
-            .collect();
+        let temporal: Vec<_> = predicate.iter().filter(|a| a.vars().len() == 2).collect();
         assert_eq!(temporal.len(), 2, "θ′ reduced from 4 atoms to 2");
     }
 

@@ -1,0 +1,209 @@
+//! Offline stand-in for the slice of `criterion` this workspace's benches
+//! use. Each benchmark is timed with plain wall-clock sampling (a short
+//! warm-up, then `sample_size` timed batches) and one line is printed per
+//! benchmark: `bench <group>/<name>[/<param>] ... <mean> ns/iter (min <min>)`.
+//! No statistics, plotting or state directory — good enough to compare
+//! strategies on one machine, which is what the paper's experiments need.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, like `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus a displayable parameter.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name` with `parameter` appended, as criterion renders it.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { name: s.into() }
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the hot closure.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher<'_> {
+    /// Run `f` repeatedly, recording one duration sample per batch.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up and batch-size calibration: aim for ~5ms per sample so
+        // short closures aren't dominated by timer resolution.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(5);
+        self.iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let samples = self.samples.capacity().max(1);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("bench {label} ... no samples");
+        return;
+    }
+    let min = samples.iter().min().unwrap();
+    let mean: Duration = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "bench {label} ... {} ns/iter (min {} ns, {} samples)",
+        mean.as_nanos(),
+        min.as_nanos(),
+        samples.len()
+    );
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run(&self, label: String, f: impl FnOnce(&mut Bencher<'_>)) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut b = Bencher {
+            samples: &mut samples,
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        report(&label, &samples);
+    }
+
+    /// Benchmark `f` under `id` with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(format!("{}/{}", self.name, id.name), |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f` under a plain name.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut Bencher<'_>),
+    ) -> &mut Self {
+        self.run(format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// Finish the group (printing already happened per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 {
+            10
+        } else {
+            self.default_sample_size
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let mut samples = Vec::with_capacity(10);
+        let mut b = Bencher {
+            samples: &mut samples,
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        report(name, &samples);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a group runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_run_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 10), &10usize, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                n * 2
+            })
+        });
+        group.finish();
+        assert!(ran >= 2);
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,529 @@
+//! Offline stand-in for the slice of `proptest` this workspace uses.
+//!
+//! Provides randomized property testing with the same *call surface* —
+//! `proptest!`, `prop_assert*!`, `prop_oneof!`, `Strategy`/`prop_map`,
+//! `collection::vec`, `any::<T>()`, integer-range strategies and simple
+//! char-class regex string strategies — but **no shrinking**: a failing
+//! case reports the panic with its case number and seed instead of a
+//! minimized counterexample. Cases are generated from a deterministic
+//! per-test seed so failures reproduce.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// The generator handed to strategies while a property test runs.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A deterministic runner for the named test.
+    pub fn deterministic(name: &str) -> TestRunner {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Box the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-allocated strategy, as `prop_oneof!` arms produce.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, runner: &mut TestRunner) -> S::Value {
+        (**self).generate(runner)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, runner: &mut TestRunner) -> S::Value {
+        (**self).generate(runner)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies — what `prop_oneof!` builds.
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from boxed arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, runner: &mut TestRunner) -> V {
+        let i = runner.rng().gen_range(0..self.arms.len());
+        self.arms[i].generate(runner)
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategies {
+    ($(($($s:ident . $idx:tt),+ ))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.generate(runner),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// `any::<T>()` support: uniform over the whole domain.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    fn arbitrary() -> ArbitraryStrategy<Self>;
+}
+
+/// Strategy returned by [`any`].
+pub struct ArbitraryStrategy<T> {
+    gen: fn(&mut TestRunner) -> T,
+}
+
+impl<T> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        (self.gen)(runner)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> ArbitraryStrategy<$t> {
+                ArbitraryStrategy { gen: |r| r.rng().gen::<$t>() }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> ArbitraryStrategy<bool> {
+        ArbitraryStrategy {
+            gen: |r| r.rng().gen::<bool>(),
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary() -> ArbitraryStrategy<f64> {
+        ArbitraryStrategy {
+            gen: |r| r.rng().gen::<f64>(),
+        }
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    T::arbitrary()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for vectors with lengths drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, 0..n)`: a vector of `element` samples.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                runner.rng().gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// Strategy yielding `None` 25% of the time, as real proptest does by
+    /// default.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `of(element)`: an optional `element`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Option<S::Value> {
+            if runner.rng().gen_range(0u8..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(runner))
+            }
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{ArbitraryStrategy, TestRunner};
+    use rand::Rng;
+
+    fn gen_bool(r: &mut TestRunner) -> bool {
+        r.rng().gen::<bool>()
+    }
+
+    /// Either boolean, uniformly.
+    pub const ANY: ArbitraryStrategy<bool> = ArbitraryStrategy { gen: gen_bool };
+}
+
+/// String strategies: a tiny regex subset (`[class]{m,n}`).
+pub mod string {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// Error for unsupported patterns.
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    /// Strategy generating strings matching a `[class]{m,n}` pattern.
+    pub struct RegexStrategy {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn generate(&self, runner: &mut TestRunner) -> String {
+            let n = runner.rng().gen_range(self.min..=self.max);
+            (0..n)
+                .map(|_| {
+                    let i = runner.rng().gen_range(0..self.chars.len());
+                    self.chars[i]
+                })
+                .collect()
+        }
+    }
+
+    /// Parse the subset `[chars]{m,n}` (ranges like `a-z` plus literals).
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let err = |m: &str| Error(format!("unsupported pattern `{pattern}`: {m}"));
+        let rest = pattern
+            .strip_prefix('[')
+            .ok_or_else(|| err("expected leading ["))?;
+        let close = rest.find(']').ok_or_else(|| err("missing ]"))?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let mut chars = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i], class[i + 2]);
+                if lo > hi {
+                    return Err(err("inverted range"));
+                }
+                for c in lo..=hi {
+                    chars.push(c);
+                }
+                i += 3;
+            } else {
+                chars.push(class[i]);
+                i += 1;
+            }
+        }
+        if chars.is_empty() {
+            return Err(err("empty class"));
+        }
+        let quant = &rest[close + 1..];
+        let quant = quant
+            .strip_prefix('{')
+            .and_then(|q| q.strip_suffix('}'))
+            .ok_or_else(|| err("expected {m,n} quantifier"))?;
+        let (m, n) = quant.split_once(',').ok_or_else(|| err("expected m,n"))?;
+        let min: usize = m.trim().parse().map_err(|_| err("bad min"))?;
+        let max: usize = n.trim().parse().map_err(|_| err("bad max"))?;
+        if min > max {
+            return Err(err("min > max"));
+        }
+        Ok(RegexStrategy { chars, min, max })
+    }
+}
+
+/// `&str` literals act as regex strategies, as in real proptest.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, runner: &mut TestRunner) -> String {
+        string::string_regex(self)
+            .unwrap_or_else(|e| panic!("{}", e.0))
+            .generate(runner)
+    }
+}
+
+/// Everything tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+    pub use crate as proptest;
+}
+
+/// Assert inside a property (panics — no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::Strategy::boxed($arm) ),+ ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                let result = {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut runner);)+
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || {
+                        $body
+                    }))
+                };
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest shim: property `{}` failed at case {case} of {}",
+                        stringify!($name),
+                        config.cases,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_strategies_generate_in_bounds() {
+        let mut r = crate::TestRunner::deterministic("bounds");
+        for _ in 0..200 {
+            let v = crate::Strategy::generate(&(-60i64..60), &mut r);
+            assert!((-60..60).contains(&v));
+            let xs =
+                crate::Strategy::generate(&crate::collection::vec(0u8..6, 0..25), &mut r);
+            assert!(xs.len() < 25);
+            assert!(xs.iter().all(|&x| x < 6));
+            let (s, d) = crate::Strategy::generate(&(-50i64..50, 1i64..30), &mut r);
+            assert!((-50..50).contains(&s) && (1..30).contains(&d));
+        }
+    }
+
+    #[test]
+    fn string_regex_respects_class_and_length() {
+        let mut r = crate::TestRunner::deterministic("regex");
+        let strat = crate::string::string_regex("[a-c0-1 ]{2,5}").unwrap();
+        for _ in 0..100 {
+            let s = crate::Strategy::generate(&strat, &mut r);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| "abc01 ".contains(c)), "{s:?}");
+        }
+        assert!(crate::string::string_regex("no-class").is_err());
+    }
+
+    #[test]
+    fn oneof_uses_every_arm() {
+        let mut r = crate::TestRunner::deterministic("oneof");
+        let strat = prop_oneof![Just(1u8), Just(2u8), (3u8..5).prop_map(|x| x)];
+        let seen: std::collections::BTreeSet<u8> =
+            (0..200).map(|_| crate::Strategy::generate(&strat, &mut r)).collect();
+        assert!(seen.contains(&1) && seen.contains(&2) && seen.contains(&3));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn the_macro_runs_and_passes(x in 0i64..100, ys in proptest::collection::vec(any::<bool>(), 0..8)) {
+            prop_assert!(x >= 0);
+            prop_assert_eq!(ys.len(), ys.len());
+        }
+    }
+
+    #[test]
+    fn failing_property_panics() {
+        crate::proptest! {
+            #![proptest_config(crate::ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0i64..10) {
+                crate::prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        assert!(std::panic::catch_unwind(always_fails).is_err());
+    }
+}

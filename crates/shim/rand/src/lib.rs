@@ -1,0 +1,233 @@
+//! Offline stand-in for the slice of `rand` 0.8 used by this workspace.
+//!
+//! Provides `rngs::StdRng` (xoshiro256++ seeded via SplitMix64),
+//! `SeedableRng::seed_from_u64`, and a `Rng` trait with `gen`, `gen_bool`
+//! and `gen_range` over integer and float ranges. Deterministic for a given
+//! seed; statistically strong enough for synthetic-workload generation and
+//! randomized testing, which is all this workspace asks of it.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types a generator can produce uniformly over their whole domain.
+pub trait Standard: Sized {
+    fn sample(rng: &mut dyn RngCore) -> Self;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types with a uniform sampler over sub-ranges. The single blanket
+/// `SampleRange` impl below dispatches through this trait — mirroring real
+/// rand's structure so `gen_range(0..3)` infers the element type from the
+/// surrounding expression rather than defaulting to `i32`.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform over `[lo, hi)`.
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+    /// Uniform over `[lo, hi]`.
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "empty gen_range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        let (s, e) = self.into_inner();
+        assert!(s <= e, "empty gen_range");
+        T::sample_inclusive(s, e, rng)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: $t, hi: $t, rng: &mut dyn RngCore) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+            fn sample_inclusive(lo: $t, hi: $t, rng: &mut dyn RngCore) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+        impl Standard for $t {
+            fn sample(rng: &mut dyn RngCore) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(lo: f64, hi: f64, rng: &mut dyn RngCore) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+    fn sample_inclusive(lo: f64, hi: f64, rng: &mut dyn RngCore) -> f64 {
+        f64::sample_half_open(lo, hi, rng)
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut dyn RngCore) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The user-facing generator interface.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A uniform sample over the whole domain of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator, seeded through SplitMix64 — a deterministic,
+    /// fast stand-in for rand's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1000), b.gen_range(0i64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-60i64..60);
+            assert!((-60..60).contains(&v));
+            let v = rng.gen_range(1i64..=40);
+            assert!((1..=40).contains(&v));
+            let f = rng.gen_range(f64::EPSILON..1.0);
+            assert!(f > 0.0 && f < 1.0);
+            let u: usize = rng.gen_range(0usize..7);
+            assert!(u < 7);
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "got {frac}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_full_domain() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let _: bool = rng.gen();
+        let _: i64 = rng.gen();
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

@@ -9,15 +9,15 @@
 
 use crate::heap::HeapFile;
 use crate::iostats::IoStats;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use tdb_core::{
-    Row, StreamOrder, TdbError, TdbResult, TemporalSchema, TemporalStats,
+    jobj, Direction, Field, FieldType, Json, Row, Schema, SortKey, SortSpec, StreamOrder, TdbError,
+    TdbResult, TemporalSchema, TemporalStats, TimePoint,
 };
 
 /// Metadata for one relation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RelationMeta {
     /// Relation name.
     pub name: String,
@@ -31,6 +31,176 @@ pub struct RelationMeta {
     pub stats: TemporalStats,
     /// Sort orders the stored row sequence satisfies.
     pub known_orders: Vec<StreamOrder>,
+}
+
+// Manifest serialization. The format is deliberately spelled out field by
+// field so the on-disk schema is explicit and stable; `from_json` rejects
+// anything it does not recognize rather than guessing.
+
+fn corrupt(what: &str) -> TdbError {
+    TdbError::Corrupt(format!("catalog manifest: {what}"))
+}
+
+fn sort_spec_to_json(s: SortSpec) -> Json {
+    let key = match s.key {
+        SortKey::ValidFrom => "ValidFrom",
+        SortKey::ValidTo => "ValidTo",
+    };
+    let dir = match s.direction {
+        Direction::Asc => "asc",
+        Direction::Desc => "desc",
+    };
+    jobj! { "key" => key, "direction" => dir }
+}
+
+fn sort_spec_from_json(j: &Json) -> TdbResult<SortSpec> {
+    let key = match j.get("key").and_then(Json::as_str) {
+        Some("ValidFrom") => SortKey::ValidFrom,
+        Some("ValidTo") => SortKey::ValidTo,
+        _ => return Err(corrupt("bad sort key")),
+    };
+    let direction = match j.get("direction").and_then(Json::as_str) {
+        Some("asc") => Direction::Asc,
+        Some("desc") => Direction::Desc,
+        _ => return Err(corrupt("bad sort direction")),
+    };
+    Ok(SortSpec { key, direction })
+}
+
+fn order_to_json(o: &StreamOrder) -> Json {
+    jobj! {
+        "primary" => sort_spec_to_json(o.primary),
+        "secondary" => o.secondary.map(sort_spec_to_json),
+    }
+}
+
+fn order_from_json(j: &Json) -> TdbResult<StreamOrder> {
+    let primary = sort_spec_from_json(j.get("primary").ok_or_else(|| corrupt("order.primary"))?)?;
+    let secondary = match j.get("secondary") {
+        None | Some(Json::Null) => None,
+        Some(s) => Some(sort_spec_from_json(s)?),
+    };
+    Ok(StreamOrder { primary, secondary })
+}
+
+fn schema_to_json(s: &TemporalSchema) -> Json {
+    let fields: Vec<Json> = s
+        .schema
+        .fields()
+        .iter()
+        .map(|f| jobj! { "name" => f.name.as_str(), "type" => f.ty.to_string() })
+        .collect();
+    jobj! {
+        "fields" => fields,
+        "valid_from" => s.valid_from,
+        "valid_to" => s.valid_to,
+    }
+}
+
+fn schema_from_json(j: &Json) -> TdbResult<TemporalSchema> {
+    let mut fields = Vec::new();
+    for f in j
+        .get("fields")
+        .and_then(Json::as_array)
+        .ok_or_else(|| corrupt("schema.fields"))?
+    {
+        let name = f
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| corrupt("field.name"))?;
+        let ty = match f.get("type").and_then(Json::as_str) {
+            Some("bool") => FieldType::Bool,
+            Some("int") => FieldType::Int,
+            Some("time") => FieldType::Time,
+            Some("str") => FieldType::Str,
+            _ => return Err(corrupt("field.type")),
+        };
+        fields.push(Field::new(name, ty));
+    }
+    let valid_from = j
+        .get("valid_from")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| corrupt("schema.valid_from"))?;
+    let valid_to = j
+        .get("valid_to")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| corrupt("schema.valid_to"))?;
+    TemporalSchema::new(Schema::new(fields), valid_from, valid_to)
+        .map_err(|e| corrupt(&format!("invalid schema: {e}")))
+}
+
+fn stats_to_json(s: &TemporalStats) -> Json {
+    jobj! {
+        "count" => s.count,
+        "min_ts" => s.min_ts.map(|t| t.0),
+        "max_te" => s.max_te.map(|t| t.0),
+        "lambda" => s.lambda,
+        "mean_duration" => s.mean_duration,
+        "max_duration" => s.max_duration,
+        "max_concurrency" => s.max_concurrency,
+    }
+}
+
+fn stats_from_json(j: &Json) -> TdbResult<TemporalStats> {
+    let field = |name: &str| j.get(name).ok_or_else(|| corrupt(name));
+    Ok(TemporalStats {
+        count: field("count")?.as_usize().ok_or_else(|| corrupt("count"))?,
+        min_ts: field("min_ts")?.as_i64().map(TimePoint),
+        max_te: field("max_te")?.as_i64().map(TimePoint),
+        lambda: field("lambda")?.as_f64(),
+        mean_duration: field("mean_duration")?
+            .as_f64()
+            .ok_or_else(|| corrupt("mean_duration"))?,
+        max_duration: field("max_duration")?
+            .as_i64()
+            .ok_or_else(|| corrupt("max_duration"))?,
+        max_concurrency: field("max_concurrency")?
+            .as_usize()
+            .ok_or_else(|| corrupt("max_concurrency"))?,
+    })
+}
+
+impl RelationMeta {
+    fn to_json(&self) -> Json {
+        let orders: Vec<Json> = self.known_orders.iter().map(order_to_json).collect();
+        jobj! {
+            "name" => self.name.as_str(),
+            "schema" => schema_to_json(&self.schema),
+            "file" => self.file.as_str(),
+            "rows" => self.rows,
+            "stats" => stats_to_json(&self.stats),
+            "known_orders" => orders,
+        }
+    }
+
+    fn from_json(j: &Json) -> TdbResult<RelationMeta> {
+        let known_orders = j
+            .get("known_orders")
+            .and_then(Json::as_array)
+            .ok_or_else(|| corrupt("known_orders"))?
+            .iter()
+            .map(order_from_json)
+            .collect::<TdbResult<Vec<_>>>()?;
+        Ok(RelationMeta {
+            name: j
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| corrupt("name"))?
+                .to_string(),
+            schema: schema_from_json(j.get("schema").ok_or_else(|| corrupt("schema"))?)?,
+            file: j
+                .get("file")
+                .and_then(Json::as_str)
+                .ok_or_else(|| corrupt("file"))?
+                .to_string(),
+            rows: j
+                .get("rows")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| corrupt("rows"))?,
+            stats: stats_from_json(j.get("stats").ok_or_else(|| corrupt("stats"))?)?,
+            known_orders,
+        })
+    }
 }
 
 /// A directory-backed catalog of temporal relations.
@@ -50,8 +220,13 @@ impl Catalog {
         let manifest = dir.join(Self::MANIFEST);
         let relations = if manifest.exists() {
             let text = std::fs::read_to_string(&manifest)?;
-            serde_json::from_str(&text)
-                .map_err(|e| TdbError::Corrupt(format!("catalog manifest: {e}")))?
+            let doc = Json::parse(&text)
+                .map_err(|e| TdbError::Corrupt(format!("catalog manifest: {e}")))?;
+            doc.as_object()
+                .ok_or_else(|| corrupt("top level must be an object"))?
+                .iter()
+                .map(|(name, meta)| Ok((name.clone(), RelationMeta::from_json(meta)?)))
+                .collect::<TdbResult<BTreeMap<_, _>>>()?
         } else {
             BTreeMap::new()
         };
@@ -59,9 +234,13 @@ impl Catalog {
     }
 
     fn persist(&self) -> TdbResult<()> {
-        let text = serde_json::to_string_pretty(&self.relations)
-            .map_err(|e| TdbError::Corrupt(format!("catalog serialize: {e}")))?;
-        std::fs::write(self.dir.join(Self::MANIFEST), text)?;
+        let doc = Json::Object(
+            self.relations
+                .iter()
+                .map(|(name, meta)| (name.clone(), meta.to_json()))
+                .collect(),
+        );
+        std::fs::write(self.dir.join(Self::MANIFEST), doc.to_string_pretty())?;
         Ok(())
     }
 
@@ -155,10 +334,8 @@ mod tests {
     use tdb_core::{TimePoint, Value};
 
     fn tmpdir(name: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "tdb-catalog-test-{}-{name}",
-            std::process::id()
-        ));
+        let d =
+            std::env::temp_dir().join(format!("tdb-catalog-test-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }
@@ -202,7 +379,8 @@ mod tests {
         {
             let mut cat = Catalog::open(&dir, IoStats::new()).unwrap();
             let (schema, rows) = faculty_rows();
-            cat.create_relation("Faculty", schema, &rows, vec![]).unwrap();
+            cat.create_relation("Faculty", schema, &rows, vec![])
+                .unwrap();
         }
         let cat = Catalog::open(&dir, IoStats::new()).unwrap();
         assert_eq!(cat.relation_names(), vec!["Faculty".to_string()]);
@@ -237,7 +415,8 @@ mod tests {
         let dir = tmpdir("e");
         let mut cat = Catalog::open(&dir, IoStats::new()).unwrap();
         let (schema, rows) = faculty_rows();
-        cat.create_relation("Faculty", schema, &rows, vec![]).unwrap();
+        cat.create_relation("Faculty", schema, &rows, vec![])
+            .unwrap();
         cat.drop_relation("Faculty").unwrap();
         assert!(cat.meta("Faculty").is_err());
         assert!(!dir.join("Faculty.heap").exists());

@@ -89,14 +89,11 @@ where
                         }
                         Some(_) => {
                             // Group boundary: emit the finished group.
-                            let (ck, sum) =
-                                self.current.replace((k.clone(), v)).expect("checked");
+                            let (ck, sum) = self.current.replace((k.clone(), v)).expect("checked");
                             if !self.closed.insert(ck.clone()) {
                                 return Err(TdbError::OrderViolation {
                                     context: "GroupedSum",
-                                    detail: format!(
-                                        "input is not grouped: key {ck} reappeared"
-                                    ),
+                                    detail: format!("input is not grouped: key {ck} reappeared"),
                                 });
                             }
                             // The reappearing *new* key is checked when its

@@ -69,9 +69,8 @@ pub fn plan_allen_join(
     x_order: Option<StreamOrder>,
     y_order: Option<StreamOrder>,
 ) -> AllenJoinPlan {
-    let has = |o: &Option<StreamOrder>, need: StreamOrder| {
-        o.map(|x| x.satisfies(&need)).unwrap_or(false)
-    };
+    let has =
+        |o: &Option<StreamOrder>, need: StreamOrder| o.map(|x| x.satisfies(&need)).unwrap_or(false);
     let ts = StreamOrder::TS_ASC;
     let te = StreamOrder::TE_ASC;
 

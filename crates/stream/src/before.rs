@@ -23,7 +23,7 @@
 
 use crate::metrics::OpMetrics;
 use crate::stream::TupleStream;
-use tdb_core::{StreamOrder, TdbResult, TimePoint, Temporal};
+use tdb_core::{StreamOrder, TdbResult, Temporal, TimePoint};
 
 /// Before-join: emits every pair `(x, y)` with `x.TE < y.TS`.
 ///
@@ -265,8 +265,7 @@ mod tests {
 
     #[test]
     fn meets_is_not_before() {
-        let mut op =
-            BeforeJoin::new(from_vec(vec![iv(0, 3)]), from_vec(vec![iv(3, 5)])).unwrap();
+        let mut op = BeforeJoin::new(from_vec(vec![iv(0, 3)]), from_vec(vec![iv(3, 5)])).unwrap();
         assert!(op.collect_vec().unwrap().is_empty());
     }
 
@@ -301,8 +300,7 @@ mod tests {
     #[test]
     fn semijoin_empty_y_short_circuits() {
         let mut op =
-            BeforeSemijoin::new(from_vec(vec![iv(0, 1)]), from_vec(Vec::<TsTuple>::new()))
-                .unwrap();
+            BeforeSemijoin::new(from_vec(vec![iv(0, 1)]), from_vec(Vec::<TsTuple>::new())).unwrap();
         assert!(op.next().unwrap().is_none());
         assert_eq!(op.metrics().read_left, 0, "X never read when Y empty");
     }

@@ -96,9 +96,7 @@ impl<S: TupleStream<Item = TsTuple>> TupleStream for Coalesce<S> {
                 Some(t) => {
                     self.metrics.read_left += 1;
                     match &mut self.pending {
-                        Some(p)
-                            if p.surrogate == t.surrogate && p.value == t.value =>
-                        {
+                        Some(p) if p.surrogate == t.surrogate && p.value == t.value => {
                             self.metrics.comparisons += 1;
                             // Same group: verify intra-group TS order.
                             if t.period.start() < p.period.start() {
@@ -155,11 +153,7 @@ impl<S: TupleStream<Item = TsTuple>> TupleStream for Coalesce<S> {
 /// in deterministic order.
 pub fn coalesce_relation(mut tuples: Vec<TsTuple>) -> TdbResult<Vec<TsTuple>> {
     tuples.sort_by(|a, b| {
-        (&a.surrogate, &a.value, a.period.start()).cmp(&(
-            &b.surrogate,
-            &b.value,
-            b.period.start(),
-        ))
+        (&a.surrogate, &a.value, a.period.start()).cmp(&(&b.surrogate, &b.value, b.period.start()))
     });
     let mut op = Coalesce::new(crate::stream::from_vec(tuples));
     op.collect_vec()
@@ -230,10 +224,7 @@ mod tests {
 
         let unsorted = vec![t("S", "A", 5, 9), t("S", "A", 0, 3)];
         let mut op = Coalesce::new(from_vec(unsorted));
-        assert!(matches!(
-            op.next(),
-            Err(TdbError::OrderViolation { .. })
-        ));
+        assert!(matches!(op.next(), Err(TdbError::OrderViolation { .. })));
     }
 
     #[test]

@@ -193,8 +193,7 @@ where
         self.y_group_key = Some(key);
         while let Some(yb) = &self.y_buf {
             if self.y_key.extract(yb) == key {
-                self.y_group
-                    .push(self.y_buf.take().expect("checked above"));
+                self.y_group.push(self.y_buf.take().expect("checked above"));
                 self.refill_y()?;
             } else {
                 break;

@@ -14,11 +14,17 @@
 //! | §4.2.4 Before operators | [`before`] |
 //! | footnote 8: equality-temporal operators via merge join | [`event_join`], [`merge_join`] |
 //! | conventional baseline (§3) | [`nested_loop`], [`buffered_join`] |
+//! | unified construction & instrumentation surface | [`report`] |
+//! | time-partitioned parallel execution, fringe replication | [`partition`] |
 //!
 //! Every operator is generic over items implementing
 //! [`tdb_core::Temporal`] + [`Clone`], carries an instrumented
 //! [`workspace::Workspace`] whose high-water mark validates the paper's
-//! Tables 1–3, and reports [`metrics::OpMetrics`].
+//! Tables 1–3, and reports a unified [`report::OpReport`] (throughput
+//! counters plus workspace statistics) through the [`report::Instrumented`]
+//! trait. Operators are constructed through the [`report::OpConfig`]
+//! builder, and [`partition`] runs any intersection-witnessed operator
+//! across `K` disjoint time ranges in parallel.
 
 pub mod aggregate;
 pub mod allen_dispatch;
@@ -31,7 +37,9 @@ pub mod merge_join;
 pub mod metrics;
 pub mod nested_loop;
 pub mod overlap_join;
+pub mod partition;
 pub mod read_policy;
+pub mod report;
 pub mod self_semijoin;
 pub mod stab_semijoin;
 pub mod stream;
@@ -50,7 +58,12 @@ pub use merge_join::MergeEquiJoin;
 pub use metrics::OpMetrics;
 pub use nested_loop::NestedLoopJoin;
 pub use overlap_join::{OverlapJoin, OverlapMode, OverlapSemijoin};
+pub use partition::{
+    parallel_join, parallel_semijoin, partition_with_fringe, KWayMerge, ParallelPattern,
+    ParallelRun, PartitionSpec, Tagged,
+};
 pub use read_policy::ReadPolicy;
+pub use report::{timeslice, Instrumented, OpConfig, OpReport};
 pub use self_semijoin::{ContainSelfSemijoin, ContainSelfSemijoinDesc, ContainedSelfSemijoin};
 pub use stab_semijoin::{ContainSemijoinStab, ContainedSemijoinStab};
 pub use stream::{from_sorted_vec, from_vec, OrderChecked, TupleStream, VecStream};

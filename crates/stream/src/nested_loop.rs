@@ -131,11 +131,12 @@ mod tests {
         )
         .unwrap();
         assert!(op.collect_vec().unwrap().is_empty());
-        let mut op =
-            NestedLoopJoin::new(from_vec(vec![iv(0, 1)]), from_vec(Vec::<TsTuple>::new()), |_, _| {
-                true
-            })
-            .unwrap();
+        let mut op = NestedLoopJoin::new(
+            from_vec(vec![iv(0, 1)]),
+            from_vec(Vec::<TsTuple>::new()),
+            |_, _| true,
+        )
+        .unwrap();
         assert!(op.collect_vec().unwrap().is_empty());
     }
 

@@ -267,6 +267,9 @@ where
     inner: SemiInner<X, Y>,
 }
 
+// The General/Allen split is inherent: footnote 6's general overlap needs
+// only two buffers while strict Allen overlap carries sweep state.
+#[allow(clippy::large_enum_variant)]
 enum SemiInner<X: TupleStream, Y: TupleStream>
 where
     X::Item: Temporal + Clone,
@@ -348,6 +351,17 @@ where
             SemiInner::Strict {
                 state_x, state_y, ..
             } => state_x.stats().max_resident + state_y.stats().max_resident,
+        }
+    }
+
+    /// Workspace statistics (empty in general mode — the workspace is the
+    /// two input buffers, Table 2 state (b)).
+    pub fn workspace(&self) -> WorkspaceStats {
+        match &self.inner {
+            SemiInner::General { .. } => WorkspaceStats::default(),
+            SemiInner::Strict {
+                state_x, state_y, ..
+            } => state_x.stats().combine_stacked(state_y.stats()),
         }
     }
 }
@@ -482,8 +496,7 @@ where
                             let yt = y_buf.take().expect("buffered y");
                             let yp = yt.period();
                             metrics.comparisons += state_x.len();
-                            let witnessed =
-                                state_x.extract(|xt| xt.period().allen_overlaps(&yp));
+                            let witnessed = state_x.extract(|xt| xt.period().allen_overlaps(&yp));
                             pending.extend(witnessed);
                             state_y.insert(yt);
                             *y_buf = y.next()?;
@@ -601,13 +614,25 @@ mod tests {
         let x = vec![iv(0, 5)];
         let y = vec![iv(3, 8)];
         assert_eq!(
-            run_join(x.clone(), y.clone(), OverlapMode::Strict, ReadPolicy::MinKey).len(),
+            run_join(
+                x.clone(),
+                y.clone(),
+                OverlapMode::Strict,
+                ReadPolicy::MinKey
+            )
+            .len(),
             1
         );
         // Containment is general-overlap but not strict Allen overlap.
         let x = vec![iv(0, 10)];
         let y = vec![iv(3, 8)];
-        assert!(run_join(x.clone(), y.clone(), OverlapMode::Strict, ReadPolicy::MinKey).is_empty());
+        assert!(run_join(
+            x.clone(),
+            y.clone(),
+            OverlapMode::Strict,
+            ReadPolicy::MinKey
+        )
+        .is_empty());
         assert_eq!(
             run_join(x, y, OverlapMode::General, ReadPolicy::MinKey).len(),
             1

@@ -1,0 +1,739 @@
+//! Time-range partitioned parallel execution with *fringe replication*.
+//!
+//! The paper's stream operators are single-pass sweeps over sorted inputs.
+//! Such a sweep parallelizes along the time axis: split the data span into
+//! `K` disjoint, contiguous ranges ([`PartitionSpec`]), run an independent
+//! instance of the serial operator over each range, and recombine. Because
+//! a tuple's lifespan may cross range boundaries, each tuple is replicated
+//! into **every** partition its period intersects — the *fringe* — so each
+//! partition locally sees every tuple that could participate in a match
+//! inside its range, and per-partition results are exact.
+//!
+//! Replication creates duplicates, removed deterministically:
+//!
+//! * **joins** — a matching pair `(x, y)` is emitted only by the *owner*
+//!   partition of the intersection start `max(x.TS, y.TS)`. Both periods
+//!   span that point, so both tuples are present in the owner partition,
+//!   and no other partition emits the pair;
+//! * **semijoins** — the left input is tagged with its ordinal in the
+//!   sorted input ([`Tagged`]); partitions report witnessed ordinals, and
+//!   the K sorted result lists are recombined by an order-preserving K-way
+//!   merge with boundary dedup ([`merge_tagged`]), re-emitting the
+//!   operator's declared output order.
+//!
+//! How much work does replication add? By Little's law (paper §6), the
+//! expected number of lifespans spanning any time point is `λ·E[D]`, so
+//! each of the `K−1` interior boundaries replicates ≈`λ·E[D]` tuples:
+//! total extra work is `(K−1)·λ·E[D]` tuples — independent of `n`, and
+//! negligible exactly when the paper's workspaces are small.
+//!
+//! The predicates that partition this way are the *intersection-witnessed*
+//! ones: containment and both overlap flavors. `Before`/`After` relate
+//! tuples at arbitrary temporal distance (a match shares no time point), so
+//! no time-range decomposition localizes them; the planner keeps those
+//! serial.
+
+use crate::overlap_join::OverlapMode;
+use crate::report::{Instrumented, OpConfig, OpReport};
+use crate::stream::{from_sorted_vec, TupleStream};
+use tdb_core::{Period, StreamOrder, TdbError, TdbResult, Temporal, TimePoint};
+
+/// `K` disjoint, contiguous time ranges covering the data span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSpec {
+    ranges: Vec<Period>,
+}
+
+impl PartitionSpec {
+    /// Split `span` into (at most) `k` contiguous ranges.
+    pub fn for_span(span: Period, k: usize) -> PartitionSpec {
+        PartitionSpec {
+            ranges: span.split_into(k),
+        }
+    }
+
+    /// A spec covering the hull of every lifespan in `xs` and `ys`;
+    /// `None` when both are empty.
+    pub fn covering<A: Temporal, B: Temporal>(
+        xs: &[A],
+        ys: &[B],
+        k: usize,
+    ) -> Option<PartitionSpec> {
+        let hull = xs
+            .iter()
+            .map(|t| t.period())
+            .chain(ys.iter().map(|t| t.period()))
+            .reduce(|a, b| a.hull(&b))?;
+        Some(PartitionSpec::for_span(hull, k))
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Is the spec empty? (Never true for constructed specs.)
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The `i`-th time range.
+    pub fn range(&self, i: usize) -> Period {
+        self.ranges[i]
+    }
+
+    /// The partition whose range contains `t` (clamped to the first/last
+    /// partition for points outside the covered span).
+    pub fn owner_of(&self, t: TimePoint) -> usize {
+        self.ranges
+            .partition_point(|r| r.end() <= t)
+            .min(self.ranges.len() - 1)
+    }
+
+    /// The contiguous run of partitions whose ranges intersect `p` — the
+    /// partitions a tuple with lifespan `p` is replicated into.
+    pub fn partitions_for(&self, p: &Period) -> std::ops::Range<usize> {
+        let first = self.owner_of(p.start());
+        // `end` is exclusive; the last covered point is `end − 1`.
+        let last = self.owner_of(TimePoint(p.end().ticks() - 1));
+        first..last + 1
+    }
+}
+
+/// Distribute sorted `items` into per-partition vectors, replicating each
+/// tuple into every partition its lifespan intersects. Relative order is
+/// preserved, so sorted input yields sorted partitions.
+pub fn partition_with_fringe<T: Temporal + Clone>(
+    items: &[T],
+    spec: &PartitionSpec,
+) -> Vec<Vec<T>> {
+    let mut parts: Vec<Vec<T>> = (0..spec.len()).map(|_| Vec::new()).collect();
+    for item in items {
+        for i in spec.partitions_for(&item.period()) {
+            parts[i].push(item.clone());
+        }
+    }
+    parts
+}
+
+/// A tuple tagged with its ordinal in the (sorted) input relation, used to
+/// deduplicate fringe-replicated semijoin outputs across partitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tagged<T> {
+    /// Position in the sorted input.
+    pub ordinal: usize,
+    /// The underlying tuple.
+    pub item: T,
+}
+
+impl<T: Temporal> Temporal for Tagged<T> {
+    #[inline]
+    fn period(&self) -> Period {
+        self.item.period()
+    }
+}
+
+/// Tag each item with its position.
+pub fn tag<T>(items: Vec<T>) -> Vec<Tagged<T>> {
+    items
+        .into_iter()
+        .enumerate()
+        .map(|(ordinal, item)| Tagged { ordinal, item })
+        .collect()
+}
+
+/// Order-preserving K-way merge of per-partition semijoin outputs with
+/// boundary dedup: each list is merged by ordinal and tuples witnessed in
+/// several partitions (fringe tuples) are emitted once. Because ordinals
+/// are positions in the sorted input and semijoin outputs are subsequences
+/// of their input, the merged output re-emits the declared input order.
+pub fn merge_tagged<T: Clone>(mut parts: Vec<Vec<Tagged<T>>>) -> Vec<T> {
+    // The strict overlap semijoin can reorder around its pending queue, so
+    // normalize each list before the merge.
+    for part in &mut parts {
+        part.sort_by_key(|t| t.ordinal);
+    }
+    let mut cursors = vec![0usize; parts.len()];
+    let mut out = Vec::new();
+    let mut last: Option<usize> = None;
+    loop {
+        let mut best: Option<(usize, usize)> = None; // (ordinal, partition)
+        for (i, part) in parts.iter().enumerate() {
+            // Skip duplicates of the ordinal just emitted.
+            while cursors[i] < part.len() && Some(part[cursors[i]].ordinal) == last {
+                cursors[i] += 1;
+            }
+            if let Some(t) = part.get(cursors[i]) {
+                if best.is_none_or(|(o, _)| t.ordinal < o) {
+                    best = Some((t.ordinal, i));
+                }
+            }
+        }
+        let Some((ordinal, i)) = best else {
+            return out;
+        };
+        out.push(parts[i][cursors[i]].item.clone());
+        cursors[i] += 1;
+        last = Some(ordinal);
+    }
+}
+
+/// An order-preserving K-way merge of streams that all satisfy `order`:
+/// the output is the sorted interleaving, declared with that order. Ties
+/// break toward the lower-indexed input, making the merge deterministic.
+pub struct KWayMerge<S: TupleStream>
+where
+    S::Item: Temporal + Clone,
+{
+    inputs: Vec<S>,
+    bufs: Vec<Option<S::Item>>,
+    order: StreamOrder,
+    started: bool,
+}
+
+impl<S: TupleStream> KWayMerge<S>
+where
+    S::Item: Temporal + Clone,
+{
+    /// Build the merge; every input must declare an order satisfying
+    /// `order`.
+    pub fn new(inputs: Vec<S>, order: StreamOrder) -> TdbResult<Self> {
+        for (i, input) in inputs.iter().enumerate() {
+            match input.order() {
+                Some(o) if o.satisfies(&order) => {}
+                other => {
+                    return Err(TdbError::UnsupportedOrdering {
+                        operator: "KWayMerge",
+                        detail: format!(
+                            "input {i} declares {:?}, merge requires {order}",
+                            other.map(|o| o.to_string())
+                        ),
+                    })
+                }
+            }
+        }
+        let bufs = (0..inputs.len()).map(|_| None).collect();
+        Ok(KWayMerge {
+            inputs,
+            bufs,
+            order,
+            started: false,
+        })
+    }
+}
+
+impl<S: TupleStream> TupleStream for KWayMerge<S>
+where
+    S::Item: Temporal + Clone,
+{
+    type Item = S::Item;
+
+    fn next(&mut self) -> TdbResult<Option<S::Item>> {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.inputs.len() {
+                self.bufs[i] = self.inputs[i].next()?;
+            }
+        }
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.bufs.iter().enumerate() {
+            let Some(item) = buf else { continue };
+            best = match best {
+                Some(b)
+                    if self
+                        .order
+                        .compare(self.bufs[b].as_ref().expect("buffered"), item)
+                        != std::cmp::Ordering::Greater =>
+                {
+                    Some(b)
+                }
+                _ => Some(i),
+            };
+        }
+        let Some(i) = best else {
+            return Ok(None);
+        };
+        let out = self.bufs[i].take();
+        self.bufs[i] = self.inputs[i].next()?;
+        Ok(out)
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        Some(self.order)
+    }
+}
+
+/// A temporal relationship a partitioned-parallel run can evaluate: the
+/// intersection-witnessed predicates. `Before`/`After` are excluded by
+/// construction (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelPattern {
+    /// `x` strictly contains `y`.
+    Contains,
+    /// `x` strictly contained in `y`.
+    During,
+    /// TQuel's symmetric overlap.
+    GeneralOverlap,
+    /// Allen's strict *overlaps*.
+    AllenOverlaps,
+}
+
+impl ParallelPattern {
+    /// Evaluate the predicate (for oracles and tests).
+    pub fn matches(self, x: &Period, y: &Period) -> bool {
+        match self {
+            ParallelPattern::Contains => x.contains(y),
+            ParallelPattern::During => y.contains(x),
+            ParallelPattern::GeneralOverlap => x.overlaps(y),
+            ParallelPattern::AllenOverlaps => x.allen_overlaps(y),
+        }
+    }
+}
+
+/// The result of a partitioned-parallel operator run.
+#[derive(Debug, Clone)]
+pub struct ParallelRun<T> {
+    /// Deduplicated output (joins: pairs in owner-partition order;
+    /// semijoins: kept tuples in the sorted input order).
+    pub items: Vec<T>,
+    /// Aggregate report: reads/comparisons/emits summed across workers,
+    /// workspace peak is the max over workers.
+    pub report: OpReport,
+    /// Per-worker reports, indexed by partition.
+    pub per_partition: Vec<OpReport>,
+    /// Total tuples dispatched to workers; the excess over `|X| + |Y|` is
+    /// the fringe-replication overhead.
+    pub dispatched: usize,
+}
+
+impl<T> ParallelRun<T> {
+    fn empty(k: usize) -> ParallelRun<T> {
+        ParallelRun {
+            items: Vec::new(),
+            report: OpReport::default(),
+            per_partition: vec![OpReport::default(); k.max(1)],
+            dispatched: 0,
+        }
+    }
+}
+
+/// A drained worker's output: emitted items plus the operator's report.
+type WorkerOutput<T> = TdbResult<(Vec<T>, OpReport)>;
+
+fn join_results<T>(
+    results: Vec<WorkerOutput<T>>,
+) -> TdbResult<(Vec<Vec<T>>, Vec<OpReport>, OpReport)> {
+    let mut items = Vec::with_capacity(results.len());
+    let mut reports = Vec::with_capacity(results.len());
+    let mut total = OpReport::default();
+    for r in results {
+        let (part, report) = r?;
+        total = total.combine_parallel(report);
+        items.push(part);
+        reports.push(report);
+    }
+    Ok((items, reports, total))
+}
+
+/// Run a temporal join partitioned over `k` time ranges.
+///
+/// Inputs need not be pre-sorted; each is sorted once into the order its
+/// serial operator requires, partitioned with fringe replication, and the
+/// per-partition outputs are owner-deduplicated. The result is exactly the
+/// serial operator's (and the nested-loop oracle's) match set.
+pub fn parallel_join<T>(
+    pattern: ParallelPattern,
+    xs: Vec<T>,
+    ys: Vec<T>,
+    k: usize,
+    cfg: OpConfig,
+) -> TdbResult<ParallelRun<(T, T)>>
+where
+    T: Temporal + Clone + Send,
+{
+    if pattern == ParallelPattern::During {
+        // y contains x: reuse the Contains machinery with sides swapped.
+        let run = parallel_join(ParallelPattern::Contains, ys, xs, k, cfg)?;
+        return Ok(ParallelRun {
+            items: run.items.into_iter().map(|(y, x)| (x, y)).collect(),
+            report: run.report,
+            per_partition: run.per_partition,
+            dispatched: run.dispatched,
+        });
+    }
+    let Some(spec) = PartitionSpec::covering(&xs, &ys, k) else {
+        return Ok(ParallelRun::empty(k));
+    };
+    let (x_order, y_order) = match pattern {
+        ParallelPattern::Contains => (StreamOrder::TS_ASC, StreamOrder::TE_ASC),
+        _ => (StreamOrder::TS_ASC, StreamOrder::TS_ASC),
+    };
+    let mut xs = xs;
+    let mut ys = ys;
+    x_order.sort(&mut xs);
+    y_order.sort(&mut ys);
+    let xparts = partition_with_fringe(&xs, &spec);
+    let yparts = partition_with_fringe(&ys, &spec);
+    drop((xs, ys));
+    let dispatched: usize = xparts.iter().chain(yparts.iter()).map(Vec::len).sum();
+
+    let spec = &spec;
+    let results: Vec<WorkerOutput<(T, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = xparts
+            .into_iter()
+            .zip(yparts)
+            .enumerate()
+            .map(|(i, (xp, yp))| {
+                scope.spawn(move || -> WorkerOutput<(T, T)> {
+                    let (pairs, report) = match pattern {
+                        ParallelPattern::Contains => {
+                            let mut op = cfg.contain_join_ts_te(
+                                from_sorted_vec(xp, x_order)?,
+                                from_sorted_vec(yp, y_order)?,
+                            )?;
+                            let pairs = op.collect_vec()?;
+                            (pairs, op.report())
+                        }
+                        ParallelPattern::GeneralOverlap | ParallelPattern::AllenOverlaps => {
+                            let mode = if pattern == ParallelPattern::GeneralOverlap {
+                                OverlapMode::General
+                            } else {
+                                OverlapMode::Strict
+                            };
+                            let mut op = cfg.with_mode(mode).overlap_join(
+                                from_sorted_vec(xp, x_order)?,
+                                from_sorted_vec(yp, y_order)?,
+                            )?;
+                            let pairs = op.collect_vec()?;
+                            (pairs, op.report())
+                        }
+                        ParallelPattern::During => unreachable!("normalized above"),
+                    };
+                    // Owner dedup: emit a pair only from the partition that
+                    // owns the intersection start.
+                    let owned = pairs
+                        .into_iter()
+                        .filter(|(x, y)| spec.owner_of(x.ts().max_of(y.ts())) == i)
+                        .collect();
+                    Ok((owned, report))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(TdbError::Eval("parallel join worker panicked".into())))
+            })
+            .collect()
+    });
+    let (items, per_partition, report) = join_results(results)?;
+    Ok(ParallelRun {
+        items: items.into_iter().flatten().collect(),
+        report,
+        per_partition,
+        dispatched,
+    })
+}
+
+/// Run a temporal semijoin (left side kept) partitioned over `k` time
+/// ranges. Output preserves the left input's sorted order and contains each
+/// kept tuple exactly once.
+pub fn parallel_semijoin<T>(
+    pattern: ParallelPattern,
+    xs: Vec<T>,
+    ys: Vec<T>,
+    k: usize,
+    cfg: OpConfig,
+) -> TdbResult<ParallelRun<T>>
+where
+    T: Temporal + Clone + Send,
+{
+    let Some(spec) = PartitionSpec::covering(&xs, &ys, k) else {
+        return Ok(ParallelRun::empty(k));
+    };
+    let (x_order, y_order) = match pattern {
+        ParallelPattern::Contains => (StreamOrder::TS_ASC, StreamOrder::TE_ASC),
+        ParallelPattern::During => (StreamOrder::TE_ASC, StreamOrder::TS_ASC),
+        _ => (StreamOrder::TS_ASC, StreamOrder::TS_ASC),
+    };
+    let mut xs = xs;
+    let mut ys = ys;
+    x_order.sort(&mut xs);
+    y_order.sort(&mut ys);
+    let xparts = partition_with_fringe(&tag(xs), &spec);
+    let yparts = partition_with_fringe(&ys, &spec);
+    drop(ys);
+    let dispatched: usize =
+        xparts.iter().map(Vec::len).sum::<usize>() + yparts.iter().map(Vec::len).sum::<usize>();
+
+    let results: Vec<WorkerOutput<Tagged<T>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = xparts
+            .into_iter()
+            .zip(yparts)
+            .map(|(xp, yp)| {
+                scope.spawn(move || -> WorkerOutput<Tagged<T>> {
+                    match pattern {
+                        ParallelPattern::Contains => {
+                            let mut op = cfg.contain_semijoin_stab(
+                                from_sorted_vec(xp, x_order)?,
+                                from_sorted_vec(yp, y_order)?,
+                            )?;
+                            let kept = op.collect_vec()?;
+                            Ok((kept, op.report()))
+                        }
+                        ParallelPattern::During => {
+                            let mut op = cfg.contained_semijoin_stab(
+                                from_sorted_vec(xp, x_order)?,
+                                from_sorted_vec(yp, y_order)?,
+                            )?;
+                            let kept = op.collect_vec()?;
+                            Ok((kept, op.report()))
+                        }
+                        ParallelPattern::GeneralOverlap | ParallelPattern::AllenOverlaps => {
+                            let mode = if pattern == ParallelPattern::GeneralOverlap {
+                                OverlapMode::General
+                            } else {
+                                OverlapMode::Strict
+                            };
+                            let mut op = cfg.with_mode(mode).overlap_semijoin(
+                                from_sorted_vec(xp, x_order)?,
+                                from_sorted_vec(yp, y_order)?,
+                            )?;
+                            let kept = op.collect_vec()?;
+                            Ok((kept, op.report()))
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(TdbError::Eval("parallel semijoin worker panicked".into()))
+                })
+            })
+            .collect()
+    });
+    let (parts, per_partition, mut report) = join_results(results)?;
+    let items = merge_tagged(parts);
+    // Fringe tuples witnessed in several partitions were emitted more than
+    // once by the workers; after dedup, report what actually came out.
+    report.metrics.emitted = items.len();
+    Ok(ParallelRun {
+        items,
+        report,
+        per_partition,
+        dispatched,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use tdb_core::TsTuple;
+
+    fn iv(s: i64, e: i64) -> TsTuple {
+        TsTuple::interval(s, e).unwrap()
+    }
+
+    fn canon_pairs(mut v: Vec<(TsTuple, TsTuple)>) -> Vec<(TsTuple, TsTuple)> {
+        v.sort_by_key(|(x, y)| {
+            (
+                x.ts().ticks(),
+                x.te().ticks(),
+                y.ts().ticks(),
+                y.te().ticks(),
+            )
+        });
+        v
+    }
+
+    fn canon(mut v: Vec<TsTuple>) -> Vec<TsTuple> {
+        v.sort_by_key(|t| (t.ts().ticks(), t.te().ticks()));
+        v
+    }
+
+    fn join_oracle(
+        xs: &[TsTuple],
+        ys: &[TsTuple],
+        pattern: ParallelPattern,
+    ) -> Vec<(TsTuple, TsTuple)> {
+        let mut out = Vec::new();
+        for x in xs {
+            for y in ys {
+                if pattern.matches(&x.period, &y.period) {
+                    out.push((x.clone(), y.clone()));
+                }
+            }
+        }
+        canon_pairs(out)
+    }
+
+    fn semi_oracle(xs: &[TsTuple], ys: &[TsTuple], pattern: ParallelPattern) -> Vec<TsTuple> {
+        canon(
+            xs.iter()
+                .filter(|x| ys.iter().any(|y| pattern.matches(&x.period, &y.period)))
+                .cloned()
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn spec_owner_and_replication_ranges() {
+        let spec = PartitionSpec::for_span(Period::new(0, 100).unwrap(), 4);
+        assert_eq!(spec.len(), 4);
+        assert_eq!(spec.owner_of(TimePoint(0)), 0);
+        assert_eq!(spec.owner_of(TimePoint(25)), 1);
+        assert_eq!(spec.owner_of(TimePoint(99)), 3);
+        // Clamping outside the span.
+        assert_eq!(spec.owner_of(TimePoint(-5)), 0);
+        assert_eq!(spec.owner_of(TimePoint(400)), 3);
+        // A boundary-spanning tuple goes to every intersected partition.
+        assert_eq!(spec.partitions_for(&Period::new(20, 60).unwrap()), 0..3);
+        assert_eq!(spec.partitions_for(&Period::new(25, 50).unwrap()), 1..2);
+        // `end` is exclusive: [25, 50) does not reach partition 2.
+        assert_eq!(spec.partitions_for(&Period::new(49, 50).unwrap()), 1..2);
+    }
+
+    #[test]
+    fn fringe_replication_covers_every_intersected_partition() {
+        let spec = PartitionSpec::for_span(Period::new(0, 40).unwrap(), 4);
+        let items = vec![iv(0, 40), iv(5, 6), iv(9, 11), iv(35, 40)];
+        let parts = partition_with_fringe(&items, &spec);
+        assert_eq!(parts[0], vec![iv(0, 40), iv(5, 6), iv(9, 11)]);
+        assert_eq!(parts[1], vec![iv(0, 40), iv(9, 11)]);
+        assert_eq!(parts[2], vec![iv(0, 40)]);
+        assert_eq!(parts[3], vec![iv(0, 40), iv(35, 40)]);
+    }
+
+    #[test]
+    fn kway_merge_restores_global_order() {
+        let a = from_sorted_vec(vec![iv(0, 5), iv(6, 9)], StreamOrder::TS_ASC).unwrap();
+        let b = from_sorted_vec(vec![iv(1, 2), iv(6, 7)], StreamOrder::TS_ASC).unwrap();
+        let mut m = KWayMerge::new(vec![a, b], StreamOrder::TS_ASC).unwrap();
+        assert_eq!(m.order(), Some(StreamOrder::TS_ASC));
+        let out = m.collect_vec().unwrap();
+        assert_eq!(out, vec![iv(0, 5), iv(1, 2), iv(6, 9), iv(6, 7)]);
+        // Unordered inputs are rejected.
+        let c = crate::stream::from_vec(vec![iv(0, 1)]);
+        assert!(KWayMerge::new(vec![c], StreamOrder::TS_ASC).is_err());
+    }
+
+    #[test]
+    fn merge_tagged_dedups_fringe_duplicates() {
+        let t = |ordinal, s, e| Tagged {
+            ordinal,
+            item: iv(s, e),
+        };
+        let merged = merge_tagged(vec![
+            vec![t(0, 0, 9), t(2, 3, 4)],
+            vec![t(0, 0, 9), t(5, 8, 9)],
+        ]);
+        assert_eq!(merged, vec![iv(0, 9), iv(3, 4), iv(8, 9)]);
+        assert!(merge_tagged::<TsTuple>(vec![vec![], vec![]]).is_empty());
+    }
+
+    #[test]
+    fn parallel_contain_join_handles_boundary_spanning_tuples() {
+        // A giant container crossing every boundary plus containees in
+        // each partition — the adversarial fringe case.
+        let xs = vec![iv(0, 100), iv(10, 30), iv(60, 90)];
+        let ys = vec![iv(5, 6), iv(24, 26), iv(25, 75), iv(70, 80), iv(99, 100)];
+        for k in 1..=8 {
+            let run = parallel_join(
+                ParallelPattern::Contains,
+                xs.clone(),
+                ys.clone(),
+                k,
+                OpConfig::new(),
+            )
+            .unwrap();
+            assert_eq!(
+                canon_pairs(run.items),
+                join_oracle(&xs, &ys, ParallelPattern::Contains),
+                "k={k}"
+            );
+            assert_eq!(run.per_partition.len(), k.min(100));
+        }
+    }
+
+    #[test]
+    fn parallel_run_aggregates_reports() {
+        let xs: Vec<_> = (0..50).map(|i| iv(i * 2, i * 2 + 5)).collect();
+        let ys: Vec<_> = (0..50).map(|i| iv(i * 2 + 1, i * 2 + 2)).collect();
+        let run = parallel_join(
+            ParallelPattern::Contains,
+            xs.clone(),
+            ys.clone(),
+            4,
+            OpConfig::new(),
+        )
+        .unwrap();
+        let serial = parallel_join(ParallelPattern::Contains, xs, ys, 1, OpConfig::new()).unwrap();
+        assert_eq!(canon_pairs(run.items), canon_pairs(serial.items));
+        // Fringe replication dispatches at least the raw inputs.
+        assert!(run.dispatched >= 100, "dispatched {}", run.dispatched);
+        // Partitioned workspaces are no larger than the serial peak.
+        assert!(run.report.max_workspace() <= serial.report.max_workspace() + 1);
+        let summed: usize = run
+            .per_partition
+            .iter()
+            .map(|r| r.metrics.read_total())
+            .sum();
+        assert_eq!(summed, run.report.metrics.read_total());
+    }
+
+    #[test]
+    fn parallel_semijoin_keeps_sorted_order_without_duplicates() {
+        let xs = vec![iv(0, 100), iv(3, 4), iv(20, 22), iv(50, 80), iv(97, 99)];
+        let ys = vec![iv(1, 2), iv(21, 60), iv(98, 99)];
+        for pattern in [
+            ParallelPattern::Contains,
+            ParallelPattern::During,
+            ParallelPattern::GeneralOverlap,
+            ParallelPattern::AllenOverlaps,
+        ] {
+            for k in 1..=6 {
+                let run =
+                    parallel_semijoin(pattern, xs.clone(), ys.clone(), k, OpConfig::new()).unwrap();
+                assert_eq!(
+                    canon(run.items.clone()),
+                    semi_oracle(&xs, &ys, pattern),
+                    "{pattern:?} k={k}"
+                );
+                // Exactly-once: no fringe duplicates survive the merge.
+                let mut seen = BTreeSet::new();
+                for t in &run.items {
+                    assert!(seen.insert((t.ts().ticks(), t.te().ticks(), t.value.clone())));
+                }
+                assert_eq!(run.report.metrics.emitted, run.items.len());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_runs() {
+        let run = parallel_join::<TsTuple>(
+            ParallelPattern::GeneralOverlap,
+            vec![],
+            vec![],
+            4,
+            OpConfig::new(),
+        )
+        .unwrap();
+        assert!(run.items.is_empty());
+        assert_eq!(run.dispatched, 0);
+        let run = parallel_semijoin::<TsTuple>(
+            ParallelPattern::During,
+            vec![],
+            vec![],
+            4,
+            OpConfig::new(),
+        )
+        .unwrap();
+        assert!(run.items.is_empty());
+    }
+}

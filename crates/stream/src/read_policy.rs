@@ -57,6 +57,7 @@ impl ReadPolicy {
     /// * `x_key`, `y_key` — sweep keys of the buffered tuples;
     /// * `x_state`, `y_state` — current resident counts of the X and Y
     ///   state sets (used by the λ-guided estimate).
+    #[allow(clippy::too_many_arguments)]
     pub fn decide<T: Temporal, U: Temporal>(
         &self,
         state: &mut PolicyState,

@@ -319,9 +319,7 @@ where
             // once — extraction removes them).
             let comparisons = self.candidates.len();
             self.metrics.comparisons += comparisons;
-            let witnessed = self
-                .candidates
-                .extract(|c| c.period().contains(&p));
+            let witnessed = self.candidates.extract(|c| c.period().contains(&p));
             self.pending.extend(witnessed);
             self.candidates.insert(xb);
         }
@@ -420,9 +418,11 @@ mod tests {
     fn contain_self_desc_mirrors() {
         let mut xs = vec![iv(0, 100), iv(1, 90), iv(2, 5), iv(50, 60)];
         ContainSelfSemijoinDesc::<crate::stream::VecStream<TsTuple>>::REQUIRED.sort(&mut xs);
-        let input =
-            from_sorted_vec(xs.clone(), ContainSelfSemijoinDesc::<crate::stream::VecStream<TsTuple>>::REQUIRED)
-                .unwrap();
+        let input = from_sorted_vec(
+            xs.clone(),
+            ContainSelfSemijoinDesc::<crate::stream::VecStream<TsTuple>>::REQUIRED,
+        )
+        .unwrap();
         let mut op = ContainSelfSemijoinDesc::new(input).unwrap();
         let got = canon(op.collect_vec().unwrap());
         assert_eq!(got, canon(contain_oracle(&xs)));

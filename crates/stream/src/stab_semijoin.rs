@@ -332,11 +332,7 @@ mod tests {
         let y3 = iv(4, 7); // TS ≤ x2.TS: dead for x2
         let y4 = iv(9, 15); // contained in x2
         let x = from_sorted_vec(vec![x1.clone(), x2.clone()], StreamOrder::TS_ASC).unwrap();
-        let y = from_sorted_vec(
-            vec![y1, y2.clone(), y3, y4.clone()],
-            StreamOrder::TE_ASC,
-        )
-        .unwrap();
+        let y = from_sorted_vec(vec![y1, y2.clone(), y3, y4.clone()], StreamOrder::TE_ASC).unwrap();
         let mut op = ContainSemijoinStab::new(x, y).unwrap();
 
         // First emission: x1, with y2 buffered — workspace ⟨x1 (consumed), y2⟩.

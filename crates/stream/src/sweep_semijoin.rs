@@ -358,8 +358,7 @@ mod tests {
 
         let x = from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap();
         let y = from_sorted_vec(ys, StreamOrder::TS_ASC).unwrap();
-        let mut join =
-            crate::contain_join::ContainJoinTsTs::new(x, y, ReadPolicy::MinKey).unwrap();
+        let mut join = crate::contain_join::ContainJoinTsTs::new(x, y, ReadPolicy::MinKey).unwrap();
         let _ = join.collect_vec().unwrap();
         assert!(
             semi_ws <= join.max_workspace() + 1,

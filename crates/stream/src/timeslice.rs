@@ -191,7 +191,7 @@ mod tests {
         let mut op = Timeslice::new(input, TimePoint(10));
         let out = op.collect_vec().unwrap();
         assert_eq!(out.len(), 5); // starts 6..=10 span t=10
-        // Early termination: reads stop shortly after TS passes 10.
+                                  // Early termination: reads stop shortly after TS passes 10.
         assert!(op.metrics().read_left <= 12);
     }
 
@@ -214,10 +214,26 @@ mod tests {
         assert_eq!(
             steps,
             vec![
-                ProfileStep { from: TimePoint(0), to: TimePoint(2), count: 1 },
-                ProfileStep { from: TimePoint(2), to: TimePoint(4), count: 2 },
-                ProfileStep { from: TimePoint(4), to: TimePoint(10), count: 1 },
-                ProfileStep { from: TimePoint(12), to: TimePoint(13), count: 1 },
+                ProfileStep {
+                    from: TimePoint(0),
+                    to: TimePoint(2),
+                    count: 1
+                },
+                ProfileStep {
+                    from: TimePoint(2),
+                    to: TimePoint(4),
+                    count: 2
+                },
+                ProfileStep {
+                    from: TimePoint(4),
+                    to: TimePoint(10),
+                    count: 1
+                },
+                ProfileStep {
+                    from: TimePoint(12),
+                    to: TimePoint(13),
+                    count: 1
+                },
             ]
         );
     }
@@ -230,8 +246,7 @@ mod tests {
 
     #[test]
     fn empty_profile() {
-        let (steps, max) =
-            concurrency_profile(from_vec(Vec::<TsTuple>::new())).unwrap();
+        let (steps, max) = concurrency_profile(from_vec(Vec::<TsTuple>::new())).unwrap();
         assert!(steps.is_empty());
         assert_eq!(max, 0);
     }

@@ -39,6 +39,50 @@ impl WorkspaceStats {
             self.occupancy_sum as f64 / self.samples as f64
         }
     }
+
+    /// Synthetic stats for an operator whose workspace is a fixed
+    /// materialized structure of `n` tuples (e.g. the inner relation of a
+    /// nested-loop join) rather than an instrumented [`Workspace`].
+    pub fn of_resident(n: usize) -> WorkspaceStats {
+        WorkspaceStats {
+            max_resident: n,
+            resident: n,
+            inserted: n,
+            discarded: 0,
+            occupancy_sum: n as u64,
+            samples: if n == 0 { 0 } else { 1 },
+        }
+    }
+
+    /// Combine the stats of two state sets held *simultaneously* by one
+    /// operator (e.g. the X and Y states of a two-sided sweep): peak
+    /// residency is the **sum** of the individual peaks, matching the
+    /// `max_workspace` accounting the operators already expose.
+    pub fn combine_stacked(self, other: WorkspaceStats) -> WorkspaceStats {
+        WorkspaceStats {
+            max_resident: self.max_resident + other.max_resident,
+            resident: self.resident + other.resident,
+            inserted: self.inserted + other.inserted,
+            discarded: self.discarded + other.discarded,
+            occupancy_sum: self.occupancy_sum + other.occupancy_sum,
+            samples: self.samples + other.samples,
+        }
+    }
+
+    /// Combine the stats of the *same* operator run over disjoint
+    /// partitions in parallel: each worker holds its own workspace, so the
+    /// aggregate peak is the **max** over workers while throughput counters
+    /// (inserted, discarded, occupancy samples) sum.
+    pub fn combine_parallel(self, other: WorkspaceStats) -> WorkspaceStats {
+        WorkspaceStats {
+            max_resident: self.max_resident.max(other.max_resident),
+            resident: self.resident + other.resident,
+            inserted: self.inserted + other.inserted,
+            discarded: self.discarded + other.discarded,
+            occupancy_sum: self.occupancy_sum + other.occupancy_sum,
+            samples: self.samples + other.samples,
+        }
+    }
 }
 
 impl fmt::Display for WorkspaceStats {
@@ -182,6 +226,46 @@ mod tests {
         assert_eq!(w.len(), 3);
         assert_eq!(w.stats().discarded, 0);
         assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn combine_stacked_sums_peaks() {
+        let mut a = Workspace::new();
+        let mut b = Workspace::new();
+        for i in 0..4 {
+            a.insert(i);
+        }
+        for i in 0..3 {
+            b.insert(i);
+        }
+        let s = a.stats().combine_stacked(b.stats());
+        assert_eq!(s.max_resident, 7);
+        assert_eq!(s.inserted, 7);
+        assert_eq!(s.resident, 7);
+    }
+
+    #[test]
+    fn combine_parallel_takes_peak_max() {
+        let mut a = Workspace::new();
+        let mut b = Workspace::new();
+        for i in 0..4 {
+            a.insert(i);
+        }
+        for i in 0..3 {
+            b.insert(i);
+        }
+        let s = a.stats().combine_parallel(b.stats());
+        assert_eq!(s.max_resident, 4);
+        assert_eq!(s.inserted, 7);
+    }
+
+    #[test]
+    fn of_resident_is_a_fixed_workspace() {
+        let s = WorkspaceStats::of_resident(5);
+        assert_eq!(s.max_resident, 5);
+        assert_eq!(s.resident, 5);
+        assert_eq!(s.mean_resident(), 5.0);
+        assert_eq!(WorkspaceStats::of_resident(0).mean_resident(), 0.0);
     }
 
     #[test]

@@ -62,13 +62,13 @@ pub use tdb_stream as stream;
 /// Commonly used items, importable with `use tdb::prelude::*`.
 pub mod prelude {
     pub use tdb_algebra::{
-        conventional_optimize, plan, Atom, ColumnRef, CompOp, ExecStats, LogicalPlan,
-        PhysicalPlan, PlannerConfig, QueryOutput, TemporalPattern, Term,
+        conventional_optimize, plan, Atom, ColumnRef, CompOp, ExecStats, LogicalPlan, PhysicalPlan,
+        PlannerConfig, QueryOutput, TemporalPattern, Term,
     };
     pub use tdb_core::{
-        AllenRelation, Direction, Period, PeriodRow, Row, SortKey, SortSpec, StreamOrder,
-        TdbError, TdbResult, Temporal, TemporalSchema, TemporalStats, TimeDelta, TimePoint,
-        TsTuple, Value,
+        jarr, jobj, AllenRelation, Direction, Json, Period, PeriodRow, Row, SortKey, SortSpec,
+        StreamOrder, TdbError, TdbResult, Temporal, TemporalSchema, TemporalStats, TimeDelta,
+        TimePoint, TsTuple, Value,
     };
     pub use tdb_gen::{ArrivalProcess, DurationDist, FacultyGen, IntervalGen, Rank};
     pub use tdb_quel::{compile, parse_query};
@@ -77,11 +77,13 @@ pub mod prelude {
     };
     pub use tdb_storage::{Catalog, ExternalSorter, HeapFile, IoStats};
     pub use tdb_stream::{
-        from_sorted_vec, from_vec, BeforeJoin, BeforeSemijoin, BufferedJoin, ContainJoinTsTe,
-        ContainJoinTsTs, ContainSelfSemijoin, ContainSemijoinStab, ContainedSelfSemijoin,
-        ContainedSemijoinStab, EventMergeJoin, GroupedSum, MergeEquiJoin, NestedLoopJoin,
-        OverlapJoin, OverlapMode, OverlapSemijoin, ReadPolicy, SweepSemijoin, TupleStream,
-        Workspace,
+        from_sorted_vec, from_vec, parallel_join, parallel_semijoin, partition_with_fringe,
+        BeforeJoin, BeforeSemijoin, BufferedJoin, ContainJoinTsTe, ContainJoinTsTs,
+        ContainSelfSemijoin, ContainSemijoinStab, ContainedSelfSemijoin, ContainedSemijoinStab,
+        EventMergeJoin, GroupedSum, Instrumented, KWayMerge, MergeEquiJoin, NestedLoopJoin,
+        OpConfig, OpReport, OverlapJoin, OverlapMode, OverlapSemijoin, ParallelPattern,
+        ParallelRun, PartitionSpec, ReadPolicy, SweepSemijoin, Tagged, TupleStream, Workspace,
+        WorkspaceStats,
     };
 }
 
@@ -112,8 +114,7 @@ mod tests {
         let p = Period::new(0, 5).unwrap();
         assert!(p.spans(TimePoint(3)));
         let dir = std::env::temp_dir().join(format!("tdb-facade-{}", std::process::id()));
-        let catalog =
-            crate::faculty_catalog(&dir, &FacultyGen::figure1_instance()).unwrap();
+        let catalog = crate::faculty_catalog(&dir, &FacultyGen::figure1_instance()).unwrap();
         assert_eq!(catalog.scan("Faculty").unwrap().len(), 8);
     }
 }

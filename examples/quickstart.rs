@@ -19,10 +19,16 @@ fn main() -> TdbResult<()> {
     // ── 2. The Superstar query, exactly as written in the paper (§3). ──
     let (logical, query) = compile(tdb::quel::parser::SUPERSTAR, &catalog)?;
     println!("\nQuery: retrieve into {:?}", query.into.as_deref());
-    println!("\nUnoptimized parse tree (Figure 3a):\n{}", logical.parse_tree());
+    println!(
+        "\nUnoptimized parse tree (Figure 3a):\n{}",
+        logical.parse_tree()
+    );
 
     let optimized = conventional_optimize(logical);
-    println!("Conventionally optimized (Figure 3b):\n{}", optimized.parse_tree());
+    println!(
+        "Conventionally optimized (Figure 3b):\n{}",
+        optimized.parse_tree()
+    );
 
     // ── 3. Plan and execute. ──
     let physical = plan(&optimized, PlannerConfig::stream())?;

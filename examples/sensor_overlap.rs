@@ -26,7 +26,10 @@ fn main() -> TdbResult<()> {
     let pairs = join.collect_vec()?;
     let stream_time = start.elapsed();
     let (ws_x, ws_y) = join.workspace();
-    println!("stream overlap join:      {stream_time:>10.2?}  {} pairs", pairs.len());
+    println!(
+        "stream overlap join:      {stream_time:>10.2?}  {} pairs",
+        pairs.len()
+    );
     println!(
         "  workspace: alarms max {} resident, windows max {} resident ({} GC discards)",
         ws_x.max_resident,
@@ -44,7 +47,10 @@ fn main() -> TdbResult<()> {
     )?;
     let nl_pairs = nl.collect_vec()?;
     let nl_time = start.elapsed();
-    println!("\nnested-loop baseline:     {nl_time:>10.2?}  {} pairs", nl_pairs.len());
+    println!(
+        "\nnested-loop baseline:     {nl_time:>10.2?}  {} pairs",
+        nl_pairs.len()
+    );
     println!("  metrics: {}", nl.metrics());
     assert_eq!(pairs.len(), nl_pairs.len(), "operators must agree");
 

@@ -37,14 +37,16 @@ fn main() -> TdbResult<()> {
         |a: &TsTuple, b: &TsTuple| StreamOrder::TS_ASC.compare(a, b),
         io.clone(),
     );
-    let (sorted_contracts, s1) = sorter.sort(h1.scan::<TsTuple>()?.collect::<TdbResult<Vec<_>>>()?)?;
+    let (sorted_contracts, s1) =
+        sorter.sort(h1.scan::<TsTuple>()?.collect::<TdbResult<Vec<_>>>()?)?;
     let contracts_sorted: Vec<TsTuple> = sorted_contracts.collect::<TdbResult<Vec<_>>>()?;
     let sorter = ExternalSorter::new(
         4_096,
         |a: &TsTuple, b: &TsTuple| StreamOrder::TE_ASC.compare(a, b),
         io.clone(),
     );
-    let (sorted_projects, s2) = sorter.sort(h2.scan::<TsTuple>()?.collect::<TdbResult<Vec<_>>>()?)?;
+    let (sorted_projects, s2) =
+        sorter.sort(h2.scan::<TsTuple>()?.collect::<TdbResult<Vec<_>>>()?)?;
     let projects_sorted: Vec<TsTuple> = sorted_projects.collect::<TdbResult<Vec<_>>>()?;
     println!(
         "external sort: contracts {} runs, projects {} runs; I/O delta: {}",
@@ -71,7 +73,10 @@ fn main() -> TdbResult<()> {
         join.workspace().max_resident,
         join.metrics()
     );
-    println!("  I/O delta during join: {}", io.snapshot().since(&before_join));
+    println!(
+        "  I/O delta during join: {}",
+        io.snapshot().since(&before_join)
+    );
 
     // Analytic prediction from Little's law (paper §6 / our cost model).
     let stats = TemporalStats::compute(&contracts_sorted);

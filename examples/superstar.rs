@@ -61,10 +61,7 @@ fn main() -> TdbResult<()> {
         );
         match &reference {
             None => reference = Some(names),
-            Some(r) => assert_eq!(
-                r, &names,
-                "{label} disagrees with the conventional answer"
-            ),
+            Some(r) => assert_eq!(r, &names, "{label} disagrees with the conventional answer"),
         }
     }
 

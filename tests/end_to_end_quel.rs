@@ -31,12 +31,27 @@ fn row_set(out: &QueryOutput) -> BTreeSet<String> {
 #[test]
 fn superstar_query_full_pipeline() {
     let catalog = catalog("superstar", 120, 3);
-    let conventional = run(&catalog, tdb::quel::parser::SUPERSTAR, PlannerConfig::conventional());
-    let streamed = run(&catalog, tdb::quel::parser::SUPERSTAR, PlannerConfig::stream());
-    let naive = run(&catalog, tdb::quel::parser::SUPERSTAR, PlannerConfig::naive());
+    let conventional = run(
+        &catalog,
+        tdb::quel::parser::SUPERSTAR,
+        PlannerConfig::conventional(),
+    );
+    let streamed = run(
+        &catalog,
+        tdb::quel::parser::SUPERSTAR,
+        PlannerConfig::stream(),
+    );
+    let naive = run(
+        &catalog,
+        tdb::quel::parser::SUPERSTAR,
+        PlannerConfig::naive(),
+    );
     assert_eq!(row_set(&conventional), row_set(&streamed));
     assert_eq!(row_set(&conventional), row_set(&naive));
-    assert!(!conventional.rows.is_empty(), "population should contain superstars");
+    assert!(
+        !conventional.rows.is_empty(),
+        "population should contain superstars"
+    );
     // The stream plan avoids the quadratic comparison blow-up.
     assert!(streamed.stats.comparisons <= conventional.stats.comparisons);
 }
@@ -45,7 +60,11 @@ fn superstar_query_full_pipeline() {
 fn superstar_answers_figure1_instance() {
     let dir = std::env::temp_dir().join(format!("tdb-e2e-fig1-{}", std::process::id()));
     let catalog = tdb::faculty_catalog(dir, &FacultyGen::figure1_instance()).unwrap();
-    let out = run(&catalog, tdb::quel::parser::SUPERSTAR, PlannerConfig::stream());
+    let out = run(
+        &catalog,
+        tdb::quel::parser::SUPERSTAR,
+        PlannerConfig::stream(),
+    );
     let names: BTreeSet<_> = out
         .rows
         .iter()
@@ -71,8 +90,7 @@ fn simple_selection_query() {
         .unwrap()
         .into_iter()
         .filter(|r| {
-            r.get(1) == &Value::str("Associate")
-                && r.get(2).as_time().unwrap() >= TimePoint(10)
+            r.get(1) == &Value::str("Associate") && r.get(2).as_time().unwrap() >= TimePoint(10)
         })
         .map(|r| Row::new(vec![r.get(0).clone(), r.get(2).clone()]))
         .collect();
@@ -190,17 +208,12 @@ fn coalesce_and_timeslice_compose_with_query_results() {
         .map(|r| TsTuple {
             surrogate: r.get(0).clone(),
             value: Value::str("employed"),
-            period: Period::new(
-                r.get(2).as_time().unwrap(),
-                r.get(3).as_time().unwrap(),
-            )
-            .unwrap(),
+            period: Period::new(r.get(2).as_time().unwrap(), r.get(3).as_time().unwrap()).unwrap(),
         })
         .collect();
     let spells = coalesce_relation(spans.clone()).unwrap();
     // Continuous employment: one spell per person.
-    let people: std::collections::BTreeSet<_> =
-        spans.iter().map(|t| t.surrogate.clone()).collect();
+    let people: std::collections::BTreeSet<_> = spans.iter().map(|t| t.surrogate.clone()).collect();
     assert_eq!(spells.len(), people.len());
 
     // Timeslice: headcount at the median instant matches a direct count.

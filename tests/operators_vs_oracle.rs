@@ -26,7 +26,10 @@ fn workloads() -> Vec<(&'static str, Vec<TsTuple>, Vec<TsTuple>)> {
             IntervalGen {
                 count: 1_500,
                 arrivals: ArrivalProcess::Poisson { mean_gap: 4.0 },
-                durations: DurationDist::Pareto { scale: 2.0, alpha: 1.3 },
+                durations: DurationDist::Pareto {
+                    scale: 2.0,
+                    alpha: 1.3,
+                },
                 start_at: 0,
                 seed: 16,
             }
@@ -36,7 +39,9 @@ fn workloads() -> Vec<(&'static str, Vec<TsTuple>, Vec<TsTuple>)> {
     ]
 }
 
-fn key(t: &TsTuple) -> (i64, i64, i64) {
+type Key = (i64, i64, i64);
+
+fn key(t: &TsTuple) -> Key {
     (
         t.ts().ticks(),
         t.te().ticks(),
@@ -44,13 +49,13 @@ fn key(t: &TsTuple) -> (i64, i64, i64) {
     )
 }
 
-fn canon_pairs(mut v: Vec<(TsTuple, TsTuple)>) -> Vec<((i64, i64, i64), (i64, i64, i64))> {
+fn canon_pairs(mut v: Vec<(TsTuple, TsTuple)>) -> Vec<(Key, Key)> {
     let mut out: Vec<_> = v.drain(..).map(|(a, b)| (key(&a), key(&b))).collect();
     out.sort_unstable();
     out
 }
 
-fn canon(mut v: Vec<TsTuple>) -> Vec<(i64, i64, i64)> {
+fn canon(mut v: Vec<TsTuple>) -> Vec<Key> {
     let mut out: Vec<_> = v.drain(..).map(|t| key(&t)).collect();
     out.sort_unstable();
     out
@@ -60,7 +65,7 @@ fn oracle_pairs(
     xs: &[TsTuple],
     ys: &[TsTuple],
     pred: impl Fn(&Period, &Period) -> bool,
-) -> Vec<((i64, i64, i64), (i64, i64, i64))> {
+) -> Vec<(Key, Key)> {
     let mut j = BufferedJoin::new(from_vec(xs.to_vec()), from_vec(ys.to_vec()), |a, b| {
         pred(&a.period, &b.period)
     });
@@ -85,7 +90,11 @@ fn contain_joins_match_oracle_on_all_workloads() {
             },
         )
         .unwrap();
-        assert_eq!(canon_pairs(j.collect_vec().unwrap()), expected, "{label} TsTs");
+        assert_eq!(
+            canon_pairs(j.collect_vec().unwrap()),
+            expected,
+            "{label} TsTs"
+        );
 
         let mut ys_te = ys.clone();
         StreamOrder::TE_ASC.sort(&mut ys_te);
@@ -94,7 +103,11 @@ fn contain_joins_match_oracle_on_all_workloads() {
             from_sorted_vec(ys_te, StreamOrder::TE_ASC).unwrap(),
         )
         .unwrap();
-        assert_eq!(canon_pairs(j.collect_vec().unwrap()), expected, "{label} TsTe");
+        assert_eq!(
+            canon_pairs(j.collect_vec().unwrap()),
+            expected,
+            "{label} TsTe"
+        );
     }
 }
 
@@ -124,7 +137,11 @@ fn semijoins_match_direct_filters() {
             from_sorted_vec(ys_te, StreamOrder::TE_ASC).unwrap(),
         )
         .unwrap();
-        assert_eq!(canon(op.collect_vec().unwrap()), expect_contain, "{label} stab");
+        assert_eq!(
+            canon(op.collect_vec().unwrap()),
+            expect_contain,
+            "{label} stab"
+        );
 
         let mut xs_te = xs.clone();
         StreamOrder::TE_ASC.sort(&mut xs_te);
@@ -148,7 +165,11 @@ fn semijoins_match_direct_filters() {
             ReadPolicy::MinKey,
         )
         .unwrap();
-        assert_eq!(canon(op.collect_vec().unwrap()), expect_contain, "{label} sweep");
+        assert_eq!(
+            canon(op.collect_vec().unwrap()),
+            expect_contain,
+            "{label} sweep"
+        );
 
         let mut op = SweepSemijoin::contained(
             from_sorted_vec(xs_ts, StreamOrder::TS_ASC).unwrap(),

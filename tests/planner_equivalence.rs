@@ -20,10 +20,7 @@ fn shared_catalog() -> &'static Catalog {
             ..FacultyGen::default()
         }
         .generate();
-        let dir = std::env::temp_dir().join(format!(
-            "tdb-planner-eq-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("tdb-planner-eq-{}", std::process::id()));
         tdb::faculty_catalog(dir, &faculty).unwrap()
     })
 }

@@ -5,7 +5,9 @@
 
 use std::collections::BTreeSet;
 use tdb::prelude::*;
-use tdb::semantic::superstar::{superstar_reduced, superstar_selfsemijoin, superstar_selfsemijoin_guarded};
+use tdb::semantic::superstar::{
+    superstar_reduced, superstar_selfsemijoin, superstar_selfsemijoin_guarded,
+};
 
 fn population(n: usize, seed: u64, continuous: bool) -> Vec<tdb::gen::FacultyTuple> {
     FacultyGen {
@@ -32,10 +34,8 @@ fn names(catalog: &Catalog, logical: &LogicalPlan, config: PlannerConfig) -> BTr
 fn all_formulations_agree_under_continuity() {
     for seed in [1, 2, 3] {
         let faculty = population(150, seed, true);
-        let dir = std::env::temp_dir().join(format!(
-            "tdb-semeq-cont-{}-{seed}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("tdb-semeq-cont-{}-{seed}", std::process::id()));
         let catalog = tdb::faculty_catalog(dir, &faculty).unwrap();
 
         let plans = superstar_plans(true);
@@ -173,10 +173,13 @@ fn contradictory_queries_are_proven_empty() {
         .product(LogicalPlan::scan("Faculty", "f2", &attrs))
         .select(atoms)
         .project(vec![(ColumnRef::new("f1", "Name"), "Name".into())]);
-    let out = plan(&conventional_optimize(logical), PlannerConfig::conventional())
-        .unwrap()
-        .execute(&catalog)
-        .unwrap();
+    let out = plan(
+        &conventional_optimize(logical),
+        PlannerConfig::conventional(),
+    )
+    .unwrap()
+    .execute(&catalog)
+    .unwrap();
     assert!(out.rows.is_empty());
 }
 

@@ -68,7 +68,10 @@ fn heap_to_sorted_stream_to_join() {
     assert_eq!(n, expected);
 
     let snap = io.snapshot();
-    assert!(snap.pages_written > 0, "heap + spill writes must be counted");
+    assert!(
+        snap.pages_written > 0,
+        "heap + spill writes must be counted"
+    );
     assert!(snap.pages_read > 0);
 }
 
@@ -120,7 +123,13 @@ fn buffer_pool_serves_hot_pages_from_memory() {
         }
     }
     let pool = BufferPool::new(4, io.clone());
-    let file = pool.register(std::fs::OpenOptions::new().read(true).write(true).open(&path).unwrap());
+    let file = pool.register(
+        std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .unwrap(),
+    );
     // Touch pages 0..4 twice: second round must be all hits.
     for round in 0..2 {
         for page_no in 0..4u64 {
@@ -177,7 +186,10 @@ fn bitemporal_rollback_feeds_temporal_operators() {
     // Build a bitemporal history: initial beliefs at tx 100, a correction
     // at tx 200, a retraction at tx 300.
     let mut table = BitemporalTable::new();
-    for (i, (s, e)) in [(0i64, 10i64), (2, 6), (20, 30), (22, 25)].iter().enumerate() {
+    for (i, (s, e)) in [(0i64, 10i64), (2, 6), (20, 30), (22, 25)]
+        .iter()
+        .enumerate()
+    {
         table
             .insert(
                 format!("S{i}"),
@@ -211,7 +223,11 @@ fn bitemporal_rollback_feeds_temporal_operators() {
         .unwrap();
         op.collect_vec().unwrap().len()
     };
-    assert_eq!(contained_at(150), 2, "S1 ⊂ S0 and S3 ⊂ S2 as first believed");
+    assert_eq!(
+        contained_at(150),
+        2,
+        "S1 ⊂ S0 and S3 ⊂ S2 as first believed"
+    );
     assert_eq!(contained_at(250), 1, "after the S1 correction only S3 ⊂ S2");
     assert_eq!(contained_at(350), 0, "after retracting S3, none");
     // The log never shrinks.
@@ -222,24 +238,28 @@ fn bitemporal_rollback_feeds_temporal_operators() {
 fn interval_index_accelerates_timeslice_over_catalog() {
     use tdb::storage::IntervalIndex;
     let dir = tmp("index");
-    let catalog = tdb::faculty_catalog(&dir, &FacultyGen {
-        n_faculty: 300,
-        seed: 77,
-        continuous_employment: true,
-        ..FacultyGen::default()
-    }
-    .generate())
+    let catalog = tdb::faculty_catalog(
+        &dir,
+        &FacultyGen {
+            n_faculty: 300,
+            seed: 77,
+            continuous_employment: true,
+            ..FacultyGen::default()
+        }
+        .generate(),
+    )
     .unwrap();
     let rows = catalog.scan("Faculty").unwrap();
     let meta = catalog.meta("Faculty").unwrap();
-    let index = IntervalIndex::build(rows.iter().enumerate().map(|(i, r)| {
-        (meta.schema.period_of(r).unwrap(), i as u64)
-    }));
+    let index = IntervalIndex::build(
+        rows.iter()
+            .enumerate()
+            .map(|(i, r)| (meta.schema.period_of(r).unwrap(), i as u64)),
+    );
     // Probe several instants; index result = scan result.
     for t in [0i64, 50, 200, 500] {
         let at = TimePoint(t);
-        let via_index: std::collections::BTreeSet<u64> =
-            index.stab(at).into_iter().collect();
+        let via_index: std::collections::BTreeSet<u64> = index.stab(at).into_iter().collect();
         let via_scan: std::collections::BTreeSet<u64> = rows
             .iter()
             .enumerate()
