@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full CI gate: build, test, formatting, lints. Run locally before pushing.
+# Full CI gate: build, test, formatting, lints, concurrency model, Miri.
+# Run locally before pushing.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -14,5 +15,47 @@ cargo fmt --check
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Pedantic tier with the triaged allowlist: every category below was
+# reviewed and judged stylistic for this codebase (docs sections, #[must_use]
+# candidates, lossy-cast notes on metrics math, long planner match arms).
+# Anything pedantic *outside* this list fails the build.
+echo "==> cargo clippy -- pedantic (triaged)"
+cargo clippy --workspace --all-targets -- -D warnings -W clippy::pedantic \
+  -A clippy::cast_possible_truncation \
+  -A clippy::cast_possible_wrap \
+  -A clippy::cast_precision_loss \
+  -A clippy::cast_sign_loss \
+  -A clippy::doc_markdown \
+  -A clippy::float_cmp \
+  -A clippy::format_push_string \
+  -A clippy::iter_without_into_iter \
+  -A clippy::map_unwrap_or \
+  -A clippy::match_same_arms \
+  -A clippy::missing_errors_doc \
+  -A clippy::missing_fields_in_debug \
+  -A clippy::missing_panics_doc \
+  -A clippy::must_use_candidate \
+  -A clippy::needless_pass_by_value \
+  -A clippy::redundant_closure_for_method_calls \
+  -A clippy::return_self_not_must_use \
+  -A clippy::semicolon_if_nothing_returned \
+  -A clippy::similar_names \
+  -A clippy::single_match_else \
+  -A clippy::too_many_lines \
+  -A clippy::trivially_copy_pass_by_ref
+
+# Concurrency model of the partition K-way merge + owner-dedup handoff.
+echo "==> loom model (partition handoff)"
+RUSTFLAGS="--cfg loom" cargo test -p tdb-stream --test loom_partition
+
+# Miri needs a nightly toolchain with the miri component; skip gracefully
+# when only stable is installed (the GitHub Actions job always runs it).
+if cargo +nightly miri --version >/dev/null 2>&1; then
+  echo "==> cargo miri test (tdb-core, tdb-stream)"
+  cargo +nightly miri test -p tdb-core -p tdb-stream
+else
+  echo "==> cargo miri: nightly+miri not installed, skipping (CI runs it)"
+fi
 
 echo "CI green."

@@ -13,6 +13,7 @@
 //! workspace high-water marks (EXPERIMENTS.md, E1/E2/E11).
 
 use tdb_core::TemporalStats;
+use tdb_stream::StreamOpKind;
 
 /// Which stream operator a workspace estimate is for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,35 +40,96 @@ pub enum WorkspaceKind {
 
 /// Predicted workspace (expected resident state tuples) for an operator
 /// over instances with statistics `x` and (optionally) `y`.
+///
+/// Missing `y` statistics for a two-input operator contribute zero to the
+/// estimate rather than panicking — an absent side is treated as empty.
 pub fn predict_workspace(kind: WorkspaceKind, x: &TemporalStats, y: Option<&TemporalStats>) -> f64 {
     // Little's law: expected spanning tuples of a stream.
     let span = |s: &TemporalStats| s.expected_spanning().unwrap_or(s.count as f64);
     match kind {
-        WorkspaceKind::ContainJoinTsTs => {
+        WorkspaceKind::ContainJoinTsTs | WorkspaceKind::SemijoinSweep => {
             // State (a): X tuples spanning the sweep + Y tuples whose TS
             // lies inside the buffered X lifespan (≈ λ_y · E[D_x]).
-            let y = y.expect("two-input operator");
-            let y_component = match (y.lambda, x.count) {
-                (Some(ly), _) => ly * x.mean_duration,
-                _ => 0.0,
-            };
+            // State (c) ⊆ state (a): bound by the join state.
+            let y_component = y
+                .and_then(|y| y.lambda)
+                .map_or(0.0, |ly| ly * x.mean_duration);
             span(x) + y_component
         }
         WorkspaceKind::ContainJoinTsTe => span(x),
-        WorkspaceKind::SemijoinSweep => {
-            // State (c) ⊆ state (a): bound by the join state.
-            let y = y.expect("two-input operator");
-            let y_component = y.lambda.map(|ly| ly * x.mean_duration).unwrap_or(0.0);
-            span(x) + y_component
-        }
         WorkspaceKind::SemijoinStab | WorkspaceKind::OverlapSemijoinGeneral => 2.0,
-        WorkspaceKind::OverlapJoin => {
-            let y = y.expect("two-input operator");
-            span(x) + span(y)
-        }
+        WorkspaceKind::OverlapJoin => span(x) + y.map_or(0.0, span),
         WorkspaceKind::SelfSemijoinContained => 1.0,
         WorkspaceKind::SelfSemijoinContain => span(x),
         WorkspaceKind::NoGc => x.count as f64 + y.map(|s| s.count as f64).unwrap_or(0.0),
+    }
+}
+
+/// The cost-model state characterization for a registry operator kind —
+/// the bridge between `tdb_stream::StreamOpKind` (which orderings an
+/// operator needs) and [`WorkspaceKind`] (how much state it keeps under
+/// them).
+pub fn workspace_kind(kind: StreamOpKind) -> WorkspaceKind {
+    match kind {
+        StreamOpKind::ContainJoinTsTs => WorkspaceKind::ContainJoinTsTs,
+        StreamOpKind::ContainJoinTsTe => WorkspaceKind::ContainJoinTsTe,
+        StreamOpKind::SweepSemijoin => WorkspaceKind::SemijoinSweep,
+        StreamOpKind::ContainSemijoinStab | StreamOpKind::ContainedSemijoinStab => {
+            WorkspaceKind::SemijoinStab
+        }
+        StreamOpKind::OverlapJoin => WorkspaceKind::OverlapJoin,
+        StreamOpKind::OverlapSemijoin => WorkspaceKind::OverlapSemijoinGeneral,
+        StreamOpKind::ContainedSelfSemijoin | StreamOpKind::ContainSelfSemijoinDesc => {
+            WorkspaceKind::SelfSemijoinContained
+        }
+        StreamOpKind::ContainSelfSemijoin => WorkspaceKind::SelfSemijoinContain,
+        // Before-join materializes its inner relation; the semijoin keeps
+        // two scalar cells, which the stab characterization matches.
+        StreamOpKind::BeforeJoin => WorkspaceKind::NoGc,
+        StreamOpKind::BeforeSemijoin => WorkspaceKind::SemijoinStab,
+    }
+}
+
+/// A *sound* upper bound on the resident workspace of one operator run
+/// over the given instances, in tuples.
+///
+/// Unlike [`predict_workspace`] — an *expectation* from Little's law, which
+/// real runs routinely exceed — this bound follows from the Table 1–3 state
+/// characterizations and `max_concurrency` (the exact maximum of "tuples
+/// whose lifespan span t" over all `t`): every "spanning" state component
+/// is at most the input's max concurrency, every buffer costs one tuple.
+/// The bounds assume the executor's configuration — the `MinKey` read
+/// policy for two-sided sweeps, which keeps each state a spanning set of
+/// the opposite buffer's sweep point (an adversarial policy could let a
+/// read frontier race ahead and retain non-overlapping tuples). The
+/// executor `debug_assert`s observed peaks against it, and the E15 bench
+/// records both numbers.
+pub fn workspace_cap(kind: StreamOpKind, x: &TemporalStats, y: Option<&TemporalStats>) -> usize {
+    let cx = x.max_concurrency;
+    let cy = y.map(|s| s.max_concurrency).unwrap_or(0);
+    let ny = y.map(|s| s.count).unwrap_or(0);
+    match kind {
+        // State (a): {X spanning y_b.TS} ∪ {Y with TS inside x_b's
+        // lifespan} — the Y component is only bounded by |Y|.
+        StreamOpKind::ContainJoinTsTs => cx + ny + 2,
+        // State (b): {X spanning y_b.TE} plus the input buffers.
+        StreamOpKind::ContainJoinTsTe => cx + 2,
+        // State (c) ⊆ state (a), and both components are spanning sets.
+        StreamOpKind::SweepSemijoin => cx + cy + 2,
+        // State (d): exactly the two input buffers.
+        StreamOpKind::ContainSemijoinStab | StreamOpKind::ContainedSemijoinStab => 2,
+        // Table 2 (a): both states are spanning sets of the opposite sweep.
+        StreamOpKind::OverlapJoin => cx + cy + 2,
+        // General mode: two buffers; strict mode degrades to a sweep.
+        StreamOpKind::OverlapSemijoin => cx + cy + 2,
+        // Table 3 (a): one state tuple.
+        StreamOpKind::ContainedSelfSemijoin | StreamOpKind::ContainSelfSemijoinDesc => 1,
+        // Table 3 (b): candidates all overlap the sweep point.
+        StreamOpKind::ContainSelfSemijoin => cx + 1,
+        // Materializes Y — the paper's point about Before-join.
+        StreamOpKind::BeforeJoin => ny,
+        // max(y.TS) and the x buffer.
+        StreamOpKind::BeforeSemijoin => 2,
     }
 }
 

@@ -13,6 +13,7 @@
 //! classifies it; the unmatched atoms become a residual filter.
 
 use crate::expr::{Atom, CompOp, Term};
+use tdb_stream::StreamOpKind;
 
 /// A recognized temporal relationship between a left variable and a right
 /// variable.
@@ -31,6 +32,40 @@ pub enum TemporalPattern {
     Before,
     /// `R.TE < L.TS` — *after*.
     After,
+}
+
+impl TemporalPattern {
+    /// The stream operator the executor instantiates for this pattern in a
+    /// **join** context, plus whether the inputs are swapped first
+    /// (`During` and `After` reuse their mirror operator with sides
+    /// exchanged). Input sort orders and partition safety follow from
+    /// `StreamOpKind::requirement`.
+    pub fn join_op(self) -> (StreamOpKind, bool) {
+        match self {
+            TemporalPattern::Contains => (StreamOpKind::ContainJoinTsTe, false),
+            TemporalPattern::During => (StreamOpKind::ContainJoinTsTe, true),
+            TemporalPattern::GeneralOverlap | TemporalPattern::AllenOverlaps => {
+                (StreamOpKind::OverlapJoin, false)
+            }
+            TemporalPattern::Before => (StreamOpKind::BeforeJoin, false),
+            TemporalPattern::After => (StreamOpKind::BeforeJoin, true),
+        }
+    }
+
+    /// The stream operator the executor instantiates for this pattern in a
+    /// **semijoin** context (left side kept), plus whether the inputs are
+    /// swapped first.
+    pub fn semijoin_op(self) -> (StreamOpKind, bool) {
+        match self {
+            TemporalPattern::Contains => (StreamOpKind::ContainSemijoinStab, false),
+            TemporalPattern::During => (StreamOpKind::ContainedSemijoinStab, false),
+            TemporalPattern::GeneralOverlap | TemporalPattern::AllenOverlaps => {
+                (StreamOpKind::OverlapSemijoin, false)
+            }
+            TemporalPattern::Before => (StreamOpKind::BeforeSemijoin, false),
+            TemporalPattern::After => (StreamOpKind::BeforeSemijoin, true),
+        }
+    }
 }
 
 /// A successful recognition: the pattern, the variables it binds, and which

@@ -21,7 +21,7 @@ use tdb_core::{PeriodRow, Row, StreamOrder, TdbError, TdbResult, Temporal};
 use tdb_storage::Catalog;
 use tdb_stream::{
     from_sorted_vec, parallel_join, parallel_semijoin, Instrumented, MergeEquiJoin, OpConfig,
-    OpMetrics, OpReport, OverlapMode, ParallelPattern, TupleStream, WorkspaceStats,
+    OpMetrics, OpReport, OverlapMode, ParallelPattern, StreamOpKind, TupleStream, WorkspaceStats,
 };
 
 /// Aggregate execution statistics of one query run.
@@ -378,53 +378,80 @@ impl PhysicalPlan {
                     right_var,
                     pattern,
                     residual,
-                } if parallel_pattern(*pattern).is_some() => {
-                    let ppat = parallel_pattern(*pattern).expect("guarded");
-                    let (lrows, lscope) = left.run(catalog, stats)?;
-                    let (rrows, rscope) = right.run(catalog, stats)?;
-                    let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
-                    let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
-                    note_parallel_sorts(ppat, &lwrapped, &rwrapped, stats);
-                    let run =
-                        parallel_join(ppat, lwrapped, rwrapped, *partitions, OpConfig::new())?;
-                    stats.max_workspace = stats.max_workspace.max(run.report.max_workspace());
-                    stats.comparisons += run.report.metrics.comparisons as u64;
-                    let scope = lscope.concat(&rscope);
-                    let resolved = resolve_all(residual, |c| scope.index_of(c))?;
-                    let mut out = Vec::new();
-                    for (l, r) in run.items {
-                        let joined = l.row.concat(&r.row);
-                        stats.comparisons += residual.len() as u64;
-                        if eval_conjunction(&resolved, &joined) {
-                            out.push(joined);
+                } => match parallel_pattern(*pattern) {
+                    None => child.run(catalog, stats),
+                    Some(ppat) => {
+                        let (lrows, lscope) = left.run(catalog, stats)?;
+                        let (rrows, rscope) = right.run(catalog, stats)?;
+                        let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
+                        let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
+                        note_parallel_sorts(ppat, true, &lwrapped, &rwrapped, stats);
+                        #[cfg(debug_assertions)]
+                        let ws_cap = parallel_ws_cap(ppat, true, &lwrapped, &rwrapped);
+                        let run =
+                            parallel_join(ppat, lwrapped, rwrapped, *partitions, OpConfig::new())?;
+                        #[cfg(debug_assertions)]
+                        debug_assert!(
+                            run.report.max_workspace() <= ws_cap,
+                            "parallel {} workspace {} exceeded the static cap {ws_cap}",
+                            ppat.join_kind(),
+                            run.report.max_workspace()
+                        );
+                        stats.max_workspace = stats.max_workspace.max(run.report.max_workspace());
+                        stats.comparisons += run.report.metrics.comparisons as u64;
+                        let scope = lscope.concat(&rscope);
+                        let resolved = resolve_all(residual, |c| scope.index_of(c))?;
+                        let mut out = Vec::new();
+                        for (l, r) in run.items {
+                            let joined = l.row.concat(&r.row);
+                            stats.comparisons += residual.len() as u64;
+                            if eval_conjunction(&resolved, &joined) {
+                                out.push(joined);
+                            }
                         }
+                        stats.intermediate_rows += out.len();
+                        Ok((out, scope))
                     }
-                    stats.intermediate_rows += out.len();
-                    Ok((out, scope))
-                }
+                },
                 PhysicalPlan::StreamSemijoin {
                     left,
                     right,
                     left_var,
                     right_var,
                     pattern,
-                } if parallel_pattern(*pattern).is_some() => {
-                    let ppat = parallel_pattern(*pattern).expect("guarded");
-                    let (lrows, lscope) = left.run(catalog, stats)?;
-                    let (rrows, rscope) = right.run(catalog, stats)?;
-                    let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
-                    let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
-                    note_parallel_sorts(ppat, &lwrapped, &rwrapped, stats);
-                    let run =
-                        parallel_semijoin(ppat, lwrapped, rwrapped, *partitions, OpConfig::new())?;
-                    stats.max_workspace = stats.max_workspace.max(run.report.max_workspace());
-                    stats.comparisons += run.report.metrics.comparisons as u64;
-                    let out: Vec<Row> = run.items.into_iter().map(|p| p.row).collect();
-                    stats.intermediate_rows += out.len();
-                    Ok((out, lscope))
-                }
-                // Non-partitionable child (Before/After or a non-stream
-                // node): degrade gracefully to serial execution.
+                } => match parallel_pattern(*pattern) {
+                    None => child.run(catalog, stats),
+                    Some(ppat) => {
+                        let (lrows, lscope) = left.run(catalog, stats)?;
+                        let (rrows, rscope) = right.run(catalog, stats)?;
+                        let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
+                        let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
+                        note_parallel_sorts(ppat, false, &lwrapped, &rwrapped, stats);
+                        #[cfg(debug_assertions)]
+                        let ws_cap = parallel_ws_cap(ppat, false, &lwrapped, &rwrapped);
+                        let run = parallel_semijoin(
+                            ppat,
+                            lwrapped,
+                            rwrapped,
+                            *partitions,
+                            OpConfig::new(),
+                        )?;
+                        #[cfg(debug_assertions)]
+                        debug_assert!(
+                            run.report.max_workspace() <= ws_cap,
+                            "parallel {} workspace {} exceeded the static cap {ws_cap}",
+                            ppat.semijoin_kind(),
+                            run.report.max_workspace()
+                        );
+                        stats.max_workspace = stats.max_workspace.max(run.report.max_workspace());
+                        stats.comparisons += run.report.metrics.comparisons as u64;
+                        let out: Vec<Row> = run.items.into_iter().map(|p| p.row).collect();
+                        stats.intermediate_rows += out.len();
+                        Ok((out, lscope))
+                    }
+                },
+                // Non-partitionable child (a non-stream node): degrade
+                // gracefully to serial execution.
                 other => other.run(catalog, stats),
             },
             PhysicalPlan::SelfSemijoin {
@@ -469,7 +496,7 @@ impl PhysicalPlan {
                     rrows.iter().map(|r| r.get(ri).clone()).collect();
                 rkeys.sort();
                 rkeys.dedup();
-                stats.comparisons += (lrows.len() as u64) * (rkeys.len().max(2).ilog2() as u64);
+                stats.comparisons += (lrows.len() as u64) * u64::from(rkeys.len().max(2).ilog2());
                 let out: Vec<Row> = lrows
                     .into_iter()
                     .filter(|l| rkeys.binary_search(l.get(li)).is_ok())
@@ -674,26 +701,51 @@ pub(crate) fn parallel_pattern(pattern: TemporalPattern) -> Option<ParallelPatte
 }
 
 /// Count the sorts the parallel driver will perform internally, mirroring
-/// [`sort_wrapped`]'s "only if violated" accounting.
+/// [`sort_wrapped`]'s "only if violated" accounting. The per-worker
+/// orderings come from the operator registry, so this stays in lock-step
+/// with what the driver actually requires.
 fn note_parallel_sorts(
     pattern: ParallelPattern,
+    join: bool,
     l: &[PeriodRow],
     r: &[PeriodRow],
     stats: &mut ExecStats,
 ) {
-    let (lo, ro) = match pattern {
-        ParallelPattern::Contains => (StreamOrder::TS_ASC, StreamOrder::TE_ASC),
-        ParallelPattern::During => (StreamOrder::TE_ASC, StreamOrder::TS_ASC),
-        ParallelPattern::GeneralOverlap | ParallelPattern::AllenOverlaps => {
-            (StreamOrder::TS_ASC, StreamOrder::TS_ASC)
-        }
-    };
+    let (lo, ro) = pattern.worker_orders(join);
     for (rows, order) in [(l, lo), (r, ro)] {
         if order.first_violation(rows).is_some() {
             stats.sorts_performed += 1;
             stats.sort_rows += rows.len();
         }
     }
+}
+
+/// Sound static workspace cap for `kind` over these concrete inputs,
+/// derived from sweep statistics by [`crate::cost::workspace_cap`]. Debug
+/// builds cross-check every stream operator's runtime `OpReport.workspace`
+/// high-water mark against this bound.
+#[cfg(debug_assertions)]
+fn static_ws_cap(kind: StreamOpKind, x: &[PeriodRow], y: &[PeriodRow]) -> usize {
+    let xs = tdb_core::TemporalStats::compute(x);
+    let ys = tdb_core::TemporalStats::compute(y);
+    crate::cost::workspace_cap(kind, &xs, Some(&ys))
+}
+
+/// [`static_ws_cap`] for the parallel driver, normalizing the During swap
+/// the same way [`tdb_stream::parallel_join`] does.
+#[cfg(debug_assertions)]
+fn parallel_ws_cap(ppat: ParallelPattern, join: bool, l: &[PeriodRow], r: &[PeriodRow]) -> usize {
+    let kind = if join {
+        ppat.join_kind()
+    } else {
+        ppat.semijoin_kind()
+    };
+    let (x, y) = if join && ppat == ParallelPattern::During {
+        (r, l)
+    } else {
+        (l, r)
+    };
+    static_ws_cap(kind, x, y)
 }
 
 type PairResult = (Vec<(PeriodRow, PeriodRow)>, OpReport);
@@ -707,16 +759,28 @@ fn run_stream_join(
     let cfg = OpConfig::new();
     match pattern {
         TemporalPattern::Contains | TemporalPattern::During => {
-            // Normalize to container ⊇ containee; During swaps sides.
-            let swap = pattern == TemporalPattern::During;
+            // Normalize to container ⊇ containee; During swaps sides. The
+            // input orderings come from the registry entry of the operator
+            // the planner committed to, so the executor cannot drift from
+            // the Table 1 preconditions the analyzer certifies.
+            let (kind, swap) = pattern.join_op();
+            let req = kind.requirement();
+            let c_ord = req.left().unwrap_or(StreamOrder::TS_ASC);
+            let e_ord = req.right().unwrap_or(StreamOrder::TS_ASC);
             let (c, e) = if swap { (r, l) } else { (l, r) };
-            let c = sort_wrapped(c, StreamOrder::TS_ASC, stats);
-            let e = sort_wrapped(e, StreamOrder::TE_ASC, stats);
-            let mut op = cfg.contain_join_ts_te(
-                from_sorted_vec(c, StreamOrder::TS_ASC)?,
-                from_sorted_vec(e, StreamOrder::TE_ASC)?,
-            )?;
+            let c = sort_wrapped(c, c_ord, stats);
+            let e = sort_wrapped(e, e_ord, stats);
+            #[cfg(debug_assertions)]
+            let ws_cap = static_ws_cap(kind, &c, &e);
+            let mut op =
+                cfg.contain_join_ts_te(from_sorted_vec(c, c_ord)?, from_sorted_vec(e, e_ord)?)?;
             let mut pairs = op.collect_vec()?;
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                op.report().max_workspace() <= ws_cap,
+                "{kind} workspace {} exceeded the static cap {ws_cap}",
+                op.report().max_workspace()
+            );
             if swap {
                 pairs = pairs.into_iter().map(|(a, b)| (b, a)).collect();
             }
@@ -728,20 +792,39 @@ fn run_stream_join(
             } else {
                 OverlapMode::Strict
             };
-            let l = sort_wrapped(l, StreamOrder::TS_ASC, stats);
-            let r = sort_wrapped(r, StreamOrder::TS_ASC, stats);
-            let mut op = cfg.with_mode(mode).overlap_join(
-                from_sorted_vec(l, StreamOrder::TS_ASC)?,
-                from_sorted_vec(r, StreamOrder::TS_ASC)?,
-            )?;
+            let (kind, _) = pattern.join_op();
+            let req = kind.requirement();
+            let l_ord = req.left().unwrap_or(StreamOrder::TS_ASC);
+            let r_ord = req.right().unwrap_or(StreamOrder::TS_ASC);
+            let l = sort_wrapped(l, l_ord, stats);
+            let r = sort_wrapped(r, r_ord, stats);
+            #[cfg(debug_assertions)]
+            let ws_cap = static_ws_cap(kind, &l, &r);
+            let mut op = cfg
+                .with_mode(mode)
+                .overlap_join(from_sorted_vec(l, l_ord)?, from_sorted_vec(r, r_ord)?)?;
             let pairs = op.collect_vec()?;
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                op.report().max_workspace() <= ws_cap,
+                "{kind} workspace {} exceeded the static cap {ws_cap}",
+                op.report().max_workspace()
+            );
             Ok((pairs, op.report()))
         }
         TemporalPattern::Before | TemporalPattern::After => {
-            let swap = pattern == TemporalPattern::After;
+            let (kind, swap) = pattern.join_op();
             let (a, b) = if swap { (r, l) } else { (l, r) };
+            #[cfg(debug_assertions)]
+            let ws_cap = static_ws_cap(kind, &a, &b);
             let mut op = cfg.before_join(tdb_stream::from_vec(a), tdb_stream::from_vec(b))?;
             let mut pairs = op.collect_vec()?;
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                op.report().max_workspace() <= ws_cap,
+                "{kind} workspace {} exceeded the static cap {ws_cap}",
+                op.report().max_workspace()
+            );
             if swap {
                 pairs = pairs.into_iter().map(|(x, y)| (y, x)).collect();
             }
@@ -762,24 +845,44 @@ fn run_stream_semijoin(
     match pattern {
         TemporalPattern::During => {
             // Left rows contained in some right row: the Figure 6 stab
-            // algorithm with left sorted TE ↑ and right sorted TS ↑.
-            let l = sort_wrapped(l, StreamOrder::TE_ASC, stats);
-            let r = sort_wrapped(r, StreamOrder::TS_ASC, stats);
-            let mut op = cfg.contained_semijoin_stab(
-                from_sorted_vec(l, StreamOrder::TE_ASC)?,
-                from_sorted_vec(r, StreamOrder::TS_ASC)?,
-            )?;
+            // algorithm; the registry says left sorted TE ↑, right TS ↑.
+            let (kind, _) = pattern.semijoin_op();
+            let req = kind.requirement();
+            let l_ord = req.left().unwrap_or(StreamOrder::TE_ASC);
+            let r_ord = req.right().unwrap_or(StreamOrder::TS_ASC);
+            let l = sort_wrapped(l, l_ord, stats);
+            let r = sort_wrapped(r, r_ord, stats);
+            #[cfg(debug_assertions)]
+            let ws_cap = static_ws_cap(kind, &l, &r);
+            let mut op = cfg
+                .contained_semijoin_stab(from_sorted_vec(l, l_ord)?, from_sorted_vec(r, r_ord)?)?;
             let kept = op.collect_vec()?;
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                op.report().max_workspace() <= ws_cap,
+                "{kind} workspace {} exceeded the static cap {ws_cap}",
+                op.report().max_workspace()
+            );
             Ok((kept, op.report()))
         }
         TemporalPattern::Contains => {
-            let l = sort_wrapped(l, StreamOrder::TS_ASC, stats);
-            let r = sort_wrapped(r, StreamOrder::TE_ASC, stats);
-            let mut op = cfg.contain_semijoin_stab(
-                from_sorted_vec(l, StreamOrder::TS_ASC)?,
-                from_sorted_vec(r, StreamOrder::TE_ASC)?,
-            )?;
+            let (kind, _) = pattern.semijoin_op();
+            let req = kind.requirement();
+            let l_ord = req.left().unwrap_or(StreamOrder::TS_ASC);
+            let r_ord = req.right().unwrap_or(StreamOrder::TE_ASC);
+            let l = sort_wrapped(l, l_ord, stats);
+            let r = sort_wrapped(r, r_ord, stats);
+            #[cfg(debug_assertions)]
+            let ws_cap = static_ws_cap(kind, &l, &r);
+            let mut op =
+                cfg.contain_semijoin_stab(from_sorted_vec(l, l_ord)?, from_sorted_vec(r, r_ord)?)?;
             let kept = op.collect_vec()?;
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                op.report().max_workspace() <= ws_cap,
+                "{kind} workspace {} exceeded the static cap {ws_cap}",
+                op.report().max_workspace()
+            );
             Ok((kept, op.report()))
         }
         TemporalPattern::GeneralOverlap | TemporalPattern::AllenOverlaps => {
@@ -788,13 +891,24 @@ fn run_stream_semijoin(
             } else {
                 OverlapMode::Strict
             };
-            let l = sort_wrapped(l, StreamOrder::TS_ASC, stats);
-            let r = sort_wrapped(r, StreamOrder::TS_ASC, stats);
-            let mut op = cfg.with_mode(mode).overlap_semijoin(
-                from_sorted_vec(l, StreamOrder::TS_ASC)?,
-                from_sorted_vec(r, StreamOrder::TS_ASC)?,
-            )?;
+            let (kind, _) = pattern.semijoin_op();
+            let req = kind.requirement();
+            let l_ord = req.left().unwrap_or(StreamOrder::TS_ASC);
+            let r_ord = req.right().unwrap_or(StreamOrder::TS_ASC);
+            let l = sort_wrapped(l, l_ord, stats);
+            let r = sort_wrapped(r, r_ord, stats);
+            #[cfg(debug_assertions)]
+            let ws_cap = static_ws_cap(kind, &l, &r);
+            let mut op = cfg
+                .with_mode(mode)
+                .overlap_semijoin(from_sorted_vec(l, l_ord)?, from_sorted_vec(r, r_ord)?)?;
             let kept = op.collect_vec()?;
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                op.report().max_workspace() <= ws_cap,
+                "{kind} workspace {} exceeded the static cap {ws_cap}",
+                op.report().max_workspace()
+            );
             Ok((kept, op.report()))
         }
         TemporalPattern::Before => {

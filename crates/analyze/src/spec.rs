@@ -1,0 +1,329 @@
+//! The analyzer's intermediate form: one spec per stream operator and per
+//! parallel driver, plus the checks that prove each spec against the
+//! [`StreamOpKind`] registry.
+//!
+//! Specs are deliberately plain data with public fields: property tests
+//! build and *mutate* them to show the checker rejects every perturbation
+//! of a valid plan.
+
+use crate::error::{AnalyzeError, DedupMode, PlanPath};
+use tdb_core::StreamOrder;
+use tdb_stream::StreamOpKind;
+
+/// One stream-temporal operator occurrence inside a physical plan, with
+/// the input orderings that will hold when tuples reach it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOpSpec {
+    /// Which operator the executor will instantiate.
+    pub kind: StreamOpKind,
+    /// Ordering of each input at operator entry, in operand order (after
+    /// any side swap the executor performs). `None` = no declared order.
+    pub inputs: Vec<Option<StreamOrder>>,
+    /// Whether the executor must insert a sort to establish each entry
+    /// order (`false` = the child's inferred order already satisfies it).
+    pub sorts_inserted: Vec<bool>,
+    /// Position of the operator in the plan tree.
+    pub path: PlanPath,
+    /// `Some(k)` when the operator runs under a `Parallel` driver.
+    pub partitions: Option<usize>,
+    /// Expected workspace λ·E[D] (Little's law) from input statistics, if
+    /// known.
+    pub workspace_expectation: Option<f64>,
+    /// Sound workspace cap from the inputs' maximum concurrency, if known.
+    /// Debug builds assert the runtime `OpReport.workspace` stays under it.
+    pub workspace_cap: Option<usize>,
+}
+
+impl StreamOpSpec {
+    /// A bare spec with the given entry orders and no statistics — the
+    /// form hand-built by tests and the mutation harness.
+    pub fn new(kind: StreamOpKind, inputs: Vec<Option<StreamOrder>>) -> StreamOpSpec {
+        let sorts = vec![false; inputs.len()];
+        StreamOpSpec {
+            kind,
+            inputs,
+            sorts_inserted: sorts,
+            path: PlanPath::root(),
+            partitions: None,
+            workspace_expectation: None,
+            workspace_cap: None,
+        }
+    }
+}
+
+/// One `Parallel` driver occurrence: partition count, the operator it
+/// runs per partition, and the duplicate-elimination discipline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelSpec {
+    /// Number of time-range partitions.
+    pub partitions: usize,
+    /// The stream operator each partition runs; `None` when the wrapped
+    /// child is not a stream temporal join/semijoin at all.
+    pub child: Option<StreamOpKind>,
+    /// `true` for a join child, `false` for a semijoin child.
+    pub join: bool,
+    /// Whether tuples are replicated into every partition their lifespan
+    /// intersects. The driver always does this; a spec claiming otherwise
+    /// describes a driver that loses boundary matches.
+    pub replicate_fringe: bool,
+    /// Declared duplicate-elimination mode.
+    pub dedup: DedupMode,
+    /// Position of the `Parallel` node in the plan tree.
+    pub path: PlanPath,
+}
+
+impl ParallelSpec {
+    /// The dedup mode the node type requires: joins claim each pair at the
+    /// partition owning `max(x.TS, y.TS)`; semijoins merge by ordinal.
+    pub fn required_dedup(&self) -> DedupMode {
+        if self.join {
+            DedupMode::OwnerOfMax
+        } else {
+            DedupMode::OrdinalMerge
+        }
+    }
+}
+
+/// Prove one operator spec against the registry.
+///
+/// An entry passes when every input satisfies its required ordering
+/// *directly*, or when every input satisfies the **mirror** of its
+/// requirement simultaneously — the lower halves of Tables 1 and 2 are
+/// "the mirror image of the upper half", and the algebra layer serves them
+/// by reversing time on both streams at once. Mirroring only one side is
+/// not a licensed entry and is rejected.
+pub fn check_op(spec: &StreamOpSpec) -> Result<(), AnalyzeError> {
+    let req = spec.kind.requirement();
+    if spec.inputs.len() != req.arity() {
+        return Err(AnalyzeError::ArityMismatch {
+            path: spec.path.clone(),
+            kind: spec.kind,
+            given: spec.inputs.len(),
+            expected: req.arity(),
+        });
+    }
+    let holds = |declared: &Option<StreamOrder>, required: Option<StreamOrder>| match required {
+        None => true,
+        Some(r) => declared.map(|o| o.satisfies(&r)).unwrap_or(false),
+    };
+    let direct = spec
+        .inputs
+        .iter()
+        .zip(req.inputs)
+        .all(|(d, r)| holds(d, *r));
+    let mirrored = spec
+        .inputs
+        .iter()
+        .zip(req.inputs)
+        .all(|(d, r)| holds(d, r.map(|o| o.mirror())));
+    if direct || mirrored {
+        return Ok(());
+    }
+    // Report the first side that fails the direct requirement.
+    let side = |i: usize| match (req.arity(), i) {
+        (1, _) => "input",
+        (_, 0) => "X",
+        _ => "Y",
+    };
+    for (i, (declared, required)) in spec.inputs.iter().zip(req.inputs).enumerate() {
+        if !holds(declared, *required) {
+            return Err(AnalyzeError::OrderMismatch {
+                path: spec.path.clone(),
+                kind: spec.kind,
+                side: side(i),
+                found: *declared,
+                required: required.unwrap_or(StreamOrder::TS_ASC),
+            });
+        }
+    }
+    // Unreachable: !direct implies some side failed above.
+    Err(AnalyzeError::OrderMismatch {
+        path: spec.path.clone(),
+        kind: spec.kind,
+        side: "X",
+        found: spec.inputs.first().copied().flatten(),
+        required: req.left().unwrap_or(StreamOrder::TS_ASC),
+    })
+}
+
+/// Prove one parallel-driver spec: the child must be an
+/// intersection-witnessed stream operator, fringe replication must cover
+/// partition boundaries, and the dedup mode must match the node type.
+pub fn check_parallel(spec: &ParallelSpec) -> Result<(), AnalyzeError> {
+    let Some(kind) = spec.child else {
+        return Err(AnalyzeError::NotPartitionable {
+            path: spec.path.clone(),
+            operator: "a non-stream child".into(),
+            detail: "only stream temporal joins/semijoins decompose by time range".into(),
+        });
+    };
+    let req = kind.requirement();
+    if !req.partition_safe {
+        return Err(AnalyzeError::NotPartitionable {
+            path: spec.path.clone(),
+            operator: req.operator.into(),
+            detail: format!(
+                "its matches carry no shared time point, so no partition owns them ({})",
+                req.table_entry
+            ),
+        });
+    }
+    if spec.partitions == 0 {
+        return Err(AnalyzeError::InvalidPartitionCount {
+            path: spec.path.clone(),
+            partitions: spec.partitions,
+        });
+    }
+    if !spec.replicate_fringe {
+        return Err(AnalyzeError::FringeUncovered {
+            path: spec.path.clone(),
+            operator: req.operator.into(),
+        });
+    }
+    if spec.dedup != spec.required_dedup() {
+        return Err(AnalyzeError::DedupMismatch {
+            path: spec.path.clone(),
+            operator: req.operator.into(),
+            expected: spec.required_dedup(),
+            found: spec.dedup,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_core::SortSpec;
+
+    #[test]
+    fn overlap_join_under_ts_te_is_rejected() {
+        // The acceptance case: Overlap-join fed (TS ↑, TE ↑).
+        let spec = StreamOpSpec::new(
+            StreamOpKind::OverlapJoin,
+            vec![Some(StreamOrder::TS_ASC), Some(StreamOrder::TE_ASC)],
+        );
+        let err = check_op(&spec).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("Table 2 (a)"), "{msg}");
+        assert!(msg.contains("Y input"), "{msg}");
+    }
+
+    #[test]
+    fn contain_join_with_unsorted_input_is_rejected() {
+        let spec = StreamOpSpec::new(
+            StreamOpKind::ContainJoinTsTe,
+            vec![Some(StreamOrder::TS_ASC), None],
+        );
+        let err = check_op(&spec).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("declares no sort order"), "{msg}");
+        assert!(msg.contains("Table 1 (b)"), "{msg}");
+    }
+
+    #[test]
+    fn direct_and_fully_mirrored_entries_pass() {
+        let direct = StreamOpSpec::new(
+            StreamOpKind::ContainJoinTsTe,
+            vec![Some(StreamOrder::TS_ASC), Some(StreamOrder::TE_ASC)],
+        );
+        assert!(check_op(&direct).is_ok());
+        // Mirror of (TS ↑, TE ↑) is (TE ↓, TS ↓): the lower half of
+        // Table 1, served by time reversal.
+        let mirrored = StreamOpSpec::new(
+            StreamOpKind::ContainJoinTsTe,
+            vec![
+                Some(StreamOrder::TS_ASC.mirror()),
+                Some(StreamOrder::TE_ASC.mirror()),
+            ],
+        );
+        assert!(check_op(&mirrored).is_ok());
+        // Mirroring only one side is NOT a licensed Table 1 entry.
+        let half = StreamOpSpec::new(
+            StreamOpKind::ContainJoinTsTe,
+            vec![
+                Some(StreamOrder::TS_ASC.mirror()),
+                Some(StreamOrder::TE_ASC),
+            ],
+        );
+        assert!(check_op(&half).is_err());
+    }
+
+    #[test]
+    fn secondary_orders_satisfy_primary_requirements() {
+        // (TS ↑, TE ↑) is a refinement of TS ↑ — Table 3's self-semijoin
+        // input also satisfies any TS ↑ requirement.
+        let spec = StreamOpSpec::new(
+            StreamOpKind::OverlapJoin,
+            vec![
+                Some(StreamOrder::by_then(SortSpec::TS_ASC, SortSpec::TE_ASC)),
+                Some(StreamOrder::TS_ASC),
+            ],
+        );
+        assert!(check_op(&spec).is_ok());
+    }
+
+    #[test]
+    fn before_family_accepts_any_order_but_never_parallel() {
+        let spec = StreamOpSpec::new(StreamOpKind::BeforeJoin, vec![None, None]);
+        assert!(check_op(&spec).is_ok());
+        let par = ParallelSpec {
+            partitions: 4,
+            child: Some(StreamOpKind::BeforeJoin),
+            join: true,
+            replicate_fringe: true,
+            dedup: DedupMode::OwnerOfMax,
+            path: PlanPath::root(),
+        };
+        let err = check_parallel(&par).unwrap_err();
+        assert!(err.to_string().contains("§4.2.4"), "{err}");
+    }
+
+    #[test]
+    fn arity_mismatch_is_structural() {
+        let spec = StreamOpSpec::new(StreamOpKind::ContainedSelfSemijoin, vec![None, None]);
+        assert!(matches!(
+            check_op(&spec),
+            Err(AnalyzeError::ArityMismatch { expected: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_checks_fringe_dedup_and_count() {
+        let good = ParallelSpec {
+            partitions: 4,
+            child: Some(StreamOpKind::OverlapSemijoin),
+            join: false,
+            replicate_fringe: true,
+            dedup: DedupMode::OrdinalMerge,
+            path: PlanPath::root(),
+        };
+        assert!(check_parallel(&good).is_ok());
+        let mut no_fringe = good.clone();
+        no_fringe.replicate_fringe = false;
+        assert!(matches!(
+            check_parallel(&no_fringe),
+            Err(AnalyzeError::FringeUncovered { .. })
+        ));
+        let mut wrong_dedup = good.clone();
+        wrong_dedup.dedup = DedupMode::OwnerOfMax;
+        assert!(matches!(
+            check_parallel(&wrong_dedup),
+            Err(AnalyzeError::DedupMismatch { .. })
+        ));
+        let mut zero = good.clone();
+        zero.partitions = 0;
+        assert!(matches!(
+            check_parallel(&zero),
+            Err(AnalyzeError::InvalidPartitionCount { .. })
+        ));
+        let non_stream = ParallelSpec {
+            child: None,
+            ..good
+        };
+        assert!(matches!(
+            check_parallel(&non_stream),
+            Err(AnalyzeError::NotPartitionable { .. })
+        ));
+    }
+}

@@ -1,0 +1,154 @@
+//! The whole-plan verifier and its human-readable certificate.
+
+use crate::error::{render_errors, AnalyzeError};
+use crate::lower::{lower_plan, Lowered};
+use crate::spec::{check_op, check_parallel};
+use std::fmt::Write as _;
+use tdb_algebra::{plan, LogicalPlan, PhysicalPlan, PlannerConfig};
+use tdb_core::{TdbError, TdbResult};
+use tdb_storage::Catalog;
+
+/// Verifier knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AnalyzeConfig {
+    /// Reject plans whose per-operator expected workspace (λ·E[D] state
+    /// tuples) exceeds this value. `None` = report bounds, never reject.
+    pub workspace_budget: Option<f64>,
+}
+
+impl AnalyzeConfig {
+    /// Set the workspace budget in expected state tuples.
+    pub fn with_workspace_budget(mut self, budget: f64) -> AnalyzeConfig {
+        self.workspace_budget = Some(budget);
+        self
+    }
+}
+
+/// A successful analysis: the proven specs, renderable as a certificate.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The lowered plan the proofs ran over.
+    pub lowered: Lowered,
+}
+
+impl Analysis {
+    /// Render the certificate: one block per stream operator naming its
+    /// Table 1/2/3 entry, entry orders, inserted sorts, and workspace
+    /// bounds; one line per parallel driver.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let n = self.lowered.ops.len();
+        writeln!(
+            out,
+            "static analysis: {n} stream operator{} verified",
+            if n == 1 { "" } else { "s" }
+        )
+        .ok();
+        for op in &self.lowered.ops {
+            let req = op.kind.requirement();
+            writeln!(out, "  {}: {} — {}", op.path, op.kind, req.table_entry).ok();
+            let side = |i: usize| match (req.arity(), i) {
+                (1, _) => "input",
+                (_, 0) => "X",
+                _ => "Y",
+            };
+            for (i, order) in op.inputs.iter().enumerate() {
+                let sorted = if op.sorts_inserted.get(i).copied().unwrap_or(false) {
+                    " (sort inserted)"
+                } else {
+                    " (order reused)"
+                };
+                match order {
+                    Some(o) => writeln!(out, "      {}: {o}{sorted}", side(i)).ok(),
+                    None => writeln!(out, "      {}: any order", side(i)).ok(),
+                };
+            }
+            match (op.workspace_expectation, op.workspace_cap) {
+                (Some(e), Some(c)) => {
+                    writeln!(out, "      workspace: E[W] = λ·E[D] ≈ {e:.1}, cap {c}").ok();
+                }
+                _ => {
+                    writeln!(out, "      workspace: no input statistics").ok();
+                }
+            }
+        }
+        for p in &self.lowered.parallels {
+            let child = p
+                .child
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "non-stream child".into());
+            writeln!(
+                out,
+                "  {}: Parallel ×{} over {child} — fringe replication, {} dedup",
+                p.path, p.partitions, p.dedup
+            )
+            .ok();
+        }
+        out
+    }
+}
+
+/// Check an already-lowered plan, collecting every diagnostic.
+pub fn verify_lowered(lowered: &Lowered, config: &AnalyzeConfig) -> Vec<AnalyzeError> {
+    let mut errors = Vec::new();
+    for op in &lowered.ops {
+        if let Err(e) = check_op(op) {
+            errors.push(e);
+        }
+        if let (Some(budget), Some(expected)) = (config.workspace_budget, op.workspace_expectation)
+        {
+            if expected > budget {
+                errors.push(AnalyzeError::WorkspaceOverBudget {
+                    path: op.path.clone(),
+                    kind: op.kind,
+                    expected,
+                    budget,
+                });
+            }
+        }
+    }
+    for p in &lowered.parallels {
+        if let Err(e) = check_parallel(p) {
+            errors.push(e);
+        }
+    }
+    errors
+}
+
+/// Statically verify a physical plan: lower it, prove every stream
+/// operator against the registry, check every parallel driver, and apply
+/// the workspace budget. `catalog` supplies base-relation statistics and
+/// known orders; without it ordering proofs still run (the executor's
+/// inserted sorts are modeled) but workspace bounds are unavailable.
+pub fn verify(
+    physical: &PhysicalPlan,
+    catalog: Option<&Catalog>,
+    config: &AnalyzeConfig,
+) -> Result<Analysis, Vec<AnalyzeError>> {
+    let lowered = lower_plan(physical, catalog);
+    let errors = verify_lowered(&lowered, config);
+    if errors.is_empty() {
+        Ok(Analysis { lowered })
+    } else {
+        Err(errors)
+    }
+}
+
+/// Plan `logical` under `config` and refuse to return any physical plan
+/// the static verifier rejects — the "planner runs the verifier on every
+/// plan" entry point used by the CLI and facade (the analyzer depends on
+/// the algebra crate, so the planner itself cannot call back into it).
+pub fn plan_verified(
+    logical: &LogicalPlan,
+    config: PlannerConfig,
+    catalog: &Catalog,
+) -> TdbResult<(PhysicalPlan, Analysis)> {
+    let physical = plan(logical, config)?;
+    match verify(&physical, Some(catalog), &AnalyzeConfig::default()) {
+        Ok(analysis) => Ok((physical, analysis)),
+        Err(errors) => Err(TdbError::Plan(format!(
+            "static analysis rejected the plan:\n{}",
+            render_errors(&errors)
+        ))),
+    }
+}

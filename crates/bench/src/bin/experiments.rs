@@ -12,9 +12,14 @@
 //! cost, E6=Figure 4 aggregation, E15=time-partitioned parallel scaling.
 
 use std::collections::BTreeMap;
-use tdb::algebra::cost::{nested_loop_cost, predict_workspace, stream_join_cost, WorkspaceKind};
+use tdb::algebra::cost::{
+    nested_loop_cost, predict_workspace, stream_join_cost, workspace_cap, WorkspaceKind,
+};
 use tdb::prelude::*;
-use tdb_bench::*;
+use tdb_bench::{
+    bench_catalog, measure_buffered_contain, measure_contain_ts_te, measure_contain_ts_ts,
+    measure_nested_contain, row, timed, Workload,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -655,6 +660,11 @@ fn parallel(json: &mut BTreeMap<String, Json>) {
     let (sx, sy) = w.stats();
 
     let serial_model = stream_join_cost(WorkspaceKind::ContainJoinTsTe, &sx, &sy);
+    // Static workspace bound from the analyzer's cap table: each partition
+    // runs a ContainJoinTsTe over a fringe-replicated subset of the input,
+    // so its resident set is a subset of the globally concurrent intervals
+    // and the whole-input cap dominates every partition.
+    let static_cap = workspace_cap(tdb::stream::StreamOpKind::ContainJoinTsTe, &sx, Some(&sy));
     let mut rows_json = Vec::new();
     let mut serial_us = 0u128;
     let mut serial_cmp = 0usize;
@@ -683,6 +693,13 @@ fn parallel(json: &mut BTreeMap<String, Json>) {
         let speedup_cp = serial_cmp as f64 / critical as f64;
         let speedup_wall = serial_us as f64 / us.max(1) as f64;
         let model = tdb::algebra::cost::parallel_join_cost(serial_model, k, &sx, &sy);
+        // The analyzer's static bound must dominate the runtime peak that
+        // OpReport::combine_parallel observed across all K partitions.
+        let runtime_max = run.report.max_workspace();
+        assert!(
+            runtime_max <= static_cap,
+            "K={k}: runtime workspace max {runtime_max} exceeded the static cap {static_cap}"
+        );
         println!(
             "    K={k}: {:>8.1} ms wall ({speedup_wall:>4.2}×)   critical-path speedup {speedup_cp:>4.2}×   \
              {:>9} total comparisons   {} pairs",
@@ -697,12 +714,15 @@ fn parallel(json: &mut BTreeMap<String, Json>) {
             "speedup_critical_path" => speedup_cp,
             "speedup_wall" => speedup_wall,
             "model_comparisons" => model.comparisons,
+            "workspace_max" => runtime_max,
+            "workspace_static_cap" => static_cap,
         });
     }
     let doc = jobj! {
         "experiment" => "E15 parallel contain-join scaling",
         "cores" => cores,
         "n_per_side" => 40_000usize,
+        "workspace_static_cap" => static_cap,
         "rows" => Json::Array(rows_json.clone()),
     };
     std::fs::write("BENCH_parallel.json", doc.to_string_pretty()).unwrap();
@@ -716,7 +736,7 @@ fn aggregate(json: &mut BTreeMap<String, Json>) {
     let n_groups = 5_000;
     let per_group = 40;
     let rows: Vec<(Value, i64)> = (0..n_groups)
-        .flat_map(|g| (0..per_group).map(move |i| (Value::Int(g as i64), i as i64)))
+        .flat_map(|g| (0..per_group).map(move |i| (Value::Int(i64::from(g)), i64::from(i))))
         .collect();
 
     let ((n_stream, ws_stream), us_stream) = timed(|| {

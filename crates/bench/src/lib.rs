@@ -203,7 +203,7 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells
         .iter()
         .zip(widths)
-        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .map(|(c, w)| format!("{c:>w$}"))
         .collect::<Vec<_>>()
         .join("  ")
 }
@@ -224,15 +224,15 @@ mod tests {
     #[test]
     fn measurements_agree_across_algorithms() {
         let w = Workload::standard(800, 2);
-        let a = measure_contain_ts_ts(&w, ReadPolicy::MinKey);
-        let b = measure_contain_ts_te(&w);
-        let c = measure_buffered_contain(&w);
-        let d = measure_nested_contain(&w);
-        assert_eq!(a.output, b.output);
-        assert_eq!(a.output, c.output);
-        assert_eq!(a.output, d.output);
+        let ts_ts = measure_contain_ts_ts(&w, ReadPolicy::MinKey);
+        let ts_te = measure_contain_ts_te(&w);
+        let buffered = measure_buffered_contain(&w);
+        let nested = measure_nested_contain(&w);
+        assert_eq!(ts_ts.output, ts_te.output);
+        assert_eq!(ts_ts.output, buffered.output);
+        assert_eq!(ts_ts.output, nested.output);
         // Degenerate buffered join retains everything.
-        assert_eq!(c.max_workspace, 1600);
-        assert!(a.max_workspace < 400);
+        assert_eq!(buffered.max_workspace, 1600);
+        assert!(ts_ts.max_workspace < 400);
     }
 }

@@ -23,6 +23,9 @@ pub struct Session {
     catalog: Catalog,
     /// Echo logical and physical plans before running queries.
     pub explain: bool,
+    /// Echo the static-analysis certificate before running queries
+    /// (`\explain verify`).
+    pub verify: bool,
     /// Planner strategy for queries.
     pub config: PlannerConfig,
     /// Maximum rows printed per result.
@@ -47,6 +50,7 @@ impl Session {
         Ok(Session {
             catalog: Catalog::open(dir, IoStats::new())?,
             explain: false,
+            verify: false,
             config: PlannerConfig::stream(),
             row_limit: 20,
             buffer: String::new(),
@@ -84,7 +88,7 @@ impl Session {
         let parts: Vec<&str> = line.split_whitespace().collect();
         match parts.as_slice() {
             ["\\help"] => Ok(Some(HELP.to_string())),
-            ["\\quit"] | ["\\q"] => Ok(None),
+            ["\\quit" | "\\q"] => Ok(None),
             ["\\tables"] => {
                 let mut out = String::new();
                 for name in self.catalog.relation_names() {
@@ -111,7 +115,22 @@ impl Session {
             }
             ["\\explain", v @ ("on" | "off")] => {
                 self.explain = *v == "on";
+                if !self.explain {
+                    self.verify = false;
+                }
                 Ok(Some(format!("explain {v}\n")))
+            }
+            ["\\explain", "verify"] => {
+                self.explain = true;
+                self.verify = true;
+                Ok(Some(
+                    "explain verify (plans + static-analysis certificate)\n".into(),
+                ))
+            }
+            ["\\analyze", rest @ ..] if !rest.is_empty() => {
+                let text = rest.join(" ");
+                let text = text.trim_end_matches(';');
+                self.analyze_query(text).map(Some)
             }
             ["\\config", c] => {
                 self.config = match *c {
@@ -205,12 +224,18 @@ impl Session {
     fn run_query(&mut self, text: &str) -> TdbResult<String> {
         let (logical, _query) = compile(text, &self.catalog)?;
         let optimized = conventional_optimize(logical.clone());
-        let physical = plan(&optimized, self.config)?;
+        // Every plan passes the static verifier before it executes; the
+        // planner never emits a rejected plan, so a failure here means the
+        // plan tree was corrupted, not that the query is wrong.
+        let (physical, analysis) = plan_verified(&optimized, self.config, &self.catalog)?;
         let mut out = String::new();
         if self.explain {
             writeln!(out, "── logical (translated) ──\n{}", logical.parse_tree()).ok();
             writeln!(out, "── logical (optimized) ──\n{}", optimized.parse_tree()).ok();
             writeln!(out, "── physical ──\n{}", physical.explain()).ok();
+        }
+        if self.verify {
+            writeln!(out, "── static analysis ──\n{}", analysis.render()).ok();
         }
         let start = std::time::Instant::now();
         let result = physical.execute(&self.catalog)?;
@@ -249,6 +274,19 @@ impl Session {
         Ok(out)
     }
 
+    /// Statically analyze a query without running it: compile, optimize,
+    /// plan, and print the verifier's certificate (or its diagnostics).
+    /// Shared by the `\analyze` command and the `tdb analyze` subcommand.
+    pub fn analyze_query(&mut self, text: &str) -> TdbResult<String> {
+        let (logical, _query) = compile(text, &self.catalog)?;
+        let optimized = conventional_optimize(logical);
+        let (physical, analysis) = plan_verified(&optimized, self.config, &self.catalog)?;
+        let mut out = String::new();
+        writeln!(out, "── physical ──\n{}", physical.explain()).ok();
+        writeln!(out, "── static analysis ──\n{}", analysis.render()).ok();
+        Ok(out)
+    }
+
     fn superstar(&mut self) -> TdbResult<String> {
         self.catalog
             .meta("Faculty")
@@ -263,7 +301,7 @@ impl Session {
             } else {
                 PlannerConfig::stream()
             };
-            let physical = plan(&logical, config)?;
+            let (physical, _analysis) = plan_verified(&logical, config, &self.catalog)?;
             let start = std::time::Instant::now();
             let result = physical.execute(&self.catalog)?;
             let names: std::collections::BTreeSet<&str> = result
@@ -289,7 +327,8 @@ pub const HELP: &str = r#"commands:
   \gen faculty <n> [seed]                     load a generated Faculty relation
   \gen intervals <name> <n> <gap> <dur> [seed]  load a Poisson interval relation
   \tables                                     list relations and statistics
-  \explain on|off                             show plans before running
+  \explain on|off|verify                      show plans (verify: + static analysis)
+  \analyze <query>                            verify a query's plan without running it
   \config stream|conventional|naive           planner strategy
   \set parallelism <k>                        time-range partitions for stream operators
   \superstar                                  compare the Superstar formulations
@@ -343,6 +382,40 @@ mod tests {
         let msg = out(s.feed("range of f is Faculty retrieve (N=f.Name);"));
         assert!(msg.contains("── physical ──"), "{msg}");
         assert!(msg.contains("SeqScan Faculty"));
+    }
+
+    #[test]
+    fn explain_verify_prints_certificate() {
+        let mut s = session("v");
+        out(s.feed("\\gen faculty 30 5"));
+        out(s.feed("\\explain verify"));
+        assert!(s.verify);
+        let query = "range of f1 is Faculty range of f2 is Faculty \
+                     retrieve (N=f1.Name) \
+                     where f1.ValidFrom < f2.ValidFrom and f2.ValidTo < f1.ValidTo;";
+        let msg = out(s.feed(query));
+        assert!(msg.contains("── static analysis ──"), "{msg}");
+        assert!(msg.contains("Table 1 (b)"), "{msg}");
+        assert!(msg.contains("λ·E[D]"), "{msg}");
+        // `\explain off` clears verify too.
+        out(s.feed("\\explain off"));
+        assert!(!s.verify);
+    }
+
+    #[test]
+    fn analyze_command_verifies_without_running() {
+        let mut s = session("w");
+        out(s.feed("\\gen faculty 30 5"));
+        let msg = out(s.feed(
+            "\\analyze range of f1 is Faculty range of f2 is Faculty \
+             retrieve (N=f1.Name) where f1.ValidTo < f2.ValidFrom;",
+        ));
+        assert!(msg.contains("── static analysis ──"), "{msg}");
+        // Before-join: correct under any order, never partitioned.
+        assert!(msg.contains("BeforeJoin"), "{msg}");
+        assert!(msg.contains("any order"), "{msg}");
+        // No result footer — the query did not run.
+        assert!(!msg.contains("rows in"), "{msg}");
     }
 
     #[test]

@@ -4,9 +4,36 @@
 use std::io::{BufRead, Write};
 use tdb_cli::{LineResult, Session, HELP};
 
+/// `tdb analyze <query>` — statically verify a query's plan against the
+/// default catalog and print the certificate, without executing it.
+fn analyze_main(query_words: &[String]) -> ! {
+    let dir = std::env::temp_dir().join("tdb-cli-data");
+    let query = query_words.join(" ");
+    if query.trim().is_empty() {
+        eprintln!("usage: tdb analyze <query>");
+        std::process::exit(2);
+    }
+    let result =
+        Session::open(&dir).and_then(|mut s| s.analyze_query(query.trim().trim_end_matches(';')));
+    match result {
+        Ok(out) => {
+            println!("{out}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
-    let dir = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("analyze") {
+        analyze_main(&args[1..]);
+    }
+    let dir = args
+        .first()
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::env::temp_dir().join("tdb-cli-data"));
     let mut session = match Session::open(&dir) {

@@ -79,7 +79,7 @@ impl AllenRelation {
     /// Because the thirteen relations partition the space of interval pairs,
     /// exactly one always holds.
     pub fn classify(x: &Period, y: &Period) -> AllenRelation {
-        use std::cmp::Ordering::*;
+        use std::cmp::Ordering::{Equal, Greater, Less};
         match (x.start().cmp(&y.start()), x.end().cmp(&y.end())) {
             (Equal, Equal) => AllenRelation::Equal,
             (Equal, Less) => AllenRelation::Starts,

@@ -12,16 +12,25 @@ pub type TdbResult<T> = Result<T, TdbError>;
 #[derive(Debug, Clone)]
 pub enum TdbError {
     /// A period violated the intra-tuple constraint `ValidFrom < ValidTo`.
-    InvalidPeriod { start: TimePoint, end: TimePoint },
+    InvalidPeriod {
+        /// The offending `ValidFrom`.
+        start: TimePoint,
+        /// The offending `ValidTo`.
+        end: TimePoint,
+    },
     /// A stream delivered tuples out of its declared sort order.
     OrderViolation {
+        /// Operator or stream where the violation was observed.
         context: &'static str,
+        /// Human-readable description of the violating pair.
         detail: String,
     },
     /// An operator was configured with a sort ordering it does not support
     /// (the "-" entries of the paper's Tables 1 and 2).
     UnsupportedOrdering {
+        /// Operator that rejected the configuration.
         operator: &'static str,
+        /// The orderings declared vs. required.
         detail: String,
     },
     /// Underlying storage I/O failed.
@@ -34,8 +43,11 @@ pub enum TdbError {
     Catalog(String),
     /// Query-text parse error, with 1-based line/column.
     Parse {
+        /// 1-based source line of the error.
         line: usize,
+        /// 1-based source column of the error.
         column: usize,
+        /// What the parser expected or found.
         message: String,
     },
     /// Logical-plan construction or optimization failure.
@@ -45,7 +57,10 @@ pub enum TdbError {
     /// A tuple violated a declared integrity constraint.
     ConstraintViolation(String),
     /// The buffer pool could not satisfy a pin request.
-    BufferExhausted { capacity: usize },
+    BufferExhausted {
+        /// Total frames in the pool, all pinned.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for TdbError {

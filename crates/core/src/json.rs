@@ -432,12 +432,12 @@ impl From<i64> for Json {
 }
 impl From<i32> for Json {
     fn from(v: i32) -> Json {
-        Json::Int(v as i64)
+        Json::Int(i64::from(v))
     }
 }
 impl From<u32> for Json {
     fn from(v: u32) -> Json {
-        Json::Int(v as i64)
+        Json::Int(i64::from(v))
     }
 }
 impl From<u64> for Json {

@@ -172,26 +172,44 @@ impl StreamOrder {
     /// `ValidFrom ↑` then `ValidTo ↑` (Section 4.2.3 self-semijoin order).
     pub const TS_ASC_TE_ASC: StreamOrder = StreamOrder::by_then(SortSpec::TS_ASC, SortSpec::TE_ASC);
 
-    /// Compare two temporal items under the full ordering.
+    /// The sort criteria in significance order: the single lattice both the
+    /// comparators below and the static analyzer reason over. Every
+    /// comparison and every `satisfies` test goes through this list, so
+    /// primary/secondary handling cannot drift apart.
+    #[inline]
+    pub fn specs(&self) -> impl Iterator<Item = SortSpec> + '_ {
+        std::iter::once(self.primary).chain(self.secondary)
+    }
+
+    /// Compare two temporal items under the full ordering: the first
+    /// non-equal criterion in [`Self::specs`] decides.
     #[inline]
     pub fn compare<T: Temporal>(&self, a: &T, b: &T) -> Ordering {
-        let primary = self.primary.compare(a, b);
-        match (primary, self.secondary) {
-            (Ordering::Equal, Some(sec)) => sec.compare(a, b),
-            _ => primary,
-        }
+        self.specs()
+            .map(|spec| spec.compare(a, b))
+            .find(|o| *o != Ordering::Equal)
+            .unwrap_or(Ordering::Equal)
     }
 
     /// Does a stream sorted `self` *satisfy* a requirement of `required`?
     ///
-    /// True when the primary criteria agree and, if the requirement names a
-    /// secondary criterion, this ordering names the same one.
+    /// True exactly when `required.specs()` is a prefix of `self.specs()`:
+    /// a finer ordering satisfies every coarser requirement it extends.
     pub fn satisfies(&self, required: &StreamOrder) -> bool {
-        self.primary == required.primary
-            && match required.secondary {
-                None => true,
-                Some(sec) => self.secondary == Some(sec),
-            }
+        let mut mine = self.specs();
+        required.specs().all(|req| mine.next() == Some(req))
+    }
+
+    /// The mirror ordering: every criterion mirrored (paper Section 4.2.1 —
+    /// sorting on `ValidTo ↓` has the same effect as `ValidFrom ↑`). Table
+    /// 1/2's lower halves are the mirror images of their upper halves, so an
+    /// operator precondition is also met when **both** inputs deliver the
+    /// mirror of their required orderings.
+    pub fn mirror(&self) -> StreamOrder {
+        StreamOrder {
+            primary: self.primary.mirror(),
+            secondary: self.secondary.map(SortSpec::mirror),
+        }
     }
 
     /// Verify that `items` is sorted under this ordering; returns the index

@@ -66,7 +66,7 @@ impl TemporalStats {
             max_ts = max_ts.max_of(ts);
             max_te = max_te.max_of(te);
             let d = (te - ts).ticks();
-            dur_sum += d as i128;
+            dur_sum += i128::from(d);
             max_duration = max_duration.max(d);
             events.push((ts, 1));
             events.push((te, -1));
@@ -77,7 +77,7 @@ impl TemporalStats {
         let mut current = 0i64;
         let mut max_concurrency = 0i64;
         for (_, delta) in events {
-            current += delta as i64;
+            current += i64::from(delta);
             max_concurrency = max_concurrency.max(current);
         }
 

@@ -8,27 +8,54 @@ use tdb_core::{StreamOrder, TsTuple, Value};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ArrivalProcess {
     /// Deterministic gap of exactly `gap` ticks between arrivals.
-    FixedGap { gap: i64 },
+    FixedGap {
+        /// Ticks between consecutive `ValidFrom` values.
+        gap: i64,
+    },
     /// Exponentially distributed gaps with the given mean (a Poisson
     /// arrival process — the paper's `1/λ` mean inter-arrival time).
-    Poisson { mean_gap: f64 },
+    Poisson {
+        /// Mean inter-arrival gap, `1/λ`.
+        mean_gap: f64,
+    },
     /// Gaps drawn uniformly from `[min, max]`.
-    UniformGap { min: i64, max: i64 },
+    UniformGap {
+        /// Smallest possible gap.
+        min: i64,
+        /// Largest possible gap.
+        max: i64,
+    },
 }
 
 /// Distribution of lifespan durations.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DurationDist {
     /// Every lifespan lasts exactly `ticks`.
-    Fixed { ticks: i64 },
+    Fixed {
+        /// The constant duration.
+        ticks: i64,
+    },
     /// Durations drawn uniformly from `[min, max]`.
-    Uniform { min: i64, max: i64 },
+    Uniform {
+        /// Shortest possible duration.
+        min: i64,
+        /// Longest possible duration.
+        max: i64,
+    },
     /// Exponentially distributed durations with the given mean.
-    Exponential { mean: f64 },
+    Exponential {
+        /// Mean duration `E[D]`.
+        mean: f64,
+    },
     /// Pareto (heavy-tailed) durations: minimum `scale`, shape `alpha`.
     /// Small `alpha` (e.g. 1.2) yields occasional very long lifespans —
     /// the regime where long-lived tuples pin down stream-operator state.
-    Pareto { scale: f64, alpha: f64 },
+    Pareto {
+        /// Minimum duration (the Pareto scale parameter).
+        scale: f64,
+        /// Tail shape — smaller is heavier-tailed.
+        alpha: f64,
+    },
 }
 
 impl DurationDist {

@@ -238,21 +238,21 @@ mod tests {
         }
     }
 
-    fn eval_atom_on_periods(a: &Atom, x: &tdb_core::Period, y: &tdb_core::Period) -> bool {
-        let get = |t: &Term| -> Value {
-            match t {
-                Term::Column(c) => {
-                    let p = if c.var == "x" { x } else { y };
-                    Value::Time(if c.attr == "ValidFrom" {
-                        p.start()
+    fn eval_atom_on_periods(atom: &Atom, x: &tdb_core::Period, y: &tdb_core::Period) -> bool {
+        let get = |term: &Term| -> Value {
+            match term {
+                Term::Column(col) => {
+                    let period = if col.var == "x" { x } else { y };
+                    Value::Time(if col.attr == "ValidFrom" {
+                        period.start()
                     } else {
-                        p.end()
+                        period.end()
                     })
                 }
                 Term::Const(v) => v.clone(),
             }
         };
-        a.op.eval(&get(&a.left), &get(&a.right))
+        atom.op.eval(&get(&atom.left), &get(&atom.right))
     }
 
     #[test]

@@ -168,7 +168,7 @@ fn collect_vars(plan: &LogicalPlan, relation: &str, out: &mut Vec<String>) {
             }
         }
         LogicalPlan::Select { input, .. } | LogicalPlan::Project { input, .. } => {
-            collect_vars(input, relation, out)
+            collect_vars(input, relation, out);
         }
         LogicalPlan::Product { left, right }
         | LogicalPlan::Join { left, right, .. }

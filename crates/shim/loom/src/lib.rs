@@ -1,0 +1,42 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) permutation
+//! tester.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! the subset of loom's API the workspace's concurrency models use —
+//! [`model`], `thread::spawn`, and the `sync` re-exports — backed by the
+//! real `std` primitives. [`model`] runs the closure several times to
+//! shake out scheduling-dependent behavior, but it does **not** perform
+//! loom's exhaustive interleaving exploration; with registry access,
+//! swapping in the real crate upgrades the same tests to full model
+//! checking (call sites are compatible).
+
+/// Thread primitives — `std::thread` under the shim, loom's controlled
+/// scheduler under the real crate.
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Synchronization primitives — `std::sync` under the shim.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Atomic types — `std::sync::atomic` under the shim.
+    pub mod atomic {
+        pub use std::sync::atomic::*;
+    }
+}
+
+/// Run a concurrency model.
+///
+/// Real loom explores every valid interleaving of the closure's threads;
+/// this stand-in re-runs it a fixed number of times under the OS
+/// scheduler, which still catches gross races (lost updates, deadlocks
+/// that do not depend on a rare schedule) deterministically enough for CI.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for _ in 0..32 {
+        f();
+    }
+}

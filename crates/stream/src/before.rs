@@ -22,6 +22,7 @@
 //! that detail.
 
 use crate::metrics::OpMetrics;
+use crate::required::{RequiredOrder, StreamOpKind};
 use crate::stream::TupleStream;
 use tdb_core::{StreamOrder, TdbResult, Temporal, TimePoint};
 
@@ -41,6 +42,14 @@ where
     /// Index of the next y to pair with `current_x`.
     y_idx: usize,
     metrics: OpMetrics,
+}
+
+impl<X: TupleStream, Y: TupleStream> RequiredOrder for BeforeJoin<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    const KIND: StreamOpKind = StreamOpKind::BeforeJoin;
 }
 
 impl<X: TupleStream, Y: TupleStream> BeforeJoin<X, Y>
@@ -143,6 +152,13 @@ where
     max_y_ts: Option<TimePoint>,
     metrics: OpMetrics,
     input_order: Option<StreamOrder>,
+}
+
+impl<X: TupleStream> RequiredOrder for BeforeSemijoin<X>
+where
+    X::Item: Temporal + Clone,
+{
+    const KIND: StreamOpKind = StreamOpKind::BeforeSemijoin;
 }
 
 impl<X: TupleStream> BeforeSemijoin<X>

@@ -46,29 +46,11 @@
 
 use crate::metrics::OpMetrics;
 use crate::read_policy::{Advance, PolicyState, ReadPolicy};
+use crate::required::{check_stream_order, RequiredOrder, StreamOpKind};
 use crate::stream::TupleStream;
 use crate::workspace::{Workspace, WorkspaceStats};
 use std::collections::VecDeque;
 use tdb_core::{StreamOrder, TdbError, TdbResult, Temporal};
-
-fn require_order<S: TupleStream>(
-    s: &S,
-    required: StreamOrder,
-    operator: &'static str,
-    side: &str,
-) -> TdbResult<()> {
-    match s.order() {
-        Some(o) if o.satisfies(&required) => Ok(()),
-        Some(o) => Err(TdbError::UnsupportedOrdering {
-            operator,
-            detail: format!("{side} input is sorted {o}, operator requires {required}"),
-        }),
-        None => Err(TdbError::UnsupportedOrdering {
-            operator,
-            detail: format!("{side} input declares no sort order; {required} required"),
-        }),
-    }
-}
 
 /// Contain-join with both inputs sorted `ValidFrom ↑` (Figure 5).
 ///
@@ -106,6 +88,14 @@ where
     started: bool,
 }
 
+impl<X: TupleStream, Y: TupleStream> RequiredOrder for ContainJoinTsTs<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    const KIND: StreamOpKind = StreamOpKind::ContainJoinTsTs;
+}
+
 impl<X: TupleStream, Y: TupleStream> ContainJoinTsTs<X, Y>
 where
     X::Item: Temporal + Clone,
@@ -116,8 +106,9 @@ where
 
     /// Build the operator, verifying both inputs declare `ValidFrom ↑`.
     pub fn new(x: X, y: Y, policy: ReadPolicy) -> TdbResult<Self> {
-        require_order(&x, Self::REQUIRED, "ContainJoinTsTs", "X")?;
-        require_order(&y, Self::REQUIRED, "ContainJoinTsTs", "Y")?;
+        let req = Self::KIND.requirement();
+        check_stream_order(&x, req.left(), req.operator, "X")?;
+        check_stream_order(&y, req.right(), req.operator, "Y")?;
         Ok(ContainJoinTsTs {
             x,
             y,
@@ -199,7 +190,11 @@ where
     /// Process the buffered X tuple: join it against the Y state, retain it
     /// as X state, then run the GC phase against the refreshed buffers.
     fn process_x(&mut self) -> TdbResult<()> {
-        let x = self.x_buf.take().expect("process_x requires a buffered x");
+        let Some(x) = self.x_buf.take() else {
+            return Err(TdbError::Eval(
+                "contain-join advanced an empty X buffer".into(),
+            ));
+        };
         let xp = x.period();
         for y in self.state_y.iter() {
             self.metrics.comparisons += 1;
@@ -214,7 +209,11 @@ where
     }
 
     fn process_y(&mut self) -> TdbResult<()> {
-        let y = self.y_buf.take().expect("process_y requires a buffered y");
+        let Some(y) = self.y_buf.take() else {
+            return Err(TdbError::Eval(
+                "contain-join advanced an empty Y buffer".into(),
+            ));
+        };
         let yp = y.period();
         for x in self.state_x.iter() {
             self.metrics.comparisons += 1;
@@ -307,6 +306,14 @@ where
     started: bool,
 }
 
+impl<X: TupleStream, Y: TupleStream> RequiredOrder for ContainJoinTsTe<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    const KIND: StreamOpKind = StreamOpKind::ContainJoinTsTe;
+}
+
 impl<X: TupleStream, Y: TupleStream> ContainJoinTsTe<X, Y>
 where
     X::Item: Temporal + Clone,
@@ -319,8 +326,9 @@ where
 
     /// Build the operator, verifying the input orders.
     pub fn new(x: X, y: Y) -> TdbResult<Self> {
-        require_order(&x, Self::REQUIRED_X, "ContainJoinTsTe", "X")?;
-        require_order(&y, Self::REQUIRED_Y, "ContainJoinTsTe", "Y")?;
+        let req = Self::KIND.requirement();
+        check_stream_order(&x, req.left(), req.operator, "X")?;
+        check_stream_order(&y, req.right(), req.operator, "Y")?;
         Ok(ContainJoinTsTe {
             x,
             y,
@@ -382,23 +390,29 @@ where
             self.metrics.read_right += 1;
             let yp = y.period();
 
-            // Read phase: pull every x that could contain this or a later y
-            // (all x with x.TS < y.TS; later y has TE ≥ y.TE but TS is
-            // unconstrained, so the read frontier is per-y).
-            while let Some(xb) = &self.x_buf {
-                self.metrics.comparisons += 1;
-                if xb.ts() < yp.start() {
-                    let x = self.x_buf.take().expect("checked above");
-                    self.state_x.insert(x);
-                    self.refill_x()?;
-                } else {
-                    break;
-                }
-            }
-
             // GC phase (paper-corrected condition, see module docs): x with
             // x.TE < y_b.TE can contain neither this y nor any later one.
             self.state_x.gc(|x| x.te() >= yp.end());
+
+            // Read phase: pull every x that could contain this or a later y
+            // (all x with x.TS < y.TS; later y has TE ≥ y.TE but TS is
+            // unconstrained, so the read frontier is per-y). The GC
+            // condition doubles as an admission filter: a dead-on-arrival
+            // x (x.TE < y_b.TE) never enters the state, so every resident
+            // x spans the sweep point y_b.TE and the workspace never
+            // transiently exceeds Table 1's state (b).
+            while let Some(xb) = self.x_buf.take() {
+                self.metrics.comparisons += 1;
+                if xb.ts() < yp.start() {
+                    if xb.te() >= yp.end() {
+                        self.state_x.insert(xb);
+                    }
+                    self.refill_x()?;
+                } else {
+                    self.x_buf = Some(xb);
+                    break;
+                }
+            }
 
             // Join phase: y against the surviving X state.
             for x in self.state_x.iter() {
@@ -420,7 +434,7 @@ mod tests {
     use super::*;
     use crate::stream::from_sorted_vec;
     use proptest::prelude::*;
-    use tdb_core::TsTuple;
+    use tdb_core::{TdbError, TsTuple};
     use tdb_gen::IntervalGen;
 
     fn iv(s: i64, e: i64) -> TsTuple {
@@ -585,16 +599,16 @@ mod tests {
     fn metrics_count_reads_and_emits() {
         let xs = vec![iv(0, 10), iv(20, 30)];
         let ys = vec![iv(1, 2), iv(21, 22)];
-        let x = from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap();
-        let y = from_sorted_vec(ys, StreamOrder::TS_ASC).unwrap();
-        let mut j = ContainJoinTsTs::new(x, y, ReadPolicy::MinKey).unwrap();
-        let n = j.collect_vec().unwrap().len();
-        let m = j.metrics();
-        assert_eq!(n, 2);
-        assert_eq!(m.emitted, 2);
-        assert_eq!(m.read_left, 2);
-        assert_eq!(m.read_right, 2);
-        assert_eq!(m.passes, 1);
+        let x_in = from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap();
+        let y_in = from_sorted_vec(ys, StreamOrder::TS_ASC).unwrap();
+        let mut join = ContainJoinTsTs::new(x_in, y_in, ReadPolicy::MinKey).unwrap();
+        let n_out = join.collect_vec().unwrap().len();
+        let metrics = join.metrics();
+        assert_eq!(n_out, 2);
+        assert_eq!(metrics.emitted, 2);
+        assert_eq!(metrics.read_left, 2);
+        assert_eq!(metrics.read_right, 2);
+        assert_eq!(metrics.passes, 1);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod overlap_join;
 pub mod partition;
 pub mod read_policy;
 pub mod report;
+pub mod required;
 pub mod self_semijoin;
 pub mod stab_semijoin;
 pub mod stream;
@@ -59,11 +60,12 @@ pub use metrics::OpMetrics;
 pub use nested_loop::NestedLoopJoin;
 pub use overlap_join::{OverlapJoin, OverlapMode, OverlapSemijoin};
 pub use partition::{
-    parallel_join, parallel_semijoin, partition_with_fringe, KWayMerge, ParallelPattern,
-    ParallelRun, PartitionSpec, Tagged,
+    merge_tagged, parallel_join, parallel_semijoin, partition_with_fringe, KWayMerge,
+    ParallelPattern, ParallelRun, PartitionSpec, Tagged,
 };
 pub use read_policy::ReadPolicy;
 pub use report::{timeslice, Instrumented, OpConfig, OpReport};
+pub use required::{check_stream_order, OrderRequirement, RequiredOrder, StreamOpKind};
 pub use self_semijoin::{ContainSelfSemijoin, ContainSelfSemijoinDesc, ContainedSelfSemijoin};
 pub use stab_semijoin::{ContainSemijoinStab, ContainedSemijoinStab};
 pub use stream::{from_sorted_vec, from_vec, OrderChecked, TupleStream, VecStream};

@@ -17,6 +17,7 @@
 
 use crate::metrics::OpMetrics;
 use crate::read_policy::{Advance, PolicyState, ReadPolicy};
+use crate::required::{check_stream_order, RequiredOrder, StreamOpKind};
 use crate::stream::TupleStream;
 use crate::workspace::{Workspace, WorkspaceStats};
 use std::collections::VecDeque;
@@ -42,20 +43,6 @@ impl OverlapMode {
     }
 }
 
-fn require_ts_asc<S: TupleStream>(s: &S, operator: &'static str, side: &str) -> TdbResult<()> {
-    match s.order() {
-        Some(o) if o.satisfies(&StreamOrder::TS_ASC) => Ok(()),
-        Some(o) => Err(TdbError::UnsupportedOrdering {
-            operator,
-            detail: format!("{side} input is sorted {o}, operator requires ValidFrom ↑"),
-        }),
-        None => Err(TdbError::UnsupportedOrdering {
-            operator,
-            detail: format!("{side} input declares no sort order; ValidFrom ↑ required"),
-        }),
-    }
-}
-
 /// Overlap join over two `ValidFrom ↑` streams.
 pub struct OverlapJoin<X: TupleStream, Y: TupleStream>
 where
@@ -76,6 +63,14 @@ where
     started: bool,
 }
 
+impl<X: TupleStream, Y: TupleStream> RequiredOrder for OverlapJoin<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    const KIND: StreamOpKind = StreamOpKind::OverlapJoin;
+}
+
 impl<X: TupleStream, Y: TupleStream> OverlapJoin<X, Y>
 where
     X::Item: Temporal + Clone,
@@ -83,8 +78,9 @@ where
 {
     /// Build the operator over `ValidFrom ↑` inputs.
     pub fn new(x: X, y: Y, mode: OverlapMode, policy: ReadPolicy) -> TdbResult<Self> {
-        require_ts_asc(&x, "OverlapJoin", "X")?;
-        require_ts_asc(&y, "OverlapJoin", "Y")?;
+        let req = Self::KIND.requirement();
+        check_stream_order(&x, req.left(), req.operator, "X")?;
+        check_stream_order(&y, req.right(), req.operator, "Y")?;
         Ok(OverlapJoin {
             x,
             y,
@@ -165,7 +161,11 @@ where
     }
 
     fn process_x(&mut self) -> TdbResult<()> {
-        let x = self.x_buf.take().expect("buffered x");
+        let Some(x) = self.x_buf.take() else {
+            return Err(TdbError::Eval(
+                "overlap-join advanced an empty X buffer".into(),
+            ));
+        };
         let xp = x.period();
         for y in self.state_y.iter() {
             self.metrics.comparisons += 1;
@@ -180,7 +180,11 @@ where
     }
 
     fn process_y(&mut self) -> TdbResult<()> {
-        let y = self.y_buf.take().expect("buffered y");
+        let Some(y) = self.y_buf.take() else {
+            return Err(TdbError::Eval(
+                "overlap-join advanced an empty Y buffer".into(),
+            ));
+        };
         let yp = y.period();
         for x in self.state_x.iter() {
             self.metrics.comparisons += 1;
@@ -298,6 +302,14 @@ where
     },
 }
 
+impl<X: TupleStream, Y: TupleStream> RequiredOrder for OverlapSemijoin<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    const KIND: StreamOpKind = StreamOpKind::OverlapSemijoin;
+}
+
 impl<X: TupleStream, Y: TupleStream> OverlapSemijoin<X, Y>
 where
     X::Item: Temporal + Clone,
@@ -305,8 +317,9 @@ where
 {
     /// Build the operator over `ValidFrom ↑` inputs.
     pub fn new(x: X, y: Y, mode: OverlapMode, policy: ReadPolicy) -> TdbResult<Self> {
-        require_ts_asc(&x, "OverlapSemijoin", "X")?;
-        require_ts_asc(&y, "OverlapSemijoin", "Y")?;
+        let req = Self::KIND.requirement();
+        check_stream_order(&x, req.left(), req.operator, "X")?;
+        check_stream_order(&y, req.right(), req.operator, "Y")?;
         let metrics = OpMetrics {
             passes: 1,
             ..OpMetrics::default()
@@ -479,7 +492,11 @@ where
                     };
                     match advance {
                         Advance::Left => {
-                            let xt = x_buf.take().expect("buffered x");
+                            let Some(xt) = x_buf.take() else {
+                                return Err(TdbError::Eval(
+                                    "overlap-semijoin advanced an empty X buffer".into(),
+                                ));
+                            };
                             let xp = xt.period();
                             metrics.comparisons += state_y.len();
                             if state_y.iter().any(|yt| xp.allen_overlaps(&yt.period())) {
@@ -493,7 +510,11 @@ where
                             }
                         }
                         Advance::Right => {
-                            let yt = y_buf.take().expect("buffered y");
+                            let Some(yt) = y_buf.take() else {
+                                return Err(TdbError::Eval(
+                                    "overlap-semijoin advanced an empty Y buffer".into(),
+                                ));
+                            };
                             let yp = yt.period();
                             metrics.comparisons += state_x.len();
                             let witnessed = state_x.extract(|xt| xt.period().allen_overlaps(&yp));

@@ -35,6 +35,7 @@
 
 use crate::overlap_join::OverlapMode;
 use crate::report::{Instrumented, OpConfig, OpReport};
+use crate::required::StreamOpKind;
 use crate::stream::{from_sorted_vec, TupleStream};
 use tdb_core::{Period, StreamOrder, TdbError, TdbResult, Temporal, TimePoint};
 
@@ -238,17 +239,15 @@ where
         let mut best: Option<usize> = None;
         for (i, buf) in self.bufs.iter().enumerate() {
             let Some(item) = buf else { continue };
-            best = match best {
-                Some(b)
-                    if self
-                        .order
-                        .compare(self.bufs[b].as_ref().expect("buffered"), item)
-                        != std::cmp::Ordering::Greater =>
-                {
-                    Some(b)
-                }
-                _ => Some(i),
+            // Ties break toward the lower-indexed input: replace the
+            // leader only on a strictly greater key.
+            let better = match best.and_then(|b| self.bufs[b].as_ref()) {
+                Some(leader) => self.order.compare(leader, item) == std::cmp::Ordering::Greater,
+                None => true,
             };
+            if better {
+                best = Some(i);
+            }
         }
         let Some(i) = best else {
             return Ok(None);
@@ -286,6 +285,47 @@ impl ParallelPattern {
             ParallelPattern::During => y.contains(x),
             ParallelPattern::GeneralOverlap => x.overlaps(y),
             ParallelPattern::AllenOverlaps => x.allen_overlaps(y),
+        }
+    }
+
+    /// The serial join operator each partition worker instantiates.
+    /// `During` reuses the `Contains` worker with swapped sides.
+    pub fn join_kind(self) -> StreamOpKind {
+        match self {
+            ParallelPattern::Contains | ParallelPattern::During => StreamOpKind::ContainJoinTsTe,
+            ParallelPattern::GeneralOverlap | ParallelPattern::AllenOverlaps => {
+                StreamOpKind::OverlapJoin
+            }
+        }
+    }
+
+    /// The serial semijoin operator each partition worker instantiates.
+    pub fn semijoin_kind(self) -> StreamOpKind {
+        match self {
+            ParallelPattern::Contains => StreamOpKind::ContainSemijoinStab,
+            ParallelPattern::During => StreamOpKind::ContainedSemijoinStab,
+            ParallelPattern::GeneralOverlap | ParallelPattern::AllenOverlaps => {
+                StreamOpKind::OverlapSemijoin
+            }
+        }
+    }
+
+    /// The orders the partitioned driver sorts its (left, right) inputs
+    /// into before dispatch — read off the worker operator's registry
+    /// entry, with `During` joins accounting for their side swap.
+    pub fn worker_orders(self, join: bool) -> (StreamOrder, StreamOrder) {
+        let kind = if join {
+            self.join_kind()
+        } else {
+            self.semijoin_kind()
+        };
+        let req = kind.requirement();
+        let l = req.left().unwrap_or(StreamOrder::TS_ASC);
+        let r = req.right().unwrap_or(StreamOrder::TS_ASC);
+        if join && self == ParallelPattern::During {
+            (r, l)
+        } else {
+            (l, r)
         }
     }
 }
@@ -364,10 +404,7 @@ where
     let Some(spec) = PartitionSpec::covering(&xs, &ys, k) else {
         return Ok(ParallelRun::empty(k));
     };
-    let (x_order, y_order) = match pattern {
-        ParallelPattern::Contains => (StreamOrder::TS_ASC, StreamOrder::TE_ASC),
-        _ => (StreamOrder::TS_ASC, StreamOrder::TS_ASC),
-    };
+    let (x_order, y_order) = pattern.worker_orders(true);
     let mut xs = xs;
     let mut ys = ys;
     x_order.sort(&mut xs);
@@ -452,11 +489,7 @@ where
     let Some(spec) = PartitionSpec::covering(&xs, &ys, k) else {
         return Ok(ParallelRun::empty(k));
     };
-    let (x_order, y_order) = match pattern {
-        ParallelPattern::Contains => (StreamOrder::TS_ASC, StreamOrder::TE_ASC),
-        ParallelPattern::During => (StreamOrder::TE_ASC, StreamOrder::TS_ASC),
-        _ => (StreamOrder::TS_ASC, StreamOrder::TS_ASC),
-    };
+    let (x_order, y_order) = pattern.worker_orders(false);
     let mut xs = xs;
     let mut ys = ys;
     x_order.sort(&mut xs);

@@ -1,0 +1,284 @@
+//! Declared input-ordering requirements — the single registry behind both
+//! the operator constructors and the static plan verifier.
+//!
+//! Tables 1–3 of the paper index each stream operator by the input sort
+//! orderings under which it is correct and bounded. Before this module
+//! existed those preconditions lived as per-file `require_order` helpers and
+//! scattered constants; the executor and the partition layer each kept their
+//! own copies of the same table. Everything now reads from
+//! [`StreamOpKind::requirement`]:
+//!
+//! * operator constructors call [`check_stream_order`] against their entry,
+//! * the algebra executor derives its sort decisions from the same entry,
+//! * `tdb-analyze` proves plans against it before a single tuple flows.
+//!
+//! Constructors accept only the *direct* orderings — the mirrored lower
+//! halves of Tables 1/2 ("the mirror image of the upper half") are served by
+//! time reversal in the algebra layer, so mirror acceptance is the
+//! analyzer's job ([`StreamOrder::mirror`]), not the operator's.
+
+use crate::stream::TupleStream;
+use std::fmt;
+use tdb_core::{SortSpec, StreamOrder, TdbError, TdbResult};
+
+/// The input-ordering contract of one stream operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderRequirement {
+    /// Operator name as reported in diagnostics.
+    pub operator: &'static str,
+    /// Required ordering per input, in operand order. One entry for unary
+    /// (self-semijoin) operators, two for binary ones. `None` means the
+    /// operator is correct under any input order (Before-join — at the cost
+    /// of unbounded state, which the workspace analyzer accounts for
+    /// separately).
+    pub inputs: &'static [Option<StreamOrder>],
+    /// The Table 1/2/3 entry (or section) this precondition comes from.
+    pub table_entry: &'static str,
+    /// Whether the operator's predicate is intersection-witnessed and may
+    /// therefore run under `PhysicalPlan::Parallel` with fringe replication
+    /// (Before/After are not: a match carries no shared time point, so no
+    /// partition owns it).
+    pub partition_safe: bool,
+}
+
+impl OrderRequirement {
+    /// Requirement on the left (first) input.
+    pub fn left(&self) -> Option<StreamOrder> {
+        self.inputs.first().copied().flatten()
+    }
+
+    /// Requirement on the right (second) input, if the operator is binary.
+    pub fn right(&self) -> Option<StreamOrder> {
+        self.inputs.get(1).copied().flatten()
+    }
+
+    /// Number of inputs the operator consumes.
+    pub fn arity(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
+/// `ValidFrom ↓` then `ValidTo ↓` — [`ContainSelfSemijoinDesc`]'s order
+/// (Table 3 row 2, the mirror image of the ascending self-semijoin order).
+///
+/// [`ContainSelfSemijoinDesc`]: crate::self_semijoin::ContainSelfSemijoinDesc
+pub const TS_DESC_TE_DESC: StreamOrder = StreamOrder::by_then(SortSpec::TS_DESC, SortSpec::TE_DESC);
+
+/// Every stream-temporal operator kind known to the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamOpKind {
+    /// Contain-join, both inputs `ValidFrom ↑` (Figure 5, Table 1 (a)).
+    ContainJoinTsTs,
+    /// Contain-join, X `ValidFrom ↑` / Y `ValidTo ↑` (Table 1 (b)).
+    ContainJoinTsTe,
+    /// Contain-/Contained-semijoin sweep under `(ValidFrom ↑, ValidFrom ↑)`
+    /// (Table 1 (c)).
+    SweepSemijoin,
+    /// Contain-semijoin two-buffer stab, X `ValidFrom ↑` / Y `ValidTo ↑`
+    /// (Figure 6, Table 1 (d)).
+    ContainSemijoinStab,
+    /// Contained-semijoin two-buffer stab, X `ValidTo ↑` / Y `ValidFrom ↑`
+    /// (Figure 6, Table 1 (d)).
+    ContainedSemijoinStab,
+    /// Contained-semijoin(X,X), single scan, one state tuple (Figure 7,
+    /// Table 3 (a)).
+    ContainedSelfSemijoin,
+    /// Contain-semijoin(X,X) under ascending order (Table 3 (b) state).
+    ContainSelfSemijoin,
+    /// Contain-semijoin(X,X) under descending order (Table 3 row 2 mirror).
+    ContainSelfSemijoinDesc,
+    /// Overlap join under `(ValidFrom ↑, ValidFrom ↑)` (Table 2 (a)).
+    OverlapJoin,
+    /// Overlap semijoin under `(ValidFrom ↑, ValidFrom ↑)` (Table 2 (b)).
+    OverlapSemijoin,
+    /// Before-join — correct under any order, workspace Θ(|Y|) (§4.2.4).
+    BeforeJoin,
+    /// Before-semijoin — one scan of each input, any order (§4.2.4).
+    BeforeSemijoin,
+}
+
+impl StreamOpKind {
+    /// All kinds, for exhaustive sweeps in tests and the analyzer.
+    pub const ALL: [StreamOpKind; 12] = [
+        StreamOpKind::ContainJoinTsTs,
+        StreamOpKind::ContainJoinTsTe,
+        StreamOpKind::SweepSemijoin,
+        StreamOpKind::ContainSemijoinStab,
+        StreamOpKind::ContainedSemijoinStab,
+        StreamOpKind::ContainedSelfSemijoin,
+        StreamOpKind::ContainSelfSemijoin,
+        StreamOpKind::ContainSelfSemijoinDesc,
+        StreamOpKind::OverlapJoin,
+        StreamOpKind::OverlapSemijoin,
+        StreamOpKind::BeforeJoin,
+        StreamOpKind::BeforeSemijoin,
+    ];
+
+    /// The registry entry for this kind.
+    pub const fn requirement(self) -> &'static OrderRequirement {
+        const TS: Option<StreamOrder> = Some(StreamOrder::TS_ASC);
+        const TE: Option<StreamOrder> = Some(StreamOrder::TE_ASC);
+        const TS_TE: Option<StreamOrder> = Some(StreamOrder::TS_ASC_TE_ASC);
+        const TS_TE_DESC: Option<StreamOrder> = Some(TS_DESC_TE_DESC);
+        const NONE: Option<StreamOrder> = None;
+        match self {
+            StreamOpKind::ContainJoinTsTs => &OrderRequirement {
+                operator: "ContainJoinTsTs",
+                inputs: &[TS, TS],
+                table_entry: "Table 1 (a): Contain-join under (ValidFrom ↑, ValidFrom ↑)",
+                partition_safe: true,
+            },
+            StreamOpKind::ContainJoinTsTe => &OrderRequirement {
+                operator: "ContainJoinTsTe",
+                inputs: &[TS, TE],
+                table_entry: "Table 1 (b): Contain-join under (ValidFrom ↑, ValidTo ↑)",
+                partition_safe: true,
+            },
+            StreamOpKind::SweepSemijoin => &OrderRequirement {
+                operator: "SweepSemijoin",
+                inputs: &[TS, TS],
+                table_entry: "Table 1 (c): Contain-semijoin under (ValidFrom ↑, ValidFrom ↑)",
+                partition_safe: true,
+            },
+            StreamOpKind::ContainSemijoinStab => &OrderRequirement {
+                operator: "ContainSemijoinStab",
+                inputs: &[TS, TE],
+                table_entry: "Table 1 (d): Contain-semijoin under (ValidFrom ↑, ValidTo ↑)",
+                partition_safe: true,
+            },
+            StreamOpKind::ContainedSemijoinStab => &OrderRequirement {
+                operator: "ContainedSemijoinStab",
+                inputs: &[TE, TS],
+                table_entry: "Table 1 (d): Contained-semijoin under (ValidTo ↑, ValidFrom ↑)",
+                partition_safe: true,
+            },
+            StreamOpKind::ContainedSelfSemijoin => &OrderRequirement {
+                operator: "ContainedSelfSemijoin",
+                inputs: &[TS_TE],
+                table_entry:
+                    "Table 3 (a): Contained-semijoin(X,X) under ValidFrom ↑ then ValidTo ↑",
+                partition_safe: true,
+            },
+            StreamOpKind::ContainSelfSemijoin => &OrderRequirement {
+                operator: "ContainSelfSemijoin",
+                inputs: &[TS_TE],
+                table_entry: "Table 3 (b): Contain-semijoin(X,X) under ValidFrom ↑ then ValidTo ↑",
+                partition_safe: true,
+            },
+            StreamOpKind::ContainSelfSemijoinDesc => &OrderRequirement {
+                operator: "ContainSelfSemijoinDesc",
+                inputs: &[TS_TE_DESC],
+                table_entry:
+                    "Table 3 row 2: Contain-semijoin(X,X) under ValidFrom ↓ then ValidTo ↓",
+                partition_safe: true,
+            },
+            StreamOpKind::OverlapJoin => &OrderRequirement {
+                operator: "OverlapJoin",
+                inputs: &[TS, TS],
+                table_entry: "Table 2 (a): Overlap-join under (ValidFrom ↑, ValidFrom ↑)",
+                partition_safe: true,
+            },
+            StreamOpKind::OverlapSemijoin => &OrderRequirement {
+                operator: "OverlapSemijoin",
+                inputs: &[TS, TS],
+                table_entry: "Table 2 (b): Overlap-semijoin under (ValidFrom ↑, ValidFrom ↑)",
+                partition_safe: true,
+            },
+            StreamOpKind::BeforeJoin => &OrderRequirement {
+                operator: "BeforeJoin",
+                inputs: &[NONE, NONE],
+                table_entry: "§4.2.4: Before-join — no sort ordering bounds its state",
+                partition_safe: false,
+            },
+            StreamOpKind::BeforeSemijoin => &OrderRequirement {
+                operator: "BeforeSemijoin",
+                inputs: &[NONE, NONE],
+                table_entry: "§4.2.4: Before-semijoin — order-independent single scan",
+                partition_safe: false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for StreamOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.requirement().operator)
+    }
+}
+
+/// Operators declare which registry entry governs them. The static analyzer
+/// and the executor consult `Self::KIND.requirement()` instead of
+/// re-deriving orderings per call site.
+pub trait RequiredOrder {
+    /// The registry kind of this operator.
+    const KIND: StreamOpKind;
+
+    /// The declared requirement (delegates to the registry).
+    fn required() -> &'static OrderRequirement {
+        Self::KIND.requirement()
+    }
+}
+
+/// Verify that stream `s` declares an order satisfying `required`.
+///
+/// The shared constructor-time gate: `required = None` always passes;
+/// otherwise the stream must declare an order that [`StreamOrder::satisfies`]
+/// the requirement. Mirrored orderings are *not* accepted here — operators
+/// implement the direct algorithms and the algebra layer reduces mirrors to
+/// them by time reversal.
+pub fn check_stream_order<S: TupleStream>(
+    s: &S,
+    required: Option<StreamOrder>,
+    operator: &'static str,
+    side: &str,
+) -> TdbResult<()> {
+    let Some(required) = required else {
+        return Ok(());
+    };
+    match s.order() {
+        Some(o) if o.satisfies(&required) => Ok(()),
+        Some(o) => Err(TdbError::UnsupportedOrdering {
+            operator,
+            detail: format!("{side} input is sorted {o}, operator requires {required}"),
+        }),
+        None => Err(TdbError::UnsupportedOrdering {
+            operator,
+            detail: format!("{side} input declares no sort order; {required} required"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{from_sorted_vec, from_vec};
+    use tdb_core::TsTuple;
+
+    #[test]
+    fn registry_is_consistent() {
+        for kind in StreamOpKind::ALL {
+            let req = kind.requirement();
+            assert!(!req.operator.is_empty());
+            assert!(req.table_entry.contains("Table") || req.table_entry.contains("§"));
+            assert!(req.arity() == 1 || req.arity() == 2);
+        }
+    }
+
+    #[test]
+    fn before_ops_are_not_partition_safe() {
+        assert!(!StreamOpKind::BeforeJoin.requirement().partition_safe);
+        assert!(!StreamOpKind::BeforeSemijoin.requirement().partition_safe);
+        assert!(StreamOpKind::OverlapJoin.requirement().partition_safe);
+    }
+
+    #[test]
+    fn check_stream_order_gate() {
+        let sorted =
+            from_sorted_vec(vec![TsTuple::interval(0, 2).unwrap()], StreamOrder::TS_ASC).unwrap();
+        assert!(check_stream_order(&sorted, Some(StreamOrder::TS_ASC), "T", "X").is_ok());
+        assert!(check_stream_order(&sorted, None, "T", "X").is_ok());
+        assert!(check_stream_order(&sorted, Some(StreamOrder::TE_ASC), "T", "X").is_err());
+        let unsorted = from_vec(vec![TsTuple::interval(0, 2).unwrap()]);
+        assert!(check_stream_order(&unsorted, Some(StreamOrder::TS_ASC), "T", "X").is_err());
+    }
+}

@@ -30,28 +30,11 @@
 //! implemented by [`ContainSelfSemijoin`].
 
 use crate::metrics::OpMetrics;
+use crate::required::{check_stream_order, RequiredOrder, StreamOpKind};
 use crate::stream::TupleStream;
 use crate::workspace::{Workspace, WorkspaceStats};
 use std::collections::VecDeque;
-use tdb_core::{Direction, SortKey, SortSpec, StreamOrder, TdbError, TdbResult, Temporal};
-
-fn require_order<S: TupleStream>(
-    s: &S,
-    required: StreamOrder,
-    operator: &'static str,
-) -> TdbResult<()> {
-    match s.order() {
-        Some(o) if o.satisfies(&required) => Ok(()),
-        Some(o) => Err(TdbError::UnsupportedOrdering {
-            operator,
-            detail: format!("input is sorted {o}, operator requires {required}"),
-        }),
-        None => Err(TdbError::UnsupportedOrdering {
-            operator,
-            detail: format!("input declares no sort order; {required} required"),
-        }),
-    }
-}
+use tdb_core::{Direction, SortKey, SortSpec, StreamOrder, TdbResult, Temporal};
 
 /// `Contained-semijoin(X,X)`: emits tuples strictly contained in another
 /// tuple of the same stream. Single scan, one state tuple (Figure 7).
@@ -84,6 +67,13 @@ where
     max_state: usize,
 }
 
+impl<S: TupleStream> RequiredOrder for ContainedSelfSemijoin<S>
+where
+    S::Item: Temporal + Clone,
+{
+    const KIND: StreamOpKind = StreamOpKind::ContainedSelfSemijoin;
+}
+
 impl<S: TupleStream> ContainedSelfSemijoin<S>
 where
     S::Item: Temporal + Clone,
@@ -93,7 +83,8 @@ where
 
     /// Build the operator.
     pub fn new(input: S) -> TdbResult<Self> {
-        require_order(&input, Self::REQUIRED, "ContainedSelfSemijoin")?;
+        let req = Self::KIND.requirement();
+        check_stream_order(&input, req.left(), req.operator, "the")?;
         Ok(ContainedSelfSemijoin {
             input,
             state: None,
@@ -172,6 +163,13 @@ where
     max_state: usize,
 }
 
+impl<S: TupleStream> RequiredOrder for ContainSelfSemijoinDesc<S>
+where
+    S::Item: Temporal + Clone,
+{
+    const KIND: StreamOpKind = StreamOpKind::ContainSelfSemijoinDesc;
+}
+
 impl<S: TupleStream> ContainSelfSemijoinDesc<S>
 where
     S::Item: Temporal + Clone,
@@ -190,7 +188,8 @@ where
 
     /// Build the operator.
     pub fn new(input: S) -> TdbResult<Self> {
-        require_order(&input, Self::REQUIRED, "ContainSelfSemijoinDesc")?;
+        let req = Self::KIND.requirement();
+        check_stream_order(&input, req.left(), req.operator, "the")?;
         Ok(ContainSelfSemijoinDesc {
             input,
             state: None,
@@ -264,6 +263,13 @@ where
     metrics: OpMetrics,
 }
 
+impl<S: TupleStream> RequiredOrder for ContainSelfSemijoin<S>
+where
+    S::Item: Temporal + Clone,
+{
+    const KIND: StreamOpKind = StreamOpKind::ContainSelfSemijoin;
+}
+
 impl<S: TupleStream> ContainSelfSemijoin<S>
 where
     S::Item: Temporal + Clone,
@@ -273,7 +279,8 @@ where
 
     /// Build the operator.
     pub fn new(input: S) -> TdbResult<Self> {
-        require_order(&input, Self::REQUIRED, "ContainSelfSemijoin")?;
+        let req = Self::KIND.requirement();
+        check_stream_order(&input, req.left(), req.operator, "the")?;
         Ok(ContainSelfSemijoin {
             input,
             candidates: Workspace::new(),
@@ -335,7 +342,7 @@ mod tests {
     use super::*;
     use crate::stream::from_sorted_vec;
     use proptest::prelude::*;
-    use tdb_core::TsTuple;
+    use tdb_core::{TdbError, TsTuple};
 
     fn iv(s: i64, e: i64) -> TsTuple {
         TsTuple::interval(s, e).unwrap()

@@ -25,28 +25,10 @@
 //! exactly the two input buffers.
 
 use crate::metrics::OpMetrics;
+use crate::required::{check_stream_order, RequiredOrder, StreamOpKind};
 use crate::stream::TupleStream;
 use std::cmp::Ordering as CmpOrdering;
-use tdb_core::{StreamOrder, TdbError, TdbResult, Temporal};
-
-fn require_order<S: TupleStream>(
-    s: &S,
-    required: StreamOrder,
-    operator: &'static str,
-    side: &str,
-) -> TdbResult<()> {
-    match s.order() {
-        Some(o) if o.satisfies(&required) => Ok(()),
-        Some(o) => Err(TdbError::UnsupportedOrdering {
-            operator,
-            detail: format!("{side} input is sorted {o}, operator requires {required}"),
-        }),
-        None => Err(TdbError::UnsupportedOrdering {
-            operator,
-            detail: format!("{side} input declares no sort order; {required} required"),
-        }),
-    }
-}
+use tdb_core::{StreamOrder, TdbResult, Temporal};
 
 /// Which side of the containment a stab semijoin emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,8 +61,8 @@ where
     E::Item: Temporal + Clone,
 {
     fn new(containers: C, containees: E, emit: Emit, name: &'static str) -> TdbResult<Self> {
-        require_order(&containers, StreamOrder::TS_ASC, name, "container")?;
-        require_order(&containees, StreamOrder::TE_ASC, name, "containee")?;
+        check_stream_order(&containers, Some(StreamOrder::TS_ASC), name, "container")?;
+        check_stream_order(&containees, Some(StreamOrder::TE_ASC), name, "containee")?;
         Ok(StabScan {
             containers,
             containees,
@@ -143,11 +125,10 @@ where
                                 return Ok(StepOutcome::EmitContainee(out));
                             }
                         }
-                    } else {
-                        // This container can contain no current or future
-                        // containee (their TE only grows).
-                        self.refill_container()?;
                     }
+                    // This container can contain no current or future
+                    // containee (their TE only grows).
+                    self.refill_container()?;
                 }
             }
         }
@@ -163,6 +144,14 @@ where
     Y::Item: Temporal + Clone,
 {
     scan: StabScan<X, Y>,
+}
+
+impl<X: TupleStream, Y: TupleStream> RequiredOrder for ContainSemijoinStab<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    const KIND: StreamOpKind = StreamOpKind::ContainSemijoinStab;
 }
 
 impl<X: TupleStream, Y: TupleStream> ContainSemijoinStab<X, Y>
@@ -223,6 +212,14 @@ where
     Y::Item: Temporal + Clone,
 {
     scan: StabScan<Y, X>, // Y are the containers, X the containees
+}
+
+impl<X: TupleStream, Y: TupleStream> RequiredOrder for ContainedSemijoinStab<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    const KIND: StreamOpKind = StreamOpKind::ContainedSemijoinStab;
 }
 
 impl<X: TupleStream, Y: TupleStream> ContainedSemijoinStab<X, Y>

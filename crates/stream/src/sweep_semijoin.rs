@@ -14,24 +14,11 @@
 
 use crate::metrics::OpMetrics;
 use crate::read_policy::{Advance, PolicyState, ReadPolicy};
+use crate::required::{check_stream_order, RequiredOrder, StreamOpKind};
 use crate::stream::TupleStream;
 use crate::workspace::{Workspace, WorkspaceStats};
 use std::collections::VecDeque;
 use tdb_core::{Period, StreamOrder, TdbError, TdbResult, Temporal};
-
-fn require_order<S: TupleStream>(s: &S, operator: &'static str, side: &str) -> TdbResult<()> {
-    match s.order() {
-        Some(o) if o.satisfies(&StreamOrder::TS_ASC) => Ok(()),
-        Some(o) => Err(TdbError::UnsupportedOrdering {
-            operator,
-            detail: format!("{side} input is sorted {o}, operator requires ValidFrom ↑"),
-        }),
-        None => Err(TdbError::UnsupportedOrdering {
-            operator,
-            detail: format!("{side} input declares no sort order; ValidFrom ↑ required"),
-        }),
-    }
-}
 
 /// Direction of the containment test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +61,14 @@ where
     started: bool,
 }
 
+impl<X: TupleStream, Y: TupleStream> RequiredOrder for SweepSemijoin<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    const KIND: StreamOpKind = StreamOpKind::SweepSemijoin;
+}
+
 impl<X: TupleStream, Y: TupleStream> SweepSemijoin<X, Y>
 where
     X::Item: Temporal + Clone,
@@ -90,8 +85,9 @@ where
     }
 
     fn new(x: X, y: Y, mode: Mode, policy: ReadPolicy) -> TdbResult<Self> {
-        require_order(&x, "SweepSemijoin", "X")?;
-        require_order(&y, "SweepSemijoin", "Y")?;
+        let req = Self::KIND.requirement();
+        check_stream_order(&x, req.left(), req.operator, "X")?;
+        check_stream_order(&y, req.right(), req.operator, "Y")?;
         Ok(SweepSemijoin {
             x,
             y,
@@ -184,7 +180,11 @@ where
     }
 
     fn process_x(&mut self) -> TdbResult<()> {
-        let x = self.x_buf.take().expect("buffered x");
+        let Some(x) = self.x_buf.take() else {
+            return Err(TdbError::Eval(
+                "sweep-semijoin advanced an empty X buffer".into(),
+            ));
+        };
         let xp = x.period();
         self.metrics.comparisons += self.state_y.len();
         let witnessed = self
@@ -203,7 +203,11 @@ where
     }
 
     fn process_y(&mut self) -> TdbResult<()> {
-        let y = self.y_buf.take().expect("buffered y");
+        let Some(y) = self.y_buf.take() else {
+            return Err(TdbError::Eval(
+                "sweep-semijoin advanced an empty Y buffer".into(),
+            ));
+        };
         let yp = y.period();
         self.metrics.comparisons += self.state_x.len();
         let mode = self.mode;

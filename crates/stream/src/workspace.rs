@@ -50,7 +50,7 @@ impl WorkspaceStats {
             inserted: n,
             discarded: 0,
             occupancy_sum: n as u64,
-            samples: if n == 0 { 0 } else { 1 },
+            samples: u64::from(n != 0),
         }
     }
 

@@ -16,6 +16,8 @@
 //!   sort, catalog, I/O accounting;
 //! * [`stream`] — the stream operators with instrumented workspaces;
 //! * [`algebra`] — logical/physical plans, rewrites, planner, executor;
+//! * [`analyze`] — the plan-time static verifier: sort-order inference,
+//!   workspace-bound proofs, partition safety;
 //! * [`quel`] — the modified-Quel front end;
 //! * [`semantic`] — integrity constraints, the inequality graph, the
 //!   Superstar transformation;
@@ -52,6 +54,7 @@
 //! ```
 
 pub use tdb_algebra as algebra;
+pub use tdb_analyze as analyze;
 pub use tdb_core as core;
 pub use tdb_gen as gen;
 pub use tdb_quel as quel;
@@ -64,6 +67,9 @@ pub mod prelude {
     pub use tdb_algebra::{
         conventional_optimize, plan, Atom, ColumnRef, CompOp, ExecStats, LogicalPlan, PhysicalPlan,
         PlannerConfig, QueryOutput, TemporalPattern, Term,
+    };
+    pub use tdb_analyze::{
+        plan_verified, Analysis, AnalyzeConfig, AnalyzeError, PlanPath, StreamOpSpec,
     };
     pub use tdb_core::{
         jarr, jobj, AllenRelation, Direction, Json, Period, PeriodRow, Row, SortKey, SortSpec,

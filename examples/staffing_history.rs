@@ -64,10 +64,7 @@ fn main() -> TdbResult<()> {
     while join.next()?.is_some() {
         staffed += 1;
     }
-    println!(
-        "\ncontain-join (TS↑/TE↑, Table 1 state (b)): {} project-in-contract pairs",
-        staffed
-    );
+    println!("\ncontain-join (TS↑/TE↑, Table 1 state (b)): {staffed} project-in-contract pairs");
     println!(
         "  workspace: max {} resident contract tuples; {}",
         join.workspace().max_resident,

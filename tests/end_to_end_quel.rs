@@ -118,15 +118,15 @@ fn before_and_meets_queries() {
     let catalog = catalog("beforemeets", 40, 6);
     for (text, _label) in [
         (
-            r#"range of a is Faculty
+            r"range of a is Faculty
                range of b is Faculty
-               retrieve (X=a.Name, Y=b.Name) where (a before b) and a.Name = b.Name"#,
+               retrieve (X=a.Name, Y=b.Name) where (a before b) and a.Name = b.Name",
             "before",
         ),
         (
-            r#"range of a is Faculty
+            r"range of a is Faculty
                range of b is Faculty
-               retrieve (X=a.Name, Y=b.Name) where (a meets b) and a.Name = b.Name"#,
+               retrieve (X=a.Name, Y=b.Name) where (a meets b) and a.Name = b.Name",
             "meets",
         ),
     ] {
@@ -152,8 +152,8 @@ fn parse_and_plan_errors_are_reported() {
 #[test]
 fn projection_preserves_target_order_and_names() {
     let catalog = catalog("proj", 10, 8);
-    let text = r#"range of f is Faculty
-                  retrieve (B=f.ValidTo, A=f.ValidFrom)"#;
+    let text = r"range of f is Faculty
+                  retrieve (B=f.ValidTo, A=f.ValidFrom)";
     let out = run(&catalog, text, PlannerConfig::stream());
     assert_eq!(out.scope.columns()[0].attr, "B");
     assert_eq!(out.scope.columns()[1].attr, "A");

@@ -54,13 +54,13 @@ fn key(t: &TsTuple) -> Key {
 
 fn canon_pairs(mut v: Vec<(TsTuple, TsTuple)>) -> Vec<(Key, Key)> {
     let mut out: Vec<_> = v.drain(..).map(|(x, y)| (key(&x), key(&y))).collect();
-    out.sort();
+    out.sort_unstable();
     out
 }
 
 fn canon(v: &[TsTuple]) -> Vec<Key> {
     let mut out: Vec<_> = v.iter().map(key).collect();
-    out.sort();
+    out.sort_unstable();
     out
 }
 
@@ -80,7 +80,7 @@ fn join_oracle(xs: &[TsTuple], ys: &[TsTuple], pattern: ParallelPattern) -> Vec<
             }
         }
     }
-    out.sort();
+    out.sort_unstable();
     out
 }
 
@@ -90,7 +90,7 @@ fn semi_oracle(xs: &[TsTuple], ys: &[TsTuple], pattern: ParallelPattern) -> Vec<
         .filter(|x| ys.iter().any(|y| pattern.matches(&x.period, &y.period)))
         .map(key)
         .collect();
-    out.sort();
+    out.sort_unstable();
     out
 }
 

@@ -134,7 +134,7 @@ fn buffer_pool_serves_hot_pages_from_memory() {
     for round in 0..2 {
         for page_no in 0..4u64 {
             let p = pool.pin(file, page_no).unwrap();
-            assert_eq!(p.get(0).unwrap()[0] as u64, page_no);
+            assert_eq!(u64::from(p.get(0).unwrap()[0]), page_no);
             pool.unpin(file, page_no);
             let _ = round;
         }
