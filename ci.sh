@@ -45,6 +45,12 @@ cargo clippy --workspace --all-targets -- -D warnings -W clippy::pedantic \
   -A clippy::too_many_lines \
   -A clippy::trivially_copy_pass_by_ref
 
+# Bounded live-ingestion soak (E16): replay a generated workload through
+# the live engine and assert the runtime workspace stays under the
+# statically proven cap. Runs in a few seconds; hard-capped at 60.
+echo "==> live soak (E16, bounded)"
+timeout 60 cargo run --release -p tdb-bench --bin experiments -- live
+
 # Concurrency model of the partition K-way merge + owner-dedup handoff.
 echo "==> loom model (partition handoff)"
 RUSTFLAGS="--cfg loom" cargo test -p tdb-stream --test loom_partition

@@ -134,6 +134,17 @@ pub enum AnalyzeError {
         /// Declared partition count.
         partitions: usize,
     },
+    /// A live (continuous-query) plan uses an operator whose workspace is
+    /// not provably bounded under unbounded arrival, or lacks the
+    /// statistics needed to prove a bound at all.
+    NotLiveSafe {
+        /// Node position.
+        path: PlanPath,
+        /// The operator kind.
+        kind: StreamOpKind,
+        /// Why the operator cannot run under live arrival.
+        detail: String,
+    },
     /// An operator's expected workspace (λ·E[D], Little's law) exceeds the
     /// configured budget.
     WorkspaceOverBudget {
@@ -158,6 +169,7 @@ impl AnalyzeError {
             | AnalyzeError::FringeUncovered { path, .. }
             | AnalyzeError::DedupMismatch { path, .. }
             | AnalyzeError::InvalidPartitionCount { path, .. }
+            | AnalyzeError::NotLiveSafe { path, .. }
             | AnalyzeError::WorkspaceOverBudget { path, .. } => path,
         }
     }
@@ -218,6 +230,9 @@ impl fmt::Display for AnalyzeError {
             ),
             AnalyzeError::InvalidPartitionCount { path, partitions } => {
                 write!(f, "at {path}: Parallel with {partitions} partitions")
+            }
+            AnalyzeError::NotLiveSafe { path, kind, detail } => {
+                write!(f, "at {path}: {kind} is not live-safe — {detail}")
             }
             AnalyzeError::WorkspaceOverBudget {
                 path,

@@ -42,9 +42,11 @@ pub mod spec;
 pub mod verify;
 
 pub use error::{render_errors, AnalyzeError, DedupMode, PlanPath};
-pub use lower::{infer_order, lower_plan, Lowered};
+pub use lower::{infer_order, lower_plan, lower_plan_with_stats, Lowered};
 pub use spec::{check_op, check_parallel, ParallelSpec, StreamOpSpec};
-pub use verify::{plan_verified, verify, verify_lowered, Analysis, AnalyzeConfig};
+pub use verify::{
+    plan_verified, plan_verified_live, verify, verify_live, verify_lowered, Analysis, AnalyzeConfig,
+};
 
 #[cfg(test)]
 mod tests {
@@ -159,6 +161,50 @@ mod tests {
             [AnalyzeError::WorkspaceOverBudget { .. }]
         ));
         assert!(errors[0].to_string().contains("λ·E[D]"), "{}", errors[0]);
+    }
+
+    #[test]
+    fn live_mode_demands_proven_caps_and_gc() {
+        let cat = catalog("live");
+        let contains = scan("f1").join(scan("f2"), contains_atoms("f1", "f2"));
+        let no_overrides = std::collections::BTreeMap::new();
+
+        // A GC'd operator with catalog statistics proves a finite cap.
+        let physical = tdb_algebra::plan(&contains, PlannerConfig::stream()).unwrap();
+        verify_live(&physical, Some(&cat), &no_overrides, &AnalyzeConfig::live()).unwrap();
+
+        // The same plan with no statistics at all cannot prove a cap.
+        let errors =
+            verify_live(&physical, None, &no_overrides, &AnalyzeConfig::live()).unwrap_err();
+        assert!(matches!(errors[0], AnalyzeError::NotLiveSafe { .. }));
+        assert!(errors[0].to_string().contains("no input statistics"));
+
+        // Live statistics overrides flow into the workspace expectation:
+        // a hot-arrival override can push a plan over the budget that the
+        // cold catalog statistics would have passed.
+        let mut hot = std::collections::BTreeMap::new();
+        let mut stats = cat.meta("Faculty").unwrap().stats.clone();
+        stats.lambda = Some(1e6);
+        stats.mean_duration *= 1e3;
+        hot.insert("Faculty".to_string(), stats);
+        let cfg = AnalyzeConfig::live().with_workspace_budget(1e6);
+        assert!(verify_live(&physical, Some(&cat), &no_overrides, &cfg).is_ok());
+        let errors = verify_live(&physical, Some(&cat), &hot, &cfg).unwrap_err();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, AnalyzeError::WorkspaceOverBudget { .. })));
+
+        // A Before-join never garbage-collects its inner input: rejected
+        // for live execution even with statistics.
+        let before = scan("f1").join(
+            scan("f2"),
+            vec![Atom::cols("f1", "ValidTo", CompOp::Lt, "f2", "ValidFrom")],
+        );
+        let physical = tdb_algebra::plan(&before, PlannerConfig::stream()).unwrap();
+        let errors =
+            verify_live(&physical, Some(&cat), &no_overrides, &AnalyzeConfig::live()).unwrap_err();
+        assert!(matches!(errors[0], AnalyzeError::NotLiveSafe { .. }));
+        assert!(errors[0].to_string().contains("§4.2.4"), "{}", errors[0]);
     }
 
     #[test]

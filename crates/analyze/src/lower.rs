@@ -12,6 +12,7 @@
 
 use crate::error::{DedupMode, PlanPath};
 use crate::spec::{ParallelSpec, StreamOpSpec};
+use std::collections::BTreeMap;
 use tdb_algebra::cost::{predict_workspace, workspace_cap, workspace_kind};
 use tdb_algebra::PhysicalPlan;
 use tdb_core::{StreamOrder, TemporalStats};
@@ -41,14 +42,30 @@ struct NodeFacts {
 /// Infer the output [`StreamOrder`] of a plan node, consulting the
 /// catalog's known orders for base scans when available.
 pub fn infer_order(plan: &PhysicalPlan, catalog: Option<&Catalog>) -> Option<StreamOrder> {
+    let overrides = BTreeMap::new();
     let mut lowered = Lowered::default();
-    walk(plan, PlanPath::root(), catalog, &mut lowered).order
+    walk(plan, PlanPath::root(), catalog, &overrides, &mut lowered).order
 }
 
 /// Lower a plan to its analyzer specs.
 pub fn lower_plan(plan: &PhysicalPlan, catalog: Option<&Catalog>) -> Lowered {
+    lower_plan_with_stats(plan, catalog, &BTreeMap::new())
+}
+
+/// Lower a plan substituting per-relation statistics `overrides` for the
+/// catalog's stored statistics at base scans.
+///
+/// Live plans use this to feed *online* arrival estimates (λ and E[D]
+/// tracked by EWMA over the live stream) into the workspace proofs, so a
+/// continuous query is verified against the traffic it actually faces
+/// rather than the statistics frozen at load time.
+pub fn lower_plan_with_stats(
+    plan: &PhysicalPlan,
+    catalog: Option<&Catalog>,
+    overrides: &BTreeMap<String, TemporalStats>,
+) -> Lowered {
     let mut lowered = Lowered::default();
-    walk(plan, PlanPath::root(), catalog, &mut lowered);
+    walk(plan, PlanPath::root(), catalog, overrides, &mut lowered);
     lowered
 }
 
@@ -122,6 +139,7 @@ fn walk(
     plan: &PhysicalPlan,
     path: PlanPath,
     catalog: Option<&Catalog>,
+    overrides: &BTreeMap<String, TemporalStats>,
     out: &mut Lowered,
 ) -> NodeFacts {
     match plan {
@@ -129,33 +147,38 @@ fn walk(
             let meta = catalog.and_then(|c| c.meta(relation).ok());
             NodeFacts {
                 order: meta.as_ref().and_then(|m| m.known_orders.first().copied()),
-                stats: meta.map(|m| m.stats.clone()),
+                stats: overrides
+                    .get(relation)
+                    .cloned()
+                    .or_else(|| meta.map(|m| m.stats.clone())),
             }
         }
         // A filter passes rows through in order; its output is a subset of
         // its input, so the input's statistics stay a sound upper bound.
-        PhysicalPlan::Filter { input, .. } => walk(input, path.child("input"), catalog, out),
+        PhysicalPlan::Filter { input, .. } => {
+            walk(input, path.child("input"), catalog, overrides, out)
+        }
         // Projection may drop the timestamp columns the order speaks
         // about; be conservative.
         PhysicalPlan::Project { input, .. } => {
-            walk(input, path.child("input"), catalog, out);
+            walk(input, path.child("input"), catalog, overrides, out);
             NodeFacts::default()
         }
         PhysicalPlan::Product { left, right } | PhysicalPlan::NestedLoop { left, right, .. } => {
-            walk(left, path.child("left"), catalog, out);
-            walk(right, path.child("right"), catalog, out);
+            walk(left, path.child("left"), catalog, overrides, out);
+            walk(right, path.child("right"), catalog, overrides, out);
             NodeFacts::default()
         }
         // Merge joins order by the equi-key, not by time.
         PhysicalPlan::MergeEqui { left, right, .. } => {
-            walk(left, path.child("left"), catalog, out);
-            walk(right, path.child("right"), catalog, out);
+            walk(left, path.child("left"), catalog, overrides, out);
+            walk(right, path.child("right"), catalog, overrides, out);
             NodeFacts::default()
         }
         PhysicalPlan::MergeSemijoin { left, right, .. }
         | PhysicalPlan::NestedSemijoin { left, right, .. } => {
-            let l = walk(left, path.child("left"), catalog, out);
-            walk(right, path.child("right"), catalog, out);
+            let l = walk(left, path.child("left"), catalog, overrides, out);
+            walk(right, path.child("right"), catalog, overrides, out);
             // Output ⊆ left input, but rows may be reordered by the merge.
             NodeFacts {
                 order: None,
@@ -168,8 +191,8 @@ fn walk(
             pattern,
             ..
         } => {
-            let l = walk(left, path.child("left"), catalog, out);
-            let r = walk(right, path.child("right"), catalog, out);
+            let l = walk(left, path.child("left"), catalog, overrides, out);
+            let r = walk(right, path.child("right"), catalog, overrides, out);
             let (kind, swap) = pattern.join_op();
             lower_stream_op(kind, swap, true, l, r, path, None, out)
         }
@@ -179,15 +202,15 @@ fn walk(
             pattern,
             ..
         } => {
-            let l = walk(left, path.child("left"), catalog, out);
-            let r = walk(right, path.child("right"), catalog, out);
+            let l = walk(left, path.child("left"), catalog, overrides, out);
+            let r = walk(right, path.child("right"), catalog, overrides, out);
             let (kind, swap) = pattern.semijoin_op();
             lower_stream_op(kind, swap, false, l, r, path, None, out)
         }
         PhysicalPlan::SelfSemijoin {
             input, contained, ..
         } => {
-            let i = walk(input, path.child("input"), catalog, out);
+            let i = walk(input, path.child("input"), catalog, overrides, out);
             let kind = if *contained {
                 StreamOpKind::ContainedSelfSemijoin
             } else {
@@ -225,8 +248,8 @@ fn walk(
                     pattern,
                     ..
                 } => {
-                    let l = walk(left, child_path.child("left"), catalog, out);
-                    let r = walk(right, child_path.child("right"), catalog, out);
+                    let l = walk(left, child_path.child("left"), catalog, overrides, out);
+                    let r = walk(right, child_path.child("right"), catalog, overrides, out);
                     let (kind, swap) = pattern.join_op();
                     out.parallels.push(ParallelSpec {
                         partitions: *partitions,
@@ -244,8 +267,8 @@ fn walk(
                     pattern,
                     ..
                 } => {
-                    let l = walk(left, child_path.child("left"), catalog, out);
-                    let r = walk(right, child_path.child("right"), catalog, out);
+                    let l = walk(left, child_path.child("left"), catalog, overrides, out);
+                    let r = walk(right, child_path.child("right"), catalog, overrides, out);
                     let (kind, swap) = pattern.semijoin_op();
                     out.parallels.push(ParallelSpec {
                         partitions: *partitions,
@@ -266,7 +289,7 @@ fn walk(
                         dedup: DedupMode::OrdinalMerge,
                         path: path.clone(),
                     });
-                    walk(other, child_path, catalog, out)
+                    walk(other, child_path, catalog, overrides, out)
                 }
             }
         }

@@ -1,12 +1,14 @@
 //! The whole-plan verifier and its human-readable certificate.
 
 use crate::error::{render_errors, AnalyzeError};
-use crate::lower::{lower_plan, Lowered};
+use crate::lower::{lower_plan, lower_plan_with_stats, Lowered};
 use crate::spec::{check_op, check_parallel};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use tdb_algebra::{plan, LogicalPlan, PhysicalPlan, PlannerConfig};
-use tdb_core::{TdbError, TdbResult};
+use tdb_core::{TdbError, TdbResult, TemporalStats};
 use tdb_storage::Catalog;
+use tdb_stream::StreamOpKind;
 
 /// Verifier knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -14,14 +16,35 @@ pub struct AnalyzeConfig {
     /// Reject plans whose per-operator expected workspace (λ·E[D] state
     /// tuples) exceeds this value. `None` = report bounds, never reject.
     pub workspace_budget: Option<f64>,
+    /// Verify for *live* execution: every operator must additionally carry
+    /// a proven finite workspace cap (statistics must be available), and
+    /// operators that materialize an input without garbage collection —
+    /// whose cap grows with the stream — are rejected outright.
+    pub live: bool,
 }
 
 impl AnalyzeConfig {
+    /// A live-mode configuration (see [`AnalyzeConfig::live`]).
+    pub fn live() -> AnalyzeConfig {
+        AnalyzeConfig {
+            live: true,
+            ..AnalyzeConfig::default()
+        }
+    }
+
     /// Set the workspace budget in expected state tuples.
     pub fn with_workspace_budget(mut self, budget: f64) -> AnalyzeConfig {
         self.workspace_budget = Some(budget);
         self
     }
+}
+
+/// Can `kind` run over an unbounded arrival stream? True for every
+/// operator whose Table 1–3 GC rule bounds the workspace by concurrency;
+/// false for the Before-join, which materializes its entire inner input
+/// (§4.2.4 — no shared time point means no GC opportunity).
+fn live_safe(kind: StreamOpKind) -> bool {
+    kind != StreamOpKind::BeforeJoin
 }
 
 /// A successful analysis: the proven specs, renderable as a certificate.
@@ -95,6 +118,25 @@ pub fn verify_lowered(lowered: &Lowered, config: &AnalyzeConfig) -> Vec<AnalyzeE
         if let Err(e) = check_op(op) {
             errors.push(e);
         }
+        if config.live {
+            if !live_safe(op.kind) {
+                errors.push(AnalyzeError::NotLiveSafe {
+                    path: op.path.clone(),
+                    kind: op.kind,
+                    detail: "it materializes its inner input without garbage collection, \
+                             so its workspace grows with the stream (§4.2.4)"
+                        .into(),
+                });
+            } else if op.workspace_cap.is_none() {
+                errors.push(AnalyzeError::NotLiveSafe {
+                    path: op.path.clone(),
+                    kind: op.kind,
+                    detail: "no input statistics reach this operator, so no finite \
+                             workspace cap can be proven for unbounded arrival"
+                        .into(),
+                });
+            }
+        }
         if let (Some(budget), Some(expected)) = (config.workspace_budget, op.workspace_expectation)
         {
             if expected > budget {
@@ -148,6 +190,50 @@ pub fn plan_verified(
         Ok(analysis) => Ok((physical, analysis)),
         Err(errors) => Err(TdbError::Plan(format!(
             "static analysis rejected the plan:\n{}",
+            render_errors(&errors)
+        ))),
+    }
+}
+
+/// Verify a physical plan for live execution, substituting `live_stats`
+/// (online λ/E[D] estimates, keyed by relation name) for the catalog's
+/// stored statistics wherever present. Runs all the static proofs plus
+/// the live-safety checks of [`AnalyzeConfig::live`].
+pub fn verify_live(
+    physical: &PhysicalPlan,
+    catalog: Option<&Catalog>,
+    live_stats: &BTreeMap<String, TemporalStats>,
+    config: &AnalyzeConfig,
+) -> Result<Analysis, Vec<AnalyzeError>> {
+    let cfg = AnalyzeConfig {
+        live: true,
+        ..*config
+    };
+    let lowered = lower_plan_with_stats(physical, catalog, live_stats);
+    let errors = verify_lowered(&lowered, &cfg);
+    if errors.is_empty() {
+        Ok(Analysis { lowered })
+    } else {
+        Err(errors)
+    }
+}
+
+/// Plan `logical` for a *standing* (continuous) query: refuse any physical
+/// plan the live verifier rejects — a subscription must prove its
+/// workspace stays finite under the arrival rates in `live_stats` before
+/// a single live tuple flows.
+pub fn plan_verified_live(
+    logical: &LogicalPlan,
+    config: PlannerConfig,
+    catalog: &Catalog,
+    live_stats: &BTreeMap<String, TemporalStats>,
+    analyze: &AnalyzeConfig,
+) -> TdbResult<(PhysicalPlan, Analysis)> {
+    let physical = plan(logical, config)?;
+    match verify_live(&physical, Some(catalog), live_stats, analyze) {
+        Ok(analysis) => Ok((physical, analysis)),
+        Err(errors) => Err(TdbError::Plan(format!(
+            "live analysis rejected the standing query:\n{}",
             render_errors(&errors)
         ))),
     }

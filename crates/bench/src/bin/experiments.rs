@@ -9,7 +9,10 @@
 //! Experiment IDs follow DESIGN.md: E1=Table 1, E2=Table 2, E3=Table 3,
 //! E5=Figure 3, E10=Figure 8/§5 Superstar, E11=sort-order crossover,
 //! E12=read-policy ablation, E13=Before operators, E14=sort-vs-rescan
-//! cost, E6=Figure 4 aggregation, E15=time-partitioned parallel scaling.
+//! cost, E6=Figure 4 aggregation, E15=time-partitioned parallel scaling,
+//! E16=live ingestion soak.
+//!
+//! Standalone artifacts (`BENCH_*.json`) are written under `results/`.
 
 use std::collections::BTreeMap;
 use tdb::algebra::cost::{
@@ -43,6 +46,7 @@ fn main() {
             "sortcost",
             "aggregate",
             "parallel",
+            "live",
         ];
     }
     let json_path = args
@@ -66,6 +70,7 @@ fn main() {
             "sortcost" => sortcost(&mut json),
             "aggregate" => aggregate(&mut json),
             "parallel" => parallel(&mut json),
+            "live" => live(&mut json),
             other => eprintln!("unknown experiment `{other}`"),
         }
     }
@@ -650,7 +655,7 @@ fn sortcost(json: &mut BTreeMap<String, Json>) {
 /// * `wall` — measured wall-clock ratio, which saturates at the number of
 ///   hardware cores on the machine running the bench.
 ///
-/// Emits `BENCH_parallel.json` next to the working directory.
+/// Emits `results/BENCH_parallel.json`.
 fn parallel(json: &mut BTreeMap<String, Json>) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -725,8 +730,9 @@ fn parallel(json: &mut BTreeMap<String, Json>) {
         "workspace_static_cap" => static_cap,
         "rows" => Json::Array(rows_json.clone()),
     };
-    std::fs::write("BENCH_parallel.json", doc.to_string_pretty()).unwrap();
-    println!("\n    BENCH_parallel.json written");
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/BENCH_parallel.json", doc.to_string_pretty()).unwrap();
+    println!("\n    results/BENCH_parallel.json written");
     json.insert("parallel".into(), Json::Array(rows_json));
 }
 
@@ -765,6 +771,158 @@ fn aggregate(json: &mut BTreeMap<String, Json>) {
         jobj! {
             "groups" => n_stream, "stream_ws" => ws_stream, "hash_ws" => ws_hash,
             "stream_us" => us_stream, "hash_us" => us_hash,
+        },
+    );
+}
+
+/// E16 — live ingestion soak: replay a generated Poisson workload through
+/// the live engine with a contain-join standing query, measuring ingest
+/// throughput, watermark lag, and the runtime workspace peak against the
+/// statically proven cap. Emits `results/BENCH_live.json`.
+fn live(json: &mut BTreeMap<String, Json>) {
+    use tdb::live::{LiveConfig, LiveEngine};
+
+    let n = 10_000usize;
+    let chunk = 512usize;
+    println!("E16 · live soak: {n}+{n} arrivals, chunk {chunk}, contain-join standing query");
+
+    let interval_schema = || {
+        TemporalSchema::new(
+            tdb::core::Schema::new(vec![
+                tdb::core::Field::new("Id", tdb::core::FieldType::Str),
+                tdb::core::Field::new("Seq", tdb::core::FieldType::Int),
+                tdb::core::Field::new("ValidFrom", tdb::core::FieldType::Time),
+                tdb::core::Field::new("ValidTo", tdb::core::FieldType::Time),
+            ]),
+            2,
+            3,
+        )
+        .unwrap()
+    };
+    let gen_rows = |gap: f64, dur: f64, seed: u64| -> Vec<Row> {
+        IntervalGen::poisson(n, gap, dur, seed)
+            .generate()
+            .iter()
+            .map(|t| {
+                Row::new(vec![
+                    t.surrogate.clone(),
+                    t.value.clone(),
+                    Value::Time(t.ts()),
+                    Value::Time(t.te()),
+                ])
+            })
+            .collect()
+    };
+    // Containers arrive slowly with long lifespans; containees fast and
+    // short — the same λ/E[D] contrast as the paper's workloads.
+    let xs = gen_rows(3.0, 30.0, 1601);
+    let ys = gen_rows(3.0, 8.0, 1602);
+
+    let root = std::env::temp_dir().join(format!("tdb-e16-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut catalog = Catalog::open(root.join("cat"), IoStats::new()).unwrap();
+    let mut engine = LiveEngine::new(
+        root.join("live"),
+        LiveConfig {
+            queue_capacity: 1024,
+            stage_budget: 4096,
+            ..LiveConfig::default()
+        },
+    );
+    engine
+        .register(&mut catalog, "X", interval_schema(), StreamOrder::TS_ASC)
+        .unwrap();
+    engine
+        .register(&mut catalog, "Y", interval_schema(), StreamOrder::TS_ASC)
+        .unwrap();
+
+    let attrs = ["Id", "Seq", "ValidFrom", "ValidTo"];
+    let logical = LogicalPlan::scan("X", "x", &attrs).join(
+        LogicalPlan::scan("Y", "y", &attrs),
+        vec![
+            Atom::cols("x", "ValidFrom", CompOp::Lt, "y", "ValidFrom"),
+            Atom::cols("y", "ValidTo", CompOp::Lt, "x", "ValidTo"),
+        ],
+    );
+    engine.subscribe(&catalog, "contain-join", logical).unwrap();
+
+    let start = std::time::Instant::now();
+    let mut epochs = 0usize;
+    let mut emitted = 0usize;
+    let mut max_lag = 0u64;
+    for i in (0..n).step_by(chunk) {
+        for (name, rows_all) in [("X", &xs), ("Y", &ys)] {
+            let batch: Vec<Row> = rows_all[i..(i + chunk).min(n)].to_vec();
+            let report = engine.ingest(&mut catalog, name, batch).unwrap();
+            emitted += report.deltas.iter().map(|d| d.rows.len()).sum::<usize>();
+            max_lag = max_lag.max(
+                engine
+                    .relation(name)
+                    .unwrap()
+                    .progress()
+                    .snapshot()
+                    .watermark_lag,
+            );
+            epochs += 1;
+        }
+    }
+    for name in ["X", "Y"] {
+        let report = engine.seal(&mut catalog, name).unwrap();
+        emitted += report.deltas.iter().map(|d| d.rows.len()).sum::<usize>();
+        epochs += 1;
+    }
+    let wall_us = start.elapsed().as_micros();
+
+    let sub = &engine.subscriptions()[0];
+    let (peak, live_cap) = sub.workspace_watermark();
+    assert!(
+        peak <= live_cap,
+        "live workspace peak {peak} exceeded the live-proven cap {live_cap}"
+    );
+    // The cap from the *final* full-stream statistics — the bound a static
+    // load of the same data would have proven. Live execution must respect
+    // it too: the soak never held more state than the batch proof allows.
+    let sx = catalog.meta("X").unwrap().stats.clone();
+    let sy = catalog.meta("Y").unwrap().stats.clone();
+    let static_cap = workspace_cap(tdb::stream::StreamOpKind::ContainJoinTsTe, &sx, Some(&sy));
+    assert!(
+        peak <= static_cap,
+        "live workspace peak {peak} exceeded the static batch cap {static_cap}"
+    );
+
+    let arrivals = 2 * n;
+    let throughput = arrivals as f64 / (wall_us.max(1) as f64 / 1e6);
+    println!(
+        "    {arrivals} arrivals in {:.1} ms over {epochs} epochs — {:.0} arrivals/s",
+        wall_us as f64 / 1000.0,
+        throughput,
+    );
+    println!(
+        "    {emitted} result rows emitted; workspace peak {peak} ≤ live cap {live_cap} ≤? static cap {static_cap}; max watermark lag {max_lag}"
+    );
+
+    let doc = jobj! {
+        "experiment" => "E16 live ingestion soak",
+        "arrivals" => arrivals,
+        "epochs" => epochs,
+        "wall_us" => wall_us,
+        "throughput_per_s" => throughput,
+        "rows_emitted" => emitted,
+        "workspace_peak" => peak,
+        "workspace_live_cap" => live_cap,
+        "workspace_static_cap" => static_cap,
+        "max_watermark_lag" => max_lag,
+        "evaluations" => sub.evaluations(),
+    };
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/BENCH_live.json", doc.to_string_pretty()).unwrap();
+    println!("\n    results/BENCH_live.json written");
+    json.insert(
+        "live".into(),
+        jobj! {
+            "throughput_per_s" => throughput, "workspace_peak" => peak,
+            "workspace_live_cap" => live_cap, "workspace_static_cap" => static_cap,
+            "max_watermark_lag" => max_lag, "rows_emitted" => emitted,
         },
     );
 }

@@ -21,6 +21,7 @@ use tdb::prelude::*;
 /// REPL state.
 pub struct Session {
     catalog: Catalog,
+    live: LiveEngine,
     /// Echo logical and physical plans before running queries.
     pub explain: bool,
     /// Echo the static-analysis certificate before running queries
@@ -45,10 +46,13 @@ pub enum LineResult {
 }
 
 impl Session {
-    /// Create a session backed by a catalog directory.
+    /// Create a session backed by a catalog directory. Live-ingest staging
+    /// runs spill under `<dir>/live`.
     pub fn open(dir: impl AsRef<std::path::Path>) -> TdbResult<Session> {
+        let dir = dir.as_ref();
         Ok(Session {
             catalog: Catalog::open(dir, IoStats::new())?,
+            live: LiveEngine::new(dir.join("live"), LiveConfig::default()),
             explain: false,
             verify: false,
             config: PlannerConfig::stream(),
@@ -202,20 +206,22 @@ impl Session {
                         ])
                     })
                     .collect();
-                let schema = TemporalSchema::new(
-                    tdb::core::Schema::new(vec![
-                        tdb::core::Field::new("Id", tdb::core::FieldType::Str),
-                        tdb::core::Field::new("Seq", tdb::core::FieldType::Int),
-                        tdb::core::Field::new("ValidFrom", tdb::core::FieldType::Time),
-                        tdb::core::Field::new("ValidTo", tdb::core::FieldType::Time),
-                    ]),
-                    2,
-                    3,
+                self.catalog.create_relation(
+                    name,
+                    interval_schema()?,
+                    &rows,
+                    vec![StreamOrder::TS_ASC],
                 )?;
-                self.catalog
-                    .create_relation(name, schema, &rows, vec![StreamOrder::TS_ASC])?;
                 Ok(Some(format!("{name} loaded: {} tuples\n", rows.len())))
             }
+            ["\\ingest", rel, source] => self.ingest(rel, source).map(Some),
+            ["\\subscribe", rest @ ..] if !rest.is_empty() => {
+                let text = rest.join(" ");
+                let text = text.trim_end_matches(';').to_string();
+                self.subscribe(&text).map(Some)
+            }
+            ["\\live"] => Ok(Some(self.live_status())),
+            ["\\live", "close", rel] => self.live_close(rel).map(Some),
             ["\\superstar"] => self.superstar().map(Some),
             _ => Ok(Some(format!("unknown command `{line}` — try \\help\n"))),
         }
@@ -287,6 +293,153 @@ impl Session {
         Ok(out)
     }
 
+    /// `\ingest <rel> <file|->`: live-append arrivals. An unknown relation
+    /// is auto-registered with the interval schema (`Id`, `Seq`,
+    /// `ValidFrom`, `ValidTo`) arriving in (TS↑); an existing relation is
+    /// registered under its first known sort order.
+    fn ingest(&mut self, rel: &str, source: &str) -> TdbResult<String> {
+        if !self.live.is_live(rel) {
+            let (schema, order) = match self.catalog.meta(rel) {
+                Ok(meta) => (
+                    meta.schema.clone(),
+                    meta.known_orders.first().copied().ok_or_else(|| {
+                        TdbError::Catalog(format!(
+                            "relation `{rel}` claims no sort order, so arrivals \
+                             cannot be appended in order"
+                        ))
+                    })?,
+                ),
+                Err(_) => (interval_schema()?, StreamOrder::TS_ASC),
+            };
+            self.live.register(&mut self.catalog, rel, schema, order)?;
+        }
+        let text = if source == "-" {
+            use std::io::Read as _;
+            let mut s = String::new();
+            std::io::stdin().lock().read_to_string(&mut s)?;
+            s
+        } else {
+            std::fs::read_to_string(source)?
+        };
+        let rows = parse_arrivals(&text)?;
+        let offered = rows.len();
+        let report = self.live.ingest(&mut self.catalog, rel, rows)?;
+        let state = self.live.relation(rel).expect("registered above");
+        let mut out = String::new();
+        let wm = state
+            .watermark()
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "-".into());
+        writeln!(
+            out,
+            "{rel}: {offered} arrivals — {} promoted (final), {} staged, watermark {wm}",
+            report.promoted,
+            state.staged_len(),
+        )
+        .ok();
+        self.render_deltas(&report, &mut out);
+        Ok(out)
+    }
+
+    /// `\subscribe <query>`: register a standing query. The plan must pass
+    /// the live verifier (bounded workspace under unbounded arrival) before
+    /// it registers; rows already final are emitted immediately.
+    fn subscribe(&mut self, text: &str) -> TdbResult<String> {
+        let (logical, _query) = compile(text, &self.catalog)?;
+        let optimized = conventional_optimize(logical);
+        let (analysis, delta) = self.live.subscribe(&self.catalog, text, optimized)?;
+        let mut out = String::new();
+        writeln!(out, "subscription #{} registered", delta.subscription).ok();
+        if self.verify {
+            writeln!(out, "── static analysis (live) ──\n{}", analysis.render()).ok();
+        }
+        if !delta.rows.is_empty() {
+            let report = LiveReport {
+                promoted: 0,
+                deltas: vec![delta],
+            };
+            self.render_deltas(&report, &mut out);
+        }
+        Ok(out)
+    }
+
+    /// `\live`: watermark, staging, and subscription status.
+    fn live_status(&self) -> String {
+        let mut out = String::new();
+        for rel in self.live.relations() {
+            let snap = rel.progress().snapshot();
+            let wm = rel
+                .watermark()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into());
+            writeln!(
+                out,
+                "{} ({}): watermark {wm}{}, {} admitted, {} staged, {} promoted, \
+                 lag {}, {} stalls",
+                rel.name(),
+                rel.order(),
+                if rel.is_sealed() { " [sealed]" } else { "" },
+                rel.admitted(),
+                rel.staged_len(),
+                rel.promoted(),
+                snap.watermark_lag,
+                rel.stalls(),
+            )
+            .ok();
+        }
+        for sub in self.live.subscriptions() {
+            let (peak, cap) = sub.workspace_watermark();
+            writeln!(
+                out,
+                "#{} `{}`: {} evaluations, {} rows emitted, workspace peak {peak} / cap {cap}",
+                sub.id(),
+                sub.label(),
+                sub.evaluations(),
+                sub.emitted_count(),
+            )
+            .ok();
+        }
+        if out.is_empty() {
+            out = "no live relations — try \\ingest <rel> <file>\n".into();
+        }
+        out
+    }
+
+    /// `\live close <rel>`: seal the stream — every staged row becomes
+    /// final, is promoted, and the last deltas flush.
+    fn live_close(&mut self, rel: &str) -> TdbResult<String> {
+        let report = self.live.seal(&mut self.catalog, rel)?;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{rel} sealed: {} rows promoted (final)",
+            report.promoted
+        )
+        .ok();
+        self.render_deltas(&report, &mut out);
+        Ok(out)
+    }
+
+    fn render_deltas(&self, report: &LiveReport, out: &mut String) {
+        for delta in &report.deltas {
+            writeln!(
+                out,
+                "▸ #{} `{}`: +{} rows",
+                delta.subscription,
+                delta.label,
+                delta.rows.len()
+            )
+            .ok();
+            for row in delta.rows.iter().take(self.row_limit) {
+                let cells: Vec<String> = row.values().iter().map(|v| v.to_string()).collect();
+                writeln!(out, "  {}", cells.join(" | ")).ok();
+            }
+            if delta.rows.len() > self.row_limit {
+                writeln!(out, "  … ({} more rows)", delta.rows.len() - self.row_limit).ok();
+            }
+        }
+    }
+
     fn superstar(&mut self) -> TdbResult<String> {
         self.catalog
             .meta("Faculty")
@@ -322,6 +475,66 @@ impl Session {
     }
 }
 
+/// The schema live-ingested interval relations use (also `\gen intervals`):
+/// `Id: Str, Seq: Int, ValidFrom: Time, ValidTo: Time`.
+fn interval_schema() -> TdbResult<TemporalSchema> {
+    TemporalSchema::new(
+        tdb::core::Schema::new(vec![
+            tdb::core::Field::new("Id", tdb::core::FieldType::Str),
+            tdb::core::Field::new("Seq", tdb::core::FieldType::Int),
+            tdb::core::Field::new("ValidFrom", tdb::core::FieldType::Time),
+            tdb::core::Field::new("ValidTo", tdb::core::FieldType::Time),
+        ]),
+        2,
+        3,
+    )
+}
+
+/// Parse ingest lines into interval-schema rows. Each non-empty line not
+/// starting with `#` is `<ts> <te> [id [seq]]`; `id` defaults to `r<line>`
+/// and `seq` to the line index.
+fn parse_arrivals(text: &str) -> TdbResult<Vec<Row>> {
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let time = |s: &str| {
+            s.parse::<i64>()
+                .map(TimePoint)
+                .map_err(|_| TdbError::Eval(format!("line {}: bad time `{s}`", i + 1)))
+        };
+        let (ts, te) = match fields.as_slice() {
+            [ts, te, ..] => (time(ts)?, time(te)?),
+            _ => {
+                return Err(TdbError::Eval(format!(
+                    "line {}: expected `<ts> <te> [id [seq]]`, got `{line}`",
+                    i + 1
+                )))
+            }
+        };
+        let id = fields
+            .get(2)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("r{}", i + 1));
+        let seq: i64 = match fields.get(3) {
+            Some(s) => s
+                .parse()
+                .map_err(|_| TdbError::Eval(format!("line {}: bad seq `{s}`", i + 1)))?,
+            None => i as i64 + 1,
+        };
+        rows.push(Row::new(vec![
+            Value::str(&id),
+            Value::Int(seq),
+            Value::Time(ts),
+            Value::Time(te),
+        ]));
+    }
+    Ok(rows)
+}
+
 /// Help text.
 pub const HELP: &str = r#"commands:
   \gen faculty <n> [seed]                     load a generated Faculty relation
@@ -331,6 +544,12 @@ pub const HELP: &str = r#"commands:
   \analyze <query>                            verify a query's plan without running it
   \config stream|conventional|naive           planner strategy
   \set parallelism <k>                        time-range partitions for stream operators
+  \ingest <rel> <file|->                      live-append arrivals (`-` reads stdin to EOF);
+                                              lines are `<ts> <te> [id [seq]]`
+  \subscribe <query>                          register a standing query (live-verified);
+                                              deltas print as rows become final
+  \live                                       live status: watermarks, staging, subscriptions
+  \live close <rel>                           seal a live stream (all staged rows final)
   \superstar                                  compare the Superstar formulations
   \help   \quit
 queries: modified Quel, terminated by `;`, e.g.
@@ -465,6 +684,71 @@ mod tests {
         let msg = out(s.feed("\\set parallelism 1"));
         assert!(msg.contains("serial"), "{msg}");
         let msg = out(s.feed("\\set parallelism x"));
+        assert!(msg.starts_with("error:"), "{msg}");
+    }
+
+    fn arrivals_file(tag: &str, lines: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("tdb-cli-arrivals-{}-{tag}", std::process::id()));
+        std::fs::write(&path, lines).unwrap();
+        path
+    }
+
+    #[test]
+    fn ingest_subscribe_and_close_flow() {
+        let mut s = session("live");
+        // First batch: a long interval and one it contains; TS 30 holds
+        // the watermark so only TS < 30 is final.
+        let f1 = arrivals_file("l1", "# comment\n0 100 long\n10 20 a\n30 40 b\n");
+        let msg = out(s.feed(&format!("\\ingest S {}", f1.display())));
+        assert!(msg.contains("S: 3 arrivals"), "{msg}");
+        assert!(msg.contains("2 promoted"), "{msg}");
+        assert!(msg.contains("1 staged"), "{msg}");
+        assert!(msg.contains("watermark t30"), "{msg}");
+
+        let query = "range of a is S range of b is S retrieve (X=a.Id, Y=b.Id) \
+                     where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo";
+        let msg = out(s.feed(&format!("\\subscribe {query};")));
+        assert!(msg.contains("subscription #0 registered"), "{msg}");
+        // (long, a) is already final at registration.
+        assert!(msg.contains("+1 rows"), "{msg}");
+        assert!(msg.contains("\"long\" | \"a\""), "{msg}");
+
+        // Second batch pushes the watermark past b.
+        let f2 = arrivals_file("l2", "50 60 c\n");
+        let msg = out(s.feed(&format!("\\ingest S {}", f2.display())));
+        assert!(msg.contains("+1 rows"), "{msg}");
+        assert!(msg.contains("| \"b\""), "{msg}");
+
+        let msg = out(s.feed("\\live"));
+        assert!(msg.contains("S (ValidFrom ↑)"), "{msg}");
+        assert!(msg.contains("4 admitted"), "{msg}");
+        assert!(msg.contains("#0 `range of"), "{msg}");
+        assert!(msg.contains("workspace peak"), "{msg}");
+
+        let msg = out(s.feed("\\live close S"));
+        assert!(msg.contains("S sealed"), "{msg}");
+        // (long, c) becomes final once the stream seals.
+        assert!(msg.contains("| \"c\""), "{msg}");
+        let msg = out(s.feed("\\live"));
+        assert!(msg.contains("[sealed]"), "{msg}");
+    }
+
+    #[test]
+    fn ingest_rejects_garbage_and_unsorted_arrivals() {
+        let mut s = session("livebad");
+        let f = arrivals_file("bad", "not numbers\n");
+        let msg = out(s.feed(&format!("\\ingest S {}", f.display())));
+        assert!(msg.starts_with("error:"), "{msg}");
+        let f = arrivals_file("late", "50 60 a\n10 20 late\n");
+        let msg = out(s.feed(&format!("\\ingest S {}", f.display())));
+        assert!(msg.contains("order violation"), "{msg}");
+    }
+
+    #[test]
+    fn subscribe_requires_known_relations() {
+        let mut s = session("livesub");
+        let msg = out(s.feed("\\subscribe range of x is Nope retrieve (A=x.Id);"));
         assert!(msg.starts_with("error:"), "{msg}");
     }
 

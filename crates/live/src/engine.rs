@@ -1,0 +1,388 @@
+//! The live engine: relations, subscriptions, and the epoch loop.
+//!
+//! [`LiveEngine`] owns every live relation's admission state and every
+//! standing query. One *epoch* ([`LiveEngine::advance`]) is:
+//!
+//! 1. promote each relation's watermark-closed prefix into the catalog
+//!    heap (order-preserving append — [`Catalog::append_rows`] re-verifies
+//!    the claimed sort orders);
+//! 2. snapshot online statistics as per-relation overrides;
+//! 3. re-verify and re-evaluate every subscription over the enlarged
+//!    catalog, collecting the rows that became final.
+//!
+//! The engine never holds a borrow of the catalog between calls: the
+//! caller (a CLI session, a benchmark, a test) passes it in, keeping
+//! ownership where it already lives.
+
+use crate::relation::LiveRelation;
+use crate::subscription::{Delta, Subscription};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use tdb_algebra::{LogicalPlan, PlannerConfig};
+use tdb_analyze::{plan_verified_live, Analysis, AnalyzeConfig};
+use tdb_core::{Row, StreamOrder, TdbError, TdbResult, TemporalSchema, TemporalStats};
+use tdb_storage::Catalog;
+
+/// Engine-wide knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveConfig {
+    /// Ingest queue capacity per relation (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Staged tuples held in memory before spilling a sorted run.
+    pub stage_budget: usize,
+    /// Watermark slack in ticks (admitted arrival disorder).
+    pub slack: i64,
+    /// EWMA smoothing factor for online λ/E[D] estimation.
+    pub alpha: f64,
+    /// Planner strategy for standing queries.
+    pub planner: PlannerConfig,
+    /// Live-verifier configuration (always run in live mode).
+    pub analyze: AnalyzeConfig,
+}
+
+impl Default for LiveConfig {
+    fn default() -> LiveConfig {
+        LiveConfig {
+            queue_capacity: 256,
+            stage_budget: 1024,
+            slack: 0,
+            alpha: 0.25,
+            planner: PlannerConfig::stream(),
+            analyze: AnalyzeConfig::live(),
+        }
+    }
+}
+
+/// The outcome of one epoch.
+#[derive(Debug, Clone, Default)]
+pub struct LiveReport {
+    /// Rows promoted into catalog heaps this epoch, across relations.
+    pub promoted: usize,
+    /// Per-subscription result deltas (only non-empty ones).
+    pub deltas: Vec<Delta>,
+}
+
+/// Live ingestion and continuous-query engine.
+pub struct LiveEngine {
+    config: LiveConfig,
+    stage_dir: PathBuf,
+    relations: BTreeMap<String, LiveRelation>,
+    subscriptions: Vec<Subscription>,
+}
+
+impl LiveEngine {
+    /// An engine spilling staged runs under `stage_dir`.
+    pub fn new(stage_dir: impl Into<PathBuf>, config: LiveConfig) -> LiveEngine {
+        LiveEngine {
+            config,
+            stage_dir: stage_dir.into(),
+            relations: BTreeMap::new(),
+            subscriptions: Vec::new(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &LiveConfig {
+        &self.config
+    }
+
+    /// Is `name` registered for live ingestion?
+    pub fn is_live(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Live state of relation `name`, if registered.
+    pub fn relation(&self, name: &str) -> Option<&LiveRelation> {
+        self.relations.get(name)
+    }
+
+    /// All live relations, in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &LiveRelation> {
+        self.relations.values()
+    }
+
+    /// Registered subscriptions.
+    pub fn subscriptions(&self) -> &[Subscription] {
+        &self.subscriptions
+    }
+
+    /// Register `name` for live ingestion with arrivals sorted in `order`.
+    ///
+    /// Creates the relation (empty, claiming `order`) if the catalog does
+    /// not know it yet; an existing relation must already claim an order
+    /// satisfying `order`, otherwise promotion could not keep the heap
+    /// sorted and the registration is refused.
+    pub fn register(
+        &mut self,
+        catalog: &mut Catalog,
+        name: &str,
+        schema: TemporalSchema,
+        order: StreamOrder,
+    ) -> TdbResult<()> {
+        if self.relations.contains_key(name) {
+            return Err(TdbError::Catalog(format!(
+                "relation `{name}` is already live"
+            )));
+        }
+        match catalog.meta(name) {
+            Ok(meta) => {
+                if !meta.known_orders.iter().any(|o| o.satisfies(&order)) {
+                    return Err(TdbError::Catalog(format!(
+                        "relation `{name}` does not claim sort order {order}, \
+                         so live appends cannot keep its heap sorted"
+                    )));
+                }
+            }
+            Err(_) => catalog.create_relation(name, schema.clone(), &[], vec![order])?,
+        }
+        let rel = LiveRelation::new(
+            name,
+            schema,
+            order,
+            self.config.slack,
+            self.config.alpha,
+            self.config.queue_capacity,
+            self.config.stage_budget,
+            &self.stage_dir,
+            catalog.io().clone(),
+        )?;
+        self.relations.insert(name.to_string(), rel);
+        Ok(())
+    }
+
+    /// Register a standing query. The plan must pass the live verifier
+    /// under the current online statistics before a single tuple flows;
+    /// the returned [`Delta`] carries the rows already final at
+    /// registration time (the closed prefix ingested so far).
+    pub fn subscribe(
+        &mut self,
+        catalog: &Catalog,
+        label: impl Into<String>,
+        logical: LogicalPlan,
+    ) -> TdbResult<(Analysis, Delta)> {
+        let overrides = self.live_stats();
+        // Verify up front so a rejected query never registers.
+        let (_physical, analysis) = plan_verified_live(
+            &logical,
+            self.config.planner,
+            catalog,
+            &overrides,
+            &self.config.analyze,
+        )?;
+        let id = self.subscriptions.len();
+        let mut sub = Subscription::new(id, label, logical);
+        let delta = sub.evaluate(
+            catalog,
+            &overrides,
+            self.config.planner,
+            &self.config.analyze,
+        )?;
+        self.subscriptions.push(sub);
+        Ok((analysis, delta))
+    }
+
+    /// Ingest a batch of raw rows into live relation `name`, then run one
+    /// epoch. Producers hitting the bounded queue stall and the engine
+    /// drains admissions in-line — memory stays bounded no matter the
+    /// batch size.
+    pub fn ingest(
+        &mut self,
+        catalog: &mut Catalog,
+        name: &str,
+        rows: impl IntoIterator<Item = Row>,
+    ) -> TdbResult<LiveReport> {
+        let rel = self
+            .relations
+            .get_mut(name)
+            .ok_or_else(|| TdbError::Catalog(format!("relation `{name}` is not live")))?;
+        for row in rows {
+            let mut row = row;
+            loop {
+                match rel.offer(row) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        // Backpressure: drain the admission path, retry.
+                        row = back;
+                        rel.pump()?;
+                    }
+                }
+            }
+        }
+        rel.pump()?;
+        self.advance(catalog)
+    }
+
+    /// Seal live relation `name` (end of stream: everything staged becomes
+    /// final) and run one epoch.
+    pub fn seal(&mut self, catalog: &mut Catalog, name: &str) -> TdbResult<LiveReport> {
+        let rel = self
+            .relations
+            .get_mut(name)
+            .ok_or_else(|| TdbError::Catalog(format!("relation `{name}` is not live")))?;
+        rel.pump()?;
+        rel.seal();
+        self.advance(catalog)
+    }
+
+    /// Run one epoch: promote every relation's closed prefix, then
+    /// re-verify and re-evaluate every subscription.
+    pub fn advance(&mut self, catalog: &mut Catalog) -> TdbResult<LiveReport> {
+        let mut report = LiveReport::default();
+        for rel in self.relations.values_mut() {
+            let closed = rel.take_closed()?;
+            if !closed.is_empty() {
+                catalog.append_rows(rel.name(), &closed)?;
+                report.promoted += closed.len();
+            }
+        }
+        let overrides = self.live_stats();
+        for sub in &mut self.subscriptions {
+            let delta = sub.evaluate(
+                catalog,
+                &overrides,
+                self.config.planner,
+                &self.config.analyze,
+            )?;
+            if !delta.rows.is_empty() {
+                report.deltas.push(delta);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Per-relation online statistics overrides for live planning: every
+    /// live relation that has seen at least one arrival reports its EWMA
+    /// estimates in place of the catalog's static statistics.
+    pub fn live_stats(&self) -> BTreeMap<String, TemporalStats> {
+        self.relations
+            .iter()
+            .filter_map(|(name, rel)| rel.live_stats().map(|s| (name.clone(), s)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_algebra::{logical::FACULTY_ATTRS, Atom, CompOp};
+    use tdb_core::{TemporalSchema, TimePoint, Value};
+    use tdb_storage::IoStats;
+
+    fn setup(tag: &str) -> (Catalog, LiveEngine) {
+        let dir = std::env::temp_dir().join(format!("tdb-engine-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let catalog = Catalog::open(dir.join("cat"), IoStats::new()).unwrap();
+        let engine = LiveEngine::new(dir.join("live"), LiveConfig::default());
+        (catalog, engine)
+    }
+
+    fn row(n: &str, s: i64, e: i64) -> Row {
+        Row::new(vec![
+            Value::str(n),
+            Value::str("Assistant"),
+            Value::Time(TimePoint(s)),
+            Value::Time(TimePoint(e)),
+        ])
+    }
+
+    fn contains_join() -> LogicalPlan {
+        let f1 = LogicalPlan::scan("Faculty", "f1", &FACULTY_ATTRS);
+        let f2 = LogicalPlan::scan("Faculty", "f2", &FACULTY_ATTRS);
+        f1.join(
+            f2,
+            vec![
+                Atom::cols("f1", "ValidFrom", CompOp::Lt, "f2", "ValidFrom"),
+                Atom::cols("f2", "ValidTo", CompOp::Lt, "f1", "ValidTo"),
+            ],
+        )
+    }
+
+    #[test]
+    fn register_creates_relation_and_rejects_double_registration() {
+        let (mut cat, mut eng) = setup("reg");
+        let schema = TemporalSchema::time_sequence("Name", "Rank");
+        eng.register(&mut cat, "Faculty", schema.clone(), StreamOrder::TS_ASC)
+            .unwrap();
+        assert!(eng.is_live("Faculty"));
+        assert!(cat.meta("Faculty").is_ok());
+        let err = eng
+            .register(&mut cat, "Faculty", schema, StreamOrder::TS_ASC)
+            .unwrap_err();
+        assert!(err.to_string().contains("already live"), "{err}");
+    }
+
+    #[test]
+    fn ingest_promotes_closed_prefix_and_subscription_emits_final_deltas() {
+        let (mut cat, mut eng) = setup("deltas");
+        let schema = TemporalSchema::time_sequence("Name", "Rank");
+        eng.register(&mut cat, "Faculty", schema, StreamOrder::TS_ASC)
+            .unwrap();
+        let (analysis, initial) = eng.subscribe(&cat, "contains", contains_join()).unwrap();
+        assert!(
+            analysis.render().contains("Table 1"),
+            "{}",
+            analysis.render()
+        );
+        assert!(initial.rows.is_empty());
+
+        // f1 = [0, 100) contains f2 = [10, 20) and f2 = [30, 40).
+        let r1 = eng
+            .ingest(
+                &mut cat,
+                "Faculty",
+                vec![row("long", 0, 100), row("a", 10, 20), row("b", 30, 40)],
+            )
+            .unwrap();
+        // Watermark sits at TS 30: only [0,100) and [10,20) promoted, and
+        // the (long, a) pair is already provably final.
+        assert_eq!(r1.promoted, 2);
+        let emitted_r1: usize = r1.deltas.iter().map(|d| d.rows.len()).sum();
+        assert_eq!(emitted_r1, 1);
+
+        let r2 = eng.seal(&mut cat, "Faculty").unwrap();
+        assert_eq!(r2.promoted, 1);
+        let emitted_r2: usize = r2.deltas.iter().map(|d| d.rows.len()).sum();
+        assert_eq!(emitted_r2, 1, "(long, b) becomes final at seal");
+
+        let sub = &eng.subscriptions()[0];
+        assert_eq!(sub.emitted_count(), 2);
+        let (peak, cap) = sub.workspace_watermark();
+        assert!(
+            peak <= cap,
+            "live peak {peak} must stay under proven cap {cap}"
+        );
+        assert!(eng.relation("Faculty").unwrap().is_sealed());
+    }
+
+    #[test]
+    fn live_stats_override_reaches_planning() {
+        let (mut cat, mut eng) = setup("stats");
+        let schema = TemporalSchema::time_sequence("Name", "Rank");
+        eng.register(&mut cat, "Faculty", schema, StreamOrder::TS_ASC)
+            .unwrap();
+        eng.ingest(
+            &mut cat,
+            "Faculty",
+            (0..32)
+                .map(|i| row("x", i * 4, i * 4 + 10))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let stats = eng.live_stats();
+        let faculty = stats.get("Faculty").unwrap();
+        assert_eq!(faculty.count, 32);
+        assert!((faculty.lambda.unwrap() - 0.25).abs() < 1e-9);
+        // Catalog static stats only cover the promoted prefix; the live
+        // override sees every arrival.
+        assert!(cat.meta("Faculty").unwrap().stats.count < faculty.count);
+    }
+
+    #[test]
+    fn ingest_into_unknown_relation_errors() {
+        let (mut cat, mut eng) = setup("unknown");
+        let err = eng
+            .ingest(&mut cat, "Nope", vec![row("x", 0, 1)])
+            .unwrap_err();
+        assert!(err.to_string().contains("not live"), "{err}");
+    }
+}

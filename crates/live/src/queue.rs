@@ -1,0 +1,93 @@
+//! Bounded ingest queues.
+//!
+//! Each live relation buffers raw arrivals in a fixed-capacity queue
+//! between the producer (a file replay, the CLI, a benchmark driver) and
+//! the admission path (validation → watermark → staging). A full queue
+//! *backpressures*: [`IngestQueue::try_push`] hands the row back instead
+//! of growing, and the engine must drain admissions before the producer
+//! can continue — so ingest memory is bounded by construction, the same
+//! discipline the paper's stream operators apply to their workspaces.
+
+use std::collections::VecDeque;
+use tdb_core::Row;
+
+/// A fixed-capacity FIFO of raw rows awaiting admission.
+#[derive(Debug)]
+pub struct IngestQueue {
+    buf: VecDeque<Row>,
+    capacity: usize,
+}
+
+impl IngestQueue {
+    /// A queue holding at most `capacity` rows (minimum 1).
+    pub fn new(capacity: usize) -> IngestQueue {
+        let capacity = capacity.max(1);
+        IngestQueue {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum rows the queue holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rows currently queued.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Enqueue a row, or hand it back when the queue is full — the
+    /// backpressure signal.
+    pub fn try_push(&mut self, row: Row) -> Result<(), Row> {
+        if self.buf.len() >= self.capacity {
+            return Err(row);
+        }
+        self.buf.push_back(row);
+        Ok(())
+    }
+
+    /// Dequeue the oldest row.
+    pub fn pop(&mut self) -> Option<Row> {
+        self.buf.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_core::Value;
+
+    fn row(i: i64) -> Row {
+        Row::new(vec![Value::Int(i)])
+    }
+
+    #[test]
+    fn fifo_and_backpressure() {
+        let mut q = IngestQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        q.try_push(row(1)).unwrap();
+        q.try_push(row(2)).unwrap();
+        let back = q.try_push(row(3)).unwrap_err();
+        assert_eq!(back, row(3));
+        assert_eq!(q.pop(), Some(row(1)));
+        q.try_push(row(3)).unwrap();
+        assert_eq!(q.pop(), Some(row(2)));
+        assert_eq!(q.pop(), Some(row(3)));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut q = IngestQueue::new(0);
+        q.try_push(row(1)).unwrap();
+        assert!(q.try_push(row(2)).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Standing queries over live relations.
+//!
+//! A subscription is a logical plan registered once and re-evaluated as
+//! watermarks advance. Every evaluation **re-verifies** the plan through
+//! the live analyzer ([`plan_verified_live`]) with the current online
+//! λ/E[D] estimates substituted for the catalog's static statistics — the
+//! workspace-cap proof tracks the traffic the stream actually carries,
+//! not the load-time snapshot.
+//!
+//! Because only watermark-closed tuples are ever promoted into the
+//! catalog, evaluating the plan over the catalog *is* evaluation over the
+//! closed prefix, and because the supported operators are monotone (more
+//! input rows never retract an output row), every newly appearing result
+//! row is **final**. The subscription therefore emits exactly the rows
+//! not yet emitted — a delta stream with no retractions — tracked as a
+//! multiset keyed by the rows' storage encoding so duplicate result rows
+//! (legitimate under joins) are emitted the right number of times.
+
+use std::collections::BTreeMap;
+use tdb_algebra::{LogicalPlan, PlannerConfig};
+use tdb_analyze::{plan_verified_live, AnalyzeConfig};
+use tdb_core::{Row, TdbResult, TemporalStats};
+use tdb_storage::{Catalog, Codec};
+use tdb_stream::Progress;
+
+/// A batch of newly final result rows from one subscription.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// The subscription that produced the rows.
+    pub subscription: usize,
+    /// The subscription's label (its query text, typically).
+    pub label: String,
+    /// Newly final result rows, in plan output order.
+    pub rows: Vec<Row>,
+}
+
+/// One registered standing query.
+pub struct Subscription {
+    id: usize,
+    label: String,
+    logical: LogicalPlan,
+    /// Multiset of already-emitted rows: storage encoding → count.
+    emitted: BTreeMap<Vec<u8>, usize>,
+    progress: Progress,
+    /// Highest runtime stream-operator workspace seen across evaluations.
+    peak_workspace: usize,
+    /// Highest statically proven workspace cap across evaluations (the
+    /// caps move with the live statistics).
+    static_cap: usize,
+    evaluations: u64,
+}
+
+impl Subscription {
+    pub(crate) fn new(id: usize, label: impl Into<String>, logical: LogicalPlan) -> Subscription {
+        Subscription {
+            id,
+            label: label.into(),
+            logical,
+            emitted: BTreeMap::new(),
+            progress: Progress::new(),
+            peak_workspace: 0,
+            static_cap: 0,
+            evaluations: 0,
+        }
+    }
+
+    /// Subscription id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The label supplied at registration.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The logical plan being maintained.
+    pub fn logical(&self) -> &LogicalPlan {
+        &self.logical
+    }
+
+    /// Result rows emitted over the subscription's lifetime.
+    pub fn emitted_count(&self) -> usize {
+        self.emitted.values().sum()
+    }
+
+    /// Evaluations performed so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Progress handle (emitted counter).
+    pub fn progress(&self) -> &Progress {
+        &self.progress
+    }
+
+    /// Peak runtime workspace across evaluations, with the largest cap
+    /// the live verifier proved for it. The paper's guarantee, live:
+    /// `peak ≤ cap` at every epoch.
+    pub fn workspace_watermark(&self) -> (usize, usize) {
+        (self.peak_workspace, self.static_cap)
+    }
+
+    /// Re-verify and re-evaluate over the current (closed-prefix) catalog,
+    /// returning the rows that became final since the last evaluation.
+    pub(crate) fn evaluate(
+        &mut self,
+        catalog: &Catalog,
+        live_stats: &BTreeMap<String, TemporalStats>,
+        planner: PlannerConfig,
+        analyze: &AnalyzeConfig,
+    ) -> TdbResult<Delta> {
+        let (physical, analysis) =
+            plan_verified_live(&self.logical, planner, catalog, live_stats, analyze)?;
+        let cap: usize = analysis
+            .lowered
+            .ops
+            .iter()
+            .filter_map(|op| op.workspace_cap)
+            .sum();
+        self.static_cap = self.static_cap.max(cap);
+
+        let result = physical.execute(catalog)?;
+        self.peak_workspace = self.peak_workspace.max(result.stats.max_workspace);
+        self.evaluations += 1;
+
+        let mut rows = Vec::new();
+        let mut seen: BTreeMap<Vec<u8>, usize> = BTreeMap::new();
+        for row in result.rows {
+            let key = row.to_bytes().to_vec();
+            let count = seen.entry(key.clone()).or_insert(0);
+            *count += 1;
+            let already = self.emitted.get(&key).copied().unwrap_or(0);
+            if *count > already {
+                self.emitted.insert(key, *count);
+                rows.push(row);
+            }
+        }
+        self.progress.add_emitted(rows.len() as u64);
+        Ok(Delta {
+            subscription: self.id,
+            label: self.label.clone(),
+            rows,
+        })
+    }
+}

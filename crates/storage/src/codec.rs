@@ -5,7 +5,7 @@
 //! input yields [`TdbError::Corrupt`], never a panic.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use tdb_core::{Period, Row, TdbError, TdbResult, TimePoint, TsTuple, Value};
+use tdb_core::{Period, PeriodRow, Row, TdbError, TdbResult, TimePoint, TsTuple, Value};
 
 /// Types that can round-trip through the storage byte format.
 pub trait Codec: Sized {
@@ -136,6 +136,20 @@ impl Codec for Period {
         let start = TimePoint::new(buf.get_i64_le());
         let end = TimePoint::new(buf.get_i64_le());
         Period::new(start, end)
+    }
+}
+
+impl Codec for PeriodRow {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.row.encode(buf);
+        self.period.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> TdbResult<PeriodRow> {
+        Ok(PeriodRow {
+            row: Row::decode(buf)?,
+            period: Period::decode(buf)?,
+        })
     }
 }
 

@@ -1,0 +1,224 @@
+//! Staging buffer for live, not-yet-final arrivals.
+//!
+//! A live relation receives tuples that are *ordered on arrival* (within an
+//! optional watermark slack) but not yet *final*: a tuple whose sort key
+//! still lies at or above the relation's watermark may gain later-arriving
+//! peers with equal keys, so it cannot be promoted into the heap without
+//! risking an order violation. [`StagedAppend`] holds that frontier: it
+//! accumulates arrivals in memory, spills sorted runs to disk past a memory
+//! budget (reusing [`RunWriter`]/[`RunReader`], the same machinery as the
+//! external sorter), and on request surrenders exactly the *closed prefix* —
+//! every staged tuple a caller-supplied finality predicate accepts — in the
+//! relation's declared sort order, ready for [`crate::Catalog::append_rows`].
+//!
+//! The finality predicate is a closure (typically `|t| watermark.closes(t)`)
+//! so this crate stays independent of the live subsystem that owns the
+//! watermark.
+
+use crate::iostats::IoStats;
+use crate::run::{RunReader, RunWriter};
+use std::path::PathBuf;
+use tdb_core::{PeriodRow, StreamOrder, TdbResult};
+
+/// Process-wide sequence keeping concurrent stages' spill files distinct.
+static STAGE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A spill-backed staging buffer of arrivals awaiting finality.
+pub struct StagedAppend {
+    dir: PathBuf,
+    tag: String,
+    order: StreamOrder,
+    mem_budget: usize,
+    pending: Vec<PeriodRow>,
+    runs: Vec<PathBuf>,
+    /// Tuples resident in spilled runs right now.
+    spilled: usize,
+    /// Runs spilled over the stage's lifetime.
+    spilled_runs: usize,
+    io: IoStats,
+}
+
+impl StagedAppend {
+    /// A staging buffer spilling into `dir`, holding at most `mem_budget`
+    /// tuples in memory, emitting closed prefixes sorted by `order`.
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        order: StreamOrder,
+        mem_budget: usize,
+        io: IoStats,
+    ) -> TdbResult<StagedAppend> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let tag = format!(
+            "stage-{}-{}",
+            std::process::id(),
+            STAGE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        );
+        Ok(StagedAppend {
+            dir,
+            tag,
+            order,
+            mem_budget: mem_budget.max(2),
+            pending: Vec::new(),
+            runs: Vec::new(),
+            spilled: 0,
+            spilled_runs: 0,
+            io,
+        })
+    }
+
+    /// The sort order closed prefixes are emitted in.
+    pub fn order(&self) -> StreamOrder {
+        self.order
+    }
+
+    /// Number of tuples currently staged (in memory plus spilled).
+    pub fn len(&self) -> usize {
+        self.pending.len() + self.spilled
+    }
+
+    /// Is nothing staged?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total sorted runs spilled over this stage's lifetime.
+    pub fn runs_spilled(&self) -> usize {
+        self.spilled_runs
+    }
+
+    /// Stage one arrival. Spills a sorted run when the in-memory buffer
+    /// exceeds the budget.
+    pub fn push(&mut self, tuple: PeriodRow) -> TdbResult<()> {
+        self.pending.push(tuple);
+        if self.pending.len() >= self.mem_budget {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn spill(&mut self) -> TdbResult<()> {
+        self.order.sort(&mut self.pending);
+        let path = self
+            .dir
+            .join(format!("{}-{}.run", self.tag, self.spilled_runs));
+        let mut w = RunWriter::create(&path, self.io.clone())?;
+        for t in self.pending.drain(..) {
+            w.push(&t)?;
+        }
+        let (path, n) = w.finish()?;
+        self.spilled += n as usize;
+        self.spilled_runs += 1;
+        self.runs.push(path);
+        Ok(())
+    }
+
+    /// Drain every staged tuple that `closed` accepts, returned sorted by
+    /// this stage's order; tuples the predicate rejects remain staged.
+    ///
+    /// The caller's predicate is the finality proof (a watermark test): the
+    /// returned prefix is safe to promote into the relation heap because no
+    /// future arrival can sort before it.
+    pub fn take_closed(
+        &mut self,
+        closed: impl Fn(&PeriodRow) -> bool,
+    ) -> TdbResult<Vec<PeriodRow>> {
+        // Fold spilled runs back in; staged volumes are bounded by the
+        // watermark lag, so rereading the frontier is cheap by construction.
+        let mut all = std::mem::take(&mut self.pending);
+        for path in self.runs.drain(..) {
+            let mut r = RunReader::<PeriodRow>::open(&path, self.io.clone())?;
+            while let Some(t) = r.next_record()? {
+                all.push(t);
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+        self.spilled = 0;
+        self.order.sort(&mut all);
+        let (out, keep): (Vec<_>, Vec<_>) = all.into_iter().partition(|t| closed(t));
+        self.pending = keep;
+        Ok(out)
+    }
+}
+
+impl Drop for StagedAppend {
+    fn drop(&mut self) {
+        for p in &self.runs {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_core::{Period, Row, TimePoint, Value};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tdb-stage-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn pr(s: i64, e: i64) -> PeriodRow {
+        PeriodRow::new(
+            Row::new(vec![
+                Value::Int(s),
+                Value::Time(TimePoint(s)),
+                Value::Time(TimePoint(e)),
+            ]),
+            Period::new(TimePoint(s), TimePoint(e)).unwrap(),
+        )
+    }
+
+    #[test]
+    fn closed_prefix_comes_out_sorted() {
+        let mut st =
+            StagedAppend::new(tmpdir("a"), StreamOrder::TS_ASC, 1024, IoStats::new()).unwrap();
+        for (s, e) in [(3, 9), (1, 4), (7, 8), (5, 6)] {
+            st.push(pr(s, e)).unwrap();
+        }
+        assert_eq!(st.len(), 4);
+        let out = st.take_closed(|t| t.period.start() < TimePoint(5)).unwrap();
+        let keys: Vec<i64> = out.iter().map(|t| t.period.start().ticks()).collect();
+        assert_eq!(keys, vec![1, 3]);
+        assert_eq!(st.len(), 2, "open tuples stay staged");
+        let rest = st.take_closed(|_| true).unwrap();
+        let keys: Vec<i64> = rest.iter().map(|t| t.period.start().ticks()).collect();
+        assert_eq!(keys, vec![5, 7]);
+        assert!(st.is_empty());
+    }
+
+    #[test]
+    fn spills_past_budget_and_recovers_everything() {
+        let io = IoStats::new();
+        let mut st = StagedAppend::new(tmpdir("b"), StreamOrder::TS_ASC, 16, io.clone()).unwrap();
+        for i in (0..500).rev() {
+            st.push(pr(i, i + 3)).unwrap();
+        }
+        assert!(
+            st.runs_spilled() > 10,
+            "expected spills, got {}",
+            st.runs_spilled()
+        );
+        assert_eq!(st.len(), 500);
+        assert!(io.snapshot().pages_written > 0);
+        let out = st
+            .take_closed(|t| t.period.start() < TimePoint(400))
+            .unwrap();
+        assert_eq!(out.len(), 400);
+        assert_eq!(StreamOrder::TS_ASC.first_violation(&out), None);
+        assert_eq!(st.len(), 100);
+    }
+
+    #[test]
+    fn te_order_stages_on_te() {
+        let mut st =
+            StagedAppend::new(tmpdir("c"), StreamOrder::TE_ASC, 1024, IoStats::new()).unwrap();
+        st.push(pr(0, 9)).unwrap();
+        st.push(pr(4, 5)).unwrap();
+        let out = st.take_closed(|t| t.period.end() < TimePoint(9)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].period.end(), TimePoint(5));
+    }
+}

@@ -45,6 +45,7 @@
 //! this down.
 
 use crate::metrics::OpMetrics;
+use crate::progress::Progress;
 use crate::read_policy::{Advance, PolicyState, ReadPolicy};
 use crate::required::{check_stream_order, RequiredOrder, StreamOpKind};
 use crate::stream::TupleStream;
@@ -85,6 +86,7 @@ where
     policy: ReadPolicy,
     policy_state: PolicyState,
     metrics: OpMetrics,
+    progress: Option<Progress>,
     started: bool,
 }
 
@@ -123,8 +125,28 @@ where
                 passes: 1,
                 ..OpMetrics::default()
             },
+            progress: None,
             started: false,
         })
+    }
+
+    /// Attach a shared [`Progress`] handle: the operator publishes its
+    /// monotonic admitted/GC'd/emitted totals into it on every `next()`
+    /// call, so a live subscriber can observe progress mid-run.
+    pub fn with_progress(mut self, progress: &Progress) -> Self {
+        self.progress = Some(progress.clone());
+        self
+    }
+
+    fn publish_progress(&self) {
+        if let Some(p) = &self.progress {
+            let gc = self.state_x.stats().discarded + self.state_y.stats().discarded;
+            p.publish(
+                self.metrics.read_total() as u64,
+                gc as u64,
+                self.metrics.emitted as u64,
+            );
+        }
     }
 
     /// Execution metrics.
@@ -236,6 +258,22 @@ where
     type Item = (X::Item, Y::Item);
 
     fn next(&mut self) -> TdbResult<Option<Self::Item>> {
+        let out = self.next_inner();
+        self.publish_progress();
+        out
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        None // pair output carries no single-period ordering
+    }
+}
+
+impl<X: TupleStream, Y: TupleStream> ContainJoinTsTs<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    fn next_inner(&mut self) -> TdbResult<Option<(X::Item, Y::Item)>> {
         loop {
             if let Some(pair) = self.pending.pop_front() {
                 self.metrics.emitted += 1;
@@ -280,10 +318,6 @@ where
             }
         }
     }
-
-    fn order(&self) -> Option<StreamOrder> {
-        None // pair output carries no single-period ordering
-    }
 }
 
 /// Contain-join with X sorted `ValidFrom ↑` and Y sorted `ValidTo ↑`.
@@ -303,6 +337,7 @@ where
     state_x: Workspace<X::Item>,
     pending: VecDeque<(X::Item, Y::Item)>,
     metrics: OpMetrics,
+    progress: Option<Progress>,
     started: bool,
 }
 
@@ -339,8 +374,27 @@ where
                 passes: 1,
                 ..OpMetrics::default()
             },
+            progress: None,
             started: false,
         })
+    }
+
+    /// Attach a shared [`Progress`] handle: the operator publishes its
+    /// monotonic admitted/GC'd/emitted totals into it on every `next()`
+    /// call, so a live subscriber can observe progress mid-run.
+    pub fn with_progress(mut self, progress: &Progress) -> Self {
+        self.progress = Some(progress.clone());
+        self
+    }
+
+    fn publish_progress(&self) {
+        if let Some(p) = &self.progress {
+            p.publish(
+                self.metrics.read_total() as u64,
+                self.state_x.stats().discarded as u64,
+                self.metrics.emitted as u64,
+            );
+        }
     }
 
     /// Execution metrics.
@@ -375,6 +429,22 @@ where
     type Item = (X::Item, Y::Item);
 
     fn next(&mut self) -> TdbResult<Option<Self::Item>> {
+        let out = self.next_inner();
+        self.publish_progress();
+        out
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        None
+    }
+}
+
+impl<X: TupleStream, Y: TupleStream> ContainJoinTsTe<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    fn next_inner(&mut self) -> TdbResult<Option<(X::Item, Y::Item)>> {
         loop {
             if let Some(pair) = self.pending.pop_front() {
                 self.metrics.emitted += 1;
@@ -422,10 +492,6 @@ where
                 }
             }
         }
-    }
-
-    fn order(&self) -> Option<StreamOrder> {
-        None
     }
 }
 
@@ -609,6 +675,34 @@ mod tests {
         assert_eq!(metrics.read_left, 2);
         assert_eq!(metrics.read_right, 2);
         assert_eq!(metrics.passes, 1);
+    }
+
+    #[test]
+    fn progress_is_readable_mid_run() {
+        let xs: Vec<_> = (0..50).map(|i| iv(i * 3, i * 3 + 10)).collect();
+        let ys: Vec<_> = (0..50).map(|i| iv(i * 3 + 1, i * 3 + 2)).collect();
+        let progress = crate::progress::Progress::new();
+        let left = from_sorted_vec(xs, StreamOrder::TS_ASC).unwrap();
+        let right = from_sorted_vec(ys, StreamOrder::TS_ASC).unwrap();
+        let mut join = ContainJoinTsTs::new(left, right, ReadPolicy::MinKey)
+            .unwrap()
+            .with_progress(&progress);
+        let mut last = 0;
+        for _ in 0..10 {
+            let item = join.next().unwrap();
+            assert!(item.is_some(), "50×50 workload has ≥10 matches");
+            let snap = progress.snapshot();
+            assert!(snap.admitted >= last, "admitted counter is monotonic");
+            last = snap.admitted;
+        }
+        // The stream is far from exhausted, yet progress is visible.
+        let snap = progress.snapshot();
+        assert!(
+            snap.admitted > 0 && snap.admitted < 100,
+            "mid-run: {}",
+            snap.admitted
+        );
+        assert!(snap.emitted >= 10);
     }
 
     #[test]

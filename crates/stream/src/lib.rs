@@ -38,6 +38,7 @@ pub mod metrics;
 pub mod nested_loop;
 pub mod overlap_join;
 pub mod partition;
+pub mod progress;
 pub mod read_policy;
 pub mod report;
 pub mod required;
@@ -46,6 +47,7 @@ pub mod stab_semijoin;
 pub mod stream;
 pub mod sweep_semijoin;
 pub mod timeslice;
+pub mod watermark;
 pub mod workspace;
 
 pub use aggregate::{GroupedSum, HashSum};
@@ -63,6 +65,7 @@ pub use partition::{
     merge_tagged, parallel_join, parallel_semijoin, partition_with_fringe, KWayMerge,
     ParallelPattern, ParallelRun, PartitionSpec, Tagged,
 };
+pub use progress::{Progress, ProgressSnapshot};
 pub use read_policy::ReadPolicy;
 pub use report::{timeslice, Instrumented, OpConfig, OpReport};
 pub use required::{check_stream_order, OrderRequirement, RequiredOrder, StreamOpKind};
@@ -71,4 +74,5 @@ pub use stab_semijoin::{ContainSemijoinStab, ContainedSemijoinStab};
 pub use stream::{from_sorted_vec, from_vec, OrderChecked, TupleStream, VecStream};
 pub use sweep_semijoin::SweepSemijoin;
 pub use timeslice::{concurrency_profile, ProfileStep, Timeslice};
+pub use watermark::Watermark;
 pub use workspace::{Workspace, WorkspaceStats};

@@ -1,0 +1,150 @@
+//! Monotonic live-progress counters, readable *while an operator runs*.
+//!
+//! [`crate::metrics::OpMetrics`] and [`crate::report::OpReport`] describe a
+//! finished run: callers snapshot them after the stream is exhausted. A live
+//! subscription (crate `tdb-live`) needs the opposite — a handle it can poll
+//! mid-run to answer "how many tuples has this standing operator admitted,
+//! garbage-collected, and emitted so far, and how far behind the watermark
+//! is it?" without waiting for an end-of-stream that may never come.
+//!
+//! [`Progress`] is that handle: a cheaply clonable bundle of atomic
+//! counters. Operators publish into it with [`Progress::publish`] (a
+//! monotonic `fetch_max`, since the operator's internal metrics are already
+//! running totals); ingestion drivers accumulate into it with the `add_*`
+//! methods. Readers take a [`ProgressSnapshot`] at any time.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared monotonic progress counters for one live operator or relation.
+///
+/// Clones share the same cells, so a driver can hand one handle to an
+/// operator and keep the other to poll.
+#[derive(Clone, Debug, Default)]
+pub struct Progress {
+    inner: Arc<Cells>,
+}
+
+#[derive(Debug, Default)]
+struct Cells {
+    admitted: AtomicU64,
+    gc_discarded: AtomicU64,
+    emitted: AtomicU64,
+    watermark_lag: AtomicU64,
+}
+
+impl Progress {
+    /// A fresh handle with all counters at zero.
+    pub fn new() -> Progress {
+        Progress::default()
+    }
+
+    /// Publish absolute running totals (monotonic: each cell only moves
+    /// forward via `fetch_max`). Operators call this with their internal
+    /// metrics, which are themselves running totals.
+    pub fn publish(&self, admitted: u64, gc_discarded: u64, emitted: u64) {
+        self.inner.admitted.fetch_max(admitted, Ordering::Relaxed);
+        self.inner
+            .gc_discarded
+            .fetch_max(gc_discarded, Ordering::Relaxed);
+        self.inner.emitted.fetch_max(emitted, Ordering::Relaxed);
+    }
+
+    /// Add `n` admitted tuples (for drivers that count increments rather
+    /// than totals, e.g. the live ingest path).
+    pub fn add_admitted(&self, n: u64) {
+        self.inner.admitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add `n` garbage-collected tuples.
+    pub fn add_gc_discarded(&self, n: u64) {
+        self.inner.gc_discarded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add `n` emitted tuples.
+    pub fn add_emitted(&self, n: u64) {
+        self.inner.emitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Set the current watermark lag (a gauge, not a counter: the number of
+    /// arrived-but-not-yet-final tuples, or ticks between the newest
+    /// arrival and the watermark — the publisher picks the unit).
+    pub fn set_watermark_lag(&self, lag: u64) {
+        self.inner.watermark_lag.store(lag, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time view of the counters.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            admitted: self.inner.admitted.load(Ordering::Relaxed),
+            gc_discarded: self.inner.gc_discarded.load(Ordering::Relaxed),
+            emitted: self.inner.emitted.load(Ordering::Relaxed),
+            watermark_lag: self.inner.watermark_lag.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time reading of a [`Progress`] handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProgressSnapshot {
+    /// Tuples the operator has read (admitted) from its inputs so far.
+    pub admitted: u64,
+    /// Tuples discarded by workspace garbage collection so far.
+    pub gc_discarded: u64,
+    /// Tuples (or pairs) emitted so far.
+    pub emitted: u64,
+    /// Current watermark lag (publisher-defined unit; see
+    /// [`Progress::set_watermark_lag`]).
+    pub watermark_lag: u64,
+}
+
+impl fmt::Display for ProgressSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} admitted, {} gc'd, {} emitted, watermark lag {}",
+            self.admitted, self.gc_discarded, self.emitted, self.watermark_lag
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_is_monotonic() {
+        let p = Progress::new();
+        p.publish(10, 2, 5);
+        p.publish(7, 1, 3); // stale totals must not move counters backwards
+        let s = p.snapshot();
+        assert_eq!(s.admitted, 10);
+        assert_eq!(s.gc_discarded, 2);
+        assert_eq!(s.emitted, 5);
+    }
+
+    #[test]
+    fn clones_share_cells() {
+        let p = Progress::new();
+        let q = p.clone();
+        q.add_admitted(4);
+        q.add_emitted(1);
+        q.add_gc_discarded(2);
+        q.set_watermark_lag(9);
+        let s = p.snapshot();
+        assert_eq!(s.admitted, 4);
+        assert_eq!(s.emitted, 1);
+        assert_eq!(s.gc_discarded, 2);
+        assert_eq!(s.watermark_lag, 9);
+    }
+
+    #[test]
+    fn lag_is_a_gauge() {
+        let p = Progress::new();
+        p.set_watermark_lag(50);
+        p.set_watermark_lag(3); // may decrease
+        assert_eq!(p.snapshot().watermark_lag, 3);
+        assert!(p.snapshot().to_string().contains("watermark lag 3"));
+    }
+}

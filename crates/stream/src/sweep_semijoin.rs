@@ -13,6 +13,7 @@
 //! * [`SweepSemijoin::contained`] — emit `x ∈ X` contained in some `y ∈ Y`.
 
 use crate::metrics::OpMetrics;
+use crate::progress::Progress;
 use crate::read_policy::{Advance, PolicyState, ReadPolicy};
 use crate::required::{check_stream_order, RequiredOrder, StreamOpKind};
 use crate::stream::TupleStream;
@@ -58,6 +59,7 @@ where
     policy: ReadPolicy,
     policy_state: PolicyState,
     metrics: OpMetrics,
+    progress: Option<Progress>,
     started: bool,
 }
 
@@ -103,8 +105,28 @@ where
                 passes: 1,
                 ..OpMetrics::default()
             },
+            progress: None,
             started: false,
         })
+    }
+
+    /// Attach a shared [`Progress`] handle: the operator publishes its
+    /// monotonic admitted/GC'd/emitted totals into it on every `next()`
+    /// call, so a live subscriber can observe progress mid-run.
+    pub fn with_progress(mut self, progress: &Progress) -> Self {
+        self.progress = Some(progress.clone());
+        self
+    }
+
+    fn publish_progress(&self) {
+        if let Some(p) = &self.progress {
+            let gc = self.state_x.stats().discarded + self.state_y.stats().discarded;
+            p.publish(
+                self.metrics.read_total() as u64,
+                gc as u64,
+                self.metrics.emitted as u64,
+            );
+        }
     }
 
     /// Execution metrics.
@@ -228,6 +250,22 @@ where
     type Item = X::Item;
 
     fn next(&mut self) -> TdbResult<Option<X::Item>> {
+        let out = self.next_inner();
+        self.publish_progress();
+        out
+    }
+
+    fn order(&self) -> Option<StreamOrder> {
+        None // emission order mixes arrival and witness order
+    }
+}
+
+impl<X: TupleStream, Y: TupleStream> SweepSemijoin<X, Y>
+where
+    X::Item: Temporal + Clone,
+    Y::Item: Temporal + Clone,
+{
+    fn next_inner(&mut self) -> TdbResult<Option<X::Item>> {
         loop {
             if let Some(out) = self.pending.pop_front() {
                 self.metrics.emitted += 1;
@@ -269,10 +307,6 @@ where
                 }
             }
         }
-    }
-
-    fn order(&self) -> Option<StreamOrder> {
-        None // emission order mixes arrival and witness order
     }
 }
 

@@ -1,0 +1,218 @@
+//! Low-watermarks for live, sort-ordered arrival streams.
+//!
+//! The paper's stream operators (§4, Tables 1–3) assume each input arrives
+//! already sorted on its entry order; every garbage-collection rule is a
+//! statement of the form "no *future* arrival can match this resident
+//! tuple", justified by that sort order. In a live setting the same
+//! reasoning powers **finality**: once the newest arrival's sort key has
+//! passed `k`, every tuple with key `< k` is frozen — no later arrival can
+//! precede it — so results built from the closed prefix can be emitted and
+//! state below the watermark can be collected, exactly per the Table 1–3
+//! rules.
+//!
+//! [`Watermark`] tracks that frontier for one relation:
+//!
+//! * for a `(TS ↑)` stream the watermark key is `ValidFrom`
+//!   ([`SortKey::ValidFrom`]);
+//! * for a `(TE ↑)` stream it is `ValidTo` ([`SortKey::ValidTo`]);
+//! * an optional *slack* admits bounded disorder: the watermark trails the
+//!   newest arrival by `slack` ticks, and arrivals older than the watermark
+//!   are rejected as late.
+
+use crate::progress::Progress;
+use tdb_core::{SortKey, StreamOrder, TdbError, TdbResult, Temporal, TimePoint};
+
+/// A per-relation low-watermark over one sort key.
+#[derive(Debug, Clone)]
+pub struct Watermark {
+    key: SortKey,
+    slack: i64,
+    current: Option<TimePoint>,
+    max_seen: Option<TimePoint>,
+    sealed: bool,
+}
+
+impl Watermark {
+    /// A watermark over `key` with zero slack (arrivals must be
+    /// non-decreasing in `key`).
+    pub fn new(key: SortKey) -> Watermark {
+        Watermark::with_slack(key, 0)
+    }
+
+    /// A watermark over `key` trailing the newest arrival by `slack` ticks,
+    /// admitting that much arrival disorder.
+    pub fn with_slack(key: SortKey, slack: i64) -> Watermark {
+        Watermark {
+            key,
+            slack: slack.max(0),
+            current: None,
+            max_seen: None,
+            sealed: false,
+        }
+    }
+
+    /// The watermark for a stream arriving in `order`: keyed on the
+    /// primary sort key (`ValidFrom` for `(TS ↑)`, `ValidTo` for `(TE ↑)`).
+    pub fn for_order(order: &StreamOrder, slack: i64) -> Watermark {
+        Watermark::with_slack(order.primary.key, slack)
+    }
+
+    /// The sort key this watermark tracks.
+    pub fn key(&self) -> SortKey {
+        self.key
+    }
+
+    /// The current frontier: every tuple whose key is strictly below it is
+    /// final. `None` until the first arrival.
+    pub fn current(&self) -> Option<TimePoint> {
+        self.current
+    }
+
+    /// Observe one arrival, advancing the frontier. Returns an
+    /// [`TdbError::OrderViolation`] for a late arrival (key below the
+    /// current watermark) or any arrival after [`Watermark::seal`].
+    pub fn observe<T: Temporal>(&mut self, t: &T) -> TdbResult<()> {
+        let k = self.key.extract(t);
+        if self.sealed {
+            return Err(TdbError::OrderViolation {
+                context: "live watermark",
+                detail: format!("arrival with key {k} after the stream was sealed"),
+            });
+        }
+        if let Some(w) = self.current {
+            if k < w {
+                return Err(TdbError::OrderViolation {
+                    context: "live watermark",
+                    detail: format!(
+                        "late arrival: key {k} is below the watermark {w} (slack {})",
+                        self.slack
+                    ),
+                });
+            }
+        }
+        self.max_seen = Some(match self.max_seen {
+            Some(m) => m.max_of(k),
+            None => k,
+        });
+        let candidate = TimePoint(k.ticks().saturating_sub(self.slack));
+        if self.current.is_none_or(|w| candidate > w) {
+            self.current = Some(candidate);
+        }
+        Ok(())
+    }
+
+    /// Is `t` final — provably unreachable by any future arrival? True when
+    /// its key lies strictly below the watermark, or the stream is sealed.
+    pub fn closes<T: Temporal>(&self, t: &T) -> bool {
+        if self.sealed {
+            return true;
+        }
+        match self.current {
+            Some(w) => self.key.extract(t) < w,
+            None => false,
+        }
+    }
+
+    /// Declare end-of-stream: the frontier jumps to +∞ and every staged
+    /// tuple becomes final. Further [`Watermark::observe`] calls error.
+    pub fn seal(&mut self) {
+        self.sealed = true;
+    }
+
+    /// Has the stream been sealed?
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Watermark lag in ticks: distance between the newest arrival's key
+    /// and the frontier (0 once sealed or before any arrival).
+    pub fn lag(&self) -> i64 {
+        if self.sealed {
+            return 0;
+        }
+        match (self.max_seen, self.current) {
+            (Some(m), Some(w)) => (m - w).ticks().max(0),
+            _ => 0,
+        }
+    }
+
+    /// Publish the current lag into a [`Progress`] handle.
+    pub fn publish_lag(&self, progress: &Progress) {
+        progress.set_watermark_lag(self.lag().max(0) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_core::TsTuple;
+
+    fn iv(s: i64, e: i64) -> TsTuple {
+        TsTuple::interval(s, e).unwrap()
+    }
+
+    #[test]
+    fn advances_and_closes_prefix() {
+        let mut w = Watermark::new(SortKey::ValidFrom);
+        assert!(!w.closes(&iv(0, 1)));
+        w.observe(&iv(5, 9)).unwrap();
+        assert_eq!(w.current(), Some(TimePoint(5)));
+        assert!(w.closes(&iv(4, 20)), "TS 4 < watermark 5 is final");
+        assert!(!w.closes(&iv(5, 6)), "equal keys may still arrive");
+        w.observe(&iv(5, 7)).unwrap(); // equal key is fine
+        w.observe(&iv(8, 9)).unwrap();
+        assert!(w.closes(&iv(5, 6)));
+    }
+
+    #[test]
+    fn rejects_late_arrivals() {
+        let mut w = Watermark::new(SortKey::ValidFrom);
+        w.observe(&iv(10, 12)).unwrap();
+        assert!(matches!(
+            w.observe(&iv(9, 20)),
+            Err(TdbError::OrderViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn slack_trails_the_frontier() {
+        let mut w = Watermark::with_slack(SortKey::ValidFrom, 3);
+        w.observe(&iv(10, 12)).unwrap();
+        assert_eq!(w.current(), Some(TimePoint(7)));
+        // Disorder within the slack is admitted…
+        w.observe(&iv(8, 9)).unwrap();
+        w.observe(&iv(9, 11)).unwrap();
+        // …but not below the watermark.
+        assert!(w.observe(&iv(6, 7)).is_err());
+        assert_eq!(w.lag(), 3);
+    }
+
+    #[test]
+    fn te_ordered_streams_watermark_on_te() {
+        let mut w = Watermark::for_order(&StreamOrder::TE_ASC, 0);
+        assert_eq!(w.key(), SortKey::ValidTo);
+        w.observe(&iv(0, 10)).unwrap();
+        assert!(w.closes(&iv(7, 9)), "TE 9 < watermark 10");
+        assert!(!w.closes(&iv(0, 10)));
+    }
+
+    #[test]
+    fn seal_finalizes_everything() {
+        let mut w = Watermark::new(SortKey::ValidFrom);
+        w.observe(&iv(3, 5)).unwrap();
+        w.seal();
+        assert!(w.is_sealed());
+        assert!(w.closes(&iv(100, 200)));
+        assert_eq!(w.lag(), 0);
+        assert!(w.observe(&iv(4, 6)).is_err());
+    }
+
+    #[test]
+    fn lag_publishes_to_progress() {
+        let mut w = Watermark::with_slack(SortKey::ValidFrom, 5);
+        w.observe(&iv(20, 25)).unwrap();
+        let p = Progress::new();
+        w.publish_lag(&p);
+        assert_eq!(p.snapshot().watermark_lag, 5);
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`algebra`] — logical/physical plans, rewrites, planner, executor;
 //! * [`analyze`] — the plan-time static verifier: sort-order inference,
 //!   workspace-bound proofs, partition safety;
+//! * [`live`] — bounded live ingestion with watermark-driven finality and
+//!   verified standing queries;
 //! * [`quel`] — the modified-Quel front end;
 //! * [`semantic`] — integrity constraints, the inequality graph, the
 //!   Superstar transformation;
@@ -57,6 +59,7 @@ pub use tdb_algebra as algebra;
 pub use tdb_analyze as analyze;
 pub use tdb_core as core;
 pub use tdb_gen as gen;
+pub use tdb_live as live;
 pub use tdb_quel as quel;
 pub use tdb_semantic as semantic;
 pub use tdb_storage as storage;
@@ -77,6 +80,7 @@ pub mod prelude {
         TimePoint, TsTuple, Value,
     };
     pub use tdb_gen::{ArrivalProcess, DurationDist, FacultyGen, IntervalGen, Rank};
+    pub use tdb_live::{Delta, LiveConfig, LiveEngine, LiveReport, OnlineStats};
     pub use tdb_quel::{compile, parse_query};
     pub use tdb_semantic::{
         simplify_predicate, superstar_plans, Constraint, ConstraintSet, InequalityGraph,

@@ -1,0 +1,258 @@
+//! Randomized equivalence of live incremental evaluation and batch
+//! re-execution.
+//!
+//! Random sorted arrival streams for two relations are ingested through
+//! [`LiveEngine`] in random-sized chunks. After every epoch — and finally
+//! after sealing both streams — the union of the deltas each standing
+//! query has emitted must equal, as a multiset, the batch execution of the
+//! same logical plan over the *watermark-closed prefix* of the arrivals,
+//! computed independently of the engine (all arrivals with sort key
+//! strictly below the maximum key seen). Covered: containment join,
+//! general-overlap join, containment semijoin — serial and with K = 4
+//! time-range partitions.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tdb::live::{LiveConfig, LiveEngine};
+use tdb::prelude::*;
+use tdb::storage::Codec;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+const ATTRS: [&str; 4] = ["Id", "Seq", "ValidFrom", "ValidTo"];
+
+fn interval_schema() -> TemporalSchema {
+    TemporalSchema::new(
+        tdb::core::Schema::new(vec![
+            tdb::core::Field::new("Id", tdb::core::FieldType::Str),
+            tdb::core::Field::new("Seq", tdb::core::FieldType::Int),
+            tdb::core::Field::new("ValidFrom", tdb::core::FieldType::Time),
+            tdb::core::Field::new("ValidTo", tdb::core::FieldType::Time),
+        ]),
+        2,
+        3,
+    )
+    .unwrap()
+}
+
+/// Turn `(gap, dur)` pairs into TS-ascending interval rows with unique
+/// surrogates, so multiset comparison is exact.
+fn rows(prefix: &str, raw: &[(i64, i64)]) -> Vec<Row> {
+    let mut ts = 0i64;
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(gap, dur))| {
+            ts += gap;
+            Row::new(vec![
+                Value::str(format!("{prefix}{i}")),
+                Value::Int(i as i64),
+                Value::Time(TimePoint(ts)),
+                Value::Time(TimePoint(ts + dur)),
+            ])
+        })
+        .collect()
+}
+
+fn ts_of(row: &Row) -> i64 {
+    match row.get(2) {
+        Value::Time(t) => t.ticks(),
+        other => panic!("ValidFrom must be a time, got {other:?}"),
+    }
+}
+
+/// The watermark-closed prefix of `arrived` under slack 0 on (TS↑):
+/// everything strictly below the maximum TS seen — equal keys may still
+/// gain peers, so they stay open. `sealed` closes everything.
+fn closed_prefix(arrived: &[Row], sealed: bool) -> Vec<Row> {
+    if sealed {
+        return arrived.to_vec();
+    }
+    let Some(max_ts) = arrived.iter().map(ts_of).max() else {
+        return Vec::new();
+    };
+    arrived
+        .iter()
+        .filter(|r| ts_of(r) < max_ts)
+        .cloned()
+        .collect()
+}
+
+fn multiset(rows: &[Row]) -> BTreeMap<Vec<u8>, usize> {
+    let mut out = BTreeMap::new();
+    for row in rows {
+        *out.entry(row.to_bytes().to_vec()).or_insert(0) += 1;
+    }
+    out
+}
+
+/// The three standing-query shapes under test.
+fn plans() -> Vec<(&'static str, LogicalPlan)> {
+    let x = || LogicalPlan::scan("X", "x", &ATTRS);
+    let y = || LogicalPlan::scan("Y", "y", &ATTRS);
+    let contains = vec![
+        Atom::cols("x", "ValidFrom", CompOp::Lt, "y", "ValidFrom"),
+        Atom::cols("y", "ValidTo", CompOp::Lt, "x", "ValidTo"),
+    ];
+    let overlap = vec![
+        Atom::cols("x", "ValidFrom", CompOp::Lt, "y", "ValidTo"),
+        Atom::cols("y", "ValidFrom", CompOp::Lt, "x", "ValidTo"),
+    ];
+    vec![
+        ("contain-join", x().join(y(), contains.clone())),
+        ("overlap-join", x().join(y(), overlap)),
+        ("contain-semijoin", x().semijoin(y(), contains)),
+    ]
+}
+
+/// Batch-execute `logical` over a fresh catalog holding exactly the given
+/// closed prefixes, with the same planner configuration the engine uses.
+fn batch(
+    dir: &std::path::Path,
+    config: PlannerConfig,
+    logical: &LogicalPlan,
+    x_rows: &[Row],
+    y_rows: &[Row],
+) -> BTreeMap<Vec<u8>, usize> {
+    let _ = std::fs::remove_dir_all(dir);
+    let mut cat = Catalog::open(dir, IoStats::new()).unwrap();
+    let mut sorted_x = x_rows.to_vec();
+    sorted_x.sort_by_key(ts_of);
+    let mut sorted_y = y_rows.to_vec();
+    sorted_y.sort_by_key(ts_of);
+    cat.create_relation("X", interval_schema(), &sorted_x, vec![StreamOrder::TS_ASC])
+        .unwrap();
+    cat.create_relation("Y", interval_schema(), &sorted_y, vec![StreamOrder::TS_ASC])
+        .unwrap();
+    let physical = plan(logical, config).unwrap();
+    multiset(&physical.execute(&cat).unwrap().rows)
+}
+
+fn run_case(raw_x: &[(i64, i64)], raw_y: &[(i64, i64)], chunk: usize, k: usize) {
+    let case = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let root =
+        std::env::temp_dir().join(format!("tdb-live-equiv-{}-{case}-k{k}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let config = PlannerConfig::stream().with_parallelism(k);
+    let live_config = LiveConfig {
+        planner: config,
+        // Tiny bounds so backpressure and run spilling actually engage.
+        queue_capacity: 4,
+        stage_budget: 8,
+        ..LiveConfig::default()
+    };
+    let mut catalog = Catalog::open(root.join("cat"), IoStats::new()).unwrap();
+    let mut engine = LiveEngine::new(root.join("live"), live_config);
+    engine
+        .register(&mut catalog, "X", interval_schema(), StreamOrder::TS_ASC)
+        .unwrap();
+    engine
+        .register(&mut catalog, "Y", interval_schema(), StreamOrder::TS_ASC)
+        .unwrap();
+
+    let named = plans();
+    let mut emitted: Vec<BTreeMap<Vec<u8>, usize>> = Vec::new();
+    for (label, logical) in &named {
+        let (_analysis, delta) = engine.subscribe(&catalog, *label, logical.clone()).unwrap();
+        assert!(delta.rows.is_empty(), "{label}: nothing final before data");
+        emitted.push(BTreeMap::new());
+    }
+
+    let x_rows = rows("x", raw_x);
+    let y_rows = rows("y", raw_y);
+    let mut arrived_x: Vec<Row> = Vec::new();
+    let mut arrived_y: Vec<Row> = Vec::new();
+
+    let absorb = |emitted: &mut Vec<BTreeMap<Vec<u8>, usize>>, report: &tdb::live::LiveReport| {
+        for delta in &report.deltas {
+            let bucket = &mut emitted[delta.subscription];
+            for (key, n) in multiset(&delta.rows) {
+                *bucket.entry(key).or_insert(0) += n;
+            }
+        }
+    };
+
+    // Interleave chunks: X then Y, `chunk` arrivals at a time, checking
+    // the equivalence after every epoch.
+    let mut ix = 0;
+    let mut iy = 0;
+    let mut sealed = false;
+    loop {
+        let mut progressed = false;
+        if ix < x_rows.len() {
+            let batch_rows: Vec<Row> = x_rows[ix..(ix + chunk).min(x_rows.len())].to_vec();
+            ix += batch_rows.len();
+            arrived_x.extend(batch_rows.iter().cloned());
+            let report = engine.ingest(&mut catalog, "X", batch_rows).unwrap();
+            absorb(&mut emitted, &report);
+            progressed = true;
+        }
+        if iy < y_rows.len() {
+            let batch_rows: Vec<Row> = y_rows[iy..(iy + chunk).min(y_rows.len())].to_vec();
+            iy += batch_rows.len();
+            arrived_y.extend(batch_rows.iter().cloned());
+            let report = engine.ingest(&mut catalog, "Y", batch_rows).unwrap();
+            absorb(&mut emitted, &report);
+            progressed = true;
+        }
+        if !progressed {
+            if sealed {
+                break;
+            }
+            for name in ["X", "Y"] {
+                let report = engine.seal(&mut catalog, name).unwrap();
+                absorb(&mut emitted, &report);
+            }
+            sealed = true;
+        }
+        // Equivalence at this epoch: emitted-so-far == batch over the
+        // closed prefixes.
+        let px = closed_prefix(&arrived_x, sealed);
+        let py = closed_prefix(&arrived_y, sealed);
+        for (s, (label, logical)) in named.iter().enumerate() {
+            let expect = batch(&root.join("batch"), config, logical, &px, &py);
+            assert_eq!(
+                emitted[s],
+                expect,
+                "{label} (K={k}): live deltas diverge from batch over closed prefix \
+                 ({} X rows, {} Y rows, sealed={sealed})",
+                px.len(),
+                py.len()
+            );
+        }
+    }
+
+    // Final sanity: every subscription's runtime workspace stayed within
+    // its statically proven cap.
+    for sub in engine.subscriptions() {
+        let (peak, cap) = sub.workspace_watermark();
+        assert!(
+            peak <= cap,
+            "{}: runtime workspace {peak} exceeded proven cap {cap}",
+            sub.label()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn live_deltas_match_batch_over_every_closed_prefix(
+        raw_x in proptest::collection::vec((0i64..6, 1i64..40), 1..20),
+        raw_y in proptest::collection::vec((0i64..6, 1i64..40), 1..20),
+        chunk in 1usize..6,
+    ) {
+        for k in [1usize, 4] {
+            run_case(&raw_x, &raw_y, chunk, k);
+        }
+    }
+}
+
+#[test]
+fn duplicate_result_rows_are_emitted_with_multiplicity() {
+    // Two identical Y intervals inside one X interval: the contain join
+    // must emit the duplicate pair twice across the stream's lifetime.
+    run_case(&[(0, 30)], &[(2, 5), (0, 5)], 1, 1);
+}
