@@ -51,6 +51,12 @@ cargo clippy --workspace --all-targets -- -D warnings -W clippy::pedantic \
 echo "==> live soak (E16, bounded)"
 timeout 60 cargo run --release -p tdb-bench --bin experiments -- live
 
+# Bounded network soak (E17): client-driven workload through the framed
+# TCP server — ingestion requests plus pushed subscription deltas, with
+# exact delivery asserted. Runs in a couple of seconds; hard-capped at 60.
+echo "==> net soak (E17, bounded)"
+timeout 60 cargo run --release -p tdb-bench --bin experiments -- net
+
 # Concurrency model of the partition K-way merge + owner-dedup handoff.
 echo "==> loom model (partition handoff)"
 RUSTFLAGS="--cfg loom" cargo test -p tdb-stream --test loom_partition

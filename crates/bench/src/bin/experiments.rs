@@ -10,7 +10,7 @@
 //! E5=Figure 3, E10=Figure 8/§5 Superstar, E11=sort-order crossover,
 //! E12=read-policy ablation, E13=Before operators, E14=sort-vs-rescan
 //! cost, E6=Figure 4 aggregation, E15=time-partitioned parallel scaling,
-//! E16=live ingestion soak.
+//! E16=live ingestion soak, E17=framed-TCP network soak.
 //!
 //! Standalone artifacts (`BENCH_*.json`) are written under `results/`.
 
@@ -47,6 +47,7 @@ fn main() {
             "aggregate",
             "parallel",
             "live",
+            "net",
         ];
     }
     let json_path = args
@@ -71,6 +72,7 @@ fn main() {
             "aggregate" => aggregate(&mut json),
             "parallel" => parallel(&mut json),
             "live" => live(&mut json),
+            "net" => net(&mut json),
             other => eprintln!("unknown experiment `{other}`"),
         }
     }
@@ -925,4 +927,146 @@ fn live(json: &mut BTreeMap<String, Json>) {
             "max_watermark_lag" => max_lag, "rows_emitted" => emitted,
         },
     );
+}
+
+/// E17 — network soak: a client-driven workload through the framed TCP
+/// server. One ingesting client streams two interval relations in
+/// chunked `Ingest` requests while a second connection holds a standing
+/// contain-join subscription and receives every delta as a pushed
+/// frame. Reports request latency (p50/p95), arrival throughput, and
+/// push delivery — the subscriber must receive exactly the rows the
+/// server's subscription emitted.
+fn net(json: &mut BTreeMap<String, Json>) {
+    use tdb_engine::Response;
+    use tdb_net::{serve, Client, NetConfig};
+
+    let n = 4_000usize;
+    let chunk = 200usize;
+    println!("E17 · net soak: {n}+{n} arrivals over {chunk}-row framed requests, pushed deltas");
+
+    let gen_lines = |gap: f64, dur: f64, seed: u64, tag: &str| -> Vec<String> {
+        IntervalGen::poisson(n, gap, dur, seed)
+            .generate()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("{} {} {tag}{i} {i}", t.ts().ticks(), t.te().ticks()))
+            .collect()
+    };
+    let xs = gen_lines(3.0, 30.0, 1701, "x");
+    let ys = gen_lines(3.0, 8.0, 1702, "y");
+
+    let root = std::env::temp_dir().join(format!("tdb-e17-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = serve(root.join("srv"), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let mut ing = Client::connect(addr).unwrap();
+    let mut sub = Client::connect(addr).unwrap();
+
+    // First chunk of each relation registers it; then the standing query
+    // can compile against the shared catalog.
+    let mut latencies_us: Vec<u64> = Vec::new();
+    let mut timed_ingest = |client: &mut Client, rel: &str, lines: &[String]| {
+        let text = lines.join("\n");
+        let start = std::time::Instant::now();
+        let reply = client.ingest(rel, &text).unwrap();
+        latencies_us.push(start.elapsed().as_micros() as u64);
+        assert!(
+            matches!(reply, Response::Ingest(_)),
+            "ingest failed mid-soak: {reply:?}"
+        );
+    };
+    let wall = std::time::Instant::now();
+    timed_ingest(&mut ing, "X", &xs[..chunk]);
+    timed_ingest(&mut ing, "Y", &ys[..chunk]);
+
+    let reply = sub
+        .request(
+            "\\subscribe range of a is X range of b is Y \
+             retrieve (P=a.Id, Q=b.Id) \
+             where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo",
+        )
+        .unwrap();
+    let Response::Subscribed(s) = reply else {
+        panic!("subscription rejected: {reply:?}");
+    };
+    let mut delivered = s.initial.rows.len() as u64;
+
+    for i in (chunk..n).step_by(chunk) {
+        let hi = (i + chunk).min(n);
+        timed_ingest(&mut ing, "X", &xs[i..hi]);
+        timed_ingest(&mut ing, "Y", &ys[i..hi]);
+    }
+    for rel in ["X", "Y"] {
+        let reply = ing.request(&format!("\\live close {rel}")).unwrap();
+        assert!(matches!(reply, Response::Sealed(_)), "{reply:?}");
+    }
+    let wall_us = wall.elapsed().as_micros() as u64;
+
+    // Delivery check: the subscriber must drain exactly as many rows as
+    // the server's subscription emitted (initial reply + pushed frames).
+    let status = ing.request("\\live").unwrap();
+    let Response::Live(live) = status else {
+        panic!("expected live status, got {status:?}");
+    };
+    let emitted = live.subscriptions[0].emitted;
+    let mut frames = 0u64;
+    while delivered < emitted {
+        let delta = sub
+            .wait_push(std::time::Duration::from_secs(10))
+            .expect("push delivery stalled before all emitted rows arrived");
+        assert!(
+            delta.watermark.is_some(),
+            "finalizing delta lost its watermark"
+        );
+        delivered += delta.rows.len() as u64;
+        frames += 1;
+    }
+    assert_eq!(
+        delivered, emitted,
+        "subscriber received {delivered} rows, server emitted {emitted}"
+    );
+
+    latencies_us.sort_unstable();
+    let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p) as usize];
+    let (p50, p95) = (pct(0.50), pct(0.95));
+    let arrivals = 2 * n;
+    let throughput = arrivals as f64 / (wall_us.max(1) as f64 / 1e6);
+    println!(
+        "    {arrivals} arrivals over {} requests in {:.1} ms — {:.0} arrivals/s",
+        latencies_us.len(),
+        wall_us as f64 / 1000.0,
+        throughput,
+    );
+    println!(
+        "    request latency p50 {p50} µs, p95 {p95} µs; {delivered} rows push-delivered in {frames} frames"
+    );
+
+    sub.close();
+    ing.close();
+    server.shutdown();
+
+    let doc = jobj! {
+        "experiment" => "E17 framed-TCP network soak",
+        "arrivals" => arrivals,
+        "requests" => latencies_us.len(),
+        "wall_us" => wall_us,
+        "throughput_per_s" => throughput,
+        "latency_p50_us" => p50,
+        "latency_p95_us" => p95,
+        "rows_delivered" => delivered,
+        "push_frames" => frames,
+    };
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/BENCH_net.json", doc.to_string_pretty()).unwrap();
+    println!("\n    results/BENCH_net.json written");
+    json.insert(
+        "net".into(),
+        jobj! {
+            "throughput_per_s" => throughput, "latency_p50_us" => p50,
+            "latency_p95_us" => p95, "rows_delivered" => delivered,
+            "push_frames" => frames,
+        },
+    );
+    let _ = std::fs::remove_dir_all(&root);
 }

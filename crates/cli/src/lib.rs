@@ -1,8 +1,9 @@
 //! # tdb-cli — an interactive shell for the temporal database
 //!
-//! A small REPL wrapping the full pipeline: generate or load temporal
-//! relations, type modified-Quel queries (terminated by `;`), inspect
-//! logical/physical plans, and compare the Superstar formulations.
+//! A small REPL over the transport-agnostic [`Engine`]: generate or load
+//! temporal relations, type modified-Quel queries (terminated by `;`),
+//! inspect logical/physical plans, and compare the Superstar
+//! formulations.
 //!
 //! ```text
 //! $ cargo run -p tdb-cli --bin tdb
@@ -12,16 +13,20 @@
 //! tdb> \superstar
 //! ```
 //!
-//! The engine lives in [`Session`]; `main.rs` is a thin stdin loop, so the
-//! command surface is fully unit-testable.
+//! All execution lives in [`tdb_engine::Engine`], which returns typed
+//! [`Response`](tdb_engine::Response) values; [`Session`] owns the
+//! line-buffering and local-only concerns (stdin ingest) and renders
+//! responses to text. The same engine serves remote clients through
+//! `tdb-net` (`tdb serve` / `tdb connect` in `main.rs`).
 
-use std::fmt::Write as _;
+pub use tdb_engine::HELP;
+use tdb_engine::{render, ClientState, Engine, Response};
+
 use tdb::prelude::*;
 
-/// REPL state.
+/// REPL state: one local engine plus this shell's per-client settings.
 pub struct Session {
-    catalog: Catalog,
-    live: LiveEngine,
+    engine: Engine,
     /// Echo logical and physical plans before running queries.
     pub explain: bool,
     /// Echo the static-analysis certificate before running queries
@@ -49,27 +54,62 @@ impl Session {
     /// Create a session backed by a catalog directory. Live-ingest staging
     /// runs spill under `<dir>/live`.
     pub fn open(dir: impl AsRef<std::path::Path>) -> TdbResult<Session> {
-        let dir = dir.as_ref();
+        let ctx = ClientState::default();
         Ok(Session {
-            catalog: Catalog::open(dir, IoStats::new())?,
-            live: LiveEngine::new(dir.join("live"), LiveConfig::default()),
-            explain: false,
-            verify: false,
-            config: PlannerConfig::stream(),
-            row_limit: 20,
+            engine: Engine::open(dir)?,
+            explain: ctx.explain,
+            verify: ctx.verify,
+            config: ctx.config,
+            row_limit: ctx.row_limit,
             buffer: String::new(),
         })
+    }
+
+    fn ctx(&self) -> ClientState {
+        ClientState {
+            explain: self.explain,
+            verify: self.verify,
+            config: self.config,
+            row_limit: self.row_limit,
+        }
+    }
+
+    fn absorb(&mut self, ctx: ClientState) {
+        self.explain = ctx.explain;
+        self.verify = ctx.verify;
+        self.config = ctx.config;
+        self.row_limit = ctx.row_limit;
+    }
+
+    /// Run one complete input through the engine and render the typed
+    /// response as shell text.
+    fn execute(&mut self, input: &str) -> LineResult {
+        let mut ctx = self.ctx();
+        let resp = self.engine.execute(&mut ctx, input);
+        self.absorb(ctx);
+        if let Response::Goodbye = resp {
+            return LineResult::Quit;
+        }
+        LineResult::Output(render(&resp, self.row_limit))
     }
 
     /// Feed one input line.
     pub fn feed(&mut self, line: &str) -> LineResult {
         let trimmed = line.trim();
         if self.buffer.is_empty() && trimmed.starts_with('\\') {
-            return match self.command(trimmed) {
-                Ok(Some(out)) => LineResult::Output(out),
-                Ok(None) => LineResult::Quit,
-                Err(e) => LineResult::Output(format!("error: {e}")),
-            };
+            // Stdin ingest needs this process's stdin, so the transport
+            // (not the engine) resolves it.
+            let parts: Vec<&str> = trimmed.split_whitespace().collect();
+            if let ["\\ingest", rel, "-"] = parts.as_slice() {
+                return match read_stdin() {
+                    Ok(text) => {
+                        let resp = self.engine.ingest_text(rel, &text);
+                        LineResult::Output(render(&resp, self.row_limit))
+                    }
+                    Err(e) => LineResult::Output(format!("error: {e}")),
+                };
+            }
+            return self.execute(trimmed);
         }
         if trimmed.is_empty() && self.buffer.is_empty() {
             return LineResult::Output(String::new());
@@ -78,483 +118,27 @@ impl Session {
         self.buffer.push('\n');
         if trimmed.ends_with(';') {
             let text = std::mem::take(&mut self.buffer);
-            let text = text.trim_end().trim_end_matches(';');
-            match self.run_query(text) {
-                Ok(out) => LineResult::Output(out),
-                Err(e) => LineResult::Output(format!("error: {e}")),
-            }
+            self.execute(text.trim_end())
         } else {
             LineResult::Continue
         }
-    }
-
-    fn command(&mut self, line: &str) -> TdbResult<Option<String>> {
-        let parts: Vec<&str> = line.split_whitespace().collect();
-        match parts.as_slice() {
-            ["\\help"] => Ok(Some(HELP.to_string())),
-            ["\\quit" | "\\q"] => Ok(None),
-            ["\\tables"] => {
-                let mut out = String::new();
-                for name in self.catalog.relation_names() {
-                    let meta = self.catalog.meta(&name)?;
-                    let lambda = meta
-                        .stats
-                        .lambda
-                        .map(|l| format!("{l:.3}"))
-                        .unwrap_or_else(|| "-".into());
-                    writeln!(
-                        out,
-                        "{name}: {} rows, schema {}, λ={lambda}, mean dur {:.1}, max concurrency {}",
-                        meta.rows,
-                        meta.schema.schema,
-                        meta.stats.mean_duration,
-                        meta.stats.max_concurrency
-                    )
-                    .ok();
-                }
-                if out.is_empty() {
-                    out = "no relations — try \\gen faculty 100\n".into();
-                }
-                Ok(Some(out))
-            }
-            ["\\explain", v @ ("on" | "off")] => {
-                self.explain = *v == "on";
-                if !self.explain {
-                    self.verify = false;
-                }
-                Ok(Some(format!("explain {v}\n")))
-            }
-            ["\\explain", "verify"] => {
-                self.explain = true;
-                self.verify = true;
-                Ok(Some(
-                    "explain verify (plans + static-analysis certificate)\n".into(),
-                ))
-            }
-            ["\\analyze", rest @ ..] if !rest.is_empty() => {
-                let text = rest.join(" ");
-                let text = text.trim_end_matches(';');
-                self.analyze_query(text).map(Some)
-            }
-            ["\\config", c] => {
-                self.config = match *c {
-                    "stream" => PlannerConfig::stream(),
-                    "conventional" => PlannerConfig::conventional(),
-                    "naive" => PlannerConfig::naive(),
-                    other => {
-                        return Ok(Some(format!(
-                            "unknown config `{other}` (stream|conventional|naive)\n"
-                        )))
-                    }
-                };
-                Ok(Some(format!("planner config: {c}\n")))
-            }
-            ["\\set", "parallelism", n] => {
-                let k: usize = n
-                    .parse()
-                    .map_err(|_| TdbError::Eval(format!("bad partition count `{n}`")))?;
-                self.config = self.config.with_parallelism(k);
-                Ok(Some(if k > 1 {
-                    format!("parallelism: {k} time-range partitions\n")
-                } else {
-                    "parallelism: serial\n".to_string()
-                }))
-            }
-            ["\\gen", "faculty", n, rest @ ..] => {
-                let n: usize = n
-                    .parse()
-                    .map_err(|_| TdbError::Eval(format!("bad count `{n}`")))?;
-                let seed: u64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(0);
-                let faculty = FacultyGen {
-                    n_faculty: n,
-                    seed,
-                    continuous_employment: true,
-                    ..FacultyGen::default()
-                }
-                .generate();
-                let rows: Vec<Row> = faculty.iter().map(|t| t.to_row()).collect();
-                self.catalog.create_relation(
-                    "Faculty",
-                    TemporalSchema::time_sequence("Name", "Rank"),
-                    &rows,
-                    vec![],
-                )?;
-                Ok(Some(format!(
-                    "Faculty loaded: {} members, {} tuples (seed {seed})\n",
-                    n,
-                    rows.len()
-                )))
-            }
-            ["\\gen", "intervals", name, n, gap, dur, rest @ ..] => {
-                let parse_f = |s: &str| {
-                    s.parse::<f64>()
-                        .map_err(|_| TdbError::Eval(format!("bad number `{s}`")))
-                };
-                let n: usize = n
-                    .parse()
-                    .map_err(|_| TdbError::Eval(format!("bad count `{n}`")))?;
-                let seed: u64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(0);
-                let tuples = IntervalGen::poisson(n, parse_f(gap)?, parse_f(dur)?, seed).generate();
-                let rows: Vec<Row> = tuples
-                    .iter()
-                    .map(|t| {
-                        Row::new(vec![
-                            t.surrogate.clone(),
-                            t.value.clone(),
-                            Value::Time(t.ts()),
-                            Value::Time(t.te()),
-                        ])
-                    })
-                    .collect();
-                self.catalog.create_relation(
-                    name,
-                    interval_schema()?,
-                    &rows,
-                    vec![StreamOrder::TS_ASC],
-                )?;
-                Ok(Some(format!("{name} loaded: {} tuples\n", rows.len())))
-            }
-            ["\\ingest", rel, source] => self.ingest(rel, source).map(Some),
-            ["\\subscribe", rest @ ..] if !rest.is_empty() => {
-                let text = rest.join(" ");
-                let text = text.trim_end_matches(';').to_string();
-                self.subscribe(&text).map(Some)
-            }
-            ["\\live"] => Ok(Some(self.live_status())),
-            ["\\live", "close", rel] => self.live_close(rel).map(Some),
-            ["\\superstar"] => self.superstar().map(Some),
-            _ => Ok(Some(format!("unknown command `{line}` — try \\help\n"))),
-        }
-    }
-
-    fn run_query(&mut self, text: &str) -> TdbResult<String> {
-        let (logical, _query) = compile(text, &self.catalog)?;
-        let optimized = conventional_optimize(logical.clone());
-        // Every plan passes the static verifier before it executes; the
-        // planner never emits a rejected plan, so a failure here means the
-        // plan tree was corrupted, not that the query is wrong.
-        let (physical, analysis) = plan_verified(&optimized, self.config, &self.catalog)?;
-        let mut out = String::new();
-        if self.explain {
-            writeln!(out, "── logical (translated) ──\n{}", logical.parse_tree()).ok();
-            writeln!(out, "── logical (optimized) ──\n{}", optimized.parse_tree()).ok();
-            writeln!(out, "── physical ──\n{}", physical.explain()).ok();
-        }
-        if self.verify {
-            writeln!(out, "── static analysis ──\n{}", analysis.render()).ok();
-        }
-        let start = std::time::Instant::now();
-        let result = physical.execute(&self.catalog)?;
-        let elapsed = start.elapsed();
-
-        let header: Vec<String> = result
-            .scope
-            .columns()
-            .iter()
-            .map(|c| {
-                if c.var.is_empty() {
-                    c.attr.clone()
-                } else {
-                    c.to_string()
-                }
-            })
-            .collect();
-        writeln!(out, "{}", header.join(" | ")).ok();
-        for row in result.rows.iter().take(self.row_limit) {
-            let cells: Vec<String> = row.values().iter().map(|v| v.to_string()).collect();
-            writeln!(out, "{}", cells.join(" | ")).ok();
-        }
-        if result.rows.len() > self.row_limit {
-            writeln!(out, "… ({} more rows)", result.rows.len() - self.row_limit).ok();
-        }
-        writeln!(
-            out,
-            "{} rows in {elapsed:.2?} — {} scanned, {} comparisons, workspace {}, {} sorts",
-            result.rows.len(),
-            result.stats.rows_scanned,
-            result.stats.comparisons,
-            result.stats.max_workspace,
-            result.stats.sorts_performed,
-        )
-        .ok();
-        Ok(out)
     }
 
     /// Statically analyze a query without running it: compile, optimize,
     /// plan, and print the verifier's certificate (or its diagnostics).
     /// Shared by the `\analyze` command and the `tdb analyze` subcommand.
     pub fn analyze_query(&mut self, text: &str) -> TdbResult<String> {
-        let (logical, _query) = compile(text, &self.catalog)?;
-        let optimized = conventional_optimize(logical);
-        let (physical, analysis) = plan_verified(&optimized, self.config, &self.catalog)?;
-        let mut out = String::new();
-        writeln!(out, "── physical ──\n{}", physical.explain()).ok();
-        writeln!(out, "── static analysis ──\n{}", analysis.render()).ok();
-        Ok(out)
-    }
-
-    /// `\ingest <rel> <file|->`: live-append arrivals. An unknown relation
-    /// is auto-registered with the interval schema (`Id`, `Seq`,
-    /// `ValidFrom`, `ValidTo`) arriving in (TS↑); an existing relation is
-    /// registered under its first known sort order.
-    fn ingest(&mut self, rel: &str, source: &str) -> TdbResult<String> {
-        if !self.live.is_live(rel) {
-            let (schema, order) = match self.catalog.meta(rel) {
-                Ok(meta) => (
-                    meta.schema.clone(),
-                    meta.known_orders.first().copied().ok_or_else(|| {
-                        TdbError::Catalog(format!(
-                            "relation `{rel}` claims no sort order, so arrivals \
-                             cannot be appended in order"
-                        ))
-                    })?,
-                ),
-                Err(_) => (interval_schema()?, StreamOrder::TS_ASC),
-            };
-            self.live.register(&mut self.catalog, rel, schema, order)?;
-        }
-        let text = if source == "-" {
-            use std::io::Read as _;
-            let mut s = String::new();
-            std::io::stdin().lock().read_to_string(&mut s)?;
-            s
-        } else {
-            std::fs::read_to_string(source)?
-        };
-        let rows = parse_arrivals(&text)?;
-        let offered = rows.len();
-        let report = self.live.ingest(&mut self.catalog, rel, rows)?;
-        let state = self.live.relation(rel).expect("registered above");
-        let mut out = String::new();
-        let wm = state
-            .watermark()
-            .map(|t| t.to_string())
-            .unwrap_or_else(|| "-".into());
-        writeln!(
-            out,
-            "{rel}: {offered} arrivals — {} promoted (final), {} staged, watermark {wm}",
-            report.promoted,
-            state.staged_len(),
-        )
-        .ok();
-        self.render_deltas(&report, &mut out);
-        Ok(out)
-    }
-
-    /// `\subscribe <query>`: register a standing query. The plan must pass
-    /// the live verifier (bounded workspace under unbounded arrival) before
-    /// it registers; rows already final are emitted immediately.
-    fn subscribe(&mut self, text: &str) -> TdbResult<String> {
-        let (logical, _query) = compile(text, &self.catalog)?;
-        let optimized = conventional_optimize(logical);
-        let (analysis, delta) = self.live.subscribe(&self.catalog, text, optimized)?;
-        let mut out = String::new();
-        writeln!(out, "subscription #{} registered", delta.subscription).ok();
-        if self.verify {
-            writeln!(out, "── static analysis (live) ──\n{}", analysis.render()).ok();
-        }
-        if !delta.rows.is_empty() {
-            let report = LiveReport {
-                promoted: 0,
-                deltas: vec![delta],
-            };
-            self.render_deltas(&report, &mut out);
-        }
-        Ok(out)
-    }
-
-    /// `\live`: watermark, staging, and subscription status.
-    fn live_status(&self) -> String {
-        let mut out = String::new();
-        for rel in self.live.relations() {
-            let snap = rel.progress().snapshot();
-            let wm = rel
-                .watermark()
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "-".into());
-            writeln!(
-                out,
-                "{} ({}): watermark {wm}{}, {} admitted, {} staged, {} promoted, \
-                 lag {}, {} stalls",
-                rel.name(),
-                rel.order(),
-                if rel.is_sealed() { " [sealed]" } else { "" },
-                rel.admitted(),
-                rel.staged_len(),
-                rel.promoted(),
-                snap.watermark_lag,
-                rel.stalls(),
-            )
-            .ok();
-        }
-        for sub in self.live.subscriptions() {
-            let (peak, cap) = sub.workspace_watermark();
-            writeln!(
-                out,
-                "#{} `{}`: {} evaluations, {} rows emitted, workspace peak {peak} / cap {cap}",
-                sub.id(),
-                sub.label(),
-                sub.evaluations(),
-                sub.emitted_count(),
-            )
-            .ok();
-        }
-        if out.is_empty() {
-            out = "no live relations — try \\ingest <rel> <file>\n".into();
-        }
-        out
-    }
-
-    /// `\live close <rel>`: seal the stream — every staged row becomes
-    /// final, is promoted, and the last deltas flush.
-    fn live_close(&mut self, rel: &str) -> TdbResult<String> {
-        let report = self.live.seal(&mut self.catalog, rel)?;
-        let mut out = String::new();
-        writeln!(
-            out,
-            "{rel} sealed: {} rows promoted (final)",
-            report.promoted
-        )
-        .ok();
-        self.render_deltas(&report, &mut out);
-        Ok(out)
-    }
-
-    fn render_deltas(&self, report: &LiveReport, out: &mut String) {
-        for delta in &report.deltas {
-            writeln!(
-                out,
-                "▸ #{} `{}`: +{} rows",
-                delta.subscription,
-                delta.label,
-                delta.rows.len()
-            )
-            .ok();
-            for row in delta.rows.iter().take(self.row_limit) {
-                let cells: Vec<String> = row.values().iter().map(|v| v.to_string()).collect();
-                writeln!(out, "  {}", cells.join(" | ")).ok();
-            }
-            if delta.rows.len() > self.row_limit {
-                writeln!(out, "  … ({} more rows)", delta.rows.len() - self.row_limit).ok();
-            }
-        }
-    }
-
-    fn superstar(&mut self) -> TdbResult<String> {
-        self.catalog
-            .meta("Faculty")
-            .map_err(|_| TdbError::Catalog("load Faculty first: \\gen faculty 200".into()))?;
-        let mut out = String::new();
-        for (label, logical) in superstar_plans(true) {
-            if label.starts_with("unoptimized") {
-                continue;
-            }
-            let config = if label.starts_with("conventional") {
-                PlannerConfig::conventional()
-            } else {
-                PlannerConfig::stream()
-            };
-            let (physical, _analysis) = plan_verified(&logical, config, &self.catalog)?;
-            let start = std::time::Instant::now();
-            let result = physical.execute(&self.catalog)?;
-            let names: std::collections::BTreeSet<&str> = result
-                .rows
-                .iter()
-                .filter_map(|r| r.get(0).as_str())
-                .collect();
-            writeln!(
-                out,
-                "{label:<30} {:>10.2?}  {:>12} comparisons  {} superstars",
-                start.elapsed(),
-                result.stats.comparisons,
-                names.len()
-            )
-            .ok();
-        }
-        Ok(out)
+        let report = self.engine.analyze(self.config, text)?;
+        Ok(render(&Response::Analysis(report), self.row_limit))
     }
 }
 
-/// The schema live-ingested interval relations use (also `\gen intervals`):
-/// `Id: Str, Seq: Int, ValidFrom: Time, ValidTo: Time`.
-fn interval_schema() -> TdbResult<TemporalSchema> {
-    TemporalSchema::new(
-        tdb::core::Schema::new(vec![
-            tdb::core::Field::new("Id", tdb::core::FieldType::Str),
-            tdb::core::Field::new("Seq", tdb::core::FieldType::Int),
-            tdb::core::Field::new("ValidFrom", tdb::core::FieldType::Time),
-            tdb::core::Field::new("ValidTo", tdb::core::FieldType::Time),
-        ]),
-        2,
-        3,
-    )
+fn read_stdin() -> TdbResult<String> {
+    use std::io::Read as _;
+    let mut s = String::new();
+    std::io::stdin().lock().read_to_string(&mut s)?;
+    Ok(s)
 }
-
-/// Parse ingest lines into interval-schema rows. Each non-empty line not
-/// starting with `#` is `<ts> <te> [id [seq]]`; `id` defaults to `r<line>`
-/// and `seq` to the line index.
-fn parse_arrivals(text: &str) -> TdbResult<Vec<Row>> {
-    let mut rows = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        let time = |s: &str| {
-            s.parse::<i64>()
-                .map(TimePoint)
-                .map_err(|_| TdbError::Eval(format!("line {}: bad time `{s}`", i + 1)))
-        };
-        let (ts, te) = match fields.as_slice() {
-            [ts, te, ..] => (time(ts)?, time(te)?),
-            _ => {
-                return Err(TdbError::Eval(format!(
-                    "line {}: expected `<ts> <te> [id [seq]]`, got `{line}`",
-                    i + 1
-                )))
-            }
-        };
-        let id = fields
-            .get(2)
-            .map(|s| s.to_string())
-            .unwrap_or_else(|| format!("r{}", i + 1));
-        let seq: i64 = match fields.get(3) {
-            Some(s) => s
-                .parse()
-                .map_err(|_| TdbError::Eval(format!("line {}: bad seq `{s}`", i + 1)))?,
-            None => i as i64 + 1,
-        };
-        rows.push(Row::new(vec![
-            Value::str(&id),
-            Value::Int(seq),
-            Value::Time(ts),
-            Value::Time(te),
-        ]));
-    }
-    Ok(rows)
-}
-
-/// Help text.
-pub const HELP: &str = r#"commands:
-  \gen faculty <n> [seed]                     load a generated Faculty relation
-  \gen intervals <name> <n> <gap> <dur> [seed]  load a Poisson interval relation
-  \tables                                     list relations and statistics
-  \explain on|off|verify                      show plans (verify: + static analysis)
-  \analyze <query>                            verify a query's plan without running it
-  \config stream|conventional|naive           planner strategy
-  \set parallelism <k>                        time-range partitions for stream operators
-  \ingest <rel> <file|->                      live-append arrivals (`-` reads stdin to EOF);
-                                              lines are `<ts> <te> [id [seq]]`
-  \subscribe <query>                          register a standing query (live-verified);
-                                              deltas print as rows become final
-  \live                                       live status: watermarks, staging, subscriptions
-  \live close <rel>                           seal a live stream (all staged rows final)
-  \superstar                                  compare the Superstar formulations
-  \help   \quit
-queries: modified Quel, terminated by `;`, e.g.
-  range of f is Faculty retrieve (N=f.Name) where f.Rank = "Full";
-"#;
 
 #[cfg(test)]
 mod tests {
@@ -687,6 +271,17 @@ mod tests {
         assert!(msg.starts_with("error:"), "{msg}");
     }
 
+    #[test]
+    fn set_limit_changes_session_row_limit() {
+        let mut s = session("lim");
+        let msg = out(s.feed("\\set limit 3"));
+        assert!(msg.contains("row limit: 3"), "{msg}");
+        assert_eq!(s.row_limit, 3);
+        out(s.feed("\\gen intervals T 50 3 10 1"));
+        let msg = out(s.feed("range of t is T retrieve (A=t.ValidFrom);"));
+        assert!(msg.contains("more rows"), "{msg}");
+    }
+
     fn arrivals_file(tag: &str, lines: &str) -> std::path::PathBuf {
         let path =
             std::env::temp_dir().join(format!("tdb-cli-arrivals-{}-{tag}", std::process::id()));
@@ -714,11 +309,13 @@ mod tests {
         assert!(msg.contains("+1 rows"), "{msg}");
         assert!(msg.contains("\"long\" | \"a\""), "{msg}");
 
-        // Second batch pushes the watermark past b.
+        // Second batch pushes the watermark past b; the delta header
+        // names the epoch and watermark that finalized it.
         let f2 = arrivals_file("l2", "50 60 c\n");
         let msg = out(s.feed(&format!("\\ingest S {}", f2.display())));
         assert!(msg.contains("+1 rows"), "{msg}");
         assert!(msg.contains("| \"b\""), "{msg}");
+        assert!(msg.contains("watermark t50"), "{msg}");
 
         let msg = out(s.feed("\\live"));
         assert!(msg.contains("S (ValidFrom ↑)"), "{msg}");

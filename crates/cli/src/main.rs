@@ -1,8 +1,20 @@
-//! The `tdb` interactive shell. See [`tdb_cli::Session`] for the command
-//! surface (`\help` inside the shell).
+//! The `tdb` interactive shell and network front end.
+//!
+//! ```text
+//! tdb [dir]                 local shell over a catalog directory
+//! tdb analyze <query>       statically verify a query, print the certificate
+//! tdb serve [dir] [addr]    serve one shared catalog over framed TCP
+//! tdb connect [addr]        open the shell against a running server
+//! ```
+//!
+//! See [`tdb_cli::Session`] for the command surface (`\help` inside the
+//! shell).
 
 use std::io::{BufRead, Write};
 use tdb_cli::{LineResult, Session, HELP};
+use tdb_engine::{render, render_delta, Response};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:5433";
 
 /// `tdb analyze <query>` — statically verify a query's plan against the
 /// default catalog and print the certificate, without executing it.
@@ -27,10 +39,141 @@ fn analyze_main(query_words: &[String]) -> ! {
     }
 }
 
+/// `tdb serve [dir] [addr]` — serve the catalog until stdin closes or
+/// `quit` is typed, then drain connections and exit.
+fn serve_main(args: &[String]) -> ! {
+    let dir = args
+        .first()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("tdb-cli-data"));
+    let addr = args.get(1).map(String::as_str).unwrap_or(DEFAULT_ADDR);
+    let handle = match tdb_net::serve(&dir, addr, tdb_net::NetConfig::default()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to serve {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "tdb serving catalog {} on {} — type quit (or close stdin) to stop",
+        dir.display(),
+        handle.addr()
+    );
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    println!("draining connections…");
+    handle.shutdown();
+    std::process::exit(0);
+}
+
+/// `tdb connect [addr]` — the shell, but every input is sent to a
+/// server; subscription deltas pushed by the server print between
+/// prompts.
+fn connect_main(args: &[String]) -> ! {
+    let addr = args.first().map(String::as_str).unwrap_or(DEFAULT_ADDR);
+    let mut client = match tdb_net::Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("tdb — connected to {addr}");
+    println!("{HELP}");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        // Show any deltas that arrived while the prompt was idle.
+        let mut pushed = String::new();
+        while let Some(delta) = client.try_push() {
+            render_delta(&delta, 20, &mut pushed);
+        }
+        if !pushed.is_empty() {
+            print!("{pushed}");
+        }
+        print!("{}", if buffer.is_empty() { "tdb> " } else { "...> " });
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        let input = if buffer.is_empty() && trimmed.starts_with('\\') {
+            // Local-file commands resolve on this side of the wire.
+            let parts: Vec<&str> = trimmed.split_whitespace().collect();
+            if let ["\\ingest", rel, source] = parts.as_slice() {
+                let text = if *source == "-" {
+                    use std::io::Read as _;
+                    let mut s = String::new();
+                    stdin.lock().read_to_string(&mut s).ok();
+                    s
+                } else {
+                    match std::fs::read_to_string(source) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            println!("error: {e}");
+                            continue;
+                        }
+                    }
+                };
+                match client.ingest(rel, &text) {
+                    Ok(resp) => print!("{}", render(&resp, 20)),
+                    Err(e) => println!("error: {e}"),
+                }
+                continue;
+            }
+            trimmed.to_string()
+        } else {
+            if trimmed.is_empty() && buffer.is_empty() {
+                continue;
+            }
+            buffer.push_str(&line);
+            if !trimmed.ends_with(';') {
+                continue;
+            }
+            std::mem::take(&mut buffer)
+        };
+        match client.request(&input) {
+            Ok(Response::Goodbye) => break,
+            Ok(resp) => {
+                let out = render(&resp, 20);
+                if !out.is_empty() {
+                    print!("{out}");
+                }
+            }
+            Err(e) => {
+                println!("error: {e}");
+                if client.is_closed() {
+                    break;
+                }
+            }
+        }
+    }
+    client.close();
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("analyze") {
-        analyze_main(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze_main(&args[1..]),
+        Some("serve") => serve_main(&args[1..]),
+        Some("connect") => connect_main(&args[1..]),
+        _ => {}
     }
     let dir = args
         .first()

@@ -1,0 +1,718 @@
+//! # tdb-engine — the transport-agnostic query engine
+//!
+//! The execution core behind every front end. [`Engine`] owns one shared
+//! catalog and one live subsystem; callers hand it complete inputs (a
+//! `\command` or a query text) together with their per-client
+//! [`ClientState`] (planner config, explain/verify flags, row limit) and
+//! receive a typed [`Response`] — rows, plan reports, analyzer verdicts,
+//! live progress, errors as typed variants. Nothing in a [`Response`] is
+//! pre-rendered for a terminal.
+//!
+//! Two renderers sit on top:
+//!
+//! * [`render`] — the shell text renderer (used by `tdb-cli`'s `Session`
+//!   and by `tdb connect`);
+//! * [`codec`] — [`Codec`](tdb::storage::Codec) impls giving every
+//!   response a binary wire form (used by `tdb-net`'s framed protocol).
+//!
+//! The split exists so many concurrent clients can share one engine: the
+//! engine is `Send`, per-client state lives with the transport, and
+//! subscription deltas come back as data ([`DeltaFrame`]) that a server
+//! can route to whichever connection owns the subscription.
+
+pub mod codec;
+pub mod render;
+pub mod response;
+
+pub use render::{render, render_delta};
+pub use response::{
+    AnalysisReport, DeltaFrame, ErrorCode, ErrorInfo, IngestReport, LiveRelationStatus, LiveStatus,
+    OpVerdict, QueryReport, QueryStats, Response, RowSet, SealReport, SubscribeReport,
+    SubscriptionStatus, SuperstarRow, TableInfo,
+};
+
+use tdb::prelude::*;
+
+/// Per-client execution settings. Each transport session (shell, TCP
+/// connection) owns one; the engine mutates it in place when the client
+/// runs `\explain`, `\config`, or `\set`.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientState {
+    /// Echo logical and physical plans before running queries.
+    pub explain: bool,
+    /// Echo the static-analysis certificate before running queries.
+    pub verify: bool,
+    /// Planner strategy for this client's queries.
+    pub config: PlannerConfig,
+    /// Maximum rows delivered per query result.
+    pub row_limit: usize,
+}
+
+impl Default for ClientState {
+    fn default() -> ClientState {
+        ClientState {
+            explain: false,
+            verify: false,
+            config: PlannerConfig::stream(),
+            row_limit: 20,
+        }
+    }
+}
+
+/// The shared, transport-agnostic engine: one catalog, one live
+/// subsystem, any number of clients.
+pub struct Engine {
+    catalog: Catalog,
+    live: LiveEngine,
+}
+
+impl Engine {
+    /// Open an engine backed by a catalog directory. Live-ingest staging
+    /// runs spill under `<dir>/live`.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> TdbResult<Engine> {
+        let dir = dir.as_ref();
+        Ok(Engine {
+            catalog: Catalog::open(dir, IoStats::new())?,
+            live: LiveEngine::new(dir.join("live"), LiveConfig::default()),
+        })
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The live subsystem.
+    pub fn live(&self) -> &LiveEngine {
+        &self.live
+    }
+
+    /// Cancel a standing query (its consumer disconnected or fell
+    /// behind). Serving layers call this so orphaned subscriptions stop
+    /// evaluating without stalling ingestion for everyone else.
+    pub fn cancel_subscription(&mut self, id: usize) -> TdbResult<()> {
+        self.live.cancel(id)
+    }
+
+    /// Execute one complete input — a `\command` or a query text (with or
+    /// without the terminating `;`) — under `ctx`'s settings. Never
+    /// fails: every error becomes [`Response::Error`].
+    pub fn execute(&mut self, ctx: &mut ClientState, input: &str) -> Response {
+        let trimmed = input.trim();
+        if trimmed.is_empty() {
+            return Response::Info(String::new());
+        }
+        if trimmed.starts_with('\\') {
+            return self.command(ctx, trimmed);
+        }
+        let text = trimmed.trim_end_matches(';');
+        match self.run_query(ctx, text) {
+            Ok(r) => r,
+            Err(e) => Response::error(&e),
+        }
+    }
+
+    fn command(&mut self, ctx: &mut ClientState, line: &str) -> Response {
+        match self.command_inner(ctx, line) {
+            Ok(r) => r,
+            Err(e) => Response::error(&e),
+        }
+    }
+
+    fn command_inner(&mut self, ctx: &mut ClientState, line: &str) -> TdbResult<Response> {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            ["\\help"] => Ok(Response::Info(HELP.to_string())),
+            ["\\quit" | "\\q"] => Ok(Response::Goodbye),
+            ["\\tables"] => Ok(Response::Tables(self.tables()?)),
+            ["\\explain", v @ ("on" | "off")] => {
+                ctx.explain = *v == "on";
+                if !ctx.explain {
+                    ctx.verify = false;
+                }
+                Ok(Response::Info(format!("explain {v}\n")))
+            }
+            ["\\explain", "verify"] => {
+                ctx.explain = true;
+                ctx.verify = true;
+                Ok(Response::Info(
+                    "explain verify (plans + static-analysis certificate)\n".into(),
+                ))
+            }
+            ["\\analyze", rest @ ..] if !rest.is_empty() => {
+                let text = rest.join(" ");
+                let text = text.trim_end_matches(';');
+                self.analyze(ctx.config, text).map(Response::Analysis)
+            }
+            ["\\config", c] => {
+                ctx.config = match *c {
+                    "stream" => PlannerConfig::stream(),
+                    "conventional" => PlannerConfig::conventional(),
+                    "naive" => PlannerConfig::naive(),
+                    other => {
+                        return Ok(Response::Info(format!(
+                            "unknown config `{other}` (stream|conventional|naive)\n"
+                        )))
+                    }
+                };
+                Ok(Response::Info(format!("planner config: {c}\n")))
+            }
+            ["\\set", "parallelism", n] => {
+                let k: usize = n
+                    .parse()
+                    .map_err(|_| TdbError::Eval(format!("bad partition count `{n}`")))?;
+                ctx.config = ctx.config.with_parallelism(k);
+                Ok(Response::Info(if k > 1 {
+                    format!("parallelism: {k} time-range partitions\n")
+                } else {
+                    "parallelism: serial\n".to_string()
+                }))
+            }
+            ["\\set", "limit", n] => {
+                let limit: usize = n
+                    .parse()
+                    .map_err(|_| TdbError::Eval(format!("bad row limit `{n}`")))?;
+                ctx.row_limit = limit.max(1);
+                Ok(Response::Info(format!("row limit: {}\n", ctx.row_limit)))
+            }
+            ["\\gen", "faculty", n, rest @ ..] => {
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| TdbError::Eval(format!("bad count `{n}`")))?;
+                let seed: u64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(0);
+                let faculty = FacultyGen {
+                    n_faculty: n,
+                    seed,
+                    continuous_employment: true,
+                    ..FacultyGen::default()
+                }
+                .generate();
+                let rows: Vec<Row> = faculty.iter().map(|t| t.to_row()).collect();
+                self.catalog.create_relation(
+                    "Faculty",
+                    TemporalSchema::time_sequence("Name", "Rank"),
+                    &rows,
+                    vec![],
+                )?;
+                Ok(Response::Info(format!(
+                    "Faculty loaded: {} members, {} tuples (seed {seed})\n",
+                    n,
+                    rows.len()
+                )))
+            }
+            ["\\gen", "intervals", name, n, gap, dur, rest @ ..] => {
+                let parse_f = |s: &str| {
+                    s.parse::<f64>()
+                        .map_err(|_| TdbError::Eval(format!("bad number `{s}`")))
+                };
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| TdbError::Eval(format!("bad count `{n}`")))?;
+                let seed: u64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(0);
+                let tuples = IntervalGen::poisson(n, parse_f(gap)?, parse_f(dur)?, seed).generate();
+                let rows: Vec<Row> = tuples
+                    .iter()
+                    .map(|t| {
+                        Row::new(vec![
+                            t.surrogate.clone(),
+                            t.value.clone(),
+                            Value::Time(t.ts()),
+                            Value::Time(t.te()),
+                        ])
+                    })
+                    .collect();
+                self.catalog.create_relation(
+                    name,
+                    interval_schema()?,
+                    &rows,
+                    vec![StreamOrder::TS_ASC],
+                )?;
+                Ok(Response::Info(format!(
+                    "{name} loaded: {} tuples\n",
+                    rows.len()
+                )))
+            }
+            ["\\ingest", _rel, "-"] => Ok(Response::Error(ErrorInfo::new(
+                ErrorCode::Protocol,
+                "stdin ingest (`-`) is only available in the local shell",
+            ))),
+            ["\\ingest", rel, source] => {
+                let text = std::fs::read_to_string(source)?;
+                Ok(self.ingest_text(rel, &text))
+            }
+            ["\\subscribe", rest @ ..] if !rest.is_empty() => {
+                let text = rest.join(" ");
+                let text = text.trim_end_matches(';').to_string();
+                self.subscribe(ctx, &text).map(Response::Subscribed)
+            }
+            ["\\live"] => Ok(Response::Live(self.live_status())),
+            ["\\live", "close", rel] => self.live_close(rel).map(Response::Sealed),
+            ["\\superstar"] => self.superstar().map(Response::Superstar),
+            _ => Ok(Response::Info(format!(
+                "unknown command `{line}` — try \\help\n"
+            ))),
+        }
+    }
+
+    fn tables(&self) -> TdbResult<Vec<TableInfo>> {
+        let mut out = Vec::new();
+        for name in self.catalog.relation_names() {
+            let meta = self.catalog.meta(&name)?;
+            out.push(TableInfo {
+                name: name.clone(),
+                rows: meta.rows as u64,
+                schema: meta.schema.schema.to_string(),
+                lambda: meta.stats.lambda,
+                mean_duration: meta.stats.mean_duration,
+                max_concurrency: meta.stats.max_concurrency as u64,
+            });
+        }
+        Ok(out)
+    }
+
+    fn run_query(&mut self, ctx: &ClientState, text: &str) -> TdbResult<Response> {
+        let (logical, _query) = compile(text, &self.catalog)?;
+        let optimized = conventional_optimize(logical.clone());
+        // Every plan passes the static verifier before it executes; the
+        // planner never emits a rejected plan, so a failure here means the
+        // plan tree was corrupted, not that the query is wrong.
+        let (physical, analysis) = plan_verified(&optimized, ctx.config, &self.catalog)?;
+        let start = std::time::Instant::now();
+        let result = physical.execute(&self.catalog)?;
+        let elapsed_us = start.elapsed().as_micros() as u64;
+
+        let columns: Vec<String> = result
+            .scope
+            .columns()
+            .iter()
+            .map(|c| {
+                if c.var.is_empty() {
+                    c.attr.clone()
+                } else {
+                    c.to_string()
+                }
+            })
+            .collect();
+        let total = result.rows.len() as u64;
+        let mut rows = result.rows;
+        rows.truncate(ctx.row_limit);
+        Ok(Response::Query(QueryReport {
+            logical: ctx.explain.then(|| logical.parse_tree()),
+            optimized: ctx.explain.then(|| optimized.parse_tree()),
+            physical: ctx.explain.then(|| physical.explain()),
+            certificate: ctx.verify.then(|| analysis.render()),
+            rows: RowSet {
+                columns,
+                rows,
+                total,
+            },
+            stats: QueryStats {
+                rows_scanned: result.stats.rows_scanned as u64,
+                comparisons: result.stats.comparisons,
+                max_workspace: result.stats.max_workspace as u64,
+                sorts_performed: result.stats.sorts_performed as u64,
+            },
+            elapsed_us,
+        }))
+    }
+
+    /// Statically analyze a query without running it: compile, optimize,
+    /// plan, and return the verifier's verdicts (or its diagnostics as an
+    /// error). Shared by `\analyze` and the `tdb analyze` subcommand.
+    pub fn analyze(&mut self, config: PlannerConfig, text: &str) -> TdbResult<AnalysisReport> {
+        let (logical, _query) = compile(text, &self.catalog)?;
+        let optimized = conventional_optimize(logical);
+        let (physical, analysis) = plan_verified(&optimized, config, &self.catalog)?;
+        Ok(analysis_report(&physical, &analysis))
+    }
+
+    /// Live-append pre-parsed arrival text into `rel`, auto-registering
+    /// the relation for live ingestion on first use (interval schema for
+    /// unknown relations; an existing relation is registered under its
+    /// first known sort order). Every error becomes [`Response::Error`].
+    pub fn ingest_text(&mut self, rel: &str, text: &str) -> Response {
+        match parse_arrivals(text).and_then(|rows| self.ingest_rows(rel, rows)) {
+            Ok(r) => r,
+            Err(e) => Response::error(&e),
+        }
+    }
+
+    /// Live-append already-built rows into `rel` (see
+    /// [`Engine::ingest_text`]).
+    pub fn ingest_rows(&mut self, rel: &str, rows: Vec<Row>) -> TdbResult<Response> {
+        if !self.live.is_live(rel) {
+            let (schema, order) = match self.catalog.meta(rel) {
+                Ok(meta) => (
+                    meta.schema.clone(),
+                    meta.known_orders.first().copied().ok_or_else(|| {
+                        TdbError::Catalog(format!(
+                            "relation `{rel}` claims no sort order, so arrivals \
+                             cannot be appended in order"
+                        ))
+                    })?,
+                ),
+                Err(_) => (interval_schema()?, StreamOrder::TS_ASC),
+            };
+            self.live.register(&mut self.catalog, rel, schema, order)?;
+        }
+        let offered = rows.len() as u64;
+        let report = self.live.ingest(&mut self.catalog, rel, rows)?;
+        let state = self.live.relation(rel).expect("registered above");
+        Ok(Response::Ingest(IngestReport {
+            relation: rel.to_string(),
+            offered,
+            promoted: report.promoted as u64,
+            staged: state.staged_len() as u64,
+            watermark: state.watermark(),
+            deltas: report.deltas.into_iter().map(DeltaFrame::from).collect(),
+        }))
+    }
+
+    fn subscribe(&mut self, ctx: &ClientState, text: &str) -> TdbResult<SubscribeReport> {
+        let (logical, _query) = compile(text, &self.catalog)?;
+        let optimized = conventional_optimize(logical);
+        let (analysis, delta) = self.live.subscribe(&self.catalog, text, optimized)?;
+        Ok(SubscribeReport {
+            id: delta.subscription as u64,
+            certificate: ctx.verify.then(|| analysis.render()),
+            initial: DeltaFrame::from(delta),
+        })
+    }
+
+    fn live_status(&self) -> LiveStatus {
+        LiveStatus {
+            relations: self
+                .live
+                .relations()
+                .map(|rel| {
+                    let snap = rel.progress().snapshot();
+                    LiveRelationStatus {
+                        name: rel.name().to_string(),
+                        order: rel.order().to_string(),
+                        sealed: rel.is_sealed(),
+                        watermark: rel.watermark(),
+                        admitted: rel.admitted(),
+                        staged: rel.staged_len() as u64,
+                        promoted: rel.promoted(),
+                        watermark_lag: snap.watermark_lag,
+                        stalls: rel.stalls(),
+                    }
+                })
+                .collect(),
+            subscriptions: self
+                .live
+                .subscriptions()
+                .iter()
+                .map(|sub| {
+                    let (peak, cap) = sub.workspace_watermark();
+                    SubscriptionStatus {
+                        id: sub.id() as u64,
+                        label: sub.label().to_string(),
+                        evaluations: sub.evaluations(),
+                        emitted: sub.emitted_count() as u64,
+                        workspace_peak: peak as u64,
+                        workspace_cap: cap as u64,
+                        cancelled: sub.is_cancelled(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn live_close(&mut self, rel: &str) -> TdbResult<SealReport> {
+        let report = self.live.seal(&mut self.catalog, rel)?;
+        Ok(SealReport {
+            relation: rel.to_string(),
+            promoted: report.promoted as u64,
+            deltas: report.deltas.into_iter().map(DeltaFrame::from).collect(),
+        })
+    }
+
+    fn superstar(&mut self) -> TdbResult<Vec<SuperstarRow>> {
+        self.catalog
+            .meta("Faculty")
+            .map_err(|_| TdbError::Catalog("load Faculty first: \\gen faculty 200".into()))?;
+        let mut out = Vec::new();
+        for (label, logical) in superstar_plans(true) {
+            if label.starts_with("unoptimized") {
+                continue;
+            }
+            let config = if label.starts_with("conventional") {
+                PlannerConfig::conventional()
+            } else {
+                PlannerConfig::stream()
+            };
+            let (physical, _analysis) = plan_verified(&logical, config, &self.catalog)?;
+            let start = std::time::Instant::now();
+            let result = physical.execute(&self.catalog)?;
+            let names: std::collections::BTreeSet<&str> = result
+                .rows
+                .iter()
+                .filter_map(|r| r.get(0).as_str())
+                .collect();
+            out.push(SuperstarRow {
+                label: label.to_string(),
+                elapsed_us: start.elapsed().as_micros() as u64,
+                comparisons: result.stats.comparisons,
+                superstars: names.len() as u64,
+            });
+        }
+        Ok(out)
+    }
+}
+
+fn analysis_report(physical: &PhysicalPlan, analysis: &Analysis) -> AnalysisReport {
+    AnalysisReport {
+        physical: physical.explain(),
+        ops: analysis
+            .lowered
+            .ops
+            .iter()
+            .map(|op| OpVerdict {
+                path: op.path.to_string(),
+                operator: op.kind.to_string(),
+                table_entry: op.kind.requirement().table_entry.to_string(),
+                workspace_expectation: op.workspace_expectation,
+                workspace_cap: op.workspace_cap.map(|c| c as u64),
+            })
+            .collect(),
+        certificate: analysis.render(),
+    }
+}
+
+/// The schema live-ingested interval relations use (also `\gen
+/// intervals`): `Id: Str, Seq: Int, ValidFrom: Time, ValidTo: Time`.
+pub fn interval_schema() -> TdbResult<TemporalSchema> {
+    TemporalSchema::new(
+        tdb::core::Schema::new(vec![
+            tdb::core::Field::new("Id", tdb::core::FieldType::Str),
+            tdb::core::Field::new("Seq", tdb::core::FieldType::Int),
+            tdb::core::Field::new("ValidFrom", tdb::core::FieldType::Time),
+            tdb::core::Field::new("ValidTo", tdb::core::FieldType::Time),
+        ]),
+        2,
+        3,
+    )
+}
+
+/// Parse ingest lines into interval-schema rows. Each non-empty line not
+/// starting with `#` is `<ts> <te> [id [seq]]`; `id` defaults to
+/// `r<line>` and `seq` to the line index.
+pub fn parse_arrivals(text: &str) -> TdbResult<Vec<Row>> {
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let time = |s: &str| {
+            s.parse::<i64>()
+                .map(TimePoint)
+                .map_err(|_| TdbError::Eval(format!("line {}: bad time `{s}`", i + 1)))
+        };
+        let (ts, te) = match fields.as_slice() {
+            [ts, te, ..] => (time(ts)?, time(te)?),
+            _ => {
+                return Err(TdbError::Eval(format!(
+                    "line {}: expected `<ts> <te> [id [seq]]`, got `{line}`",
+                    i + 1
+                )))
+            }
+        };
+        let id = fields
+            .get(2)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("r{}", i + 1));
+        let seq: i64 = match fields.get(3) {
+            Some(s) => s
+                .parse()
+                .map_err(|_| TdbError::Eval(format!("line {}: bad seq `{s}`", i + 1)))?,
+            None => i as i64 + 1,
+        };
+        rows.push(Row::new(vec![
+            Value::str(&id),
+            Value::Int(seq),
+            Value::Time(ts),
+            Value::Time(te),
+        ]));
+    }
+    Ok(rows)
+}
+
+/// Help text for the command surface (shared by every front end).
+pub const HELP: &str = r#"commands:
+  \gen faculty <n> [seed]                     load a generated Faculty relation
+  \gen intervals <name> <n> <gap> <dur> [seed]  load a Poisson interval relation
+  \tables                                     list relations and statistics
+  \explain on|off|verify                      show plans (verify: + static analysis)
+  \analyze <query>                            verify a query's plan without running it
+  \config stream|conventional|naive           planner strategy
+  \set parallelism <k>                        time-range partitions for stream operators
+  \set limit <n>                              rows delivered per query result
+  \ingest <rel> <file|->                      live-append arrivals (`-` reads stdin to EOF);
+                                              lines are `<ts> <te> [id [seq]]`
+  \subscribe <query>                          register a standing query (live-verified);
+                                              deltas print as rows become final
+  \live                                       live status: watermarks, staging, subscriptions
+  \live close <rel>                           seal a live stream (all staged rows final)
+  \superstar                                  compare the Superstar formulations
+  \help   \quit
+queries: modified Quel, terminated by `;`, e.g.
+  range of f is Faculty retrieve (N=f.Name) where f.Rank = "Full";
+serving: `tdb serve [dir] [addr]` starts a framed-TCP server over one shared
+catalog; `tdb connect [addr]` opens this shell against it.
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::Response;
+    use tdb::storage::Codec as _;
+
+    fn engine(tag: &str) -> (Engine, ClientState) {
+        let dir = std::env::temp_dir().join(format!("tdb-engine-api-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        (Engine::open(dir).unwrap(), ClientState::default())
+    }
+
+    #[test]
+    fn typed_query_response_truncates_at_row_limit() {
+        let (mut e, mut ctx) = engine("q");
+        ctx.row_limit = 3;
+        assert!(matches!(
+            e.execute(&mut ctx, "\\gen intervals T 50 3 10 1"),
+            Response::Info(_)
+        ));
+        let resp = e.execute(&mut ctx, "range of t is T retrieve (A=t.ValidFrom);");
+        let Response::Query(q) = resp else {
+            panic!("expected query response, got {resp:?}");
+        };
+        assert_eq!(q.rows.rows.len(), 3);
+        assert_eq!(q.rows.total, 50);
+        assert_eq!(q.rows.columns, vec!["A".to_string()]);
+        assert!(q.stats.rows_scanned > 0);
+    }
+
+    #[test]
+    fn explain_flags_populate_plan_reports() {
+        let (mut e, mut ctx) = engine("explain");
+        e.execute(&mut ctx, "\\gen faculty 20 1");
+        e.execute(&mut ctx, "\\explain verify");
+        assert!(ctx.explain && ctx.verify);
+        let resp = e.execute(&mut ctx, "range of f is Faculty retrieve (N=f.Name);");
+        let Response::Query(q) = resp else {
+            panic!("expected query response, got {resp:?}");
+        };
+        assert!(q.physical.as_deref().unwrap().contains("SeqScan Faculty"));
+        assert!(q.certificate.is_some());
+        e.execute(&mut ctx, "\\explain off");
+        assert!(!ctx.explain && !ctx.verify);
+    }
+
+    #[test]
+    fn analyze_returns_typed_verdicts() {
+        let (mut e, mut ctx) = engine("analyze");
+        e.execute(&mut ctx, "\\gen faculty 30 5");
+        let resp = e.execute(
+            &mut ctx,
+            "\\analyze range of f1 is Faculty range of f2 is Faculty \
+             retrieve (N=f1.Name) where f1.ValidFrom < f2.ValidFrom \
+             and f2.ValidTo < f1.ValidTo;",
+        );
+        let Response::Analysis(a) = resp else {
+            panic!("expected analysis, got {resp:?}");
+        };
+        assert_eq!(a.ops.len(), 1);
+        assert!(a.ops[0].operator.contains("ContainJoin"), "{:?}", a.ops[0]);
+        assert!(a.ops[0].table_entry.contains("Table 1"), "{:?}", a.ops[0]);
+        assert!(a.ops[0].workspace_cap.is_some());
+        assert!(a.certificate.contains("λ·E[D]"));
+    }
+
+    #[test]
+    fn errors_carry_taxonomy_codes() {
+        let (mut e, mut ctx) = engine("err");
+        let resp = e.execute(&mut ctx, "range of f is Nope retrieve (N=f.Name);");
+        let Response::Error(err) = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(err.code, ErrorCode::Catalog);
+        let resp = e.execute(&mut ctx, "this is not quel;");
+        let Response::Error(err) = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(err.code, ErrorCode::Parse);
+    }
+
+    #[test]
+    fn ingest_response_carries_epoch_stamped_deltas() {
+        let (mut e, mut ctx) = engine("ingest");
+        let sub = e.execute(
+            &mut ctx,
+            "\\subscribe range of a is S range of b is S retrieve (X=a.Id, Y=b.Id) \
+             where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo;",
+        );
+        // S does not exist yet: subscription must fail cleanly.
+        assert!(matches!(sub, Response::Error(_)));
+
+        let resp = e.ingest_text("S", "0 100 long\n10 20 a\n30 40 b\n");
+        let Response::Ingest(r) = resp else {
+            panic!("expected ingest, got {resp:?}");
+        };
+        assert_eq!(r.offered, 3);
+        assert_eq!(r.promoted, 2);
+        assert_eq!(r.staged, 1);
+        assert_eq!(r.watermark, Some(TimePoint(30)));
+
+        let resp = e.execute(
+            &mut ctx,
+            "\\subscribe range of a is S range of b is S retrieve (X=a.Id, Y=b.Id) \
+             where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo;",
+        );
+        let Response::Subscribed(s) = resp else {
+            panic!("expected subscribed, got {resp:?}");
+        };
+        assert_eq!(s.id, 0);
+        assert_eq!(s.initial.rows.len(), 1);
+
+        let mut resp = e.ingest_text("S", "50 60 c\n");
+        let routed = resp.take_deltas();
+        assert_eq!(routed.len(), 1);
+        assert!(routed[0].epoch >= 2);
+        assert_eq!(routed[0].watermark, Some(TimePoint(50)));
+        assert!(
+            matches!(resp, Response::Ingest(ref r) if r.deltas.is_empty()),
+            "take_deltas drains the response in place"
+        );
+    }
+
+    #[test]
+    fn set_limit_and_parallelism_mutate_client_state() {
+        let (mut e, mut ctx) = engine("set");
+        e.execute(&mut ctx, "\\set parallelism 4");
+        assert_eq!(ctx.config.parallelism, 4);
+        e.execute(&mut ctx, "\\set limit 5");
+        assert_eq!(ctx.row_limit, 5);
+        let resp = e.execute(&mut ctx, "\\set limit x");
+        assert!(matches!(resp, Response::Error(_)));
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_storage_codec() {
+        let (mut e, mut ctx) = engine("codec");
+        e.execute(&mut ctx, "\\gen faculty 10 2");
+        for input in [
+            "\\tables",
+            "\\help",
+            "range of f is Faculty retrieve (N=f.Name);",
+            "\\live",
+            "range of f is Nope retrieve (N=f.Name);",
+        ] {
+            let resp = e.execute(&mut ctx, input);
+            let bytes = resp.to_bytes();
+            let back = Response::from_bytes(&bytes).unwrap();
+            assert_eq!(back, resp, "round-trip failed for `{input}`");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Text rendering of [`Response`] values — the terminal face of the
+//! engine.
+//!
+//! This is the renderer the CLI shell and `tdb connect` share. It is
+//! deliberately dumb: every decision that needs engine state (row-limit
+//! truncation of query results, plan/verify visibility) was already made
+//! when the [`Response`] was built; the renderer only decides how many
+//! *delta* rows to print per subscription (`delta_limit`), since delta
+//! frames always carry every row for the benefit of push consumers.
+
+use crate::response::{
+    DeltaFrame, IngestReport, LiveStatus, QueryReport, Response, SealReport, SubscribeReport,
+    SuperstarRow, TableInfo,
+};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Render a response as shell text, truncating delta displays at
+/// `delta_limit` rows per subscription.
+pub fn render(resp: &Response, delta_limit: usize) -> String {
+    match resp {
+        Response::Info(s) => s.clone(),
+        Response::Goodbye => String::new(),
+        Response::Tables(tables) => render_tables(tables),
+        Response::Query(q) => render_query(q),
+        Response::Analysis(a) => {
+            format!(
+                "── physical ──\n{}\n── static analysis ──\n{}\n",
+                a.physical, a.certificate
+            )
+        }
+        Response::Ingest(r) => render_ingest(r, delta_limit),
+        Response::Subscribed(r) => render_subscribed(r, delta_limit),
+        Response::Live(s) => render_live(s),
+        Response::Sealed(r) => render_sealed(r, delta_limit),
+        Response::Superstar(rows) => render_superstar(rows),
+        Response::Error(e) => format!("error: {}", e.message),
+    }
+}
+
+fn render_tables(tables: &[TableInfo]) -> String {
+    if tables.is_empty() {
+        return "no relations — try \\gen faculty 100\n".into();
+    }
+    let mut out = String::new();
+    for t in tables {
+        let lambda = t
+            .lambda
+            .map(|l| format!("{l:.3}"))
+            .unwrap_or_else(|| "-".into());
+        writeln!(
+            out,
+            "{}: {} rows, schema {}, λ={lambda}, mean dur {:.1}, max concurrency {}",
+            t.name, t.rows, t.schema, t.mean_duration, t.max_concurrency
+        )
+        .ok();
+    }
+    out
+}
+
+fn render_query(q: &QueryReport) -> String {
+    let mut out = String::new();
+    if let Some(l) = &q.logical {
+        writeln!(out, "── logical (translated) ──\n{l}").ok();
+    }
+    if let Some(o) = &q.optimized {
+        writeln!(out, "── logical (optimized) ──\n{o}").ok();
+    }
+    if let Some(p) = &q.physical {
+        writeln!(out, "── physical ──\n{p}").ok();
+    }
+    if let Some(c) = &q.certificate {
+        writeln!(out, "── static analysis ──\n{c}").ok();
+    }
+    writeln!(out, "{}", q.rows.columns.join(" | ")).ok();
+    for row in &q.rows.rows {
+        let cells: Vec<String> = row.values().iter().map(|v| v.to_string()).collect();
+        writeln!(out, "{}", cells.join(" | ")).ok();
+    }
+    let shown = q.rows.rows.len() as u64;
+    if q.rows.total > shown {
+        writeln!(out, "… ({} more rows)", q.rows.total - shown).ok();
+    }
+    writeln!(
+        out,
+        "{} rows in {:.2?} — {} scanned, {} comparisons, workspace {}, {} sorts",
+        q.rows.total,
+        Duration::from_micros(q.elapsed_us),
+        q.stats.rows_scanned,
+        q.stats.comparisons,
+        q.stats.max_workspace,
+        q.stats.sorts_performed,
+    )
+    .ok();
+    out
+}
+
+fn wm_str(wm: Option<tdb::core::TimePoint>) -> String {
+    wm.map(|t| t.to_string()).unwrap_or_else(|| "-".into())
+}
+
+/// Render one delta block: the header names the finalizing epoch and
+/// watermark so shell users see the same correlation handle remote
+/// clients get in the frame.
+pub fn render_delta(delta: &DeltaFrame, delta_limit: usize, out: &mut String) {
+    writeln!(
+        out,
+        "▸ #{} `{}`: +{} rows (epoch {}, watermark {})",
+        delta.subscription,
+        delta.label,
+        delta.rows.len(),
+        delta.epoch,
+        wm_str(delta.watermark),
+    )
+    .ok();
+    for row in delta.rows.iter().take(delta_limit) {
+        let cells: Vec<String> = row.values().iter().map(|v| v.to_string()).collect();
+        writeln!(out, "  {}", cells.join(" | ")).ok();
+    }
+    if delta.rows.len() > delta_limit {
+        writeln!(out, "  … ({} more rows)", delta.rows.len() - delta_limit).ok();
+    }
+}
+
+fn render_ingest(r: &IngestReport, delta_limit: usize) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{}: {} arrivals — {} promoted (final), {} staged, watermark {}",
+        r.relation,
+        r.offered,
+        r.promoted,
+        r.staged,
+        wm_str(r.watermark),
+    )
+    .ok();
+    for d in &r.deltas {
+        render_delta(d, delta_limit, &mut out);
+    }
+    out
+}
+
+fn render_subscribed(r: &SubscribeReport, delta_limit: usize) -> String {
+    let mut out = String::new();
+    writeln!(out, "subscription #{} registered", r.id).ok();
+    if let Some(c) = &r.certificate {
+        writeln!(out, "── static analysis (live) ──\n{c}").ok();
+    }
+    if !r.initial.rows.is_empty() {
+        render_delta(&r.initial, delta_limit, &mut out);
+    }
+    out
+}
+
+fn render_live(s: &LiveStatus) -> String {
+    let mut out = String::new();
+    for rel in &s.relations {
+        writeln!(
+            out,
+            "{} ({}): watermark {}{}, {} admitted, {} staged, {} promoted, \
+             lag {}, {} stalls",
+            rel.name,
+            rel.order,
+            wm_str(rel.watermark),
+            if rel.sealed { " [sealed]" } else { "" },
+            rel.admitted,
+            rel.staged,
+            rel.promoted,
+            rel.watermark_lag,
+            rel.stalls,
+        )
+        .ok();
+    }
+    for sub in &s.subscriptions {
+        writeln!(
+            out,
+            "#{} `{}`: {} evaluations, {} rows emitted, workspace peak {} / cap {}{}",
+            sub.id,
+            sub.label,
+            sub.evaluations,
+            sub.emitted,
+            sub.workspace_peak,
+            sub.workspace_cap,
+            if sub.cancelled { " [cancelled]" } else { "" },
+        )
+        .ok();
+    }
+    if out.is_empty() {
+        out = "no live relations — try \\ingest <rel> <file>\n".into();
+    }
+    out
+}
+
+fn render_sealed(r: &SealReport, delta_limit: usize) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} sealed: {} rows promoted (final)",
+        r.relation, r.promoted
+    )
+    .ok();
+    for d in &r.deltas {
+        render_delta(d, delta_limit, &mut out);
+    }
+    out
+}
+
+fn render_superstar(rows: &[SuperstarRow]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        writeln!(
+            out,
+            "{:<30} {:>10.2?}  {:>12} comparisons  {} superstars",
+            r.label,
+            Duration::from_micros(r.elapsed_us),
+            r.comparisons,
+            r.superstars
+        )
+        .ok();
+    }
+    out
+}

@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use tdb_algebra::{LogicalPlan, PlannerConfig};
 use tdb_analyze::{plan_verified_live, Analysis, AnalyzeConfig};
-use tdb_core::{Row, StreamOrder, TdbError, TdbResult, TemporalSchema, TemporalStats};
+use tdb_core::{Row, StreamOrder, TdbError, TdbResult, TemporalSchema, TemporalStats, TimePoint};
 use tdb_storage::Catalog;
 
 /// Engine-wide knobs.
@@ -56,6 +56,8 @@ impl Default for LiveConfig {
 /// The outcome of one epoch.
 #[derive(Debug, Clone, Default)]
 pub struct LiveReport {
+    /// The epoch this report describes (see [`LiveEngine::epoch`]).
+    pub epoch: u64,
     /// Rows promoted into catalog heaps this epoch, across relations.
     pub promoted: usize,
     /// Per-subscription result deltas (only non-empty ones).
@@ -68,6 +70,8 @@ pub struct LiveEngine {
     stage_dir: PathBuf,
     relations: BTreeMap<String, LiveRelation>,
     subscriptions: Vec<Subscription>,
+    /// Epochs completed so far; each [`LiveEngine::advance`] finishes one.
+    epoch: u64,
 }
 
 impl LiveEngine {
@@ -78,7 +82,34 @@ impl LiveEngine {
             stage_dir: stage_dir.into(),
             relations: BTreeMap::new(),
             subscriptions: Vec::new(),
+            epoch: 0,
         }
+    }
+
+    /// Epochs completed so far. Every delta stamped with epoch `e` was
+    /// finalized by the `e`-th [`LiveEngine::advance`] call.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The watermark frontier: the lowest watermark over unsealed live
+    /// relations that have seen at least one arrival. Deltas are stamped
+    /// with this frontier at finalization time. Once every relation is
+    /// sealed there is no open stream left to hold the frontier back, so
+    /// it collapses to the highest watermark any relation reached;
+    /// `None` means no relation has observed an arrival at all.
+    pub fn frontier(&self) -> Option<TimePoint> {
+        self.relations
+            .values()
+            .filter(|r| !r.is_sealed())
+            .filter_map(LiveRelation::watermark)
+            .min()
+            .or_else(|| {
+                self.relations
+                    .values()
+                    .filter_map(LiveRelation::watermark)
+                    .max()
+            })
     }
 
     /// The engine's configuration.
@@ -176,9 +207,24 @@ impl LiveEngine {
             &overrides,
             self.config.planner,
             &self.config.analyze,
+            self.epoch,
+            self.frontier(),
         )?;
         self.subscriptions.push(sub);
         Ok((analysis, delta))
+    }
+
+    /// Cancel subscription `id`: it stops evaluating and emits no further
+    /// deltas. Used when a remote consumer disconnects (or is dropped for
+    /// falling behind) so orphaned standing queries do not keep burning
+    /// epoch-loop work.
+    pub fn cancel(&mut self, id: usize) -> TdbResult<()> {
+        let sub = self
+            .subscriptions
+            .get_mut(id)
+            .ok_or_else(|| TdbError::Catalog(format!("unknown subscription #{id}")))?;
+        sub.cancel();
+        Ok(())
     }
 
     /// Ingest a batch of raw rows into live relation `name`, then run one
@@ -227,7 +273,11 @@ impl LiveEngine {
     /// Run one epoch: promote every relation's closed prefix, then
     /// re-verify and re-evaluate every subscription.
     pub fn advance(&mut self, catalog: &mut Catalog) -> TdbResult<LiveReport> {
-        let mut report = LiveReport::default();
+        self.epoch += 1;
+        let mut report = LiveReport {
+            epoch: self.epoch,
+            ..LiveReport::default()
+        };
         for rel in self.relations.values_mut() {
             let closed = rel.take_closed()?;
             if !closed.is_empty() {
@@ -236,12 +286,18 @@ impl LiveEngine {
             }
         }
         let overrides = self.live_stats();
+        let frontier = self.frontier();
         for sub in &mut self.subscriptions {
+            if sub.is_cancelled() {
+                continue;
+            }
             let delta = sub.evaluate(
                 catalog,
                 &overrides,
                 self.config.planner,
                 &self.config.analyze,
+                self.epoch,
+                frontier,
             )?;
             if !delta.rows.is_empty() {
                 report.deltas.push(delta);
@@ -375,6 +431,40 @@ mod tests {
         // Catalog static stats only cover the promoted prefix; the live
         // override sees every arrival.
         assert!(cat.meta("Faculty").unwrap().stats.count < faculty.count);
+    }
+
+    #[test]
+    fn deltas_carry_epoch_and_watermark_and_cancel_stops_evaluation() {
+        let (mut cat, mut eng) = setup("epoch");
+        let schema = TemporalSchema::time_sequence("Name", "Rank");
+        eng.register(&mut cat, "Faculty", schema, StreamOrder::TS_ASC)
+            .unwrap();
+        let (_analysis, initial) = eng.subscribe(&cat, "contains", contains_join()).unwrap();
+        assert_eq!(initial.epoch, 0);
+        assert_eq!(initial.watermark, None);
+
+        let r1 = eng
+            .ingest(
+                &mut cat,
+                "Faculty",
+                vec![row("long", 0, 100), row("a", 10, 20), row("b", 30, 40)],
+            )
+            .unwrap();
+        assert_eq!(r1.epoch, 1);
+        assert_eq!(eng.epoch(), 1);
+        let d = &r1.deltas[0];
+        assert_eq!(d.epoch, 1);
+        // The frontier at finalization: the last arrival's TS.
+        assert_eq!(d.watermark, Some(TimePoint(30)));
+
+        let evals_before = eng.subscriptions()[0].evaluations();
+        eng.cancel(0).unwrap();
+        let r2 = eng.seal(&mut cat, "Faculty").unwrap();
+        assert_eq!(r2.epoch, 2);
+        assert!(r2.deltas.is_empty(), "cancelled subscription must not emit");
+        assert_eq!(eng.subscriptions()[0].evaluations(), evals_before);
+        assert!(eng.subscriptions()[0].is_cancelled());
+        assert!(eng.cancel(7).is_err());
     }
 
     #[test]

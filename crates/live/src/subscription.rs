@@ -19,7 +19,7 @@
 use std::collections::BTreeMap;
 use tdb_algebra::{LogicalPlan, PlannerConfig};
 use tdb_analyze::{plan_verified_live, AnalyzeConfig};
-use tdb_core::{Row, TdbResult, TemporalStats};
+use tdb_core::{Row, TdbResult, TemporalStats, TimePoint};
 use tdb_storage::{Catalog, Codec};
 use tdb_stream::Progress;
 
@@ -30,6 +30,14 @@ pub struct Delta {
     pub subscription: usize,
     /// The subscription's label (its query text, typically).
     pub label: String,
+    /// The engine epoch at which these rows were finalized. Strictly
+    /// increasing across [`LiveEngine::advance`](crate::LiveEngine::advance)
+    /// calls, so remote consumers can correlate deltas with the engine's
+    /// [`Progress`] counters instead of relying on emission order.
+    pub epoch: u64,
+    /// The watermark frontier (lowest unsealed-relation watermark) the
+    /// rows were finalized at, `None` before any arrival.
+    pub watermark: Option<TimePoint>,
     /// Newly final result rows, in plan output order.
     pub rows: Vec<Row>,
 }
@@ -48,6 +56,7 @@ pub struct Subscription {
     /// caps move with the live statistics).
     static_cap: usize,
     evaluations: u64,
+    cancelled: bool,
 }
 
 impl Subscription {
@@ -61,6 +70,7 @@ impl Subscription {
             peak_workspace: 0,
             static_cap: 0,
             evaluations: 0,
+            cancelled: false,
         }
     }
 
@@ -89,6 +99,17 @@ impl Subscription {
         self.evaluations
     }
 
+    /// Has this subscription been cancelled (e.g. its remote consumer
+    /// disconnected)? Cancelled subscriptions are skipped by the epoch
+    /// loop and emit no further deltas.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+
+    pub(crate) fn cancel(&mut self) {
+        self.cancelled = true;
+    }
+
     /// Progress handle (emitted counter).
     pub fn progress(&self) -> &Progress {
         &self.progress
@@ -109,6 +130,8 @@ impl Subscription {
         live_stats: &BTreeMap<String, TemporalStats>,
         planner: PlannerConfig,
         analyze: &AnalyzeConfig,
+        epoch: u64,
+        watermark: Option<TimePoint>,
     ) -> TdbResult<Delta> {
         let (physical, analysis) =
             plan_verified_live(&self.logical, planner, catalog, live_stats, analyze)?;
@@ -140,6 +163,8 @@ impl Subscription {
         Ok(Delta {
             subscription: self.id,
             label: self.label.clone(),
+            epoch,
+            watermark,
             rows,
         })
     }

@@ -1,0 +1,131 @@
+//! Blocking TCP client for the framed protocol.
+//!
+//! A background reader thread demultiplexes incoming frames into two
+//! queues: replies (answers to this client's requests, in order) and
+//! pushes (unsolicited subscription deltas). [`Client::request`] is
+//! therefore a plain call-and-wait while deltas accumulate on the side,
+//! to be drained with [`Client::try_push`] / [`Client::wait_push`].
+
+use crate::wire::{Frame, FrameReader, ReadOutcome};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tdb::core::{TdbError, TdbResult};
+use tdb_engine::{DeltaFrame, Response};
+
+/// A connection to a `tdb serve` instance.
+pub struct Client {
+    stream: TcpStream,
+    replies: Receiver<Response>,
+    pushes: Receiver<DeltaFrame>,
+    reader: Option<JoinHandle<()>>,
+}
+
+fn reader_loop(mut stream: TcpStream, replies: &Sender<Response>, pushes: &Sender<DeltaFrame>) {
+    let mut reader = FrameReader::new();
+    loop {
+        match reader.read(&mut stream) {
+            Ok(ReadOutcome::Frame(Frame::Reply(resp))) => {
+                if replies.send(resp).is_err() {
+                    break;
+                }
+            }
+            Ok(ReadOutcome::Frame(Frame::Push(delta))) => {
+                let _ = pushes.send(delta);
+            }
+            // The server is draining; nothing more will arrive.
+            Ok(ReadOutcome::Frame(Frame::Shutdown)) => break,
+            // Client-direction frames are a server bug; bail out.
+            Ok(ReadOutcome::Frame(_)) => break,
+            Ok(ReadOutcome::Idle) => {}
+            Ok(ReadOutcome::Eof) | Err(_) => break,
+        }
+    }
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> TdbResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        let (reply_tx, replies) = channel();
+        let (push_tx, pushes) = channel();
+        let reader = std::thread::spawn(move || reader_loop(read_half, &reply_tx, &push_tx));
+        Ok(Client {
+            stream,
+            replies,
+            pushes,
+            reader: Some(reader),
+        })
+    }
+
+    fn send(&mut self, frame: &Frame) -> TdbResult<()> {
+        frame.write_to(&mut self.stream)
+    }
+
+    fn await_reply(&mut self) -> TdbResult<Response> {
+        self.replies
+            .recv_timeout(Duration::from_secs(30))
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => {
+                    TdbError::Eval("timed out waiting for server reply".into())
+                }
+                RecvTimeoutError::Disconnected => {
+                    TdbError::Eval("server closed the connection".into())
+                }
+            })
+    }
+
+    /// Send one complete input (command or query) and wait for its
+    /// typed reply.
+    pub fn request(&mut self, text: &str) -> TdbResult<Response> {
+        self.send(&Frame::Input(text.to_string()))?;
+        self.await_reply()
+    }
+
+    /// Live-append arrival lines into `relation` and wait for the
+    /// ingest report.
+    pub fn ingest(&mut self, relation: &str, lines: &str) -> TdbResult<Response> {
+        self.send(&Frame::Ingest {
+            relation: relation.to_string(),
+            lines: lines.to_string(),
+        })?;
+        self.await_reply()
+    }
+
+    /// Drain one pending subscription delta, if any arrived.
+    pub fn try_push(&mut self) -> Option<DeltaFrame> {
+        self.pushes.try_recv().ok()
+    }
+
+    /// Wait up to `timeout` for the next subscription delta.
+    pub fn wait_push(&mut self, timeout: Duration) -> Option<DeltaFrame> {
+        self.pushes.recv_timeout(timeout).ok()
+    }
+
+    /// True once the server side has gone away (reader thread exited).
+    pub fn is_closed(&self) -> bool {
+        self.reader.as_ref().is_none_or(|r| r.is_finished())
+    }
+
+    /// Orderly goodbye: tell the server, close the socket, join the
+    /// reader.
+    pub fn close(mut self) {
+        let _ = self.send(&Frame::Bye);
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(r) = self.reader.take() {
+            let _ = r.join();
+        }
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(r) = self.reader.take() {
+            let _ = r.join();
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! The framed TCP server: many connections, one engine.
+//!
+//! Threading model: one accept thread (non-blocking, polling the
+//! shutdown flag), one reader thread per connection, one writer thread
+//! per connection. All request execution happens on the connection's
+//! reader thread under the shared engine lock; the writer thread only
+//! drains that connection's bounded outbound queue onto the socket.
+//!
+//! Push routing and backpressure: when a request finalizes rows for
+//! subscriptions (ingest or seal advancing the watermark), the executing
+//! thread routes each delta frame to the queue of the connection that
+//! owns the subscription, using a non-blocking `try_send`. A subscriber
+//! that stops draining its socket eventually fills its TCP window, which
+//! blocks its writer, which fills the bounded queue — at which point the
+//! `try_send` fails and the server disconnects that client and cancels
+//! its subscriptions. Ingestion never blocks on a slow subscriber.
+//!
+//! Graceful shutdown: the flag is only checked between requests, so
+//! in-flight queries drain; each connection then receives a
+//! [`Frame::Shutdown`] before its socket closes.
+
+use crate::wire::{Frame, FrameReader, ReadOutcome};
+use crate::NetConfig;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tdb::core::TdbResult;
+use tdb_engine::{ClientState, Engine, Response};
+
+struct Conn {
+    queue: SyncSender<Frame>,
+    stream: TcpStream,
+}
+
+struct Shared {
+    engine: Mutex<Engine>,
+    conns: Mutex<HashMap<u64, Conn>>,
+    /// subscription id → owning connection id.
+    subs: Mutex<HashMap<u64, u64>>,
+    shutdown: AtomicBool,
+    config: NetConfig,
+}
+
+impl Shared {
+    /// Drop a connection: close its socket (unblocking its threads),
+    /// forget it, and cancel every subscription it owned so the live
+    /// engine stops evaluating for a consumer that is gone.
+    fn disconnect(&self, conn_id: u64) {
+        if let Some(conn) = self.conns.lock().remove(&conn_id) {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        let orphaned: Vec<u64> = {
+            let mut subs = self.subs.lock();
+            let ids: Vec<u64> = subs
+                .iter()
+                .filter(|(_, owner)| **owner == conn_id)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in &ids {
+                subs.remove(id);
+            }
+            ids
+        };
+        if !orphaned.is_empty() {
+            let mut engine = self.engine.lock();
+            for id in orphaned {
+                let _ = engine.cancel_subscription(id as usize);
+            }
+        }
+    }
+
+    /// Route freshly-finalized deltas to their subscribers. Never
+    /// blocks: a full queue means the subscriber has fallen behind its
+    /// bound, and it is disconnected rather than allowed to stall the
+    /// ingesting client.
+    fn route_deltas(&self, response: &mut Response) {
+        let deltas = response.take_deltas();
+        if deltas.is_empty() {
+            return;
+        }
+        let mut overflowed: Vec<u64> = Vec::new();
+        for delta in deltas {
+            let Some(owner) = self.subs.lock().get(&delta.subscription).copied() else {
+                continue;
+            };
+            let conns = self.conns.lock();
+            let Some(conn) = conns.get(&owner) else {
+                continue;
+            };
+            match conn.queue.try_send(Frame::Push(delta)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                    overflowed.push(owner);
+                }
+            }
+        }
+        for conn_id in overflowed {
+            self.disconnect(conn_id);
+        }
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] leaves the server running detached.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain in-flight requests, notify clients with a
+    /// shutdown frame, and join the accept loop.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Open the catalog at `dir` and serve it on `addr` (e.g.
+/// `127.0.0.1:0`). Returns once the listener is bound.
+pub fn serve(
+    dir: impl AsRef<std::path::Path>,
+    addr: &str,
+    config: NetConfig,
+) -> TdbResult<ServerHandle> {
+    let engine = Engine::open(dir)?;
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        engine: Mutex::new(engine),
+        conns: Mutex::new(HashMap::new()),
+        subs: Mutex::new(HashMap::new()),
+        shutdown: AtomicBool::new(false),
+        config,
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let next_id = AtomicU64::new(0);
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_id = next_id.fetch_add(1, Ordering::SeqCst);
+                let shared = Arc::clone(shared);
+                workers.push(std::thread::spawn(move || {
+                    serve_conn(conn_id, stream, &shared);
+                    shared.disconnect(conn_id);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    // Drain: notify every connection, close its socket, join workers.
+    let conn_ids: Vec<u64> = shared.conns.lock().keys().copied().collect();
+    for conn_id in conn_ids {
+        if let Some(conn) = shared.conns.lock().get(&conn_id) {
+            let _ = conn.queue.try_send(Frame::Shutdown);
+        }
+        // Give the writer a moment to flush the shutdown frame before
+        // the socket closes under it.
+        std::thread::sleep(Duration::from_millis(20));
+        shared.disconnect(conn_id);
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+fn serve_conn(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
+    // Short read timeouts let this thread notice the shutdown flag
+    // between frames without dropping partial input.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(shared.config.poll_ms)))
+        .is_err()
+    {
+        return;
+    }
+    let (Ok(write_half), Ok(conn_half)) = (stream.try_clone(), stream.try_clone()) else {
+        return;
+    };
+    // Bound the writer so joining it below cannot hang on a peer that
+    // stopped reading: a stalled write errors out instead of blocking.
+    let _ = write_half.set_write_timeout(Some(Duration::from_secs(5)));
+    let (queue, outbound) = sync_channel::<Frame>(shared.config.push_queue);
+    let writer = std::thread::spawn(move || writer_loop(write_half, &outbound));
+    shared.conns.lock().insert(
+        conn_id,
+        Conn {
+            queue: queue.clone(),
+            stream: conn_half,
+        },
+    );
+
+    let mut read_half = stream;
+    let mut reader = FrameReader::new();
+    let mut ctx = ClientState::default();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match reader.read(&mut read_half) {
+            Ok(ReadOutcome::Frame(f)) => f,
+            Ok(ReadOutcome::Idle) => continue,
+            Ok(ReadOutcome::Eof) | Err(_) => break,
+        };
+        let reply = match frame {
+            Frame::Bye => break,
+            Frame::Input(text) => {
+                let mut resp = shared.engine.lock().execute(&mut ctx, &text);
+                if let Response::Goodbye = resp {
+                    // `\quit` over the wire behaves like Bye after the
+                    // reply is delivered.
+                    let _ = queue.send(Frame::Reply(resp));
+                    break;
+                }
+                if let Response::Subscribed(ref sub) = resp {
+                    shared.subs.lock().insert(sub.id, conn_id);
+                }
+                shared.route_deltas(&mut resp);
+                resp
+            }
+            Frame::Ingest { relation, lines } => {
+                let mut resp = shared.engine.lock().ingest_text(&relation, &lines);
+                shared.route_deltas(&mut resp);
+                resp
+            }
+            // Server-direction frames from a client are a protocol
+            // violation; drop the connection.
+            Frame::Reply(_) | Frame::Push(_) | Frame::Shutdown => break,
+        };
+        // Replies block (bounded by queue depth + socket buffer) — a
+        // client slow to read its *own* replies only stalls itself.
+        if queue.send(Frame::Reply(reply)).is_err() {
+            break;
+        }
+    }
+    // Dropping the queue lets the writer drain what is already enqueued
+    // (the Goodbye reply of a `\quit`, pending pushes) and exit; only
+    // then is the socket closed. The write timeout above bounds the
+    // join, and a disconnect() from another thread (slow-subscriber
+    // overflow, server drain) still unblocks a mid-write writer by
+    // shutting the socket under it.
+    drop(queue);
+    let _ = writer.join();
+    let _ = read_half.shutdown(Shutdown::Both);
+}
+
+fn writer_loop(mut stream: TcpStream, outbound: &Receiver<Frame>) {
+    while let Ok(frame) = outbound.recv() {
+        let last = matches!(frame, Frame::Shutdown);
+        if frame.write_to(&mut stream).is_err() {
+            break;
+        }
+        if last {
+            break;
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Frame layout and incremental framing.
+//!
+//! Every message on the wire is one frame:
+//!
+//! ```text
+//! [u32 LE payload length][u8 version = 1][u8 kind][body …]
+//! ```
+//!
+//! The length counts everything after itself (version + kind + body), so
+//! a reader can skip frames it cannot decode. Client→server kinds sit in
+//! `1..=15`, server→client kinds in `16..=31`; the body of each kind is
+//! encoded with the same [`Codec`] conventions the storage layer uses
+//! (little-endian, `u32`-prefixed strings, defensive decode to
+//! [`TdbError::Corrupt`]).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+use tdb::core::{TdbError, TdbResult};
+use tdb::storage::Codec;
+use tdb_engine::{DeltaFrame, Response};
+
+/// Wire protocol version stamped into every frame. A server or client
+/// that sees a different version rejects the frame as corrupt rather
+/// than guessing at the body layout.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard ceiling on a frame's declared payload length. A corrupt or
+/// hostile length prefix fails fast instead of driving a giant
+/// allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+const KIND_INPUT: u8 = 1;
+const KIND_INGEST: u8 = 2;
+const KIND_BYE: u8 = 3;
+const KIND_REPLY: u8 = 16;
+const KIND_PUSH: u8 = 17;
+const KIND_SHUTDOWN: u8 = 18;
+
+/// One protocol message, either direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client→server: one complete shell input (`\command` or query
+    /// text). Answered by exactly one [`Frame::Reply`].
+    Input(String),
+    /// Client→server: live-append arrival lines into a relation. The
+    /// client resolves files and stdin locally; only text crosses the
+    /// wire. Answered by exactly one [`Frame::Reply`].
+    Ingest {
+        /// Target relation (auto-registered on first ingest).
+        relation: String,
+        /// Arrival lines, `<ts> <te> [id [seq]]` each.
+        lines: String,
+    },
+    /// Client→server: orderly goodbye; the server drops the connection
+    /// without replying.
+    Bye,
+    /// Server→client: the response to the client's oldest unanswered
+    /// request.
+    Reply(Response),
+    /// Server→client, unsolicited: rows finalized for a subscription
+    /// this connection registered, stamped with the epoch and watermark
+    /// that closed them.
+    Push(DeltaFrame),
+    /// Server→client, unsolicited: the server is draining for shutdown;
+    /// no further requests will be answered.
+    Shutdown,
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Input(_) => KIND_INPUT,
+            Frame::Ingest { .. } => KIND_INGEST,
+            Frame::Bye => KIND_BYE,
+            Frame::Reply(_) => KIND_REPLY,
+            Frame::Push(_) => KIND_PUSH,
+            Frame::Shutdown => KIND_SHUTDOWN,
+        }
+    }
+
+    /// Encode this frame — length prefix included — onto a buffer.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        let mut body = BytesMut::new();
+        body.put_u8(PROTOCOL_VERSION);
+        body.put_u8(self.kind());
+        match self {
+            Frame::Input(text) => put_str(&mut body, text),
+            Frame::Ingest { relation, lines } => {
+                put_str(&mut body, relation);
+                put_str(&mut body, lines);
+            }
+            Frame::Bye | Frame::Shutdown => {}
+            Frame::Reply(resp) => resp.encode(&mut body),
+            Frame::Push(delta) => delta.encode(&mut body),
+        }
+        buf.put_u32_le(body.len() as u32);
+        buf.put_slice(&body);
+    }
+
+    /// Decode one frame from its payload (version + kind + body, the
+    /// length prefix already consumed).
+    pub fn decode_payload(mut payload: Bytes) -> TdbResult<Frame> {
+        if payload.remaining() < 2 {
+            return Err(TdbError::Corrupt("frame shorter than header".into()));
+        }
+        let version = payload.get_u8();
+        if version != PROTOCOL_VERSION {
+            return Err(TdbError::Corrupt(format!(
+                "protocol version {version} (this build speaks {PROTOCOL_VERSION})"
+            )));
+        }
+        match payload.get_u8() {
+            KIND_INPUT => Ok(Frame::Input(get_str(&mut payload)?)),
+            KIND_INGEST => Ok(Frame::Ingest {
+                relation: get_str(&mut payload)?,
+                lines: get_str(&mut payload)?,
+            }),
+            KIND_BYE => Ok(Frame::Bye),
+            KIND_REPLY => Ok(Frame::Reply(Response::decode(&mut payload)?)),
+            KIND_PUSH => Ok(Frame::Push(DeltaFrame::decode(&mut payload)?)),
+            KIND_SHUTDOWN => Ok(Frame::Shutdown),
+            k => Err(TdbError::Corrupt(format!("unknown frame kind {k}"))),
+        }
+    }
+
+    /// Encode and write this frame to a stream.
+    pub fn write_to(&self, w: &mut impl Write) -> TdbResult<()> {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        w.write_all(&buf)?;
+        Ok(())
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> TdbResult<String> {
+    if buf.remaining() < 4 {
+        return Err(TdbError::Corrupt("truncated string length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(TdbError::Corrupt("truncated string body".into()));
+    }
+    let raw = buf.split_to(len);
+    std::str::from_utf8(&raw)
+        .map(str::to_owned)
+        .map_err(|e| TdbError::Corrupt(format!("invalid utf-8 string: {e}")))
+}
+
+/// What one [`FrameReader::read`] call produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete frame.
+    Frame(Frame),
+    /// The read timed out (or would block) before a full frame arrived;
+    /// partial bytes are retained for the next call.
+    Idle,
+    /// The peer closed the stream.
+    Eof,
+}
+
+/// Incremental frame reader. Keeps partially-received frames across
+/// read timeouts, so a server thread can poll its shutdown flag between
+/// reads without ever losing bytes.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// Create an empty reader.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    fn take_frame(&mut self) -> TdbResult<Option<Frame>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(TdbError::Corrupt(format!(
+                "frame length {len} exceeds cap {MAX_FRAME}"
+            )));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = Bytes::copy_from_slice(&self.buf[4..4 + len]);
+        self.buf.drain(..4 + len);
+        Frame::decode_payload(payload).map(Some)
+    }
+
+    /// Pull bytes from `r` until a full frame is available, the read
+    /// times out, or the stream ends.
+    pub fn read(&mut self, r: &mut impl Read) -> TdbResult<ReadOutcome> {
+        loop {
+            if let Some(frame) = self.take_frame()? {
+                return Ok(ReadOutcome::Frame(frame));
+            }
+            let mut chunk = [0u8; 8192];
+            match r.read(&mut chunk) {
+                Ok(0) => return Ok(ReadOutcome::Eof),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(ReadOutcome::Idle)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_engine::{ErrorCode, ErrorInfo};
+
+    #[test]
+    fn frames_survive_byte_at_a_time_delivery() {
+        // Deliver one byte per read: every partial prefix must be Idle.
+        struct Trickle<'a>(&'a [u8], usize);
+        impl Read for Trickle<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                out[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let frames = vec![
+            Frame::Input("\\tables".into()),
+            Frame::Ingest {
+                relation: "S".into(),
+                lines: "10 20 a\n".into(),
+            },
+            Frame::Reply(Response::Error(ErrorInfo::new(ErrorCode::Protocol, "nope"))),
+            Frame::Bye,
+            Frame::Shutdown,
+        ];
+        let mut wire = BytesMut::new();
+        for f in &frames {
+            f.encode(&mut wire);
+        }
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        let mut src = Trickle(&wire, 0);
+        loop {
+            match reader.read(&mut src).unwrap() {
+                ReadOutcome::Frame(f) => decoded.push(f),
+                ReadOutcome::Idle => unreachable!("trickle source never blocks"),
+                ReadOutcome::Eof => break,
+            }
+        }
+        assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn wrong_version_and_oversized_frames_are_corrupt() {
+        let mut payload = BytesMut::new();
+        payload.put_u8(9);
+        payload.put_u8(KIND_BYE);
+        let err = Frame::decode_payload(payload.freeze()).unwrap_err();
+        assert!(matches!(err, TdbError::Corrupt(_)), "{err}");
+
+        let mut reader = FrameReader::new();
+        reader.buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = reader.take_frame().unwrap_err();
+        assert!(matches!(err, TdbError::Corrupt(_)), "{err}");
+    }
+}

@@ -1,0 +1,570 @@
+//! Wire-protocol and multi-client server tests for `tdb-net`.
+//!
+//! Three layers:
+//!
+//! 1. **Protocol round-trip (property)** — arbitrary typed [`Response`]
+//!    values survive encode → frame → decode bit-exactly, including
+//!    every enum variant, optional field, and embedded storage-codec
+//!    row.
+//! 2. **Multi-client equivalence (integration)** — two ingesting clients
+//!    and two subscribing clients share one server. After every ingest,
+//!    each subscriber's accumulated delta frames must equal, as a
+//!    multiset, a batch re-execution of the same query over the
+//!    watermark-closed prefix of all arrivals (the same invariant
+//!    `tests/live_equivalence.rs` checks in-process), and the frames'
+//!    epoch stamps must be monotone.
+//! 3. **Slow-subscriber backpressure** — a subscriber that stops
+//!    reading is disconnected (bounded push queue overflows) and its
+//!    subscription cancelled, while ingestion continues unimpeded.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use tdb::prelude::*;
+use tdb::storage::Codec;
+use tdb_engine::{
+    AnalysisReport, DeltaFrame, ErrorCode, ErrorInfo, IngestReport, LiveRelationStatus, LiveStatus,
+    OpVerdict, QueryReport, QueryStats, Response, RowSet, SealReport, SubscribeReport,
+    SubscriptionStatus, SuperstarRow, TableInfo,
+};
+use tdb_net::wire::{Frame, FrameReader, ReadOutcome};
+use tdb_net::{serve, Client, NetConfig, ServerHandle};
+
+// ---------------------------------------------------------------------------
+// 1. Protocol round-trip property
+// ---------------------------------------------------------------------------
+
+fn sample_rows(raw: &[(i64, i64)], tag: &str) -> Vec<Row> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(ts, dur))| {
+            Row::new(vec![
+                Value::str(format!("{tag}{i}")),
+                Value::Int(i as i64),
+                Value::Time(TimePoint(ts)),
+                Value::Time(TimePoint(ts + dur)),
+            ])
+        })
+        .collect()
+}
+
+fn delta_frame(raw: &[(i64, i64)], name: &str, n: u64, wm: bool) -> DeltaFrame {
+    DeltaFrame {
+        subscription: n % 5,
+        label: name.to_string(),
+        epoch: n,
+        watermark: wm.then_some(TimePoint(n as i64)),
+        rows: sample_rows(raw, "d"),
+    }
+}
+
+/// Deterministically build one `Response` of each shape from fuzzed
+/// primitives; `sel` picks the variant.
+fn build_response(sel: u8, a: i64, n: u64, name: &str, raw: &[(i64, i64)], flag: bool) -> Response {
+    match sel {
+        0 => Response::Info(name.to_string()),
+        1 => Response::Goodbye,
+        2 => Response::Tables(vec![TableInfo {
+            name: name.to_string(),
+            rows: n,
+            schema: format!("({name}: Str)"),
+            lambda: flag.then_some(a as f64 / 7.0),
+            mean_duration: n as f64 / 3.0,
+            max_concurrency: n % 97,
+        }]),
+        3 => Response::Query(QueryReport {
+            logical: flag.then(|| format!("scan {name}")),
+            optimized: flag.then(|| format!("opt {name}")),
+            physical: (!flag).then(|| format!("phys {name}")),
+            certificate: flag.then(|| "proof".to_string()),
+            rows: RowSet {
+                columns: vec!["Id".into(), name.to_string()],
+                rows: sample_rows(raw, "q"),
+                total: n,
+            },
+            stats: QueryStats {
+                rows_scanned: n,
+                comparisons: n.wrapping_mul(3),
+                max_workspace: n % 1024,
+                sorts_performed: n % 7,
+            },
+            elapsed_us: n,
+        }),
+        4 => Response::Analysis(AnalysisReport {
+            physical: format!("phys {name}"),
+            ops: vec![OpVerdict {
+                path: "0.1".into(),
+                operator: format!("ContainJoin {name}"),
+                table_entry: "Table 1 (b)".into(),
+                workspace_expectation: flag.then_some(a as f64 / 11.0),
+                workspace_cap: (!flag).then_some(n),
+            }],
+            certificate: "λ·E[D] bound".into(),
+        }),
+        5 => Response::Ingest(IngestReport {
+            relation: name.to_string(),
+            offered: n,
+            promoted: n / 2,
+            staged: n % 5,
+            watermark: flag.then_some(TimePoint(a)),
+            deltas: vec![delta_frame(raw, name, n, flag)],
+        }),
+        6 => Response::Subscribed(SubscribeReport {
+            id: n,
+            certificate: flag.then(|| "live proof".to_string()),
+            initial: delta_frame(raw, name, n, !flag),
+        }),
+        7 => Response::Live(LiveStatus {
+            relations: vec![LiveRelationStatus {
+                name: name.to_string(),
+                order: "ValidFrom ↑".into(),
+                sealed: flag,
+                watermark: (!flag).then_some(TimePoint(a)),
+                admitted: n,
+                staged: n % 11,
+                promoted: n / 3,
+                watermark_lag: n % 13,
+                stalls: n % 17,
+            }],
+            subscriptions: vec![SubscriptionStatus {
+                id: n % 3,
+                label: name.to_string(),
+                evaluations: n,
+                emitted: n / 5,
+                workspace_peak: n % 19,
+                workspace_cap: n % 23 + 1,
+                cancelled: flag,
+            }],
+        }),
+        8 => Response::Sealed(SealReport {
+            relation: name.to_string(),
+            promoted: n,
+            deltas: vec![delta_frame(raw, name, n, flag)],
+        }),
+        9 => Response::Superstar(vec![SuperstarRow {
+            label: name.to_string(),
+            elapsed_us: n,
+            comparisons: n.wrapping_mul(7),
+            superstars: n % 29,
+        }]),
+        _ => Response::Error(ErrorInfo::new(
+            ErrorCode::from_u8((sel % 14) + 1).unwrap_or(ErrorCode::Protocol),
+            name,
+        )),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn responses_round_trip_through_frames(
+        sel in 0u8..12,
+        a in -10_000i64..10_000,
+        n in 0u64..1_000_000,
+        chars in proptest::collection::vec(97u8..123, 0..12),
+        raw in proptest::collection::vec((-50i64..50, 1i64..40), 0..5),
+        parity in 0u8..2,
+    ) {
+        let name = String::from_utf8(chars).unwrap();
+        let resp = build_response(sel, a, n, &name, &raw, parity == 1);
+
+        // Codec level: encode/decode of the bare response.
+        let back = Response::from_bytes(&resp.to_bytes()).unwrap();
+        prop_assert_eq!(&back, &resp);
+
+        // Frame level: a full Reply frame through the incremental reader.
+        let mut wire = bytes::BytesMut::new();
+        Frame::Reply(resp.clone()).encode(&mut wire);
+        let mut reader = FrameReader::new();
+        let mut src = std::io::Cursor::new(wire.to_vec());
+        match reader.read(&mut src).unwrap() {
+            ReadOutcome::Frame(Frame::Reply(got)) => prop_assert_eq!(got, resp),
+            other => prop_assert!(false, "expected a reply frame, got {:?}", other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Multi-client equivalence
+// ---------------------------------------------------------------------------
+
+const SUB_QUERY: &str = "\\subscribe range of a is X range of b is Y \
+     retrieve (P=a.Id, Q=b.Id) \
+     where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo";
+
+fn interval_schema() -> TemporalSchema {
+    TemporalSchema::new(
+        tdb::core::Schema::new(vec![
+            tdb::core::Field::new("Id", tdb::core::FieldType::Str),
+            tdb::core::Field::new("Seq", tdb::core::FieldType::Int),
+            tdb::core::Field::new("ValidFrom", tdb::core::FieldType::Time),
+            tdb::core::Field::new("ValidTo", tdb::core::FieldType::Time),
+        ]),
+        2,
+        3,
+    )
+    .unwrap()
+}
+
+fn ts_of(row: &Row) -> i64 {
+    match row.get(2) {
+        Value::Time(t) => t.ticks(),
+        other => panic!("ValidFrom must be a time, got {other:?}"),
+    }
+}
+
+/// Watermark-closed prefix under slack 0 on (TS↑): everything strictly
+/// below the maximum TS seen; sealing closes everything.
+fn closed_prefix(arrived: &[Row], sealed: bool) -> Vec<Row> {
+    if sealed {
+        return arrived.to_vec();
+    }
+    let Some(max_ts) = arrived.iter().map(ts_of).max() else {
+        return Vec::new();
+    };
+    arrived
+        .iter()
+        .filter(|r| ts_of(r) < max_ts)
+        .cloned()
+        .collect()
+}
+
+fn multiset(rows: &[Row]) -> BTreeMap<Vec<u8>, usize> {
+    let mut out = BTreeMap::new();
+    for row in rows {
+        *out.entry(row.to_bytes().to_vec()).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Batch-execute the subscription's query over a fresh catalog holding
+/// exactly the closed prefixes, independently of the server.
+fn batch_expected(
+    dir: &std::path::Path,
+    x_rows: &[Row],
+    y_rows: &[Row],
+) -> BTreeMap<Vec<u8>, usize> {
+    let _ = std::fs::remove_dir_all(dir);
+    let mut cat = Catalog::open(dir, IoStats::new()).unwrap();
+    let mut sx = x_rows.to_vec();
+    sx.sort_by_key(ts_of);
+    let mut sy = y_rows.to_vec();
+    sy.sort_by_key(ts_of);
+    cat.create_relation("X", interval_schema(), &sx, vec![StreamOrder::TS_ASC])
+        .unwrap();
+    cat.create_relation("Y", interval_schema(), &sy, vec![StreamOrder::TS_ASC])
+        .unwrap();
+    let text = SUB_QUERY.trim_start_matches("\\subscribe ");
+    let (logical, _q) = compile(text, &cat).unwrap();
+    let optimized = conventional_optimize(logical);
+    let physical = plan(&optimized, PlannerConfig::stream()).unwrap();
+    multiset(&physical.execute(&cat).unwrap().rows)
+}
+
+/// One subscriber's view: accumulated delta rows plus stamp checks.
+struct SubView {
+    client: Client,
+    acc: BTreeMap<Vec<u8>, usize>,
+    last_epoch: u64,
+}
+
+impl SubView {
+    fn absorb(&mut self, delta: &DeltaFrame) {
+        assert!(
+            delta.epoch >= self.last_epoch,
+            "delta epochs must be monotone: {} after {}",
+            delta.epoch,
+            self.last_epoch
+        );
+        self.last_epoch = delta.epoch;
+        for (key, n) in multiset(&delta.rows) {
+            *self.acc.entry(key).or_insert(0) += n;
+        }
+    }
+
+    /// Wait until accumulated deltas equal `expected` (deltas already
+    /// routed to this connection's queue before the ingester's reply, so
+    /// convergence is deterministic).
+    fn converge(&mut self, expected: &BTreeMap<Vec<u8>, usize>, ctx: &str) {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while &self.acc != expected {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let delta = self
+                .client
+                .wait_push(remaining)
+                .unwrap_or_else(|| panic!("{ctx}: timed out awaiting delta frames"));
+            assert!(
+                delta.watermark.is_some() || delta.rows.is_empty(),
+                "{ctx}: a finalizing delta must carry the watermark it closed at"
+            );
+            self.absorb(&delta);
+        }
+    }
+}
+
+fn arrivals(lines: &[(i64, i64, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (ts, te, id)) in lines.iter().enumerate() {
+        writeln!(out, "{ts} {te} {id} {i}").unwrap();
+    }
+    out
+}
+
+#[test]
+fn two_ingesters_two_subscribers_share_one_catalog() {
+    let root = std::env::temp_dir().join(format!("tdb-net-multi-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = serve(root.join("srv"), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let mut ing_x = Client::connect(addr).unwrap();
+    let mut ing_y = Client::connect(addr).unwrap();
+
+    // Epoch 1+2: create both relations so the subscriptions can compile.
+    let x_batches = [
+        vec![(0i64, 100, "xlong"), (10, 20, "xa")],
+        vec![(30, 90, "xb")],
+        vec![(55, 70, "xc"), (60, 61, "xd")],
+    ];
+    let y_batches = [
+        vec![(5i64, 15, "ya"), (20, 40, "yb")],
+        vec![(35, 50, "yc")],
+        vec![(65, 66, "yd")],
+    ];
+    let mut arrived_x: Vec<Row> = Vec::new();
+    let mut arrived_y: Vec<Row> = Vec::new();
+    let ingest =
+        |client: &mut Client, rel: &str, batch: &[(i64, i64, &str)], arrived: &mut Vec<Row>| {
+            let text = arrivals(batch);
+            arrived.extend(tdb_engine::parse_arrivals(&text).unwrap());
+            match client.ingest(rel, &text).unwrap() {
+                Response::Ingest(r) => r,
+                other => panic!("expected ingest report, got {other:?}"),
+            }
+        };
+    let r = ingest(&mut ing_x, "X", &x_batches[0], &mut arrived_x);
+    assert_eq!(r.offered, 2);
+    ingest(&mut ing_y, "Y", &y_batches[0], &mut arrived_y);
+
+    // Two subscribers on separate connections register the same query.
+    let mut subs = Vec::new();
+    for _ in 0..2 {
+        let mut client = Client::connect(addr).unwrap();
+        let reply = client.request(SUB_QUERY).unwrap();
+        let Response::Subscribed(s) = reply else {
+            panic!("expected subscription, got {reply:?}");
+        };
+        let mut view = SubView {
+            client,
+            acc: BTreeMap::new(),
+            last_epoch: 0,
+        };
+        view.absorb(&s.initial);
+        subs.push(view);
+    }
+
+    // Interleave the remaining batches; after each ingest every
+    // subscriber must converge to batch-over-closed-prefix.
+    for i in 1..x_batches.len() {
+        ingest(&mut ing_x, "X", &x_batches[i], &mut arrived_x);
+        let expected = batch_expected(
+            &root.join("batch"),
+            &closed_prefix(&arrived_x, false),
+            &closed_prefix(&arrived_y, false),
+        );
+        for (s, view) in subs.iter_mut().enumerate() {
+            view.converge(&expected, &format!("sub{s} after X batch {i}"));
+        }
+
+        ingest(&mut ing_y, "Y", &y_batches[i], &mut arrived_y);
+        let expected = batch_expected(
+            &root.join("batch"),
+            &closed_prefix(&arrived_x, false),
+            &closed_prefix(&arrived_y, false),
+        );
+        for (s, view) in subs.iter_mut().enumerate() {
+            view.converge(&expected, &format!("sub{s} after Y batch {i}"));
+        }
+    }
+
+    // Seal both streams: every arrival becomes final and the deltas
+    // must flush to both subscribers.
+    for (client, rel) in [(&mut ing_x, "X"), (&mut ing_y, "Y")] {
+        let reply = client.request(&format!("\\live close {rel}")).unwrap();
+        assert!(matches!(reply, Response::Sealed(_)), "{reply:?}");
+    }
+    let expected = batch_expected(&root.join("batch"), &arrived_x, &arrived_y);
+    assert!(!expected.is_empty(), "test data must produce join results");
+    for (s, view) in subs.iter_mut().enumerate() {
+        view.converge(&expected, &format!("sub{s} after seal"));
+    }
+    assert_eq!(
+        subs[0].acc, subs[1].acc,
+        "both subscribers observe identical delta streams"
+    );
+
+    // One shared catalog: a relation created by ing_x is visible to a
+    // query from ing_y's connection.
+    let reply = ing_y.request("\\tables").unwrap();
+    let Response::Tables(tables) = reply else {
+        panic!("expected tables, got {reply:?}");
+    };
+    let names: Vec<&str> = tables.iter().map(|t| t.name.as_str()).collect();
+    assert!(names.contains(&"X") && names.contains(&"Y"), "{names:?}");
+
+    for view in subs {
+        view.client.close();
+    }
+    ing_x.close();
+    ing_y.close();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Slow-subscriber backpressure
+// ---------------------------------------------------------------------------
+
+/// Raw frame-level client that can *stop reading* — `Client`'s reader
+/// thread would otherwise keep draining the socket and hide the
+/// overflow.
+fn raw_subscribe(addr: std::net::SocketAddr, query: &str) -> std::net::TcpStream {
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    Frame::Input(query.to_string())
+        .write_to(&mut stream)
+        .unwrap();
+    let mut reader = FrameReader::new();
+    loop {
+        match reader.read(&mut stream).unwrap() {
+            ReadOutcome::Frame(Frame::Reply(Response::Subscribed(_))) => return stream,
+            ReadOutcome::Frame(other) => panic!("expected subscription reply, got {other:?}"),
+            ReadOutcome::Idle => {}
+            ReadOutcome::Eof => panic!("server closed during subscribe"),
+        }
+    }
+}
+
+#[test]
+fn slow_subscriber_is_disconnected_without_stalling_ingestion() {
+    let root = std::env::temp_dir().join(format!("tdb-net-slow-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = serve(
+        root.join("srv"),
+        "127.0.0.1:0",
+        NetConfig {
+            push_queue: 2,
+            poll_ms: 10,
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let mut ingester = Client::connect(addr).unwrap();
+    // A long interval every later arrival nests inside, with a bulky
+    // surrogate (bounded by the storage page capacity) so each pushed
+    // delta row carries real payload.
+    let big = "v".repeat(1024);
+    let reply = ingester
+        .ingest("X", &format!("0 100000000 {big}0 0\n"))
+        .unwrap();
+    assert!(matches!(reply, Response::Ingest(_)), "{reply:?}");
+
+    // The slow consumer subscribes... and never reads again.
+    let slow = raw_subscribe(
+        addr,
+        "\\subscribe range of a is X range of b is X \
+         retrieve (P=a.Id, Q=b.Id) \
+         where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo",
+    );
+
+    // Keep ingesting; each batch finalizes the previous one and pushes
+    // fat join deltas at the slow consumer. Bounded loop: the queue (2)
+    // plus both socket buffers must overflow long before 300 epochs.
+    let mut cancelled_at = None;
+    for i in 0..300u64 {
+        let base = 10 + i as i64 * 100;
+        let mut lines = String::new();
+        for j in 0..8i64 {
+            writeln!(lines, "{} {} {big}r{i}x{j} {j}", base + j, base + j + 1).unwrap();
+        }
+        let reply = ingester.ingest("X", &lines).unwrap();
+        assert!(
+            matches!(reply, Response::Ingest(_)),
+            "ingestion must keep working while the subscriber drowns: {reply:?}"
+        );
+        let status = ingester.request("\\live").unwrap();
+        let Response::Live(live) = status else {
+            panic!("expected live status, got {status:?}");
+        };
+        assert_eq!(live.subscriptions.len(), 1);
+        if live.subscriptions[0].cancelled {
+            cancelled_at = Some(i);
+            break;
+        }
+    }
+    let cancelled_at =
+        cancelled_at.expect("slow subscriber was never disconnected within the bound");
+
+    // Ingestion continues to work after the disconnect.
+    let ts = 10_000_000i64;
+    let reply = ingester
+        .ingest("X", &format!("{ts} {} tail 3\n", ts + 1))
+        .unwrap();
+    assert!(matches!(reply, Response::Ingest(_)), "{reply:?}");
+
+    // The slow consumer's socket was closed by the server.
+    let mut s = slow;
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut sink = vec![0u8; 65536];
+    let eof_deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        use std::io::Read as _;
+        match s.read(&mut sink) {
+            Ok(0) => break, // EOF: disconnected.
+            Ok(_) => {}     // buffered frames drain first
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+                ) =>
+            {
+                break
+            }
+            Err(e) => panic!("unexpected socket error: {e}"),
+        }
+        assert!(
+            Instant::now() < eof_deadline,
+            "slow subscriber socket never closed (cancelled at epoch {cancelled_at})"
+        );
+    }
+
+    ingester.close();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful shutdown
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shutdown_notifies_connected_clients() {
+    let root = std::env::temp_dir().join(format!("tdb-net-down-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server: ServerHandle =
+        serve(root.join("srv"), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let reply = client.request("\\tables").unwrap();
+    assert!(matches!(reply, Response::Tables(_)), "{reply:?}");
+
+    server.shutdown();
+    // The reader thread exits on the shutdown frame (or EOF).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !client.is_closed() {
+        assert!(Instant::now() < deadline, "client never observed shutdown");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(client.request("\\tables").is_err());
+    let _ = std::fs::remove_dir_all(&root);
+}
