@@ -1,0 +1,65 @@
+//! Throwaway review test: does a normal client disconnect clean up?
+use std::time::{Duration, Instant};
+use tdb_engine::Response;
+use tdb_net::{serve, Client, NetConfig};
+
+fn threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap()
+        .lines()
+        .find(|l| l.starts_with("Threads:"))
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn normal_close_cancels_subscriptions_and_reaps_threads() {
+    let root = std::env::temp_dir().join(format!("tdb-net-leak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = serve(root.join("srv"), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let mut ing = Client::connect(addr).unwrap();
+    ing.ingest("X", "0 100 long 0\n10 20 a 1\n").unwrap();
+
+    let mut sub = Client::connect(addr).unwrap();
+    let reply = sub
+        .request(
+            "\\subscribe range of a is X range of b is X retrieve (P=a.Id, Q=b.Id) \
+             where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo",
+        )
+        .unwrap();
+    assert!(matches!(reply, Response::Subscribed(_)), "{reply:?}");
+
+    let before = threads();
+    sub.close(); // orderly Bye + socket shutdown
+    std::thread::sleep(Duration::from_millis(500));
+
+    // Drive a few epochs; a cleaned-up connection has its subscription
+    // cancelled. Poll up to 5s.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut cancelled = false;
+    while Instant::now() < deadline {
+        ing.ingest("X", "30 40 b 2\n").unwrap();
+        let Response::Live(live) = ing.request("\\live").unwrap() else {
+            panic!()
+        };
+        if live.subscriptions[0].cancelled {
+            cancelled = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    let after = threads();
+    eprintln!("threads before close: {before}, after: {after}, cancelled: {cancelled}");
+    assert!(
+        cancelled,
+        "subscription of a disconnected client was never cancelled (threads {before} -> {after})"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
