@@ -57,6 +57,13 @@ timeout 60 cargo run --release -p tdb-bench --bin experiments -- live
 echo "==> net soak (E17, bounded)"
 timeout 60 cargo run --release -p tdb-bench --bin experiments -- net
 
+# Bounded observability soak (E18): tracing overhead vs an
+# instrumentation-off baseline (asserted ≤ 5%), then a live+net workload
+# with the Prometheus endpoint scraped — the run aborts if any observed
+# workspace peak exceeds its proven cap (cap_exceeded must be 0).
+echo "==> observability soak (E18, bounded)"
+timeout 60 cargo run --release -p tdb-bench --bin experiments -- obs
+
 # Concurrency model of the partition K-way merge + owner-dedup handoff.
 echo "==> loom model (partition handoff)"
 RUSTFLAGS="--cfg loom" cargo test -p tdb-stream --test loom_partition

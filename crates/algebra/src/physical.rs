@@ -52,6 +52,37 @@ pub struct QueryOutput {
     pub scope: Scope,
     /// Execution statistics.
     pub stats: ExecStats,
+    /// Per-operator observations, in execution (bottom-up) order; empty
+    /// when collection was disabled via [`PhysicalPlan::execute_with`].
+    pub trace: Vec<OpObservation>,
+}
+
+/// One instrumented operator occurrence observed during a query run: the
+/// raw material of a query trace, before the engine pairs it with the
+/// analyzer's predicted workspace cap and λ·E\[D\] expectation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpObservation {
+    /// Display name of the operator.
+    pub operator: String,
+    /// The stream-operator registry kind this occurrence ran as, `None`
+    /// for instrumented non-temporal operators (the merge equi-join).
+    pub kind: Option<StreamOpKind>,
+    /// Partition fan-out: 1 for a serial run, k under a parallel driver.
+    pub partitions: usize,
+    /// The operator's instrumented report (parallel runs report the
+    /// partition-aggregated view: counters summed, workspace peak maxed).
+    pub report: OpReport,
+}
+
+impl OpObservation {
+    fn serial(kind: StreamOpKind, report: OpReport) -> OpObservation {
+        OpObservation {
+            operator: kind.to_string(),
+            kind: Some(kind),
+            partitions: 1,
+            report,
+        }
+    }
 }
 
 /// A physical operator tree.
@@ -217,15 +248,34 @@ impl PhysicalPlan {
         })
     }
 
-    /// Execute the plan against `catalog`.
+    /// Execute the plan against `catalog`, collecting per-operator
+    /// observations.
     pub fn execute(&self, catalog: &Catalog) -> TdbResult<QueryOutput> {
-        let mut stats = ExecStats::default();
-        let (rows, scope) = self.run(catalog, &mut stats)?;
-        stats.output_rows = rows.len();
-        Ok(QueryOutput { rows, scope, stats })
+        self.execute_with(catalog, true)
     }
 
-    fn run(&self, catalog: &Catalog, stats: &mut ExecStats) -> TdbResult<(Vec<Row>, Scope)> {
+    /// Execute the plan, optionally disabling per-operator trace
+    /// collection (the instrumentation-overhead baseline the observability
+    /// benchmark compares against).
+    pub fn execute_with(&self, catalog: &Catalog, collect_trace: bool) -> TdbResult<QueryOutput> {
+        let mut stats = ExecStats::default();
+        let mut trace = Vec::new();
+        let (rows, scope) = self.run(catalog, &mut stats, collect_trace.then_some(&mut trace))?;
+        stats.output_rows = rows.len();
+        Ok(QueryOutput {
+            rows,
+            scope,
+            stats,
+            trace,
+        })
+    }
+
+    fn run(
+        &self,
+        catalog: &Catalog,
+        stats: &mut ExecStats,
+        mut trace: Option<&mut Vec<OpObservation>>,
+    ) -> TdbResult<(Vec<Row>, Scope)> {
         match self {
             PhysicalPlan::SeqScan { relation, var } => {
                 let rows = catalog.scan(relation)?;
@@ -235,7 +285,7 @@ impl PhysicalPlan {
                 Ok((rows, scope))
             }
             PhysicalPlan::Filter { input, atoms } => {
-                let (rows, scope) = input.run(catalog, stats)?;
+                let (rows, scope) = input.run(catalog, stats, trace.as_deref_mut())?;
                 let resolved = resolve_all(atoms, |c| scope.index_of(c))?;
                 stats.comparisons += (rows.len() * atoms.len()) as u64;
                 let rows: Vec<Row> = rows
@@ -246,7 +296,7 @@ impl PhysicalPlan {
                 Ok((rows, scope))
             }
             PhysicalPlan::Project { input, columns } => {
-                let (rows, scope) = input.run(catalog, stats)?;
+                let (rows, scope) = input.run(catalog, stats, trace.as_deref_mut())?;
                 let indices: Vec<usize> = columns
                     .iter()
                     .map(|(c, _)| scope.index_of(c))
@@ -256,8 +306,8 @@ impl PhysicalPlan {
                 Ok((rows, self.scope(catalog)?))
             }
             PhysicalPlan::Product { left, right } => {
-                let (lrows, lscope) = left.run(catalog, stats)?;
-                let (rrows, rscope) = right.run(catalog, stats)?;
+                let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
+                let (rrows, rscope) = right.run(catalog, stats, trace.as_deref_mut())?;
                 let mut out = Vec::with_capacity(lrows.len() * rrows.len());
                 for l in &lrows {
                     for r in &rrows {
@@ -268,8 +318,8 @@ impl PhysicalPlan {
                 Ok((out, lscope.concat(&rscope)))
             }
             PhysicalPlan::NestedLoop { left, right, atoms } => {
-                let (lrows, lscope) = left.run(catalog, stats)?;
-                let (rrows, rscope) = right.run(catalog, stats)?;
+                let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
+                let (rrows, rscope) = right.run(catalog, stats, trace.as_deref_mut())?;
                 let scope = lscope.concat(&rscope);
                 let resolved = resolve_all(atoms, |c| scope.index_of(c))?;
                 let mut out = Vec::new();
@@ -292,8 +342,8 @@ impl PhysicalPlan {
                 right_key,
                 residual,
             } => {
-                let (lrows, lscope) = left.run(catalog, stats)?;
-                let (rrows, rscope) = right.run(catalog, stats)?;
+                let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
+                let (rrows, rscope) = right.run(catalog, stats, trace.as_deref_mut())?;
                 let li = lscope.index_of(left_key)?;
                 let ri = rscope.index_of(right_key)?;
                 let lrows = sort_rows_by_key(lrows, li, stats);
@@ -318,6 +368,14 @@ impl PhysicalPlan {
                 stats.comparisons += report.metrics.comparisons as u64;
                 stats.max_workspace = stats.max_workspace.max(report.max_workspace());
                 stats.intermediate_rows += out.len();
+                if let Some(t) = trace {
+                    t.push(OpObservation {
+                        operator: "MergeEquiJoin".into(),
+                        kind: None,
+                        partitions: 1,
+                        report,
+                    });
+                }
                 Ok((out, scope))
             }
             PhysicalPlan::StreamTemporal {
@@ -328,8 +386,8 @@ impl PhysicalPlan {
                 pattern,
                 residual,
             } => {
-                let (lrows, lscope) = left.run(catalog, stats)?;
-                let (rrows, rscope) = right.run(catalog, stats)?;
+                let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
+                let (rrows, rscope) = right.run(catalog, stats, trace.as_deref_mut())?;
                 let lp = lscope.period_of_var(left_var)?;
                 let rp = rscope.period_of_var(right_var)?;
                 let lwrapped = wrap_rows(lrows, lp)?;
@@ -339,6 +397,9 @@ impl PhysicalPlan {
                 let (pairs, report) = run_stream_join(*pattern, lwrapped, rwrapped, stats)?;
                 stats.max_workspace = stats.max_workspace.max(report.max_workspace());
                 stats.comparisons += report.metrics.comparisons as u64;
+                if let Some(t) = trace {
+                    t.push(OpObservation::serial(pattern.join_op().0, report));
+                }
                 let mut out = Vec::new();
                 for (l, r) in pairs {
                     let joined = l.row.concat(&r.row);
@@ -357,8 +418,8 @@ impl PhysicalPlan {
                 right_var,
                 pattern,
             } => {
-                let (lrows, lscope) = left.run(catalog, stats)?;
-                let (rrows, rscope) = right.run(catalog, stats)?;
+                let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
+                let (rrows, rscope) = right.run(catalog, stats, trace.as_deref_mut())?;
                 let lp = lscope.period_of_var(left_var)?;
                 let rp = rscope.period_of_var(right_var)?;
                 let lwrapped = wrap_rows(lrows, lp)?;
@@ -366,6 +427,9 @@ impl PhysicalPlan {
                 let (kept, report) = run_stream_semijoin(*pattern, lwrapped, rwrapped, stats)?;
                 stats.max_workspace = stats.max_workspace.max(report.max_workspace());
                 stats.comparisons += report.metrics.comparisons as u64;
+                if let Some(t) = trace {
+                    t.push(OpObservation::serial(pattern.semijoin_op().0, report));
+                }
                 let out: Vec<Row> = kept.into_iter().map(|p| p.row).collect();
                 stats.intermediate_rows += out.len();
                 Ok((out, lscope))
@@ -379,10 +443,10 @@ impl PhysicalPlan {
                     pattern,
                     residual,
                 } => match parallel_pattern(*pattern) {
-                    None => child.run(catalog, stats),
+                    None => child.run(catalog, stats, trace.as_deref_mut()),
                     Some(ppat) => {
-                        let (lrows, lscope) = left.run(catalog, stats)?;
-                        let (rrows, rscope) = right.run(catalog, stats)?;
+                        let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
+                        let (rrows, rscope) = right.run(catalog, stats, trace.as_deref_mut())?;
                         let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
                         let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
                         note_parallel_sorts(ppat, true, &lwrapped, &rwrapped, stats);
@@ -399,6 +463,15 @@ impl PhysicalPlan {
                         );
                         stats.max_workspace = stats.max_workspace.max(run.report.max_workspace());
                         stats.comparisons += run.report.metrics.comparisons as u64;
+                        if let Some(t) = trace {
+                            let kind = ppat.join_kind();
+                            t.push(OpObservation {
+                                operator: kind.to_string(),
+                                kind: Some(kind),
+                                partitions: *partitions,
+                                report: run.report,
+                            });
+                        }
                         let scope = lscope.concat(&rscope);
                         let resolved = resolve_all(residual, |c| scope.index_of(c))?;
                         let mut out = Vec::new();
@@ -420,10 +493,10 @@ impl PhysicalPlan {
                     right_var,
                     pattern,
                 } => match parallel_pattern(*pattern) {
-                    None => child.run(catalog, stats),
+                    None => child.run(catalog, stats, trace.as_deref_mut()),
                     Some(ppat) => {
-                        let (lrows, lscope) = left.run(catalog, stats)?;
-                        let (rrows, rscope) = right.run(catalog, stats)?;
+                        let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
+                        let (rrows, rscope) = right.run(catalog, stats, trace.as_deref_mut())?;
                         let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
                         let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
                         note_parallel_sorts(ppat, false, &lwrapped, &rwrapped, stats);
@@ -445,6 +518,15 @@ impl PhysicalPlan {
                         );
                         stats.max_workspace = stats.max_workspace.max(run.report.max_workspace());
                         stats.comparisons += run.report.metrics.comparisons as u64;
+                        if let Some(t) = trace {
+                            let kind = ppat.semijoin_kind();
+                            t.push(OpObservation {
+                                operator: kind.to_string(),
+                                kind: Some(kind),
+                                partitions: *partitions,
+                                report: run.report,
+                            });
+                        }
                         let out: Vec<Row> = run.items.into_iter().map(|p| p.row).collect();
                         stats.intermediate_rows += out.len();
                         Ok((out, lscope))
@@ -452,14 +534,14 @@ impl PhysicalPlan {
                 },
                 // Non-partitionable child (a non-stream node): degrade
                 // gracefully to serial execution.
-                other => other.run(catalog, stats),
+                other => other.run(catalog, stats, trace.as_deref_mut()),
             },
             PhysicalPlan::SelfSemijoin {
                 input,
                 var,
                 contained,
             } => {
-                let (rows, scope) = input.run(catalog, stats)?;
+                let (rows, scope) = input.run(catalog, stats, trace.as_deref_mut())?;
                 let p = scope.period_of_var(var)?;
                 let wrapped = wrap_rows(rows, p)?;
                 let order = StreamOrder::TS_ASC_TE_ASC;
@@ -477,6 +559,14 @@ impl PhysicalPlan {
                 };
                 stats.comparisons += report.metrics.comparisons as u64;
                 stats.max_workspace = stats.max_workspace.max(report.max_workspace());
+                if let Some(t) = trace {
+                    let kind = if *contained {
+                        StreamOpKind::ContainedSelfSemijoin
+                    } else {
+                        StreamOpKind::ContainSelfSemijoin
+                    };
+                    t.push(OpObservation::serial(kind, report));
+                }
                 let out: Vec<Row> = out_rows.into_iter().map(|p| p.row).collect();
                 stats.intermediate_rows += out.len();
                 Ok((out, scope))
@@ -487,8 +577,8 @@ impl PhysicalPlan {
                 left_key,
                 right_key,
             } => {
-                let (lrows, lscope) = left.run(catalog, stats)?;
-                let (rrows, rscope) = right.run(catalog, stats)?;
+                let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
+                let (rrows, rscope) = right.run(catalog, stats, trace.as_deref_mut())?;
                 let li = lscope.index_of(left_key)?;
                 let ri = rscope.index_of(right_key)?;
                 let lrows = sort_rows_by_key(lrows, li, stats);
@@ -505,8 +595,8 @@ impl PhysicalPlan {
                 Ok((out, lscope))
             }
             PhysicalPlan::NestedSemijoin { left, right, atoms } => {
-                let (lrows, lscope) = left.run(catalog, stats)?;
-                let (rrows, rscope) = right.run(catalog, stats)?;
+                let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
+                let (rrows, rscope) = right.run(catalog, stats, trace)?;
                 let scope = lscope.concat(&rscope);
                 let resolved = resolve_all(atoms, |c| scope.index_of(c))?;
                 let mut out = Vec::new();

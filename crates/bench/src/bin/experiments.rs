@@ -10,7 +10,8 @@
 //! E5=Figure 3, E10=Figure 8/§5 Superstar, E11=sort-order crossover,
 //! E12=read-policy ablation, E13=Before operators, E14=sort-vs-rescan
 //! cost, E6=Figure 4 aggregation, E15=time-partitioned parallel scaling,
-//! E16=live ingestion soak, E17=framed-TCP network soak.
+//! E16=live ingestion soak, E17=framed-TCP network soak,
+//! E18=observability overhead + metrics-scraped soak.
 //!
 //! Standalone artifacts (`BENCH_*.json`) are written under `results/`.
 
@@ -48,6 +49,7 @@ fn main() {
             "parallel",
             "live",
             "net",
+            "obs",
         ];
     }
     let json_path = args
@@ -73,6 +75,7 @@ fn main() {
             "parallel" => parallel(&mut json),
             "live" => live(&mut json),
             "net" => net(&mut json),
+            "obs" => obs(&mut json),
             other => eprintln!("unknown experiment `{other}`"),
         }
     }
@@ -1066,6 +1069,245 @@ fn net(json: &mut BTreeMap<String, Json>) {
             "throughput_per_s" => throughput, "latency_p50_us" => p50,
             "latency_p95_us" => p95, "rows_delivered" => delivered,
             "push_frames" => frames,
+        },
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// E18 — observability: tracing overhead and a metrics-scraped soak.
+///
+/// Two parts:
+///
+/// * **Overhead** — the E15 contain-join workload executed through the
+///   physical plan with trace collection off and on (min-of-k each).
+///   Per-operator metrics are already maintained by the operators
+///   themselves, so collecting a trace only snapshots them; the run
+///   asserts the traced execution stays within 5% of the baseline.
+/// * **Soak** — a live+net workload (chunked ingestion, one standing
+///   contain-join subscription, batch queries on the side) served with
+///   the Prometheus listener attached. `\stats` snapshots are taken
+///   every chunk (tracking watermark-lag and queue-depth high-water);
+///   at the end the `/metrics` page is scraped over plain HTTP and the
+///   run asserts `tdb_cap_exceeded_total 0` — every observed workspace
+///   peak stayed at or below its proven cap.
+///
+/// Emits `results/BENCH_obs.json`.
+fn obs(json: &mut BTreeMap<String, Json>) {
+    use tdb_engine::{interval_schema, Response};
+    use tdb_net::{serve, Client, NetConfig};
+
+    println!("E18 · observability: trace overhead on the E15 workload + scraped live/net soak");
+
+    // ── (a) tracing overhead on the E15-style contain-join ──
+    let w = Workload::poisson("obs", 20_000, 3.0, 30.0, 3.0, 8.0, 1801);
+    let dir = std::env::temp_dir().join(format!("tdb-e18-cat-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cat = Catalog::open(&dir, IoStats::new()).unwrap();
+    let to_rows = |ts: &[TsTuple]| -> Vec<Row> {
+        ts.iter()
+            .map(|t| {
+                Row::new(vec![
+                    t.surrogate.clone(),
+                    t.value.clone(),
+                    Value::Time(t.ts()),
+                    Value::Time(t.te()),
+                ])
+            })
+            .collect()
+    };
+    cat.create_relation(
+        "X",
+        interval_schema().unwrap(),
+        &to_rows(&w.xs_sorted(StreamOrder::TS_ASC)),
+        vec![StreamOrder::TS_ASC],
+    )
+    .unwrap();
+    let (logical, _q) = compile(
+        "range of a is X range of b is X retrieve (P=a.Id, Q=b.Id) \
+         where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo",
+        &cat,
+    )
+    .unwrap();
+    let optimized = conventional_optimize(logical);
+    let physical = plan(&optimized, PlannerConfig::stream()).unwrap();
+    // Warm-up run; also the span/pair counts reported below.
+    let warm = physical.execute_with(&cat, true).unwrap();
+    let (pairs, spans) = (warm.rows.len(), warm.trace.len());
+    let min_of = |traced: bool| -> u128 {
+        (0..5)
+            .map(|_| timed(|| physical.execute_with(&cat, traced).unwrap()).1)
+            .min()
+            .unwrap()
+    };
+    let base_us = min_of(false).max(1);
+    let traced_us = min_of(true);
+    let overhead = traced_us as f64 / base_us as f64;
+    println!(
+        "    tracing off {base_us} µs, on {traced_us} µs — {overhead:.3}× \
+         ({pairs} pairs, {spans} instrumented spans)"
+    );
+    assert!(
+        overhead <= 1.05,
+        "per-query tracing overhead {overhead:.3}× exceeds the 5% budget"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ── (b) live+net soak with the Prometheus endpoint attached ──
+    let n = 2_000usize;
+    let chunk = 250usize;
+    let gen_lines = |gap: f64, dur: f64, seed: u64, tag: &str| -> Vec<String> {
+        IntervalGen::poisson(n, gap, dur, seed)
+            .generate()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("{} {} {tag}{i} {i}", t.ts().ticks(), t.te().ticks()))
+            .collect()
+    };
+    let xs = gen_lines(3.0, 30.0, 1811, "x");
+    let ys = gen_lines(3.0, 8.0, 1812, "y");
+
+    let root = std::env::temp_dir().join(format!("tdb-e18-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = serve(root.join("srv"), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let source = server.metrics_source();
+    let metrics = tdb_obs::serve_metrics("127.0.0.1:0", move || source.render()).unwrap();
+    let addr = server.addr();
+
+    let mut ing = Client::connect(addr).unwrap();
+    let mut sub = Client::connect(addr).unwrap();
+    let ingest = |client: &mut Client, rel: &str, lines: &[String]| {
+        let reply = client.ingest(rel, &lines.join("\n")).unwrap();
+        assert!(matches!(reply, Response::Ingest(_)), "{reply:?}");
+    };
+    let wall = std::time::Instant::now();
+    ingest(&mut ing, "X", &xs[..chunk]);
+    ingest(&mut ing, "Y", &ys[..chunk]);
+    let reply = sub
+        .request(
+            "\\subscribe range of a is X range of b is Y \
+             retrieve (P=a.Id, Q=b.Id) \
+             where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo",
+        )
+        .unwrap();
+    assert!(matches!(reply, Response::Subscribed(_)), "{reply:?}");
+
+    let mut max_lag = 0u64;
+    let mut max_queue_depth = 0u64;
+    for i in (chunk..n).step_by(chunk) {
+        let hi = (i + chunk).min(n);
+        ingest(&mut ing, "X", &xs[i..hi]);
+        ingest(&mut ing, "Y", &ys[i..hi]);
+        let Response::Stats(stats) = ing.stats().unwrap() else {
+            panic!("stats frame must answer with a stats report");
+        };
+        assert_eq!(stats.cap_exceeded, 0, "cap exceeded mid-soak: {stats:?}");
+        for rel in &stats.live {
+            max_lag = max_lag.max(rel.watermark_lag);
+            max_queue_depth = max_queue_depth.max(rel.queue_depth);
+        }
+    }
+    // A few traced batch queries on the side, so query counters and the
+    // predicted-vs-observed spans show up in the scrape.
+    let reply = ing.request("\\trace on").unwrap();
+    assert!(!matches!(reply, Response::Error(_)), "{reply:?}");
+    let mut peak_vs_cap = Vec::new();
+    for _ in 0..3 {
+        let reply = ing
+            .request(
+                "range of a is X range of b is X retrieve (P=a.Id, Q=b.Id) \
+                 where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo",
+            )
+            .unwrap();
+        let Response::Query(q) = reply else {
+            panic!("expected query report, got {reply:?}");
+        };
+        for span in &q.trace.expect("\\trace on attaches traces").spans {
+            if let Some(cap) = span.predicted_cap {
+                assert!(
+                    span.workspace_peak <= cap,
+                    "observed {} over proven cap {cap} in {}",
+                    span.workspace_peak,
+                    span.operator
+                );
+                peak_vs_cap.push((span.workspace_peak, cap));
+            }
+        }
+    }
+    for rel in ["X", "Y"] {
+        let reply = ing.request(&format!("\\live close {rel}")).unwrap();
+        assert!(matches!(reply, Response::Sealed(_)), "{reply:?}");
+    }
+    let wall_us = wall.elapsed().as_micros() as u64;
+
+    // Scrape the Prometheus endpoint the way a collector would.
+    let page = {
+        use std::io::{Read as _, Write as _};
+        let mut s = std::net::TcpStream::connect(metrics.addr()).unwrap();
+        write!(
+            s,
+            "GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    };
+    assert!(
+        page.contains("tdb_cap_exceeded_total 0"),
+        "an observed workspace peak exceeded its proven cap:\n{page}"
+    );
+    assert!(page.contains("tdb_live_cap_violations 0"), "{page}");
+    assert!(page.contains("tdb_queries_total 3"), "{page}");
+    assert!(page.contains("tdb_net_connections 2"), "{page}");
+    assert!(
+        page.contains("# TYPE tdb_query_duration_us histogram"),
+        "{page}"
+    );
+
+    let arrivals = 2 * n;
+    let throughput = arrivals as f64 / (wall_us.max(1) as f64 / 1e6);
+    let worst = peak_vs_cap.iter().copied().max().unwrap_or((0, 0));
+    println!(
+        "    soak: {arrivals} arrivals in {:.1} ms ({throughput:.0}/s), \
+         max watermark lag {max_lag}, queue-depth high-water {max_queue_depth}",
+        wall_us as f64 / 1000.0,
+    );
+    println!(
+        "    scrape OK: cap_exceeded 0, worst observed workspace {} vs proven cap {}",
+        worst.0, worst.1
+    );
+
+    sub.close();
+    ing.close();
+    metrics.shutdown();
+    server.shutdown();
+
+    let doc = jobj! {
+        "experiment" => "E18 observability overhead + metrics-scraped soak",
+        "trace_off_us" => base_us,
+        "trace_on_us" => traced_us,
+        "trace_overhead" => overhead,
+        "overhead_budget" => 1.05f64,
+        "join_pairs" => pairs,
+        "instrumented_spans" => spans,
+        "soak_arrivals" => arrivals,
+        "soak_wall_us" => wall_us,
+        "soak_throughput_per_s" => throughput,
+        "max_watermark_lag" => max_lag,
+        "max_queue_depth" => max_queue_depth,
+        "worst_workspace_peak" => worst.0,
+        "worst_workspace_cap" => worst.1,
+        "cap_exceeded" => 0usize,
+    };
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/BENCH_obs.json", doc.to_string_pretty()).unwrap();
+    println!("\n    results/BENCH_obs.json written");
+    json.insert(
+        "obs".into(),
+        jobj! {
+            "trace_overhead" => overhead, "max_watermark_lag" => max_lag,
+            "worst_workspace_peak" => worst.0, "worst_workspace_cap" => worst.1,
+            "cap_exceeded" => 0usize,
         },
     );
     let _ = std::fs::remove_dir_all(&root);

@@ -36,6 +36,9 @@ pub struct Session {
     pub config: PlannerConfig,
     /// Maximum rows printed per result.
     pub row_limit: usize,
+    /// Attach a per-operator trace (observed workspace vs the
+    /// analyzer's predictions) to every query result (`\trace on`).
+    pub trace: bool,
     buffer: String,
 }
 
@@ -61,6 +64,7 @@ impl Session {
             verify: ctx.verify,
             config: ctx.config,
             row_limit: ctx.row_limit,
+            trace: ctx.trace,
             buffer: String::new(),
         })
     }
@@ -71,6 +75,7 @@ impl Session {
             verify: self.verify,
             config: self.config,
             row_limit: self.row_limit,
+            trace: self.trace,
         }
     }
 
@@ -79,6 +84,7 @@ impl Session {
         self.verify = ctx.verify;
         self.config = ctx.config;
         self.row_limit = ctx.row_limit;
+        self.trace = ctx.trace;
     }
 
     /// Run one complete input through the engine and render the typed
@@ -347,6 +353,28 @@ mod tests {
         let mut s = session("livesub");
         let msg = out(s.feed("\\subscribe range of x is Nope retrieve (A=x.Id);"));
         assert!(msg.starts_with("error:"), "{msg}");
+    }
+
+    #[test]
+    fn trace_and_stats_commands() {
+        let mut s = session("obs");
+        out(s.feed("\\gen intervals T 100 3 10 7"));
+        let msg = out(s.feed("\\trace on"));
+        assert!(s.trace, "{msg}");
+        let msg = out(s.feed(
+            "range of a is T range of b is T retrieve (X=a.Id, Y=b.Id) \
+             where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo;",
+        ));
+        assert!(msg.contains("── trace ──"), "{msg}");
+        assert!(msg.contains("workspace peak"), "{msg}");
+        assert!(msg.contains("λ·E[D]"), "{msg}");
+        assert!(!msg.contains("CAP EXCEEDED"), "{msg}");
+        out(s.feed("\\trace off"));
+        assert!(!s.trace);
+        let msg = out(s.feed("\\stats"));
+        assert!(msg.contains("1 queries"), "{msg}");
+        assert!(msg.contains("cap exceeded 0"), "{msg}");
+        assert!(msg.contains("last: `range of a is T"), "{msg}");
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //! ```text
 //! tdb [dir]                 local shell over a catalog directory
 //! tdb analyze <query>       statically verify a query, print the certificate
-//! tdb serve [dir] [addr]    serve one shared catalog over framed TCP
+//! tdb serve [dir] [addr] [--metrics <addr>]
+//!                           serve one shared catalog over framed TCP,
+//!                           optionally with a Prometheus /metrics endpoint
 //! tdb connect [addr]        open the shell against a running server
+//! tdb top [addr] [--once]   live observability dashboard for a server
 //! ```
 //!
 //! See [`tdb_cli::Session`] for the command surface (`\help` inside the
@@ -39,14 +42,32 @@ fn analyze_main(query_words: &[String]) -> ! {
     }
 }
 
-/// `tdb serve [dir] [addr]` — serve the catalog until stdin closes or
-/// `quit` is typed, then drain connections and exit.
+/// `tdb serve [dir] [addr] [--metrics <addr>]` — serve the catalog until
+/// stdin closes or `quit` is typed, then drain connections and exit.
+/// With `--metrics`, a Prometheus text-exposition endpoint serves the
+/// engine, live, and network metric families at `/metrics`.
 fn serve_main(args: &[String]) -> ! {
-    let dir = args
+    let mut positional: Vec<&String> = Vec::new();
+    let mut metrics_addr: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--metrics" {
+            match it.next() {
+                Some(a) => metrics_addr = Some(a),
+                None => {
+                    eprintln!("usage: tdb serve [dir] [addr] [--metrics <addr>]");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            positional.push(arg);
+        }
+    }
+    let dir = positional
         .first()
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::env::temp_dir().join("tdb-cli-data"));
-    let addr = args.get(1).map(String::as_str).unwrap_or(DEFAULT_ADDR);
+    let addr = positional.get(1).map_or(DEFAULT_ADDR, |a| a.as_str());
     let handle = match tdb_net::serve(&dir, addr, tdb_net::NetConfig::default()) {
         Ok(h) => h,
         Err(e) => {
@@ -59,6 +80,19 @@ fn serve_main(args: &[String]) -> ! {
         dir.display(),
         handle.addr()
     );
+    let metrics = metrics_addr.map(|maddr| {
+        let source = handle.metrics_source();
+        match tdb_obs::serve_metrics(maddr, move || source.render()) {
+            Ok(m) => {
+                println!("metrics on http://{}/metrics", m.addr());
+                m
+            }
+            Err(e) => {
+                eprintln!("failed to bind metrics listener on {maddr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
     let stdin = std::io::stdin();
     let mut line = String::new();
     loop {
@@ -71,7 +105,48 @@ fn serve_main(args: &[String]) -> ! {
         }
     }
     println!("draining connections…");
+    if let Some(m) = metrics {
+        m.shutdown();
+    }
     handle.shutdown();
+    std::process::exit(0);
+}
+
+/// `tdb top [addr] [--once]` — poll a server's `\stats` snapshot and
+/// redraw it every two seconds (`--once` prints a single snapshot, for
+/// scripts).
+fn top_main(args: &[String]) -> ! {
+    let once = args.iter().any(|a| a == "--once");
+    let addr = args
+        .iter()
+        .find(|a| *a != "--once")
+        .map(String::as_str)
+        .unwrap_or(DEFAULT_ADDR);
+    let mut client = match tdb_net::Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    loop {
+        let resp = match client.stats() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("stats request failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if once {
+            print!("{}", render(&resp, 20));
+            break;
+        }
+        // Clear the screen and home the cursor between redraws.
+        print!("\x1b[2J\x1b[H── tdb top · {addr} ──\n{}", render(&resp, 20));
+        std::io::stdout().flush().ok();
+        std::thread::sleep(std::time::Duration::from_secs(2));
+    }
+    client.close();
     std::process::exit(0);
 }
 
@@ -173,6 +248,7 @@ fn main() {
         Some("analyze") => analyze_main(&args[1..]),
         Some("serve") => serve_main(&args[1..]),
         Some("connect") => connect_main(&args[1..]),
+        Some("top") => top_main(&args[1..]),
         _ => {}
     }
     let dir = args

@@ -9,9 +9,10 @@
 //! page and in a network frame.
 
 use crate::response::{
-    AnalysisReport, DeltaFrame, ErrorCode, ErrorInfo, IngestReport, LiveRelationStatus, LiveStatus,
-    OpVerdict, QueryReport, QueryStats, Response, RowSet, SealReport, SubscribeReport,
-    SubscriptionStatus, SuperstarRow, TableInfo,
+    AnalysisReport, ConnMetrics, DeltaFrame, ErrorCode, ErrorInfo, IngestReport,
+    LiveRelationMetrics, LiveRelationStatus, LiveStatus, NetMetrics, OpSpan, OpVerdict,
+    QueryReport, QueryStats, QueryTrace, Response, RowSet, SealReport, StatsReport,
+    SubscribeReport, SubscriptionStatus, SuperstarRow, TableInfo,
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use tdb::core::{TdbError, TdbResult, TimePoint};
@@ -146,6 +147,105 @@ const TAG_LIVE: u8 = 7;
 const TAG_SEALED: u8 = 8;
 const TAG_SUPERSTAR: u8 = 9;
 const TAG_ERROR: u8 = 10;
+const TAG_STATS: u8 = 11;
+
+// `OpSpan` and `QueryTrace` live in `tdb-obs`, which knows nothing of the
+// storage `Codec` trait; the orphan rule keeps the impls out of here too,
+// so traces go through these free functions instead.
+
+fn put_span(buf: &mut BytesMut, s: &OpSpan) {
+    put_str(buf, &s.operator);
+    put_u64(buf, s.partitions);
+    put_u64(buf, s.rows_in);
+    put_u64(buf, s.rows_out);
+    put_u64(buf, s.comparisons);
+    put_u64(buf, s.evicted);
+    put_u64(buf, s.workspace_peak);
+    put_f64(buf, s.workspace_mean);
+    buf.put_u32_le(s.occupancy.len() as u32);
+    for &c in &s.occupancy {
+        put_u64(buf, c);
+    }
+    put_opt(buf, s.predicted_cap.as_ref(), |b, v| put_u64(b, *v));
+    put_opt(buf, s.predicted_expectation.as_ref(), |b, v| put_f64(b, *v));
+}
+
+fn get_span(buf: &mut Bytes) -> TdbResult<OpSpan> {
+    let operator = get_str(buf)?;
+    let partitions = get_u64(buf)?;
+    let rows_in = get_u64(buf)?;
+    let rows_out = get_u64(buf)?;
+    let comparisons = get_u64(buf)?;
+    let evicted = get_u64(buf)?;
+    let workspace_peak = get_u64(buf)?;
+    let workspace_mean = get_f64(buf)?;
+    need(buf, 4, "occupancy length")?;
+    let n = buf.get_u32_le() as usize;
+    let mut occupancy = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        occupancy.push(get_u64(buf)?);
+    }
+    Ok(OpSpan {
+        operator,
+        partitions,
+        rows_in,
+        rows_out,
+        comparisons,
+        evicted,
+        workspace_peak,
+        workspace_mean,
+        occupancy,
+        predicted_cap: get_opt(buf, get_u64)?,
+        predicted_expectation: get_opt(buf, get_f64)?,
+    })
+}
+
+/// Encode one [`QueryTrace`] with the storage conventions.
+pub fn put_trace(buf: &mut BytesMut, t: &QueryTrace) {
+    put_str(buf, &t.label);
+    put_u64(buf, t.elapsed_us);
+    put_u64(buf, t.rows);
+    buf.put_u32_le(t.spans.len() as u32);
+    for s in &t.spans {
+        put_span(buf, s);
+    }
+}
+
+/// Decode one [`QueryTrace`]; truncated input yields [`TdbError::Corrupt`].
+pub fn get_trace(buf: &mut Bytes) -> TdbResult<QueryTrace> {
+    let label = get_str(buf)?;
+    let elapsed_us = get_u64(buf)?;
+    let rows = get_u64(buf)?;
+    need(buf, 4, "span count")?;
+    let n = buf.get_u32_le() as usize;
+    let mut spans = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        spans.push(get_span(buf)?);
+    }
+    Ok(QueryTrace {
+        label,
+        elapsed_us,
+        rows,
+        spans,
+    })
+}
+
+fn put_traces(buf: &mut BytesMut, v: &[QueryTrace]) {
+    buf.put_u32_le(v.len() as u32);
+    for t in v {
+        put_trace(buf, t);
+    }
+}
+
+fn get_traces(buf: &mut Bytes) -> TdbResult<Vec<QueryTrace>> {
+    need(buf, 4, "trace count")?;
+    let n = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(get_trace(buf)?);
+    }
+    Ok(out)
+}
 
 impl Codec for Response {
     fn encode(&self, buf: &mut BytesMut) {
@@ -187,6 +287,10 @@ impl Codec for Response {
                 buf.put_u8(TAG_SUPERSTAR);
                 put_vec(buf, rows);
             }
+            Response::Stats(s) => {
+                buf.put_u8(TAG_STATS);
+                s.encode(buf);
+            }
             Response::Error(e) => {
                 buf.put_u8(TAG_ERROR);
                 e.encode(buf);
@@ -207,6 +311,7 @@ impl Codec for Response {
             TAG_LIVE => Ok(Response::Live(LiveStatus::decode(buf)?)),
             TAG_SEALED => Ok(Response::Sealed(SealReport::decode(buf)?)),
             TAG_SUPERSTAR => Ok(Response::Superstar(get_vec(buf)?)),
+            TAG_STATS => Ok(Response::Stats(StatsReport::decode(buf)?)),
             TAG_ERROR => Ok(Response::Error(ErrorInfo::decode(buf)?)),
             t => Err(TdbError::Corrupt(format!("unknown response tag {t}"))),
         }
@@ -278,6 +383,7 @@ impl Codec for QueryReport {
         self.rows.encode(buf);
         self.stats.encode(buf);
         put_u64(buf, self.elapsed_us);
+        put_opt(buf, self.trace.as_ref(), put_trace);
     }
 
     fn decode(buf: &mut Bytes) -> TdbResult<QueryReport> {
@@ -289,6 +395,7 @@ impl Codec for QueryReport {
             rows: RowSet::decode(buf)?,
             stats: QueryStats::decode(buf)?,
             elapsed_us: get_u64(buf)?,
+            trace: get_opt(buf, get_trace)?,
         })
     }
 }
@@ -485,6 +592,112 @@ impl Codec for SuperstarRow {
             elapsed_us: get_u64(buf)?,
             comparisons: get_u64(buf)?,
             superstars: get_u64(buf)?,
+        })
+    }
+}
+
+impl Codec for LiveRelationMetrics {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_str(buf, &self.relation);
+        put_u64(buf, self.queue_depth);
+        put_u64(buf, self.queue_capacity);
+        put_u64(buf, self.staged);
+        put_u64(buf, self.watermark_lag);
+        put_u64(buf, self.promotion_batches);
+        put_u64(buf, self.max_promotion_batch);
+        put_opt(buf, self.lambda_static.as_ref(), |b, v| put_f64(b, *v));
+        put_opt(buf, self.lambda_live.as_ref(), |b, v| put_f64(b, *v));
+        put_opt(buf, self.duration_static.as_ref(), |b, v| put_f64(b, *v));
+        put_opt(buf, self.duration_live.as_ref(), |b, v| put_f64(b, *v));
+    }
+
+    fn decode(buf: &mut Bytes) -> TdbResult<LiveRelationMetrics> {
+        Ok(LiveRelationMetrics {
+            relation: get_str(buf)?,
+            queue_depth: get_u64(buf)?,
+            queue_capacity: get_u64(buf)?,
+            staged: get_u64(buf)?,
+            watermark_lag: get_u64(buf)?,
+            promotion_batches: get_u64(buf)?,
+            max_promotion_batch: get_u64(buf)?,
+            lambda_static: get_opt(buf, get_f64)?,
+            lambda_live: get_opt(buf, get_f64)?,
+            duration_static: get_opt(buf, get_f64)?,
+            duration_live: get_opt(buf, get_f64)?,
+        })
+    }
+}
+
+impl Codec for ConnMetrics {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_u64(buf, self.id);
+        put_u64(buf, self.frames_in);
+        put_u64(buf, self.bytes_in);
+        put_u64(buf, self.frames_out);
+        put_u64(buf, self.bytes_out);
+        put_u64(buf, self.push_highwater);
+    }
+
+    fn decode(buf: &mut Bytes) -> TdbResult<ConnMetrics> {
+        Ok(ConnMetrics {
+            id: get_u64(buf)?,
+            frames_in: get_u64(buf)?,
+            bytes_in: get_u64(buf)?,
+            frames_out: get_u64(buf)?,
+            bytes_out: get_u64(buf)?,
+            push_highwater: get_u64(buf)?,
+        })
+    }
+}
+
+impl Codec for NetMetrics {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_u64(buf, self.connections);
+        put_u64(buf, self.frames_in);
+        put_u64(buf, self.bytes_in);
+        put_u64(buf, self.frames_out);
+        put_u64(buf, self.bytes_out);
+        put_u64(buf, self.push_queue_highwater);
+        put_u64(buf, self.slow_subscriber_disconnects);
+        put_vec(buf, &self.conns);
+    }
+
+    fn decode(buf: &mut Bytes) -> TdbResult<NetMetrics> {
+        Ok(NetMetrics {
+            connections: get_u64(buf)?,
+            frames_in: get_u64(buf)?,
+            bytes_in: get_u64(buf)?,
+            frames_out: get_u64(buf)?,
+            bytes_out: get_u64(buf)?,
+            push_queue_highwater: get_u64(buf)?,
+            slow_subscriber_disconnects: get_u64(buf)?,
+            conns: get_vec(buf)?,
+        })
+    }
+}
+
+impl Codec for StatsReport {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_u64(buf, self.queries);
+        put_u64(buf, self.rows_returned);
+        put_u64(buf, self.cap_exceeded);
+        put_u64(buf, self.slow_threshold_us);
+        put_traces(buf, &self.slow);
+        put_opt(buf, self.last.as_ref(), put_trace);
+        put_vec(buf, &self.live);
+        put_opt(buf, self.net.as_ref(), |b, n| n.encode(b));
+    }
+
+    fn decode(buf: &mut Bytes) -> TdbResult<StatsReport> {
+        Ok(StatsReport {
+            queries: get_u64(buf)?,
+            rows_returned: get_u64(buf)?,
+            cap_exceeded: get_u64(buf)?,
+            slow_threshold_us: get_u64(buf)?,
+            slow: get_traces(buf)?,
+            last: get_opt(buf, get_trace)?,
+            live: get_vec(buf)?,
+            net: get_opt(buf, NetMetrics::decode)?,
         })
     }
 }

@@ -26,12 +26,14 @@ pub mod response;
 
 pub use render::{render, render_delta};
 pub use response::{
-    AnalysisReport, DeltaFrame, ErrorCode, ErrorInfo, IngestReport, LiveRelationStatus, LiveStatus,
-    OpVerdict, QueryReport, QueryStats, Response, RowSet, SealReport, SubscribeReport,
-    SubscriptionStatus, SuperstarRow, TableInfo,
+    AnalysisReport, ConnMetrics, DeltaFrame, ErrorCode, ErrorInfo, IngestReport,
+    LiveRelationMetrics, LiveRelationStatus, LiveStatus, NetMetrics, OpSpan, OpVerdict,
+    QueryReport, QueryStats, QueryTrace, Response, RowSet, SealReport, StatsReport,
+    SubscribeReport, SubscriptionStatus, SuperstarRow, TableInfo,
 };
 
 use tdb::prelude::*;
+use tdb_obs::{Counter, Histogram, Registry, SlowQueryLog, OCCUPANCY_BOUNDS};
 
 /// Per-client execution settings. Each transport session (shell, TCP
 /// connection) owns one; the engine mutates it in place when the client
@@ -46,6 +48,10 @@ pub struct ClientState {
     pub config: PlannerConfig,
     /// Maximum rows delivered per query result.
     pub row_limit: usize,
+    /// Attach the per-operator [`QueryTrace`] to query responses
+    /// (`\trace on`). The engine records traces either way; this only
+    /// controls whether they travel back to the client.
+    pub trace: bool,
 }
 
 impl Default for ClientState {
@@ -55,7 +61,74 @@ impl Default for ClientState {
             verify: false,
             config: PlannerConfig::stream(),
             row_limit: 20,
+            trace: false,
         }
+    }
+}
+
+/// Default slow-query threshold: queries at or above 10ms are retained.
+const SLOW_THRESHOLD_US: u64 = 10_000;
+
+/// How many slow traces the log keeps.
+const SLOW_LOG_CAP: usize = 8;
+
+/// The engine's observability state: the metrics registry plus the
+/// handles on the per-query hot path (registered once at open), the
+/// slow-query log, and the most recent trace.
+struct ObsState {
+    registry: Registry,
+    queries: Counter,
+    rows_returned: Counter,
+    cap_exceeded: Counter,
+    query_us: Histogram,
+    workspace_peak: Histogram,
+    slow: SlowQueryLog,
+    last: Option<QueryTrace>,
+}
+
+impl ObsState {
+    fn new() -> ObsState {
+        let registry = Registry::new();
+        ObsState {
+            queries: registry.counter("tdb_queries_total", "Queries executed."),
+            rows_returned: registry.counter(
+                "tdb_rows_returned_total",
+                "Result rows produced across all queries.",
+            ),
+            cap_exceeded: registry.counter(
+                "tdb_cap_exceeded_total",
+                "Operator spans whose observed workspace peak exceeded the \
+                 statically proven cap (a verifier bug).",
+            ),
+            query_us: registry.histogram(
+                "tdb_query_duration_us",
+                "Query wall-clock time in microseconds.",
+                &[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+            ),
+            workspace_peak: registry.histogram(
+                "tdb_workspace_peak",
+                "Peak resident workspace tuples per operator span.",
+                &OCCUPANCY_BOUNDS,
+            ),
+            slow: SlowQueryLog::new(SLOW_THRESHOLD_US, SLOW_LOG_CAP),
+            last: None,
+            registry,
+        }
+    }
+
+    /// Fold one finished query's trace into every metric surface.
+    fn record(&mut self, trace: QueryTrace) {
+        self.queries.inc();
+        self.rows_returned.add(trace.rows);
+        self.query_us.observe(trace.elapsed_us);
+        for span in &trace.spans {
+            self.workspace_peak.observe(span.workspace_peak);
+            if span.cap_exceeded() {
+                self.cap_exceeded.inc();
+            }
+        }
+        self.slow.observe(&trace);
+        self.last = Some(trace);
     }
 }
 
@@ -64,6 +137,7 @@ impl Default for ClientState {
 pub struct Engine {
     catalog: Catalog,
     live: LiveEngine,
+    obs: ObsState,
 }
 
 impl Engine {
@@ -74,7 +148,15 @@ impl Engine {
         Ok(Engine {
             catalog: Catalog::open(dir, IoStats::new())?,
             live: LiveEngine::new(dir.join("live"), LiveConfig::default()),
+            obs: ObsState::new(),
         })
+    }
+
+    /// The engine's metrics registry. Serving layers register their own
+    /// families here (e.g. `tdb-net`'s frame counters) so one Prometheus
+    /// render covers the whole process.
+    pub fn metrics_registry(&self) -> Registry {
+        self.obs.registry.clone()
     }
 
     /// The underlying catalog.
@@ -245,6 +327,18 @@ impl Engine {
                 let text = text.trim_end_matches(';').to_string();
                 self.subscribe(ctx, &text).map(Response::Subscribed)
             }
+            ["\\stats"] => Ok(Response::Stats(self.stats_report())),
+            ["\\trace", v @ ("on" | "off")] => {
+                ctx.trace = *v == "on";
+                Ok(Response::Info(format!("trace {v}\n")))
+            }
+            ["\\slow", n] => {
+                let us: u64 = n
+                    .parse()
+                    .map_err(|_| TdbError::Eval(format!("bad slow threshold `{n}`")))?;
+                self.obs.slow.set_threshold_us(us);
+                Ok(Response::Info(format!("slow-query threshold: {us}µs\n")))
+            }
             ["\\live"] => Ok(Response::Live(self.live_status())),
             ["\\live", "close", rel] => self.live_close(rel).map(Response::Sealed),
             ["\\superstar"] => self.superstar().map(Response::Superstar),
@@ -278,8 +372,11 @@ impl Engine {
         // plan tree was corrupted, not that the query is wrong.
         let (physical, analysis) = plan_verified(&optimized, ctx.config, &self.catalog)?;
         let start = std::time::Instant::now();
-        let result = physical.execute(&self.catalog)?;
+        let result = physical.execute_with(&self.catalog, true)?;
         let elapsed_us = start.elapsed().as_micros() as u64;
+
+        let trace = build_trace(text, elapsed_us, &result, &analysis);
+        self.obs.record(trace.clone());
 
         let columns: Vec<String> = result
             .scope
@@ -313,7 +410,127 @@ impl Engine {
                 sorts_performed: result.stats.sorts_performed as u64,
             },
             elapsed_us,
+            trace: ctx.trace.then_some(trace),
         }))
+    }
+
+    /// The observability snapshot behind `\stats` and the `Stats` wire
+    /// request. `net` is `None` here; `tdb-net` merges its own counters
+    /// in before answering.
+    pub fn stats_report(&self) -> StatsReport {
+        StatsReport {
+            queries: self.obs.queries.get(),
+            rows_returned: self.obs.rows_returned.get(),
+            cap_exceeded: self.obs.cap_exceeded.get() + self.live_cap_violations(),
+            slow_threshold_us: self.obs.slow.threshold_us(),
+            slow: self.obs.slow.worst().to_vec(),
+            last: self.obs.last.clone(),
+            live: self.live_metrics(),
+            net: None,
+        }
+    }
+
+    /// Subscriptions whose runtime workspace peak exceeded the cap the
+    /// live verifier proved for them — the standing-query face of the
+    /// `cap_exceeded` counter.
+    fn live_cap_violations(&self) -> u64 {
+        self.live
+            .subscriptions()
+            .iter()
+            .filter(|sub| {
+                let (peak, cap) = sub.workspace_watermark();
+                cap > 0 && peak > cap
+            })
+            .count() as u64
+    }
+
+    fn live_metrics(&self) -> Vec<LiveRelationMetrics> {
+        self.live
+            .relations()
+            .map(|rel| {
+                let snap = rel.progress().snapshot();
+                let static_stats = self.catalog.meta(rel.name()).ok().map(|m| m.stats.clone());
+                let live_stats = rel.live_stats();
+                LiveRelationMetrics {
+                    relation: rel.name().to_string(),
+                    queue_depth: rel.queue_depth() as u64,
+                    queue_capacity: rel.queue_capacity() as u64,
+                    staged: rel.staged_len() as u64,
+                    watermark_lag: snap.watermark_lag,
+                    promotion_batches: rel.promotion_batches(),
+                    max_promotion_batch: rel.max_promotion_batch(),
+                    lambda_static: static_stats.as_ref().and_then(|s| s.lambda),
+                    lambda_live: live_stats.as_ref().and_then(|s| s.lambda),
+                    duration_static: static_stats.map(|s| s.mean_duration),
+                    duration_live: live_stats.map(|s| s.mean_duration),
+                }
+            })
+            .collect()
+    }
+
+    /// Render every metric family as Prometheus text exposition 0.0.4,
+    /// refreshing the live-subsystem gauges first (they are sampled on
+    /// scrape rather than maintained on the ingest hot path).
+    pub fn prometheus(&self) -> String {
+        let reg = &self.obs.registry;
+        for m in self.live_metrics() {
+            let rel: &[(&str, &str)] = &[("relation", &m.relation)];
+            reg.gauge_with(
+                "tdb_live_queue_depth",
+                rel,
+                "Rows waiting in the ingest queue.",
+            )
+            .set(m.queue_depth as f64);
+            reg.gauge_with(
+                "tdb_live_staged",
+                rel,
+                "Rows staged but not yet watermark-final.",
+            )
+            .set(m.staged as f64);
+            reg.gauge_with("tdb_live_watermark_lag", rel, "Watermark lag in ticks.")
+                .set(m.watermark_lag as f64);
+            reg.gauge_with(
+                "tdb_live_promotion_batches",
+                rel,
+                "Non-empty promotion batches drained.",
+            )
+            .set(m.promotion_batches as f64);
+            reg.gauge_with(
+                "tdb_live_max_promotion_batch",
+                rel,
+                "Largest single promotion batch.",
+            )
+            .set(m.max_promotion_batch as f64);
+            for (source, lambda, duration) in [
+                ("static", m.lambda_static, m.duration_static),
+                ("live", m.lambda_live, m.duration_live),
+            ] {
+                let labeled: &[(&str, &str)] = &[("relation", &m.relation), ("source", source)];
+                if let Some(l) = lambda {
+                    reg.gauge_with(
+                        "tdb_lambda",
+                        labeled,
+                        "Arrival rate λ: plan-time catalog estimate vs live EWMA.",
+                    )
+                    .set(l);
+                }
+                if let Some(d) = duration {
+                    reg.gauge_with(
+                        "tdb_mean_duration",
+                        labeled,
+                        "Mean tuple duration E[D]: plan-time estimate vs live EWMA.",
+                    )
+                    .set(d);
+                }
+            }
+        }
+        reg.gauge(
+            "tdb_live_cap_violations",
+            "Standing queries whose runtime workspace peak currently exceeds \
+             the live verifier's proven cap.",
+        )
+        .set(self.live_cap_violations() as f64);
+        reg.render()
     }
 
     /// Statically analyze a query without running it: compile, optimize,
@@ -461,6 +678,63 @@ impl Engine {
     }
 }
 
+/// Pair the executor's per-operator observations with the analyzer's
+/// per-operator predictions into one [`QueryTrace`].
+///
+/// The executor pushes observations bottom-up in execution order; the
+/// lowering walks the same plan and registers one [`StreamOpSpec`] per
+/// stream-operator occurrence with the same `kind` mapping. Each
+/// observation consumes the first not-yet-matched spec of its kind, so
+/// repeated operators pair positionally; instrumented non-temporal
+/// operators (`kind: None`, e.g. the merge equi-join) have no spec and
+/// carry no prediction.
+fn build_trace(
+    label: &str,
+    elapsed_us: u64,
+    result: &QueryOutput,
+    analysis: &Analysis,
+) -> QueryTrace {
+    let specs = &analysis.lowered.ops;
+    let mut matched = vec![false; specs.len()];
+    let spans = result
+        .trace
+        .iter()
+        .map(|obs| {
+            let predicted = obs.kind.and_then(|kind| {
+                specs
+                    .iter()
+                    .zip(matched.iter_mut())
+                    .find(|(spec, taken)| !**taken && spec.kind == kind)
+                    .map(|(spec, taken)| {
+                        *taken = true;
+                        (spec.workspace_cap, spec.workspace_expectation)
+                    })
+            });
+            let (cap, expectation) = predicted.unwrap_or((None, None));
+            let ws = &obs.report.workspace;
+            OpSpan {
+                operator: obs.operator.clone(),
+                partitions: obs.partitions as u64,
+                rows_in: (obs.report.metrics.read_left + obs.report.metrics.read_right) as u64,
+                rows_out: obs.report.metrics.emitted as u64,
+                comparisons: obs.report.metrics.comparisons as u64,
+                evicted: ws.discarded as u64,
+                workspace_peak: ws.max_resident as u64,
+                workspace_mean: ws.mean_resident(),
+                occupancy: ws.occupancy_histogram().to_vec(),
+                predicted_cap: cap.map(|c| c as u64),
+                predicted_expectation: expectation,
+            }
+        })
+        .collect();
+    QueryTrace {
+        label: label.to_string(),
+        elapsed_us,
+        rows: result.rows.len() as u64,
+        spans,
+    }
+}
+
 fn analysis_report(physical: &PhysicalPlan, analysis: &Analysis) -> AnalysisReport {
     AnalysisReport {
         physical: physical.explain(),
@@ -556,6 +830,9 @@ pub const HELP: &str = r#"commands:
                                               deltas print as rows become final
   \live                                       live status: watermarks, staging, subscriptions
   \live close <rel>                           seal a live stream (all staged rows final)
+  \stats                                      observability: counters, slow queries, live + net telemetry
+  \trace on|off                               attach per-operator traces (observed vs predicted workspace)
+  \slow <us>                                  slow-query log threshold in microseconds
   \superstar                                  compare the Superstar formulations
   \help   \quit
 queries: modified Quel, terminated by `;`, e.g.
@@ -688,6 +965,77 @@ mod tests {
     }
 
     #[test]
+    fn traces_pair_observed_workspace_with_predictions() {
+        let (mut e, mut ctx) = engine("trace");
+        e.execute(&mut ctx, "\\gen intervals T 200 3 10 7");
+        let contain = "range of a is T range of b is T retrieve (X=a.Id, Y=b.Id) \
+             where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo;";
+
+        // Traces are recorded engine-side even before `\trace on` …
+        let resp = e.execute(&mut ctx, contain);
+        let Response::Query(q) = resp else {
+            panic!("expected query, got {resp:?}");
+        };
+        assert!(q.trace.is_none());
+
+        // … and attached to the response once the client opts in.
+        e.execute(&mut ctx, "\\trace on");
+        let resp = e.execute(&mut ctx, contain);
+        let Response::Query(q) = resp else {
+            panic!("expected query, got {resp:?}");
+        };
+        let trace = q.trace.expect("trace attached after \\trace on");
+        assert_eq!(trace.rows, q.rows.total);
+        let span = trace
+            .spans
+            .iter()
+            .find(|s| s.operator.contains("ContainJoin"))
+            .expect("contain-join span present");
+        let cap = span.predicted_cap.expect("analyzer proved a cap");
+        assert!(
+            span.workspace_peak <= cap,
+            "observed {} must stay under proven cap {cap}",
+            span.workspace_peak
+        );
+        assert!(span.predicted_expectation.is_some());
+        assert!(span.rows_in > 0 && span.comparisons > 0);
+        assert!(
+            span.occupancy.iter().sum::<u64>() > 0,
+            "insertion-sampled occupancy histogram is populated"
+        );
+
+        // The stats surface saw both runs and no cap violations.
+        let Response::Stats(s) = e.execute(&mut ctx, "\\stats") else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.cap_exceeded, 0);
+        assert!(s.last.is_some());
+    }
+
+    #[test]
+    fn slow_log_threshold_is_configurable() {
+        let (mut e, mut ctx) = engine("slow");
+        e.execute(&mut ctx, "\\gen faculty 20 3");
+        // Threshold 0: every query is "slow" and lands in the log.
+        e.execute(&mut ctx, "\\slow 0");
+        e.execute(&mut ctx, "range of f is Faculty retrieve (N=f.Name);");
+        let Response::Stats(s) = e.execute(&mut ctx, "\\stats") else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.slow_threshold_us, 0);
+        assert_eq!(s.slow.len(), 1);
+        assert!(s.slow[0].label.contains("Faculty"));
+        let text = e.prometheus();
+        assert!(text.contains("tdb_queries_total 1"), "{text}");
+        assert!(text.contains("tdb_cap_exceeded_total 0"), "{text}");
+        assert!(
+            text.contains("# TYPE tdb_query_duration_us histogram"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn set_limit_and_parallelism_mutate_client_state() {
         let (mut e, mut ctx) = engine("set");
         e.execute(&mut ctx, "\\set parallelism 4");
@@ -702,11 +1050,13 @@ mod tests {
     fn responses_round_trip_through_the_storage_codec() {
         let (mut e, mut ctx) = engine("codec");
         e.execute(&mut ctx, "\\gen faculty 10 2");
+        e.execute(&mut ctx, "\\trace on");
         for input in [
             "\\tables",
             "\\help",
             "range of f is Faculty retrieve (N=f.Name);",
             "\\live",
+            "\\stats",
             "range of f is Nope retrieve (N=f.Name);",
         ] {
             let resp = e.execute(&mut ctx, input);

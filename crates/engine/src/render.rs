@@ -9,8 +9,8 @@
 //! frames always carry every row for the benefit of push consumers.
 
 use crate::response::{
-    DeltaFrame, IngestReport, LiveStatus, QueryReport, Response, SealReport, SubscribeReport,
-    SuperstarRow, TableInfo,
+    DeltaFrame, IngestReport, LiveStatus, QueryReport, QueryTrace, Response, SealReport,
+    StatsReport, SubscribeReport, SuperstarRow, TableInfo,
 };
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -34,6 +34,7 @@ pub fn render(resp: &Response, delta_limit: usize) -> String {
         Response::Live(s) => render_live(s),
         Response::Sealed(r) => render_sealed(r, delta_limit),
         Response::Superstar(rows) => render_superstar(rows),
+        Response::Stats(s) => render_stats(s),
         Response::Error(e) => format!("error: {}", e.message),
     }
 }
@@ -92,7 +93,49 @@ fn render_query(q: &QueryReport) -> String {
         q.stats.sorts_performed,
     )
     .ok();
+    if let Some(t) = &q.trace {
+        render_trace(t, &mut out);
+    }
     out
+}
+
+/// One trace block: a span line per operator, observed workspace next to
+/// the analyzer's predictions.
+fn render_trace(t: &QueryTrace, out: &mut String) {
+    writeln!(out, "── trace ──").ok();
+    for s in &t.spans {
+        let cap = s
+            .predicted_cap
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "-".into());
+        let expect = s
+            .predicted_expectation
+            .map(|e| format!("{e:.2}"))
+            .unwrap_or_else(|| "-".into());
+        let flag = if s.cap_exceeded() {
+            "  CAP EXCEEDED"
+        } else {
+            ""
+        };
+        writeln!(
+            out,
+            "{}{}: {} in → {} out, {} comparisons, {} evicted, \
+             workspace peak {} (mean {:.1}) vs cap {cap}, λ·E[D] {expect}{flag}",
+            s.operator,
+            if s.partitions > 1 {
+                format!(" ×{}", s.partitions)
+            } else {
+                String::new()
+            },
+            s.rows_in,
+            s.rows_out,
+            s.comparisons,
+            s.evicted,
+            s.workspace_peak,
+            s.workspace_mean,
+        )
+        .ok();
+    }
 }
 
 fn wm_str(wm: Option<tdb::core::TimePoint>) -> String {
@@ -201,6 +244,91 @@ fn render_sealed(r: &SealReport, delta_limit: usize) -> String {
     .ok();
     for d in &r.deltas {
         render_delta(d, delta_limit, &mut out);
+    }
+    out
+}
+
+fn render_stats(s: &StatsReport) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} queries, {} rows returned, cap exceeded {}",
+        s.queries, s.rows_returned, s.cap_exceeded
+    )
+    .ok();
+    if let Some(last) = &s.last {
+        writeln!(
+            out,
+            "last: `{}` — {} rows in {:.2?}",
+            last.label,
+            last.rows,
+            Duration::from_micros(last.elapsed_us)
+        )
+        .ok();
+        render_trace(last, &mut out);
+    }
+    writeln!(
+        out,
+        "slow queries (≥ {}µs): {}",
+        s.slow_threshold_us,
+        s.slow.len()
+    )
+    .ok();
+    for t in &s.slow {
+        writeln!(
+            out,
+            "  {:.2?}  {} rows  `{}`",
+            Duration::from_micros(t.elapsed_us),
+            t.rows,
+            t.label
+        )
+        .ok();
+    }
+    for m in &s.live {
+        let drift = |stat: Option<f64>, live: Option<f64>| match (stat, live) {
+            (Some(a), Some(b)) => format!("{a:.3} → {b:.3}"),
+            (_, Some(b)) => format!("- → {b:.3}"),
+            (Some(a), _) => format!("{a:.3} → -"),
+            _ => "-".into(),
+        };
+        writeln!(
+            out,
+            "live {}: queue {}/{}, staged {}, lag {}, {} promotions (max batch {}), \
+             λ {}, E[D] {}",
+            m.relation,
+            m.queue_depth,
+            m.queue_capacity,
+            m.staged,
+            m.watermark_lag,
+            m.promotion_batches,
+            m.max_promotion_batch,
+            drift(m.lambda_static, m.lambda_live),
+            drift(m.duration_static, m.duration_live),
+        )
+        .ok();
+    }
+    if let Some(n) = &s.net {
+        writeln!(
+            out,
+            "net: {} connections, frames {}/{} in/out, bytes {}/{}, \
+             push high-water {}, {} slow-subscriber disconnects",
+            n.connections,
+            n.frames_in,
+            n.frames_out,
+            n.bytes_in,
+            n.bytes_out,
+            n.push_queue_highwater,
+            n.slow_subscriber_disconnects,
+        )
+        .ok();
+        for c in &n.conns {
+            writeln!(
+                out,
+                "  conn #{}: frames {}/{} in/out, bytes {}/{}, push high-water {}",
+                c.id, c.frames_in, c.frames_out, c.bytes_in, c.bytes_out, c.push_highwater
+            )
+            .ok();
+        }
     }
     out
 }

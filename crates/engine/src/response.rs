@@ -11,6 +11,8 @@
 
 use tdb::prelude::*;
 
+pub use tdb_obs::{OpSpan, QueryTrace};
+
 /// A structured reply from the engine, one per request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -34,6 +36,9 @@ pub enum Response {
     Sealed(SealReport),
     /// Superstar formulation comparison rows.
     Superstar(Vec<SuperstarRow>),
+    /// Observability snapshot: counters, slow-query log, live and network
+    /// telemetry (`\stats`).
+    Stats(StatsReport),
     /// The request failed; see the typed error taxonomy.
     Error(ErrorInfo),
 }
@@ -116,6 +121,9 @@ pub struct QueryReport {
     pub stats: QueryStats,
     /// Wall-clock execution time in microseconds.
     pub elapsed_us: u64,
+    /// Per-operator trace — observed workspace next to the analyzer's
+    /// predicted cap and λ·E[D] — when the client enabled `\trace on`.
+    pub trace: Option<QueryTrace>,
 }
 
 /// One stream operator's verdict from the static verifier.
@@ -276,6 +284,98 @@ pub struct SuperstarRow {
     pub comparisons: u64,
     /// Distinct superstars found.
     pub superstars: u64,
+}
+
+/// One live relation's telemetry line in a [`StatsReport`]: queue and
+/// promotion gauges plus the EWMA drift of the online λ/E[D] estimates
+/// against the plan-time catalog statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveRelationMetrics {
+    /// Relation name.
+    pub relation: String,
+    /// Raw rows waiting in the bounded ingest queue.
+    pub queue_depth: u64,
+    /// The ingest queue's bound.
+    pub queue_capacity: u64,
+    /// Rows staged but not yet watermark-final (row lag).
+    pub staged: u64,
+    /// Current watermark lag in ticks (wall lag).
+    pub watermark_lag: u64,
+    /// Non-empty promotion batches drained so far.
+    pub promotion_batches: u64,
+    /// Largest single promotion batch.
+    pub max_promotion_batch: u64,
+    /// Plan-time catalog arrival rate λ, if statistics were collected.
+    pub lambda_static: Option<f64>,
+    /// Live EWMA arrival-rate estimate, `None` before the first arrival.
+    pub lambda_live: Option<f64>,
+    /// Plan-time catalog mean duration E[D].
+    pub duration_static: Option<f64>,
+    /// Live EWMA mean-duration estimate.
+    pub duration_live: Option<f64>,
+}
+
+/// One network connection's counters in a [`NetMetrics`] block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnMetrics {
+    /// Server-assigned connection id.
+    pub id: u64,
+    /// Frames received from this client.
+    pub frames_in: u64,
+    /// Bytes received from this client.
+    pub bytes_in: u64,
+    /// Frames written to this client (replies and pushes).
+    pub frames_out: u64,
+    /// Bytes written to this client.
+    pub bytes_out: u64,
+    /// High-water mark of this connection's push queue.
+    pub push_highwater: u64,
+}
+
+/// Network-layer telemetry, present when stats were requested over
+/// `tdb-net` (a CLI-embedded engine has no network face and reports
+/// `None`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetMetrics {
+    /// Currently open connections.
+    pub connections: u64,
+    /// Frames received across all connections, living and retired.
+    pub frames_in: u64,
+    /// Bytes received across all connections.
+    pub bytes_in: u64,
+    /// Frames written across all connections.
+    pub frames_out: u64,
+    /// Bytes written across all connections.
+    pub bytes_out: u64,
+    /// Largest push-queue depth any connection ever reached.
+    pub push_queue_highwater: u64,
+    /// Connections dropped because their push queue overflowed.
+    pub slow_subscriber_disconnects: u64,
+    /// Per-connection counters for the connections still open, in id
+    /// order.
+    pub conns: Vec<ConnMetrics>,
+}
+
+/// The observability snapshot a `\stats` request returns.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsReport {
+    /// Queries executed since the engine opened.
+    pub queries: u64,
+    /// Result rows produced across all queries.
+    pub rows_returned: u64,
+    /// Times an observed workspace peak exceeded its statically proven
+    /// cap — every increment is a verifier bug worth surfacing.
+    pub cap_exceeded: u64,
+    /// The slow-query log's current threshold in microseconds.
+    pub slow_threshold_us: u64,
+    /// The N worst traces above the slow threshold, slowest first.
+    pub slow: Vec<QueryTrace>,
+    /// The most recent query's trace, regardless of speed.
+    pub last: Option<QueryTrace>,
+    /// Per-relation live telemetry, in name order.
+    pub live: Vec<LiveRelationMetrics>,
+    /// Network counters, when the engine is being served over `tdb-net`.
+    pub net: Option<NetMetrics>,
 }
 
 /// The wire-level error taxonomy: every [`TdbError`] variant maps to a

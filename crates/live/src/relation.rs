@@ -40,6 +40,10 @@ pub struct LiveRelation {
     admitted: u64,
     /// Rows promoted into the catalog heap.
     promoted: u64,
+    /// Non-empty promotion batches drained by `take_closed`.
+    promotion_batches: u64,
+    /// Largest single promotion batch.
+    max_promotion_batch: u64,
 }
 
 impl LiveRelation {
@@ -68,6 +72,8 @@ impl LiveRelation {
             stalls: 0,
             admitted: 0,
             promoted: 0,
+            promotion_batches: 0,
+            max_promotion_batch: 0,
         })
     }
 
@@ -117,6 +123,26 @@ impl LiveRelation {
         self.stage.len()
     }
 
+    /// Raw rows waiting in the ingest queue (admission backlog).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The ingest queue's bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Non-empty promotion batches drained so far.
+    pub fn promotion_batches(&self) -> u64 {
+        self.promotion_batches
+    }
+
+    /// The largest single promotion batch drained so far.
+    pub fn max_promotion_batch(&self) -> u64 {
+        self.max_promotion_batch
+    }
+
     /// Online statistics snapshot (the live-plan override), `None` until
     /// the first arrival.
     pub fn live_stats(&self) -> Option<TemporalStats> {
@@ -156,6 +182,10 @@ impl LiveRelation {
         let closed = self.stage.take_closed(|t| wm.closes(t))?;
         let n = closed.len() as u64;
         self.promoted += n;
+        if n > 0 {
+            self.promotion_batches += 1;
+            self.max_promotion_batch = self.max_promotion_batch.max(n);
+        }
         // Promotion is the ingest-side GC: staged state released because
         // the watermark proved no earlier arrival is possible.
         self.progress.add_gc_discarded(n);

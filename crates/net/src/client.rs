@@ -95,6 +95,13 @@ impl Client {
         self.await_reply()
     }
 
+    /// Ask for the observability snapshot (engine counters, slow-query
+    /// log, live telemetry) with the server's network counters merged in.
+    pub fn stats(&mut self) -> TdbResult<Response> {
+        self.send(&Frame::Stats)?;
+        self.await_reply()
+    }
+
     /// Drain one pending subscription delta, if any arrived.
     pub fn try_push(&mut self) -> Option<DeltaFrame> {
         self.pushes.try_recv().ok()

@@ -28,7 +28,7 @@ pub mod server;
 pub mod wire;
 
 pub use client::Client;
-pub use server::{serve, ServerHandle};
+pub use server::{serve, MetricsSource, ServerHandle};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy)]

@@ -21,20 +21,123 @@
 
 use crate::wire::{Frame, FrameReader, ReadOutcome};
 use crate::NetConfig;
+use bytes::BytesMut;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use tdb::core::TdbResult;
-use tdb_engine::{ClientState, Engine, Response};
+use tdb_engine::{ClientState, ConnMetrics, Engine, NetMetrics, Response};
+
+/// Per-connection counters, updated lock-free on the read/write hot
+/// paths and folded into [`RetiredStats`] when the connection closes.
+#[derive(Default)]
+struct ConnStats {
+    frames_in: AtomicU64,
+    bytes_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_out: AtomicU64,
+    /// Frames currently sitting in the outbound queue (approximate
+    /// upper bound: incremented before enqueue, decremented at dequeue).
+    queue_depth: AtomicU64,
+    push_highwater: AtomicU64,
+}
+
+impl ConnStats {
+    /// Account one frame entering the outbound queue.
+    fn enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.push_highwater.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Roll back an `enqueued` whose send failed.
+    fn enqueue_failed(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Account one frame leaving the queue for the socket.
+    fn dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn metrics(&self, id: u64) -> ConnMetrics {
+        ConnMetrics {
+            id,
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            push_highwater: self.push_highwater.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Totals carried over from closed connections, so server-lifetime
+/// counters keep counting after their connections are gone.
+#[derive(Default)]
+struct RetiredStats {
+    frames_in: AtomicU64,
+    bytes_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_out: AtomicU64,
+    push_highwater: AtomicU64,
+    slow_subscriber_disconnects: AtomicU64,
+}
+
+impl RetiredStats {
+    fn absorb(&self, stats: &ConnStats) {
+        self.frames_in
+            .fetch_add(stats.frames_in.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.bytes_in
+            .fetch_add(stats.bytes_in.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.frames_out
+            .fetch_add(stats.frames_out.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.bytes_out
+            .fetch_add(stats.bytes_out.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.push_highwater.fetch_max(
+            stats.push_highwater.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// Counts bytes off the socket before the frame reader sees them.
+struct CountingReader {
+    inner: TcpStream,
+    stats: Arc<ConnStats>,
+}
+
+impl Read for CountingReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(out)?;
+        self.stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
 
 struct Conn {
     queue: SyncSender<Frame>,
     stream: TcpStream,
+    stats: Arc<ConnStats>,
+}
+
+impl Conn {
+    /// Non-blocking enqueue with queue-depth accounting. `false` means
+    /// the queue was full or the writer is gone.
+    fn try_push(&self, frame: Frame) -> bool {
+        self.stats.enqueued();
+        if self.queue.try_send(frame).is_ok() {
+            true
+        } else {
+            self.stats.enqueue_failed();
+            false
+        }
+    }
 }
 
 struct Shared {
@@ -44,6 +147,7 @@ struct Shared {
     subs: Mutex<HashMap<u64, u64>>,
     shutdown: AtomicBool,
     config: NetConfig,
+    retired: RetiredStats,
 }
 
 impl Shared {
@@ -53,6 +157,7 @@ impl Shared {
     fn disconnect(&self, conn_id: u64) {
         if let Some(conn) = self.conns.lock().remove(&conn_id) {
             let _ = conn.stream.shutdown(Shutdown::Both);
+            self.retired.absorb(&conn.stats);
         }
         let orphaned: Vec<u64> = {
             let mut subs = self.subs.lock();
@@ -92,16 +197,50 @@ impl Shared {
             let Some(conn) = conns.get(&owner) else {
                 continue;
             };
-            match conn.queue.try_send(Frame::Push(delta)) {
-                Ok(()) => {}
-                Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
-                    overflowed.push(owner);
-                }
+            if !conn.try_push(Frame::Push(delta)) {
+                overflowed.push(owner);
             }
         }
         for conn_id in overflowed {
+            self.retired
+                .slow_subscriber_disconnects
+                .fetch_add(1, Ordering::Relaxed);
             self.disconnect(conn_id);
         }
+    }
+
+    /// Snapshot the network counters: retired totals plus every open
+    /// connection, in id order.
+    fn net_metrics(&self) -> NetMetrics {
+        let conns = self.conns.lock();
+        let mut per_conn: Vec<ConnMetrics> = conns
+            .iter()
+            .map(|(id, conn)| conn.stats.metrics(*id))
+            .collect();
+        drop(conns);
+        per_conn.sort_by_key(|c| c.id);
+        let mut out = NetMetrics {
+            connections: per_conn.len() as u64,
+            frames_in: self.retired.frames_in.load(Ordering::Relaxed),
+            bytes_in: self.retired.bytes_in.load(Ordering::Relaxed),
+            frames_out: self.retired.frames_out.load(Ordering::Relaxed),
+            bytes_out: self.retired.bytes_out.load(Ordering::Relaxed),
+            push_queue_highwater: self.retired.push_highwater.load(Ordering::Relaxed),
+            slow_subscriber_disconnects: self
+                .retired
+                .slow_subscriber_disconnects
+                .load(Ordering::Relaxed),
+            conns: Vec::new(),
+        };
+        for c in &per_conn {
+            out.frames_in += c.frames_in;
+            out.bytes_in += c.bytes_in;
+            out.frames_out += c.frames_out;
+            out.bytes_out += c.bytes_out;
+            out.push_queue_highwater = out.push_queue_highwater.max(c.push_highwater);
+        }
+        out.conns = per_conn;
+        out
     }
 }
 
@@ -127,6 +266,52 @@ impl ServerHandle {
             let _ = h.join();
         }
     }
+
+    /// A handle that renders the whole process's metrics — engine
+    /// counters, live telemetry, network counters — as Prometheus text.
+    /// Pass its `render` to an HTTP listener (`tdb serve --metrics`).
+    pub fn metrics_source(&self) -> MetricsSource {
+        MetricsSource {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// Renders the served engine's metrics registry with the network
+/// gauges refreshed, for scraping. Cheap to clone; outlives the
+/// [`ServerHandle`] it came from.
+#[derive(Clone)]
+pub struct MetricsSource {
+    shared: Arc<Shared>,
+}
+
+impl MetricsSource {
+    /// One Prometheus text-exposition page covering engine, live, and
+    /// network metric families.
+    pub fn render(&self) -> String {
+        let net = self.shared.net_metrics();
+        let engine = self.shared.engine.lock();
+        let reg = engine.metrics_registry();
+        let set = |name: &str, help: &str, v: u64| {
+            reg.gauge(name, help).set(v as f64);
+        };
+        set("tdb_net_connections", "Open connections.", net.connections);
+        set("tdb_net_frames_in", "Frames received.", net.frames_in);
+        set("tdb_net_bytes_in", "Bytes received.", net.bytes_in);
+        set("tdb_net_frames_out", "Frames written.", net.frames_out);
+        set("tdb_net_bytes_out", "Bytes written.", net.bytes_out);
+        set(
+            "tdb_net_push_queue_highwater",
+            "Largest outbound queue depth any connection reached.",
+            net.push_queue_highwater,
+        );
+        set(
+            "tdb_net_slow_subscriber_disconnects",
+            "Connections dropped because their push queue overflowed.",
+            net.slow_subscriber_disconnects,
+        );
+        engine.prometheus()
+    }
 }
 
 /// Open the catalog at `dir` and serve it on `addr` (e.g.
@@ -146,6 +331,7 @@ pub fn serve(
         subs: Mutex::new(HashMap::new()),
         shutdown: AtomicBool::new(false),
         config,
+        retired: RetiredStats::default(),
     });
     let accept_shared = Arc::clone(&shared);
     let accept = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
@@ -179,7 +365,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     let conn_ids: Vec<u64> = shared.conns.lock().keys().copied().collect();
     for conn_id in conn_ids {
         if let Some(conn) = shared.conns.lock().get(&conn_id) {
-            let _ = conn.queue.try_send(Frame::Shutdown);
+            conn.try_push(Frame::Shutdown);
         }
         // Give the writer a moment to flush the shutdown frame before
         // the socket closes under it.
@@ -206,17 +392,23 @@ fn serve_conn(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
     // Bound the writer so joining it below cannot hang on a peer that
     // stopped reading: a stalled write errors out instead of blocking.
     let _ = write_half.set_write_timeout(Some(Duration::from_secs(5)));
+    let stats = Arc::new(ConnStats::default());
     let (queue, outbound) = sync_channel::<Frame>(shared.config.push_queue);
-    let writer = std::thread::spawn(move || writer_loop(write_half, &outbound));
+    let writer_stats = Arc::clone(&stats);
+    let writer = std::thread::spawn(move || writer_loop(write_half, &outbound, &writer_stats));
     shared.conns.lock().insert(
         conn_id,
         Conn {
             queue: queue.clone(),
             stream: conn_half,
+            stats: Arc::clone(&stats),
         },
     );
 
-    let mut read_half = stream;
+    let mut read_half = CountingReader {
+        inner: stream,
+        stats: Arc::clone(&stats),
+    };
     let mut reader = FrameReader::new();
     let mut ctx = ClientState::default();
     loop {
@@ -228,6 +420,7 @@ fn serve_conn(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
             Ok(ReadOutcome::Idle) => continue,
             Ok(ReadOutcome::Eof) | Err(_) => break,
         };
+        stats.frames_in.fetch_add(1, Ordering::Relaxed);
         let reply = match frame {
             Frame::Bye => break,
             Frame::Input(text) => {
@@ -235,7 +428,10 @@ fn serve_conn(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
                 if let Response::Goodbye = resp {
                     // `\quit` over the wire behaves like Bye after the
                     // reply is delivered.
-                    let _ = queue.send(Frame::Reply(resp));
+                    stats.enqueued();
+                    if queue.send(Frame::Reply(resp)).is_err() {
+                        stats.enqueue_failed();
+                    }
                     break;
                 }
                 if let Response::Subscribed(ref sub) = resp {
@@ -249,33 +445,56 @@ fn serve_conn(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
                 shared.route_deltas(&mut resp);
                 resp
             }
+            Frame::Stats => {
+                // Engine snapshot first (engine lock released at the
+                // `;`), then the network counters merged in.
+                let mut report = shared.engine.lock().stats_report();
+                report.net = Some(shared.net_metrics());
+                Response::Stats(report)
+            }
             // Server-direction frames from a client are a protocol
             // violation; drop the connection.
             Frame::Reply(_) | Frame::Push(_) | Frame::Shutdown => break,
         };
         // Replies block (bounded by queue depth + socket buffer) — a
         // client slow to read its *own* replies only stalls itself.
+        stats.enqueued();
         if queue.send(Frame::Reply(reply)).is_err() {
+            stats.enqueue_failed();
             break;
         }
     }
-    // Dropping the queue lets the writer drain what is already enqueued
-    // (the Goodbye reply of a `\quit`, pending pushes) and exit; only
-    // then is the socket closed. The write timeout above bounds the
-    // join, and a disconnect() from another thread (slow-subscriber
-    // overflow, server drain) still unblocks a mid-write writer by
-    // shutting the socket under it.
+    // Retire from the routing table first: the map holds a sender
+    // clone, so only after removing it does dropping the local queue
+    // disconnect the channel. The writer then drains what is already
+    // enqueued (the Goodbye reply of a `\quit`, pending pushes) and
+    // exits instead of blocking forever on a sender nothing will use
+    // again; only then is the socket closed. The write timeout above
+    // bounds the join, and a disconnect() from another thread
+    // (slow-subscriber overflow, server drain) still unblocks a
+    // mid-write writer by shutting the socket under it. The caller's
+    // disconnect() cancels this connection's subscriptions.
+    if let Some(conn) = shared.conns.lock().remove(&conn_id) {
+        shared.retired.absorb(&conn.stats);
+    }
     drop(queue);
     let _ = writer.join();
-    let _ = read_half.shutdown(Shutdown::Both);
+    let _ = read_half.inner.shutdown(Shutdown::Both);
 }
 
-fn writer_loop(mut stream: TcpStream, outbound: &Receiver<Frame>) {
+fn writer_loop(mut stream: TcpStream, outbound: &Receiver<Frame>, stats: &ConnStats) {
     while let Ok(frame) = outbound.recv() {
+        stats.dequeued();
         let last = matches!(frame, Frame::Shutdown);
-        if frame.write_to(&mut stream).is_err() {
+        let mut buf = BytesMut::new();
+        frame.encode(&mut buf);
+        if stream.write_all(&buf).is_err() {
             break;
         }
+        stats.frames_out.fetch_add(1, Ordering::Relaxed);
+        stats
+            .bytes_out
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
         if last {
             break;
         }

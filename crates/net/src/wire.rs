@@ -32,6 +32,7 @@ pub const MAX_FRAME: usize = 64 << 20;
 const KIND_INPUT: u8 = 1;
 const KIND_INGEST: u8 = 2;
 const KIND_BYE: u8 = 3;
+const KIND_STATS: u8 = 4;
 const KIND_REPLY: u8 = 16;
 const KIND_PUSH: u8 = 17;
 const KIND_SHUTDOWN: u8 = 18;
@@ -51,6 +52,10 @@ pub enum Frame {
         /// Arrival lines, `<ts> <te> [id [seq]]` each.
         lines: String,
     },
+    /// Client→server: ask for the observability snapshot, with the
+    /// serving layer's network counters merged in. Answered by exactly
+    /// one [`Frame::Reply`] carrying `Response::Stats`.
+    Stats,
     /// Client→server: orderly goodbye; the server drops the connection
     /// without replying.
     Bye,
@@ -71,6 +76,7 @@ impl Frame {
         match self {
             Frame::Input(_) => KIND_INPUT,
             Frame::Ingest { .. } => KIND_INGEST,
+            Frame::Stats => KIND_STATS,
             Frame::Bye => KIND_BYE,
             Frame::Reply(_) => KIND_REPLY,
             Frame::Push(_) => KIND_PUSH,
@@ -89,7 +95,7 @@ impl Frame {
                 put_str(&mut body, relation);
                 put_str(&mut body, lines);
             }
-            Frame::Bye | Frame::Shutdown => {}
+            Frame::Stats | Frame::Bye | Frame::Shutdown => {}
             Frame::Reply(resp) => resp.encode(&mut body),
             Frame::Push(delta) => delta.encode(&mut body),
         }
@@ -115,6 +121,7 @@ impl Frame {
                 relation: get_str(&mut payload)?,
                 lines: get_str(&mut payload)?,
             }),
+            KIND_STATS => Ok(Frame::Stats),
             KIND_BYE => Ok(Frame::Bye),
             KIND_REPLY => Ok(Frame::Reply(Response::decode(&mut payload)?)),
             KIND_PUSH => Ok(Frame::Push(DeltaFrame::decode(&mut payload)?)),
@@ -152,6 +159,10 @@ fn get_str(buf: &mut Bytes) -> TdbResult<String> {
 }
 
 /// What one [`FrameReader::read`] call produced.
+// A `ReadOutcome` lives only on the receive path's stack, one at a
+// time; boxing frames to slim the enum would buy nothing but a per-frame
+// allocation.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum ReadOutcome {
     /// A complete frame.
@@ -247,6 +258,8 @@ mod tests {
                 lines: "10 20 a\n".into(),
             },
             Frame::Reply(Response::Error(ErrorInfo::new(ErrorCode::Protocol, "nope"))),
+            Frame::Stats,
+            Frame::Reply(Response::Stats(tdb_engine::StatsReport::default())),
             Frame::Bye,
             Frame::Shutdown,
         ];

@@ -1,0 +1,33 @@
+//! # tdb-obs — observability for the temporal query processor
+//!
+//! The paper's central claim is quantitative: stream-processing temporal
+//! joins keep a *small, statistics-dependent workspace* (Tables 1–3, the
+//! λ·E\[D\] expectation of Section 4). The rest of the workspace computes
+//! the three sides of that claim in different crates — observed
+//! `OpReport` workspace statistics in `tdb-stream`, proven `workspace_cap`
+//! bounds in `tdb-analyze`, and online λ/E\[D\] estimates in `tdb-live` —
+//! but nothing at runtime correlates them. This crate closes the loop:
+//!
+//! * [`Registry`] — a lock-cheap metrics registry (counters, gauges,
+//!   fixed-bucket histograms over `AtomicU64` cells; registration takes a
+//!   short mutex, updates are a single atomic op) rendered in Prometheus
+//!   text exposition format by [`Registry::render`];
+//! * [`QueryTrace`] / [`OpSpan`] — a structured per-query trace: one span
+//!   per stream operator with rows in/out, GC evictions, workspace peak
+//!   and occupancy histogram, and the analyzer's predicted cap + λ·E\[D\]
+//!   expectation recorded *next to* the observation, so `observed > proven`
+//!   is detectable per operator ([`OpSpan::cap_exceeded`]);
+//! * [`SlowQueryLog`] — a bounded buffer retaining the N worst traces over
+//!   a configurable latency threshold;
+//! * [`serve_metrics`] — a tiny built-in HTTP listener (std only) that
+//!   answers `GET /metrics` with whatever the supplied closure renders.
+
+#![forbid(unsafe_code)]
+
+mod http;
+mod metrics;
+mod trace;
+
+pub use http::{serve_metrics, MetricsServer};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use trace::{OpSpan, QueryTrace, SlowQueryLog, OCCUPANCY_BOUNDS};

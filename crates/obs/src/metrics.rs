@@ -1,0 +1,335 @@
+//! The metrics registry: named families of counters, gauges, and
+//! fixed-bucket histograms, rendered as Prometheus text exposition.
+//!
+//! Design: registration (`counter`, `gauge`, `histogram` and their
+//! `_with` label variants) takes a short `parking_lot` mutex over a
+//! `BTreeMap` and returns a cheap cloneable handle; every *update* on a
+//! handle is one relaxed atomic operation with no lock. Callers that care
+//! about the hot path register once and keep the handle.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding one `f64` (stored as bits in an `AtomicU64`).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram over `u64` observations with fixed bucket upper bounds.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Inclusive upper bounds, ascending; observations above the last
+    /// bound land in the implicit `+Inf` bucket.
+    bounds: Arc<Vec<u64>>,
+    /// One cell per bound plus the `+Inf` overflow cell.
+    counts: Arc<Vec<AtomicU64>>,
+    sum: Arc<AtomicU64>,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        Histogram {
+            bounds: Arc::new(bounds.to_vec()),
+            counts: Arc::new((0..=bounds.len()).map(|_| AtomicU64::new(0)).collect()),
+            sum: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[i].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (non-cumulative), one per bound plus `+Inf`.
+    pub fn buckets(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The bucket upper bounds this histogram was registered with.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+}
+
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Family {
+    help: String,
+    kind: &'static str,
+    /// Serialized label set (`k="v",…`, empty for unlabeled) → series.
+    series: BTreeMap<String, Series>,
+}
+
+/// The registry: a shared map from metric family name to its series.
+/// Cloning shares the underlying map; handles returned by the
+/// registration methods stay live after the registry is dropped.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Family>>>,
+}
+
+fn label_key(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{k}=\"{}\"",
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    out
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        kind: &'static str,
+        make: impl FnOnce() -> Series,
+    ) -> Series {
+        let mut map = self.inner.lock();
+        let family = map.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        let series = family.series.entry(label_key(labels)).or_insert_with(make);
+        match series {
+            Series::Counter(c) => Series::Counter(c.clone()),
+            Series::Gauge(g) => Series::Gauge(g.clone()),
+            Series::Histogram(h) => Series::Histogram(h.clone()),
+        }
+    }
+
+    /// Register (or look up) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Register (or look up) a labeled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        match self.series(name, labels, help, "counter", || {
+            Series::Counter(Counter::default())
+        }) {
+            Series::Counter(c) => c,
+            _ => Counter::default(),
+        }
+    }
+
+    /// Register (or look up) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Register (or look up) a labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        match self.series(name, labels, help, "gauge", || {
+            Series::Gauge(Gauge::default())
+        }) {
+            Series::Gauge(g) => g,
+            _ => Gauge::default(),
+        }
+    }
+
+    /// Register (or look up) an unlabeled histogram with the given
+    /// inclusive bucket upper bounds.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Histogram {
+        self.histogram_with(name, &[], help, bounds)
+    }
+
+    /// Register (or look up) a labeled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        bounds: &[u64],
+    ) -> Histogram {
+        match self.series(name, labels, help, "histogram", || {
+            Series::Histogram(Histogram::new(bounds))
+        }) {
+            Series::Histogram(h) => h,
+            _ => Histogram::new(bounds),
+        }
+    }
+
+    /// Render every family in Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers, cumulative
+    /// `_bucket{le=…}` series plus `_sum` / `_count` for histograms.
+    pub fn render(&self) -> String {
+        let map = self.inner.lock();
+        let mut out = String::new();
+        for (name, family) in map.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind);
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", braced(labels), c.get());
+                    }
+                    Series::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{} {}", braced(labels), g.get());
+                    }
+                    Series::Histogram(h) => {
+                        let mut cumulative = 0u64;
+                        for (i, n) in h.buckets().iter().enumerate() {
+                            cumulative += n;
+                            let le = h
+                                .bounds()
+                                .get(i)
+                                .map_or_else(|| "+Inf".to_string(), u64::to_string);
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cumulative}",
+                                braced(&join_labels(labels, &format!("le=\"{le}\"")))
+                            );
+                        }
+                        let _ = writeln!(out, "{name}_sum{} {}", braced(labels), h.sum());
+                        let _ = writeln!(out, "{name}_count{} {cumulative}", braced(labels));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+fn join_labels(existing: &str, extra: &str) -> String {
+    if existing.is_empty() {
+        extra.to_string()
+    } else {
+        format!("{existing},{extra}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_lock_free_to_update() {
+        let reg = Registry::new();
+        let a = reg.counter("tdb_queries_total", "Queries executed.");
+        let b = reg.counter("tdb_queries_total", "Queries executed.");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let g = reg.gauge_with("tdb_lag", &[("relation", "X")], "Lag.");
+        g.set(1.5);
+        assert!(
+            (reg.gauge_with("tdb_lag", &[("relation", "X")], "Lag.")
+                .get()
+                - 1.5)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_render() {
+        let reg = Registry::new();
+        let h = reg.histogram("tdb_ws", "Workspace peaks.", &[1, 4]);
+        for v in [0, 1, 2, 5, 9] {
+            h.observe(v);
+        }
+        assert_eq!(h.buckets(), vec![2, 1, 2]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 17);
+        let text = reg.render();
+        assert!(text.contains("# TYPE tdb_ws histogram"), "{text}");
+        assert!(text.contains("tdb_ws_bucket{le=\"1\"} 2"), "{text}");
+        assert!(text.contains("tdb_ws_bucket{le=\"4\"} 3"), "{text}");
+        assert!(text.contains("tdb_ws_bucket{le=\"+Inf\"} 5"), "{text}");
+        assert!(text.contains("tdb_ws_sum 17"), "{text}");
+        assert!(text.contains("tdb_ws_count 5"), "{text}");
+    }
+
+    #[test]
+    fn render_groups_labeled_series_under_one_family() {
+        let reg = Registry::new();
+        reg.counter_with("tdb_frames_total", &[("dir", "in")], "Frames.")
+            .add(7);
+        reg.counter_with("tdb_frames_total", &[("dir", "out")], "Frames.")
+            .add(9);
+        let text = reg.render();
+        assert_eq!(text.matches("# TYPE tdb_frames_total counter").count(), 1);
+        assert!(text.contains("tdb_frames_total{dir=\"in\"} 7"), "{text}");
+        assert!(text.contains("tdb_frames_total{dir=\"out\"} 9"), "{text}");
+    }
+}

@@ -75,4 +75,4 @@ pub use stream::{from_sorted_vec, from_vec, OrderChecked, TupleStream, VecStream
 pub use sweep_semijoin::SweepSemijoin;
 pub use timeslice::{concurrency_profile, ProfileStep, Timeslice};
 pub use watermark::Watermark;
-pub use workspace::{Workspace, WorkspaceStats};
+pub use workspace::{Workspace, WorkspaceStats, OCCUPANCY_BOUNDS, OCCUPANCY_CELLS};

@@ -13,6 +13,25 @@
 
 use std::fmt;
 
+/// Inclusive upper bounds of the fixed occupancy-histogram buckets every
+/// workspace records into; residencies above the last bound land in the
+/// implicit `+Inf` overflow bucket. Workspace size is *the* performance
+/// driver of the paper's stream operators, so the distribution — not just
+/// the peak — is worth keeping, and a fixed small array keeps the
+/// recording cost to one array increment per insertion.
+pub const OCCUPANCY_BOUNDS: [usize; 8] = [1, 2, 4, 8, 16, 64, 256, 1024];
+
+/// Number of occupancy-histogram cells: one per bound plus overflow.
+pub const OCCUPANCY_CELLS: usize = OCCUPANCY_BOUNDS.len() + 1;
+
+/// The histogram cell a residency of `n` tuples falls into.
+fn occupancy_bucket(n: usize) -> usize {
+    OCCUPANCY_BOUNDS
+        .iter()
+        .position(|b| n <= *b)
+        .unwrap_or(OCCUPANCY_BOUNDS.len())
+}
+
 /// Statistics of a workspace over an operator's lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WorkspaceStats {
@@ -28,6 +47,9 @@ pub struct WorkspaceStats {
     occupancy_sum: u64,
     /// Number of samples contributing to `occupancy_sum`.
     samples: u64,
+    /// Residency histogram, sampled at every insertion: one count per
+    /// [`OCCUPANCY_BOUNDS`] bucket plus the `+Inf` overflow cell.
+    occupancy: [u64; OCCUPANCY_CELLS],
 }
 
 impl WorkspaceStats {
@@ -44,6 +66,10 @@ impl WorkspaceStats {
     /// materialized structure of `n` tuples (e.g. the inner relation of a
     /// nested-loop join) rather than an instrumented [`Workspace`].
     pub fn of_resident(n: usize) -> WorkspaceStats {
+        let mut occupancy = [0u64; OCCUPANCY_CELLS];
+        if n != 0 {
+            occupancy[occupancy_bucket(n)] = 1;
+        }
         WorkspaceStats {
             max_resident: n,
             resident: n,
@@ -51,7 +77,23 @@ impl WorkspaceStats {
             discarded: 0,
             occupancy_sum: n as u64,
             samples: u64::from(n != 0),
+            occupancy,
         }
+    }
+
+    /// The occupancy histogram: insertion-sampled residency counts, one
+    /// per [`OCCUPANCY_BOUNDS`] bucket plus the `+Inf` overflow cell.
+    pub fn occupancy_histogram(&self) -> [u64; OCCUPANCY_CELLS] {
+        self.occupancy
+    }
+
+    /// Element-wise sum of two occupancy histograms.
+    fn merge_occupancy(self, other: WorkspaceStats) -> [u64; OCCUPANCY_CELLS] {
+        let mut out = self.occupancy;
+        for (cell, n) in out.iter_mut().zip(other.occupancy) {
+            *cell += n;
+        }
+        out
     }
 
     /// Combine the stats of two state sets held *simultaneously* by one
@@ -66,6 +108,7 @@ impl WorkspaceStats {
             discarded: self.discarded + other.discarded,
             occupancy_sum: self.occupancy_sum + other.occupancy_sum,
             samples: self.samples + other.samples,
+            occupancy: self.merge_occupancy(other),
         }
     }
 
@@ -81,6 +124,7 @@ impl WorkspaceStats {
             discarded: self.discarded + other.discarded,
             occupancy_sum: self.occupancy_sum + other.occupancy_sum,
             samples: self.samples + other.samples,
+            occupancy: self.merge_occupancy(other),
         }
     }
 }
@@ -133,6 +177,7 @@ impl<T> Workspace<T> {
         self.stats.max_resident = self.stats.max_resident.max(self.items.len());
         self.stats.occupancy_sum += self.items.len() as u64;
         self.stats.samples += 1;
+        self.stats.occupancy[occupancy_bucket(self.items.len())] += 1;
     }
 
     /// Garbage-collect: keep only tuples satisfying `keep`.
@@ -266,6 +311,29 @@ mod tests {
         assert_eq!(s.resident, 5);
         assert_eq!(s.mean_resident(), 5.0);
         assert_eq!(WorkspaceStats::of_resident(0).mean_resident(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_histogram_buckets_by_residency() {
+        let mut w = Workspace::new();
+        for i in 0..5 {
+            w.insert(i); // residencies 1, 2, 3, 4, 5
+        }
+        let h = w.stats().occupancy_histogram();
+        // Buckets ≤1, ≤2, ≤4, ≤8: residency 1 → cell 0, 2 → cell 1,
+        // 3 and 4 → cell 2, 5 → cell 3.
+        assert_eq!(&h[..4], &[1, 1, 2, 1]);
+        assert_eq!(h.iter().sum::<u64>(), 5);
+        // Combining parallel partitions sums the histograms.
+        let both = w.stats().combine_parallel(w.stats());
+        assert_eq!(both.occupancy_histogram().iter().sum::<u64>(), 10);
+        // of_resident records its single synthetic sample.
+        let fixed = WorkspaceStats::of_resident(3000);
+        assert_eq!(fixed.occupancy_histogram()[OCCUPANCY_BOUNDS.len()], 1);
+        assert_eq!(
+            WorkspaceStats::of_resident(0).occupancy_histogram(),
+            [0; OCCUPANCY_CELLS]
+        );
     }
 
     #[test]

@@ -68,8 +68,8 @@ pub use tdb_stream as stream;
 /// Commonly used items, importable with `use tdb::prelude::*`.
 pub mod prelude {
     pub use tdb_algebra::{
-        conventional_optimize, plan, Atom, ColumnRef, CompOp, ExecStats, LogicalPlan, PhysicalPlan,
-        PlannerConfig, QueryOutput, TemporalPattern, Term,
+        conventional_optimize, plan, Atom, ColumnRef, CompOp, ExecStats, LogicalPlan,
+        OpObservation, PhysicalPlan, PlannerConfig, QueryOutput, TemporalPattern, Term,
     };
     pub use tdb_analyze::{
         plan_verified, Analysis, AnalyzeConfig, AnalyzeError, PlanPath, StreamOpSpec,

@@ -16,6 +16,12 @@
 //! 3. **Slow-subscriber backpressure** — a subscriber that stops
 //!    reading is disconnected (bounded push queue overflows) and its
 //!    subscription cancelled, while ingestion continues unimpeded.
+//! 4. **Observability** — a `Stats` frame returns the engine's typed
+//!    [`StatsReport`] with the serving layer's network counters merged
+//!    in, and `\trace on` attaches a per-operator [`QueryTrace`] (with
+//!    analyzer-predicted workspace caps) to query replies.
+//! 5. **Connection cleanup** — an orderly client disconnect cancels its
+//!    subscriptions and reaps the connection's threads.
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -24,9 +30,10 @@ use std::time::{Duration, Instant};
 use tdb::prelude::*;
 use tdb::storage::Codec;
 use tdb_engine::{
-    AnalysisReport, DeltaFrame, ErrorCode, ErrorInfo, IngestReport, LiveRelationStatus, LiveStatus,
-    OpVerdict, QueryReport, QueryStats, Response, RowSet, SealReport, SubscribeReport,
-    SubscriptionStatus, SuperstarRow, TableInfo,
+    AnalysisReport, ConnMetrics, DeltaFrame, ErrorCode, ErrorInfo, IngestReport,
+    LiveRelationMetrics, LiveRelationStatus, LiveStatus, NetMetrics, OpSpan, OpVerdict,
+    QueryReport, QueryStats, QueryTrace, Response, RowSet, SealReport, StatsReport,
+    SubscribeReport, SubscriptionStatus, SuperstarRow, TableInfo,
 };
 use tdb_net::wire::{Frame, FrameReader, ReadOutcome};
 use tdb_net::{serve, Client, NetConfig, ServerHandle};
@@ -56,6 +63,27 @@ fn delta_frame(raw: &[(i64, i64)], name: &str, n: u64, wm: bool) -> DeltaFrame {
         epoch: n,
         watermark: wm.then_some(TimePoint(n as i64)),
         rows: sample_rows(raw, "d"),
+    }
+}
+
+fn sample_trace(n: u64, name: &str) -> QueryTrace {
+    QueryTrace {
+        label: format!("query {name}"),
+        elapsed_us: n,
+        rows: n % 41,
+        spans: vec![OpSpan {
+            operator: format!("ContainJoin {name}"),
+            partitions: n % 4 + 1,
+            rows_in: n,
+            rows_out: n / 2,
+            comparisons: n.wrapping_mul(5),
+            evicted: n % 31,
+            workspace_peak: n % 37,
+            workspace_mean: n as f64 / 13.0,
+            occupancy: (0..9).map(|i| n.wrapping_add(i)).collect(),
+            predicted_cap: Some(n % 37 + 1),
+            predicted_expectation: Some(n as f64 / 17.0),
+        }],
     }
 }
 
@@ -90,6 +118,7 @@ fn build_response(sel: u8, a: i64, n: u64, name: &str, raw: &[(i64, i64)], flag:
                 sorts_performed: n % 7,
             },
             elapsed_us: n,
+            trace: flag.then(|| sample_trace(n, name)),
         }),
         4 => Response::Analysis(AnalysisReport {
             physical: format!("phys {name}"),
@@ -148,6 +177,44 @@ fn build_response(sel: u8, a: i64, n: u64, name: &str, raw: &[(i64, i64)], flag:
             comparisons: n.wrapping_mul(7),
             superstars: n % 29,
         }]),
+        10 => Response::Stats(StatsReport {
+            queries: n,
+            rows_returned: n.wrapping_mul(11),
+            cap_exceeded: n % 3,
+            slow_threshold_us: n % 10_000,
+            slow: vec![sample_trace(n, name)],
+            last: flag.then(|| sample_trace(n / 2, name)),
+            live: vec![LiveRelationMetrics {
+                relation: name.to_string(),
+                queue_depth: n % 9,
+                queue_capacity: n % 9 + 64,
+                staged: n % 5,
+                watermark_lag: n % 101,
+                promotion_batches: n / 4,
+                max_promotion_batch: n % 129,
+                lambda_static: flag.then_some(a as f64 / 7.0),
+                lambda_live: Some(a as f64 / 9.0),
+                duration_static: (!flag).then_some(a as f64 / 3.0),
+                duration_live: None,
+            }],
+            net: flag.then(|| NetMetrics {
+                connections: n % 8,
+                frames_in: n,
+                bytes_in: n.wrapping_mul(100),
+                frames_out: n / 2,
+                bytes_out: n.wrapping_mul(90),
+                push_queue_highwater: n % 65,
+                slow_subscriber_disconnects: n % 2,
+                conns: vec![ConnMetrics {
+                    id: n % 7,
+                    frames_in: n,
+                    bytes_in: n.wrapping_mul(3),
+                    frames_out: n / 3,
+                    bytes_out: n.wrapping_mul(7),
+                    push_highwater: n % 11,
+                }],
+            }),
+        }),
         _ => Response::Error(ErrorInfo::new(
             ErrorCode::from_u8((sel % 14) + 1).unwrap_or(ErrorCode::Protocol),
             name,
@@ -566,5 +633,149 @@ fn shutdown_notifies_connected_clients() {
         std::thread::sleep(Duration::from_millis(10));
     }
     assert!(client.request("\\tables").is_err());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Observability over the wire
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stats_frame_merges_engine_and_network_counters() {
+    let root = std::env::temp_dir().join(format!("tdb-net-stats-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = serve(root.join("srv"), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let reply = client
+        .ingest("X", "0 100 long 0\n10 20 a 1\n30 40 b 2\n")
+        .expect("ingest");
+    assert!(matches!(reply, Response::Ingest(_)), "{reply:?}");
+
+    // Per-connection tracing is opt-in and travels with the reply.
+    let reply = client.request("\\trace on").expect("trace on");
+    assert!(!matches!(reply, Response::Error(_)), "{reply:?}");
+    let reply = client
+        .request(
+            "range of a is X range of b is X retrieve (P=a.Id, Q=b.Id) \
+             where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo",
+        )
+        .expect("query");
+    let Response::Query(q) = reply else {
+        panic!("expected query report, got {reply:?}");
+    };
+    let trace = q
+        .trace
+        .expect("\\trace on must attach the query trace to replies");
+    assert!(!trace.spans.is_empty(), "trace must carry operator spans");
+    for span in &trace.spans {
+        if let Some(cap) = span.predicted_cap {
+            assert!(
+                span.workspace_peak <= cap,
+                "observed workspace {} exceeds the proven cap {cap} in {}",
+                span.workspace_peak,
+                span.operator
+            );
+        }
+    }
+
+    let reply = client.stats().expect("stats");
+    let Response::Stats(stats) = reply else {
+        panic!("expected stats report, got {reply:?}");
+    };
+    assert!(stats.queries >= 1, "{stats:?}");
+    assert_eq!(stats.cap_exceeded, 0, "{stats:?}");
+    assert!(
+        stats.live.iter().any(|l| l.relation == "X"),
+        "live telemetry must cover the ingested relation: {stats:?}"
+    );
+    let net = stats
+        .net
+        .expect("the server must merge network counters into \\stats");
+    assert_eq!(net.connections, 1, "{net:?}");
+    assert_eq!(net.conns.len(), 1, "{net:?}");
+    // Ingest + trace toggle + query + stats frames were all decoded
+    // before this snapshot was taken; both replies were written first.
+    assert!(net.frames_in >= 4, "{net:?}");
+    assert!(net.bytes_in > 0 && net.bytes_out > 0, "{net:?}");
+    assert!(net.frames_out >= 2, "{net:?}");
+
+    client.close();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+// ---------------------------------------------------------------------------
+// 5. Connection cleanup
+// ---------------------------------------------------------------------------
+
+/// Count this process's threads via procfs. Linux-only; other platforms
+/// report 0 and the thread figures stay diagnostic.
+#[cfg(target_os = "linux")]
+fn threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("/proc/self/status must be readable on linux")
+        .lines()
+        .find(|l| l.starts_with("Threads:"))
+        .expect("status file lists a Threads: line")
+        .split_whitespace()
+        .nth(1)
+        .expect("Threads: line carries a count")
+        .parse()
+        .expect("thread count parses as usize")
+}
+
+#[cfg(not(target_os = "linux"))]
+fn threads() -> usize {
+    0
+}
+
+#[test]
+fn normal_close_cancels_subscriptions_and_reaps_threads() {
+    let root = std::env::temp_dir().join(format!("tdb-net-leak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = serve(root.join("srv"), "127.0.0.1:0", NetConfig::default()).expect("serve");
+    let addr = server.addr();
+
+    let mut ing = Client::connect(addr).expect("ingester connects");
+    ing.ingest("X", "0 100 long 0\n10 20 a 1\n")
+        .expect("seed ingest");
+
+    let mut sub = Client::connect(addr).expect("subscriber connects");
+    let reply = sub
+        .request(
+            "\\subscribe range of a is X range of b is X retrieve (P=a.Id, Q=b.Id) \
+             where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo",
+        )
+        .expect("subscribe");
+    assert!(matches!(reply, Response::Subscribed(_)), "{reply:?}");
+
+    let before = threads();
+    sub.close(); // orderly Bye + socket shutdown
+    std::thread::sleep(Duration::from_millis(500));
+
+    // Drive a few epochs; a cleaned-up connection has its subscription
+    // cancelled. Poll up to 5s.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut cancelled = false;
+    while Instant::now() < deadline {
+        ing.ingest("X", "30 40 b 2\n").expect("epoch ingest");
+        let Response::Live(live) = ing.request("\\live").expect("live status") else {
+            panic!("\\live must answer with a live status report");
+        };
+        if live.subscriptions[0].cancelled {
+            cancelled = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    let after = threads();
+    eprintln!("threads before close: {before}, after: {after}, cancelled: {cancelled}");
+    assert!(
+        cancelled,
+        "subscription of a disconnected client was never cancelled (threads {before} -> {after})"
+    );
+    server.shutdown();
     let _ = std::fs::remove_dir_all(&root);
 }
