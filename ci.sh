@@ -18,7 +18,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # Pedantic tier with the triaged allowlist: every category below was
 # reviewed and judged stylistic for this codebase (docs sections, #[must_use]
-# candidates, lossy-cast notes on metrics math, long planner match arms).
+# candidates, lossy-cast notes on metrics math, long planner match arms,
+# branchless `&` predicates in the batch kernels' hot loops).
 # Anything pedantic *outside* this list fails the build.
 echo "==> cargo clippy -- pedantic (triaged)"
 cargo clippy --workspace --all-targets -- -D warnings -W clippy::pedantic \
@@ -36,6 +37,7 @@ cargo clippy --workspace --all-targets -- -D warnings -W clippy::pedantic \
   -A clippy::missing_fields_in_debug \
   -A clippy::missing_panics_doc \
   -A clippy::must_use_candidate \
+  -A clippy::needless_bitwise_bool \
   -A clippy::needless_pass_by_value \
   -A clippy::redundant_closure_for_method_calls \
   -A clippy::return_self_not_must_use \
@@ -63,6 +65,14 @@ timeout 60 cargo run --release -p tdb-bench --bin experiments -- net
 # workspace peak exceeds its proven cap (cap_exceeded must be 0).
 echo "==> observability soak (E18, bounded)"
 timeout 60 cargo run --release -p tdb-bench --bin experiments -- obs
+
+# Bounded batch-execution check (E19): columnar batch kernels vs the
+# row-at-a-time operators on the E15 workload — identical pairs, counters,
+# and workspace peaks asserted, observed peaks proven under the static cap
+# (cap_exceeded must be 0). Speedups are recorded, not asserted: they
+# depend on core count and cache size. Hard-capped at 60.
+echo "==> batch equivalence + bench (E19, bounded)"
+timeout 60 cargo run --release -p tdb-bench --bin experiments -- batch
 
 # Concurrency model of the partition K-way merge + owner-dedup handoff.
 echo "==> loom model (partition handoff)"

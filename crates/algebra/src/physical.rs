@@ -20,9 +20,38 @@ use std::fmt;
 use tdb_core::{PeriodRow, Row, StreamOrder, TdbError, TdbResult, Temporal};
 use tdb_storage::Catalog;
 use tdb_stream::{
-    from_sorted_vec, parallel_join, parallel_semijoin, Instrumented, MergeEquiJoin, OpConfig,
-    OpMetrics, OpReport, OverlapMode, ParallelPattern, StreamOpKind, TupleStream, WorkspaceStats,
+    from_sorted_vec, parallel_join, parallel_semijoin, run_join_kind, run_semijoin_kind,
+    Instrumented, MergeEquiJoin, OpConfig, OpMetrics, OpReport, OverlapMode, ParallelPattern,
+    StreamOpKind, TupleStream, WorkspaceStats,
 };
+
+/// Executor-level options: what to collect and how the stream temporal
+/// operators execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Collect per-operator [`OpObservation`]s (disable for the
+    /// instrumentation-overhead baseline).
+    pub collect_trace: bool,
+    /// Rows per columnar batch on the vectorized execution path; `0` runs
+    /// the row-at-a-time operators.
+    pub batch_rows: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            collect_trace: true,
+            batch_rows: tdb_stream::DEFAULT_BATCH_ROWS,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// The per-operator configuration these options induce.
+    fn op_config(self) -> OpConfig {
+        OpConfig::new().with_batch_rows(self.batch_rows)
+    }
+}
 
 /// Aggregate execution statistics of one query run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -249,18 +278,34 @@ impl PhysicalPlan {
     }
 
     /// Execute the plan against `catalog`, collecting per-operator
-    /// observations.
+    /// observations, with default (batched) execution options.
     pub fn execute(&self, catalog: &Catalog) -> TdbResult<QueryOutput> {
-        self.execute_with(catalog, true)
+        self.execute_opts(catalog, ExecOptions::default())
     }
 
     /// Execute the plan, optionally disabling per-operator trace
     /// collection (the instrumentation-overhead baseline the observability
     /// benchmark compares against).
     pub fn execute_with(&self, catalog: &Catalog, collect_trace: bool) -> TdbResult<QueryOutput> {
+        self.execute_opts(
+            catalog,
+            ExecOptions {
+                collect_trace,
+                ..ExecOptions::default()
+            },
+        )
+    }
+
+    /// Execute the plan under explicit [`ExecOptions`].
+    pub fn execute_opts(&self, catalog: &Catalog, opts: ExecOptions) -> TdbResult<QueryOutput> {
         let mut stats = ExecStats::default();
         let mut trace = Vec::new();
-        let (rows, scope) = self.run(catalog, &mut stats, collect_trace.then_some(&mut trace))?;
+        let (rows, scope) = self.run(
+            catalog,
+            opts.op_config(),
+            &mut stats,
+            opts.collect_trace.then_some(&mut trace),
+        )?;
         stats.output_rows = rows.len();
         Ok(QueryOutput {
             rows,
@@ -273,6 +318,7 @@ impl PhysicalPlan {
     fn run(
         &self,
         catalog: &Catalog,
+        cfg: OpConfig,
         stats: &mut ExecStats,
         mut trace: Option<&mut Vec<OpObservation>>,
     ) -> TdbResult<(Vec<Row>, Scope)> {
@@ -285,7 +331,7 @@ impl PhysicalPlan {
                 Ok((rows, scope))
             }
             PhysicalPlan::Filter { input, atoms } => {
-                let (rows, scope) = input.run(catalog, stats, trace.as_deref_mut())?;
+                let (rows, scope) = input.run(catalog, cfg, stats, trace.as_deref_mut())?;
                 let resolved = resolve_all(atoms, |c| scope.index_of(c))?;
                 stats.comparisons += (rows.len() * atoms.len()) as u64;
                 let rows: Vec<Row> = rows
@@ -296,7 +342,7 @@ impl PhysicalPlan {
                 Ok((rows, scope))
             }
             PhysicalPlan::Project { input, columns } => {
-                let (rows, scope) = input.run(catalog, stats, trace.as_deref_mut())?;
+                let (rows, scope) = input.run(catalog, cfg, stats, trace.as_deref_mut())?;
                 let indices: Vec<usize> = columns
                     .iter()
                     .map(|(c, _)| scope.index_of(c))
@@ -306,8 +352,8 @@ impl PhysicalPlan {
                 Ok((rows, self.scope(catalog)?))
             }
             PhysicalPlan::Product { left, right } => {
-                let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
-                let (rrows, rscope) = right.run(catalog, stats, trace.as_deref_mut())?;
+                let (lrows, lscope) = left.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                let (rrows, rscope) = right.run(catalog, cfg, stats, trace.as_deref_mut())?;
                 let mut out = Vec::with_capacity(lrows.len() * rrows.len());
                 for l in &lrows {
                     for r in &rrows {
@@ -318,8 +364,8 @@ impl PhysicalPlan {
                 Ok((out, lscope.concat(&rscope)))
             }
             PhysicalPlan::NestedLoop { left, right, atoms } => {
-                let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
-                let (rrows, rscope) = right.run(catalog, stats, trace.as_deref_mut())?;
+                let (lrows, lscope) = left.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                let (rrows, rscope) = right.run(catalog, cfg, stats, trace.as_deref_mut())?;
                 let scope = lscope.concat(&rscope);
                 let resolved = resolve_all(atoms, |c| scope.index_of(c))?;
                 let mut out = Vec::new();
@@ -342,8 +388,8 @@ impl PhysicalPlan {
                 right_key,
                 residual,
             } => {
-                let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
-                let (rrows, rscope) = right.run(catalog, stats, trace.as_deref_mut())?;
+                let (lrows, lscope) = left.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                let (rrows, rscope) = right.run(catalog, cfg, stats, trace.as_deref_mut())?;
                 let li = lscope.index_of(left_key)?;
                 let ri = rscope.index_of(right_key)?;
                 let lrows = sort_rows_by_key(lrows, li, stats);
@@ -386,15 +432,15 @@ impl PhysicalPlan {
                 pattern,
                 residual,
             } => {
-                let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
-                let (rrows, rscope) = right.run(catalog, stats, trace.as_deref_mut())?;
+                let (lrows, lscope) = left.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                let (rrows, rscope) = right.run(catalog, cfg, stats, trace.as_deref_mut())?;
                 let lp = lscope.period_of_var(left_var)?;
                 let rp = rscope.period_of_var(right_var)?;
                 let lwrapped = wrap_rows(lrows, lp)?;
                 let rwrapped = wrap_rows(rrows, rp)?;
                 let scope = lscope.concat(&rscope);
                 let resolved = resolve_all(residual, |c| scope.index_of(c))?;
-                let (pairs, report) = run_stream_join(*pattern, lwrapped, rwrapped, stats)?;
+                let (pairs, report) = run_stream_join(*pattern, cfg, lwrapped, rwrapped, stats)?;
                 stats.max_workspace = stats.max_workspace.max(report.max_workspace());
                 stats.comparisons += report.metrics.comparisons as u64;
                 if let Some(t) = trace {
@@ -418,13 +464,13 @@ impl PhysicalPlan {
                 right_var,
                 pattern,
             } => {
-                let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
-                let (rrows, rscope) = right.run(catalog, stats, trace.as_deref_mut())?;
+                let (lrows, lscope) = left.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                let (rrows, rscope) = right.run(catalog, cfg, stats, trace.as_deref_mut())?;
                 let lp = lscope.period_of_var(left_var)?;
                 let rp = rscope.period_of_var(right_var)?;
                 let lwrapped = wrap_rows(lrows, lp)?;
                 let rwrapped = wrap_rows(rrows, rp)?;
-                let (kept, report) = run_stream_semijoin(*pattern, lwrapped, rwrapped, stats)?;
+                let (kept, report) = run_stream_semijoin(*pattern, cfg, lwrapped, rwrapped, stats)?;
                 stats.max_workspace = stats.max_workspace.max(report.max_workspace());
                 stats.comparisons += report.metrics.comparisons as u64;
                 if let Some(t) = trace {
@@ -443,17 +489,18 @@ impl PhysicalPlan {
                     pattern,
                     residual,
                 } => match parallel_pattern(*pattern) {
-                    None => child.run(catalog, stats, trace.as_deref_mut()),
+                    None => child.run(catalog, cfg, stats, trace.as_deref_mut()),
                     Some(ppat) => {
-                        let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
-                        let (rrows, rscope) = right.run(catalog, stats, trace.as_deref_mut())?;
+                        let (lrows, lscope) =
+                            left.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                        let (rrows, rscope) =
+                            right.run(catalog, cfg, stats, trace.as_deref_mut())?;
                         let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
                         let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
                         note_parallel_sorts(ppat, true, &lwrapped, &rwrapped, stats);
                         #[cfg(debug_assertions)]
                         let ws_cap = parallel_ws_cap(ppat, true, &lwrapped, &rwrapped);
-                        let run =
-                            parallel_join(ppat, lwrapped, rwrapped, *partitions, OpConfig::new())?;
+                        let run = parallel_join(ppat, lwrapped, rwrapped, *partitions, cfg)?;
                         #[cfg(debug_assertions)]
                         debug_assert!(
                             run.report.max_workspace() <= ws_cap,
@@ -493,22 +540,18 @@ impl PhysicalPlan {
                     right_var,
                     pattern,
                 } => match parallel_pattern(*pattern) {
-                    None => child.run(catalog, stats, trace.as_deref_mut()),
+                    None => child.run(catalog, cfg, stats, trace.as_deref_mut()),
                     Some(ppat) => {
-                        let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
-                        let (rrows, rscope) = right.run(catalog, stats, trace.as_deref_mut())?;
+                        let (lrows, lscope) =
+                            left.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                        let (rrows, rscope) =
+                            right.run(catalog, cfg, stats, trace.as_deref_mut())?;
                         let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
                         let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
                         note_parallel_sorts(ppat, false, &lwrapped, &rwrapped, stats);
                         #[cfg(debug_assertions)]
                         let ws_cap = parallel_ws_cap(ppat, false, &lwrapped, &rwrapped);
-                        let run = parallel_semijoin(
-                            ppat,
-                            lwrapped,
-                            rwrapped,
-                            *partitions,
-                            OpConfig::new(),
-                        )?;
+                        let run = parallel_semijoin(ppat, lwrapped, rwrapped, *partitions, cfg)?;
                         #[cfg(debug_assertions)]
                         debug_assert!(
                             run.report.max_workspace() <= ws_cap,
@@ -534,20 +577,19 @@ impl PhysicalPlan {
                 },
                 // Non-partitionable child (a non-stream node): degrade
                 // gracefully to serial execution.
-                other => other.run(catalog, stats, trace.as_deref_mut()),
+                other => other.run(catalog, cfg, stats, trace.as_deref_mut()),
             },
             PhysicalPlan::SelfSemijoin {
                 input,
                 var,
                 contained,
             } => {
-                let (rows, scope) = input.run(catalog, stats, trace.as_deref_mut())?;
+                let (rows, scope) = input.run(catalog, cfg, stats, trace.as_deref_mut())?;
                 let p = scope.period_of_var(var)?;
                 let wrapped = wrap_rows(rows, p)?;
                 let order = StreamOrder::TS_ASC_TE_ASC;
                 let sorted = sort_wrapped(wrapped, order, stats);
                 let input_stream = from_sorted_vec(sorted, order)?;
-                let cfg = OpConfig::new();
                 let (out_rows, report): (Vec<PeriodRow>, OpReport) = if *contained {
                     let mut op = cfg.contained_self_semijoin(input_stream)?;
                     let v = op.collect_vec()?;
@@ -577,8 +619,8 @@ impl PhysicalPlan {
                 left_key,
                 right_key,
             } => {
-                let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
-                let (rrows, rscope) = right.run(catalog, stats, trace.as_deref_mut())?;
+                let (lrows, lscope) = left.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                let (rrows, rscope) = right.run(catalog, cfg, stats, trace.as_deref_mut())?;
                 let li = lscope.index_of(left_key)?;
                 let ri = rscope.index_of(right_key)?;
                 let lrows = sort_rows_by_key(lrows, li, stats);
@@ -595,8 +637,8 @@ impl PhysicalPlan {
                 Ok((out, lscope))
             }
             PhysicalPlan::NestedSemijoin { left, right, atoms } => {
-                let (lrows, lscope) = left.run(catalog, stats, trace.as_deref_mut())?;
-                let (rrows, rscope) = right.run(catalog, stats, trace)?;
+                let (lrows, lscope) = left.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                let (rrows, rscope) = right.run(catalog, cfg, stats, trace)?;
                 let scope = lscope.concat(&rscope);
                 let resolved = resolve_all(atoms, |c| scope.index_of(c))?;
                 let mut out = Vec::new();
@@ -842,11 +884,11 @@ type PairResult = (Vec<(PeriodRow, PeriodRow)>, OpReport);
 
 fn run_stream_join(
     pattern: TemporalPattern,
+    cfg: OpConfig,
     l: Vec<PeriodRow>,
     r: Vec<PeriodRow>,
     stats: &mut ExecStats,
 ) -> TdbResult<PairResult> {
-    let cfg = OpConfig::new();
     match pattern {
         TemporalPattern::Contains | TemporalPattern::During => {
             // Normalize to container ⊇ containee; During swaps sides. The
@@ -862,19 +904,17 @@ fn run_stream_join(
             let e = sort_wrapped(e, e_ord, stats);
             #[cfg(debug_assertions)]
             let ws_cap = static_ws_cap(kind, &c, &e);
-            let mut op =
-                cfg.contain_join_ts_te(from_sorted_vec(c, c_ord)?, from_sorted_vec(e, e_ord)?)?;
-            let mut pairs = op.collect_vec()?;
+            let (mut pairs, report) = run_join_kind(kind, cfg, c, c_ord, e, e_ord)?;
             #[cfg(debug_assertions)]
             debug_assert!(
-                op.report().max_workspace() <= ws_cap,
+                report.max_workspace() <= ws_cap,
                 "{kind} workspace {} exceeded the static cap {ws_cap}",
-                op.report().max_workspace()
+                report.max_workspace()
             );
             if swap {
                 pairs = pairs.into_iter().map(|(a, b)| (b, a)).collect();
             }
-            Ok((pairs, op.report()))
+            Ok((pairs, report))
         }
         TemporalPattern::GeneralOverlap | TemporalPattern::AllenOverlaps => {
             let mode = if pattern == TemporalPattern::GeneralOverlap {
@@ -890,19 +930,18 @@ fn run_stream_join(
             let r = sort_wrapped(r, r_ord, stats);
             #[cfg(debug_assertions)]
             let ws_cap = static_ws_cap(kind, &l, &r);
-            let mut op = cfg
-                .with_mode(mode)
-                .overlap_join(from_sorted_vec(l, l_ord)?, from_sorted_vec(r, r_ord)?)?;
-            let pairs = op.collect_vec()?;
+            let (pairs, report) = run_join_kind(kind, cfg.with_mode(mode), l, l_ord, r, r_ord)?;
             #[cfg(debug_assertions)]
             debug_assert!(
-                op.report().max_workspace() <= ws_cap,
+                report.max_workspace() <= ws_cap,
                 "{kind} workspace {} exceeded the static cap {ws_cap}",
-                op.report().max_workspace()
+                report.max_workspace()
             );
-            Ok((pairs, op.report()))
+            Ok((pairs, report))
         }
         TemporalPattern::Before | TemporalPattern::After => {
+            // `kind` only feeds the debug-build cap assertion below.
+            #[cfg_attr(not(debug_assertions), allow(unused_variables))]
             let (kind, swap) = pattern.join_op();
             let (a, b) = if swap { (r, l) } else { (l, r) };
             #[cfg(debug_assertions)]
@@ -927,11 +966,11 @@ type SemiResult = (Vec<PeriodRow>, OpReport);
 
 fn run_stream_semijoin(
     pattern: TemporalPattern,
+    cfg: OpConfig,
     l: Vec<PeriodRow>,
     r: Vec<PeriodRow>,
     stats: &mut ExecStats,
 ) -> TdbResult<SemiResult> {
-    let cfg = OpConfig::new();
     match pattern {
         TemporalPattern::During => {
             // Left rows contained in some right row: the Figure 6 stab
@@ -944,16 +983,14 @@ fn run_stream_semijoin(
             let r = sort_wrapped(r, r_ord, stats);
             #[cfg(debug_assertions)]
             let ws_cap = static_ws_cap(kind, &l, &r);
-            let mut op = cfg
-                .contained_semijoin_stab(from_sorted_vec(l, l_ord)?, from_sorted_vec(r, r_ord)?)?;
-            let kept = op.collect_vec()?;
+            let (kept, report) = run_semijoin_kind(kind, cfg, l, l_ord, r, r_ord)?;
             #[cfg(debug_assertions)]
             debug_assert!(
-                op.report().max_workspace() <= ws_cap,
+                report.max_workspace() <= ws_cap,
                 "{kind} workspace {} exceeded the static cap {ws_cap}",
-                op.report().max_workspace()
+                report.max_workspace()
             );
-            Ok((kept, op.report()))
+            Ok((kept, report))
         }
         TemporalPattern::Contains => {
             let (kind, _) = pattern.semijoin_op();
@@ -964,16 +1001,14 @@ fn run_stream_semijoin(
             let r = sort_wrapped(r, r_ord, stats);
             #[cfg(debug_assertions)]
             let ws_cap = static_ws_cap(kind, &l, &r);
-            let mut op =
-                cfg.contain_semijoin_stab(from_sorted_vec(l, l_ord)?, from_sorted_vec(r, r_ord)?)?;
-            let kept = op.collect_vec()?;
+            let (kept, report) = run_semijoin_kind(kind, cfg, l, l_ord, r, r_ord)?;
             #[cfg(debug_assertions)]
             debug_assert!(
-                op.report().max_workspace() <= ws_cap,
+                report.max_workspace() <= ws_cap,
                 "{kind} workspace {} exceeded the static cap {ws_cap}",
-                op.report().max_workspace()
+                report.max_workspace()
             );
-            Ok((kept, op.report()))
+            Ok((kept, report))
         }
         TemporalPattern::GeneralOverlap | TemporalPattern::AllenOverlaps => {
             let mode = if pattern == TemporalPattern::GeneralOverlap {
@@ -989,17 +1024,14 @@ fn run_stream_semijoin(
             let r = sort_wrapped(r, r_ord, stats);
             #[cfg(debug_assertions)]
             let ws_cap = static_ws_cap(kind, &l, &r);
-            let mut op = cfg
-                .with_mode(mode)
-                .overlap_semijoin(from_sorted_vec(l, l_ord)?, from_sorted_vec(r, r_ord)?)?;
-            let kept = op.collect_vec()?;
+            let (kept, report) = run_semijoin_kind(kind, cfg.with_mode(mode), l, l_ord, r, r_ord)?;
             #[cfg(debug_assertions)]
             debug_assert!(
-                op.report().max_workspace() <= ws_cap,
+                report.max_workspace() <= ws_cap,
                 "{kind} workspace {} exceeded the static cap {ws_cap}",
-                op.report().max_workspace()
+                report.max_workspace()
             );
-            Ok((kept, op.report()))
+            Ok((kept, report))
         }
         TemporalPattern::Before => {
             let mut op = cfg.before_semijoin(tdb_stream::from_vec(l), tdb_stream::from_vec(r))?;

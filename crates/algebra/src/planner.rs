@@ -38,6 +38,11 @@ pub struct PlannerConfig {
     /// [`PhysicalPlan::Parallel`] driver that runs `K` operator instances
     /// over disjoint time ranges with fringe replication.
     pub parallelism: usize,
+    /// Rows per columnar batch for stream temporal operators. `0` selects
+    /// the row-at-a-time pull operators; any positive value selects the
+    /// vectorized batch kernels, which produce identical output and
+    /// identical workspace statistics (`tests/batch_equivalence.rs`).
+    pub batch_rows: usize,
 }
 
 impl PlannerConfig {
@@ -47,6 +52,7 @@ impl PlannerConfig {
             use_stream_temporal: true,
             use_merge_equi: true,
             parallelism: 1,
+            batch_rows: tdb_stream::DEFAULT_BATCH_ROWS,
         }
     }
 
@@ -57,6 +63,7 @@ impl PlannerConfig {
             use_stream_temporal: false,
             use_merge_equi: true,
             parallelism: 1,
+            batch_rows: tdb_stream::DEFAULT_BATCH_ROWS,
         }
     }
 
@@ -66,12 +73,19 @@ impl PlannerConfig {
             use_stream_temporal: false,
             use_merge_equi: false,
             parallelism: 1,
+            batch_rows: tdb_stream::DEFAULT_BATCH_ROWS,
         }
     }
 
     /// Set the number of time-range partitions for stream operators.
     pub fn with_parallelism(mut self, k: usize) -> PlannerConfig {
         self.parallelism = k;
+        self
+    }
+
+    /// Set the rows-per-batch for stream operators (`0` = row-at-a-time).
+    pub fn with_batch_rows(mut self, rows: usize) -> PlannerConfig {
+        self.batch_rows = rows;
         self
     }
 

@@ -11,7 +11,8 @@
 //! E12=read-policy ablation, E13=Before operators, E14=sort-vs-rescan
 //! cost, E6=Figure 4 aggregation, E15=time-partitioned parallel scaling,
 //! E16=live ingestion soak, E17=framed-TCP network soak,
-//! E18=observability overhead + metrics-scraped soak.
+//! E18=observability overhead + metrics-scraped soak,
+//! E19=columnar batch execution vs row-at-a-time.
 //!
 //! Standalone artifacts (`BENCH_*.json`) are written under `results/`.
 
@@ -47,6 +48,7 @@ fn main() {
             "sortcost",
             "aggregate",
             "parallel",
+            "batch",
             "live",
             "net",
             "obs",
@@ -73,6 +75,7 @@ fn main() {
             "sortcost" => sortcost(&mut json),
             "aggregate" => aggregate(&mut json),
             "parallel" => parallel(&mut json),
+            "batch" => batch(&mut json),
             "live" => live(&mut json),
             "net" => net(&mut json),
             "obs" => obs(&mut json),
@@ -739,6 +742,206 @@ fn parallel(json: &mut BTreeMap<String, Json>) {
     std::fs::write("results/BENCH_parallel.json", doc.to_string_pretty()).unwrap();
     println!("\n    results/BENCH_parallel.json written");
     json.insert("parallel".into(), Json::Array(rows_json));
+}
+
+/// E19 — columnar batch execution vs row-at-a-time, on the E15 workload.
+///
+/// Two sections. (1) A serial scale sweep of the Contain-join at
+/// `n ∈ {20k, 40k}` per side: the columnar kernel's edge is cache
+/// residency, so the speedup is largest while the materialized pair
+/// vector still fits in the last-level cache and shrinks toward parity
+/// once output writes hit the memory wall. (2) The time-partitioned
+/// parallel Contain-join over the same 40k/side Poisson workload as E15,
+/// at `K ∈ {1, 8}`. Every run asserts the two paths agree exactly — same
+/// pairs, same comparison counts, same workspace peak — and that the
+/// observed peak stays under the analyzer's static cap on **both** paths
+/// (`cap_exceeded == 0`), then records the batched-over-row wall-clock
+/// speedup. Emits `results/BENCH_batch.json`.
+fn batch(json: &mut BTreeMap<String, Json>) {
+    use tdb::stream::{run_join_kind, StreamOpKind};
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("E19 · columnar batch execution vs row-at-a-time Contain-join ({cores} core(s))");
+    let mut cap_exceeded = 0usize;
+
+    // Section 1: serial scale sweep. Correctness and timing are separate
+    // passes: holding one path's multi-megabyte pair vector alive while
+    // clocking the other pollutes the heap and the cache enough to halve
+    // the measured kernel gain, so the timing pass drops every output the
+    // moment the clock stops. Sorted inputs are cloned inside the timed
+    // region on both paths, so the clone cost cancels in the ratio.
+    let mut serial_json = Vec::new();
+    for n in [20_000usize, 40_000] {
+        let w = Workload::poisson("par", n, 3.0, 30.0, 3.0, 8.0, 1501);
+        let (sx, sy) = w.stats();
+        let cap = workspace_cap(StreamOpKind::ContainJoinTsTe, &sx, Some(&sy));
+        let mut x = w.xs.clone();
+        StreamOrder::TS_ASC.sort(&mut x);
+        let mut y = w.ys.clone();
+        StreamOrder::TE_ASC.sort(&mut y);
+        let run_path = |rows: usize| {
+            run_join_kind(
+                StreamOpKind::ContainJoinTsTe,
+                OpConfig::new().with_batch_rows(rows),
+                x.clone(),
+                StreamOrder::TS_ASC,
+                y.clone(),
+                StreamOrder::TE_ASC,
+            )
+            .unwrap()
+        };
+
+        // Correctness pass (untimed): outputs compared, then dropped.
+        let (pairs, peak, comparisons) = {
+            let (row_out, row_rep) = run_path(0);
+            let (batch_out, batch_rep) = run_path(tdb::stream::DEFAULT_BATCH_ROWS);
+            assert_eq!(batch_out, row_out, "n={n}: outputs diverged");
+            assert_eq!(
+                batch_rep.metrics, row_rep.metrics,
+                "n={n}: counters diverged"
+            );
+            assert_eq!(
+                batch_rep.max_workspace(),
+                row_rep.max_workspace(),
+                "n={n}: workspace peak must be batch-size-invariant"
+            );
+            (
+                batch_out.len(),
+                batch_rep.max_workspace(),
+                batch_rep.metrics.comparisons,
+            )
+        };
+        if peak > cap {
+            cap_exceeded += 1;
+        }
+
+        // Timing pass: best-of-3 per path, only the clock survives.
+        let time_path = |rows: usize| {
+            let mut best = u128::MAX;
+            for _ in 0..3 {
+                let (out, us) = timed(|| run_path(rows));
+                std::hint::black_box(&out);
+                best = best.min(us);
+            }
+            best
+        };
+        let row_us = time_path(0);
+        let batch_us = time_path(tdb::stream::DEFAULT_BATCH_ROWS);
+        let speedup = row_us as f64 / batch_us.max(1) as f64;
+        println!(
+            "    serial n={n:>6}: row {:>8.1} ms   batched {:>8.1} ms   speedup {speedup:>4.2}×   \
+             {pairs} pairs   workspace {peak} ≤ cap {cap}",
+            row_us as f64 / 1000.0,
+            batch_us as f64 / 1000.0,
+        );
+        serial_json.push(jobj! {
+            "n_per_side" => n,
+            "row_us" => row_us,
+            "batch_us" => batch_us,
+            "batch_rows" => tdb::stream::DEFAULT_BATCH_ROWS,
+            "speedup_batched" => speedup,
+            "pairs" => pairs,
+            "comparisons" => comparisons,
+            "workspace_max" => peak,
+            "workspace_static_cap" => cap,
+        });
+    }
+
+    // Section 2: partitioned-parallel execution on the E15 workload.
+    let w = Workload::poisson("par", 40_000, 3.0, 30.0, 3.0, 8.0, 1501);
+    let (sx, sy) = w.stats();
+    let static_cap = workspace_cap(tdb::stream::StreamOpKind::ContainJoinTsTe, &sx, Some(&sy));
+
+    let mut rows_json = Vec::new();
+    for k in [1usize, 8] {
+        let run_path = |rows: usize| {
+            parallel_join(
+                ParallelPattern::Contains,
+                w.xs.clone(),
+                w.ys.clone(),
+                k,
+                OpConfig::new().with_batch_rows(rows),
+            )
+            .unwrap()
+        };
+
+        // Correctness pass (untimed): outputs compared, then dropped so
+        // the timing pass below starts from a clean heap.
+        let (pairs, peak, comparisons) = {
+            let row_run = run_path(0);
+            let batch_run = run_path(tdb::stream::DEFAULT_BATCH_ROWS);
+            assert_eq!(
+                batch_run.items, row_run.items,
+                "K={k}: batched and row outputs diverged"
+            );
+            assert_eq!(
+                batch_run.report.metrics, row_run.report.metrics,
+                "K={k}: batched and row counters diverged"
+            );
+            assert_eq!(
+                batch_run.report.max_workspace(),
+                row_run.report.max_workspace(),
+                "K={k}: workspace peak must be batch-size-invariant"
+            );
+            (
+                batch_run.items.len(),
+                batch_run.report.max_workspace(),
+                batch_run.report.metrics.comparisons,
+            )
+        };
+        if peak > static_cap {
+            cap_exceeded += 1;
+        }
+
+        // Timing pass: best-of-3 per path, outputs dropped per iteration.
+        let time_path = |rows: usize| {
+            let mut best = u128::MAX;
+            for _ in 0..3 {
+                let (run, us) = timed(|| run_path(rows));
+                std::hint::black_box(&run);
+                best = best.min(us);
+            }
+            best
+        };
+        let row_us = time_path(0);
+        let batch_us = time_path(tdb::stream::DEFAULT_BATCH_ROWS);
+        let speedup = row_us as f64 / batch_us.max(1) as f64;
+        println!(
+            "    K={k}: row {:>8.1} ms   batched {:>8.1} ms   speedup {speedup:>4.2}×   \
+             {pairs} pairs   workspace {peak} ≤ cap {static_cap}",
+            row_us as f64 / 1000.0,
+            batch_us as f64 / 1000.0,
+        );
+        rows_json.push(jobj! {
+            "k" => k,
+            "row_us" => row_us,
+            "batch_us" => batch_us,
+            "batch_rows" => tdb::stream::DEFAULT_BATCH_ROWS,
+            "speedup_batched" => speedup,
+            "pairs" => pairs,
+            "comparisons" => comparisons,
+            "workspace_max" => peak,
+            "workspace_static_cap" => static_cap,
+        });
+    }
+    assert_eq!(
+        cap_exceeded, 0,
+        "observed workspace peaks exceeded the static cap"
+    );
+    let doc = jobj! {
+        "experiment" => "E19 columnar batch execution vs row-at-a-time",
+        "cores" => cores,
+        "n_per_side" => 40_000usize,
+        "cap_exceeded" => cap_exceeded,
+        "workspace_static_cap" => static_cap,
+        "serial" => Json::Array(serial_json),
+        "rows" => Json::Array(rows_json.clone()),
+    };
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/BENCH_batch.json", doc.to_string_pretty()).unwrap();
+    println!("\n    results/BENCH_batch.json written (cap_exceeded = {cap_exceeded})");
+    json.insert("batch".into(), Json::Array(rows_json));
 }
 
 /// E6 — Figure 4: grouped-sum stream processor vs hash aggregation.

@@ -278,6 +278,22 @@ mod tests {
     }
 
     #[test]
+    fn set_batch_flows_into_session_config() {
+        let mut s = session("batch");
+        let msg = out(s.feed("\\set batch 256"));
+        assert!(msg.contains("256 rows"), "{msg}");
+        assert_eq!(s.config.batch_rows, 256);
+        let msg = out(s.feed("\\set batch 0"));
+        assert!(msg.contains("row-at-a-time"), "{msg}");
+        // Unknown keys and out-of-range values surface the engine's typed
+        // configuration error, same as over the wire.
+        let msg = out(s.feed("\\set warp 9"));
+        assert!(msg.contains("configuration error"), "{msg}");
+        let msg = out(s.feed("\\set batch 9999999999"));
+        assert!(msg.contains("configuration error"), "{msg}");
+    }
+
+    #[test]
     fn set_limit_changes_session_row_limit() {
         let mut s = session("lim");
         let msg = out(s.feed("\\set limit 3"));

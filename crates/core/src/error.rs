@@ -61,6 +61,11 @@ pub enum TdbError {
         /// Total frames in the pool, all pinned.
         capacity: usize,
     },
+    /// A client-supplied configuration setting was rejected: unknown
+    /// `\set` key, unparsable value, or a value outside the supported
+    /// range. Raised at the engine API boundary so every front end (CLI
+    /// and wire) reports the same typed error.
+    Config(String),
 }
 
 impl fmt::Display for TdbError {
@@ -96,6 +101,7 @@ impl fmt::Display for TdbError {
             TdbError::BufferExhausted { capacity } => {
                 write!(f, "buffer pool exhausted: all {capacity} frames pinned")
             }
+            TdbError::Config(m) => write!(f, "configuration error: {m}"),
         }
     }
 }

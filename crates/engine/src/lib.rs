@@ -69,6 +69,11 @@ impl Default for ClientState {
 /// Default slow-query threshold: queries at or above 10ms are retained.
 const SLOW_THRESHOLD_US: u64 = 10_000;
 
+/// Upper bound accepted by `\set parallelism`: beyond a few hundred
+/// time-range partitions the fringe-replication overhead dominates any
+/// conceivable core count.
+const MAX_PARALLELISM: usize = 256;
+
 /// How many slow traces the log keeps.
 const SLOW_LOG_CAP: usize = 8;
 
@@ -242,7 +247,12 @@ impl Engine {
             ["\\set", "parallelism", n] => {
                 let k: usize = n
                     .parse()
-                    .map_err(|_| TdbError::Eval(format!("bad partition count `{n}`")))?;
+                    .map_err(|_| TdbError::Config(format!("bad partition count `{n}`")))?;
+                if k == 0 || k > MAX_PARALLELISM {
+                    return Err(TdbError::Config(format!(
+                        "parallelism {k} out of range (1..={MAX_PARALLELISM}; 1 = serial)"
+                    )));
+                }
                 ctx.config = ctx.config.with_parallelism(k);
                 Ok(Response::Info(if k > 1 {
                     format!("parallelism: {k} time-range partitions\n")
@@ -250,13 +260,35 @@ impl Engine {
                     "parallelism: serial\n".to_string()
                 }))
             }
+            ["\\set", "batch", n] => {
+                let rows: usize = n
+                    .parse()
+                    .map_err(|_| TdbError::Config(format!("bad batch size `{n}`")))?;
+                if rows > MAX_BATCH_ROWS {
+                    return Err(TdbError::Config(format!(
+                        "batch size {rows} out of range (0..={MAX_BATCH_ROWS}; 0 = row-at-a-time)"
+                    )));
+                }
+                ctx.config = ctx.config.with_batch_rows(rows);
+                Ok(Response::Info(if rows > 0 {
+                    format!("batch: {rows} rows per operator batch\n")
+                } else {
+                    "batch: row-at-a-time\n".to_string()
+                }))
+            }
             ["\\set", "limit", n] => {
                 let limit: usize = n
                     .parse()
-                    .map_err(|_| TdbError::Eval(format!("bad row limit `{n}`")))?;
+                    .map_err(|_| TdbError::Config(format!("bad row limit `{n}`")))?;
                 ctx.row_limit = limit.max(1);
                 Ok(Response::Info(format!("row limit: {}\n", ctx.row_limit)))
             }
+            ["\\set", key, ..] => Err(TdbError::Config(format!(
+                "unknown \\set key `{key}` (batch|limit|parallelism)"
+            ))),
+            ["\\set"] => Err(TdbError::Config(
+                "\\set needs a key and a value: \\set batch|limit|parallelism <n>".into(),
+            )),
             ["\\gen", "faculty", n, rest @ ..] => {
                 let n: usize = n
                     .parse()
@@ -372,7 +404,13 @@ impl Engine {
         // plan tree was corrupted, not that the query is wrong.
         let (physical, analysis) = plan_verified(&optimized, ctx.config, &self.catalog)?;
         let start = std::time::Instant::now();
-        let result = physical.execute_with(&self.catalog, true)?;
+        let result = physical.execute_opts(
+            &self.catalog,
+            ExecOptions {
+                collect_trace: true,
+                batch_rows: ctx.config.batch_rows,
+            },
+        )?;
         let elapsed_us = start.elapsed().as_micros() as u64;
 
         let trace = build_trace(text, elapsed_us, &result, &analysis);
@@ -823,6 +861,7 @@ pub const HELP: &str = r#"commands:
   \analyze <query>                            verify a query's plan without running it
   \config stream|conventional|naive           planner strategy
   \set parallelism <k>                        time-range partitions for stream operators
+  \set batch <n>                              rows per columnar operator batch (0 = row-at-a-time)
   \set limit <n>                              rows delivered per query result
   \ingest <rel> <file|->                      live-append arrivals (`-` reads stdin to EOF);
                                               lines are `<ts> <te> [id [seq]]`
@@ -1047,6 +1086,68 @@ mod tests {
     }
 
     #[test]
+    fn set_batch_mutates_planner_config_within_range() {
+        let (mut e, mut ctx) = engine("setbatch");
+        assert_eq!(ctx.config.batch_rows, tdb::stream::DEFAULT_BATCH_ROWS);
+        e.execute(&mut ctx, "\\set batch 64");
+        assert_eq!(ctx.config.batch_rows, 64);
+        e.execute(&mut ctx, "\\set batch 0");
+        assert_eq!(ctx.config.batch_rows, 0);
+        let over = tdb::stream::MAX_BATCH_ROWS + 1;
+        let resp = e.execute(&mut ctx, &format!("\\set batch {over}"));
+        let Response::Error(err) = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(err.code, ErrorCode::Config);
+        assert_eq!(ctx.config.batch_rows, 0, "rejected value must not apply");
+    }
+
+    #[test]
+    fn bad_set_keys_and_ranges_are_typed_config_errors() {
+        let (mut e, mut ctx) = engine("seterr");
+        for input in [
+            "\\set",
+            "\\set warp 9",
+            "\\set batch x",
+            "\\set parallelism 0",
+            "\\set parallelism 1000000",
+        ] {
+            let resp = e.execute(&mut ctx, input);
+            let Response::Error(err) = resp else {
+                panic!("expected error for `{input}`, got {resp:?}");
+            };
+            assert_eq!(err.code, ErrorCode::Config, "{input}: {}", err.message);
+        }
+        // Rejections leave the client state untouched.
+        assert_eq!(ctx.config.parallelism, 1);
+        assert_eq!(ctx.config.batch_rows, tdb::stream::DEFAULT_BATCH_ROWS);
+    }
+
+    #[test]
+    fn batch_setting_does_not_change_query_results() {
+        let (mut e, mut ctx) = engine("batcheq");
+        e.execute(&mut ctx, "\\gen intervals T 120 3 10 9");
+        ctx.row_limit = 10_000;
+        let contain = "range of a is T range of b is T retrieve (X=a.Id, Y=b.Id) \
+             where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo;";
+        e.execute(&mut ctx, "\\set batch 0");
+        let Response::Query(row) = e.execute(&mut ctx, contain) else {
+            panic!("expected query");
+        };
+        for rows in ["1", "64", "1024"] {
+            e.execute(&mut ctx, &format!("\\set batch {rows}"));
+            let Response::Query(q) = e.execute(&mut ctx, contain) else {
+                panic!("expected query");
+            };
+            assert_eq!(q.rows, row.rows, "batch {rows}");
+            assert_eq!(
+                q.stats.max_workspace, row.stats.max_workspace,
+                "batch {rows}: workspace peaks must be batch-size-invariant"
+            );
+        }
+    }
+
+    #[test]
     fn responses_round_trip_through_the_storage_codec() {
         let (mut e, mut ctx) = engine("codec");
         e.execute(&mut ctx, "\\gen faculty 10 2");
@@ -1058,6 +1159,7 @@ mod tests {
             "\\live",
             "\\stats",
             "range of f is Nope retrieve (N=f.Name);",
+            "\\set warp 9",
         ] {
             let resp = e.execute(&mut ctx, input);
             let bytes = resp.to_bytes();

@@ -411,6 +411,9 @@ pub enum ErrorCode {
     Protocol = 13,
     /// The server is shutting down or dropped the session.
     Unavailable = 14,
+    /// A client configuration setting was rejected (unknown `\set` key,
+    /// unparsable value, or out-of-range value).
+    Config = 15,
 }
 
 impl ErrorCode {
@@ -431,6 +434,7 @@ impl ErrorCode {
             12 => ErrorCode::BufferExhausted,
             13 => ErrorCode::Protocol,
             14 => ErrorCode::Unavailable,
+            15 => ErrorCode::Config,
             _ => return None,
         })
     }
@@ -470,6 +474,7 @@ impl From<&TdbError> for ErrorInfo {
             TdbError::Eval(_) => ErrorCode::Eval,
             TdbError::ConstraintViolation(_) => ErrorCode::ConstraintViolation,
             TdbError::BufferExhausted { .. } => ErrorCode::BufferExhausted,
+            TdbError::Config(_) => ErrorCode::Config,
         };
         ErrorInfo::new(code, e.to_string())
     }

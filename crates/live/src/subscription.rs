@@ -17,7 +17,7 @@
 //! (legitimate under joins) are emitted the right number of times.
 
 use std::collections::BTreeMap;
-use tdb_algebra::{LogicalPlan, PlannerConfig};
+use tdb_algebra::{ExecOptions, LogicalPlan, PlannerConfig};
 use tdb_analyze::{plan_verified_live, AnalyzeConfig};
 use tdb_core::{Row, TdbResult, TemporalStats, TimePoint};
 use tdb_storage::{Catalog, Codec};
@@ -143,7 +143,13 @@ impl Subscription {
             .sum();
         self.static_cap = self.static_cap.max(cap);
 
-        let result = physical.execute(catalog)?;
+        let result = physical.execute_opts(
+            catalog,
+            ExecOptions {
+                collect_trace: true,
+                batch_rows: planner.batch_rows,
+            },
+        )?;
         self.peak_workspace = self.peak_workspace.max(result.stats.max_workspace);
         self.evaluations += 1;
 

@@ -1,0 +1,281 @@
+//! Unified row-vs-batched execution entry points.
+//!
+//! Every call site that runs a stream temporal operator over materialized,
+//! sortable inputs — the query executor, the partitioned-parallel workers,
+//! and the experiment harness — used to hand-assemble the same
+//! `from_sorted_vec` + [`OpConfig`] constructor + `collect_vec` sequence.
+//! [`run_join_kind`] / [`run_semijoin_kind`] centralize that sequence and
+//! add the execution-path decision: when [`OpConfig::batched`] holds
+//! (`batch_rows > 0`) the vectorized kernels of [`crate::batch_ops`] run
+//! over [`VecBatchStream`] columnar batches; otherwise the row-at-a-time
+//! pull operators run. Both paths return the same `(output, OpReport)`
+//! pair, and by the equivalence pinned in `tests/batch_equivalence.rs` the
+//! outputs and reports are identical — only wall-clock differs.
+//!
+//! Inputs must already be sorted into the orders the operator's registry
+//! entry requires ([`StreamOpKind::requirement`]); both paths re-verify the
+//! claimed order in O(n) and fail with `OrderViolation` otherwise.
+
+use crate::batch::VecBatchStream;
+use crate::batch_ops::{
+    drive, BatchContainJoinTsTe, BatchContainSemijoinStab, BatchContainedSemijoinStab, BatchOp,
+    BatchOverlapJoin, BatchOverlapSemijoin,
+};
+use crate::report::{Instrumented, OpConfig, OpReport};
+use crate::required::StreamOpKind;
+use crate::stream::{from_sorted_vec, TupleStream};
+use tdb_core::{StreamOrder, TdbError, TdbResult, Temporal};
+
+/// Run a stream temporal **join** of `kind` over pre-sorted inputs,
+/// selecting the row or batched path per `cfg.batch_rows`.
+///
+/// Supported kinds: [`StreamOpKind::ContainJoinTsTe`] and
+/// [`StreamOpKind::OverlapJoin`] (mode from [`OpConfig::mode`]) — the
+/// kinds the planner emits for materialized two-sided joins. Side swaps
+/// (e.g. `During` running the `Contains` operator) are the caller's
+/// concern, as before.
+pub fn run_join_kind<X, Y>(
+    kind: StreamOpKind,
+    cfg: OpConfig,
+    x: Vec<X>,
+    x_order: StreamOrder,
+    y: Vec<Y>,
+    y_order: StreamOrder,
+) -> TdbResult<(Vec<(X, Y)>, OpReport)>
+where
+    X: Temporal + Clone,
+    Y: Temporal + Clone,
+{
+    match kind {
+        StreamOpKind::ContainJoinTsTe => {
+            if cfg.batched() {
+                let mut op = BatchContainJoinTsTe::new();
+                let out = drive(
+                    &mut op,
+                    &mut VecBatchStream::from_sorted_vec(x, x_order, cfg.batch_rows)?,
+                    &mut VecBatchStream::from_sorted_vec(y, y_order, cfg.batch_rows)?,
+                )?;
+                Ok((out, op.report()))
+            } else {
+                let mut op = cfg.contain_join_ts_te(
+                    from_sorted_vec(x, x_order)?,
+                    from_sorted_vec(y, y_order)?,
+                )?;
+                let out = op.collect_vec()?;
+                Ok((out, op.report()))
+            }
+        }
+        StreamOpKind::OverlapJoin => {
+            if cfg.batched() {
+                let mut op = BatchOverlapJoin::new(cfg.mode, cfg.policy);
+                let out = drive(
+                    &mut op,
+                    &mut VecBatchStream::from_sorted_vec(x, x_order, cfg.batch_rows)?,
+                    &mut VecBatchStream::from_sorted_vec(y, y_order, cfg.batch_rows)?,
+                )?;
+                Ok((out, op.report()))
+            } else {
+                let mut op =
+                    cfg.overlap_join(from_sorted_vec(x, x_order)?, from_sorted_vec(y, y_order)?)?;
+                let out = op.collect_vec()?;
+                Ok((out, op.report()))
+            }
+        }
+        other => Err(TdbError::Plan(format!(
+            "no materialized join dispatch for {other}"
+        ))),
+    }
+}
+
+/// Run a stream temporal **semijoin** of `kind` (left rows kept) over
+/// pre-sorted inputs, selecting the row or batched path per
+/// `cfg.batch_rows`.
+///
+/// Supported kinds: [`StreamOpKind::ContainSemijoinStab`],
+/// [`StreamOpKind::ContainedSemijoinStab`] (X sorted `ValidTo ↑`, Y — the
+/// containers — sorted `ValidFrom ↑`, exactly the row operator's input
+/// convention), and [`StreamOpKind::OverlapSemijoin`] (mode from
+/// [`OpConfig::mode`]).
+pub fn run_semijoin_kind<X, Y>(
+    kind: StreamOpKind,
+    cfg: OpConfig,
+    x: Vec<X>,
+    x_order: StreamOrder,
+    y: Vec<Y>,
+    y_order: StreamOrder,
+) -> TdbResult<(Vec<X>, OpReport)>
+where
+    X: Temporal + Clone,
+    Y: Temporal + Clone,
+{
+    match kind {
+        StreamOpKind::ContainSemijoinStab => {
+            if cfg.batched() {
+                let mut op = BatchContainSemijoinStab::new();
+                let out = drive(
+                    &mut op,
+                    &mut VecBatchStream::from_sorted_vec(x, x_order, cfg.batch_rows)?,
+                    &mut VecBatchStream::from_sorted_vec(y, y_order, cfg.batch_rows)?,
+                )?;
+                Ok((out, op.report()))
+            } else {
+                let mut op = cfg.contain_semijoin_stab(
+                    from_sorted_vec(x, x_order)?,
+                    from_sorted_vec(y, y_order)?,
+                )?;
+                let out = op.collect_vec()?;
+                Ok((out, op.report()))
+            }
+        }
+        StreamOpKind::ContainedSemijoinStab => {
+            if cfg.batched() {
+                // The batched kernel's left input is the container (Y)
+                // side, mirroring the row operator's read_left accounting.
+                let mut op = BatchContainedSemijoinStab::new();
+                let out = drive(
+                    &mut op,
+                    &mut VecBatchStream::from_sorted_vec(y, y_order, cfg.batch_rows)?,
+                    &mut VecBatchStream::from_sorted_vec(x, x_order, cfg.batch_rows)?,
+                )?;
+                Ok((out, op.report()))
+            } else {
+                let mut op = cfg.contained_semijoin_stab(
+                    from_sorted_vec(x, x_order)?,
+                    from_sorted_vec(y, y_order)?,
+                )?;
+                let out = op.collect_vec()?;
+                Ok((out, op.report()))
+            }
+        }
+        StreamOpKind::OverlapSemijoin => {
+            if cfg.batched() {
+                let mut op = BatchOverlapSemijoin::new(cfg.mode, cfg.policy);
+                let out = drive(
+                    &mut op,
+                    &mut VecBatchStream::from_sorted_vec(x, x_order, cfg.batch_rows)?,
+                    &mut VecBatchStream::from_sorted_vec(y, y_order, cfg.batch_rows)?,
+                )?;
+                Ok((out, op.report()))
+            } else {
+                let mut op = cfg
+                    .overlap_semijoin(from_sorted_vec(x, x_order)?, from_sorted_vec(y, y_order)?)?;
+                let out = op.collect_vec()?;
+                Ok((out, op.report()))
+            }
+        }
+        other => Err(TdbError::Plan(format!(
+            "no materialized semijoin dispatch for {other}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlap_join::OverlapMode;
+    use tdb_core::TsTuple;
+
+    fn iv(s: i64, e: i64) -> TsTuple {
+        TsTuple::interval(s, e).unwrap()
+    }
+
+    fn workload(n: i64) -> (Vec<TsTuple>, Vec<TsTuple>) {
+        let xs: Vec<_> = (0..n)
+            .map(|i| iv(i * 3 % 97, i * 3 % 97 + 5 + (i % 7) * 11))
+            .collect();
+        let ys: Vec<_> = (0..n)
+            .map(|i| iv(i * 5 % 89, i * 5 % 89 + 1 + (i % 5) * 9))
+            .collect();
+        (xs, ys)
+    }
+
+    fn sorted(mut v: Vec<TsTuple>, o: StreamOrder) -> Vec<TsTuple> {
+        o.sort(&mut v);
+        v
+    }
+
+    #[test]
+    fn join_dispatch_paths_agree() {
+        let (xs, ys) = workload(80);
+        let xs = sorted(xs, StreamOrder::TS_ASC);
+        let ys = sorted(ys, StreamOrder::TE_ASC);
+        let row = run_join_kind(
+            StreamOpKind::ContainJoinTsTe,
+            OpConfig::new().with_batch_rows(0),
+            xs.clone(),
+            StreamOrder::TS_ASC,
+            ys.clone(),
+            StreamOrder::TE_ASC,
+        )
+        .unwrap();
+        for rows in [1usize, 64, 1024] {
+            let batched = run_join_kind(
+                StreamOpKind::ContainJoinTsTe,
+                OpConfig::new().with_batch_rows(rows),
+                xs.clone(),
+                StreamOrder::TS_ASC,
+                ys.clone(),
+                StreamOrder::TE_ASC,
+            )
+            .unwrap();
+            assert_eq!(batched, row, "rows {rows}");
+        }
+    }
+
+    #[test]
+    fn semijoin_dispatch_paths_agree() {
+        let (xs, ys) = workload(70);
+        for (kind, xo, yo, mode) in [
+            (
+                StreamOpKind::ContainSemijoinStab,
+                StreamOrder::TS_ASC,
+                StreamOrder::TE_ASC,
+                OverlapMode::General,
+            ),
+            (
+                StreamOpKind::ContainedSemijoinStab,
+                StreamOrder::TE_ASC,
+                StreamOrder::TS_ASC,
+                OverlapMode::General,
+            ),
+            (
+                StreamOpKind::OverlapSemijoin,
+                StreamOrder::TS_ASC,
+                StreamOrder::TS_ASC,
+                OverlapMode::Strict,
+            ),
+        ] {
+            let x = sorted(xs.clone(), xo);
+            let y = sorted(ys.clone(), yo);
+            let cfg = OpConfig::new().with_mode(mode);
+            let row = run_semijoin_kind(kind, cfg.with_batch_rows(0), x.clone(), xo, y.clone(), yo)
+                .unwrap();
+            let batched = run_semijoin_kind(kind, cfg.with_batch_rows(128), x, xo, y, yo).unwrap();
+            assert_eq!(batched, row, "{kind}");
+        }
+    }
+
+    #[test]
+    fn unsupported_kinds_are_planning_errors() {
+        let err = run_join_kind::<TsTuple, TsTuple>(
+            StreamOpKind::BeforeJoin,
+            OpConfig::new(),
+            vec![],
+            StreamOrder::TS_ASC,
+            vec![],
+            StreamOrder::TS_ASC,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TdbError::Plan(_)));
+        let err = run_semijoin_kind::<TsTuple, TsTuple>(
+            StreamOpKind::BeforeSemijoin,
+            OpConfig::new(),
+            vec![],
+            StreamOrder::TS_ASC,
+            vec![],
+            StreamOrder::TS_ASC,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TdbError::Plan(_)));
+    }
+}

@@ -28,11 +28,15 @@
 
 pub mod aggregate;
 pub mod allen_dispatch;
+pub mod batch;
+pub mod batch_ops;
 pub mod before;
 pub mod buffered_join;
 pub mod coalesce;
 pub mod contain_join;
+pub mod dispatch;
 pub mod event_join;
+pub mod gapless;
 pub mod merge_join;
 pub mod metrics;
 pub mod nested_loop;
@@ -52,11 +56,20 @@ pub mod workspace;
 
 pub use aggregate::{GroupedSum, HashSum};
 pub use allen_dispatch::{plan_allen_join, AllenJoinPlan};
+pub use batch::{
+    BatchStream, Batcher, RowBatch, VecBatchStream, DEFAULT_BATCH_ROWS, MAX_BATCH_ROWS,
+};
+pub use batch_ops::{
+    drive, BatchContainJoinTsTe, BatchContainSemijoinStab, BatchContainedSemijoinStab, BatchOp,
+    BatchOverlapJoin, BatchOverlapSemijoin, Side, Wants,
+};
 pub use before::{BeforeJoin, BeforeSemijoin};
 pub use buffered_join::BufferedJoin;
 pub use coalesce::{coalesce_relation, Coalesce};
 pub use contain_join::{ContainJoinTsTe, ContainJoinTsTs};
+pub use dispatch::{run_join_kind, run_semijoin_kind};
 pub use event_join::EventMergeJoin;
+pub use gapless::GaplessWorkspace;
 pub use merge_join::MergeEquiJoin;
 pub use metrics::OpMetrics;
 pub use nested_loop::NestedLoopJoin;

@@ -33,10 +33,11 @@
 //! no time-range decomposition localizes them; the planner keeps those
 //! serial.
 
+use crate::dispatch::{run_join_kind, run_semijoin_kind};
 use crate::overlap_join::OverlapMode;
-use crate::report::{Instrumented, OpConfig, OpReport};
+use crate::report::{OpConfig, OpReport};
 use crate::required::StreamOpKind;
-use crate::stream::{from_sorted_vec, TupleStream};
+use crate::stream::TupleStream;
 use tdb_core::{Period, StreamOrder, TdbError, TdbResult, Temporal, TimePoint};
 
 /// `K` disjoint, contiguous time ranges covering the data span.
@@ -310,6 +311,17 @@ impl ParallelPattern {
         }
     }
 
+    /// The [`OpConfig`] a partition worker runs with: `cfg` with the
+    /// overlap mode this pattern implies (containment patterns pass `cfg`
+    /// through, batch size and read policy included).
+    pub fn worker_config(self, cfg: OpConfig) -> OpConfig {
+        match self {
+            ParallelPattern::GeneralOverlap => cfg.with_mode(OverlapMode::General),
+            ParallelPattern::AllenOverlaps => cfg.with_mode(OverlapMode::Strict),
+            ParallelPattern::Contains | ParallelPattern::During => cfg,
+        }
+    }
+
     /// The orders the partitioned driver sorts its (left, right) inputs
     /// into before dispatch — read off the worker operator's registry
     /// entry, with `During` joins accounting for their side swap.
@@ -422,30 +434,16 @@ where
             .enumerate()
             .map(|(i, (xp, yp))| {
                 scope.spawn(move || -> WorkerOutput<(T, T)> {
-                    let (pairs, report) = match pattern {
-                        ParallelPattern::Contains => {
-                            let mut op = cfg.contain_join_ts_te(
-                                from_sorted_vec(xp, x_order)?,
-                                from_sorted_vec(yp, y_order)?,
-                            )?;
-                            let pairs = op.collect_vec()?;
-                            (pairs, op.report())
-                        }
-                        ParallelPattern::GeneralOverlap | ParallelPattern::AllenOverlaps => {
-                            let mode = if pattern == ParallelPattern::GeneralOverlap {
-                                OverlapMode::General
-                            } else {
-                                OverlapMode::Strict
-                            };
-                            let mut op = cfg.with_mode(mode).overlap_join(
-                                from_sorted_vec(xp, x_order)?,
-                                from_sorted_vec(yp, y_order)?,
-                            )?;
-                            let pairs = op.collect_vec()?;
-                            (pairs, op.report())
-                        }
-                        ParallelPattern::During => unreachable!("normalized above"),
-                    };
+                    // Each worker runs the serial operator through the
+                    // unified dispatch — row or batched per `cfg`.
+                    let (pairs, report) = run_join_kind(
+                        pattern.join_kind(),
+                        pattern.worker_config(cfg),
+                        xp,
+                        x_order,
+                        yp,
+                        y_order,
+                    )?;
                     // Owner dedup: emit a pair only from the partition that
                     // owns the intersection start.
                     let owned = pairs
@@ -506,37 +504,14 @@ where
             .zip(yparts)
             .map(|(xp, yp)| {
                 scope.spawn(move || -> WorkerOutput<Tagged<T>> {
-                    match pattern {
-                        ParallelPattern::Contains => {
-                            let mut op = cfg.contain_semijoin_stab(
-                                from_sorted_vec(xp, x_order)?,
-                                from_sorted_vec(yp, y_order)?,
-                            )?;
-                            let kept = op.collect_vec()?;
-                            Ok((kept, op.report()))
-                        }
-                        ParallelPattern::During => {
-                            let mut op = cfg.contained_semijoin_stab(
-                                from_sorted_vec(xp, x_order)?,
-                                from_sorted_vec(yp, y_order)?,
-                            )?;
-                            let kept = op.collect_vec()?;
-                            Ok((kept, op.report()))
-                        }
-                        ParallelPattern::GeneralOverlap | ParallelPattern::AllenOverlaps => {
-                            let mode = if pattern == ParallelPattern::GeneralOverlap {
-                                OverlapMode::General
-                            } else {
-                                OverlapMode::Strict
-                            };
-                            let mut op = cfg.with_mode(mode).overlap_semijoin(
-                                from_sorted_vec(xp, x_order)?,
-                                from_sorted_vec(yp, y_order)?,
-                            )?;
-                            let kept = op.collect_vec()?;
-                            Ok((kept, op.report()))
-                        }
-                    }
+                    run_semijoin_kind(
+                        pattern.semijoin_kind(),
+                        pattern.worker_config(cfg),
+                        xp,
+                        x_order,
+                        yp,
+                        y_order,
+                    )
                 })
             })
             .collect();
@@ -565,6 +540,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stream::from_sorted_vec;
     use std::collections::BTreeSet;
     use tdb_core::TsTuple;
 

@@ -117,6 +117,11 @@ pub struct OpConfig {
     pub policy: ReadPolicy,
     /// Which overlap predicate the overlap operators evaluate.
     pub mode: OverlapMode,
+    /// Rows per columnar batch on the vectorized execution path
+    /// ([`crate::batch_ops`]); `0` selects the row-at-a-time operators.
+    /// Only consulted by [`crate::allen_dispatch`]-level drivers that
+    /// support both paths — the row constructors below ignore it.
+    pub batch_rows: usize,
 }
 
 impl Default for OpConfig {
@@ -124,12 +129,14 @@ impl Default for OpConfig {
         OpConfig {
             policy: ReadPolicy::MinKey,
             mode: OverlapMode::General,
+            batch_rows: crate::batch::DEFAULT_BATCH_ROWS,
         }
     }
 }
 
 impl OpConfig {
-    /// The default configuration: `MinKey` policy, general overlap.
+    /// The default configuration: `MinKey` policy, general overlap,
+    /// batched execution at [`crate::batch::DEFAULT_BATCH_ROWS`].
     pub fn new() -> OpConfig {
         OpConfig::default()
     }
@@ -144,6 +151,17 @@ impl OpConfig {
     pub fn with_mode(mut self, mode: OverlapMode) -> OpConfig {
         self.mode = mode;
         self
+    }
+
+    /// Set the batch size for the vectorized path (`0` = row-at-a-time).
+    pub fn with_batch_rows(mut self, batch_rows: usize) -> OpConfig {
+        self.batch_rows = batch_rows;
+        self
+    }
+
+    /// Does this configuration select the batched execution path?
+    pub fn batched(&self) -> bool {
+        self.batch_rows > 0
     }
 
     /// Contain-join under `(ValidFrom ↑, ValidFrom ↑)` — Table 1 state (a).

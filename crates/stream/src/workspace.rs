@@ -87,6 +87,31 @@ impl WorkspaceStats {
         self.occupancy
     }
 
+    /// Account for one insertion that left `resident` tuples in the state.
+    /// Shared by every workspace layout ([`Workspace`],
+    /// [`crate::gapless::GaplessWorkspace`]) so the observed numbers are
+    /// layout-independent by construction.
+    pub(crate) fn record_insert(&mut self, resident: usize) {
+        self.inserted += 1;
+        self.resident = resident;
+        self.max_resident = self.max_resident.max(resident);
+        self.occupancy_sum += resident as u64;
+        self.samples += 1;
+        self.occupancy[occupancy_bucket(resident)] += 1;
+    }
+
+    /// Account for a garbage-collection pass that removed `removed` tuples,
+    /// leaving `resident`.
+    pub(crate) fn record_discard(&mut self, removed: usize, resident: usize) {
+        self.discarded += removed;
+        self.resident = resident;
+    }
+
+    /// Account for an extraction (match-removal, not GC) leaving `resident`.
+    pub(crate) fn record_extract(&mut self, resident: usize) {
+        self.resident = resident;
+    }
+
     /// Element-wise sum of two occupancy histograms.
     fn merge_occupancy(self, other: WorkspaceStats) -> [u64; OCCUPANCY_CELLS] {
         let mut out = self.occupancy;
@@ -172,20 +197,15 @@ impl<T> Workspace<T> {
     /// Insert a state tuple.
     pub fn insert(&mut self, item: T) {
         self.items.push(item);
-        self.stats.inserted += 1;
-        self.stats.resident = self.items.len();
-        self.stats.max_resident = self.stats.max_resident.max(self.items.len());
-        self.stats.occupancy_sum += self.items.len() as u64;
-        self.stats.samples += 1;
-        self.stats.occupancy[occupancy_bucket(self.items.len())] += 1;
+        self.stats.record_insert(self.items.len());
     }
 
     /// Garbage-collect: keep only tuples satisfying `keep`.
     pub fn gc(&mut self, keep: impl FnMut(&T) -> bool) {
         let before = self.items.len();
         self.items.retain(keep);
-        self.stats.discarded += before - self.items.len();
-        self.stats.resident = self.items.len();
+        self.stats
+            .record_discard(before - self.items.len(), self.items.len());
     }
 
     /// Remove and return tuples matching `take` (used by semijoins that
@@ -201,8 +221,8 @@ impl<T> Workspace<T> {
             }
         }
         self.items = kept;
-        self.stats.resident = self.items.len();
         // Extractions are matches, not GC discards.
+        self.stats.record_extract(self.items.len());
         taken
     }
 

@@ -68,7 +68,7 @@ pub use tdb_stream as stream;
 /// Commonly used items, importable with `use tdb::prelude::*`.
 pub mod prelude {
     pub use tdb_algebra::{
-        conventional_optimize, plan, Atom, ColumnRef, CompOp, ExecStats, LogicalPlan,
+        conventional_optimize, plan, Atom, ColumnRef, CompOp, ExecOptions, ExecStats, LogicalPlan,
         OpObservation, PhysicalPlan, PlannerConfig, QueryOutput, TemporalPattern, Term,
     };
     pub use tdb_analyze::{
@@ -93,7 +93,7 @@ pub mod prelude {
         EventMergeJoin, GroupedSum, Instrumented, KWayMerge, MergeEquiJoin, NestedLoopJoin,
         OpConfig, OpReport, OverlapJoin, OverlapMode, OverlapSemijoin, ParallelPattern,
         ParallelRun, PartitionSpec, ReadPolicy, SweepSemijoin, Tagged, TupleStream, Workspace,
-        WorkspaceStats,
+        WorkspaceStats, DEFAULT_BATCH_ROWS, MAX_BATCH_ROWS,
     };
 }
 
