@@ -498,11 +498,11 @@ impl PhysicalPlan {
                         let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
                         let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
                         note_parallel_sorts(ppat, true, &lwrapped, &rwrapped, stats);
-                        #[cfg(debug_assertions)]
+                        #[cfg(any(debug_assertions, feature = "check"))]
                         let ws_cap = parallel_ws_cap(ppat, true, &lwrapped, &rwrapped);
                         let run = parallel_join(ppat, lwrapped, rwrapped, *partitions, cfg)?;
-                        #[cfg(debug_assertions)]
-                        debug_assert!(
+                        #[cfg(any(debug_assertions, feature = "check"))]
+                        assert!(
                             run.report.max_workspace() <= ws_cap,
                             "parallel {} workspace {} exceeded the static cap {ws_cap}",
                             ppat.join_kind(),
@@ -549,11 +549,11 @@ impl PhysicalPlan {
                         let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
                         let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
                         note_parallel_sorts(ppat, false, &lwrapped, &rwrapped, stats);
-                        #[cfg(debug_assertions)]
+                        #[cfg(any(debug_assertions, feature = "check"))]
                         let ws_cap = parallel_ws_cap(ppat, false, &lwrapped, &rwrapped);
                         let run = parallel_semijoin(ppat, lwrapped, rwrapped, *partitions, cfg)?;
-                        #[cfg(debug_assertions)]
-                        debug_assert!(
+                        #[cfg(any(debug_assertions, feature = "check"))]
+                        assert!(
                             run.report.max_workspace() <= ws_cap,
                             "parallel {} workspace {} exceeded the static cap {ws_cap}",
                             ppat.semijoin_kind(),
@@ -854,9 +854,10 @@ fn note_parallel_sorts(
 
 /// Sound static workspace cap for `kind` over these concrete inputs,
 /// derived from sweep statistics by [`crate::cost::workspace_cap`]. Debug
-/// builds cross-check every stream operator's runtime `OpReport.workspace`
-/// high-water mark against this bound.
-#[cfg(debug_assertions)]
+/// builds — and release builds with the `check` feature, as the CI soak
+/// jobs run them — cross-check every stream operator's runtime
+/// `OpReport.workspace` high-water mark against this bound.
+#[cfg(any(debug_assertions, feature = "check"))]
 fn static_ws_cap(kind: StreamOpKind, x: &[PeriodRow], y: &[PeriodRow]) -> usize {
     let xs = tdb_core::TemporalStats::compute(x);
     let ys = tdb_core::TemporalStats::compute(y);
@@ -865,7 +866,7 @@ fn static_ws_cap(kind: StreamOpKind, x: &[PeriodRow], y: &[PeriodRow]) -> usize 
 
 /// [`static_ws_cap`] for the parallel driver, normalizing the During swap
 /// the same way [`tdb_stream::parallel_join`] does.
-#[cfg(debug_assertions)]
+#[cfg(any(debug_assertions, feature = "check"))]
 fn parallel_ws_cap(ppat: ParallelPattern, join: bool, l: &[PeriodRow], r: &[PeriodRow]) -> usize {
     let kind = if join {
         ppat.join_kind()
@@ -902,11 +903,11 @@ fn run_stream_join(
             let (c, e) = if swap { (r, l) } else { (l, r) };
             let c = sort_wrapped(c, c_ord, stats);
             let e = sort_wrapped(e, e_ord, stats);
-            #[cfg(debug_assertions)]
+            #[cfg(any(debug_assertions, feature = "check"))]
             let ws_cap = static_ws_cap(kind, &c, &e);
             let (mut pairs, report) = run_join_kind(kind, cfg, c, c_ord, e, e_ord)?;
-            #[cfg(debug_assertions)]
-            debug_assert!(
+            #[cfg(any(debug_assertions, feature = "check"))]
+            assert!(
                 report.max_workspace() <= ws_cap,
                 "{kind} workspace {} exceeded the static cap {ws_cap}",
                 report.max_workspace()
@@ -928,11 +929,11 @@ fn run_stream_join(
             let r_ord = req.right().unwrap_or(StreamOrder::TS_ASC);
             let l = sort_wrapped(l, l_ord, stats);
             let r = sort_wrapped(r, r_ord, stats);
-            #[cfg(debug_assertions)]
+            #[cfg(any(debug_assertions, feature = "check"))]
             let ws_cap = static_ws_cap(kind, &l, &r);
             let (pairs, report) = run_join_kind(kind, cfg.with_mode(mode), l, l_ord, r, r_ord)?;
-            #[cfg(debug_assertions)]
-            debug_assert!(
+            #[cfg(any(debug_assertions, feature = "check"))]
+            assert!(
                 report.max_workspace() <= ws_cap,
                 "{kind} workspace {} exceeded the static cap {ws_cap}",
                 report.max_workspace()
@@ -941,15 +942,15 @@ fn run_stream_join(
         }
         TemporalPattern::Before | TemporalPattern::After => {
             // `kind` only feeds the debug-build cap assertion below.
-            #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+            #[cfg_attr(not(any(debug_assertions, feature = "check")), allow(unused_variables))]
             let (kind, swap) = pattern.join_op();
             let (a, b) = if swap { (r, l) } else { (l, r) };
-            #[cfg(debug_assertions)]
+            #[cfg(any(debug_assertions, feature = "check"))]
             let ws_cap = static_ws_cap(kind, &a, &b);
             let mut op = cfg.before_join(tdb_stream::from_vec(a), tdb_stream::from_vec(b))?;
             let mut pairs = op.collect_vec()?;
-            #[cfg(debug_assertions)]
-            debug_assert!(
+            #[cfg(any(debug_assertions, feature = "check"))]
+            assert!(
                 op.report().max_workspace() <= ws_cap,
                 "{kind} workspace {} exceeded the static cap {ws_cap}",
                 op.report().max_workspace()
@@ -981,11 +982,11 @@ fn run_stream_semijoin(
             let r_ord = req.right().unwrap_or(StreamOrder::TS_ASC);
             let l = sort_wrapped(l, l_ord, stats);
             let r = sort_wrapped(r, r_ord, stats);
-            #[cfg(debug_assertions)]
+            #[cfg(any(debug_assertions, feature = "check"))]
             let ws_cap = static_ws_cap(kind, &l, &r);
             let (kept, report) = run_semijoin_kind(kind, cfg, l, l_ord, r, r_ord)?;
-            #[cfg(debug_assertions)]
-            debug_assert!(
+            #[cfg(any(debug_assertions, feature = "check"))]
+            assert!(
                 report.max_workspace() <= ws_cap,
                 "{kind} workspace {} exceeded the static cap {ws_cap}",
                 report.max_workspace()
@@ -999,11 +1000,11 @@ fn run_stream_semijoin(
             let r_ord = req.right().unwrap_or(StreamOrder::TE_ASC);
             let l = sort_wrapped(l, l_ord, stats);
             let r = sort_wrapped(r, r_ord, stats);
-            #[cfg(debug_assertions)]
+            #[cfg(any(debug_assertions, feature = "check"))]
             let ws_cap = static_ws_cap(kind, &l, &r);
             let (kept, report) = run_semijoin_kind(kind, cfg, l, l_ord, r, r_ord)?;
-            #[cfg(debug_assertions)]
-            debug_assert!(
+            #[cfg(any(debug_assertions, feature = "check"))]
+            assert!(
                 report.max_workspace() <= ws_cap,
                 "{kind} workspace {} exceeded the static cap {ws_cap}",
                 report.max_workspace()
@@ -1022,11 +1023,11 @@ fn run_stream_semijoin(
             let r_ord = req.right().unwrap_or(StreamOrder::TS_ASC);
             let l = sort_wrapped(l, l_ord, stats);
             let r = sort_wrapped(r, r_ord, stats);
-            #[cfg(debug_assertions)]
+            #[cfg(any(debug_assertions, feature = "check"))]
             let ws_cap = static_ws_cap(kind, &l, &r);
             let (kept, report) = run_semijoin_kind(kind, cfg.with_mode(mode), l, l_ord, r, r_ord)?;
-            #[cfg(debug_assertions)]
-            debug_assert!(
+            #[cfg(any(debug_assertions, feature = "check"))]
+            assert!(
                 report.max_workspace() <= ws_cap,
                 "{kind} workspace {} exceeded the static cap {ws_cap}",
                 report.max_workspace()

@@ -8,6 +8,7 @@
 //!                           optionally with a Prometheus /metrics endpoint
 //! tdb connect [addr]        open the shell against a running server
 //! tdb top [addr] [--once]   live observability dashboard for a server
+//! tdb lint [root]           run the workspace source lints (ci gate)
 //! ```
 //!
 //! See [`tdb_cli::Session`] for the command surface (`\help` inside the
@@ -18,6 +19,46 @@ use tdb_cli::{LineResult, Session, HELP};
 use tdb_engine::{render, render_delta, Response};
 
 const DEFAULT_ADDR: &str = "127.0.0.1:5433";
+
+/// `tdb lint [root]` — run the workspace source lints and exit non-zero
+/// on any finding. With no argument the workspace root is found by
+/// walking up from the current directory to the first `[workspace]`
+/// manifest, so it works from any subdirectory of the repo.
+fn lint_main(args: &[String]) -> ! {
+    let root = match args.first() {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|e| {
+                eprintln!("error: cannot determine current directory: {e}");
+                std::process::exit(2);
+            });
+            tdb_lint::find_workspace_root(&cwd).unwrap_or_else(|| {
+                eprintln!("error: no [workspace] Cargo.toml above {}", cwd.display());
+                std::process::exit(2);
+            })
+        }
+    };
+    match tdb_lint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("tdb lint: 0 findings");
+            std::process::exit(0);
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("tdb lint: {} finding(s)", findings.len());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!(
+                "error: cannot read workspace sources under {}: {e}",
+                root.display()
+            );
+            std::process::exit(2);
+        }
+    }
+}
 
 /// `tdb analyze <query>` — statically verify a query's plan against the
 /// default catalog and print the certificate, without executing it.
@@ -249,6 +290,7 @@ fn main() {
         Some("serve") => serve_main(&args[1..]),
         Some("connect") => connect_main(&args[1..]),
         Some("top") => top_main(&args[1..]),
+        Some("lint") => lint_main(&args[1..]),
         _ => {}
     }
     let dir = args

@@ -91,7 +91,7 @@ fn get_f64(buf: &mut Bytes) -> TdbResult<f64> {
     Ok(f64::from_bits(buf.get_u64_le()))
 }
 
-fn put_time(buf: &mut BytesMut, t: &TimePoint) {
+fn put_time(buf: &mut BytesMut, t: TimePoint) {
     buf.put_i64_le(t.ticks());
 }
 
@@ -443,7 +443,7 @@ impl Codec for DeltaFrame {
         put_u64(buf, self.subscription);
         put_str(buf, &self.label);
         put_u64(buf, self.epoch);
-        put_opt(buf, self.watermark.as_ref(), put_time);
+        put_opt(buf, self.watermark.as_ref(), |b, t| put_time(b, *t));
         put_vec::<Row>(buf, &self.rows);
     }
 
@@ -464,7 +464,7 @@ impl Codec for IngestReport {
         put_u64(buf, self.offered);
         put_u64(buf, self.promoted);
         put_u64(buf, self.staged);
-        put_opt(buf, self.watermark.as_ref(), put_time);
+        put_opt(buf, self.watermark.as_ref(), |b, t| put_time(b, *t));
         put_vec(buf, &self.deltas);
     }
 
@@ -517,7 +517,7 @@ impl Codec for LiveRelationStatus {
         put_str(buf, &self.name);
         put_str(buf, &self.order);
         put_bool(buf, self.sealed);
-        put_opt(buf, self.watermark.as_ref(), put_time);
+        put_opt(buf, self.watermark.as_ref(), |b, t| put_time(b, *t));
         put_u64(buf, self.admitted);
         put_u64(buf, self.staged);
         put_u64(buf, self.promoted);

@@ -612,7 +612,10 @@ impl Engine {
         }
         let offered = rows.len() as u64;
         let report = self.live.ingest(&mut self.catalog, rel, rows)?;
-        let state = self.live.relation(rel).expect("registered above");
+        let state = self
+            .live
+            .relation(rel)
+            .ok_or_else(|| TdbError::Catalog(format!("live relation {rel} vanished mid-ingest")))?;
         Ok(Response::Ingest(IngestReport {
             relation: rel.to_string(),
             offered,

@@ -1,0 +1,284 @@
+//! Line-level lexing for the lint rules: strip comments and literals so
+//! rule matching sees only code, extract `lint:allow(...)` directives,
+//! and mark `#[cfg(test)]` regions.
+//!
+//! This is deliberately not a Rust parser — the rules need token-level
+//! facts (does `.unwrap()` appear in code? where do braces open and
+//! close?) that survive everything short of macro-generated source,
+//! which this workspace's invariant-bearing files do not use.
+
+/// A source file prepared for rule matching.
+pub struct Prepared {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Original lines (for literal extraction and messages).
+    pub raw: Vec<String>,
+    /// Lines with comments, string/char literals, and their delimiters
+    /// blanked to spaces — brace counts and code tokens survive.
+    pub code: Vec<String>,
+    /// Per line: rules suppressed by a `lint:allow(rule, ...)` directive
+    /// on that line.
+    pub allows: Vec<Vec<String>>,
+    /// Per line: inside a `#[cfg(test)]` item (tests are exempt).
+    pub test: Vec<bool>,
+    /// Running brace depth at the *end* of each line, over `code`.
+    pub depth: Vec<i32>,
+}
+
+impl Prepared {
+    /// Lex `text` into rule-ready form.
+    pub fn new(path: &str, text: &str) -> Prepared {
+        let cleaned = clean(text);
+        let raw: Vec<String> = text.lines().map(str::to_string).collect();
+        let code: Vec<String> = cleaned.lines().map(str::to_string).collect();
+        let allows = raw.iter().map(|l| parse_allows(l)).collect();
+        let depth = depths(&code);
+        let test = test_regions(&code, &depth);
+        Prepared {
+            path: path.replace('\\', "/"),
+            raw,
+            code,
+            allows,
+            test,
+            depth,
+        }
+    }
+
+    /// Is `rule` suppressed at `line` (0-based)? A directive suppresses
+    /// findings on its own line and on the following line, so both
+    /// trailing comments and directive-only lines work.
+    pub fn allowed(&self, line: usize, rule: &str) -> bool {
+        let hit = |l: usize| {
+            self.allows
+                .get(l)
+                .is_some_and(|v| v.iter().any(|r| r == rule))
+        };
+        hit(line) || (line > 0 && hit(line - 1))
+    }
+}
+
+/// Extract the rules named by `lint:allow(rule, ...)` on one raw line.
+fn parse_allows(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(i) = rest.find("lint:allow(") {
+        let tail = &rest[i + "lint:allow(".len()..];
+        if let Some(close) = tail.find(')') {
+            for rule in tail[..close].split(',') {
+                let rule = rule.trim();
+                if !rule.is_empty() {
+                    out.push(rule.to_string());
+                }
+            }
+            rest = &tail[close + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Brace depth at the end of each code line.
+fn depths(code: &[String]) -> Vec<i32> {
+    let mut d = 0i32;
+    code.iter()
+        .map(|line| {
+            for ch in line.chars() {
+                match ch {
+                    '{' => d += 1,
+                    '}' => d -= 1,
+                    _ => {}
+                }
+            }
+            d
+        })
+        .collect()
+}
+
+/// Mark every line belonging to an item annotated `#[cfg(test)]` — the
+/// attribute line itself through the close of the item's brace block.
+fn test_regions(code: &[String], depth: &[i32]) -> Vec<bool> {
+    let mut test = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].contains("#[cfg(test)]") {
+            // Find the item's opening brace (same line or a following
+            // line), then the line where its block closes.
+            let mut open = None;
+            for (j, line) in code.iter().enumerate().skip(i) {
+                if line.contains('{') {
+                    open = Some(j);
+                    break;
+                }
+                if j > i && line.contains(';') {
+                    break; // `#[cfg(test)] mod x;` — nothing inline to mark
+                }
+            }
+            if let Some(open) = open {
+                let outside = depth.get(open.wrapping_sub(1)).copied().unwrap_or(0);
+                let mut end = code.len() - 1;
+                for (j, d) in depth.iter().enumerate().skip(open) {
+                    if *d <= outside {
+                        end = j;
+                        break;
+                    }
+                }
+                for t in test.iter_mut().take(end + 1).skip(i) {
+                    *t = true;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    test
+}
+
+/// Blank comments and string/char literals to spaces, preserving line
+/// structure and every other character.
+#[allow(clippy::too_many_lines)]
+pub fn clean(text: &str) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0;
+    let n = chars.len();
+    let blank = |out: &mut String, c: char| {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    };
+    while i < n {
+        let c = chars[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nesting).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 0usize;
+            while i < n {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    blank(&mut out, chars[i]);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    blank(&mut out, chars[i]);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (and raw-byte) strings: r"..." / r#"..."# / br##"..."##.
+        let raw_start = |k: usize| -> Option<(usize, usize)> {
+            // Returns (prefix length, hash count) if a raw string opens at k.
+            let mut j = k;
+            if chars.get(j) == Some(&'b') {
+                j += 1;
+            }
+            if chars.get(j) != Some(&'r') {
+                return None;
+            }
+            j += 1;
+            let mut hashes = 0;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            (chars.get(j) == Some(&'"')).then_some((j + 1 - k, hashes))
+        };
+        if let Some((prefix, hashes)) = (c == 'r' || c == 'b').then(|| raw_start(i)).flatten() {
+            for _ in 0..prefix {
+                blank(&mut out, chars[i]);
+                i += 1;
+            }
+            'raw: while i < n {
+                if chars[i] == '"' {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if chars.get(i + 1 + h) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes {
+                            blank(&mut out, chars[i]);
+                            i += 1;
+                        }
+                        break 'raw;
+                    }
+                }
+                blank(&mut out, chars[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Regular (and byte) strings.
+        if c == '"' || (c == 'b' && i + 1 < n && chars[i + 1] == '"') {
+            if c == 'b' {
+                blank(&mut out, c);
+                i += 1;
+            }
+            blank(&mut out, chars[i]);
+            i += 1;
+            while i < n {
+                if chars[i] == '\\' && i + 1 < n {
+                    blank(&mut out, chars[i]);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                let done = chars[i] == '"';
+                blank(&mut out, chars[i]);
+                i += 1;
+                if done {
+                    break;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'x' or '\n' is a literal; 'a (no
+        // closing quote nearby) is a lifetime and stays as code.
+        if c == '\'' {
+            let is_char = match chars.get(i + 1) {
+                Some('\\') => true,
+                Some(_) => chars.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char {
+                blank(&mut out, chars[i]);
+                i += 1;
+                while i < n {
+                    if chars[i] == '\\' && i + 1 < n {
+                        blank(&mut out, chars[i]);
+                        blank(&mut out, chars[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    let done = chars[i] == '\'';
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                    if done {
+                        break;
+                    }
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}

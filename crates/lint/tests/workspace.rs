@@ -1,0 +1,21 @@
+//! The gate itself: the real workspace must lint clean. Any rule
+//! violation introduced anywhere in `crates/*/src` fails this test with
+//! the same file:line report `tdb lint` prints.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = tdb_lint::find_workspace_root(here).expect("workspace root above crates/lint");
+    let findings = tdb_lint::lint_workspace(&root).expect("workspace sources readable");
+    assert!(
+        findings.is_empty(),
+        "lint findings in the workspace:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -8,7 +8,7 @@
 
 use crate::wire::{Frame, FrameReader, ReadOutcome};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use tdb::core::{TdbError, TdbResult};
@@ -22,7 +22,20 @@ pub struct Client {
     reader: Option<JoinHandle<()>>,
 }
 
-fn reader_loop(mut stream: TcpStream, replies: &Sender<Response>, pushes: &Sender<DeltaFrame>) {
+/// Outstanding replies are bounded by the call-and-wait protocol (at
+/// most one per in-flight request); the push queue bound is the
+/// client-side analogue of the server's per-connection push queue — a
+/// client that stops draining deltas eventually stops reading its
+/// socket, and the server's slow-subscriber overflow handling takes it
+/// from there.
+const REPLY_QUEUE_BOUND: usize = 16;
+const PUSH_QUEUE_BOUND: usize = 1024;
+
+fn reader_loop(
+    mut stream: TcpStream,
+    replies: &SyncSender<Response>,
+    pushes: &SyncSender<DeltaFrame>,
+) {
     let mut reader = FrameReader::new();
     loop {
         match reader.read(&mut stream) {
@@ -50,8 +63,8 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let read_half = stream.try_clone()?;
-        let (reply_tx, replies) = channel();
-        let (push_tx, pushes) = channel();
+        let (reply_tx, replies) = sync_channel(REPLY_QUEUE_BOUND);
+        let (push_tx, pushes) = sync_channel(PUSH_QUEUE_BOUND);
         let reader = std::thread::spawn(move || reader_loop(read_half, &reply_tx, &push_tx));
         Ok(Client {
             stream,

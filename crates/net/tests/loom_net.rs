@@ -1,0 +1,195 @@
+//! Loom models of `tdb-net`'s connection lifecycle protocols
+//! (`server.rs`): the writer-teardown ordering that hid a real deadlock
+//! until PR 5, and slow-subscriber overflow racing ingestion progress.
+//!
+//! The server's sockets cannot run under the model, so these models
+//! reproduce the exact synchronization skeleton of `serve_conn` /
+//! `route_deltas` / `disconnect` with loom primitives: a routing table
+//! (`conns`) holding a push-queue sender clone per connection, a
+//! per-connection writer thread draining a bounded queue, and readers /
+//! ingesters routing deltas through the table with `try_send`.
+//!
+//! The first pair of tests is the PR 5 regression, both ways:
+//! `serve_conn` must retire the connection from the routing table
+//! *before* dropping its local sender and joining the writer — the map
+//! holds a sender clone, so with the old order the writer's `recv()`
+//! never disconnects and the join blocks forever. The fixed order
+//! passes exhaustively; the reverted order must be caught by the
+//! explorer as a deadlock.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p tdb-net --test
+//! loom_net`.
+#![cfg(loom)]
+
+use loom::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+use std::collections::HashMap;
+
+type Table = Arc<Mutex<HashMap<u64, SyncSender<u32>>>>;
+
+/// The `serve_conn` skeleton: register the queue in the routing table,
+/// run a writer draining it, let a router push through the table, then
+/// tear down. `fixed_order` selects the shipped teardown (retire from
+/// the table, then drop the local sender, then join) or the pre-PR 5
+/// order (drop local sender and join while the table still holds a
+/// sender clone).
+fn writer_teardown(fixed_order: bool) {
+    let conns: Table = Arc::new(Mutex::new(HashMap::new()));
+    let (queue, outbound) = sync_channel::<u32>(4);
+    conns.lock().unwrap().insert(0, queue.clone());
+
+    let writer = thread::spawn(move || {
+        let mut delivered = 0u32;
+        while outbound.recv().is_ok() {
+            delivered += 1;
+        }
+        delivered
+    });
+
+    // Another connection's reader routing a delta to us concurrently
+    // with our teardown — the race that makes the removal order matter.
+    let router_conns = Arc::clone(&conns);
+    let router = thread::spawn(move || {
+        let conns = router_conns.lock().unwrap();
+        if let Some(tx) = conns.get(&0) {
+            let _ = tx.try_send(7);
+        }
+    });
+
+    if fixed_order {
+        // Shipped order (server.rs `serve_conn` tail): leave the
+        // routing table first so dropping the local sender disconnects
+        // the channel and the writer's recv loop exits.
+        let removed = conns.lock().unwrap().remove(&0);
+        drop(removed);
+        drop(queue);
+        let _ = writer.join().unwrap();
+    } else {
+        // Pre-PR 5 order: the table still holds a sender clone, so the
+        // writer never observes a disconnect and this join deadlocks.
+        drop(queue);
+        let _ = writer.join().unwrap();
+        let removed = conns.lock().unwrap().remove(&0);
+        drop(removed);
+    }
+    router.join().unwrap();
+}
+
+#[test]
+fn writer_teardown_fixed_order_passes_exhaustively() {
+    loom::model(|| writer_teardown(true));
+    assert!(
+        loom::last_iterations() > 1,
+        "expected a real schedule space, explored only {}",
+        loom::last_iterations()
+    );
+}
+
+/// Reintroduce the PR 5 bug: the explorer must detect the
+/// writer-shutdown deadlock and report the blocked operations.
+#[test]
+fn writer_teardown_reverted_order_deadlocks() {
+    let result = std::panic::catch_unwind(|| loom::model(|| writer_teardown(false)));
+    let payload = result.expect_err("the pre-PR 5 teardown order was not caught");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("deadlock"), "expected a deadlock: {msg}");
+    assert!(
+        msg.contains("blocked at recv"),
+        "report should show the writer stuck in recv: {msg}"
+    );
+    assert!(
+        msg.contains("blocked at join"),
+        "report should show the reader stuck joining the writer: {msg}"
+    );
+}
+
+/// The `route_deltas` / `disconnect` protocol: an ingester routes
+/// deltas to a bound-1 subscriber queue with `try_send`, never
+/// blocking; overflow disconnects the subscriber (retiring it from the
+/// routing table and cancelling its subscription) instead of stalling
+/// ingestion. Checked under every schedule of ingester vs. writer:
+/// ingestion always completes, every delta is either delivered or
+/// counted against the overflow disconnect, and a disconnected
+/// subscriber loses its routing-table entry and subscription.
+#[test]
+fn slow_subscriber_overflow_never_stalls_ingestion() {
+    loom::model(|| {
+        let conns: Table = Arc::new(Mutex::new(HashMap::new()));
+        let subs: Arc<Mutex<HashMap<u64, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+        let (queue, outbound) = sync_channel::<u32>(1);
+        conns.lock().unwrap().insert(0, queue.clone());
+        subs.lock().unwrap().insert(1, 0);
+
+        // The subscriber's writer: drains whatever was enqueued before
+        // its disconnect. "Slow" is not simulated — the explorer covers
+        // every degree of writer starvation by scheduling.
+        let writer = thread::spawn(move || {
+            let mut delivered = 0u32;
+            while outbound.recv().is_ok() {
+                delivered += 1;
+            }
+            delivered
+        });
+
+        // The ingesting client's reader thread: `route_deltas` over
+        // three deltas, then `disconnect` for any overflowed owner.
+        let (ing_conns, ing_subs) = (Arc::clone(&conns), Arc::clone(&subs));
+        let ingester = thread::spawn(move || {
+            let mut overflowed = 0u32;
+            for delta in 0..3u32 {
+                let Some(owner) = ing_subs.lock().unwrap().get(&1).copied() else {
+                    continue;
+                };
+                let conns = ing_conns.lock().unwrap();
+                let Some(tx) = conns.get(&owner) else {
+                    continue;
+                };
+                match tx.try_send(delta) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                        overflowed += 1;
+                    }
+                }
+            }
+            if overflowed > 0 {
+                // `Shared::disconnect`: retire the connection (dropping
+                // the table's sender clone), then cancel its
+                // subscriptions.
+                let removed = ing_conns.lock().unwrap().remove(&0);
+                drop(removed);
+                ing_subs.lock().unwrap().remove(&1);
+            }
+            overflowed
+        });
+
+        let overflowed = ingester.join().unwrap();
+        // The reader's own teardown, in the shipped (fixed) order.
+        let still_routed = {
+            let removed = conns.lock().unwrap().remove(&0);
+            removed.is_some()
+        };
+        drop(queue);
+        let delivered = writer.join().unwrap();
+
+        assert_eq!(
+            delivered + overflowed,
+            3,
+            "a delta was neither delivered nor counted as overflow"
+        );
+        assert_eq!(
+            overflowed > 0,
+            !still_routed,
+            "overflow and routing-table retirement disagree"
+        );
+        if overflowed > 0 {
+            assert!(
+                subs.lock().unwrap().is_empty(),
+                "disconnect left the subscription routable"
+            );
+        }
+    });
+}

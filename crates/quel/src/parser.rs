@@ -70,8 +70,8 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, kind: TokenKind, what: &str) -> TdbResult<()> {
-        if self.peek().kind == kind {
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> TdbResult<()> {
+        if self.peek().kind == *kind {
             self.next();
             Ok(())
         } else {
@@ -104,13 +104,13 @@ impl Parser {
             None
         };
 
-        self.expect(TokenKind::LParen, "`(` opening the target list")?;
+        self.expect(&TokenKind::LParen, "`(` opening the target list")?;
         let mut targets = Vec::new();
         loop {
             let name = self.expect_ident("target name")?;
-            self.expect(TokenKind::Eq, "`=` in target")?;
+            self.expect(&TokenKind::Eq, "`=` in target")?;
             let var = self.expect_ident("range variable")?;
-            self.expect(TokenKind::Dot, "`.` in column reference")?;
+            self.expect(&TokenKind::Dot, "`.` in column reference")?;
             let attr = self.expect_ident("attribute name")?;
             targets.push(Target { name, var, attr });
             match self.peek().kind {
@@ -121,7 +121,7 @@ impl Parser {
                 _ => return Err(self.error("expected `,` or `)` in target list")),
             }
         }
-        self.expect(TokenKind::RParen, "`)` closing the target list")?;
+        self.expect(&TokenKind::RParen, "`)` closing the target list")?;
 
         let qual = if self.is_keyword("where") {
             self.next();
@@ -154,7 +154,7 @@ impl Parser {
         if self.peek().kind == TokenKind::LParen {
             self.next();
             let inner = self.parse_qual()?;
-            self.expect(TokenKind::RParen, "`)`")?;
+            self.expect(&TokenKind::RParen, "`)`")?;
             return Ok(inner);
         }
         // Lookahead: IDENT TEMPORAL_KW IDENT is a temporal term;
@@ -195,7 +195,7 @@ impl Parser {
         match self.peek().kind.clone() {
             TokenKind::Ident(var) => {
                 self.next();
-                self.expect(TokenKind::Dot, "`.` after range variable")?;
+                self.expect(&TokenKind::Dot, "`.` after range variable")?;
                 let attr = self.expect_ident("attribute name")?;
                 Ok(Operand::Column { var, attr })
             }

@@ -1,42 +1,50 @@
 //! Offline stand-in for the [`loom`](https://docs.rs/loom) permutation
-//! tester.
+//! tester — now a real bounded interleaving explorer.
 //!
 //! The build environment has no crates.io access, so this shim provides
 //! the subset of loom's API the workspace's concurrency models use —
-//! [`model`], `thread::spawn`, and the `sync` re-exports — backed by the
-//! real `std` primitives. [`model`] runs the closure several times to
-//! shake out scheduling-dependent behavior, but it does **not** perform
-//! loom's exhaustive interleaving exploration; with registry access,
-//! swapping in the real crate upgrades the same tests to full model
-//! checking (call sites are compatible).
+//! [`model`], `thread::spawn`/`join`/`yield_now`, and the `sync`
+//! primitives (`Mutex`, `RwLock`, `Condvar`, bounded `mpsc`, atomics).
+//! Unlike the original pass-through (which re-ran the closure under the
+//! OS scheduler), this version runs model closures under a cooperative
+//! scheduler and explores **every reachable schedule** up to its bounds:
+//! a depth-first search over scheduling decisions with DPOR-style
+//! sleep-set pruning, deterministic replay of shared prefixes, deadlock
+//! detection (reported with per-thread blocked ops), and a reproducible
+//! failing-schedule report on the first assertion failure, panic, or
+//! deadlock. See `src/rt.rs` for the scheduler and the pruning argument.
+//!
+//! What is modeled: sequentially consistent interleavings of the shim's
+//! own primitives. What is not: weak memory orderings, spurious condvar
+//! wakeups, rendezvous (bound-0) channels, and `std` primitives used
+//! directly inside a model (they are invisible to the scheduler — use
+//! the shim's types). With registry access, swapping in the real crate
+//! upgrades the same tests to loom's full C11-model checking (call
+//! sites are compatible).
 
-/// Thread primitives — `std::thread` under the shim, loom's controlled
-/// scheduler under the real crate.
-pub mod thread {
-    pub use std::thread::{spawn, yield_now, JoinHandle};
-}
+mod rt;
+pub mod sync;
+pub mod thread;
 
-/// Synchronization primitives — `std::sync` under the shim.
-pub mod sync {
-    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+pub use rt::{last_iterations, Config};
 
-    /// Atomic types — `std::sync::atomic` under the shim.
-    pub mod atomic {
-        pub use std::sync::atomic::*;
-    }
-}
-
-/// Run a concurrency model.
+/// Run `f` under every schedule reachable with the default bounds
+/// (overridable via `TDB_LOOM_MAX_STEPS` / `TDB_LOOM_MAX_ITERATIONS`).
 ///
-/// Real loom explores every valid interleaving of the closure's threads;
-/// this stand-in re-runs it a fixed number of times under the OS
-/// scheduler, which still catches gross races (lost updates, deadlocks
-/// that do not depend on a rare schedule) deterministically enough for CI.
+/// Panics — deterministically, with the failing schedule — on the first
+/// execution that fails an assertion, panics, deadlocks, or exceeds a
+/// bound. Returns only after the schedule space is exhausted.
 pub fn model<F>(f: F)
 where
     F: Fn() + Sync + Send + 'static,
 {
-    for _ in 0..32 {
-        f();
-    }
+    rt::run(Config::default(), f);
+}
+
+/// [`model`] with explicit exploration bounds.
+pub fn model_with<F>(config: Config, f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    rt::run(config, f);
 }

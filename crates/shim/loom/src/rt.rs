@@ -1,0 +1,1063 @@
+//! The interleaving explorer: a cooperative scheduler plus a DFS over
+//! schedule choices with sleep-set pruning.
+//!
+//! Every loom primitive (mutex, rwlock, condvar, channel, atomic) calls
+//! [`Rt::sync`] at each shared-memory operation. The calling thread
+//! *announces* its pending operation and parks; the scheduler — which
+//! runs inline on whichever thread reached the decision point — picks
+//! exactly one enabled thread to proceed. Because only one thread ever
+//! runs between decision points, an execution is fully determined by the
+//! sequence of choices, and the explorer can enumerate executions by
+//! depth-first search over those choices, replaying the shared prefix.
+//!
+//! Pruning is the classic sleep-set reduction (Godefroid): once a choice
+//! `c` has been explored from a node, siblings explored later carry `c`
+//! in their subtree's sleep set for as long as `c`'s pending operation
+//! stays independent of the operations actually executed — two
+//! operations are independent when they touch different objects, or the
+//! same object with both only reading. A sleeping choice is never
+//! scheduled, cutting every interleaving that merely commutes two
+//! independent steps while still visiting at least one representative of
+//! every Mazurkiewicz trace — so no assertion failure or deadlock
+//! reachable under some schedule is missed.
+//!
+//! Bounds: executions are depth-bounded (`max_steps` scheduling
+//! decisions per execution — a livelocking spin loop fails fast instead
+//! of hanging) and breadth-bounded (`max_iterations` executions). Both
+//! are hard errors when exceeded, never silent truncation: a model that
+//! blows a bound must be shrunk, not half-checked.
+
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, Once};
+
+/// Logical thread id inside a model (allocation order, main closure = 0).
+pub type Tid = usize;
+/// Logical object id inside a model (allocation order).
+pub type Oid = usize;
+
+/// Panic payload used to unwind model threads when an execution is torn
+/// down (failure elsewhere, or a pruned schedule). Caught by the thread
+/// entry wrapper; never escapes to user code.
+pub(crate) struct AbortToken;
+
+thread_local! {
+    static IN_MODEL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+/// Silence the default panic printer for model threads: every model
+/// panic is caught and re-reported (with its schedule) from `model()`
+/// on the caller's thread, and teardown unwinds would otherwise spam
+/// stderr on every pruned execution.
+fn install_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if IN_MODEL.with(std::cell::Cell::get) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// How an operation touches its object, for the independence relation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Access {
+    Read,
+    Write,
+}
+
+/// What kind of object an [`Oid`] names (used for diagnostics).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ObjKind {
+    Mutex,
+    RwLock,
+    Condvar,
+    Channel,
+    Atomic,
+    Thread,
+}
+
+impl ObjKind {
+    fn prefix(self) -> &'static str {
+        match self {
+            ObjKind::Mutex => "m",
+            ObjKind::RwLock => "rw",
+            ObjKind::Condvar => "cv",
+            ObjKind::Channel => "ch",
+            ObjKind::Atomic => "a",
+            ObjKind::Thread => "th",
+        }
+    }
+}
+
+/// Scheduler-side state per object.
+enum ObjState {
+    Mutex {
+        held_by: Option<Tid>,
+    },
+    RwLock {
+        readers: usize,
+        writer: bool,
+    },
+    Condvar {
+        waiters: Vec<Tid>,
+    },
+    Channel {
+        len: usize,
+        cap: usize,
+        senders: usize,
+        rx_alive: bool,
+    },
+    Atomic,
+    Thread,
+}
+
+struct Obj {
+    kind: ObjKind,
+    state: ObjState,
+}
+
+/// A pending operation announced by a thread at a sync point.
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    /// A freshly spawned thread, ready to run its body.
+    Start,
+    /// Explicit `yield_now` — a pure scheduling point.
+    Yield,
+    /// Atomic load.
+    Load(Oid),
+    /// Atomic store / read-modify-write.
+    Store(Oid),
+    /// Acquire a mutex.
+    Lock(Oid),
+    /// Release a mutex.
+    Unlock(Oid),
+    /// Acquire a read lock.
+    RwRead(Oid),
+    /// Release a read lock.
+    RwReadUnlock(Oid),
+    /// Acquire a write lock.
+    RwWrite(Oid),
+    /// Release a write lock.
+    RwWriteUnlock(Oid),
+    /// Atomically release `mutex` and park on `cv`.
+    CondWait { cv: Oid, mutex: Oid },
+    /// Re-acquire the mutex after a condvar notification (internal: a
+    /// parked thread's pending op becomes this).
+    Relock { mutex: Oid },
+    /// Wake one condvar waiter.
+    NotifyOne(Oid),
+    /// Wake every condvar waiter.
+    NotifyAll(Oid),
+    /// Blocking bounded-channel send.
+    Send(Oid),
+    /// Non-blocking bounded-channel send.
+    TrySend(Oid),
+    /// Blocking channel receive.
+    Recv(Oid),
+    /// A sender handle dropped.
+    CloseTx(Oid),
+    /// The receiver dropped.
+    CloseRx(Oid),
+    /// Join a thread (operand: the target's lifecycle object id).
+    Join { lifecycle: Oid },
+    /// Thread body finished (operand: own lifecycle object id).
+    Finish { lifecycle: Oid },
+}
+
+impl Op {
+    /// The operation's footprint: the objects it touches and how. Empty
+    /// footprints (`Start`, `Yield`) commute with everything.
+    fn footprint(&self) -> Vec<(Oid, Access)> {
+        match *self {
+            Op::Start | Op::Yield => Vec::new(),
+            Op::Load(o) => vec![(o, Access::Read)],
+            Op::Store(o)
+            | Op::Lock(o)
+            | Op::Unlock(o)
+            | Op::RwWrite(o)
+            | Op::RwWriteUnlock(o)
+            | Op::NotifyOne(o)
+            | Op::NotifyAll(o)
+            | Op::Send(o)
+            | Op::TrySend(o)
+            | Op::Recv(o)
+            | Op::CloseTx(o)
+            | Op::CloseRx(o) => vec![(o, Access::Write)],
+            Op::RwRead(o) | Op::RwReadUnlock(o) => vec![(o, Access::Read)],
+            Op::CondWait { cv, mutex } => vec![(cv, Access::Write), (mutex, Access::Write)],
+            Op::Relock { mutex } => vec![(mutex, Access::Write)],
+            Op::Join { lifecycle } => vec![(lifecycle, Access::Read)],
+            Op::Finish { lifecycle } => vec![(lifecycle, Access::Write)],
+        }
+    }
+
+    /// Is this a release-style effect that may run during unwinding
+    /// (guard/handle drops)? These must never panic in `Drop`.
+    fn is_release(&self) -> bool {
+        matches!(
+            self,
+            Op::Unlock(_)
+                | Op::RwReadUnlock(_)
+                | Op::RwWriteUnlock(_)
+                | Op::CloseTx(_)
+                | Op::CloseRx(_)
+                | Op::NotifyOne(_)
+                | Op::NotifyAll(_)
+        )
+    }
+}
+
+/// Are two operations independent (commuting)? Conservative: they must
+/// touch disjoint objects, or overlap only in reads.
+fn independent(a: &Op, b: &Op) -> bool {
+    for (oa, aa) in a.footprint() {
+        for (ob, ab) in b.footprint() {
+            if oa == ob && (aa == Access::Write || ab == Access::Write) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The result the scheduler hands back to a thread completing a sync
+/// point, for ops whose outcome is decided at schedule time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Outcome {
+    /// Proceed normally (lock granted, value available, …).
+    Ok,
+    /// Channel op observed a closed peer.
+    Disconnected,
+    /// `try_send` observed a full queue.
+    Full,
+}
+
+/// Per-thread scheduler state.
+struct Th {
+    pending: Option<Op>,
+    outcome: Outcome,
+    /// Set by a notify while parked on a condvar.
+    notified: bool,
+    finished: bool,
+    /// Lifecycle object (join dependency tracking).
+    lifecycle: Oid,
+}
+
+/// One decision point in the current execution's schedule.
+struct Node {
+    /// Threads that were enabled here, in tid order.
+    enabled: Vec<Tid>,
+    /// Pending op of every live thread at this node, for sleep-set
+    /// derivation and diagnostics.
+    fps: Vec<(Tid, Op)>,
+    /// Sleep set: choices whose subtrees are covered by siblings
+    /// explored earlier from an ancestor.
+    sleep: Vec<Tid>,
+    /// Choices fully explored from this node.
+    explored: Vec<Tid>,
+    /// The choice the current/next execution takes here.
+    chosen: Tid,
+}
+
+impl Node {
+    fn op_of(&self, tid: Tid) -> Option<&Op> {
+        self.fps.iter().find(|(t, _)| *t == tid).map(|(_, op)| op)
+    }
+}
+
+/// Exploration bounds. See [`crate::model_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Maximum scheduling decisions per execution before the model fails
+    /// with a depth-bound diagnostic (catches livelocks).
+    pub max_steps: usize,
+    /// Maximum executions before the exploration fails as exhausted
+    /// (the model is too large — shrink it rather than half-check it).
+    pub max_iterations: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let env = |k: &str, d: usize| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        Config {
+            max_steps: env("TDB_LOOM_MAX_STEPS", 20_000),
+            max_iterations: env("TDB_LOOM_MAX_ITERATIONS", 2_000_000),
+        }
+    }
+}
+
+/// The DFS over schedules. Lives across executions of one model.
+struct Explorer {
+    trace: Vec<Node>,
+    /// Decisions taken so far in the current execution.
+    pos: usize,
+    iterations: usize,
+    config: Config,
+}
+
+impl Explorer {
+    fn new(config: Config) -> Explorer {
+        Explorer {
+            trace: Vec::new(),
+            pos: 0,
+            iterations: 0,
+            config,
+        }
+    }
+
+    /// Advance to the next unexplored schedule; `false` when the space
+    /// is exhausted.
+    fn advance(&mut self) -> bool {
+        self.pos = 0;
+        while let Some(node) = self.trace.last_mut() {
+            node.explored.push(node.chosen);
+            let next = node
+                .enabled
+                .iter()
+                .copied()
+                .find(|t| !node.explored.contains(t) && !node.sleep.contains(t));
+            if let Some(t) = next {
+                node.chosen = t;
+                return true;
+            }
+            self.trace.pop();
+        }
+        false
+    }
+}
+
+/// Why a scheduling decision could not be made.
+enum StepFail {
+    DepthBound,
+    Pruned,
+}
+
+/// Shared mutable scheduler state (always accessed under the lock).
+struct RtState {
+    threads: Vec<Th>,
+    objects: Vec<Obj>,
+    active: Option<Tid>,
+    abort: bool,
+    /// First failure of this execution. The DFS order is deterministic,
+    /// so the first failing schedule is too.
+    failure: Option<String>,
+    live: usize,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+    explorer: Explorer,
+    done: bool,
+}
+
+/// The per-execution runtime: scheduler state plus the (persistent,
+/// threaded-through) explorer.
+pub(crate) struct Rt {
+    state: StdMutex<RtState>,
+    cond: StdCondvar,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Rt>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The calling thread's runtime context, if it is a model thread.
+pub(crate) fn current() -> Option<(Arc<Rt>, Tid)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<(Arc<Rt>, Tid)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+impl Rt {
+    fn new(explorer: Explorer) -> Rt {
+        Rt {
+            state: StdMutex::new(RtState {
+                threads: Vec::new(),
+                objects: Vec::new(),
+                active: None,
+                abort: false,
+                failure: None,
+                live: 0,
+                os_handles: Vec::new(),
+                explorer,
+                done: false,
+            }),
+            cond: StdCondvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RtState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Register a new model object, returning its id.
+    pub(crate) fn register(&self, kind: ObjKind) -> Oid {
+        let mut st = self.lock();
+        let state = match kind {
+            ObjKind::Mutex => ObjState::Mutex { held_by: None },
+            ObjKind::RwLock => ObjState::RwLock {
+                readers: 0,
+                writer: false,
+            },
+            ObjKind::Condvar => ObjState::Condvar {
+                waiters: Vec::new(),
+            },
+            ObjKind::Channel => ObjState::Channel {
+                len: 0,
+                cap: 0,
+                senders: 0,
+                rx_alive: true,
+            },
+            ObjKind::Atomic => ObjState::Atomic,
+            ObjKind::Thread => ObjState::Thread,
+        };
+        st.objects.push(Obj { kind, state });
+        st.objects.len() - 1
+    }
+
+    /// Initialize a channel object's bound and sender count.
+    pub(crate) fn channel_init(&self, oid: Oid, cap: usize) {
+        let mut st = self.lock();
+        if let ObjState::Channel {
+            cap: c, senders, ..
+        } = &mut st.objects[oid].state
+        {
+            *c = cap;
+            *senders = 1;
+        }
+    }
+
+    /// Account a cloned sender handle.
+    pub(crate) fn channel_add_sender(&self, oid: Oid) {
+        let mut st = self.lock();
+        if let ObjState::Channel { senders, .. } = &mut st.objects[oid].state {
+            *senders += 1;
+        }
+    }
+
+    /// Spawn a model thread running `body`. Returns its tid.
+    pub(crate) fn spawn(self: &Arc<Rt>, body: Box<dyn FnOnce() + Send>) -> Tid {
+        let lifecycle = self.register(ObjKind::Thread);
+        let tid = {
+            let mut st = self.lock();
+            st.threads.push(Th {
+                pending: Some(Op::Start),
+                outcome: Outcome::Ok,
+                notified: false,
+                finished: false,
+                lifecycle,
+            });
+            st.live += 1;
+            st.threads.len() - 1
+        };
+        let rt = Arc::clone(self);
+        let handle = std::thread::spawn(move || {
+            IN_MODEL.with(|f| f.set(true));
+            set_ctx(Some((Arc::clone(&rt), tid)));
+            // Wait to be scheduled for the Start step, then run. A
+            // teardown before Start unwinds via AbortToken like any
+            // other blocked thread.
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                rt.wait_turn(tid);
+                body();
+            }));
+            match result {
+                Ok(()) => rt.finish(tid, None),
+                Err(payload) => {
+                    if payload.is::<AbortToken>() {
+                        rt.finish_silent(tid);
+                    } else {
+                        rt.finish(tid, Some(panic_message(payload.as_ref())));
+                    }
+                }
+            }
+            set_ctx(None);
+        });
+        self.lock().os_handles.push(handle);
+        tid
+    }
+
+    /// The lifecycle object id of `tid` (join dependency).
+    pub(crate) fn lifecycle_of(&self, tid: Tid) -> Oid {
+        self.lock().threads[tid].lifecycle
+    }
+
+    /// Announce `op`, let the scheduler pick, and block until this
+    /// thread is scheduled. Returns the op's outcome. During teardown:
+    /// release ops apply silently (they run in `Drop` while unwinding);
+    /// anything else unwinds with [`AbortToken`].
+    pub(crate) fn sync(&self, tid: Tid, op: Op) -> Outcome {
+        let mut st = self.lock();
+        if st.abort {
+            if op.is_release() {
+                Self::apply(&mut st, tid, &op);
+                return Outcome::Ok;
+            }
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+        st.threads[tid].pending = Some(op);
+        st.active = None;
+        self.schedule(&mut st);
+        drop(st);
+        self.wait_turn(tid);
+        self.lock().threads[tid].outcome
+    }
+
+    /// Block until `tid` is the active thread. Panics with [`AbortToken`]
+    /// if the execution is torn down first.
+    fn wait_turn(&self, tid: Tid) {
+        let mut st = self.lock();
+        loop {
+            if st.active == Some(tid) {
+                return;
+            }
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(AbortToken);
+            }
+            st = match self.cond.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Normal thread completion (body returned) or a model failure
+    /// (body panicked). Runs the `Finish` sync step so joiners see it,
+    /// then retires the thread.
+    fn finish(&self, tid: Tid, failure: Option<String>) {
+        if let Some(msg) = failure {
+            self.fail(tid, &format!("thread t{tid} panicked: {msg}"));
+            self.finish_silent(tid);
+            return;
+        }
+        let lifecycle = self.lifecycle_of(tid);
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            self.finish_silent(tid);
+            return;
+        }
+        st.threads[tid].pending = Some(Op::Finish { lifecycle });
+        st.active = None;
+        self.schedule(&mut st);
+        // Wait for the Finish step to be scheduled, then retire. If the
+        // execution aborts first, retire silently.
+        loop {
+            if st.abort || st.active == Some(tid) {
+                break;
+            }
+            st = match self.cond.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        st.threads[tid].finished = true;
+        st.threads[tid].pending = None;
+        st.active = None;
+        st.live -= 1;
+        if st.live == 0 {
+            st.done = true;
+            self.cond.notify_all();
+        } else if !st.abort {
+            self.schedule(&mut st);
+        }
+    }
+
+    /// Retire a thread during teardown without a scheduling step.
+    fn finish_silent(&self, tid: Tid) {
+        let mut st = self.lock();
+        st.threads[tid].finished = true;
+        st.threads[tid].pending = None;
+        st.live -= 1;
+        if st.live == 0 {
+            st.done = true;
+        }
+        self.cond.notify_all();
+    }
+
+    /// Record the execution's failure (first wins) and tear it down.
+    pub(crate) fn fail(&self, tid: Tid, msg: &str) {
+        let mut st = self.lock();
+        if st.failure.is_none() {
+            let schedule = Self::schedule_desc(&st);
+            st.failure = Some(format!(
+                "{msg}\n  failing schedule: {schedule}\n  (reported by t{tid}; notation tN:op, objects numbered in creation order)"
+            ));
+        }
+        st.abort = true;
+        self.cond.notify_all();
+    }
+
+    /// Human-readable schedule of the current execution. Deterministic:
+    /// tids and oids are allocation-ordered, never OS identities.
+    fn schedule_desc(st: &RtState) -> String {
+        let upto = st.explorer.pos.min(st.explorer.trace.len());
+        let steps: Vec<String> = st.explorer.trace[..upto]
+            .iter()
+            .map(|n| {
+                let desc = n
+                    .op_of(n.chosen)
+                    .map_or_else(|| "?".to_string(), |op| Self::op_desc(st, op));
+                format!("t{}:{desc}", n.chosen)
+            })
+            .collect();
+        if steps.is_empty() {
+            "(empty)".to_string()
+        } else {
+            steps.join(" → ")
+        }
+    }
+
+    fn op_desc(st: &RtState, op: &Op) -> String {
+        let name = |o: Oid| format!("{}{o}", st.objects[o].kind.prefix());
+        match *op {
+            Op::Start => "start".to_string(),
+            Op::Yield => "yield".to_string(),
+            Op::Load(o) => format!("load({})", name(o)),
+            Op::Store(o) => format!("store({})", name(o)),
+            Op::Lock(o) => format!("lock({})", name(o)),
+            Op::Unlock(o) => format!("unlock({})", name(o)),
+            Op::RwRead(o) => format!("read({})", name(o)),
+            Op::RwReadUnlock(o) => format!("read_unlock({})", name(o)),
+            Op::RwWrite(o) => format!("write({})", name(o)),
+            Op::RwWriteUnlock(o) => format!("write_unlock({})", name(o)),
+            Op::CondWait { cv, mutex } => format!("wait({}, {})", name(cv), name(mutex)),
+            Op::Relock { mutex } => format!("relock({})", name(mutex)),
+            Op::NotifyOne(o) => format!("notify_one({})", name(o)),
+            Op::NotifyAll(o) => format!("notify_all({})", name(o)),
+            Op::Send(o) => format!("send({})", name(o)),
+            Op::TrySend(o) => format!("try_send({})", name(o)),
+            Op::Recv(o) => format!("recv({})", name(o)),
+            Op::CloseTx(o) => format!("close_tx({})", name(o)),
+            Op::CloseRx(o) => format!("close_rx({})", name(o)),
+            Op::Join { lifecycle } => format!("join({})", name(lifecycle)),
+            Op::Finish { .. } => "finish".to_string(),
+        }
+    }
+
+    /// Is `op` enabled in the current state?
+    fn op_enabled(st: &RtState, tid: Tid, op: &Op) -> bool {
+        match *op {
+            Op::Lock(o) => matches!(st.objects[o].state, ObjState::Mutex { held_by: None }),
+            Op::Relock { mutex } => {
+                st.threads[tid].notified
+                    && matches!(st.objects[mutex].state, ObjState::Mutex { held_by: None })
+            }
+            Op::RwRead(o) => {
+                matches!(st.objects[o].state, ObjState::RwLock { writer: false, .. })
+            }
+            Op::RwWrite(o) => matches!(
+                st.objects[o].state,
+                ObjState::RwLock {
+                    readers: 0,
+                    writer: false
+                }
+            ),
+            Op::Send(o) => match st.objects[o].state {
+                ObjState::Channel {
+                    len, cap, rx_alive, ..
+                } => len < cap || !rx_alive,
+                _ => false,
+            },
+            Op::Recv(o) => match st.objects[o].state {
+                ObjState::Channel { len, senders, .. } => len > 0 || senders == 0,
+                _ => false,
+            },
+            Op::Join { lifecycle } => st
+                .threads
+                .iter()
+                .find(|t| t.lifecycle == lifecycle)
+                .is_some_and(|t| t.finished),
+            _ => true,
+        }
+    }
+
+    /// Apply the scheduler-visible effect of scheduling `tid`'s op.
+    /// Returns `true` when the thread should wake and run (the common
+    /// case) or `false` when it stays parked (condvar wait).
+    fn apply(st: &mut RtState, tid: Tid, op: &Op) -> bool {
+        match *op {
+            Op::Lock(o) => {
+                if let ObjState::Mutex { held_by } = &mut st.objects[o].state {
+                    *held_by = Some(tid);
+                }
+            }
+            Op::Relock { mutex } => {
+                if let ObjState::Mutex { held_by } = &mut st.objects[mutex].state {
+                    *held_by = Some(tid);
+                }
+                st.threads[tid].notified = false;
+            }
+            Op::Unlock(o) => {
+                if let ObjState::Mutex { held_by } = &mut st.objects[o].state {
+                    *held_by = None;
+                }
+            }
+            Op::RwRead(o) => {
+                if let ObjState::RwLock { readers, .. } = &mut st.objects[o].state {
+                    *readers += 1;
+                }
+            }
+            Op::RwReadUnlock(o) => {
+                if let ObjState::RwLock { readers, .. } = &mut st.objects[o].state {
+                    *readers = readers.saturating_sub(1);
+                }
+            }
+            Op::RwWrite(o) => {
+                if let ObjState::RwLock { writer, .. } = &mut st.objects[o].state {
+                    *writer = true;
+                }
+            }
+            Op::RwWriteUnlock(o) => {
+                if let ObjState::RwLock { writer, .. } = &mut st.objects[o].state {
+                    *writer = false;
+                }
+            }
+            Op::CondWait { cv, mutex } => {
+                if let ObjState::Mutex { held_by } = &mut st.objects[mutex].state {
+                    *held_by = None;
+                }
+                if let ObjState::Condvar { waiters } = &mut st.objects[cv].state {
+                    waiters.push(tid);
+                }
+                st.threads[tid].notified = false;
+                st.threads[tid].pending = Some(Op::Relock { mutex });
+                return false;
+            }
+            Op::NotifyOne(o) => {
+                if let ObjState::Condvar { waiters } = &mut st.objects[o].state {
+                    if !waiters.is_empty() {
+                        let w = waiters.remove(0);
+                        st.threads[w].notified = true;
+                    }
+                }
+            }
+            Op::NotifyAll(o) => {
+                if let ObjState::Condvar { waiters } = &mut st.objects[o].state {
+                    let woken: Vec<Tid> = waiters.drain(..).collect();
+                    for w in woken {
+                        st.threads[w].notified = true;
+                    }
+                }
+            }
+            Op::Send(o) => {
+                if let ObjState::Channel { len, rx_alive, .. } = &mut st.objects[o].state {
+                    if *rx_alive {
+                        *len += 1;
+                        st.threads[tid].outcome = Outcome::Ok;
+                    } else {
+                        st.threads[tid].outcome = Outcome::Disconnected;
+                    }
+                }
+            }
+            Op::TrySend(o) => {
+                if let ObjState::Channel {
+                    len, cap, rx_alive, ..
+                } = &mut st.objects[o].state
+                {
+                    if !*rx_alive {
+                        st.threads[tid].outcome = Outcome::Disconnected;
+                    } else if *len >= *cap {
+                        st.threads[tid].outcome = Outcome::Full;
+                    } else {
+                        *len += 1;
+                        st.threads[tid].outcome = Outcome::Ok;
+                    }
+                }
+            }
+            Op::Recv(o) => {
+                if let ObjState::Channel { len, .. } = &mut st.objects[o].state {
+                    if *len > 0 {
+                        *len -= 1;
+                        st.threads[tid].outcome = Outcome::Ok;
+                    } else {
+                        st.threads[tid].outcome = Outcome::Disconnected;
+                    }
+                }
+            }
+            Op::CloseTx(o) => {
+                if let ObjState::Channel { senders, .. } = &mut st.objects[o].state {
+                    *senders = senders.saturating_sub(1);
+                }
+            }
+            Op::CloseRx(o) => {
+                if let ObjState::Channel { rx_alive, .. } = &mut st.objects[o].state {
+                    *rx_alive = false;
+                }
+            }
+            Op::Start
+            | Op::Yield
+            | Op::Load(_)
+            | Op::Store(_)
+            | Op::Join { .. }
+            | Op::Finish { .. } => {}
+        }
+        true
+    }
+
+    /// One scheduling round: pick the next thread per the explorer and
+    /// apply its op; repeat while the applied op leaves its thread
+    /// parked (condvar wait). Detects deadlock, depth bound, pruning.
+    fn schedule(&self, st: &mut RtState) {
+        loop {
+            if st.live == 0 {
+                st.done = true;
+                self.cond.notify_all();
+                return;
+            }
+            let live: Vec<Tid> = (0..st.threads.len())
+                .filter(|&t| !st.threads[t].finished)
+                .collect();
+            // Cooperative-design invariant: at a decision point every
+            // live thread has announced its pending operation.
+            debug_assert!(live.iter().all(|&t| st.threads[t].pending.is_some()));
+            let enabled: Vec<Tid> = live
+                .iter()
+                .copied()
+                .filter(|&t| {
+                    st.threads[t]
+                        .pending
+                        .as_ref()
+                        .is_some_and(|op| Self::op_enabled(st, t, op))
+                })
+                .collect();
+            if enabled.is_empty() {
+                let detail: Vec<String> = live
+                    .iter()
+                    .map(|&t| {
+                        let opdesc = st.threads[t]
+                            .pending
+                            .as_ref()
+                            .map_or_else(|| "?".to_string(), |op| Self::op_desc(st, op));
+                        format!("t{t} blocked at {opdesc}")
+                    })
+                    .collect();
+                if st.failure.is_none() {
+                    let schedule = Self::schedule_desc(st);
+                    st.failure = Some(format!(
+                        "deadlock: every live thread is blocked\n  {}\n  failing schedule: {schedule}",
+                        detail.join("\n  ")
+                    ));
+                }
+                st.abort = true;
+                self.cond.notify_all();
+                return;
+            }
+            match Self::decide(st, &enabled) {
+                Ok(chosen) => {
+                    let Some(op) = st.threads[chosen].pending.take() else {
+                        continue;
+                    };
+                    if Self::apply(st, chosen, &op) {
+                        st.active = Some(chosen);
+                        self.cond.notify_all();
+                        return;
+                    }
+                    // Parked (condvar wait): keep scheduling.
+                }
+                Err(StepFail::Pruned) => {
+                    st.abort = true;
+                    self.cond.notify_all();
+                    return;
+                }
+                Err(StepFail::DepthBound) => {
+                    if st.failure.is_none() {
+                        let schedule = Self::schedule_desc(st);
+                        st.failure = Some(format!(
+                            "depth bound exceeded: more than {} scheduling decisions in one execution (livelock or an oversized model)\n  schedule prefix: {schedule}",
+                            st.explorer.config.max_steps
+                        ));
+                    }
+                    st.abort = true;
+                    self.cond.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The explorer's choice at the current decision point: replay the
+    /// recorded prefix, then extend the trace depth-first.
+    fn decide(st: &mut RtState, enabled: &[Tid]) -> Result<Tid, StepFail> {
+        if st.explorer.pos >= st.explorer.config.max_steps {
+            return Err(StepFail::DepthBound);
+        }
+        if st.explorer.pos < st.explorer.trace.len() {
+            let chosen = st.explorer.trace[st.explorer.pos].chosen;
+            st.explorer.pos += 1;
+            debug_assert!(
+                enabled.contains(&chosen),
+                "replay divergence: the model closure is nondeterministic"
+            );
+            return Ok(chosen);
+        }
+        // New node: derive the sleep set from the parent — siblings
+        // explored earlier sleep for as long as their op is independent
+        // of the step just executed.
+        let fps: Vec<(Tid, Op)> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.finished)
+            .filter_map(|(tid, t)| t.pending.clone().map(|op| (tid, op)))
+            .collect();
+        let pos = st.explorer.pos;
+        let sleep: Vec<Tid> = if pos == 0 {
+            Vec::new()
+        } else {
+            let parent = &st.explorer.trace[pos - 1];
+            let parent_op = parent.op_of(parent.chosen);
+            parent
+                .sleep
+                .iter()
+                .chain(parent.explored.iter())
+                .copied()
+                .filter(|&t| t != parent.chosen)
+                .filter(|&t| match (parent.op_of(t), parent_op) {
+                    (Some(a), Some(b)) => independent(a, b),
+                    _ => false,
+                })
+                .collect()
+        };
+        let Some(chosen) = enabled.iter().copied().find(|t| !sleep.contains(t)) else {
+            // Every enabled choice is covered by an earlier sibling's
+            // subtree: prune this execution.
+            return Err(StepFail::Pruned);
+        };
+        st.explorer.trace.push(Node {
+            enabled: enabled.to_vec(),
+            fps,
+            sleep,
+            explored: Vec::new(),
+            chosen,
+        });
+        st.explorer.pos += 1;
+        Ok(chosen)
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+static LAST_ITERATIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// Executions explored by the most recently completed `model` call (a
+/// diagnostic aid for sizing models; racy only across concurrent
+/// `model` calls, which tests avoid).
+pub fn last_iterations() -> usize {
+    LAST_ITERATIONS.load(Ordering::Relaxed)
+}
+
+/// Run `f` under every schedule the explorer can reach within `config`'s
+/// bounds. Panics on the first failing schedule with a deterministic
+/// report: the failure, per-thread blocked detail for deadlocks, and
+/// the schedule that reached it.
+pub(crate) fn run<F>(config: Config, f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    install_hook();
+    let f = Arc::new(f);
+    let mut explorer = Explorer::new(config);
+    loop {
+        explorer.iterations += 1;
+        if explorer.iterations > config.max_iterations {
+            panic!(
+                "loom: exploration budget exhausted after {} executions — shrink the model or raise max_iterations",
+                config.max_iterations
+            );
+        }
+        explorer.pos = 0;
+        let rt = Arc::new(Rt::new(explorer));
+        let body = Arc::clone(&f);
+        rt.spawn(Box::new(move || body()));
+        {
+            let mut st = rt.lock();
+            rt.schedule(&mut st);
+        }
+        // Wait for the execution to drain, then reap its OS threads.
+        {
+            let mut st = rt.lock();
+            while !(st.done && st.live == 0) {
+                st = match rt.cond.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        }
+        let handles: Vec<std::thread::JoinHandle<()>> = {
+            let mut st = rt.lock();
+            std::mem::take(&mut st.os_handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let (failure, iters, ex) = {
+            let mut st = rt.lock();
+            let failure = st.failure.take();
+            let iters = st.explorer.iterations;
+            let ex = std::mem::replace(&mut st.explorer, Explorer::new(config));
+            (failure, iters, ex)
+        };
+        explorer = ex;
+        if let Some(msg) = failure {
+            LAST_ITERATIONS.store(iters, Ordering::Relaxed);
+            panic!("loom model failed (execution #{iters})\n  {msg}");
+        }
+        if !explorer.advance() {
+            LAST_ITERATIONS.store(iters, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+/// The data-side queue of a model channel: typed payloads live outside
+/// the scheduler, which tracks only lengths and handle counts.
+pub(crate) struct ChanData<T> {
+    q: StdMutex<VecDeque<T>>,
+}
+
+impl<T> ChanData<T> {
+    pub(crate) fn new() -> ChanData<T> {
+        ChanData {
+            q: StdMutex::new(VecDeque::new()),
+        }
+    }
+
+    pub(crate) fn push(&self, v: T) {
+        match self.q.lock() {
+            Ok(mut g) => g.push_back(v),
+            Err(p) => p.into_inner().push_back(v),
+        }
+    }
+
+    pub(crate) fn pop(&self) -> Option<T> {
+        match self.q.lock() {
+            Ok(mut g) => g.pop_front(),
+            Err(p) => p.into_inner().pop_front(),
+        }
+    }
+}

@@ -1,0 +1,610 @@
+//! Model-aware `std::sync` facade: mutexes, rwlocks, condvars, bounded
+//! mpsc channels, and atomics whose every operation is a scheduling
+//! point inside a model closure.
+//!
+//! Objects created *inside* a model closure register with the current
+//! execution's scheduler; objects created outside (or used outside)
+//! fall back to plain `std` behavior, so the same types work in both
+//! worlds. All lock methods return `Ok` — model executions never
+//! poison (a panicking thread fails the whole model instead) — the
+//! `Result` surface exists for `std` drop-in compatibility.
+
+use crate::rt::{self, ObjKind, Oid, Op, Outcome};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, RwLock as StdRwLock};
+
+pub use std::sync::{Arc, LockResult, PoisonError};
+
+/// A mutual-exclusion lock; every `lock`/unlock is a scheduling point
+/// inside a model.
+pub struct Mutex<T> {
+    oid: Option<Oid>,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex. Registers with the scheduler when called from a
+    /// model thread.
+    pub fn new(value: T) -> Mutex<T> {
+        let oid = rt::current().map(|(rt, _)| rt.register(ObjKind::Mutex));
+        Mutex {
+            oid,
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquire the lock (a scheduling point; blocking here can be part
+    /// of a detected deadlock). Always `Ok`.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let (Some(oid), Some((rt, tid))) = (self.oid, rt::current()) {
+            rt.sync(tid, Op::Lock(oid));
+        }
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        Ok(MutexGuard {
+            mutex: self,
+            guard: Some(guard),
+        })
+    }
+
+    /// Consume the mutex, returning the inner value. Always `Ok`.
+    pub fn into_inner(self) -> LockResult<T> {
+        match self.inner.into_inner() {
+            Ok(v) => Ok(v),
+            Err(p) => Ok(p.into_inner()),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing is itself a scheduling point.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("loom: guard already released")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("loom: guard already released")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before announcing: once Unlock is
+        // scheduled another thread may be granted the mutex and will
+        // take the inner std lock.
+        drop(self.guard.take());
+        if let (Some(oid), Some((rt, tid))) = (self.mutex.oid, rt::current()) {
+            rt.sync(tid, Op::Unlock(oid));
+        }
+    }
+}
+
+/// A reader-writer lock; acquisition and release of either mode are
+/// scheduling points inside a model.
+pub struct RwLock<T> {
+    oid: Option<Oid>,
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a rwlock. Registers with the scheduler when called from a
+    /// model thread.
+    pub fn new(value: T) -> RwLock<T> {
+        let oid = rt::current().map(|(rt, _)| rt.register(ObjKind::RwLock));
+        RwLock {
+            oid,
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Acquire a shared read lock. Always `Ok`.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        if let (Some(oid), Some((rt, tid))) = (self.oid, rt::current()) {
+            rt.sync(tid, Op::RwRead(oid));
+        }
+        let guard = match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        Ok(RwLockReadGuard {
+            lock: self,
+            guard: Some(guard),
+        })
+    }
+
+    /// Acquire the exclusive write lock. Always `Ok`.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        if let (Some(oid), Some((rt, tid))) = (self.oid, rt::current()) {
+            rt.sync(tid, Op::RwWrite(oid));
+        }
+        let guard = match self.inner.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        Ok(RwLockWriteGuard {
+            lock: self,
+            guard: Some(guard),
+        })
+    }
+
+    /// Consume the lock, returning the inner value. Always `Ok`.
+    pub fn into_inner(self) -> LockResult<T> {
+        match self.inner.into_inner() {
+            Ok(v) => Ok(v),
+            Err(p) => Ok(p.into_inner()),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    guard: Option<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("loom: guard already released")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.guard.take());
+        if let (Some(oid), Some((rt, tid))) = (self.lock.oid, rt::current()) {
+            rt.sync(tid, Op::RwReadUnlock(oid));
+        }
+    }
+}
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    guard: Option<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("loom: guard already released")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("loom: guard already released")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.guard.take());
+        if let (Some(oid), Some((rt, tid))) = (self.lock.oid, rt::current()) {
+            rt.sync(tid, Op::RwWriteUnlock(oid));
+        }
+    }
+}
+
+/// A condition variable. Inside a model, `wait` atomically releases the
+/// mutex and parks (the lost-wakeup window is therefore explorable),
+/// and notifications wake waiters in FIFO order for determinism.
+pub struct Condvar {
+    oid: Option<Oid>,
+    inner: StdCondvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    /// Create a condvar. Registers with the scheduler when called from
+    /// a model thread.
+    pub fn new() -> Condvar {
+        let oid = rt::current().map(|(rt, _)| rt.register(ObjKind::Condvar));
+        Condvar {
+            oid,
+            inner: StdCondvar::new(),
+        }
+    }
+
+    /// Release `guard`'s mutex and park until notified, then re-acquire.
+    /// Always `Ok`. Spurious wakeups are not modeled — callers should
+    /// still loop on their predicate as with `std`.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let mutex = guard.mutex;
+        match (self.oid, mutex.oid, rt::current()) {
+            (Some(cv), Some(m), Some((rt, tid))) => {
+                // The CondWait op releases the scheduler-side lock state
+                // atomically; drop the real lock here and skip the
+                // guard's own Unlock announcement.
+                drop(guard.guard.take());
+                std::mem::forget(guard);
+                rt.sync(tid, Op::CondWait { cv, mutex: m });
+                let inner = match mutex.inner.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                Ok(MutexGuard {
+                    mutex,
+                    guard: Some(inner),
+                })
+            }
+            _ => {
+                let inner = guard.guard.take().expect("loom: guard already released");
+                std::mem::forget(guard);
+                let inner = match self.inner.wait(inner) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                Ok(MutexGuard {
+                    mutex,
+                    guard: Some(inner),
+                })
+            }
+        }
+    }
+
+    /// Wake one waiter (FIFO inside a model).
+    pub fn notify_one(&self) {
+        match (self.oid, rt::current()) {
+            (Some(oid), Some((rt, tid))) => {
+                rt.sync(tid, Op::NotifyOne(oid));
+            }
+            _ => self.inner.notify_one(),
+        }
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        match (self.oid, rt::current()) {
+            (Some(oid), Some((rt, tid))) => {
+                rt.sync(tid, Op::NotifyAll(oid));
+            }
+            _ => self.inner.notify_all(),
+        }
+    }
+}
+
+/// Bounded mpsc channels whose send/recv/close operations are
+/// scheduling points inside a model.
+pub mod mpsc {
+    use super::{rt, Arc, ObjKind, Op, Outcome};
+    use crate::rt::{ChanData, Oid};
+
+    pub use std::sync::mpsc::{RecvError, SendError, TrySendError};
+
+    /// Create a bounded channel. Inside a model the bound must be ≥ 1
+    /// (rendezvous channels are not modeled).
+    pub fn sync_channel<T>(bound: usize) -> (SyncSender<T>, Receiver<T>) {
+        match rt::current() {
+            Some((rt, _)) => {
+                assert!(bound >= 1, "loom: model channels require a bound >= 1");
+                let oid = rt.register(ObjKind::Channel);
+                rt.channel_init(oid, bound);
+                let data = Arc::new(ChanData::new());
+                (
+                    SyncSender(SenderInner::Model {
+                        oid,
+                        data: Arc::clone(&data),
+                    }),
+                    Receiver(ReceiverInner::Model { oid, data }),
+                )
+            }
+            None => {
+                let (tx, rx) = std::sync::mpsc::sync_channel(bound);
+                (
+                    SyncSender(SenderInner::Std(tx)),
+                    Receiver(ReceiverInner::Std(rx)),
+                )
+            }
+        }
+    }
+
+    /// Sending half of a bounded channel; clonable.
+    pub struct SyncSender<T>(SenderInner<T>);
+
+    enum SenderInner<T> {
+        Std(std::sync::mpsc::SyncSender<T>),
+        Model { oid: Oid, data: Arc<ChanData<T>> },
+    }
+
+    impl<T> SyncSender<T> {
+        /// Blocking send: parks while the queue is full (a scheduling
+        /// point; part of detectable deadlocks). Errors when the
+        /// receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderInner::Std(tx) => tx.send(value),
+                SenderInner::Model { oid, data } => {
+                    let (rt, tid) =
+                        rt::current().expect("loom: model channel used outside its model");
+                    match rt.sync(tid, Op::Send(*oid)) {
+                        Outcome::Ok => {
+                            data.push(value);
+                            Ok(())
+                        }
+                        _ => Err(SendError(value)),
+                    }
+                }
+            }
+        }
+
+        /// Non-blocking send: fails fast on a full queue or a gone
+        /// receiver. Still a scheduling point.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                SenderInner::Std(tx) => tx.try_send(value),
+                SenderInner::Model { oid, data } => {
+                    let (rt, tid) =
+                        rt::current().expect("loom: model channel used outside its model");
+                    match rt.sync(tid, Op::TrySend(*oid)) {
+                        Outcome::Ok => {
+                            data.push(value);
+                            Ok(())
+                        }
+                        Outcome::Full => Err(TrySendError::Full(value)),
+                        Outcome::Disconnected => Err(TrySendError::Disconnected(value)),
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> Clone for SyncSender<T> {
+        fn clone(&self) -> SyncSender<T> {
+            match &self.0 {
+                SenderInner::Std(tx) => SyncSender(SenderInner::Std(tx.clone())),
+                SenderInner::Model { oid, data } => {
+                    let (rt, _) =
+                        rt::current().expect("loom: model channel used outside its model");
+                    rt.channel_add_sender(*oid);
+                    SyncSender(SenderInner::Model {
+                        oid: *oid,
+                        data: Arc::clone(data),
+                    })
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for SyncSender<T> {
+        fn drop(&mut self) {
+            if let SenderInner::Model { oid, .. } = &self.0 {
+                if let Some((rt, tid)) = rt::current() {
+                    rt.sync(tid, Op::CloseTx(*oid));
+                }
+            }
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(ReceiverInner<T>);
+
+    enum ReceiverInner<T> {
+        Std(std::sync::mpsc::Receiver<T>),
+        Model { oid: Oid, data: Arc<ChanData<T>> },
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive: parks while the queue is empty and any
+        /// sender is live; errors once empty with all senders gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            match &self.0 {
+                ReceiverInner::Std(rx) => rx.recv(),
+                ReceiverInner::Model { oid, data } => {
+                    let (rt, tid) =
+                        rt::current().expect("loom: model channel used outside its model");
+                    match rt.sync(tid, Op::Recv(*oid)) {
+                        Outcome::Ok => data.pop().ok_or(RecvError),
+                        _ => Err(RecvError),
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if let ReceiverInner::Model { oid, .. } = &self.0 {
+                if let Some((rt, tid)) = rt::current() {
+                    rt.sync(tid, Op::CloseRx(*oid));
+                }
+            }
+        }
+    }
+}
+
+/// Atomics whose loads and stores are scheduling points inside a model.
+/// Orderings are accepted for API compatibility; the model explores
+/// sequentially consistent interleavings.
+pub mod atomic {
+    use super::{rt, ObjKind, Op};
+    use crate::rt::Oid;
+    use std::sync::atomic::Ordering as StdOrdering;
+
+    pub use std::sync::atomic::Ordering;
+
+    fn read_point(oid: Option<Oid>) {
+        if let (Some(oid), Some((rt, tid))) = (oid, rt::current()) {
+            rt.sync(tid, Op::Load(oid));
+        }
+    }
+
+    fn write_point(oid: Option<Oid>) {
+        if let (Some(oid), Some((rt, tid))) = (oid, rt::current()) {
+            rt.sync(tid, Op::Store(oid));
+        }
+    }
+
+    macro_rules! int_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $prim:ty) => {
+            $(#[$doc])*
+            pub struct $name {
+                oid: Option<Oid>,
+                v: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Create the atomic; registers with the scheduler when
+                /// called from a model thread.
+                pub fn new(v: $prim) -> $name {
+                    let oid = rt::current().map(|(rt, _)| rt.register(ObjKind::Atomic));
+                    $name {
+                        oid,
+                        v: std::sync::atomic::$std::new(v),
+                    }
+                }
+
+                /// Atomic load (a read scheduling point).
+                pub fn load(&self, _order: Ordering) -> $prim {
+                    read_point(self.oid);
+                    self.v.load(StdOrdering::SeqCst)
+                }
+
+                /// Atomic store (a write scheduling point).
+                pub fn store(&self, val: $prim, _order: Ordering) {
+                    write_point(self.oid);
+                    self.v.store(val, StdOrdering::SeqCst);
+                }
+
+                /// Atomic swap.
+                pub fn swap(&self, val: $prim, _order: Ordering) -> $prim {
+                    write_point(self.oid);
+                    self.v.swap(val, StdOrdering::SeqCst)
+                }
+
+                /// Atomic add, returning the previous value.
+                pub fn fetch_add(&self, val: $prim, _order: Ordering) -> $prim {
+                    write_point(self.oid);
+                    self.v.fetch_add(val, StdOrdering::SeqCst)
+                }
+
+                /// Atomic subtract, returning the previous value.
+                pub fn fetch_sub(&self, val: $prim, _order: Ordering) -> $prim {
+                    write_point(self.oid);
+                    self.v.fetch_sub(val, StdOrdering::SeqCst)
+                }
+
+                /// Atomic maximum, returning the previous value.
+                pub fn fetch_max(&self, val: $prim, _order: Ordering) -> $prim {
+                    write_point(self.oid);
+                    self.v.fetch_max(val, StdOrdering::SeqCst)
+                }
+
+                /// Atomic compare-exchange (a write scheduling point even
+                /// on failure — conservative, never unsound).
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    write_point(self.oid);
+                    self.v
+                        .compare_exchange(current, new, StdOrdering::SeqCst, StdOrdering::SeqCst)
+                }
+            }
+        };
+    }
+
+    int_atomic!(
+        /// Model-aware `AtomicUsize`.
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+    int_atomic!(
+        /// Model-aware `AtomicU32`.
+        AtomicU32,
+        AtomicU32,
+        u32
+    );
+    int_atomic!(
+        /// Model-aware `AtomicU64`.
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    int_atomic!(
+        /// Model-aware `AtomicI64`.
+        AtomicI64,
+        AtomicI64,
+        i64
+    );
+
+    /// Model-aware `AtomicBool`.
+    pub struct AtomicBool {
+        oid: Option<Oid>,
+        v: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Create the atomic; registers with the scheduler when called
+        /// from a model thread.
+        pub fn new(v: bool) -> AtomicBool {
+            let oid = rt::current().map(|(rt, _)| rt.register(ObjKind::Atomic));
+            AtomicBool {
+                oid,
+                v: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        /// Atomic load (a read scheduling point).
+        pub fn load(&self, _order: Ordering) -> bool {
+            read_point(self.oid);
+            self.v.load(StdOrdering::SeqCst)
+        }
+
+        /// Atomic store (a write scheduling point).
+        pub fn store(&self, val: bool, _order: Ordering) {
+            write_point(self.oid);
+            self.v.store(val, StdOrdering::SeqCst);
+        }
+
+        /// Atomic swap.
+        pub fn swap(&self, val: bool, _order: Ordering) -> bool {
+            write_point(self.oid);
+            self.v.swap(val, StdOrdering::SeqCst)
+        }
+
+        /// Atomic compare-exchange (a write scheduling point even on
+        /// failure).
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<bool, bool> {
+            write_point(self.oid);
+            self.v
+                .compare_exchange(current, new, StdOrdering::SeqCst, StdOrdering::SeqCst)
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Model-aware `std::thread` facade.
+//!
+//! Inside a model closure, `spawn` creates a scheduler-controlled model
+//! thread and `join` is a real scheduling point (enabled only once the
+//! target finished — so a join on a thread that can never finish is a
+//! detectable deadlock). Outside a model, everything delegates to `std`.
+
+use crate::rt;
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// A handle to a spawned thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: rt::Tid,
+        slot: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result.
+    ///
+    /// In a model, a panicking child thread fails the whole model (with
+    /// its schedule) rather than surfacing here, so the `Err` arm is
+    /// reserved for the std fallback path.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            Inner::Model { tid, slot } => {
+                let (rt, me) = rt::current()
+                    .expect("loom: JoinHandle::join called outside the model that spawned it");
+                let lifecycle = rt.lifecycle_of(tid);
+                rt.sync(me, rt::Op::Join { lifecycle });
+                let v = match slot.lock() {
+                    Ok(mut g) => g.take(),
+                    Err(p) => p.into_inner().take(),
+                };
+                match v {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("loom: joined thread produced no result")),
+                }
+            }
+        }
+    }
+}
+
+/// Spawn a thread; a model thread inside a model closure, a real OS
+/// thread otherwise.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        Some((rt, _)) => {
+            let slot: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+            let slot2 = Arc::clone(&slot);
+            let tid = rt.spawn(Box::new(move || {
+                let out = f();
+                match slot2.lock() {
+                    Ok(mut g) => *g = Some(out),
+                    Err(p) => *p.into_inner() = Some(out),
+                }
+            }));
+            JoinHandle {
+                inner: Inner::Model { tid, slot },
+            }
+        }
+        None => JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        },
+    }
+}
+
+/// A pure scheduling point: lets the explorer interleave other threads
+/// here. Outside a model, `std::thread::yield_now`.
+pub fn yield_now() {
+    match rt::current() {
+        Some((rt, tid)) => {
+            rt.sync(tid, rt::Op::Yield);
+        }
+        None => std::thread::yield_now(),
+    }
+}

@@ -1,0 +1,222 @@
+//! Self-tests for the interleaving explorer: seeded bugs it MUST find
+//! (a racy read-modify-write counter, a lock-order inversion, a lost
+//! condvar wakeup), deterministic failing-schedule reports, and sanity
+//! checks that correct protocols pass exhaustively.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{mpsc, Arc, Condvar, Mutex};
+use loom::thread;
+
+/// Run a model expected to fail; return the failure panic message.
+fn failure_of<F>(f: F) -> String
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loom::model(f)));
+    let payload = result.expect_err("model unexpectedly passed every schedule");
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// The classic torn increment: two threads load-then-store. The explorer
+/// must find the schedule where both load 0 and the final value is 1.
+fn racy_counter() {
+    let c = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let c = Arc::clone(&c);
+            thread::spawn(move || {
+                let v = c.load(Ordering::SeqCst);
+                c.store(v + 1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+}
+
+#[test]
+fn explorer_finds_racy_counter() {
+    let msg = failure_of(racy_counter);
+    assert!(msg.contains("lost update"), "wrong failure: {msg}");
+    assert!(
+        msg.contains("failing schedule"),
+        "no schedule report: {msg}"
+    );
+}
+
+#[test]
+fn failing_schedule_report_is_deterministic() {
+    let first = failure_of(racy_counter);
+    let second = failure_of(racy_counter);
+    assert_eq!(first, second, "explorer reports are not deterministic");
+}
+
+#[test]
+fn explorer_finds_lock_order_inversion() {
+    let msg = failure_of(|| {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        let t1 = thread::spawn(move || {
+            let _ga = a1.lock().unwrap();
+            let _gb = b1.lock().unwrap();
+        });
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t2 = thread::spawn(move || {
+            let _gb = b2.lock().unwrap();
+            let _ga = a2.lock().unwrap();
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+    });
+    assert!(msg.contains("deadlock"), "expected a deadlock: {msg}");
+    assert!(msg.contains("blocked at lock"), "no blocked detail: {msg}");
+}
+
+/// A waiter that skips the predicate check misses the notification that
+/// fired before it parked — the explorer must find that lost wakeup as
+/// a deadlock.
+#[test]
+fn explorer_finds_lost_condvar_wakeup() {
+    let msg = failure_of(|| {
+        let flag = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (f2, cv2) = (Arc::clone(&flag), Arc::clone(&cv));
+        let setter = thread::spawn(move || {
+            *f2.lock().unwrap() = true;
+            cv2.notify_one();
+        });
+        let guard = flag.lock().unwrap();
+        // BUG (seeded): waits unconditionally instead of `while !*guard`.
+        let _guard = cv.wait(guard).unwrap();
+        setter.join().unwrap();
+    });
+    assert!(msg.contains("deadlock"), "expected a deadlock: {msg}");
+}
+
+/// The predicate-checking variant of the same protocol is correct and
+/// must pass every schedule.
+#[test]
+fn correct_condvar_protocol_passes() {
+    loom::model(|| {
+        let flag = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (f2, cv2) = (Arc::clone(&flag), Arc::clone(&cv));
+        let setter = thread::spawn(move || {
+            *f2.lock().unwrap() = true;
+            cv2.notify_one();
+        });
+        let mut guard = flag.lock().unwrap();
+        while !*guard {
+            guard = cv.wait(guard).unwrap();
+        }
+        drop(guard);
+        setter.join().unwrap();
+    });
+}
+
+/// `fetch_add` is atomic: the correct counter passes exhaustively, and
+/// the exploration genuinely visits more than one schedule.
+#[test]
+fn atomic_counter_passes_exhaustively() {
+    loom::model(|| {
+        let c = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    });
+    assert!(
+        loom::last_iterations() > 1,
+        "expected more than one explored schedule, got {}",
+        loom::last_iterations()
+    );
+}
+
+/// Bounded-channel producer/consumer: blocking sends against a bound-1
+/// queue deliver everything in order under every schedule, and recv
+/// observes disconnect after the last sender drops.
+#[test]
+fn bounded_channel_delivers_in_order() {
+    loom::model(|| {
+        let (tx, rx) = mpsc::sync_channel::<u32>(1);
+        let producer = thread::spawn(move || {
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, vec![1, 2]);
+    });
+}
+
+/// `try_send` against a full bound-1 queue: the explorer reaches both
+/// the `Full` and the success outcome depending on consumer progress.
+#[test]
+fn try_send_full_outcome_is_reachable() {
+    use std::sync::atomic::{AtomicBool, Ordering as StdOrdering};
+    static SAW_FULL: AtomicBool = AtomicBool::new(false);
+    static SAW_OK: AtomicBool = AtomicBool::new(false);
+    loom::model(|| {
+        let (tx, rx) = mpsc::sync_channel::<u32>(1);
+        tx.send(1).unwrap();
+        let consumer = thread::spawn(move || {
+            let _ = rx.recv();
+            let _ = rx.recv();
+        });
+        match tx.try_send(2) {
+            Ok(()) => SAW_OK.store(true, StdOrdering::SeqCst),
+            Err(mpsc::TrySendError::Full(_)) => SAW_FULL.store(true, StdOrdering::SeqCst),
+            Err(mpsc::TrySendError::Disconnected(_)) => {}
+        }
+        drop(tx);
+        consumer.join().unwrap();
+    });
+    assert!(
+        SAW_FULL.load(StdOrdering::SeqCst),
+        "no schedule reached the Full outcome"
+    );
+    assert!(
+        SAW_OK.load(StdOrdering::SeqCst),
+        "no schedule reached the Ok outcome"
+    );
+}
+
+/// A livelocking model hits the depth bound as a hard error, never a
+/// silent truncation.
+#[test]
+fn depth_bound_is_a_hard_error() {
+    let result = std::panic::catch_unwind(|| {
+        loom::model_with(
+            loom::Config {
+                max_steps: 64,
+                max_iterations: 16,
+            },
+            || loop {
+                thread::yield_now();
+            },
+        )
+    });
+    let payload = result.expect_err("livelock was not caught");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("depth bound exceeded"), "wrong failure: {msg}");
+}

@@ -67,7 +67,7 @@ fn sort_spec_from_json(j: &Json) -> TdbResult<SortSpec> {
     Ok(SortSpec { key, direction })
 }
 
-fn order_to_json(o: &StreamOrder) -> Json {
+fn order_to_json(o: StreamOrder) -> Json {
     jobj! {
         "primary" => sort_spec_to_json(o.primary),
         "secondary" => o.secondary.map(sort_spec_to_json),
@@ -162,7 +162,12 @@ fn stats_from_json(j: &Json) -> TdbResult<TemporalStats> {
 
 impl RelationMeta {
     fn to_json(&self) -> Json {
-        let orders: Vec<Json> = self.known_orders.iter().map(order_to_json).collect();
+        let orders: Vec<Json> = self
+            .known_orders
+            .iter()
+            .copied()
+            .map(order_to_json)
+            .collect();
         jobj! {
             "name" => self.name.as_str(),
             "schema" => schema_to_json(&self.schema),

@@ -27,7 +27,7 @@ impl std::fmt::Debug for HeapFile {
         f.debug_struct("HeapFile")
             .field("path", &self.path)
             .field("pages", &self.page_count)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 

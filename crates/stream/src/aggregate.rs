@@ -88,7 +88,9 @@ where
                             *sum += v;
                         }
                         Some(_) => {
-                            // Group boundary: emit the finished group.
+                            // Group boundary: emit the finished group. The
+                            // `Some(_)` arm guarantees `current` is occupied.
+                            // lint:allow(no-unwrap)
                             let (ck, sum) = self.current.replace((k.clone(), v)).expect("checked");
                             if !self.closed.insert(ck.clone()) {
                                 return Err(TdbError::OrderViolation {

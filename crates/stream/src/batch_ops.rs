@@ -192,6 +192,7 @@ impl<T: Clone> Cursor<T> {
     fn clone_head(&self) -> T {
         self.queue
             .front()
+            // Callers resolve the head before reading it. lint:allow(no-unwrap)
             .expect("resolved head")
             .row(self.idx)
             .clone()
@@ -199,6 +200,7 @@ impl<T: Clone> Cursor<T> {
 
     /// Borrow the head payload (head must be resolved to a row).
     fn head_payload(&self) -> &T {
+        // Callers resolve the head before reading it. lint:allow(no-unwrap)
         self.queue.front().expect("resolved head").row(self.idx)
     }
 
@@ -291,6 +293,7 @@ impl<X: Temporal + Clone, Y: Temporal + Clone> BatchContainJoinTsTe<X, Y> {
                 }
             }
             let (yts, yte) = {
+                // Set by the resolve loop just above. lint:allow(no-unwrap)
                 let c = self.cur_y.as_ref().expect("current y");
                 (c.0, c.1)
             };
@@ -317,7 +320,8 @@ impl<X: Temporal + Clone, Y: Temporal + Clone> BatchContainJoinTsTe<X, Y> {
                     }
                 }
             }
-            // Join phase: one pass over the endpoint columns.
+            // Join phase: one pass over the endpoint columns. `cur_y` is
+            // still occupied — only this take clears it. lint:allow(no-unwrap)
             let (yts, yte, y) = self.cur_y.take().expect("current y");
             let ts = self.state.ts_col();
             let te = self.state.te_col();
@@ -783,6 +787,8 @@ impl<X: Temporal + Clone, Y: Temporal + Clone> BatchOverlapSemijoin<X, Y> {
                 };
                 match advance {
                     Advance::Left => {
+                        // The decide table only yields Left when hx is
+                        // Some. lint:allow(no-unwrap)
                         let (xts, xte) = hx.expect("left head");
                         let x = self.cx.clone_head();
                         self.cx.advance();
@@ -798,6 +804,8 @@ impl<X: Temporal + Clone, Y: Temporal + Clone> BatchOverlapSemijoin<X, Y> {
                         }
                     }
                     Advance::Right => {
+                        // The decide table only yields Right when hy is
+                        // Some. lint:allow(no-unwrap)
                         let (yts, yte) = hy.expect("right head");
                         let y = self.cy.clone_head();
                         self.cy.advance();

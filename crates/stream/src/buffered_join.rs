@@ -77,7 +77,7 @@ where
         match self.x.next()? {
             Some(xt) => {
                 self.metrics.read_left += 1;
-                for yt in self.state_y.iter() {
+                for yt in &self.state_y {
                     self.metrics.comparisons += 1;
                     if (self.predicate)(&xt, yt) {
                         self.pending.push_back((xt.clone(), yt.clone()));
@@ -94,7 +94,7 @@ where
         match self.y.next()? {
             Some(yt) => {
                 self.metrics.read_right += 1;
-                for xt in self.state_x.iter() {
+                for xt in &self.state_x {
                     self.metrics.comparisons += 1;
                     if (self.predicate)(xt, &yt) {
                         self.pending.push_back((xt.clone(), yt.clone()));

@@ -123,8 +123,10 @@ impl<S: TupleStream<Item = TsTuple>> TupleStream for Coalesce<S> {
                             }
                         }
                         Some(_) => {
-                            // Group boundary.
+                            // Group boundary: the `Some(_)` arm matched on
+                            // `pending`.
                             let finished =
+                                // lint:allow(no-unwrap)
                                 std::mem::replace(self.pending.as_mut().expect("some"), t);
                             let out = self.close_group(finished)?;
                             return Ok(Some(out));

@@ -218,7 +218,7 @@ where
             ));
         };
         let xp = x.period();
-        for y in self.state_y.iter() {
+        for y in &self.state_y {
             self.metrics.comparisons += 1;
             if xp.contains(&y.period()) {
                 self.pending.push_back((x.clone(), y.clone()));
@@ -237,7 +237,7 @@ where
             ));
         };
         let yp = y.period();
-        for x in self.state_x.iter() {
+        for x in &self.state_x {
             self.metrics.comparisons += 1;
             if x.period().contains(&yp) {
                 self.pending.push_back((x.clone(), y.clone()));
@@ -485,7 +485,7 @@ where
             }
 
             // Join phase: y against the surviving X state.
-            for x in self.state_x.iter() {
+            for x in &self.state_x {
                 self.metrics.comparisons += 1;
                 if x.period().contains(&yp) {
                     self.pending.push_back((x.clone(), y.clone()));

@@ -193,6 +193,7 @@ where
         self.y_group_key = Some(key);
         while let Some(yb) = &self.y_buf {
             if self.y_key.extract(yb) == key {
+                // The `while let Some` just matched. lint:allow(no-unwrap)
                 self.y_group.push(self.y_buf.take().expect("checked above"));
                 self.refill_y()?;
             } else {
@@ -257,6 +258,7 @@ where
                 }
             }
 
+            // The `let Some(xb)` guard above returned on None. lint:allow(no-unwrap)
             let x = self.x_buf.take().expect("checked above");
             for y in &self.y_group {
                 self.metrics.comparisons += 1;

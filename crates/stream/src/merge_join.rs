@@ -155,6 +155,7 @@ where
                 self.y_group_key = Some(x_key.clone());
                 while let Some(yb) = &self.y_buf {
                     if (self.key_y)(yb) == x_key {
+                        // The `while let Some` just matched. lint:allow(no-unwrap)
                         self.y_group.push(self.y_buf.take().expect("checked"));
                         self.refill_y()?;
                     } else {
@@ -168,6 +169,7 @@ where
                 }
             }
 
+            // The `let Some(xb)` guard above returned on None. lint:allow(no-unwrap)
             let x = self.x_buf.take().expect("checked above");
             for y in &self.y_group {
                 self.metrics.comparisons += 1;

@@ -189,7 +189,7 @@ where
             ));
         };
         let xp = x.period();
-        for y in self.state_y.iter() {
+        for y in &self.state_y {
             self.metrics.comparisons += 1;
             if self.mode.matches(&xp, &y.period()) {
                 self.pending.push_back((x.clone(), y.clone()));
@@ -208,7 +208,7 @@ where
             ));
         };
         let yp = y.period();
-        for x in self.state_x.iter() {
+        for x in &self.state_x {
             self.metrics.comparisons += 1;
             if self.mode.matches(&x.period(), &yp) {
                 self.pending.push_back((x.clone(), y.clone()));

@@ -247,6 +247,15 @@ impl<T> Workspace<T> {
     }
 }
 
+impl<'a, T> IntoIterator for &'a Workspace<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
