@@ -84,6 +84,14 @@ timeout 60 cargo run --release -p tdb-bench --features check --bin experiments -
 echo "==> batch equivalence + bench (E19, bounded)"
 timeout 60 cargo run --release -p tdb-bench --features check --bin experiments -- batch
 
+# Bounded durability bench (E20): acknowledged-ingest throughput per WAL
+# fsync policy, then a recovery matrix asserting replayed bytes track the
+# open window and stay flat as the log grows (checkpoints truncate the
+# replayed prefix), and a traced post-recovery query with cap_exceeded
+# asserted 0. Hard-capped at 60.
+echo "==> durability bench (E20, bounded)"
+timeout 60 cargo run --release -p tdb-bench --features check --bin experiments -- wal
+
 # Interleaving-explorer self-tests (the explorer must find the seeded
 # racy counter, lock-order inversion, and lost wakeup, and pass the
 # correct protocols exhaustively). Built from the shim's own directory:

@@ -12,7 +12,8 @@
 //! cost, E6=Figure 4 aggregation, E15=time-partitioned parallel scaling,
 //! E16=live ingestion soak, E17=framed-TCP network soak,
 //! E18=observability overhead + metrics-scraped soak,
-//! E19=columnar batch execution vs row-at-a-time.
+//! E19=columnar batch execution vs row-at-a-time, E20=WAL durability:
+//! fsync-policy throughput + recovery cost vs the open window.
 //!
 //! Standalone artifacts (`BENCH_*.json`) are written under `results/`.
 
@@ -52,6 +53,7 @@ fn main() {
             "live",
             "net",
             "obs",
+            "wal",
         ];
     }
     let json_path = args
@@ -79,6 +81,7 @@ fn main() {
             "live" => live(&mut json),
             "net" => net(&mut json),
             "obs" => obs(&mut json),
+            "wal" => wal(&mut json),
             other => eprintln!("unknown experiment `{other}`"),
         }
     }
@@ -1133,6 +1136,213 @@ fn live(json: &mut BTreeMap<String, Json>) {
             "max_watermark_lag" => max_lag, "rows_emitted" => emitted,
         },
     );
+}
+
+/// E20 — durability: WAL fsync-policy throughput, recovery cost against
+/// the open-window size, and post-recovery query health. Recovery cost
+/// is measured over a {window} × {log length} matrix: replayed bytes
+/// must track the open window and stay flat as the log grows (the
+/// checkpoint at every promotion truncates the replayed prefix). Emits
+/// `results/BENCH_wal.json`.
+fn wal(json: &mut BTreeMap<String, Json>) {
+    use tdb::live::{LiveConfig, LiveEngine};
+    use tdb::wal::FlushPolicy;
+    use tdb_engine::{ClientState, Engine, Response};
+
+    println!("E20 · durability: fsync policies, recovery vs open window, post-recovery queries");
+
+    let root = std::env::temp_dir().join(format!("tdb-e20-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let schema = || {
+        TemporalSchema::new(
+            tdb::core::Schema::new(vec![
+                tdb::core::Field::new("Id", tdb::core::FieldType::Str),
+                tdb::core::Field::new("Seq", tdb::core::FieldType::Int),
+                tdb::core::Field::new("ValidFrom", tdb::core::FieldType::Time),
+                tdb::core::Field::new("ValidTo", tdb::core::FieldType::Time),
+            ]),
+            2,
+            3,
+        )
+        .unwrap()
+    };
+    // Deterministic unit-gap arrivals: with slack w, exactly w + 1 rows
+    // stay open, so the open window is a controlled variable.
+    let mk_rows = |n: usize| -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Value::str(format!("t{i}")),
+                    Value::Int(i as i64),
+                    Value::Time(TimePoint(i as i64)),
+                    Value::Time(TimePoint(i as i64 + 5)),
+                ])
+            })
+            .collect()
+    };
+    let open = |dir: &std::path::Path, flush: FlushPolicy, slack: i64| {
+        let cat = Catalog::open_durable(dir.join("cat"), IoStats::new()).unwrap();
+        let config = LiveConfig {
+            flush,
+            slack,
+            stage_budget: 4096,
+            ..LiveConfig::default()
+        };
+        let (eng, replayed) = LiveEngine::open_durable(
+            dir.join("live"),
+            dir.join("wal"),
+            config,
+            &cat,
+            &tdb_obs::Registry::new(),
+        )
+        .unwrap();
+        (cat, eng, replayed)
+    };
+
+    // ── (a) acknowledged-ingest throughput per fsync policy ──
+    let n = 4_000usize;
+    let chunk = 64usize;
+    let rows = mk_rows(n);
+    let mut policies_json = Vec::new();
+    for flush in [
+        FlushPolicy::PerRecord,
+        FlushPolicy::GroupCommit,
+        FlushPolicy::Off,
+    ] {
+        let dir = root.join(format!("p-{}", flush.name()));
+        let (mut cat, mut eng, _) = open(&dir, flush, 0);
+        eng.register(&mut cat, "X", schema(), StreamOrder::TS_ASC)
+            .unwrap();
+        let start = std::time::Instant::now();
+        for batch in rows.chunks(chunk) {
+            eng.ingest(&mut cat, "X", batch.to_vec()).unwrap();
+        }
+        let wall_us = start.elapsed().as_micros().max(1);
+        let per_s = n as f64 / (wall_us as f64 / 1e6);
+        println!(
+            "    {:>12}: {n} arrivals (chunk {chunk}) in {:>8.1} ms — {per_s:>9.0} arrivals/s",
+            flush.name(),
+            wall_us as f64 / 1000.0,
+        );
+        policies_json.push(jobj! {
+            "policy" => flush.name(), "arrivals" => n, "chunk" => chunk,
+            "wall_us" => wall_us, "arrivals_per_s" => per_s,
+        });
+    }
+
+    // ── (b) recovery cost: open window × log length ──
+    let mut recovery_json = Vec::new();
+    let mut replay_bytes = BTreeMap::new();
+    for window in [256usize, 1024] {
+        for length in [4_000usize, 16_000] {
+            let dir = root.join(format!("r-{window}-{length}"));
+            {
+                let (mut cat, mut eng, _) = open(&dir, FlushPolicy::GroupCommit, window as i64);
+                eng.register(&mut cat, "X", schema(), StreamOrder::TS_ASC)
+                    .unwrap();
+                for batch in mk_rows(length).chunks(256) {
+                    eng.ingest(&mut cat, "X", batch.to_vec()).unwrap();
+                }
+            }
+            let (cat, eng, replayed) = open(&dir, FlushPolicy::GroupCommit, window as i64);
+            let rel = eng.relation("X").unwrap();
+            assert_eq!(
+                rel.staged_len(),
+                window + 1,
+                "unit-gap arrivals with slack {window} leave {window}+1 rows open"
+            );
+            assert_eq!(
+                rel.admitted() as usize,
+                length,
+                "recovery must restore every acknowledged arrival"
+            );
+            assert_eq!(cat.meta("X").unwrap().rows, length - window - 1);
+            println!(
+                "    window {window:>5} · log {length:>6} rows: replayed {:>7} bytes \
+                 ({:>4} rows restaged) in {:>6} µs",
+                replayed.bytes, replayed.rows_restaged, replayed.duration_us
+            );
+            replay_bytes.insert((window, length), replayed.bytes);
+            recovery_json.push(jobj! {
+                "open_window" => window, "log_rows" => length,
+                "replay_bytes" => replayed.bytes,
+                "rows_restaged" => replayed.rows_restaged,
+                "recovery_us" => replayed.duration_us,
+                "torn_truncations" => replayed.torn_truncations,
+            });
+        }
+    }
+    // Replay cost tracks the open window, not the log length: a 4× longer
+    // log must not grow replayed bytes by more than the (tiny) variation
+    // in row payload size, while a 4× wider window must show up ~4×.
+    for window in [256usize, 1024] {
+        let (short, long) = (
+            replay_bytes[&(window, 4_000)],
+            replay_bytes[&(window, 16_000)],
+        );
+        assert!(
+            long <= short + short / 4,
+            "window {window}: replay bytes grew with log length ({short} → {long})"
+        );
+    }
+    for length in [4_000usize, 16_000] {
+        let (narrow, wide) = (replay_bytes[&(256, length)], replay_bytes[&(1024, length)]);
+        assert!(
+            wide >= narrow * 2,
+            "log {length}: widening the open window 4x must grow replay ({narrow} → {wide})"
+        );
+    }
+
+    // ── (c) post-recovery query health: traced queries over a recovered
+    // engine must stay within their proven workspace caps ──
+    let dir = root.join("engine");
+    {
+        let mut e = Engine::open_durable(&dir, FlushPolicy::GroupCommit).unwrap();
+        let lines: Vec<String> = (0..512).map(|i| format!("{} {} s{i}", i, i + 20)).collect();
+        let resp = e.ingest_text("S", &lines.join("\n"));
+        assert!(matches!(resp, Response::Ingest(_)), "{resp:?}");
+    }
+    let mut e = Engine::open_durable(&dir, FlushPolicy::GroupCommit).unwrap();
+    let mut ctx = ClientState::default();
+    let resp = e.execute(&mut ctx, "\\trace on");
+    assert!(!matches!(resp, Response::Error(_)), "{resp:?}");
+    let resp = e.execute(
+        &mut ctx,
+        "range of a is S range of b is S retrieve (P=a.Id, Q=b.Id) \
+         where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo",
+    );
+    assert!(!matches!(resp, Response::Error(_)), "{resp:?}");
+    let stats = e.stats_report();
+    assert_eq!(
+        stats.cap_exceeded, 0,
+        "post-recovery queries exceeded a proven workspace cap"
+    );
+    let wal_stats = stats.wal.expect("durable engine reports wal stats");
+    println!(
+        "    post-recovery: replayed {} rows, traced self-join ran with cap_exceeded = {}",
+        e.replay_summary().map_or(0, |r| r.rows_restaged),
+        stats.cap_exceeded
+    );
+
+    let doc = jobj! {
+        "experiment" => "E20 WAL durability",
+        "fsync_policies" => Json::Array(policies_json.clone()),
+        "recovery" => Json::Array(recovery_json.clone()),
+        "post_recovery_cap_exceeded" => stats.cap_exceeded,
+        "post_recovery_replay_bytes" => wal_stats.replay_bytes,
+    };
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/BENCH_wal.json", doc.to_string_pretty()).unwrap();
+    println!("\n    results/BENCH_wal.json written");
+    json.insert(
+        "wal".into(),
+        jobj! {
+            "fsync_policies" => Json::Array(policies_json),
+            "recovery" => Json::Array(recovery_json),
+            "post_recovery_cap_exceeded" => stats.cap_exceeded,
+        },
+    );
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 /// E17 — network soak: a client-driven workload through the framed TCP

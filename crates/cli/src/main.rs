@@ -3,9 +3,11 @@
 //! ```text
 //! tdb [dir]                 local shell over a catalog directory
 //! tdb analyze <query>       statically verify a query, print the certificate
-//! tdb serve [dir] [addr] [--metrics <addr>]
+//! tdb serve [dir] [addr] [--metrics <addr>] [--data-dir <dir>]
 //!                           serve one shared catalog over framed TCP,
-//!                           optionally with a Prometheus /metrics endpoint
+//!                           optionally with a Prometheus /metrics endpoint;
+//!                           --data-dir makes it durable (write-ahead logged,
+//!                           crash recovery on the next start)
 //! tdb connect [addr]        open the shell against a running server
 //! tdb top [addr] [--once]   live observability dashboard for a server
 //! tdb lint [root]           run the workspace source lints (ci gate)
@@ -83,20 +85,35 @@ fn analyze_main(query_words: &[String]) -> ! {
     }
 }
 
-/// `tdb serve [dir] [addr] [--metrics <addr>]` — serve the catalog until
-/// stdin closes or `quit` is typed, then drain connections and exit.
-/// With `--metrics`, a Prometheus text-exposition endpoint serves the
-/// engine, live, and network metric families at `/metrics`.
+/// `tdb serve [dir] [addr] [--metrics <addr>] [--data-dir <dir>]` —
+/// serve the catalog until stdin closes or `quit` is typed, then drain
+/// connections and exit. With `--metrics`, a Prometheus text-exposition
+/// endpoint serves the engine, live, and network metric families at
+/// `/metrics`. With `--data-dir`, the engine opens durably at the given
+/// directory: the catalog manifest is fsynced, live ingestion is
+/// write-ahead logged (an acknowledged `Ingest` reply means the rows
+/// survive a crash), and any log left by a previous run is replayed
+/// before the listener binds.
 fn serve_main(args: &[String]) -> ! {
+    const SERVE_USAGE: &str = "usage: tdb serve [dir] [addr] [--metrics <addr>] [--data-dir <dir>]";
     let mut positional: Vec<&String> = Vec::new();
     let mut metrics_addr: Option<&String> = None;
+    let mut data_dir: Option<&String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--metrics" {
             match it.next() {
                 Some(a) => metrics_addr = Some(a),
                 None => {
-                    eprintln!("usage: tdb serve [dir] [addr] [--metrics <addr>]");
+                    eprintln!("{SERVE_USAGE}");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--data-dir" {
+            match it.next() {
+                Some(a) => data_dir = Some(a),
+                None => {
+                    eprintln!("{SERVE_USAGE}");
                     std::process::exit(2);
                 }
             }
@@ -104,12 +121,22 @@ fn serve_main(args: &[String]) -> ! {
             positional.push(arg);
         }
     }
-    let dir = positional
-        .first()
+    let durable = data_dir.is_some();
+    // With `--data-dir` the directory is no longer positional, so the
+    // address shifts into the first positional slot.
+    let addr_slot = usize::from(!durable);
+    let dir = data_dir
+        .or_else(|| positional.first().copied())
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::env::temp_dir().join("tdb-cli-data"));
-    let addr = positional.get(1).map_or(DEFAULT_ADDR, |a| a.as_str());
-    let handle = match tdb_net::serve(&dir, addr, tdb_net::NetConfig::default()) {
+    let addr = positional
+        .get(addr_slot)
+        .map_or(DEFAULT_ADDR, |a| a.as_str());
+    let config = tdb_net::NetConfig {
+        durable,
+        ..tdb_net::NetConfig::default()
+    };
+    let handle = match tdb_net::serve(&dir, addr, config) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("failed to serve {}: {e}", dir.display());
@@ -117,7 +144,12 @@ fn serve_main(args: &[String]) -> ! {
         }
     };
     println!(
-        "tdb serving catalog {} on {} — type quit (or close stdin) to stop",
+        "tdb serving {} {} on {} — type quit (or close stdin) to stop",
+        if durable {
+            "durable catalog"
+        } else {
+            "catalog"
+        },
         dir.display(),
         handle.addr()
     );

@@ -37,6 +37,17 @@ pub enum TdbError {
     Io(Arc<io::Error>),
     /// A serialized page or tuple was malformed.
     Corrupt(String),
+    /// A write-ahead-log frame failed its CRC or framing check. Carries
+    /// the log file and byte offset of the first bad frame so recovery
+    /// tooling can point at the torn tail precisely.
+    WalCorrupt {
+        /// Log file containing the bad frame.
+        file: String,
+        /// Byte offset of the first bad frame.
+        offset: u64,
+        /// What the frame check found (CRC mismatch, short frame, …).
+        detail: String,
+    },
     /// Schema-level problem: unknown column, arity mismatch, type mismatch.
     Schema(String),
     /// Catalog-level problem: unknown or duplicate relation.
@@ -88,6 +99,11 @@ impl fmt::Display for TdbError {
             }
             TdbError::Io(e) => write!(f, "I/O error: {e}"),
             TdbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            TdbError::WalCorrupt {
+                file,
+                offset,
+                detail,
+            } => write!(f, "wal corrupt at {file}:{offset}: {detail}"),
             TdbError::Schema(m) => write!(f, "schema error: {m}"),
             TdbError::Catalog(m) => write!(f, "catalog error: {m}"),
             TdbError::Parse {

@@ -11,8 +11,8 @@
 use crate::response::{
     AnalysisReport, ConnMetrics, DeltaFrame, ErrorCode, ErrorInfo, IngestReport,
     LiveRelationMetrics, LiveRelationStatus, LiveStatus, NetMetrics, OpSpan, OpVerdict,
-    QueryReport, QueryStats, QueryTrace, Response, RowSet, SealReport, StatsReport,
-    SubscribeReport, SubscriptionStatus, SuperstarRow, TableInfo,
+    QueryReport, QueryStats, QueryTrace, Response, RowSet, SealReport, SlowFsyncInfo, StatsReport,
+    SubscribeReport, SubscriptionStatus, SuperstarRow, TableInfo, WalReport,
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use tdb::core::{TdbError, TdbResult, TimePoint};
@@ -676,6 +676,52 @@ impl Codec for NetMetrics {
     }
 }
 
+impl Codec for SlowFsyncInfo {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_str(buf, &self.relation);
+        put_u64(buf, self.micros);
+    }
+
+    fn decode(buf: &mut Bytes) -> TdbResult<SlowFsyncInfo> {
+        Ok(SlowFsyncInfo {
+            relation: get_str(buf)?,
+            micros: get_u64(buf)?,
+        })
+    }
+}
+
+impl Codec for WalReport {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_str(buf, &self.flush_policy);
+        put_u64(buf, self.appends);
+        put_u64(buf, self.commits);
+        put_u64(buf, self.fsyncs);
+        put_u64(buf, self.bytes_written);
+        put_u64(buf, self.checkpoints);
+        put_u64(buf, self.torn_truncations);
+        put_u64(buf, self.replayed_records);
+        put_u64(buf, self.replay_bytes);
+        put_u64(buf, self.replay_us);
+        put_vec(buf, &self.slow_fsyncs);
+    }
+
+    fn decode(buf: &mut Bytes) -> TdbResult<WalReport> {
+        Ok(WalReport {
+            flush_policy: get_str(buf)?,
+            appends: get_u64(buf)?,
+            commits: get_u64(buf)?,
+            fsyncs: get_u64(buf)?,
+            bytes_written: get_u64(buf)?,
+            checkpoints: get_u64(buf)?,
+            torn_truncations: get_u64(buf)?,
+            replayed_records: get_u64(buf)?,
+            replay_bytes: get_u64(buf)?,
+            replay_us: get_u64(buf)?,
+            slow_fsyncs: get_vec(buf)?,
+        })
+    }
+}
+
 impl Codec for StatsReport {
     fn encode(&self, buf: &mut BytesMut) {
         put_u64(buf, self.queries);
@@ -686,6 +732,7 @@ impl Codec for StatsReport {
         put_opt(buf, self.last.as_ref(), put_trace);
         put_vec(buf, &self.live);
         put_opt(buf, self.net.as_ref(), |b, n| n.encode(b));
+        put_opt(buf, self.wal.as_ref(), |b, w| w.encode(b));
     }
 
     fn decode(buf: &mut Bytes) -> TdbResult<StatsReport> {
@@ -698,6 +745,7 @@ impl Codec for StatsReport {
             last: get_opt(buf, get_trace)?,
             live: get_vec(buf)?,
             net: get_opt(buf, NetMetrics::decode)?,
+            wal: get_opt(buf, WalReport::decode)?,
         })
     }
 }

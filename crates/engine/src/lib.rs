@@ -28,8 +28,8 @@ pub use render::{render, render_delta};
 pub use response::{
     AnalysisReport, ConnMetrics, DeltaFrame, ErrorCode, ErrorInfo, IngestReport,
     LiveRelationMetrics, LiveRelationStatus, LiveStatus, NetMetrics, OpSpan, OpVerdict,
-    QueryReport, QueryStats, QueryTrace, Response, RowSet, SealReport, StatsReport,
-    SubscribeReport, SubscriptionStatus, SuperstarRow, TableInfo,
+    QueryReport, QueryStats, QueryTrace, Response, RowSet, SealReport, SlowFsyncInfo, StatsReport,
+    SubscribeReport, SubscriptionStatus, SuperstarRow, TableInfo, WalReport,
 };
 
 use tdb::prelude::*;
@@ -143,6 +143,8 @@ pub struct Engine {
     catalog: Catalog,
     live: LiveEngine,
     obs: ObsState,
+    /// What the write-ahead log replayed at open, for durable engines.
+    replay: Option<ReplaySummary>,
 }
 
 impl Engine {
@@ -154,7 +156,50 @@ impl Engine {
             catalog: Catalog::open(dir, IoStats::new())?,
             live: LiveEngine::new(dir.join("live"), LiveConfig::default()),
             obs: ObsState::new(),
+            replay: None,
         })
+    }
+
+    /// Open a durable engine: the catalog persists its manifest with
+    /// fsync-and-rename, every live relation write-ahead logs under
+    /// `<dir>/wal`, and any logs left by a previous process (clean exit
+    /// or crash) are replayed so acknowledged ingest survives. The flush
+    /// policy defaults to group commit; override it with `flush`.
+    pub fn open_durable(
+        dir: impl AsRef<std::path::Path>,
+        flush: tdb::wal::FlushPolicy,
+    ) -> TdbResult<Engine> {
+        let dir = dir.as_ref();
+        let catalog = Catalog::open_durable(dir, IoStats::new())?;
+        let obs = ObsState::new();
+        let config = LiveConfig {
+            flush,
+            ..LiveConfig::default()
+        };
+        let (live, replay) = LiveEngine::open_durable(
+            dir.join("live"),
+            dir.join("wal"),
+            config,
+            &catalog,
+            &obs.registry,
+        )?;
+        Ok(Engine {
+            catalog,
+            live,
+            obs,
+            replay: Some(replay),
+        })
+    }
+
+    /// What replay recovered at open, for durable engines (`None` for
+    /// [`Engine::open`]).
+    pub fn replay_summary(&self) -> Option<&ReplaySummary> {
+        self.replay.as_ref()
+    }
+
+    /// Is the engine write-ahead logging?
+    pub fn is_durable(&self) -> bool {
+        self.live.is_durable()
     }
 
     /// The engine's metrics registry. Serving layers register their own
@@ -360,6 +405,18 @@ impl Engine {
                 self.subscribe(ctx, &text).map(Response::Subscribed)
             }
             ["\\stats"] => Ok(Response::Stats(self.stats_report())),
+            ["\\checkpoint"] => {
+                if !self.live.is_durable() {
+                    return Ok(Response::Info(
+                        "engine is not durable (start with --data-dir)\n".into(),
+                    ));
+                }
+                let n = self.live.checkpoint_all()?;
+                Ok(Response::Info(format!(
+                    "checkpointed {n} relation log{}\n",
+                    if n == 1 { "" } else { "s" }
+                )))
+            }
             ["\\trace", v @ ("on" | "off")] => {
                 ctx.trace = *v == "on";
                 Ok(Response::Info(format!("trace {v}\n")))
@@ -465,7 +522,34 @@ impl Engine {
             last: self.obs.last.clone(),
             live: self.live_metrics(),
             net: None,
+            wal: self.wal_report(),
         }
+    }
+
+    /// Durability counters for `\stats`, `None` for a non-durable engine.
+    fn wal_report(&self) -> Option<WalReport> {
+        let m = self.live.wal_metrics()?;
+        let replay = self.replay.as_ref();
+        Some(WalReport {
+            flush_policy: self.live.config().flush.name().to_string(),
+            appends: m.appends.get(),
+            commits: m.commits.get(),
+            fsyncs: m.fsyncs.get(),
+            bytes_written: m.bytes_written.get(),
+            checkpoints: m.checkpoints.get(),
+            torn_truncations: m.torn_truncations.get(),
+            replayed_records: replay.map_or(0, |r| r.records as u64),
+            replay_bytes: replay.map_or(0, |r| r.bytes),
+            replay_us: replay.map_or(0, |r| r.duration_us),
+            slow_fsyncs: m
+                .slow_fsyncs()
+                .into_iter()
+                .map(|f| SlowFsyncInfo {
+                    relation: f.relation,
+                    micros: f.micros,
+                })
+                .collect(),
+        })
     }
 
     /// Subscriptions whose runtime workspace peak exceeded the cap the
@@ -872,7 +956,8 @@ pub const HELP: &str = r#"commands:
                                               deltas print as rows become final
   \live                                       live status: watermarks, staging, subscriptions
   \live close <rel>                           seal a live stream (all staged rows final)
-  \stats                                      observability: counters, slow queries, live + net telemetry
+  \stats                                      observability: counters, slow queries, live + net + wal telemetry
+  \checkpoint                                 compact every relation's write-ahead log to its open window
   \trace on|off                               attach per-operator traces (observed vs predicted workspace)
   \slow <us>                                  slow-query log threshold in microseconds
   \superstar                                  compare the Superstar formulations
@@ -880,7 +965,9 @@ pub const HELP: &str = r#"commands:
 queries: modified Quel, terminated by `;`, e.g.
   range of f is Faculty retrieve (N=f.Name) where f.Rank = "Full";
 serving: `tdb serve [dir] [addr]` starts a framed-TCP server over one shared
-catalog; `tdb connect [addr]` opens this shell against it.
+catalog; `tdb connect [addr]` opens this shell against it. `tdb serve
+--data-dir <dir>` makes the catalog and live ingestion durable: acknowledged
+rows survive crashes via a write-ahead log replayed at the next start.
 "#;
 
 #[cfg(test)]
@@ -1148,6 +1235,60 @@ mod tests {
                 "batch {rows}: workspace peaks must be batch-size-invariant"
             );
         }
+    }
+
+    #[test]
+    fn durable_engine_checkpoints_and_reports_wal_stats() {
+        let dir =
+            std::env::temp_dir().join(format!("tdb-engine-api-{}-durable", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut ctx = ClientState::default();
+        {
+            let mut e = Engine::open_durable(&dir, tdb::wal::FlushPolicy::GroupCommit).unwrap();
+            assert!(e.is_durable());
+            assert_eq!(e.replay_summary().unwrap().relations, 0);
+            let resp = e.ingest_text("S", "0 100 long\n10 20 a\n30 40 b\n");
+            assert!(matches!(resp, Response::Ingest(_)), "{resp:?}");
+            let Response::Stats(s) = e.execute(&mut ctx, "\\stats") else {
+                panic!("expected stats");
+            };
+            let w = s.wal.expect("durable engine reports wal stats");
+            assert_eq!(w.flush_policy, "group-commit");
+            assert!(w.appends >= 3, "{w:?}");
+            assert!(w.fsyncs > 0 && w.checkpoints > 0, "{w:?}");
+            // The wal block survives the wire codec.
+            let resp = Response::Stats(StatsReport {
+                wal: Some(w),
+                ..StatsReport::default()
+            });
+            let back = Response::from_bytes(&resp.to_bytes()).unwrap();
+            assert_eq!(back, resp);
+            let Response::Info(msg) = e.execute(&mut ctx, "\\checkpoint") else {
+                panic!("expected info");
+            };
+            assert!(msg.contains("checkpointed 1 relation log"), "{msg}");
+        }
+        // Reopen: the staged suffix and watermark come back; a plain
+        // (non-durable) engine reports no wal block and refuses \checkpoint.
+        let mut e = Engine::open_durable(&dir, tdb::wal::FlushPolicy::GroupCommit).unwrap();
+        let replay = e.replay_summary().unwrap();
+        assert_eq!(replay.relations, 1);
+        assert_eq!(replay.rows_restaged, 1, "open suffix [30,40) restaged");
+        let rel = e.live().relation("S").unwrap();
+        assert_eq!(rel.staged_len(), 1);
+        assert_eq!(rel.watermark(), Some(TimePoint(30)));
+        let resp = e.ingest_text("S", "50 60 c\n");
+        assert!(matches!(resp, Response::Ingest(_)), "{resp:?}");
+
+        let (mut plain, mut ctx2) = engine("notdurable");
+        let Response::Stats(s) = plain.execute(&mut ctx2, "\\stats") else {
+            panic!("expected stats");
+        };
+        assert!(s.wal.is_none());
+        let Response::Info(msg) = plain.execute(&mut ctx2, "\\checkpoint") else {
+            panic!("expected info");
+        };
+        assert!(msg.contains("not durable"), "{msg}");
     }
 
     #[test]

@@ -307,6 +307,33 @@ fn render_stats(s: &StatsReport) -> String {
         )
         .ok();
     }
+    if let Some(w) = &s.wal {
+        writeln!(
+            out,
+            "wal ({}): {} appends, {} commits, {} fsyncs, {} bytes, \
+             {} checkpoints; replay {} records / {} bytes in {:.2?}, {} torn tails cut",
+            w.flush_policy,
+            w.appends,
+            w.commits,
+            w.fsyncs,
+            w.bytes_written,
+            w.checkpoints,
+            w.replayed_records,
+            w.replay_bytes,
+            Duration::from_micros(w.replay_us),
+            w.torn_truncations,
+        )
+        .ok();
+        for f in &w.slow_fsyncs {
+            writeln!(
+                out,
+                "  slow fsync: {} took {:.2?}",
+                f.relation,
+                Duration::from_micros(f.micros)
+            )
+            .ok();
+        }
+    }
     if let Some(n) = &s.net {
         writeln!(
             out,

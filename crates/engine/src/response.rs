@@ -356,6 +356,43 @@ pub struct NetMetrics {
     pub conns: Vec<ConnMetrics>,
 }
 
+/// One fsync that crossed the slow threshold, in a [`WalReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowFsyncInfo {
+    /// Relation whose log was being synced.
+    pub relation: String,
+    /// How long the fsync took, in microseconds.
+    pub micros: u64,
+}
+
+/// Durability telemetry, present when the engine runs with a
+/// write-ahead log (`tdb serve --data-dir`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WalReport {
+    /// The flush policy in force (`per-record`, `group-commit`, `off`).
+    pub flush_policy: String,
+    /// WAL records appended since open.
+    pub appends: u64,
+    /// Commit (group-flush) calls.
+    pub commits: u64,
+    /// fsync/fdatasync calls.
+    pub fsyncs: u64,
+    /// Bytes written to log files.
+    pub bytes_written: u64,
+    /// Checkpoint compactions performed.
+    pub checkpoints: u64,
+    /// Torn log tails truncated during replay.
+    pub torn_truncations: u64,
+    /// Records replayed at the last open.
+    pub replayed_records: u64,
+    /// Bytes replayed at the last open.
+    pub replay_bytes: u64,
+    /// Wall-clock replay time at the last open, in microseconds.
+    pub replay_us: u64,
+    /// The most recent fsyncs that crossed the slow threshold.
+    pub slow_fsyncs: Vec<SlowFsyncInfo>,
+}
+
 /// The observability snapshot a `\stats` request returns.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsReport {
@@ -376,6 +413,8 @@ pub struct StatsReport {
     pub live: Vec<LiveRelationMetrics>,
     /// Network counters, when the engine is being served over `tdb-net`.
     pub net: Option<NetMetrics>,
+    /// Durability counters, when the engine write-ahead logs.
+    pub wal: Option<WalReport>,
 }
 
 /// The wire-level error taxonomy: every [`TdbError`] variant maps to a
@@ -414,6 +453,10 @@ pub enum ErrorCode {
     /// A client configuration setting was rejected (unknown `\set` key,
     /// unparsable value, or out-of-range value).
     Config = 15,
+    /// A write-ahead log frame passed its CRC but failed to decode, or
+    /// its replay contradicted the catalog — real corruption, distinct
+    /// from the torn tails recovery truncates silently.
+    WalCorrupt = 16,
 }
 
 impl ErrorCode {
@@ -435,6 +478,7 @@ impl ErrorCode {
             13 => ErrorCode::Protocol,
             14 => ErrorCode::Unavailable,
             15 => ErrorCode::Config,
+            16 => ErrorCode::WalCorrupt,
             _ => return None,
         })
     }
@@ -475,6 +519,7 @@ impl From<&TdbError> for ErrorInfo {
             TdbError::ConstraintViolation(_) => ErrorCode::ConstraintViolation,
             TdbError::BufferExhausted { .. } => ErrorCode::BufferExhausted,
             TdbError::Config(_) => ErrorCode::Config,
+            TdbError::WalCorrupt { .. } => ErrorCode::WalCorrupt,
         };
         ErrorInfo::new(code, e.to_string())
     }

@@ -25,6 +25,7 @@
 //! | `streamop-registry` | every `StreamOpKind` variant in `ALL` and `requirement()` |
 //! | `errorcode-codec` | `ErrorCode` discriminants round-trip through `from_u8` |
 //! | `metrics-name` | literal metric names match `^tdb_[a-z0-9_]+$` |
+//! | `no-unsynced-durability-write` | every WAL-crate file write reaches a `sync_data`/`sync_all` in scope |
 
 pub mod lexer;
 pub mod rules;
@@ -86,6 +87,7 @@ fn lint_prepared(prepared: &[Prepared]) -> Vec<Finding> {
         rules::no_unbounded_channel(p, &mut raw);
         rules::guard_across_blocking(p, &mut raw);
         rules::metrics_name(p, &mut raw);
+        rules::no_unsynced_durability_write(p, &mut raw);
     }
     rules::streamop_registry(prepared, &mut raw);
     rules::errorcode_codec(prepared, &mut raw);

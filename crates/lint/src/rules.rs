@@ -395,6 +395,68 @@ pub fn errorcode_codec(files: &[Prepared], out: &mut Vec<Finding>) {
     }
 }
 
+/// `no-unsynced-durability-write`: in the WAL crate's library paths, a
+/// file write (`File::create(`, `.write_all(`, `std::fs::write(`) must
+/// have a forward-reachable `sync_data(`/`sync_all(` inside the same
+/// function. Durability code that writes without a sync in reach
+/// silently weakens acknowledged-means-durable: the bytes sit in the
+/// page cache and a crash loses rows the client was told are safe. A
+/// deliberate unsynced write (e.g. behind a flush-policy gate whose
+/// sync lives elsewhere) takes `// lint:allow(no-unsynced-durability-write)`
+/// with justification.
+pub fn no_unsynced_durability_write(p: &Prepared, out: &mut Vec<Finding>) {
+    const WRITES: [&str; 3] = ["File::create(", ".write_all(", "std::fs::write("];
+    const SYNCS: [&str; 2] = [".sync_data(", ".sync_all("];
+    if !p.path.starts_with("crates/wal/src/") {
+        return;
+    }
+    for (i, line) in p.code.iter().enumerate() {
+        if p.test[i] {
+            continue;
+        }
+        let Some(w) = WRITES.iter().find(|w| line.contains(**w)) else {
+            continue;
+        };
+        if SYNCS.iter().any(|s| line.contains(s)) {
+            continue;
+        }
+        let end = enclosing_fn_end(p, i);
+        let synced = (i + 1..end).any(|j| SYNCS.iter().any(|s| p.code[j].contains(s)));
+        if !synced {
+            out.push(finding(
+                p,
+                i,
+                "no-unsynced-durability-write",
+                format!(
+                    "`{w}` with no reachable sync_data()/sync_all() in this function: an \
+                     unsynced write in the WAL crate silently weakens \
+                     acknowledged-means-durable"
+                ),
+            ));
+        }
+    }
+}
+
+/// End (exclusive line index) of the function enclosing line `i`: walk
+/// back to the nearest `fn` signature, find its body's opening brace,
+/// then the line where depth returns to the level outside the body.
+/// Falls back to end-of-file when no enclosing `fn` is found.
+fn enclosing_fn_end(p: &Prepared, i: usize) -> usize {
+    let Some(fn_line) = (0..=i).rev().find(|&k| {
+        let t = p.code[k].trim_start();
+        t.starts_with("fn ") || t.contains(" fn ")
+    }) else {
+        return p.code.len();
+    };
+    let Some(open) = (fn_line..p.code.len()).find(|&k| p.code[k].contains('{')) else {
+        return p.code.len();
+    };
+    let outside = if open == 0 { 0 } else { p.depth[open - 1] };
+    (open..p.code.len())
+        .find(|&k| p.depth[k] <= outside)
+        .map_or(p.code.len(), |k| k + 1)
+}
+
 /// `metrics-name`: metric names registered with `.counter(` / `.gauge(`
 /// / `.histogram(` must be literal `tdb_`-prefixed snake_case, so the
 /// Prometheus exposition stays one consistent namespace.

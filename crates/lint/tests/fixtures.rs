@@ -299,6 +299,100 @@ pub fn register(m: &Registry) {
 }
 
 #[test]
+fn unsynced_durability_write_fires_in_wal_sources_only() {
+    let bad = r"
+pub fn persist(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    use std::io::Write as _;
+    f.write_all(bytes)?;
+    Ok(())
+}
+";
+    let findings = lint_files(&[src("crates/wal/src/log.rs", bad)]);
+    assert_eq!(
+        rules_of(&findings),
+        [
+            "no-unsynced-durability-write",
+            "no-unsynced-durability-write"
+        ],
+        "{findings:#?}"
+    );
+    assert_eq!(findings[0].line, 3);
+    assert_eq!(findings[1].line, 5);
+    assert!(findings[0]
+        .to_string()
+        .starts_with("crates/wal/src/log.rs:3:"));
+
+    // Identical text outside the WAL crate: not this rule's business.
+    let other = lint_files(&[src("crates/storage/src/heap.rs", bad)]);
+    assert!(rules_of(&other).is_empty(), "{other:#?}");
+}
+
+#[test]
+fn unsynced_durability_write_accepts_sync_in_scope() {
+    let good = r"
+pub fn persist(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    use std::io::Write as _;
+    f.write_all(bytes)?;
+    if bytes.len() > 1 {
+        f.sync_data()?;
+    }
+    Ok(())
+}
+";
+    let findings = lint_files(&[src("crates/wal/src/log.rs", good)]);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn unsynced_durability_write_scope_exit_ends_reachability() {
+    // The sync lives in a *different* function, so neither write in the
+    // first function can reach it: both still fire.
+    let text = r"
+pub fn persist(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    use std::io::Write as _;
+    f.write_all(bytes)?;
+    Ok(())
+}
+
+pub fn seal(f: &std::fs::File) -> std::io::Result<()> {
+    f.sync_all()
+}
+";
+    let findings = lint_files(&[src("crates/wal/src/store.rs", text)]);
+    assert_eq!(
+        rules_of(&findings),
+        [
+            "no-unsynced-durability-write",
+            "no-unsynced-durability-write"
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn unsynced_durability_write_exempts_tests_and_honors_allow() {
+    let text = r#"
+pub fn spill(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    // Scratch spill; durability is the caller's commit(). lint:allow(no-unsynced-durability-write)
+    std::fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        std::fs::write("/tmp/x", b"y").unwrap();
+    }
+}
+"#;
+    let findings = lint_files(&[src("crates/wal/src/log.rs", text)]);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
 fn findings_render_as_file_line_rule() {
     let findings = lint_files(&[src(
         "crates/net/src/wire.rs",

@@ -21,7 +21,9 @@ use std::path::PathBuf;
 use tdb_algebra::{LogicalPlan, PlannerConfig};
 use tdb_analyze::{plan_verified_live, Analysis, AnalyzeConfig};
 use tdb_core::{Row, StreamOrder, TdbError, TdbResult, TemporalSchema, TemporalStats, TimePoint};
+use tdb_obs::Registry;
 use tdb_storage::Catalog;
+use tdb_wal::{replay, FlushPolicy, WalMetrics, WalRecord, WalStore};
 
 /// Engine-wide knobs.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +40,8 @@ pub struct LiveConfig {
     pub planner: PlannerConfig,
     /// Live-verifier configuration (always run in live mode).
     pub analyze: AnalyzeConfig,
+    /// WAL flush policy (only used by [`LiveEngine::open_durable`]).
+    pub flush: FlushPolicy,
 }
 
 impl Default for LiveConfig {
@@ -49,8 +53,29 @@ impl Default for LiveConfig {
             alpha: 0.25,
             planner: PlannerConfig::stream(),
             analyze: AnalyzeConfig::live(),
+            flush: FlushPolicy::GroupCommit,
         }
     }
+}
+
+/// What [`LiveEngine::open_durable`] recovered from the log directory.
+#[derive(Debug, Clone, Default)]
+pub struct ReplaySummary {
+    /// Relations rebuilt from a write-ahead log.
+    pub relations: usize,
+    /// WAL records replayed across all logs.
+    pub records: usize,
+    /// Bytes of valid log frames replayed.
+    pub bytes: u64,
+    /// Torn tails truncated back to the last good frame.
+    pub torn_truncations: u64,
+    /// Open-suffix rows restaged into live state.
+    pub rows_restaged: usize,
+    /// Rows whose promotion was confirmed durable in the catalog and
+    /// therefore not restaged.
+    pub rows_already_promoted: usize,
+    /// Wall-clock replay time in microseconds.
+    pub duration_us: u64,
 }
 
 /// The outcome of one epoch.
@@ -70,6 +95,8 @@ pub struct LiveEngine {
     stage_dir: PathBuf,
     relations: BTreeMap<String, LiveRelation>,
     subscriptions: Vec<Subscription>,
+    /// Write-ahead log store, when the engine runs durably.
+    wal: Option<WalStore>,
     /// Epochs completed so far; each [`LiveEngine::advance`] finishes one.
     epoch: u64,
 }
@@ -82,8 +109,117 @@ impl LiveEngine {
             stage_dir: stage_dir.into(),
             relations: BTreeMap::new(),
             subscriptions: Vec::new(),
+            wal: None,
             epoch: 0,
         }
+    }
+
+    /// A durable engine: every registration and every admitted row is
+    /// write-ahead logged under `wal_dir`, and any logs already there are
+    /// replayed so the returned engine holds exactly the state that was
+    /// acknowledged before the last shutdown or crash.
+    ///
+    /// Replay reconstructs each logged relation — watermark frontier,
+    /// seal flag, staged open suffix, and online statistics over that
+    /// suffix — then immediately checkpoints, so the next open replays
+    /// only the still-open window. Torn log tails (a crash mid-write) are
+    /// truncated back to the last intact frame; only a CRC-valid frame
+    /// that fails to decode is an error.
+    pub fn open_durable(
+        stage_dir: impl Into<PathBuf>,
+        wal_dir: impl Into<PathBuf>,
+        config: LiveConfig,
+        catalog: &Catalog,
+        registry: &Registry,
+    ) -> TdbResult<(LiveEngine, ReplaySummary)> {
+        let start = std::time::Instant::now();
+        let store = WalStore::open(wal_dir, config.flush, registry)?;
+        let mut engine = LiveEngine::new(stage_dir, config);
+        let mut summary = ReplaySummary::default();
+        for name in store.existing_logs()? {
+            let outcome = replay(&store.log_path(&name))?;
+            if outcome.truncated_at.is_some() {
+                store.metrics().torn_truncations.inc();
+                summary.torn_truncations += 1;
+            }
+            if outcome.records.is_empty() {
+                // A log that never got a durable Register record carries
+                // no acknowledged state; drop it.
+                let _ = std::fs::remove_file(store.log_path(&name));
+                continue;
+            }
+            let Some(WalRecord::Register { order, slack }) = outcome.records.first() else {
+                return Err(TdbError::Corrupt(format!(
+                    "wal for `{name}` does not start with a Register record"
+                )));
+            };
+            let meta = catalog.meta(&name).map_err(|_| {
+                TdbError::Corrupt(format!(
+                    "wal for `{name}` exists but the catalog does not know the relation"
+                ))
+            })?;
+            let (mut rel, recovery) = LiveRelation::recover(
+                &name,
+                meta.schema.clone(),
+                *order,
+                *slack,
+                config.alpha,
+                config.queue_capacity,
+                config.stage_budget,
+                &engine.stage_dir,
+                catalog.io().clone(),
+                &outcome.records,
+                meta.rows as u64,
+            )?;
+            store
+                .metrics()
+                .replayed_records
+                .add(outcome.records.len() as u64);
+            summary.relations += 1;
+            summary.records += outcome.records.len();
+            summary.bytes += outcome.bytes;
+            summary.rows_restaged += recovery.restaged;
+            summary.rows_already_promoted += recovery.rows_already_promoted;
+            rel.attach_wal(store.open_log(&name)?);
+            // Compact right away: the replayed prefix is now redundant,
+            // so the next open pays only for the open window.
+            rel.wal_checkpoint()?;
+            engine.relations.insert(name, rel);
+        }
+        summary.duration_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        {
+            let m = store.metrics();
+            m.replay_bytes.set(summary.bytes as f64);
+            m.replay_micros.set(summary.duration_us as f64);
+        }
+        engine.wal = Some(store);
+        Ok((engine, summary))
+    }
+
+    /// Is the engine write-ahead logging (opened via
+    /// [`LiveEngine::open_durable`])?
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The WAL metric handles, when running durably.
+    pub fn wal_metrics(&self) -> Option<&WalMetrics> {
+        self.wal.as_ref().map(WalStore::metrics)
+    }
+
+    /// Checkpoint every durable relation's log now (compacting each to
+    /// its open window) and return how many logs were rewritten. A no-op
+    /// returning 0 for a non-durable engine.
+    pub fn checkpoint_all(&mut self) -> TdbResult<usize> {
+        if self.wal.is_none() {
+            return Ok(0);
+        }
+        let mut n = 0;
+        for rel in self.relations.values_mut() {
+            rel.wal_checkpoint()?;
+            n += 1;
+        }
+        Ok(n)
     }
 
     /// Epochs completed so far. Every delta stamped with epoch `e` was
@@ -166,7 +302,7 @@ impl LiveEngine {
             }
             Err(_) => catalog.create_relation(name, schema.clone(), &[], vec![order])?,
         }
-        let rel = LiveRelation::new(
+        let mut rel = LiveRelation::new(
             name,
             schema,
             order,
@@ -177,6 +313,20 @@ impl LiveEngine {
             &self.stage_dir,
             catalog.io().clone(),
         )?;
+        if let Some(store) = &self.wal {
+            // Make the DDL event durable before the first row arrives,
+            // and pin the reconciliation baseline to the rows the catalog
+            // already holds so replay never re-counts them.
+            rel.set_durable_rows(catalog.meta(name)?.rows as u64);
+            rel.attach_wal(store.create_log(
+                name,
+                &WalRecord::Register {
+                    order,
+                    slack: self.config.slack,
+                },
+            )?);
+            rel.wal_checkpoint()?;
+        }
         self.relations.insert(name.to_string(), rel);
         Ok(())
     }
@@ -266,7 +416,7 @@ impl LiveEngine {
             .get_mut(name)
             .ok_or_else(|| TdbError::Catalog(format!("relation `{name}` is not live")))?;
         rel.pump()?;
-        rel.seal();
+        rel.seal()?;
         self.advance(catalog)
     }
 
@@ -281,7 +431,15 @@ impl LiveEngine {
         for rel in self.relations.values_mut() {
             let closed = rel.take_closed()?;
             if !closed.is_empty() {
+                // Durable promotion protocol: fsync the Promote intent
+                // first, so a crash between here and the heap append is
+                // reconciled on replay (the batch is restaged); confirm
+                // and checkpoint once the catalog holds the rows, so the
+                // log shrinks back to the open window.
+                rel.wal_promote_intent(closed.len())?;
                 catalog.append_rows(rel.name(), &closed)?;
+                rel.confirm_promotion(closed.len() as u64);
+                rel.wal_checkpoint()?;
                 report.promoted += closed.len();
             }
         }
@@ -465,6 +623,55 @@ mod tests {
         assert_eq!(eng.subscriptions()[0].evaluations(), evals_before);
         assert!(eng.subscriptions()[0].is_cancelled());
         assert!(eng.cancel(7).is_err());
+    }
+
+    #[test]
+    fn durable_engine_recovers_acknowledged_state_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("tdb-engine-{}-durable", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schema = TemporalSchema::time_sequence("Name", "Rank");
+        let (frontier, staged, promoted) = {
+            let mut cat = Catalog::open_durable(dir.join("cat"), IoStats::new()).unwrap();
+            let (mut eng, replayed) = LiveEngine::open_durable(
+                dir.join("live"),
+                dir.join("wal"),
+                LiveConfig::default(),
+                &cat,
+                &Registry::new(),
+            )
+            .unwrap();
+            assert_eq!(replayed.relations, 0, "fresh directory has no logs");
+            eng.register(&mut cat, "Faculty", schema.clone(), StreamOrder::TS_ASC)
+                .unwrap();
+            assert!(eng.is_durable());
+            assert!(eng.relation("Faculty").unwrap().is_durable());
+            eng.ingest(
+                &mut cat,
+                "Faculty",
+                vec![row("long", 0, 100), row("a", 10, 20), row("b", 30, 40)],
+            )
+            .unwrap();
+            let rel = eng.relation("Faculty").unwrap();
+            (rel.watermark(), rel.staged_len(), rel.promoted())
+        };
+        // Reopen from disk: no seal, so the open suffix must be restaged
+        // and the frontier reproduced exactly.
+        let cat = Catalog::open_durable(dir.join("cat"), IoStats::new()).unwrap();
+        let (eng, replayed) = LiveEngine::open_durable(
+            dir.join("live2"),
+            dir.join("wal"),
+            LiveConfig::default(),
+            &cat,
+            &Registry::new(),
+        )
+        .unwrap();
+        assert_eq!(replayed.relations, 1);
+        assert_eq!(replayed.rows_restaged, staged);
+        let rel = eng.relation("Faculty").unwrap();
+        assert_eq!(rel.watermark(), frontier);
+        assert_eq!(rel.staged_len(), staged);
+        assert_eq!(cat.meta("Faculty").unwrap().rows as u64, promoted);
+        assert!(!rel.is_sealed());
     }
 
     #[test]

@@ -31,8 +31,8 @@ pub mod queue;
 pub mod relation;
 pub mod subscription;
 
-pub use engine::{LiveConfig, LiveEngine, LiveReport};
+pub use engine::{LiveConfig, LiveEngine, LiveReport, ReplaySummary};
 pub use ewma::OnlineStats;
 pub use queue::IngestQueue;
-pub use relation::LiveRelation;
+pub use relation::{LiveRelation, RelationRecovery};
 pub use subscription::{Delta, Subscription};

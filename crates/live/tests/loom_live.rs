@@ -125,7 +125,7 @@ fn watermark_gated_promotion_is_monotone_and_exact() {
         // Seal and drain the remainder: everything admitted is final now.
         {
             let mut r = rel.lock().unwrap();
-            r.seal();
+            r.seal().unwrap();
             batches.push(
                 r.take_closed()
                     .expect("final drain")
@@ -207,7 +207,7 @@ fn seal_racing_ingester_never_admits_past_final_frontier() {
         let rel_s = Arc::clone(&rel);
         let sealer = thread::spawn(move || {
             let mut r = rel_s.lock().unwrap();
-            r.seal();
+            r.seal().unwrap();
             r.take_closed().expect("sealed drain").len()
         });
         let admitted = ingester.join().unwrap();

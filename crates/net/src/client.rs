@@ -40,7 +40,7 @@ fn reader_loop(
     loop {
         match reader.read(&mut stream) {
             Ok(ReadOutcome::Frame(Frame::Reply(resp))) => {
-                if replies.send(resp).is_err() {
+                if replies.send(*resp).is_err() {
                     break;
                 }
             }

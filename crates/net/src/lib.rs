@@ -39,6 +39,10 @@ pub struct NetConfig {
     /// Socket read timeout in milliseconds — the cadence at which
     /// connection threads re-check the shutdown flag.
     pub poll_ms: u64,
+    /// Open the engine durably: the catalog manifest is persisted with
+    /// fsync-and-rename and live ingestion is write-ahead logged, so an
+    /// acknowledged `Ingest` reply means the rows survive a crash.
+    pub durable: bool,
 }
 
 impl Default for NetConfig {
@@ -46,6 +50,7 @@ impl Default for NetConfig {
         NetConfig {
             push_queue: 64,
             poll_ms: 25,
+            durable: false,
         }
     }
 }

@@ -321,7 +321,11 @@ pub fn serve(
     addr: &str,
     config: NetConfig,
 ) -> TdbResult<ServerHandle> {
-    let engine = Engine::open(dir)?;
+    let engine = if config.durable {
+        Engine::open_durable(dir, tdb::wal::FlushPolicy::default())?
+    } else {
+        Engine::open(dir)?
+    };
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -429,7 +433,7 @@ fn serve_conn(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
                     // `\quit` over the wire behaves like Bye after the
                     // reply is delivered.
                     stats.enqueued();
-                    if queue.send(Frame::Reply(resp)).is_err() {
+                    if queue.send(Frame::Reply(Box::new(resp))).is_err() {
                         stats.enqueue_failed();
                     }
                     break;
@@ -459,7 +463,7 @@ fn serve_conn(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
         // Replies block (bounded by queue depth + socket buffer) — a
         // client slow to read its *own* replies only stalls itself.
         stats.enqueued();
-        if queue.send(Frame::Reply(reply)).is_err() {
+        if queue.send(Frame::Reply(Box::new(reply))).is_err() {
             stats.enqueue_failed();
             break;
         }

@@ -60,8 +60,9 @@ pub enum Frame {
     /// without replying.
     Bye,
     /// Server→client: the response to the client's oldest unanswered
-    /// request.
-    Reply(Response),
+    /// request. Boxed so queued [`Frame::Push`] values don't pay the
+    /// largest variant's footprint.
+    Reply(Box<Response>),
     /// Server→client, unsolicited: rows finalized for a subscription
     /// this connection registered, stamped with the epoch and watermark
     /// that closed them.
@@ -123,7 +124,7 @@ impl Frame {
             }),
             KIND_STATS => Ok(Frame::Stats),
             KIND_BYE => Ok(Frame::Bye),
-            KIND_REPLY => Ok(Frame::Reply(Response::decode(&mut payload)?)),
+            KIND_REPLY => Ok(Frame::Reply(Box::new(Response::decode(&mut payload)?))),
             KIND_PUSH => Ok(Frame::Push(DeltaFrame::decode(&mut payload)?)),
             KIND_SHUTDOWN => Ok(Frame::Shutdown),
             k => Err(TdbError::Corrupt(format!("unknown frame kind {k}"))),
@@ -257,9 +258,14 @@ mod tests {
                 relation: "S".into(),
                 lines: "10 20 a\n".into(),
             },
-            Frame::Reply(Response::Error(ErrorInfo::new(ErrorCode::Protocol, "nope"))),
+            Frame::Reply(Box::new(Response::Error(ErrorInfo::new(
+                ErrorCode::Protocol,
+                "nope",
+            )))),
             Frame::Stats,
-            Frame::Reply(Response::Stats(tdb_engine::StatsReport::default())),
+            Frame::Reply(Box::new(
+                Response::Stats(tdb_engine::StatsReport::default()),
+            )),
             Frame::Bye,
             Frame::Shutdown,
         ];

@@ -9,7 +9,9 @@
 
 use crate::heap::HeapFile;
 use crate::iostats::IoStats;
+use crate::page::PAGE_SIZE;
 use std::collections::BTreeMap;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use tdb_core::{
     jobj, Direction, Field, FieldType, Json, Row, Schema, SortKey, SortSpec, StreamOrder, TdbError,
@@ -31,6 +33,11 @@ pub struct RelationMeta {
     pub stats: TemporalStats,
     /// Sort orders the stored row sequence satisfies.
     pub known_orders: Vec<StreamOrder>,
+    /// Durable page count of the heap file at the last manifest write.
+    /// Each append batch writes only fresh pages, so this is the commit
+    /// point a durable reopen truncates torn trailing pages back to.
+    /// `None` for manifests written before durability existed.
+    pub pages: Option<u64>,
 }
 
 // Manifest serialization. The format is deliberately spelled out field by
@@ -175,6 +182,7 @@ impl RelationMeta {
             "rows" => self.rows,
             "stats" => stats_to_json(&self.stats),
             "known_orders" => orders,
+            "pages" => self.pages.map(|p| p as i64),
         }
     }
 
@@ -204,6 +212,7 @@ impl RelationMeta {
                 .ok_or_else(|| corrupt("rows"))?,
             stats: stats_from_json(j.get("stats").ok_or_else(|| corrupt("stats"))?)?,
             known_orders,
+            pages: j.get("pages").and_then(Json::as_i64).map(|p| p as u64),
         })
     }
 }
@@ -213,6 +222,10 @@ pub struct Catalog {
     dir: PathBuf,
     relations: BTreeMap<String, RelationMeta>,
     io: IoStats,
+    /// When set, every manifest write goes through write-temp → fsync →
+    /// rename and heap appends are fdatasync'd before the manifest points
+    /// at them, so a crash can never expose a half-written catalog.
+    durable: bool,
 }
 
 impl Catalog {
@@ -235,7 +248,54 @@ impl Catalog {
         } else {
             BTreeMap::new()
         };
-        Ok(Catalog { dir, relations, io })
+        Ok(Catalog {
+            dir,
+            relations,
+            io,
+            durable: false,
+        })
+    }
+
+    /// Open a catalog in durable mode: crash-safe manifest writes, synced
+    /// heap appends, and torn trailing heap pages (from a batch that died
+    /// before its manifest update) truncated back to the last durable
+    /// page count recorded in the manifest.
+    pub fn open_durable(dir: impl AsRef<Path>, io: IoStats) -> TdbResult<Catalog> {
+        let mut cat = Self::open(dir, io)?;
+        cat.durable = true;
+        cat.repair_heaps()?;
+        Ok(cat)
+    }
+
+    /// Whether this catalog was opened in durable mode.
+    pub fn is_durable(&self) -> bool {
+        self.durable
+    }
+
+    /// Truncate each heap file back to its manifest-recorded durable page
+    /// count. Appends only ever write fresh pages past that point, so
+    /// anything beyond it is an unacknowledged batch torn by a crash. A
+    /// heap *shorter* than the manifest claims is real corruption: the
+    /// manifest is only renamed into place after the heap is synced.
+    fn repair_heaps(&self) -> TdbResult<()> {
+        for meta in self.relations.values() {
+            let Some(pages) = meta.pages else { continue };
+            let path = self.dir.join(&meta.file);
+            let len = std::fs::metadata(&path)?.len();
+            let want = pages * PAGE_SIZE as u64;
+            if len < want {
+                return Err(TdbError::Corrupt(format!(
+                    "heap file {} has {len} bytes but the manifest records {pages} durable pages",
+                    path.display()
+                )));
+            }
+            if len > want {
+                let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+                file.set_len(want)?;
+                file.sync_data()?;
+            }
+        }
+        Ok(())
     }
 
     fn persist(&self) -> TdbResult<()> {
@@ -245,7 +305,20 @@ impl Catalog {
                 .map(|(name, meta)| (name.clone(), meta.to_json()))
                 .collect(),
         );
-        std::fs::write(self.dir.join(Self::MANIFEST), doc.to_string_pretty())?;
+        let path = self.dir.join(Self::MANIFEST);
+        if self.durable {
+            // Crash-safe replace: the manifest is either the old complete
+            // version or the new complete version, never a torn mix.
+            let tmp = self.dir.join("catalog.json.tmp");
+            {
+                let mut f = std::fs::File::create(&tmp)?;
+                f.write_all(doc.to_string_pretty().as_bytes())?;
+                f.sync_all()?;
+            }
+            std::fs::rename(&tmp, &path)?;
+        } else {
+            std::fs::write(path, doc.to_string_pretty())?;
+        }
         Ok(())
     }
 
@@ -299,8 +372,12 @@ impl Catalog {
             heap.append(row)?;
         }
         heap.flush()?;
+        if self.durable {
+            heap.sync_data()?;
+        }
 
         let stats = TemporalStats::compute(&periods);
+        let pages = Some(heap.page_count());
         self.relations.insert(
             name.to_string(),
             RelationMeta {
@@ -310,6 +387,7 @@ impl Catalog {
                 rows: rows.len(),
                 stats,
                 known_orders,
+                pages,
             },
         );
         self.persist()
@@ -356,15 +434,20 @@ impl Catalog {
             heap.append(row)?;
         }
         heap.flush()?;
+        if self.durable {
+            heap.sync_data()?;
+        }
 
         let stats = TemporalStats::compute(&periods);
         let total = periods.len();
+        let pages = Some(heap.page_count());
         let meta = self
             .relations
             .get_mut(name)
             .expect("relation existed above");
         meta.rows = total;
         meta.stats = stats;
+        meta.pages = pages;
         self.persist()?;
         Ok(total)
     }

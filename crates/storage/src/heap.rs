@@ -155,6 +155,14 @@ impl HeapFile {
         Ok(())
     }
 
+    /// Force flushed pages to stable storage (`fdatasync`). Durable
+    /// catalogs call this after `flush` so a crash cannot lose pages the
+    /// manifest already points at.
+    pub fn sync_data(&self) -> TdbResult<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
     /// Scan every record in file order, decoding to `T`.
     pub fn scan<T: Codec>(&mut self) -> TdbResult<HeapScan<'_, T>> {
         self.flush()?;

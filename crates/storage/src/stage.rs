@@ -87,6 +87,13 @@ impl StagedAppend {
         self.spilled_runs
     }
 
+    /// The tuples staged in memory right now (excludes spilled runs).
+    /// After a `take_closed` every staged tuple is memory-resident, so
+    /// checkpointing code can snapshot the full open suffix from here.
+    pub fn resident(&self) -> &[PeriodRow] {
+        &self.pending
+    }
+
     /// Stage one arrival. Spills a sorted run when the in-memory buffer
     /// exceeds the budget.
     pub fn push(&mut self, tuple: PeriodRow) -> TdbResult<()> {

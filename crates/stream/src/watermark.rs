@@ -57,6 +57,27 @@ impl Watermark {
         Watermark::with_slack(order.primary.key, slack)
     }
 
+    /// Rebuild a watermark from durably logged state. WAL recovery uses
+    /// this to restore the frontier exactly as it stood at the crash:
+    /// `current` is the logged frontier and `max_seen` is reset to the
+    /// frontier plus slack (the tightest value consistent with it, so
+    /// post-recovery lag never over-reports).
+    pub fn restore(
+        key: SortKey,
+        slack: i64,
+        current: Option<TimePoint>,
+        sealed: bool,
+    ) -> Watermark {
+        let slack = slack.max(0);
+        Watermark {
+            key,
+            slack,
+            current,
+            max_seen: current.map(|w| TimePoint(w.ticks().saturating_add(slack))),
+            sealed,
+        }
+    }
+
     /// The sort key this watermark tracks.
     pub fn key(&self) -> SortKey {
         self.key

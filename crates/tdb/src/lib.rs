@@ -20,6 +20,8 @@
 //!   workspace-bound proofs, partition safety;
 //! * [`live`] — bounded live ingestion with watermark-driven finality and
 //!   verified standing queries;
+//! * [`wal`] — write-ahead logging and checkpointed recovery for live
+//!   ingestion;
 //! * [`quel`] — the modified-Quel front end;
 //! * [`semantic`] — integrity constraints, the inequality graph, the
 //!   Superstar transformation;
@@ -64,6 +66,7 @@ pub use tdb_quel as quel;
 pub use tdb_semantic as semantic;
 pub use tdb_storage as storage;
 pub use tdb_stream as stream;
+pub use tdb_wal as wal;
 
 /// Commonly used items, importable with `use tdb::prelude::*`.
 pub mod prelude {
@@ -80,7 +83,7 @@ pub mod prelude {
         TimePoint, TsTuple, Value,
     };
     pub use tdb_gen::{ArrivalProcess, DurationDist, FacultyGen, IntervalGen, Rank};
-    pub use tdb_live::{Delta, LiveConfig, LiveEngine, LiveReport, OnlineStats};
+    pub use tdb_live::{Delta, LiveConfig, LiveEngine, LiveReport, OnlineStats, ReplaySummary};
     pub use tdb_quel::{compile, parse_query};
     pub use tdb_semantic::{
         simplify_predicate, superstar_plans, Constraint, ConstraintSet, InequalityGraph,
@@ -95,6 +98,7 @@ pub mod prelude {
         ParallelRun, PartitionSpec, ReadPolicy, SweepSemijoin, Tagged, TupleStream, Workspace,
         WorkspaceStats, DEFAULT_BATCH_ROWS, MAX_BATCH_ROWS,
     };
+    pub use tdb_wal::{FlushPolicy, WalMetrics, WalRecord, WalStore};
 }
 
 /// Load the paper's `Faculty` example relation (or a generated variant)

@@ -1,0 +1,43 @@
+//! `tdb-wal` — write-ahead logging and checkpointed recovery.
+//!
+//! The paper's query machinery assumes relations survive; this crate
+//! makes that true for live ingestion. Each live relation gets an
+//! append-only log of CRC-framed [`WalRecord`]s — the DDL registration,
+//! every admitted row (logged *before* it is staged), watermark
+//! advances, the end-of-stream seal, and promotion markers. A crash
+//! then costs nothing that was acknowledged:
+//!
+//! * **Group commit** ([`FlushPolicy`]): an ingest batch is fsynced once
+//!   before it is acknowledged, so acknowledged-means-durable holds at
+//!   batch granularity (`PerRecord` tightens that to every row; `Off`
+//!   trades the guarantee away for throughput).
+//! * **Checkpoints bound replay by the open window.** The epoch design
+//!   makes finality first-class: at every promotion the closed prefix
+//!   leaves the log via [`WalLog::rewrite`], which atomically replaces
+//!   the log with `Register` + [`WalRecord::Checkpoint`] + the still-open
+//!   suffix. Replay cost is therefore proportional to the watermark lag,
+//!   not the stream length — cheaper than ARIES-style redo/undo because
+//!   promoted rows are final and never need undoing.
+//! * **Torn tails are expected, not fatal.** [`replay`] stops at the
+//!   first short or CRC-failing frame, truncates the file back to the
+//!   last good boundary, and returns the acknowledged prefix. Only a
+//!   CRC-valid frame that fails to decode raises
+//!   [`TdbError::WalCorrupt`](tdb_core::TdbError::WalCorrupt).
+//!
+//! The live engine (`tdb-live`) drives these pieces: log-before-stage on
+//! ingest, a fsynced [`WalRecord::Promote`] intent before each catalog
+//! append (so replay reconciles against the catalog's durable row count
+//! and never double-applies a promotion), and a checkpoint rewrite after
+//! it.
+
+pub mod crc;
+pub mod log;
+pub mod metrics;
+pub mod record;
+pub mod store;
+
+pub use crc::crc32;
+pub use log::{replay, FlushPolicy, ReplayOutcome, WalLog, MAX_FRAME};
+pub use metrics::{SlowFsync, WalMetrics, SLOW_FSYNC_THRESHOLD_US};
+pub use record::WalRecord;
+pub use store::WalStore;

@@ -32,8 +32,8 @@ use tdb::storage::Codec;
 use tdb_engine::{
     AnalysisReport, ConnMetrics, DeltaFrame, ErrorCode, ErrorInfo, IngestReport,
     LiveRelationMetrics, LiveRelationStatus, LiveStatus, NetMetrics, OpSpan, OpVerdict,
-    QueryReport, QueryStats, QueryTrace, Response, RowSet, SealReport, StatsReport,
-    SubscribeReport, SubscriptionStatus, SuperstarRow, TableInfo,
+    QueryReport, QueryStats, QueryTrace, Response, RowSet, SealReport, SlowFsyncInfo, StatsReport,
+    SubscribeReport, SubscriptionStatus, SuperstarRow, TableInfo, WalReport,
 };
 use tdb_net::wire::{Frame, FrameReader, ReadOutcome};
 use tdb_net::{serve, Client, NetConfig, ServerHandle};
@@ -214,6 +214,22 @@ fn build_response(sel: u8, a: i64, n: u64, name: &str, raw: &[(i64, i64)], flag:
                     push_highwater: n % 11,
                 }],
             }),
+            wal: (!flag).then(|| WalReport {
+                flush_policy: "group-commit".to_string(),
+                appends: n,
+                commits: n / 2,
+                fsyncs: n / 3,
+                bytes_written: n.wrapping_mul(37),
+                checkpoints: n % 17,
+                torn_truncations: n % 2,
+                replayed_records: n % 251,
+                replay_bytes: n.wrapping_mul(13),
+                replay_us: n % 1_000_000,
+                slow_fsyncs: vec![SlowFsyncInfo {
+                    relation: name.to_string(),
+                    micros: n % 100_000 + 10_000,
+                }],
+            }),
         }),
         _ => Response::Error(ErrorInfo::new(
             ErrorCode::from_u8((sel % 14) + 1).unwrap_or(ErrorCode::Protocol),
@@ -242,11 +258,11 @@ proptest! {
 
         // Frame level: a full Reply frame through the incremental reader.
         let mut wire = bytes::BytesMut::new();
-        Frame::Reply(resp.clone()).encode(&mut wire);
+        Frame::Reply(Box::new(resp.clone())).encode(&mut wire);
         let mut reader = FrameReader::new();
         let mut src = std::io::Cursor::new(wire.to_vec());
         match reader.read(&mut src).unwrap() {
-            ReadOutcome::Frame(Frame::Reply(got)) => prop_assert_eq!(got, resp),
+            ReadOutcome::Frame(Frame::Reply(got)) => prop_assert_eq!(*got, resp),
             other => prop_assert!(false, "expected a reply frame, got {:?}", other),
         }
     }
@@ -504,7 +520,9 @@ fn raw_subscribe(addr: std::net::SocketAddr, query: &str) -> std::net::TcpStream
     let mut reader = FrameReader::new();
     loop {
         match reader.read(&mut stream).unwrap() {
-            ReadOutcome::Frame(Frame::Reply(Response::Subscribed(_))) => return stream,
+            ReadOutcome::Frame(Frame::Reply(resp)) if matches!(*resp, Response::Subscribed(_)) => {
+                return stream
+            }
             ReadOutcome::Frame(other) => panic!("expected subscription reply, got {other:?}"),
             ReadOutcome::Idle => {}
             ReadOutcome::Eof => panic!("server closed during subscribe"),
@@ -522,6 +540,7 @@ fn slow_subscriber_is_disconnected_without_stalling_ingestion() {
         NetConfig {
             push_queue: 2,
             poll_ms: 10,
+            ..NetConfig::default()
         },
     )
     .unwrap();
