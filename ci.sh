@@ -84,6 +84,14 @@ timeout 60 cargo run --release -p tdb-bench --features check --bin experiments -
 echo "==> batch equivalence + bench (E19, bounded)"
 timeout 60 cargo run --release -p tdb-bench --features check --bin experiments -- batch
 
+# Bounded sink bench (E21): the E19 40k/side Contain-join re-measured
+# through the push dispatch — streamed chunks equal the materialized
+# output, count-only totals agree, workspace peaks stay under the static
+# cap (cap_exceeded must be 0), and the count-path speedup over
+# materialization is asserted ≥ 1.8×. Hard-capped at 60.
+echo "==> streaming sink bench (E21, bounded)"
+timeout 60 cargo run --release -p tdb-bench --features check --bin experiments -- sink
+
 # Bounded durability bench (E20): acknowledged-ingest throughput per WAL
 # fsync policy, then a recovery matrix asserting replayed bytes track the
 # open window and stay flat as the log grows (checkpoints truncate the

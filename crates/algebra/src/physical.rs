@@ -20,35 +20,81 @@ use std::fmt;
 use tdb_core::{PeriodRow, Row, StreamOrder, TdbError, TdbResult, Temporal};
 use tdb_storage::Catalog;
 use tdb_stream::{
-    from_sorted_vec, parallel_join, parallel_semijoin, run_join_kind, run_semijoin_kind,
-    Instrumented, MergeEquiJoin, OpConfig, OpMetrics, OpReport, OverlapMode, ParallelPattern,
-    StreamOpKind, TupleStream, WorkspaceStats,
+    from_sorted_vec, parallel_join, parallel_join_each, parallel_semijoin, parallel_semijoin_each,
+    run_join_kind, run_join_kind_count, run_join_kind_each, run_semijoin_kind,
+    run_semijoin_kind_each, CollectSink, Instrumented, MergeEquiJoin, OpConfig, OpMetrics,
+    OpReport, OverlapMode, ParallelPattern, RowSink, SinkStats, StreamOpKind, TupleStream,
+    WorkspaceStats, DEFAULT_BATCH_ROWS,
 };
 
-/// Executor-level options: what to collect and how the stream temporal
-/// operators execute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ExecOptions {
+/// Executor-level options: what to collect, how the stream temporal
+/// operators execute, and where output rows go. Built fluently:
+///
+/// ```ignore
+/// let mut sink = LimitSink::new(20);
+/// plan.execute(&catalog, ExecOptions::new().with_sink(&mut sink))?;
+/// ```
+pub struct ExecOptions<'a> {
     /// Collect per-operator [`OpObservation`]s (disable for the
     /// instrumentation-overhead baseline).
     pub collect_trace: bool,
     /// Rows per columnar batch on the vectorized execution path; `0` runs
     /// the row-at-a-time operators.
     pub batch_rows: usize,
+    /// Push-mode output sink. When set, result rows are pushed into it as
+    /// operators drain — chunk by chunk, honoring its early-termination
+    /// signal — and [`QueryOutput::rows`] comes back empty. When `None`,
+    /// the executor collects into an internal [`CollectSink`] and returns
+    /// the rows, preserving the classic materializing behaviour.
+    pub sink: Option<&'a mut dyn RowSink>,
 }
 
-impl Default for ExecOptions {
-    fn default() -> ExecOptions {
+impl<'a> Default for ExecOptions<'a> {
+    fn default() -> ExecOptions<'a> {
         ExecOptions {
             collect_trace: true,
-            batch_rows: tdb_stream::DEFAULT_BATCH_ROWS,
+            batch_rows: DEFAULT_BATCH_ROWS,
+            sink: None,
         }
     }
 }
 
-impl ExecOptions {
+impl fmt::Debug for ExecOptions<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecOptions")
+            .field("collect_trace", &self.collect_trace)
+            .field("batch_rows", &self.batch_rows)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl<'a> ExecOptions<'a> {
+    /// Default options: trace collection on, default batch size, no sink.
+    pub fn new() -> ExecOptions<'a> {
+        ExecOptions::default()
+    }
+
+    /// Set whether per-operator observations are collected.
+    pub fn with_trace(mut self, collect_trace: bool) -> ExecOptions<'a> {
+        self.collect_trace = collect_trace;
+        self
+    }
+
+    /// Set the columnar batch size (`0` = row-at-a-time operators).
+    pub fn with_batch_rows(mut self, batch_rows: usize) -> ExecOptions<'a> {
+        self.batch_rows = batch_rows;
+        self
+    }
+
+    /// Push output rows into `sink` instead of materializing them.
+    pub fn with_sink(mut self, sink: &'a mut dyn RowSink) -> ExecOptions<'a> {
+        self.sink = Some(sink);
+        self
+    }
+
     /// The per-operator configuration these options induce.
-    fn op_config(self) -> OpConfig {
+    fn op_config(&self) -> OpConfig {
         OpConfig::new().with_batch_rows(self.batch_rows)
     }
 }
@@ -277,42 +323,64 @@ impl PhysicalPlan {
         })
     }
 
-    /// Execute the plan against `catalog`, collecting per-operator
-    /// observations, with default (batched) execution options.
-    pub fn execute(&self, catalog: &Catalog) -> TdbResult<QueryOutput> {
-        self.execute_opts(catalog, ExecOptions::default())
-    }
-
-    /// Execute the plan, optionally disabling per-operator trace
-    /// collection (the instrumentation-overhead baseline the observability
-    /// benchmark compares against).
-    pub fn execute_with(&self, catalog: &Catalog, collect_trace: bool) -> TdbResult<QueryOutput> {
-        self.execute_opts(
-            catalog,
-            ExecOptions {
-                collect_trace,
-                ..ExecOptions::default()
-            },
-        )
-    }
-
-    /// Execute the plan under explicit [`ExecOptions`].
-    pub fn execute_opts(&self, catalog: &Catalog, opts: ExecOptions) -> TdbResult<QueryOutput> {
+    /// Execute the plan against `catalog` under `opts` — the single
+    /// execution entry point.
+    ///
+    /// Output rows flow through a push [`RowSink`]: the one in `opts`, or
+    /// an internal [`CollectSink`] whose contents come back in
+    /// [`QueryOutput::rows`] when none is given. Either way
+    /// [`ExecStats::output_rows`] counts the rows offered to the sink
+    /// (which a limiting sink may have declined to retain).
+    pub fn execute(&self, catalog: &Catalog, opts: ExecOptions<'_>) -> TdbResult<QueryOutput> {
+        let cfg = opts.op_config();
         let mut stats = ExecStats::default();
         let mut trace = Vec::new();
-        let (rows, scope) = self.run(
-            catalog,
-            opts.op_config(),
-            &mut stats,
-            opts.collect_trace.then_some(&mut trace),
-        )?;
-        stats.output_rows = rows.len();
+        let collect_trace = opts.collect_trace;
+        let scope = self.scope(catalog)?;
+        let rows = match opts.sink {
+            Some(sink) => {
+                let pushed = self.run_sink(
+                    catalog,
+                    cfg,
+                    &mut stats,
+                    collect_trace.then_some(&mut trace),
+                    sink,
+                )?;
+                stats.output_rows = pushed;
+                Vec::new()
+            }
+            None => {
+                let mut collect = CollectSink::new();
+                let pushed = self.run_sink(
+                    catalog,
+                    cfg,
+                    &mut stats,
+                    collect_trace.then_some(&mut trace),
+                    &mut collect,
+                )?;
+                stats.output_rows = pushed;
+                collect.into_rows()
+            }
+        };
         Ok(QueryOutput {
             rows,
             scope,
             stats,
             trace,
         })
+    }
+
+    /// Execute the plan, optionally disabling per-operator trace
+    /// collection.
+    #[deprecated(note = "use execute(catalog, ExecOptions::new().with_trace(collect_trace))")]
+    pub fn execute_with(&self, catalog: &Catalog, collect_trace: bool) -> TdbResult<QueryOutput> {
+        self.execute(catalog, ExecOptions::new().with_trace(collect_trace))
+    }
+
+    /// Execute the plan under explicit [`ExecOptions`].
+    #[deprecated(note = "use execute(catalog, opts)")]
+    pub fn execute_opts(&self, catalog: &Catalog, opts: ExecOptions<'_>) -> TdbResult<QueryOutput> {
+        self.execute(catalog, opts)
     }
 
     fn run(
@@ -661,6 +729,288 @@ impl PhysicalPlan {
         }
     }
 
+    /// Push-mode execution: run the plan, streaming output rows into
+    /// `sink` as the root operator drains instead of materializing them.
+    ///
+    /// Stream temporal joins/semijoins (serial and time-partitioned) emit
+    /// chunk by chunk, honoring the sink's early-termination signal;
+    /// `Project` roots stream through a projecting adapter; a sink that
+    /// declines rows ([`RowSink::wants_rows`] `false`) with no residual
+    /// predicate routes through the count-only kernels, skipping payload
+    /// widening entirely. Other roots materialize as before and hand the
+    /// finished vector over in one push. Returns the number of rows
+    /// offered to the sink.
+    fn run_sink(
+        &self,
+        catalog: &Catalog,
+        cfg: OpConfig,
+        stats: &mut ExecStats,
+        mut trace: Option<&mut Vec<OpObservation>>,
+        sink: &mut dyn RowSink,
+    ) -> TdbResult<usize> {
+        match self {
+            PhysicalPlan::Project { input, columns } => {
+                let cscope = input.scope(catalog)?;
+                let indices: Vec<usize> = columns
+                    .iter()
+                    .map(|(c, _)| cscope.index_of(c))
+                    .collect::<TdbResult<_>>()?;
+                let mut adapter = ProjectSink {
+                    indices,
+                    inner: sink,
+                    buf: Vec::new(),
+                };
+                let pushed = input.run_sink(catalog, cfg, stats, trace, &mut adapter)?;
+                stats.intermediate_rows += pushed;
+                Ok(pushed)
+            }
+            PhysicalPlan::StreamTemporal {
+                left,
+                right,
+                left_var,
+                right_var,
+                pattern,
+                residual,
+            } => {
+                let (lrows, lscope) = left.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                let (rrows, rscope) = right.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
+                let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
+                let scope = lscope.concat(&rscope);
+                let resolved = resolve_all(residual, |c| scope.index_of(c))?;
+                let mut pushed = 0usize;
+                let mut comparisons = 0u64;
+                let report = if !sink.wants_rows() && resolved.is_empty() {
+                    let (n, report) =
+                        run_stream_join_count(*pattern, cfg, lwrapped, rwrapped, stats)?;
+                    pushed = n;
+                    sink.push_count(n)?;
+                    report
+                } else {
+                    let residual_len = residual.len() as u64;
+                    let (_, report) = run_stream_join_each(
+                        *pattern,
+                        cfg,
+                        lwrapped,
+                        rwrapped,
+                        stats,
+                        &mut |chunk| {
+                            let mut out = Vec::with_capacity(chunk.len());
+                            for (l, r) in chunk {
+                                comparisons += residual_len;
+                                let joined = l.row.concat(&r.row);
+                                if eval_conjunction(&resolved, &joined) {
+                                    out.push(joined);
+                                }
+                            }
+                            pushed += out.len();
+                            if out.is_empty() {
+                                return Ok(true);
+                            }
+                            sink.push(&mut out)
+                        },
+                    )?;
+                    report
+                };
+                stats.comparisons += comparisons + report.metrics.comparisons as u64;
+                stats.max_workspace = stats.max_workspace.max(report.max_workspace());
+                if let Some(t) = trace {
+                    t.push(OpObservation::serial(pattern.join_op().0, report));
+                }
+                stats.intermediate_rows += pushed;
+                Ok(pushed)
+            }
+            PhysicalPlan::StreamSemijoin {
+                left,
+                right,
+                left_var,
+                right_var,
+                pattern,
+            } => {
+                let (lrows, lscope) = left.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                let (rrows, rscope) = right.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
+                let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
+                let wants_rows = sink.wants_rows();
+                let mut pushed = 0usize;
+                let (_, report) = run_stream_semijoin_each(
+                    *pattern,
+                    cfg,
+                    lwrapped,
+                    rwrapped,
+                    stats,
+                    &mut |chunk| {
+                        pushed += chunk.len();
+                        if wants_rows {
+                            let mut out: Vec<Row> = chunk.into_iter().map(|p| p.row).collect();
+                            sink.push(&mut out)
+                        } else {
+                            sink.push_count(chunk.len())
+                        }
+                    },
+                )?;
+                stats.max_workspace = stats.max_workspace.max(report.max_workspace());
+                stats.comparisons += report.metrics.comparisons as u64;
+                if let Some(t) = trace {
+                    t.push(OpObservation::serial(pattern.semijoin_op().0, report));
+                }
+                stats.intermediate_rows += pushed;
+                Ok(pushed)
+            }
+            PhysicalPlan::Parallel { partitions, child } => match &**child {
+                PhysicalPlan::StreamTemporal {
+                    left,
+                    right,
+                    left_var,
+                    right_var,
+                    pattern,
+                    residual,
+                } => match parallel_pattern(*pattern) {
+                    None => child.run_sink(catalog, cfg, stats, trace, sink),
+                    Some(ppat) => {
+                        let (lrows, lscope) =
+                            left.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                        let (rrows, rscope) =
+                            right.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                        let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
+                        let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
+                        note_parallel_sorts(ppat, true, &lwrapped, &rwrapped, stats);
+                        #[cfg(any(debug_assertions, feature = "check"))]
+                        let ws_cap = parallel_ws_cap(ppat, true, &lwrapped, &rwrapped);
+                        let scope = lscope.concat(&rscope);
+                        let resolved = resolve_all(residual, |c| scope.index_of(c))?;
+                        let wants_rows = sink.wants_rows();
+                        let residual_len = residual.len() as u64;
+                        let mut comparisons = 0u64;
+                        let mut pushed = 0usize;
+                        let run = parallel_join_each(
+                            ppat,
+                            lwrapped,
+                            rwrapped,
+                            *partitions,
+                            cfg,
+                            &mut |chunk| {
+                                if !wants_rows && resolved.is_empty() {
+                                    pushed += chunk.len();
+                                    return sink.push_count(chunk.len());
+                                }
+                                let mut out = Vec::with_capacity(chunk.len());
+                                for (l, r) in chunk {
+                                    comparisons += residual_len;
+                                    let joined = l.row.concat(&r.row);
+                                    if eval_conjunction(&resolved, &joined) {
+                                        out.push(joined);
+                                    }
+                                }
+                                pushed += out.len();
+                                if out.is_empty() {
+                                    return Ok(true);
+                                }
+                                sink.push(&mut out)
+                            },
+                        )?;
+                        #[cfg(any(debug_assertions, feature = "check"))]
+                        assert!(
+                            run.report.max_workspace() <= ws_cap,
+                            "parallel {} workspace {} exceeded the static cap {ws_cap}",
+                            ppat.join_kind(),
+                            run.report.max_workspace()
+                        );
+                        stats.max_workspace = stats.max_workspace.max(run.report.max_workspace());
+                        stats.comparisons += comparisons + run.report.metrics.comparisons as u64;
+                        if let Some(t) = trace {
+                            let kind = ppat.join_kind();
+                            t.push(OpObservation {
+                                operator: kind.to_string(),
+                                kind: Some(kind),
+                                partitions: *partitions,
+                                report: run.report,
+                            });
+                        }
+                        stats.intermediate_rows += pushed;
+                        Ok(pushed)
+                    }
+                },
+                PhysicalPlan::StreamSemijoin {
+                    left,
+                    right,
+                    left_var,
+                    right_var,
+                    pattern,
+                } => match parallel_pattern(*pattern) {
+                    None => child.run_sink(catalog, cfg, stats, trace, sink),
+                    Some(ppat) => {
+                        let (lrows, lscope) =
+                            left.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                        let (rrows, rscope) =
+                            right.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                        let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
+                        let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
+                        note_parallel_sorts(ppat, false, &lwrapped, &rwrapped, stats);
+                        #[cfg(any(debug_assertions, feature = "check"))]
+                        let ws_cap = parallel_ws_cap(ppat, false, &lwrapped, &rwrapped);
+                        let wants_rows = sink.wants_rows();
+                        let mut pushed = 0usize;
+                        let run = parallel_semijoin_each(
+                            ppat,
+                            lwrapped,
+                            rwrapped,
+                            *partitions,
+                            cfg,
+                            &mut |chunk| {
+                                pushed += chunk.len();
+                                if wants_rows {
+                                    let mut out: Vec<Row> =
+                                        chunk.into_iter().map(|p| p.row).collect();
+                                    sink.push(&mut out)
+                                } else {
+                                    sink.push_count(chunk.len())
+                                }
+                            },
+                        )?;
+                        #[cfg(any(debug_assertions, feature = "check"))]
+                        assert!(
+                            run.report.max_workspace() <= ws_cap,
+                            "parallel {} workspace {} exceeded the static cap {ws_cap}",
+                            ppat.semijoin_kind(),
+                            run.report.max_workspace()
+                        );
+                        stats.max_workspace = stats.max_workspace.max(run.report.max_workspace());
+                        stats.comparisons += run.report.metrics.comparisons as u64;
+                        if let Some(t) = trace {
+                            let kind = ppat.semijoin_kind();
+                            t.push(OpObservation {
+                                operator: kind.to_string(),
+                                kind: Some(kind),
+                                partitions: *partitions,
+                                report: run.report,
+                            });
+                        }
+                        stats.intermediate_rows += pushed;
+                        Ok(pushed)
+                    }
+                },
+                // Non-partitionable child: degrade gracefully to the
+                // child's own sink path.
+                other => other.run_sink(catalog, cfg, stats, trace, sink),
+            },
+            // Every other root materializes exactly as before and hands
+            // the finished vector to the sink in one push.
+            _ => {
+                let (mut rows, _scope) = self.run(catalog, cfg, stats, trace)?;
+                let n = rows.len();
+                if sink.wants_rows() {
+                    if !rows.is_empty() {
+                        sink.push(&mut rows)?;
+                    }
+                } else {
+                    sink.push_count(n)?;
+                }
+                Ok(n)
+            }
+        }
+    }
+
     /// Render the physical plan as an indented tree (EXPLAIN output).
     pub fn explain(&self) -> String {
         let mut out = String::new();
@@ -778,6 +1128,37 @@ impl PhysicalPlan {
 impl fmt::Display for PhysicalPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.explain())
+    }
+}
+
+/// Sink adapter that projects every pushed row through `indices` before
+/// forwarding, letting `Project` roots stream (and `\set limit`
+/// early-terminate) instead of materializing their input.
+struct ProjectSink<'a> {
+    indices: Vec<usize>,
+    inner: &'a mut dyn RowSink,
+    buf: Vec<Row>,
+}
+
+impl RowSink for ProjectSink<'_> {
+    fn wants_rows(&self) -> bool {
+        self.inner.wants_rows()
+    }
+
+    fn push(&mut self, rows: &mut Vec<Row>) -> TdbResult<bool> {
+        self.buf.clear();
+        self.buf.reserve(rows.len());
+        self.buf
+            .extend(rows.drain(..).map(|r| r.project(&self.indices)));
+        self.inner.push(&mut self.buf)
+    }
+
+    fn push_count(&mut self, n: usize) -> TdbResult<bool> {
+        self.inner.push_count(n)
+    }
+
+    fn finish(&mut self) -> SinkStats {
+        self.inner.finish()
     }
 }
 
@@ -963,6 +1344,150 @@ fn run_stream_join(
     }
 }
 
+/// Push-mode [`run_stream_join`]: matched pairs go to `emit` chunk by
+/// chunk instead of one vector. Intersection-witnessed patterns stream
+/// straight out of the kernels (honoring `emit`'s stop signal);
+/// `Before`/`After` materialize internally and feed `emit` in chunks.
+/// Returns `(completed, report)`.
+fn run_stream_join_each(
+    pattern: TemporalPattern,
+    cfg: OpConfig,
+    l: Vec<PeriodRow>,
+    r: Vec<PeriodRow>,
+    stats: &mut ExecStats,
+    emit: &mut dyn FnMut(Vec<(PeriodRow, PeriodRow)>) -> TdbResult<bool>,
+) -> TdbResult<(bool, OpReport)> {
+    match pattern {
+        TemporalPattern::Contains | TemporalPattern::During => {
+            let (kind, swap) = pattern.join_op();
+            let req = kind.requirement();
+            let c_ord = req.left().unwrap_or(StreamOrder::TS_ASC);
+            let e_ord = req.right().unwrap_or(StreamOrder::TS_ASC);
+            let (c, e) = if swap { (r, l) } else { (l, r) };
+            let c = sort_wrapped(c, c_ord, stats);
+            let e = sort_wrapped(e, e_ord, stats);
+            #[cfg(any(debug_assertions, feature = "check"))]
+            let ws_cap = static_ws_cap(kind, &c, &e);
+            let (completed, report) = if swap {
+                run_join_kind_each(kind, cfg, c, c_ord, e, e_ord, &mut |chunk| {
+                    emit(chunk.into_iter().map(|(a, b)| (b, a)).collect())
+                })?
+            } else {
+                run_join_kind_each(kind, cfg, c, c_ord, e, e_ord, emit)?
+            };
+            #[cfg(any(debug_assertions, feature = "check"))]
+            assert!(
+                report.max_workspace() <= ws_cap,
+                "{kind} workspace {} exceeded the static cap {ws_cap}",
+                report.max_workspace()
+            );
+            Ok((completed, report))
+        }
+        TemporalPattern::GeneralOverlap | TemporalPattern::AllenOverlaps => {
+            let mode = if pattern == TemporalPattern::GeneralOverlap {
+                OverlapMode::General
+            } else {
+                OverlapMode::Strict
+            };
+            let (kind, _) = pattern.join_op();
+            let req = kind.requirement();
+            let l_ord = req.left().unwrap_or(StreamOrder::TS_ASC);
+            let r_ord = req.right().unwrap_or(StreamOrder::TS_ASC);
+            let l = sort_wrapped(l, l_ord, stats);
+            let r = sort_wrapped(r, r_ord, stats);
+            #[cfg(any(debug_assertions, feature = "check"))]
+            let ws_cap = static_ws_cap(kind, &l, &r);
+            let (completed, report) =
+                run_join_kind_each(kind, cfg.with_mode(mode), l, l_ord, r, r_ord, emit)?;
+            #[cfg(any(debug_assertions, feature = "check"))]
+            assert!(
+                report.max_workspace() <= ws_cap,
+                "{kind} workspace {} exceeded the static cap {ws_cap}",
+                report.max_workspace()
+            );
+            Ok((completed, report))
+        }
+        TemporalPattern::Before | TemporalPattern::After => {
+            let (pairs, report) = run_stream_join(pattern, cfg, l, r, stats)?;
+            let completed = feed_chunks(pairs, cfg, emit)?;
+            Ok((completed, report))
+        }
+    }
+}
+
+/// Count-only [`run_stream_join`]: return the match count without ever
+/// widening pairs into rows. Intersection-witnessed patterns route
+/// through the kernels' count-only mode; `Before`/`After` materialize and
+/// count.
+fn run_stream_join_count(
+    pattern: TemporalPattern,
+    cfg: OpConfig,
+    l: Vec<PeriodRow>,
+    r: Vec<PeriodRow>,
+    stats: &mut ExecStats,
+) -> TdbResult<(usize, OpReport)> {
+    match pattern {
+        TemporalPattern::Contains
+        | TemporalPattern::During
+        | TemporalPattern::GeneralOverlap
+        | TemporalPattern::AllenOverlaps => {
+            let cfg = match pattern {
+                TemporalPattern::GeneralOverlap => cfg.with_mode(OverlapMode::General),
+                TemporalPattern::AllenOverlaps => cfg.with_mode(OverlapMode::Strict),
+                _ => cfg,
+            };
+            // The count is symmetric, but the sides still go to the
+            // operator the planner committed to (During swaps).
+            let (kind, swap) = pattern.join_op();
+            let req = kind.requirement();
+            let x_ord = req.left().unwrap_or(StreamOrder::TS_ASC);
+            let y_ord = req.right().unwrap_or(StreamOrder::TS_ASC);
+            let (x, y) = if swap { (r, l) } else { (l, r) };
+            let x = sort_wrapped(x, x_ord, stats);
+            let y = sort_wrapped(y, y_ord, stats);
+            #[cfg(any(debug_assertions, feature = "check"))]
+            let ws_cap = static_ws_cap(kind, &x, &y);
+            let (count, report) = run_join_kind_count(kind, cfg, x, x_ord, y, y_ord)?;
+            #[cfg(any(debug_assertions, feature = "check"))]
+            assert!(
+                report.max_workspace() <= ws_cap,
+                "{kind} workspace {} exceeded the static cap {ws_cap}",
+                report.max_workspace()
+            );
+            Ok((count, report))
+        }
+        TemporalPattern::Before | TemporalPattern::After => {
+            let (pairs, report) = run_stream_join(pattern, cfg, l, r, stats)?;
+            Ok((pairs.len(), report))
+        }
+    }
+}
+
+/// Feed an already-materialized result to `emit` in sink-sized chunks,
+/// honoring the stop signal. Returns `false` if the consumer stopped
+/// early.
+fn feed_chunks<T>(
+    items: Vec<T>,
+    cfg: OpConfig,
+    emit: &mut dyn FnMut(Vec<T>) -> TdbResult<bool>,
+) -> TdbResult<bool> {
+    let chunk_rows = if cfg.batch_rows > 0 {
+        cfg.batch_rows
+    } else {
+        DEFAULT_BATCH_ROWS
+    };
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<T> = iter.by_ref().take(chunk_rows).collect();
+        if chunk.is_empty() {
+            return Ok(true);
+        }
+        if !emit(chunk)? {
+            return Ok(false);
+        }
+    }
+}
+
 type SemiResult = (Vec<PeriodRow>, OpReport);
 
 fn run_stream_semijoin(
@@ -1063,6 +1588,52 @@ fn run_stream_semijoin(
     }
 }
 
+/// Push-mode [`run_stream_semijoin`]: kept left rows go to `emit` chunk
+/// by chunk. Intersection-witnessed patterns stream out of the kernels;
+/// `Before`/`After` materialize internally and feed `emit` in chunks.
+fn run_stream_semijoin_each(
+    pattern: TemporalPattern,
+    cfg: OpConfig,
+    l: Vec<PeriodRow>,
+    r: Vec<PeriodRow>,
+    stats: &mut ExecStats,
+    emit: &mut dyn FnMut(Vec<PeriodRow>) -> TdbResult<bool>,
+) -> TdbResult<(bool, OpReport)> {
+    match pattern {
+        TemporalPattern::During
+        | TemporalPattern::Contains
+        | TemporalPattern::GeneralOverlap
+        | TemporalPattern::AllenOverlaps => {
+            let cfg = match pattern {
+                TemporalPattern::GeneralOverlap => cfg.with_mode(OverlapMode::General),
+                TemporalPattern::AllenOverlaps => cfg.with_mode(OverlapMode::Strict),
+                _ => cfg,
+            };
+            let (kind, _) = pattern.semijoin_op();
+            let req = kind.requirement();
+            let l_ord = req.left().unwrap_or(StreamOrder::TS_ASC);
+            let r_ord = req.right().unwrap_or(StreamOrder::TS_ASC);
+            let l = sort_wrapped(l, l_ord, stats);
+            let r = sort_wrapped(r, r_ord, stats);
+            #[cfg(any(debug_assertions, feature = "check"))]
+            let ws_cap = static_ws_cap(kind, &l, &r);
+            let (completed, report) = run_semijoin_kind_each(kind, cfg, l, l_ord, r, r_ord, emit)?;
+            #[cfg(any(debug_assertions, feature = "check"))]
+            assert!(
+                report.max_workspace() <= ws_cap,
+                "{kind} workspace {} exceeded the static cap {ws_cap}",
+                report.max_workspace()
+            );
+            Ok((completed, report))
+        }
+        TemporalPattern::Before | TemporalPattern::After => {
+            let (kept, report) = run_stream_semijoin(pattern, cfg, l, r, stats)?;
+            let completed = feed_chunks(kept, cfg, emit)?;
+            Ok((completed, report))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1099,7 +1670,7 @@ mod tests {
             input: Box::new(scan("f")),
             atoms: vec![Atom::col_const("f", "Rank", CompOp::Eq, "Associate")],
         };
-        let out = plan.execute(&cat).unwrap();
+        let out = plan.execute(&cat, ExecOptions::default()).unwrap();
         assert_eq!(out.rows.len(), 3); // Smith, Jones, Brown associates
         assert_eq!(out.stats.rows_scanned, 8);
     }
@@ -1111,7 +1682,7 @@ mod tests {
             input: Box::new(scan("f")),
             columns: vec![(ColumnRef::new("f", "Name"), "who".into())],
         };
-        let out = plan.execute(&cat).unwrap();
+        let out = plan.execute(&cat, ExecOptions::default()).unwrap();
         assert_eq!(out.rows[0].arity(), 1);
         assert_eq!(out.scope.columns()[0], ColumnRef::new("", "who"));
     }
@@ -1124,7 +1695,7 @@ mod tests {
             right: Box::new(scan("f2")),
             atoms: vec![Atom::cols("f1", "Name", CompOp::Eq, "f2", "Name")],
         };
-        let out = plan.execute(&cat).unwrap();
+        let out = plan.execute(&cat, ExecOptions::default()).unwrap();
         // Smith 3², Jones 3², Brown 2² = 9 + 9 + 4.
         assert_eq!(out.rows.len(), 22);
         assert_eq!(out.stats.comparisons, 64);
@@ -1145,8 +1716,8 @@ mod tests {
             right_key: ColumnRef::new("f2", "Name"),
             residual: vec![],
         };
-        let mut a = nl.execute(&cat).unwrap().rows;
-        let mut b = me.execute(&cat).unwrap().rows;
+        let mut a = nl.execute(&cat, ExecOptions::default()).unwrap().rows;
+        let mut b = me.execute(&cat, ExecOptions::default()).unwrap().rows;
         a.sort_by_key(|r| format!("{r}"));
         b.sort_by_key(|r| format!("{r}"));
         assert_eq!(a, b);
@@ -1172,8 +1743,8 @@ mod tests {
                 Atom::cols("f2", "ValidTo", CompOp::Lt, "f1", "ValidTo"),
             ],
         };
-        let mut a = stream.execute(&cat).unwrap().rows;
-        let mut b = nl.execute(&cat).unwrap().rows;
+        let mut a = stream.execute(&cat, ExecOptions::default()).unwrap().rows;
+        let mut b = nl.execute(&cat, ExecOptions::default()).unwrap().rows;
         a.sort_by_key(|r| format!("{r}"));
         b.sort_by_key(|r| format!("{r}"));
         assert_eq!(a, b);
@@ -1191,13 +1762,13 @@ mod tests {
             pattern: TemporalPattern::GeneralOverlap,
             residual: vec![],
         };
-        let serial = join.execute(&cat).unwrap();
+        let serial = join.execute(&cat, ExecOptions::default()).unwrap();
         for partitions in [1, 2, 4, 7] {
             let par = PhysicalPlan::Parallel {
                 partitions,
                 child: Box::new(join.clone()),
             };
-            let out = par.execute(&cat).unwrap();
+            let out = par.execute(&cat, ExecOptions::default()).unwrap();
             let mut a = out.rows.clone();
             let mut b = serial.rows.clone();
             a.sort_by_key(|r| format!("{r}"));
@@ -1214,12 +1785,12 @@ mod tests {
             right_var: "f2".into(),
             pattern: TemporalPattern::During,
         };
-        let serial = semi.execute(&cat).unwrap();
+        let serial = semi.execute(&cat, ExecOptions::default()).unwrap();
         let par = PhysicalPlan::Parallel {
             partitions: 4,
             child: Box::new(semi),
         };
-        let out = par.execute(&cat).unwrap();
+        let out = par.execute(&cat, ExecOptions::default()).unwrap();
         let mut a = out.rows;
         let mut b = serial.rows.clone();
         a.sort_by_key(|r| format!("{r}"));
@@ -1234,12 +1805,12 @@ mod tests {
             pattern: TemporalPattern::Before,
             residual: vec![],
         };
-        let serial = before.execute(&cat).unwrap();
+        let serial = before.execute(&cat, ExecOptions::default()).unwrap();
         let par = PhysicalPlan::Parallel {
             partitions: 4,
             child: Box::new(before),
         };
-        let out = par.execute(&cat).unwrap();
+        let out = par.execute(&cat, ExecOptions::default()).unwrap();
         assert_eq!(out.rows.len(), serial.rows.len());
     }
 
@@ -1256,7 +1827,7 @@ mod tests {
             var: "f".into(),
             contained: true,
         };
-        let out = plan.execute(&cat).unwrap();
+        let out = plan.execute(&cat, ExecOptions::default()).unwrap();
         // Smith's associate [5,9) ⊂ Jones's [4,12): Smith kept.
         assert_eq!(out.rows.len(), 1);
         assert_eq!(out.rows[0].get(0), &Value::str("Smith"));
@@ -1283,8 +1854,8 @@ mod tests {
                 Atom::cols("f1", "ValidTo", CompOp::Lt, "f2", "ValidTo"),
             ],
         };
-        let mut a = plan.execute(&cat).unwrap().rows;
-        let mut b = nested.execute(&cat).unwrap().rows;
+        let mut a = plan.execute(&cat, ExecOptions::default()).unwrap().rows;
+        let mut b = nested.execute(&cat, ExecOptions::default()).unwrap().rows;
         a.sort_by_key(|r| format!("{r}"));
         b.sort_by_key(|r| format!("{r}"));
         assert_eq!(a, b);
@@ -1305,6 +1876,114 @@ mod tests {
     }
 
     #[test]
+    fn sink_execution_matches_materialized_output_and_stats() {
+        let cat = test_catalog("sink");
+        let join = PhysicalPlan::StreamTemporal {
+            left: Box::new(scan("f1")),
+            right: Box::new(scan("f2")),
+            left_var: "f1".into(),
+            right_var: "f2".into(),
+            pattern: TemporalPattern::GeneralOverlap,
+            residual: vec![],
+        };
+        let project = PhysicalPlan::Project {
+            input: Box::new(join.clone()),
+            columns: vec![(ColumnRef::new("f1", "Name"), "who".into())],
+        };
+        for plan in [&join, &project] {
+            let baseline = plan.execute(&cat, ExecOptions::default()).unwrap();
+            let mut sink = tdb_stream::CollectSink::new();
+            let out = plan
+                .execute(&cat, ExecOptions::new().with_sink(&mut sink))
+                .unwrap();
+            assert!(out.rows.is_empty(), "sink runs return no rows inline");
+            assert_eq!(sink.rows(), &baseline.rows[..]);
+            assert_eq!(out.stats, baseline.stats);
+            assert_eq!(out.trace, baseline.trace);
+            assert_eq!(sink.finish().rows as usize, baseline.rows.len());
+        }
+    }
+
+    #[test]
+    fn limit_sink_stops_stream_join_early() {
+        let cat = test_catalog("limitsink");
+        let join = PhysicalPlan::StreamTemporal {
+            left: Box::new(scan("f1")),
+            right: Box::new(scan("f2")),
+            left_var: "f1".into(),
+            right_var: "f2".into(),
+            pattern: TemporalPattern::GeneralOverlap,
+            residual: vec![],
+        };
+        let full = join.execute(&cat, ExecOptions::default()).unwrap();
+        assert!(full.rows.len() > 2);
+        // Tiny kernel batches so output chunks are small enough for the
+        // limit to bite mid-run.
+        let mut sink = tdb_stream::LimitSink::new(2);
+        let out = join
+            .execute(
+                &cat,
+                ExecOptions::new().with_batch_rows(2).with_sink(&mut sink),
+            )
+            .unwrap();
+        assert_eq!(sink.rows().len(), 2);
+        assert_eq!(&full.rows[..2], sink.rows());
+        assert!(sink.full());
+        assert!(
+            out.stats.output_rows < full.rows.len(),
+            "early termination stopped the producer ({} of {})",
+            out.stats.output_rows,
+            full.rows.len()
+        );
+    }
+
+    #[test]
+    fn count_sink_skips_widening_but_counts_exactly() {
+        let cat = test_catalog("countsink");
+        for plan in [
+            PhysicalPlan::StreamTemporal {
+                left: Box::new(scan("f1")),
+                right: Box::new(scan("f2")),
+                left_var: "f1".into(),
+                right_var: "f2".into(),
+                pattern: TemporalPattern::Contains,
+                residual: vec![],
+            },
+            PhysicalPlan::Parallel {
+                partitions: 4,
+                child: Box::new(PhysicalPlan::StreamSemijoin {
+                    left: Box::new(scan("f1")),
+                    right: Box::new(scan("f2")),
+                    left_var: "f1".into(),
+                    right_var: "f2".into(),
+                    pattern: TemporalPattern::During,
+                }),
+            },
+        ] {
+            let baseline = plan.execute(&cat, ExecOptions::default()).unwrap();
+            let mut sink = tdb_stream::CountSink::new();
+            let out = plan
+                .execute(&cat, ExecOptions::new().with_sink(&mut sink))
+                .unwrap();
+            assert_eq!(sink.count() as usize, baseline.rows.len());
+            assert_eq!(out.stats.output_rows, baseline.rows.len());
+            assert_eq!(out.stats.max_workspace, baseline.stats.max_workspace);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_execute() {
+        let cat = test_catalog("shims");
+        let plan = scan("f");
+        let a = plan.execute(&cat, ExecOptions::default()).unwrap();
+        let b = plan.execute_with(&cat, true).unwrap();
+        let c = plan.execute_opts(&cat, ExecOptions::default()).unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.rows, c.rows);
+    }
+
+    #[test]
     fn sorts_are_counted_only_when_needed() {
         let cat = test_catalog("sorts");
         let plan = PhysicalPlan::StreamTemporal {
@@ -1315,7 +1994,7 @@ mod tests {
             pattern: TemporalPattern::GeneralOverlap,
             residual: vec![],
         };
-        let out = plan.execute(&cat).unwrap();
+        let out = plan.execute(&cat, ExecOptions::default()).unwrap();
         // Figure-1 data arrives grouped by name, not by time: both sides
         // need sorting.
         assert_eq!(out.stats.sorts_performed, 2);
@@ -1324,7 +2003,7 @@ mod tests {
             input: Box::new(scan("f")),
             atoms: vec![Atom::col_const("f", "Rank", CompOp::Eq, "NoSuchRank")],
         };
-        let out = filter_time.execute(&cat).unwrap();
+        let out = filter_time.execute(&cat, ExecOptions::default()).unwrap();
         assert_eq!(out.rows.len(), 0);
     }
 }

@@ -396,7 +396,7 @@ pub fn plan_and_execute(
     catalog: &tdb_storage::Catalog,
 ) -> TdbResult<crate::physical::QueryOutput> {
     let physical = plan(logical, config)?;
-    physical.execute(catalog)
+    physical.execute(catalog, crate::physical::ExecOptions::default())
 }
 
 /// Guard for planner preconditions used by callers that build plans

@@ -14,7 +14,13 @@ fn bench(c: &mut Criterion) {
     let unopt = tdb::semantic::superstar::superstar_unoptimized();
     let unopt_phys = plan(&unopt, PlannerConfig::naive()).unwrap();
     group.bench_function("unoptimized_fig3a_n25", |b| {
-        b.iter(|| unopt_phys.execute(&tiny).unwrap().rows.len())
+        b.iter(|| {
+            unopt_phys
+                .execute(&tiny, ExecOptions::default())
+                .unwrap()
+                .rows
+                .len()
+        })
     });
 
     for n in [400usize, 1_600] {
@@ -37,7 +43,12 @@ fn bench(c: &mut Criterion) {
                 "selfsemijoin_s5"
             };
             group.bench_with_input(BenchmarkId::new(short, n), &n, |b, _| {
-                b.iter(|| phys.execute(&catalog).unwrap().rows.len())
+                b.iter(|| {
+                    phys.execute(&catalog, ExecOptions::default())
+                        .unwrap()
+                        .rows
+                        .len()
+                })
             });
         }
     }

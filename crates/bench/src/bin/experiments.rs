@@ -13,7 +13,8 @@
 //! E16=live ingestion soak, E17=framed-TCP network soak,
 //! E18=observability overhead + metrics-scraped soak,
 //! E19=columnar batch execution vs row-at-a-time, E20=WAL durability:
-//! fsync-policy throughput + recovery cost vs the open window.
+//! fsync-policy throughput + recovery cost vs the open window,
+//! E21=streaming result sinks vs output materialization.
 //!
 //! Standalone artifacts (`BENCH_*.json`) are written under `results/`.
 
@@ -50,6 +51,7 @@ fn main() {
             "aggregate",
             "parallel",
             "batch",
+            "sink",
             "live",
             "net",
             "obs",
@@ -78,6 +80,7 @@ fn main() {
             "aggregate" => aggregate(&mut json),
             "parallel" => parallel(&mut json),
             "batch" => batch(&mut json),
+            "sink" => sink(&mut json),
             "live" => live(&mut json),
             "net" => net(&mut json),
             "obs" => obs(&mut json),
@@ -381,7 +384,7 @@ fn fig3(json: &mut BTreeMap<String, Json>) {
     let catalog = bench_catalog("fig3", 40, 404);
     let run = |p: &LogicalPlan| {
         let phys = plan(p, PlannerConfig::naive()).unwrap();
-        let out = phys.execute(&catalog).unwrap();
+        let out = phys.execute(&catalog, ExecOptions::default()).unwrap();
         (
             out.stats.comparisons,
             out.stats.intermediate_rows,
@@ -444,7 +447,7 @@ fn superstar(json: &mut BTreeMap<String, Json>) {
                 PlannerConfig::stream()
             };
             let phys = plan(logical, config).unwrap();
-            let (out, us) = timed(|| phys.execute(&catalog).unwrap());
+            let (out, us) = timed(|| phys.execute(&catalog, ExecOptions::default()).unwrap());
             let names: std::collections::BTreeSet<String> = out
                 .rows
                 .iter()
@@ -945,6 +948,216 @@ fn batch(json: &mut BTreeMap<String, Json>) {
     std::fs::write("results/BENCH_batch.json", doc.to_string_pretty()).unwrap();
     println!("\n    results/BENCH_batch.json written (cap_exceeded = {cap_exceeded})");
     json.insert("batch".into(), Json::Array(rows_json));
+}
+
+/// E21 — streaming result sinks vs output materialization, on the E19
+/// 40k/side Contain-join point.
+///
+/// Three consumers of the identical batched kernel run: (a) the
+/// materializing dispatch, which buffers every output pair; (b) the
+/// push dispatch (`run_join_kind_each`), whose consumer processes each
+/// chunk and drops it — bounded residency, no result-sized allocation;
+/// (c) the count-only dispatch (`run_join_kind_count`), where the probe
+/// pass sums hits without cloning a payload. Correctness first: the
+/// chunk concatenation equals the materialized output, the count equals
+/// its length, all three reports agree on comparisons and workspace
+/// peak, and the peak stays under the analyzer's static cap
+/// (`cap_exceeded == 0` — the sink never re-buffers what the kernel
+/// streamed). An early-termination probe then confirms a limit-style
+/// consumer stops the producer after one chunk. Timing is best-of-3
+/// per path; the headline is the count-path speedup over
+/// materialization. Emits `results/BENCH_sink.json`.
+fn sink(json: &mut BTreeMap<String, Json>) {
+    use tdb::stream::{run_join_kind, run_join_kind_count, run_join_kind_each, StreamOpKind};
+    const N_SIDE: usize = 40_000;
+    println!(
+        "E21 · streaming result sinks vs output materialization (Contain-join, {N_SIDE}/side)"
+    );
+
+    let w = Workload::poisson("par", N_SIDE, 3.0, 30.0, 3.0, 8.0, 1501);
+    let (sx, sy) = w.stats();
+    let cap = workspace_cap(StreamOpKind::ContainJoinTsTe, &sx, Some(&sy));
+    let mut x = w.xs.clone();
+    StreamOrder::TS_ASC.sort(&mut x);
+    let mut y = w.ys.clone();
+    StreamOrder::TE_ASC.sort(&mut y);
+    let cfg = || OpConfig::new().with_batch_rows(tdb::stream::DEFAULT_BATCH_ROWS);
+
+    let materialize = || {
+        run_join_kind(
+            StreamOpKind::ContainJoinTsTe,
+            cfg(),
+            x.clone(),
+            StreamOrder::TS_ASC,
+            y.clone(),
+            StreamOrder::TE_ASC,
+        )
+        .unwrap()
+    };
+    // The streaming consumer: tally each chunk, then drop it.
+    let stream_path = || {
+        let mut rows = 0usize;
+        let mut chunks = 0usize;
+        let (completed, rep) = run_join_kind_each(
+            StreamOpKind::ContainJoinTsTe,
+            cfg(),
+            x.clone(),
+            StreamOrder::TS_ASC,
+            y.clone(),
+            StreamOrder::TE_ASC,
+            &mut |chunk| {
+                rows += chunk.len();
+                chunks += 1;
+                Ok(true)
+            },
+        )
+        .unwrap();
+        assert!(completed, "unlimited consumer must drain the join");
+        (rows, chunks, rep)
+    };
+    let count_path = || {
+        run_join_kind_count(
+            StreamOpKind::ContainJoinTsTe,
+            cfg(),
+            x.clone(),
+            StreamOrder::TS_ASC,
+            y.clone(),
+            StreamOrder::TE_ASC,
+        )
+        .unwrap()
+    };
+
+    // Correctness pass (untimed): all three consumers see the same run.
+    let mut cap_exceeded = 0usize;
+    let (pairs, peak, comparisons, chunks) = {
+        let (mat_out, mat_rep) = materialize();
+        let (each_rows, each_chunks, each_rep) = stream_path();
+        let (counted, count_rep) = count_path();
+        assert_eq!(each_rows, mat_out.len(), "streamed row total diverged");
+        assert_eq!(counted, mat_out.len(), "count-only total diverged");
+        let mut streamed = Vec::with_capacity(mat_out.len());
+        run_join_kind_each(
+            StreamOpKind::ContainJoinTsTe,
+            cfg(),
+            x.clone(),
+            StreamOrder::TS_ASC,
+            y.clone(),
+            StreamOrder::TE_ASC,
+            &mut |mut chunk| {
+                streamed.append(&mut chunk);
+                Ok(true)
+            },
+        )
+        .unwrap();
+        assert_eq!(streamed, mat_out, "streamed chunks reorder the output");
+        assert_eq!(
+            each_rep.metrics, mat_rep.metrics,
+            "push-path counters diverged"
+        );
+        assert_eq!(
+            count_rep.metrics.comparisons, mat_rep.metrics.comparisons,
+            "count-path comparisons diverged"
+        );
+        assert_eq!(
+            each_rep.max_workspace(),
+            mat_rep.max_workspace(),
+            "push path must not change the workspace peak"
+        );
+        (
+            mat_out.len(),
+            mat_rep.max_workspace(),
+            mat_rep.metrics.comparisons,
+            each_chunks,
+        )
+    };
+    if peak > cap {
+        cap_exceeded += 1;
+    }
+
+    // Early termination: a limit-style consumer stops after one chunk.
+    let early_offered = {
+        let mut offered = 0usize;
+        let (completed, _) = run_join_kind_each(
+            StreamOpKind::ContainJoinTsTe,
+            cfg(),
+            x.clone(),
+            StreamOrder::TS_ASC,
+            y.clone(),
+            StreamOrder::TE_ASC,
+            &mut |chunk| {
+                offered += chunk.len();
+                Ok(false)
+            },
+        )
+        .unwrap();
+        assert!(!completed, "a declining consumer must stop the producer");
+        assert!(
+            offered < pairs / 2,
+            "early stop offered {offered} of {pairs} pairs"
+        );
+        offered
+    };
+
+    // Timing pass: best-of-3 per path, outputs dropped per iteration.
+    let best_of = |f: &dyn Fn() -> u128| (0..3).map(|_| f()).min().unwrap();
+    let mat_us = best_of(&|| {
+        let (out, us) = timed(materialize);
+        std::hint::black_box(&out);
+        us
+    });
+    let each_us = best_of(&|| {
+        let (out, us) = timed(stream_path);
+        std::hint::black_box(&out);
+        us
+    });
+    let count_us = best_of(&|| {
+        let (out, us) = timed(count_path);
+        std::hint::black_box(&out);
+        us
+    });
+    let speedup_each = mat_us as f64 / each_us.max(1) as f64;
+    let speedup_count = mat_us as f64 / count_us.max(1) as f64;
+    println!(
+        "    materialized {:>8.1} ms   streamed {:>8.1} ms ({speedup_each:>4.2}×)   \
+         count-only {:>8.1} ms ({speedup_count:>4.2}×)",
+        mat_us as f64 / 1000.0,
+        each_us as f64 / 1000.0,
+        count_us as f64 / 1000.0,
+    );
+    println!(
+        "    {pairs} pairs in {chunks} chunks   workspace {peak} ≤ cap {cap}   \
+         early stop after {early_offered} rows"
+    );
+    assert_eq!(
+        cap_exceeded, 0,
+        "observed workspace peak exceeded the static cap"
+    );
+    assert!(
+        speedup_count >= 1.8,
+        "count-path speedup regressed below 1.8× ({speedup_count:.2}×): \
+         the sink redesign's output-materialization win is gone"
+    );
+
+    let doc = jobj! {
+        "experiment" => "E21 streaming result sinks vs output materialization",
+        "n_per_side" => N_SIDE,
+        "pairs" => pairs,
+        "chunks" => chunks,
+        "comparisons" => comparisons,
+        "materialized_us" => mat_us,
+        "streamed_us" => each_us,
+        "count_us" => count_us,
+        "speedup_streamed" => speedup_each,
+        "speedup_count" => speedup_count,
+        "early_stop_offered" => early_offered,
+        "workspace_max" => peak,
+        "workspace_static_cap" => cap,
+        "cap_exceeded" => cap_exceeded,
+    };
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/BENCH_sink.json", doc.to_string_pretty()).unwrap();
+    println!("\n    results/BENCH_sink.json written (cap_exceeded = {cap_exceeded})");
+    json.insert("sink".into(), doc);
 }
 
 /// E6 — Figure 4: grouped-sum stream processor vs hash aggregation.
@@ -1544,11 +1757,20 @@ fn obs(json: &mut BTreeMap<String, Json>) {
     let optimized = conventional_optimize(logical);
     let physical = plan(&optimized, PlannerConfig::stream()).unwrap();
     // Warm-up run; also the span/pair counts reported below.
-    let warm = physical.execute_with(&cat, true).unwrap();
+    let warm = physical
+        .execute(&cat, ExecOptions::new().with_trace(true))
+        .unwrap();
     let (pairs, spans) = (warm.rows.len(), warm.trace.len());
     let min_of = |traced: bool| -> u128 {
         (0..5)
-            .map(|_| timed(|| physical.execute_with(&cat, traced).unwrap()).1)
+            .map(|_| {
+                timed(|| {
+                    physical
+                        .execute(&cat, ExecOptions::new().with_trace(traced))
+                        .unwrap()
+                })
+                .1
+            })
             .min()
             .unwrap()
     };

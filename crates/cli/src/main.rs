@@ -295,8 +295,26 @@ fn connect_main(args: &[String]) -> ! {
             }
             std::mem::take(&mut buffer)
         };
-        match client.request(&input) {
+        // Streamed results render incrementally: the header and each row
+        // chunk print as they come off the socket, so a huge result shows
+        // progress instead of buffering client-side first.
+        let mut shown: u64 = 0;
+        let outcome = client.request_with(&input, |ev| match ev {
+            tdb_net::StreamEvent::Header(q) => {
+                print!("{}", tdb_engine::render_stream_header(q));
+                std::io::stdout().flush().ok();
+            }
+            tdb_net::StreamEvent::Rows(rows) => {
+                shown += rows.len() as u64;
+                print!("{}", tdb_engine::render_rows(&rows));
+                std::io::stdout().flush().ok();
+            }
+        });
+        match outcome {
             Ok(Response::Goodbye) => break,
+            Ok(Response::QueryStream(q)) => {
+                print!("{}", tdb_engine::render_stream_footer(&q, shown));
+            }
             Ok(resp) => {
                 let out = render(&resp, 20);
                 if !out.is_empty() {

@@ -148,6 +148,7 @@ const TAG_SEALED: u8 = 8;
 const TAG_SUPERSTAR: u8 = 9;
 const TAG_ERROR: u8 = 10;
 const TAG_STATS: u8 = 11;
+const TAG_QUERY_STREAM: u8 = 12;
 
 // `OpSpan` and `QueryTrace` live in `tdb-obs`, which knows nothing of the
 // storage `Codec` trait; the orphan rule keeps the impls out of here too,
@@ -205,6 +206,8 @@ pub fn put_trace(buf: &mut BytesMut, t: &QueryTrace) {
     put_str(buf, &t.label);
     put_u64(buf, t.elapsed_us);
     put_u64(buf, t.rows);
+    put_u64(buf, t.sink_rows);
+    put_u64(buf, t.sink_bytes);
     buf.put_u32_le(t.spans.len() as u32);
     for s in &t.spans {
         put_span(buf, s);
@@ -216,6 +219,8 @@ pub fn get_trace(buf: &mut Bytes) -> TdbResult<QueryTrace> {
     let label = get_str(buf)?;
     let elapsed_us = get_u64(buf)?;
     let rows = get_u64(buf)?;
+    let sink_rows = get_u64(buf)?;
+    let sink_bytes = get_u64(buf)?;
     need(buf, 4, "span count")?;
     let n = buf.get_u32_le() as usize;
     let mut spans = Vec::with_capacity(n.min(1024));
@@ -226,6 +231,8 @@ pub fn get_trace(buf: &mut Bytes) -> TdbResult<QueryTrace> {
         label,
         elapsed_us,
         rows,
+        sink_rows,
+        sink_bytes,
         spans,
     })
 }
@@ -261,6 +268,10 @@ impl Codec for Response {
             }
             Response::Query(q) => {
                 buf.put_u8(TAG_QUERY);
+                q.encode(buf);
+            }
+            Response::QueryStream(q) => {
+                buf.put_u8(TAG_QUERY_STREAM);
                 q.encode(buf);
             }
             Response::Analysis(a) => {
@@ -305,6 +316,7 @@ impl Codec for Response {
             TAG_GOODBYE => Ok(Response::Goodbye),
             TAG_TABLES => Ok(Response::Tables(get_vec(buf)?)),
             TAG_QUERY => Ok(Response::Query(QueryReport::decode(buf)?)),
+            TAG_QUERY_STREAM => Ok(Response::QueryStream(QueryReport::decode(buf)?)),
             TAG_ANALYSIS => Ok(Response::Analysis(AnalysisReport::decode(buf)?)),
             TAG_INGEST => Ok(Response::Ingest(IngestReport::decode(buf)?)),
             TAG_SUBSCRIBED => Ok(Response::Subscribed(SubscribeReport::decode(buf)?)),

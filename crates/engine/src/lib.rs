@@ -24,7 +24,7 @@ pub mod codec;
 pub mod render;
 pub mod response;
 
-pub use render::{render, render_delta};
+pub use render::{render, render_delta, render_rows, render_stream_footer, render_stream_header};
 pub use response::{
     AnalysisReport, ConnMetrics, DeltaFrame, ErrorCode, ErrorInfo, IngestReport,
     LiveRelationMetrics, LiveRelationStatus, LiveStatus, NetMetrics, OpSpan, OpVerdict,
@@ -461,16 +461,21 @@ impl Engine {
         // plan tree was corrupted, not that the query is wrong.
         let (physical, analysis) = plan_verified(&optimized, ctx.config, &self.catalog)?;
         let start = std::time::Instant::now();
-        let result = physical.execute_opts(
+        // The client's row limit is a sink, not a post-hoc truncate: once
+        // the sink has its quota the producer stops, so `\set limit 3` over
+        // a billion-pair join does a bounded amount of work.
+        let mut sink = tdb::stream::LimitSink::new(ctx.row_limit);
+        let result = physical.execute(
             &self.catalog,
-            ExecOptions {
-                collect_trace: true,
-                batch_rows: ctx.config.batch_rows,
-            },
+            ExecOptions::new()
+                .with_batch_rows(ctx.config.batch_rows)
+                .with_sink(&mut sink),
         )?;
         let elapsed_us = start.elapsed().as_micros() as u64;
+        let sink_stats = sink.finish();
+        let rows = sink.into_rows();
 
-        let trace = build_trace(text, elapsed_us, &result, &analysis);
+        let trace = build_trace(text, elapsed_us, &result, &analysis, sink_stats, rows.len());
         self.obs.record(trace.clone());
 
         let columns: Vec<String> = result
@@ -485,9 +490,11 @@ impl Engine {
                 }
             })
             .collect();
-        let total = result.rows.len() as u64;
-        let mut rows = result.rows;
-        rows.truncate(ctx.row_limit);
+        // Rows the producer offered before the sink stopped it — exact
+        // when the whole result was scanned, a lower bound after an early
+        // stop (the true total is unknowable without doing the work the
+        // limit exists to avoid).
+        let total = sink_stats.rows;
         Ok(Response::Query(QueryReport {
             logical: ctx.explain.then(|| logical.parse_tree()),
             optimized: ctx.explain.then(|| optimized.parse_tree()),
@@ -786,7 +793,7 @@ impl Engine {
             };
             let (physical, _analysis) = plan_verified(&logical, config, &self.catalog)?;
             let start = std::time::Instant::now();
-            let result = physical.execute(&self.catalog)?;
+            let result = physical.execute(&self.catalog, ExecOptions::default())?;
             let names: std::collections::BTreeSet<&str> = result
                 .rows
                 .iter()
@@ -818,6 +825,8 @@ fn build_trace(
     elapsed_us: u64,
     result: &QueryOutput,
     analysis: &Analysis,
+    sink: tdb::stream::SinkStats,
+    delivered: usize,
 ) -> QueryTrace {
     let specs = &analysis.lowered.ops;
     let mut matched = vec![false; specs.len()];
@@ -855,7 +864,9 @@ fn build_trace(
     QueryTrace {
         label: label.to_string(),
         elapsed_us,
-        rows: result.rows.len() as u64,
+        rows: result.stats.output_rows as u64,
+        sink_rows: delivered as u64,
+        sink_bytes: sink.bytes,
         spans,
     }
 }

@@ -23,6 +23,10 @@ pub fn render(resp: &Response, delta_limit: usize) -> String {
         Response::Goodbye => String::new(),
         Response::Tables(tables) => render_tables(tables),
         Response::Query(q) => render_query(q),
+        // Rendering a stream header directly (no chunk machinery) shows
+        // whatever rows it carries — usually none; chunk-aware clients use
+        // `render_stream_header`/`render_rows`/`render_stream_footer`.
+        Response::QueryStream(q) => render_query(q),
         Response::Analysis(a) => {
             format!(
                 "── physical ──\n{}\n── static analysis ──\n{}\n",
@@ -60,6 +64,17 @@ fn render_tables(tables: &[TableInfo]) -> String {
 }
 
 fn render_query(q: &QueryReport) -> String {
+    let mut out = render_stream_header(q);
+    out.push_str(&render_rows(&q.rows.rows));
+    out.push_str(&render_stream_footer(q, q.rows.rows.len() as u64));
+    out
+}
+
+/// Everything that precedes the rows of a query result: optional plan and
+/// certificate blocks plus the column header line. Chunk-aware clients
+/// print this once, then [`render_rows`] per arriving chunk, then
+/// [`render_stream_footer`].
+pub fn render_stream_header(q: &QueryReport) -> String {
     let mut out = String::new();
     if let Some(l) = &q.logical {
         writeln!(out, "── logical (translated) ──\n{l}").ok();
@@ -74,11 +89,23 @@ fn render_query(q: &QueryReport) -> String {
         writeln!(out, "── static analysis ──\n{c}").ok();
     }
     writeln!(out, "{}", q.rows.columns.join(" | ")).ok();
-    for row in &q.rows.rows {
+    out
+}
+
+/// One chunk of result rows, one line each.
+pub fn render_rows(rows: &[tdb::prelude::Row]) -> String {
+    let mut out = String::new();
+    for row in rows {
         let cells: Vec<String> = row.values().iter().map(|v| v.to_string()).collect();
         writeln!(out, "{}", cells.join(" | ")).ok();
     }
-    let shown = q.rows.rows.len() as u64;
+    out
+}
+
+/// Everything that follows the rows: the more-rows marker (`shown` is how
+/// many rows were actually printed), the stats line, and the trace block.
+pub fn render_stream_footer(q: &QueryReport, shown: u64) -> String {
+    let mut out = String::new();
     if q.rows.total > shown {
         writeln!(out, "… ({} more rows)", q.rows.total - shown).ok();
     }

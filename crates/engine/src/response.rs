@@ -24,6 +24,12 @@ pub enum Response {
     Tables(Vec<TableInfo>),
     /// A query executed: rows plus optional plan/verifier reports.
     Query(QueryReport),
+    /// A query executed whose rows travel *separately* as chunk frames:
+    /// the report here is the header (plans, columns, stats, trace) with
+    /// `rows.rows` empty. Serving layers emit this when a result is too
+    /// large for one wire frame; clients reassemble the chunks (or render
+    /// them incrementally) and treat the terminator as end-of-result.
+    QueryStream(QueryReport),
     /// A query statically analyzed without executing.
     Analysis(AnalysisReport),
     /// A live-ingest batch was admitted.
@@ -87,7 +93,10 @@ pub struct RowSet {
     pub columns: Vec<String>,
     /// The rows delivered (at most the client's row limit).
     pub rows: Vec<Row>,
-    /// Total rows the query produced, including any not delivered.
+    /// Rows the producer offered to the result sink. Exact when the whole
+    /// result was scanned; a lower bound when the row limit stopped the
+    /// producer early (the sink short-circuits the scan rather than
+    /// truncating a fully materialized result).
     pub total: u64,
 }
 

@@ -245,8 +245,14 @@ fn enum_variants(lines: &[String], name: &str) -> Vec<(usize, String)> {
 
 /// `streamop-registry`: every `StreamOpKind` variant must appear in the
 /// `ALL` sweep constant and have a `requirement()` match arm — the
-/// registry is the single source the analyzer and executor trust.
+/// registry is the single source the analyzer and executor trust. The
+/// sink-side dispatch must also stay as wide as the materialized one:
+/// every kind `run_join_kind` handles needs a `run_join_kind_each` and a
+/// `run_join_kind_count` arm, and every `run_semijoin_kind` kind needs a
+/// `run_semijoin_kind_each` arm, or push-mode execution would reject at
+/// runtime a plan the pull path accepts.
 pub fn streamop_registry(files: &[Prepared], out: &mut Vec<Finding>) {
+    sink_dispatch_coverage(files, out);
     let Some(p) = files
         .iter()
         .find(|p| p.path.ends_with("stream/src/required.rs"))
@@ -281,6 +287,65 @@ pub fn streamop_registry(files: &[Prepared], out: &mut Vec<Finding>) {
                 "streamop-registry",
                 format!("StreamOpKind::{v} has no requirement() registry entry"),
             ));
+        }
+    }
+}
+
+/// The sink-dispatch half of `streamop-registry`: compare the match arms
+/// of the materialized dispatch functions in `stream/src/dispatch.rs`
+/// against their push-mode counterparts. Only lines with a `=>` count as
+/// arms, so doc-comment mentions of a kind neither satisfy nor demand
+/// coverage.
+fn sink_dispatch_coverage(files: &[Prepared], out: &mut Vec<Finding>) {
+    type Coverage<'a> = (&'a str, Vec<(usize, String)>, Vec<String>);
+    let Some(p) = files
+        .iter()
+        .find(|p| p.path.ends_with("stream/src/dispatch.rs"))
+    else {
+        return;
+    };
+    let arms = |start: &str, end: &str| -> Vec<(usize, String)> {
+        variants_after(&p.code, "StreamOpKind", start, end)
+            .into_iter()
+            .filter(|(j, _)| p.code[*j].contains("=>"))
+            .collect()
+    };
+    let covered: Vec<Coverage<'_>> = vec![
+        (
+            "run_join_kind_each",
+            arms("fn run_join_kind<", "fn run_semijoin_kind<"),
+            arms("fn run_join_kind_each<", "fn run_join_kind_count<")
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect(),
+        ),
+        (
+            "run_join_kind_count",
+            arms("fn run_join_kind<", "fn run_semijoin_kind<"),
+            arms("fn run_join_kind_count<", "fn run_semijoin_kind_each<")
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect(),
+        ),
+        (
+            "run_semijoin_kind_each",
+            arms("fn run_semijoin_kind<", "fn run_join_kind_each<"),
+            arms("fn run_semijoin_kind_each<", "mod tests")
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect(),
+        ),
+    ];
+    for (sink_fn, required, present) in covered {
+        for (line, v) in required {
+            if !present.contains(&v) {
+                out.push(finding(
+                    p,
+                    line,
+                    "streamop-registry",
+                    format!("StreamOpKind::{v} has no {sink_fn} sink dispatch arm"),
+                ));
+            }
         }
     }
 }

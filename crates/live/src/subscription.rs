@@ -143,12 +143,9 @@ impl Subscription {
             .sum();
         self.static_cap = self.static_cap.max(cap);
 
-        let result = physical.execute_opts(
+        let result = physical.execute(
             catalog,
-            ExecOptions {
-                collect_trace: true,
-                batch_rows: planner.batch_rows,
-            },
+            ExecOptions::new().with_batch_rows(planner.batch_rows),
         )?;
         self.peak_workspace = self.peak_workspace.max(result.stats.max_workspace);
         self.evaluations += 1;

@@ -11,13 +11,24 @@ use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use tdb::core::{TdbError, TdbResult};
-use tdb_engine::{DeltaFrame, Response};
+use tdb::core::{Row, TdbError, TdbResult};
+use tdb_engine::{DeltaFrame, QueryReport, Response};
+
+/// One event of a streamed query result, as seen by
+/// [`Client::request_with`].
+pub enum StreamEvent<'a> {
+    /// The stream header arrived: plans, columns, stats and trace, with
+    /// `rows.rows` empty. Emitted once, before any rows.
+    Header(&'a QueryReport),
+    /// One chunk of result rows, in order.
+    Rows(Vec<Row>),
+}
 
 /// A connection to a `tdb serve` instance.
 pub struct Client {
     stream: TcpStream,
     replies: Receiver<Response>,
+    chunks: Receiver<(u32, bool, Vec<Row>)>,
     pushes: Receiver<DeltaFrame>,
     reader: Option<JoinHandle<()>>,
 }
@@ -30,10 +41,15 @@ pub struct Client {
 /// from there.
 const REPLY_QUEUE_BOUND: usize = 16;
 const PUSH_QUEUE_BOUND: usize = 1024;
+/// Result chunks in flight between the reader thread and the request
+/// call draining them. A small bound suffices: once it fills, the reader
+/// thread stalls and TCP backpressure reaches the server.
+const CHUNK_QUEUE_BOUND: usize = 16;
 
 fn reader_loop(
     mut stream: TcpStream,
     replies: &SyncSender<Response>,
+    chunks: &SyncSender<(u32, bool, Vec<Row>)>,
     pushes: &SyncSender<DeltaFrame>,
 ) {
     let mut reader = FrameReader::new();
@@ -41,6 +57,11 @@ fn reader_loop(
         match reader.read(&mut stream) {
             Ok(ReadOutcome::Frame(Frame::Reply(resp))) => {
                 if replies.send(*resp).is_err() {
+                    break;
+                }
+            }
+            Ok(ReadOutcome::Frame(Frame::ReplyChunk { seq, last, rows })) => {
+                if chunks.send((seq, last, rows)).is_err() {
                     break;
                 }
             }
@@ -64,11 +85,14 @@ impl Client {
         stream.set_nodelay(true)?;
         let read_half = stream.try_clone()?;
         let (reply_tx, replies) = sync_channel(REPLY_QUEUE_BOUND);
+        let (chunk_tx, chunks) = sync_channel(CHUNK_QUEUE_BOUND);
         let (push_tx, pushes) = sync_channel(PUSH_QUEUE_BOUND);
-        let reader = std::thread::spawn(move || reader_loop(read_half, &reply_tx, &push_tx));
+        let reader =
+            std::thread::spawn(move || reader_loop(read_half, &reply_tx, &chunk_tx, &push_tx));
         Ok(Client {
             stream,
             replies,
+            chunks,
             pushes,
             reader: Some(reader),
         })
@@ -92,10 +116,60 @@ impl Client {
     }
 
     /// Send one complete input (command or query) and wait for its
-    /// typed reply.
+    /// typed reply. A streamed result (`Response::QueryStream` plus chunk
+    /// frames) is reassembled into a plain `Response::Query`, so callers
+    /// see one materialized reply regardless of how it crossed the wire.
     pub fn request(&mut self, text: &str) -> TdbResult<Response> {
+        let mut collected: Vec<Row> = Vec::new();
+        let resp = self.request_with(text, |ev| {
+            if let StreamEvent::Rows(rows) = ev {
+                collected.extend(rows);
+            }
+        })?;
+        match resp {
+            Response::QueryStream(mut q) => {
+                q.rows.rows = collected;
+                Ok(Response::Query(q))
+            }
+            other => Ok(other),
+        }
+    }
+
+    /// Send one complete input and consume the reply incrementally: for a
+    /// streamed result, `on_event` sees the header once and then each row
+    /// chunk as it arrives off the socket, and the returned response is
+    /// the `Response::QueryStream` header (its `rows.rows` stays empty —
+    /// the rows went to `on_event`). Non-streamed replies are returned
+    /// unchanged and `on_event` is never called.
+    pub fn request_with(
+        &mut self,
+        text: &str,
+        mut on_event: impl FnMut(StreamEvent<'_>),
+    ) -> TdbResult<Response> {
         self.send(&Frame::Input(text.to_string()))?;
-        self.await_reply()
+        let resp = self.await_reply()?;
+        let Response::QueryStream(header) = resp else {
+            return Ok(resp);
+        };
+        on_event(StreamEvent::Header(&header));
+        let mut expected: u32 = 0;
+        loop {
+            let (seq, last, rows) = self
+                .chunks
+                .recv_timeout(Duration::from_secs(30))
+                .map_err(|_| TdbError::Eval("result stream interrupted".into()))?;
+            if seq != expected {
+                return Err(TdbError::Corrupt(format!(
+                    "result chunk {seq} arrived out of order (expected {expected})"
+                )));
+            }
+            expected += 1;
+            on_event(StreamEvent::Rows(rows));
+            if last {
+                break;
+            }
+        }
+        Ok(Response::QueryStream(header))
     }
 
     /// Live-append arrival lines into `relation` and wait for the

@@ -458,13 +458,11 @@ fn serve_conn(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
             }
             // Server-direction frames from a client are a protocol
             // violation; drop the connection.
-            Frame::Reply(_) | Frame::Push(_) | Frame::Shutdown => break,
+            Frame::Reply(_) | Frame::ReplyChunk { .. } | Frame::Push(_) | Frame::Shutdown => break,
         };
         // Replies block (bounded by queue depth + socket buffer) — a
         // client slow to read its *own* replies only stalls itself.
-        stats.enqueued();
-        if queue.send(Frame::Reply(Box::new(reply))).is_err() {
-            stats.enqueue_failed();
+        if !enqueue_reply(&queue, &stats, reply) {
             break;
         }
     }
@@ -484,6 +482,67 @@ fn serve_conn(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
     drop(queue);
     let _ = writer.join();
     let _ = read_half.inner.shutdown(Shutdown::Both);
+}
+
+/// Soft per-frame byte budget for streamed result chunks — far enough
+/// under [`crate::wire::MAX_FRAME`] that encoding overhead and wide rows
+/// never push a single chunk near the cap.
+const CHUNK_BYTES: u64 = 4 << 20;
+
+/// Enqueue one frame with queue-depth accounting; `false` means the
+/// writer is gone.
+fn enqueue(queue: &SyncSender<Frame>, stats: &ConnStats, frame: Frame) -> bool {
+    stats.enqueued();
+    if queue.send(frame).is_err() {
+        stats.enqueue_failed();
+        return false;
+    }
+    true
+}
+
+/// Enqueue a reply, spilling a large query result into a
+/// `Response::QueryStream` header followed by [`Frame::ReplyChunk`]
+/// frames. The rows are *moved* out of the report and re-sliced by byte
+/// budget, so a result bigger than the frame cap crosses the wire
+/// without any single frame approaching it. Small replies go out intact.
+fn enqueue_reply(queue: &SyncSender<Frame>, stats: &ConnStats, reply: Response) -> bool {
+    let estimate =
+        |rows: &[tdb::core::Row]| -> u64 { rows.iter().map(tdb::stream::row_bytes).sum() };
+    match reply {
+        Response::Query(mut q) if estimate(&q.rows.rows) > CHUNK_BYTES => {
+            let rows = std::mem::take(&mut q.rows.rows);
+            if !enqueue(
+                queue,
+                stats,
+                Frame::Reply(Box::new(Response::QueryStream(q))),
+            ) {
+                return false;
+            }
+            let mut seq: u32 = 0;
+            let mut chunk: Vec<tdb::core::Row> = Vec::new();
+            let mut budget: u64 = 0;
+            let mut it = rows.into_iter().peekable();
+            while let Some(row) = it.next() {
+                budget += tdb::stream::row_bytes(&row);
+                chunk.push(row);
+                let last = it.peek().is_none();
+                if budget >= CHUNK_BYTES || last {
+                    let frame = Frame::ReplyChunk {
+                        seq,
+                        last,
+                        rows: std::mem::take(&mut chunk),
+                    };
+                    if !enqueue(queue, stats, frame) {
+                        return false;
+                    }
+                    seq += 1;
+                    budget = 0;
+                }
+            }
+            true
+        }
+        other => enqueue(queue, stats, Frame::Reply(Box::new(other))),
+    }
 }
 
 fn writer_loop(mut stream: TcpStream, outbound: &Receiver<Frame>, stats: &ConnStats) {

@@ -36,6 +36,7 @@ const KIND_STATS: u8 = 4;
 const KIND_REPLY: u8 = 16;
 const KIND_PUSH: u8 = 17;
 const KIND_SHUTDOWN: u8 = 18;
+const KIND_REPLY_CHUNK: u8 = 19;
 
 /// One protocol message, either direction.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +64,19 @@ pub enum Frame {
     /// request. Boxed so queued [`Frame::Push`] values don't pay the
     /// largest variant's footprint.
     Reply(Box<Response>),
+    /// Server→client: one chunk of a streamed query result. Follows a
+    /// [`Frame::Reply`] carrying `Response::QueryStream` (the header);
+    /// chunks arrive in `seq` order and `last` marks the terminator, so a
+    /// result of any size crosses the wire without any single frame
+    /// approaching [`MAX_FRAME`].
+    ReplyChunk {
+        /// Chunk ordinal, starting at 0.
+        seq: u32,
+        /// `true` on the final chunk of the result (which may be empty).
+        last: bool,
+        /// The rows in this chunk.
+        rows: Vec<tdb::prelude::Row>,
+    },
     /// Server→client, unsolicited: rows finalized for a subscription
     /// this connection registered, stamped with the epoch and watermark
     /// that closed them.
@@ -80,6 +94,7 @@ impl Frame {
             Frame::Stats => KIND_STATS,
             Frame::Bye => KIND_BYE,
             Frame::Reply(_) => KIND_REPLY,
+            Frame::ReplyChunk { .. } => KIND_REPLY_CHUNK,
             Frame::Push(_) => KIND_PUSH,
             Frame::Shutdown => KIND_SHUTDOWN,
         }
@@ -98,6 +113,14 @@ impl Frame {
             }
             Frame::Stats | Frame::Bye | Frame::Shutdown => {}
             Frame::Reply(resp) => resp.encode(&mut body),
+            Frame::ReplyChunk { seq, last, rows } => {
+                body.put_u32_le(*seq);
+                body.put_u8(u8::from(*last));
+                body.put_u32_le(rows.len() as u32);
+                for row in rows {
+                    row.encode(&mut body);
+                }
+            }
             Frame::Push(delta) => delta.encode(&mut body),
         }
         buf.put_u32_le(body.len() as u32);
@@ -125,6 +148,21 @@ impl Frame {
             KIND_STATS => Ok(Frame::Stats),
             KIND_BYE => Ok(Frame::Bye),
             KIND_REPLY => Ok(Frame::Reply(Box::new(Response::decode(&mut payload)?))),
+            KIND_REPLY_CHUNK => {
+                if payload.remaining() < 9 {
+                    return Err(TdbError::Corrupt("truncated reply chunk header".into()));
+                }
+                let seq = payload.get_u32_le();
+                let last = payload.get_u8() != 0;
+                let n = payload.get_u32_le() as usize;
+                // Capacity is clamped so a corrupt count cannot force a
+                // huge allocation before per-row decoding fails.
+                let mut rows = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    rows.push(tdb::prelude::Row::decode(&mut payload)?);
+                }
+                Ok(Frame::ReplyChunk { seq, last, rows })
+            }
             KIND_PUSH => Ok(Frame::Push(DeltaFrame::decode(&mut payload)?)),
             KIND_SHUTDOWN => Ok(Frame::Shutdown),
             k => Err(TdbError::Corrupt(format!("unknown frame kind {k}"))),
@@ -266,6 +304,19 @@ mod tests {
             Frame::Reply(Box::new(
                 Response::Stats(tdb_engine::StatsReport::default()),
             )),
+            Frame::ReplyChunk {
+                seq: 7,
+                last: false,
+                rows: vec![tdb::prelude::Row::new(vec![
+                    tdb::core::Value::str("chunked"),
+                    tdb::core::Value::Int(42),
+                ])],
+            },
+            Frame::ReplyChunk {
+                seq: 8,
+                last: true,
+                rows: Vec::new(),
+            },
             Frame::Bye,
             Frame::Shutdown,
         ];

@@ -61,8 +61,14 @@ pub struct QueryTrace {
     pub label: String,
     /// Wall-clock execution time in microseconds.
     pub elapsed_us: u64,
-    /// Result rows.
+    /// Result rows offered to the result sink (before any client-side
+    /// truncation; a lower bound when the sink stopped the producer early).
     pub rows: u64,
+    /// Rows the sink retained and delivered (`≤ rows` when a limit
+    /// dropped rows or stopped the producer).
+    pub sink_rows: u64,
+    /// Approximate bytes of the rows that flowed through the sink.
+    pub sink_bytes: u64,
     /// One span per instrumented operator, in execution (bottom-up) order.
     pub spans: Vec<OpSpan>,
 }
@@ -135,8 +141,7 @@ mod tests {
         QueryTrace {
             label: label.into(),
             elapsed_us,
-            rows: 0,
-            spans: vec![],
+            ..QueryTrace::default()
         }
     }
 

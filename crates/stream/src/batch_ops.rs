@@ -95,8 +95,34 @@ where
     R: BatchStream<Item = K::RightItem>,
 {
     let mut out = Vec::new();
+    drive_each(op, left, right, &mut |chunk| {
+        out.extend(chunk);
+        Ok(true)
+    })?;
+    Ok(out)
+}
+
+/// Run a [`BatchOp`] like [`drive`], but hand each drained output chunk to
+/// `emit` instead of accumulating one result vector. `emit` returning
+/// `false` stops the run early (the sink has seen enough); the function
+/// then returns `false` too, so callers can distinguish a completed run
+/// from a truncated one.
+pub fn drive_each<K, L, R>(
+    op: &mut K,
+    left: &mut L,
+    right: &mut R,
+    emit: &mut dyn FnMut(Vec<K::Out>) -> TdbResult<bool>,
+) -> TdbResult<bool>
+where
+    K: BatchOp,
+    L: BatchStream<Item = K::LeftItem>,
+    R: BatchStream<Item = K::RightItem>,
+{
     loop {
-        out.extend(op.drain());
+        let chunk = op.drain();
+        if !chunk.is_empty() && !emit(chunk)? {
+            return Ok(false);
+        }
         match op.wants() {
             Wants::Done => break,
             Wants::Left => match left.next_batch()? {
@@ -109,8 +135,11 @@ where
             },
         }
     }
-    out.extend(op.drain());
-    Ok(out)
+    let chunk = op.drain();
+    if !chunk.is_empty() && !emit(chunk)? {
+        return Ok(false);
+    }
+    Ok(true)
 }
 
 /// Where a cursor's head stands.
@@ -241,6 +270,7 @@ pub struct BatchContainJoinTsTe<X: Temporal + Clone, Y: Temporal + Clone> {
     hits: Vec<u32>,
     comparisons: usize,
     emitted: usize,
+    count_only: bool,
     started: bool,
     want: Wants,
 }
@@ -257,9 +287,19 @@ impl<X: Temporal + Clone, Y: Temporal + Clone> BatchContainJoinTsTe<X, Y> {
             hits: Vec::new(),
             comparisons: 0,
             emitted: 0,
+            count_only: false,
             started: false,
             want: Wants::Left, // establish the X head first, like refill_x
         }
+    }
+
+    /// Count matches instead of materializing pairs: the probe pass sums
+    /// hits over the endpoint columns and never touches payloads, so
+    /// `report().metrics` stays identical while [`BatchOp::drain`] stays
+    /// empty. The compact consumer for count-only sinks.
+    pub fn count_only(mut self) -> Self {
+        self.count_only = true;
+        self
     }
 
     fn run(&mut self) {
@@ -326,6 +366,15 @@ impl<X: Temporal + Clone, Y: Temporal + Clone> BatchContainJoinTsTe<X, Y> {
             let ts = self.state.ts_col();
             let te = self.state.te_col();
             self.comparisons += ts.len();
+            if self.count_only {
+                let mut n = 0usize;
+                for i in 0..ts.len() {
+                    n += usize::from((ts[i] < yts) & (yte < te[i]));
+                }
+                self.emitted += n;
+                let _ = y;
+                continue;
+            }
             self.hits.clear();
             for i in 0..ts.len() {
                 if (ts[i] < yts) & (yte < te[i]) {
@@ -408,6 +457,7 @@ pub struct BatchOverlapJoin<X: Temporal + Clone, Y: Temporal + Clone> {
     hits: Vec<u32>,
     comparisons: usize,
     emitted: usize,
+    count_only: bool,
     gc_pending: bool,
     want: Wants,
 }
@@ -427,9 +477,17 @@ impl<X: Temporal + Clone, Y: Temporal + Clone> BatchOverlapJoin<X, Y> {
             hits: Vec::new(),
             comparisons: 0,
             emitted: 0,
+            count_only: false,
             gc_pending: false,
             want: Wants::Left,
         }
+    }
+
+    /// Count matches instead of materializing pairs — see
+    /// [`BatchContainJoinTsTe::count_only`].
+    pub fn count_only(mut self) -> Self {
+        self.count_only = true;
+        self
     }
 
     /// GC keyed off the resolved heads — the row twin's `gc_phase`, with
@@ -453,6 +511,24 @@ impl<X: Temporal + Clone, Y: Temporal + Clone> BatchOverlapJoin<X, Y> {
         self.cx.advance();
         let (ts, te) = (self.sy.ts_col(), self.sy.te_col());
         self.comparisons += ts.len();
+        if self.count_only {
+            let mut n = 0usize;
+            match self.mode {
+                OverlapMode::General => {
+                    for i in 0..ts.len() {
+                        n += usize::from((xts < te[i]) & (ts[i] < xte));
+                    }
+                }
+                OverlapMode::Strict => {
+                    for i in 0..ts.len() {
+                        n += usize::from((xts < ts[i]) & (xte > ts[i]) & (xte < te[i]));
+                    }
+                }
+            }
+            self.emitted += n;
+            self.sx.insert_raw(xts, xte, x);
+            return;
+        }
         self.hits.clear();
         match self.mode {
             OverlapMode::General => {
@@ -483,6 +559,24 @@ impl<X: Temporal + Clone, Y: Temporal + Clone> BatchOverlapJoin<X, Y> {
         self.cy.advance();
         let (ts, te) = (self.sx.ts_col(), self.sx.te_col());
         self.comparisons += ts.len();
+        if self.count_only {
+            let mut n = 0usize;
+            match self.mode {
+                OverlapMode::General => {
+                    for i in 0..ts.len() {
+                        n += usize::from((ts[i] < yte) & (yts < te[i]));
+                    }
+                }
+                OverlapMode::Strict => {
+                    for i in 0..ts.len() {
+                        n += usize::from((ts[i] < yts) & (te[i] > yts) & (te[i] < yte));
+                    }
+                }
+            }
+            self.emitted += n;
+            self.sy.insert_raw(yts, yte, y);
+            return;
+        }
         self.hits.clear();
         match self.mode {
             OverlapMode::General => {

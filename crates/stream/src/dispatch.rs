@@ -16,15 +16,38 @@
 //! entry requires ([`StreamOpKind::requirement`]); both paths re-verify the
 //! claimed order in O(n) and fail with `OrderViolation` otherwise.
 
-use crate::batch::VecBatchStream;
+use crate::batch::{VecBatchStream, DEFAULT_BATCH_ROWS};
 use crate::batch_ops::{
-    drive, BatchContainJoinTsTe, BatchContainSemijoinStab, BatchContainedSemijoinStab, BatchOp,
-    BatchOverlapJoin, BatchOverlapSemijoin,
+    drive, drive_each, BatchContainJoinTsTe, BatchContainSemijoinStab, BatchContainedSemijoinStab,
+    BatchOp, BatchOverlapJoin, BatchOverlapSemijoin,
 };
 use crate::report::{Instrumented, OpConfig, OpReport};
 use crate::required::StreamOpKind;
 use crate::stream::{from_sorted_vec, TupleStream};
 use tdb_core::{StreamOrder, TdbError, TdbResult, Temporal};
+
+/// Pull a row operator to completion, handing its output to `emit` in
+/// chunks of [`DEFAULT_BATCH_ROWS`] — the row-path twin of
+/// [`drive_each`]. Returns `false` if `emit` stopped the run early.
+fn pull_each<S>(
+    op: &mut S,
+    emit: &mut dyn FnMut(Vec<S::Item>) -> TdbResult<bool>,
+) -> TdbResult<bool>
+where
+    S: TupleStream,
+{
+    let mut chunk = Vec::new();
+    while let Some(item) = op.next()? {
+        chunk.push(item);
+        if chunk.len() >= DEFAULT_BATCH_ROWS && !emit(std::mem::take(&mut chunk))? {
+            return Ok(false);
+        }
+    }
+    if !chunk.is_empty() && !emit(chunk)? {
+        return Ok(false);
+    }
+    Ok(true)
+}
 
 /// Run a stream temporal **join** of `kind` over pre-sorted inputs,
 /// selecting the row or batched path per `cfg.batch_rows`.
@@ -169,6 +192,215 @@ where
     }
 }
 
+/// Sink-mode twin of [`run_join_kind`]: hand each output chunk to `emit`
+/// as the operator drains instead of materializing one pair vector. The
+/// returned flag is `false` when `emit` stopped the run early; the
+/// [`OpReport`] then covers only the work done up to that point.
+///
+/// Covers the same kinds as [`run_join_kind`]; `tdb-lint` cross-checks
+/// that the two dispatch tables never drift apart.
+pub fn run_join_kind_each<X, Y>(
+    kind: StreamOpKind,
+    cfg: OpConfig,
+    x: Vec<X>,
+    x_order: StreamOrder,
+    y: Vec<Y>,
+    y_order: StreamOrder,
+    emit: &mut dyn FnMut(Vec<(X, Y)>) -> TdbResult<bool>,
+) -> TdbResult<(bool, OpReport)>
+where
+    X: Temporal + Clone,
+    Y: Temporal + Clone,
+{
+    match kind {
+        StreamOpKind::ContainJoinTsTe => {
+            if cfg.batched() {
+                let mut op = BatchContainJoinTsTe::new();
+                let completed = drive_each(
+                    &mut op,
+                    &mut VecBatchStream::from_sorted_vec(x, x_order, cfg.batch_rows)?,
+                    &mut VecBatchStream::from_sorted_vec(y, y_order, cfg.batch_rows)?,
+                    emit,
+                )?;
+                Ok((completed, op.report()))
+            } else {
+                let mut op = cfg.contain_join_ts_te(
+                    from_sorted_vec(x, x_order)?,
+                    from_sorted_vec(y, y_order)?,
+                )?;
+                let completed = pull_each(&mut op, emit)?;
+                Ok((completed, op.report()))
+            }
+        }
+        StreamOpKind::OverlapJoin => {
+            if cfg.batched() {
+                let mut op = BatchOverlapJoin::new(cfg.mode, cfg.policy);
+                let completed = drive_each(
+                    &mut op,
+                    &mut VecBatchStream::from_sorted_vec(x, x_order, cfg.batch_rows)?,
+                    &mut VecBatchStream::from_sorted_vec(y, y_order, cfg.batch_rows)?,
+                    emit,
+                )?;
+                Ok((completed, op.report()))
+            } else {
+                let mut op =
+                    cfg.overlap_join(from_sorted_vec(x, x_order)?, from_sorted_vec(y, y_order)?)?;
+                let completed = pull_each(&mut op, emit)?;
+                Ok((completed, op.report()))
+            }
+        }
+        other => Err(TdbError::Plan(format!("no sink join dispatch for {other}"))),
+    }
+}
+
+/// Count-only twin of [`run_join_kind`]: return the number of matching
+/// pairs without materializing any. On the batched path the kernels run
+/// in count-only mode — the probe pass sums hits over the endpoint
+/// columns and never clones a payload — which is where count-dominated
+/// consumers (aggregation, `count(*)`, [`crate::sink::CountSink`]) regain
+/// the output-materialization cost. Metrics in the report are identical
+/// to the materializing run's.
+pub fn run_join_kind_count<X, Y>(
+    kind: StreamOpKind,
+    cfg: OpConfig,
+    x: Vec<X>,
+    x_order: StreamOrder,
+    y: Vec<Y>,
+    y_order: StreamOrder,
+) -> TdbResult<(usize, OpReport)>
+where
+    X: Temporal + Clone,
+    Y: Temporal + Clone,
+{
+    match kind {
+        StreamOpKind::ContainJoinTsTe => {
+            if cfg.batched() {
+                let mut op = BatchContainJoinTsTe::new().count_only();
+                drive(
+                    &mut op,
+                    &mut VecBatchStream::from_sorted_vec(x, x_order, cfg.batch_rows)?,
+                    &mut VecBatchStream::from_sorted_vec(y, y_order, cfg.batch_rows)?,
+                )?;
+                let report = op.report();
+                Ok((report.metrics.emitted, report))
+            } else {
+                let mut op = cfg.contain_join_ts_te(
+                    from_sorted_vec(x, x_order)?,
+                    from_sorted_vec(y, y_order)?,
+                )?;
+                let mut n = 0usize;
+                while op.next()?.is_some() {
+                    n += 1;
+                }
+                Ok((n, op.report()))
+            }
+        }
+        StreamOpKind::OverlapJoin => {
+            if cfg.batched() {
+                let mut op = BatchOverlapJoin::new(cfg.mode, cfg.policy).count_only();
+                drive(
+                    &mut op,
+                    &mut VecBatchStream::from_sorted_vec(x, x_order, cfg.batch_rows)?,
+                    &mut VecBatchStream::from_sorted_vec(y, y_order, cfg.batch_rows)?,
+                )?;
+                let report = op.report();
+                Ok((report.metrics.emitted, report))
+            } else {
+                let mut op =
+                    cfg.overlap_join(from_sorted_vec(x, x_order)?, from_sorted_vec(y, y_order)?)?;
+                let mut n = 0usize;
+                while op.next()?.is_some() {
+                    n += 1;
+                }
+                Ok((n, op.report()))
+            }
+        }
+        other => Err(TdbError::Plan(format!(
+            "no count-only join dispatch for {other}"
+        ))),
+    }
+}
+
+/// Sink-mode twin of [`run_semijoin_kind`]: hand kept left rows to `emit`
+/// in chunks as the operator drains. Same kind coverage as the
+/// materializing dispatch; the flag is `false` on early termination.
+pub fn run_semijoin_kind_each<X, Y>(
+    kind: StreamOpKind,
+    cfg: OpConfig,
+    x: Vec<X>,
+    x_order: StreamOrder,
+    y: Vec<Y>,
+    y_order: StreamOrder,
+    emit: &mut dyn FnMut(Vec<X>) -> TdbResult<bool>,
+) -> TdbResult<(bool, OpReport)>
+where
+    X: Temporal + Clone,
+    Y: Temporal + Clone,
+{
+    match kind {
+        StreamOpKind::ContainSemijoinStab => {
+            if cfg.batched() {
+                let mut op = BatchContainSemijoinStab::new();
+                let completed = drive_each(
+                    &mut op,
+                    &mut VecBatchStream::from_sorted_vec(x, x_order, cfg.batch_rows)?,
+                    &mut VecBatchStream::from_sorted_vec(y, y_order, cfg.batch_rows)?,
+                    emit,
+                )?;
+                Ok((completed, op.report()))
+            } else {
+                let mut op = cfg.contain_semijoin_stab(
+                    from_sorted_vec(x, x_order)?,
+                    from_sorted_vec(y, y_order)?,
+                )?;
+                let completed = pull_each(&mut op, emit)?;
+                Ok((completed, op.report()))
+            }
+        }
+        StreamOpKind::ContainedSemijoinStab => {
+            if cfg.batched() {
+                // Same side convention as the materialized path: the
+                // batched kernel's left input is the container (Y) side.
+                let mut op = BatchContainedSemijoinStab::new();
+                let completed = drive_each(
+                    &mut op,
+                    &mut VecBatchStream::from_sorted_vec(y, y_order, cfg.batch_rows)?,
+                    &mut VecBatchStream::from_sorted_vec(x, x_order, cfg.batch_rows)?,
+                    emit,
+                )?;
+                Ok((completed, op.report()))
+            } else {
+                let mut op = cfg.contained_semijoin_stab(
+                    from_sorted_vec(x, x_order)?,
+                    from_sorted_vec(y, y_order)?,
+                )?;
+                let completed = pull_each(&mut op, emit)?;
+                Ok((completed, op.report()))
+            }
+        }
+        StreamOpKind::OverlapSemijoin => {
+            if cfg.batched() {
+                let mut op = BatchOverlapSemijoin::new(cfg.mode, cfg.policy);
+                let completed = drive_each(
+                    &mut op,
+                    &mut VecBatchStream::from_sorted_vec(x, x_order, cfg.batch_rows)?,
+                    &mut VecBatchStream::from_sorted_vec(y, y_order, cfg.batch_rows)?,
+                    emit,
+                )?;
+                Ok((completed, op.report()))
+            } else {
+                let mut op = cfg
+                    .overlap_semijoin(from_sorted_vec(x, x_order)?, from_sorted_vec(y, y_order)?)?;
+                let completed = pull_each(&mut op, emit)?;
+                Ok((completed, op.report()))
+            }
+        }
+        other => Err(TdbError::Plan(format!(
+            "no sink semijoin dispatch for {other}"
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +484,119 @@ mod tests {
                 .unwrap();
             let batched = run_semijoin_kind(kind, cfg.with_batch_rows(128), x, xo, y, yo).unwrap();
             assert_eq!(batched, row, "{kind}");
+        }
+    }
+
+    #[test]
+    fn sink_dispatch_matches_materialized_and_stops_early() {
+        let (xs, ys) = workload(80);
+        let xs = sorted(xs, StreamOrder::TS_ASC);
+        let ys = sorted(ys, StreamOrder::TE_ASC);
+        let (pairs, report) = run_join_kind(
+            StreamOpKind::ContainJoinTsTe,
+            OpConfig::new(),
+            xs.clone(),
+            StreamOrder::TS_ASC,
+            ys.clone(),
+            StreamOrder::TE_ASC,
+        )
+        .unwrap();
+        for rows in [0usize, 64, 1024] {
+            let cfg = OpConfig::new().with_batch_rows(rows);
+            let mut streamed = Vec::new();
+            let (completed, sreport) = run_join_kind_each(
+                StreamOpKind::ContainJoinTsTe,
+                cfg,
+                xs.clone(),
+                StreamOrder::TS_ASC,
+                ys.clone(),
+                StreamOrder::TE_ASC,
+                &mut |chunk| {
+                    streamed.extend(chunk);
+                    Ok(true)
+                },
+            )
+            .unwrap();
+            assert!(completed);
+            assert_eq!(streamed, pairs, "rows {rows}");
+            assert_eq!(sreport, report, "rows {rows}");
+            // Count-only agrees with the materialized emit count.
+            let (n, creport) = run_join_kind_count(
+                StreamOpKind::ContainJoinTsTe,
+                cfg,
+                xs.clone(),
+                StreamOrder::TS_ASC,
+                ys.clone(),
+                StreamOrder::TE_ASC,
+            )
+            .unwrap();
+            assert_eq!(n, pairs.len(), "rows {rows}");
+            assert_eq!(creport.metrics, report.metrics, "rows {rows}");
+            assert_eq!(creport.max_workspace(), report.max_workspace());
+            // Early termination stops the producer mid-run.
+            let mut seen = 0usize;
+            let (completed, _) = run_join_kind_each(
+                StreamOpKind::ContainJoinTsTe,
+                OpConfig::new().with_batch_rows(rows.min(8)),
+                xs.clone(),
+                StreamOrder::TS_ASC,
+                ys.clone(),
+                StreamOrder::TE_ASC,
+                &mut |chunk| {
+                    seen += chunk.len();
+                    Ok(false)
+                },
+            )
+            .unwrap();
+            assert!(!completed);
+            assert!(
+                seen < pairs.len(),
+                "stopped after {seen} of {}",
+                pairs.len()
+            );
+        }
+    }
+
+    #[test]
+    fn sink_semijoin_dispatch_matches_materialized() {
+        let (xs, ys) = workload(70);
+        for (kind, xo, yo, mode) in [
+            (
+                StreamOpKind::ContainSemijoinStab,
+                StreamOrder::TS_ASC,
+                StreamOrder::TE_ASC,
+                OverlapMode::General,
+            ),
+            (
+                StreamOpKind::ContainedSemijoinStab,
+                StreamOrder::TE_ASC,
+                StreamOrder::TS_ASC,
+                OverlapMode::General,
+            ),
+            (
+                StreamOpKind::OverlapSemijoin,
+                StreamOrder::TS_ASC,
+                StreamOrder::TS_ASC,
+                OverlapMode::Strict,
+            ),
+        ] {
+            let x = sorted(xs.clone(), xo);
+            let y = sorted(ys.clone(), yo);
+            for rows in [0usize, 128] {
+                let cfg = OpConfig::new().with_mode(mode).with_batch_rows(rows);
+                let (kept, report) =
+                    run_semijoin_kind(kind, cfg, x.clone(), xo, y.clone(), yo).unwrap();
+                let mut streamed = Vec::new();
+                let (completed, sreport) =
+                    run_semijoin_kind_each(kind, cfg, x.clone(), xo, y.clone(), yo, &mut |chunk| {
+                        streamed.extend(chunk);
+                        Ok(true)
+                    })
+                    .unwrap();
+                assert!(completed);
+                assert_eq!(streamed, kept, "{kind} rows {rows}");
+                assert_eq!(sreport, report, "{kind} rows {rows}");
+            }
         }
     }
 

@@ -47,6 +47,7 @@ pub mod read_policy;
 pub mod report;
 pub mod required;
 pub mod self_semijoin;
+pub mod sink;
 pub mod stab_semijoin;
 pub mod stream;
 pub mod sweep_semijoin;
@@ -60,14 +61,17 @@ pub use batch::{
     BatchStream, Batcher, RowBatch, VecBatchStream, DEFAULT_BATCH_ROWS, MAX_BATCH_ROWS,
 };
 pub use batch_ops::{
-    drive, BatchContainJoinTsTe, BatchContainSemijoinStab, BatchContainedSemijoinStab, BatchOp,
-    BatchOverlapJoin, BatchOverlapSemijoin, Side, Wants,
+    drive, drive_each, BatchContainJoinTsTe, BatchContainSemijoinStab, BatchContainedSemijoinStab,
+    BatchOp, BatchOverlapJoin, BatchOverlapSemijoin, Side, Wants,
 };
 pub use before::{BeforeJoin, BeforeSemijoin};
 pub use buffered_join::BufferedJoin;
 pub use coalesce::{coalesce_relation, Coalesce};
 pub use contain_join::{ContainJoinTsTe, ContainJoinTsTs};
-pub use dispatch::{run_join_kind, run_semijoin_kind};
+pub use dispatch::{
+    run_join_kind, run_join_kind_count, run_join_kind_each, run_semijoin_kind,
+    run_semijoin_kind_each,
+};
 pub use event_join::EventMergeJoin;
 pub use gapless::GaplessWorkspace;
 pub use merge_join::MergeEquiJoin;
@@ -75,14 +79,16 @@ pub use metrics::OpMetrics;
 pub use nested_loop::NestedLoopJoin;
 pub use overlap_join::{OverlapJoin, OverlapMode, OverlapSemijoin};
 pub use partition::{
-    merge_tagged, parallel_join, parallel_semijoin, partition_with_fringe, KWayMerge,
-    ParallelPattern, ParallelRun, PartitionSpec, Tagged,
+    merge_tagged, merge_tagged_each, parallel_join, parallel_join_each, parallel_semijoin,
+    parallel_semijoin_each, partition_with_fringe, KWayMerge, ParallelPattern, ParallelPush,
+    ParallelRun, PartitionSpec, Tagged,
 };
 pub use progress::{Progress, ProgressSnapshot};
 pub use read_policy::ReadPolicy;
 pub use report::{timeslice, Instrumented, OpConfig, OpReport};
 pub use required::{check_stream_order, OrderRequirement, RequiredOrder, StreamOpKind};
 pub use self_semijoin::{ContainSelfSemijoin, ContainSelfSemijoinDesc, ContainedSelfSemijoin};
+pub use sink::{row_bytes, CollectSink, CountSink, LimitSink, RowSink, SinkStats};
 pub use stab_semijoin::{ContainSemijoinStab, ContainedSemijoinStab};
 pub use stream::{from_sorted_vec, from_vec, OrderChecked, TupleStream, VecStream};
 pub use sweep_semijoin::SweepSemijoin;

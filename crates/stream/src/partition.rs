@@ -33,6 +33,7 @@
 //! no time-range decomposition localizes them; the planner keeps those
 //! serial.
 
+use crate::batch::DEFAULT_BATCH_ROWS;
 use crate::dispatch::{run_join_kind, run_semijoin_kind};
 use crate::overlap_join::OverlapMode;
 use crate::report::{OpConfig, OpReport};
@@ -149,14 +150,35 @@ pub fn tag<T>(items: Vec<T>) -> Vec<Tagged<T>> {
 /// several partitions (fringe tuples) are emitted once. Because ordinals
 /// are positions in the sorted input and semijoin outputs are subsequences
 /// of their input, the merged output re-emits the declared input order.
-pub fn merge_tagged<T: Clone>(mut parts: Vec<Vec<Tagged<T>>>) -> Vec<T> {
+pub fn merge_tagged<T: Clone>(parts: Vec<Vec<Tagged<T>>>) -> Vec<T> {
+    let mut out = Vec::new();
+    let all = merge_tagged_each(parts, usize::MAX, &mut |mut chunk| {
+        out.append(&mut chunk);
+        Ok(true)
+    });
+    debug_assert!(matches!(all, Ok((true, _))));
+    out
+}
+
+/// Push-mode variant of [`merge_tagged`]: the merged, deduplicated output
+/// is handed to `emit` in chunks of at most `chunk_rows` rows instead of
+/// being collected. Returns `(completed, emitted)` — `completed` is
+/// `false` when `emit` asked the merge to stop early, `emitted` counts the
+/// rows actually handed over.
+pub fn merge_tagged_each<T: Clone>(
+    mut parts: Vec<Vec<Tagged<T>>>,
+    chunk_rows: usize,
+    emit: &mut dyn FnMut(Vec<T>) -> TdbResult<bool>,
+) -> TdbResult<(bool, usize)> {
+    let chunk_rows = chunk_rows.max(1);
     // The strict overlap semijoin can reorder around its pending queue, so
     // normalize each list before the merge.
     for part in &mut parts {
         part.sort_by_key(|t| t.ordinal);
     }
     let mut cursors = vec![0usize; parts.len()];
-    let mut out = Vec::new();
+    let mut chunk = Vec::new();
+    let mut emitted = 0usize;
     let mut last: Option<usize> = None;
     loop {
         let mut best: Option<(usize, usize)> = None; // (ordinal, partition)
@@ -172,11 +194,23 @@ pub fn merge_tagged<T: Clone>(mut parts: Vec<Vec<Tagged<T>>>) -> Vec<T> {
             }
         }
         let Some((ordinal, i)) = best else {
-            return out;
+            if !chunk.is_empty() {
+                emitted += chunk.len();
+                if !emit(chunk)? {
+                    return Ok((false, emitted));
+                }
+            }
+            return Ok((true, emitted));
         };
-        out.push(parts[i][cursors[i]].item.clone());
+        chunk.push(parts[i][cursors[i]].item.clone());
         cursors[i] += 1;
         last = Some(ordinal);
+        if chunk.len() >= chunk_rows {
+            emitted += chunk.len();
+            if !emit(std::mem::take(&mut chunk))? {
+                return Ok((false, emitted));
+            }
+        }
     }
 }
 
@@ -369,6 +403,33 @@ impl<T> ParallelRun<T> {
     }
 }
 
+/// Outcome of a push-mode parallel run ([`parallel_join_each`] /
+/// [`parallel_semijoin_each`]): the output went to the caller's emit
+/// closure, so only the run's accounting is returned.
+#[derive(Debug, Clone)]
+pub struct ParallelPush {
+    /// `false` when the emit closure stopped the run early (sink full).
+    pub completed: bool,
+    /// Aggregate report (see [`ParallelRun::report`]).
+    pub report: OpReport,
+    /// Per-worker reports, indexed by partition.
+    pub per_partition: Vec<OpReport>,
+    /// Total tuples dispatched to workers; the excess over `|X| + |Y|` is
+    /// the fringe-replication overhead.
+    pub dispatched: usize,
+}
+
+impl ParallelPush {
+    fn empty(k: usize) -> ParallelPush {
+        ParallelPush {
+            completed: true,
+            report: OpReport::default(),
+            per_partition: vec![OpReport::default(); k.max(1)],
+            dispatched: 0,
+        }
+    }
+}
+
 /// A drained worker's output: emitted items plus the operator's report.
 type WorkerOutput<T> = TdbResult<(Vec<T>, OpReport)>;
 
@@ -413,8 +474,88 @@ where
             dispatched: run.dispatched,
         });
     }
-    let Some(spec) = PartitionSpec::covering(&xs, &ys, k) else {
+    let Some((parts, per_partition, report, dispatched)) =
+        join_partitioned(pattern, xs, ys, k, cfg)?
+    else {
         return Ok(ParallelRun::empty(k));
+    };
+    Ok(ParallelRun {
+        items: parts.into_iter().flatten().collect(),
+        report,
+        per_partition,
+        dispatched,
+    })
+}
+
+/// Push-mode [`parallel_join`]: instead of concatenating the K
+/// owner-deduplicated partition outputs into one vector, hand each
+/// partition's pairs (in partition order) to `emit`. A `false` return from
+/// `emit` stops the run; remaining partitions' outputs are dropped.
+pub fn parallel_join_each<T>(
+    pattern: ParallelPattern,
+    xs: Vec<T>,
+    ys: Vec<T>,
+    k: usize,
+    cfg: OpConfig,
+    emit: &mut dyn FnMut(Vec<(T, T)>) -> TdbResult<bool>,
+) -> TdbResult<ParallelPush>
+where
+    T: Temporal + Clone + Send,
+{
+    // `During` means y contains x: run Contains with sides swapped and
+    // un-swap each emitted pair.
+    let swap = pattern == ParallelPattern::During;
+    let (pattern, xs, ys) = if swap {
+        (ParallelPattern::Contains, ys, xs)
+    } else {
+        (pattern, xs, ys)
+    };
+    let Some((parts, per_partition, report, dispatched)) =
+        join_partitioned(pattern, xs, ys, k, cfg)?
+    else {
+        return Ok(ParallelPush::empty(k));
+    };
+    let mut completed = true;
+    for part in parts {
+        if part.is_empty() {
+            continue;
+        }
+        let part = if swap {
+            part.into_iter().map(|(y, x)| (x, y)).collect()
+        } else {
+            part
+        };
+        if !emit(part)? {
+            completed = false;
+            break;
+        }
+    }
+    Ok(ParallelPush {
+        completed,
+        report,
+        per_partition,
+        dispatched,
+    })
+}
+
+/// The shared worker phase of the parallel joins: sort, fringe-partition,
+/// run K serial workers, owner-dedup. Returns the per-partition outputs
+/// (not yet concatenated) or `None` for empty inputs. `pattern` must not
+/// be `During` — callers normalize via side swap.
+#[allow(clippy::type_complexity)]
+fn join_partitioned<T>(
+    pattern: ParallelPattern,
+    xs: Vec<T>,
+    ys: Vec<T>,
+    k: usize,
+    cfg: OpConfig,
+) -> TdbResult<Option<(Vec<Vec<(T, T)>>, Vec<OpReport>, OpReport, usize)>>
+where
+    T: Temporal + Clone + Send,
+{
+    debug_assert!(pattern != ParallelPattern::During);
+    let Some(spec) = PartitionSpec::covering(&xs, &ys, k) else {
+        return Ok(None);
     };
     let (x_order, y_order) = pattern.worker_orders(true);
     let mut xs = xs;
@@ -463,12 +604,7 @@ where
             .collect()
     });
     let (items, per_partition, report) = join_results(results)?;
-    Ok(ParallelRun {
-        items: items.into_iter().flatten().collect(),
-        report,
-        per_partition,
-        dispatched,
-    })
+    Ok(Some((items, per_partition, report, dispatched)))
 }
 
 /// Run a temporal semijoin (left side kept) partitioned over `k` time
@@ -484,8 +620,76 @@ pub fn parallel_semijoin<T>(
 where
     T: Temporal + Clone + Send,
 {
-    let Some(spec) = PartitionSpec::covering(&xs, &ys, k) else {
+    let Some((parts, per_partition, mut report, dispatched)) =
+        semijoin_partitioned(pattern, xs, ys, k, cfg)?
+    else {
         return Ok(ParallelRun::empty(k));
+    };
+    let items = merge_tagged(parts);
+    // Fringe tuples witnessed in several partitions were emitted more than
+    // once by the workers; after dedup, report what actually came out.
+    report.metrics.emitted = items.len();
+    Ok(ParallelRun {
+        items,
+        report,
+        per_partition,
+        dispatched,
+    })
+}
+
+/// Push-mode [`parallel_semijoin`]: the K-way ordinal merge streams its
+/// deduplicated output to `emit` in chunks of the configured batch size
+/// instead of building one vector. A `false` return from `emit` stops the
+/// merge.
+pub fn parallel_semijoin_each<T>(
+    pattern: ParallelPattern,
+    xs: Vec<T>,
+    ys: Vec<T>,
+    k: usize,
+    cfg: OpConfig,
+    emit: &mut dyn FnMut(Vec<T>) -> TdbResult<bool>,
+) -> TdbResult<ParallelPush>
+where
+    T: Temporal + Clone + Send,
+{
+    let Some((parts, per_partition, mut report, dispatched)) =
+        semijoin_partitioned(pattern, xs, ys, k, cfg)?
+    else {
+        return Ok(ParallelPush::empty(k));
+    };
+    let chunk_rows = if cfg.batch_rows > 0 {
+        cfg.batch_rows
+    } else {
+        DEFAULT_BATCH_ROWS
+    };
+    let (completed, emitted) = merge_tagged_each(parts, chunk_rows, emit)?;
+    // On an early stop `emitted` is what actually reached the sink — a
+    // lower bound on the full result.
+    report.metrics.emitted = emitted;
+    Ok(ParallelPush {
+        completed,
+        report,
+        per_partition,
+        dispatched,
+    })
+}
+
+/// The shared worker phase of the parallel semijoins: sort, tag the kept
+/// side, fringe-partition, run K serial workers. Returns the per-partition
+/// tagged outputs (not yet merged) or `None` for empty inputs.
+#[allow(clippy::type_complexity)]
+fn semijoin_partitioned<T>(
+    pattern: ParallelPattern,
+    xs: Vec<T>,
+    ys: Vec<T>,
+    k: usize,
+    cfg: OpConfig,
+) -> TdbResult<Option<(Vec<Vec<Tagged<T>>>, Vec<OpReport>, OpReport, usize)>>
+where
+    T: Temporal + Clone + Send,
+{
+    let Some(spec) = PartitionSpec::covering(&xs, &ys, k) else {
+        return Ok(None);
     };
     let (x_order, y_order) = pattern.worker_orders(false);
     let mut xs = xs;
@@ -524,17 +728,8 @@ where
             })
             .collect()
     });
-    let (parts, per_partition, mut report) = join_results(results)?;
-    let items = merge_tagged(parts);
-    // Fringe tuples witnessed in several partitions were emitted more than
-    // once by the workers; after dedup, report what actually came out.
-    report.metrics.emitted = items.len();
-    Ok(ParallelRun {
-        items,
-        report,
-        per_partition,
-        dispatched,
-    })
+    let (parts, per_partition, report) = join_results(results)?;
+    Ok(Some((parts, per_partition, report, dispatched)))
 }
 
 #[cfg(test)]
@@ -721,6 +916,92 @@ mod tests {
                 assert_eq!(run.report.metrics.emitted, run.items.len());
             }
         }
+    }
+
+    #[test]
+    fn push_mode_parallel_runs_match_collected_runs() {
+        let xs = vec![iv(0, 100), iv(3, 4), iv(10, 30), iv(50, 80), iv(97, 99)];
+        let ys = vec![iv(1, 2), iv(21, 60), iv(24, 26), iv(70, 80), iv(98, 99)];
+        for pattern in [
+            ParallelPattern::Contains,
+            ParallelPattern::During,
+            ParallelPattern::GeneralOverlap,
+            ParallelPattern::AllenOverlaps,
+        ] {
+            for k in [1usize, 4] {
+                let run =
+                    parallel_join(pattern, xs.clone(), ys.clone(), k, OpConfig::new()).unwrap();
+                let mut pushed = Vec::new();
+                let push = parallel_join_each(
+                    pattern,
+                    xs.clone(),
+                    ys.clone(),
+                    k,
+                    OpConfig::new(),
+                    &mut |chunk| {
+                        pushed.extend(chunk);
+                        Ok(true)
+                    },
+                )
+                .unwrap();
+                assert!(push.completed);
+                assert_eq!(
+                    canon_pairs(pushed),
+                    canon_pairs(run.items),
+                    "{pattern:?} k={k}"
+                );
+                assert_eq!(push.dispatched, run.dispatched);
+                assert_eq!(push.per_partition.len(), run.per_partition.len());
+
+                let run =
+                    parallel_semijoin(pattern, xs.clone(), ys.clone(), k, OpConfig::new()).unwrap();
+                let mut pushed = Vec::new();
+                let push = parallel_semijoin_each(
+                    pattern,
+                    xs.clone(),
+                    ys.clone(),
+                    k,
+                    OpConfig::new(),
+                    &mut |chunk| {
+                        pushed.extend(chunk);
+                        Ok(true)
+                    },
+                )
+                .unwrap();
+                assert!(push.completed);
+                assert_eq!(pushed, run.items, "{pattern:?} k={k}");
+                assert_eq!(push.report.metrics.emitted, run.report.metrics.emitted);
+            }
+        }
+    }
+
+    #[test]
+    fn push_mode_parallel_join_stops_early() {
+        let xs: Vec<_> = (0..200).map(|i| iv(i, i + 10)).collect();
+        let ys: Vec<_> = (0..200).map(|i| iv(i + 1, i + 2)).collect();
+        let full = parallel_join(
+            ParallelPattern::Contains,
+            xs.clone(),
+            ys.clone(),
+            4,
+            OpConfig::new(),
+        )
+        .unwrap();
+        let mut seen = 0usize;
+        let push = parallel_join_each(
+            ParallelPattern::Contains,
+            xs,
+            ys,
+            4,
+            OpConfig::new(),
+            &mut |chunk| {
+                seen += chunk.len();
+                Ok(false)
+            },
+        )
+        .unwrap();
+        assert!(!push.completed);
+        assert!(seen < full.items.len(), "stopped after {seen}");
     }
 
     #[test]

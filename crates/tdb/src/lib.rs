@@ -53,7 +53,7 @@
 //! let (logical, _query) = tdb::quel::compile(tdb::quel::parser::SUPERSTAR, &catalog).unwrap();
 //! let optimized = tdb::algebra::conventional_optimize(logical);
 //! let physical = tdb::algebra::plan(&optimized, PlannerConfig::stream()).unwrap();
-//! let output = physical.execute(&catalog).unwrap();
+//! let output = physical.execute(&catalog, ExecOptions::default()).unwrap();
 //! assert_eq!(output.rows.len(), 1); // Smith is the superstar
 //! ```
 
@@ -91,12 +91,12 @@ pub mod prelude {
     pub use tdb_storage::{Catalog, ExternalSorter, HeapFile, IoStats};
     pub use tdb_stream::{
         from_sorted_vec, from_vec, parallel_join, parallel_semijoin, partition_with_fringe,
-        BeforeJoin, BeforeSemijoin, BufferedJoin, ContainJoinTsTe, ContainJoinTsTs,
+        BeforeJoin, BeforeSemijoin, BufferedJoin, CollectSink, ContainJoinTsTe, ContainJoinTsTs,
         ContainSelfSemijoin, ContainSemijoinStab, ContainedSelfSemijoin, ContainedSemijoinStab,
-        EventMergeJoin, GroupedSum, Instrumented, KWayMerge, MergeEquiJoin, NestedLoopJoin,
-        OpConfig, OpReport, OverlapJoin, OverlapMode, OverlapSemijoin, ParallelPattern,
-        ParallelRun, PartitionSpec, ReadPolicy, SweepSemijoin, Tagged, TupleStream, Workspace,
-        WorkspaceStats, DEFAULT_BATCH_ROWS, MAX_BATCH_ROWS,
+        CountSink, EventMergeJoin, GroupedSum, Instrumented, KWayMerge, LimitSink, MergeEquiJoin,
+        NestedLoopJoin, OpConfig, OpReport, OverlapJoin, OverlapMode, OverlapSemijoin,
+        ParallelPattern, ParallelRun, PartitionSpec, ReadPolicy, RowSink, SinkStats, SweepSemijoin,
+        Tagged, TupleStream, Workspace, WorkspaceStats, DEFAULT_BATCH_ROWS, MAX_BATCH_ROWS,
     };
     pub use tdb_wal::{FlushPolicy, WalMetrics, WalRecord, WalStore};
 }

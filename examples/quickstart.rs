@@ -33,7 +33,7 @@ fn main() -> TdbResult<()> {
     // ── 3. Plan and execute. ──
     let physical = plan(&optimized, PlannerConfig::stream())?;
     println!("Physical plan:\n{}", physical.explain());
-    let output = physical.execute(&catalog)?;
+    let output = physical.execute(&catalog, ExecOptions::default())?;
     println!("Superstars:");
     for row in &output.rows {
         println!("  {row}");

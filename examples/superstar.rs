@@ -49,7 +49,7 @@ fn main() -> TdbResult<()> {
         };
         let physical = plan(&logical, config)?;
         let start = Instant::now();
-        let out = physical.execute(&catalog)?;
+        let out = physical.execute(&catalog, ExecOptions::default())?;
         let elapsed = start.elapsed();
         let names = name_set(&out.rows);
         println!(

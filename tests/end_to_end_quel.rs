@@ -21,7 +21,7 @@ fn run(catalog: &Catalog, text: &str, config: PlannerConfig) -> QueryOutput {
     let (logical, _) = compile(text, catalog).unwrap();
     let optimized = conventional_optimize(logical);
     let physical = plan(&optimized, config).unwrap();
-    physical.execute(catalog).unwrap()
+    physical.execute(catalog, ExecOptions::default()).unwrap()
 }
 
 fn row_set(out: &QueryOutput) -> BTreeSet<String> {

@@ -125,7 +125,7 @@ fn batch(
     cat.create_relation("Y", interval_schema(), &sorted_y, vec![StreamOrder::TS_ASC])
         .unwrap();
     let physical = plan(logical, config).unwrap();
-    multiset(&physical.execute(&cat).unwrap().rows)
+    multiset(&physical.execute(&cat, ExecOptions::default()).unwrap().rows)
 }
 
 fn run_case(raw_x: &[(i64, i64)], raw_y: &[(i64, i64)], chunk: usize, k: usize) {

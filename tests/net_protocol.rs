@@ -71,6 +71,8 @@ fn sample_trace(n: u64, name: &str) -> QueryTrace {
         label: format!("query {name}"),
         elapsed_us: n,
         rows: n % 41,
+        sink_rows: n % 23,
+        sink_bytes: n.wrapping_mul(9),
         spans: vec![OpSpan {
             operator: format!("ContainJoin {name}"),
             partitions: n % 4 + 1,
@@ -231,6 +233,15 @@ fn build_response(sel: u8, a: i64, n: u64, name: &str, raw: &[(i64, i64)], flag:
                 }],
             }),
         }),
+        11 => match build_response(3, a, n, name, raw, flag) {
+            // A stream header is a query report whose rows travel as
+            // separate chunk frames.
+            Response::Query(mut q) => {
+                q.rows.rows.clear();
+                Response::QueryStream(q)
+            }
+            _ => unreachable!(),
+        },
         _ => Response::Error(ErrorInfo::new(
             ErrorCode::from_u8((sel % 14) + 1).unwrap_or(ErrorCode::Protocol),
             name,
@@ -242,7 +253,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
     #[test]
     fn responses_round_trip_through_frames(
-        sel in 0u8..12,
+        sel in 0u8..13,
         a in -10_000i64..10_000,
         n in 0u64..1_000_000,
         chars in proptest::collection::vec(97u8..123, 0..12),
@@ -342,7 +353,7 @@ fn batch_expected(
     let (logical, _q) = compile(text, &cat).unwrap();
     let optimized = conventional_optimize(logical);
     let physical = plan(&optimized, PlannerConfig::stream()).unwrap();
-    multiset(&physical.execute(&cat).unwrap().rows)
+    multiset(&physical.execute(&cat, ExecOptions::default()).unwrap().rows)
 }
 
 /// One subscriber's view: accumulated delta rows plus stamp checks.

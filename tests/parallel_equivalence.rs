@@ -196,7 +196,7 @@ fn parallel_plans_agree_with_serial_for_every_temporal_op() {
         let run = |config: PlannerConfig| -> BTreeSet<String> {
             plan(&q, config)
                 .unwrap()
-                .execute(&catalog)
+                .execute(&catalog, ExecOptions::default())
                 .unwrap()
                 .rows
                 .iter()

@@ -78,7 +78,7 @@ fn run(logical: &LogicalPlan, config: PlannerConfig) -> BTreeSet<String> {
     let optimized = conventional_optimize(logical.clone());
     let physical = plan(&optimized, config).unwrap();
     physical
-        .execute(shared_catalog())
+        .execute(shared_catalog(), ExecOptions::default())
         .unwrap()
         .rows
         .iter()

@@ -22,7 +22,7 @@ fn population(n: usize, seed: u64, continuous: bool) -> Vec<tdb::gen::FacultyTup
 fn names(catalog: &Catalog, logical: &LogicalPlan, config: PlannerConfig) -> BTreeSet<String> {
     let physical = plan(logical, config).unwrap();
     physical
-        .execute(catalog)
+        .execute(catalog, ExecOptions::default())
         .unwrap()
         .rows
         .iter()
@@ -113,7 +113,7 @@ fn semantic_reduction_cuts_comparisons() {
         PlannerConfig::conventional(),
     )
     .unwrap()
-    .execute(&catalog)
+    .execute(&catalog, ExecOptions::default())
     .unwrap();
 
     let reduced = plan(
@@ -121,12 +121,12 @@ fn semantic_reduction_cuts_comparisons() {
         PlannerConfig::stream(),
     )
     .unwrap()
-    .execute(&catalog)
+    .execute(&catalog, ExecOptions::default())
     .unwrap();
 
     let shortcut = plan(&superstar_selfsemijoin_guarded(), PlannerConfig::stream())
         .unwrap()
-        .execute(&catalog)
+        .execute(&catalog, ExecOptions::default())
         .unwrap();
 
     assert!(
@@ -178,7 +178,7 @@ fn contradictory_queries_are_proven_empty() {
         PlannerConfig::conventional(),
     )
     .unwrap()
-    .execute(&catalog)
+    .execute(&catalog, ExecOptions::default())
     .unwrap();
     assert!(out.rows.is_empty());
 }

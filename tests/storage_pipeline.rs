@@ -174,7 +174,7 @@ fn query_execution_reads_from_disk_each_run() {
     )
     .unwrap();
     let physical = plan(&conventional_optimize(logical), PlannerConfig::stream()).unwrap();
-    let out = physical.execute(&catalog).unwrap();
+    let out = physical.execute(&catalog, ExecOptions::default()).unwrap();
     assert_eq!(out.rows.len(), 2); // Smith and Jones reached Full
     let delta = catalog.io().snapshot().since(&io_before);
     assert!(delta.pages_read >= 1, "scan must hit storage");
