@@ -100,6 +100,14 @@ timeout 60 cargo run --release -p tdb-bench --features check --bin experiments -
 echo "==> durability bench (E20, bounded)"
 timeout 60 cargo run --release -p tdb-bench --features check --bin experiments -- wal
 
+# Bounded SLO/health soak (E22): stage-span + SLO bookkeeping overhead
+# on the full engine path asserted ≤ 5% (interleaved min-of-k),
+# cap_exceeded asserted 0, and an injected impossible latency objective
+# must flip `/healthz` to 503 via the burn-rate windows — probed over
+# raw HTTP against the serving endpoint. Hard-capped at 60.
+echo "==> slo/health soak (E22, bounded)"
+timeout 60 cargo run --release -p tdb-bench --features check --bin experiments -- slo
+
 # Interleaving-explorer self-tests (the explorer must find the seeded
 # racy counter, lock-order inversion, and lost wakeup, and pass the
 # correct protocols exhaustively). Built from the shim's own directory:

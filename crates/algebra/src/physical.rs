@@ -147,15 +147,20 @@ pub struct OpObservation {
     /// The operator's instrumented report (parallel runs report the
     /// partition-aggregated view: counters summed, workspace peak maxed).
     pub report: OpReport,
+    /// Wall-clock microseconds this operator occurrence spent doing its
+    /// own work (sorting, streaming, residual filtering) — child plans
+    /// excluded, so the engine can build a stage span per operator.
+    pub elapsed_us: u64,
 }
 
 impl OpObservation {
-    fn serial(kind: StreamOpKind, report: OpReport) -> OpObservation {
+    fn serial(kind: StreamOpKind, report: OpReport, elapsed_us: u64) -> OpObservation {
         OpObservation {
             operator: kind.to_string(),
             kind: Some(kind),
             partitions: 1,
             report,
+            elapsed_us,
         }
     }
 }
@@ -458,6 +463,7 @@ impl PhysicalPlan {
             } => {
                 let (lrows, lscope) = left.run(catalog, cfg, stats, trace.as_deref_mut())?;
                 let (rrows, rscope) = right.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                let op_t0 = std::time::Instant::now();
                 let li = lscope.index_of(left_key)?;
                 let ri = rscope.index_of(right_key)?;
                 let lrows = sort_rows_by_key(lrows, li, stats);
@@ -488,6 +494,7 @@ impl PhysicalPlan {
                         kind: None,
                         partitions: 1,
                         report,
+                        elapsed_us: op_t0.elapsed().as_micros() as u64,
                     });
                 }
                 Ok((out, scope))
@@ -502,6 +509,7 @@ impl PhysicalPlan {
             } => {
                 let (lrows, lscope) = left.run(catalog, cfg, stats, trace.as_deref_mut())?;
                 let (rrows, rscope) = right.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                let op_t0 = std::time::Instant::now();
                 let lp = lscope.period_of_var(left_var)?;
                 let rp = rscope.period_of_var(right_var)?;
                 let lwrapped = wrap_rows(lrows, lp)?;
@@ -512,7 +520,11 @@ impl PhysicalPlan {
                 stats.max_workspace = stats.max_workspace.max(report.max_workspace());
                 stats.comparisons += report.metrics.comparisons as u64;
                 if let Some(t) = trace {
-                    t.push(OpObservation::serial(pattern.join_op().0, report));
+                    t.push(OpObservation::serial(
+                        pattern.join_op().0,
+                        report,
+                        op_t0.elapsed().as_micros() as u64,
+                    ));
                 }
                 let mut out = Vec::new();
                 for (l, r) in pairs {
@@ -534,6 +546,7 @@ impl PhysicalPlan {
             } => {
                 let (lrows, lscope) = left.run(catalog, cfg, stats, trace.as_deref_mut())?;
                 let (rrows, rscope) = right.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                let op_t0 = std::time::Instant::now();
                 let lp = lscope.period_of_var(left_var)?;
                 let rp = rscope.period_of_var(right_var)?;
                 let lwrapped = wrap_rows(lrows, lp)?;
@@ -542,7 +555,11 @@ impl PhysicalPlan {
                 stats.max_workspace = stats.max_workspace.max(report.max_workspace());
                 stats.comparisons += report.metrics.comparisons as u64;
                 if let Some(t) = trace {
-                    t.push(OpObservation::serial(pattern.semijoin_op().0, report));
+                    t.push(OpObservation::serial(
+                        pattern.semijoin_op().0,
+                        report,
+                        op_t0.elapsed().as_micros() as u64,
+                    ));
                 }
                 let out: Vec<Row> = kept.into_iter().map(|p| p.row).collect();
                 stats.intermediate_rows += out.len();
@@ -563,6 +580,7 @@ impl PhysicalPlan {
                             left.run(catalog, cfg, stats, trace.as_deref_mut())?;
                         let (rrows, rscope) =
                             right.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                        let op_t0 = std::time::Instant::now();
                         let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
                         let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
                         note_parallel_sorts(ppat, true, &lwrapped, &rwrapped, stats);
@@ -585,6 +603,7 @@ impl PhysicalPlan {
                                 kind: Some(kind),
                                 partitions: *partitions,
                                 report: run.report,
+                                elapsed_us: op_t0.elapsed().as_micros() as u64,
                             });
                         }
                         let scope = lscope.concat(&rscope);
@@ -614,6 +633,7 @@ impl PhysicalPlan {
                             left.run(catalog, cfg, stats, trace.as_deref_mut())?;
                         let (rrows, rscope) =
                             right.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                        let op_t0 = std::time::Instant::now();
                         let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
                         let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
                         note_parallel_sorts(ppat, false, &lwrapped, &rwrapped, stats);
@@ -636,6 +656,7 @@ impl PhysicalPlan {
                                 kind: Some(kind),
                                 partitions: *partitions,
                                 report: run.report,
+                                elapsed_us: op_t0.elapsed().as_micros() as u64,
                             });
                         }
                         let out: Vec<Row> = run.items.into_iter().map(|p| p.row).collect();
@@ -653,6 +674,7 @@ impl PhysicalPlan {
                 contained,
             } => {
                 let (rows, scope) = input.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                let op_t0 = std::time::Instant::now();
                 let p = scope.period_of_var(var)?;
                 let wrapped = wrap_rows(rows, p)?;
                 let order = StreamOrder::TS_ASC_TE_ASC;
@@ -675,7 +697,11 @@ impl PhysicalPlan {
                     } else {
                         StreamOpKind::ContainSelfSemijoin
                     };
-                    t.push(OpObservation::serial(kind, report));
+                    t.push(OpObservation::serial(
+                        kind,
+                        report,
+                        op_t0.elapsed().as_micros() as u64,
+                    ));
                 }
                 let out: Vec<Row> = out_rows.into_iter().map(|p| p.row).collect();
                 stats.intermediate_rows += out.len();
@@ -774,6 +800,7 @@ impl PhysicalPlan {
             } => {
                 let (lrows, lscope) = left.run(catalog, cfg, stats, trace.as_deref_mut())?;
                 let (rrows, rscope) = right.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                let op_t0 = std::time::Instant::now();
                 let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
                 let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
                 let scope = lscope.concat(&rscope);
@@ -815,7 +842,11 @@ impl PhysicalPlan {
                 stats.comparisons += comparisons + report.metrics.comparisons as u64;
                 stats.max_workspace = stats.max_workspace.max(report.max_workspace());
                 if let Some(t) = trace {
-                    t.push(OpObservation::serial(pattern.join_op().0, report));
+                    t.push(OpObservation::serial(
+                        pattern.join_op().0,
+                        report,
+                        op_t0.elapsed().as_micros() as u64,
+                    ));
                 }
                 stats.intermediate_rows += pushed;
                 Ok(pushed)
@@ -829,6 +860,7 @@ impl PhysicalPlan {
             } => {
                 let (lrows, lscope) = left.run(catalog, cfg, stats, trace.as_deref_mut())?;
                 let (rrows, rscope) = right.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                let op_t0 = std::time::Instant::now();
                 let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
                 let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
                 let wants_rows = sink.wants_rows();
@@ -852,7 +884,11 @@ impl PhysicalPlan {
                 stats.max_workspace = stats.max_workspace.max(report.max_workspace());
                 stats.comparisons += report.metrics.comparisons as u64;
                 if let Some(t) = trace {
-                    t.push(OpObservation::serial(pattern.semijoin_op().0, report));
+                    t.push(OpObservation::serial(
+                        pattern.semijoin_op().0,
+                        report,
+                        op_t0.elapsed().as_micros() as u64,
+                    ));
                 }
                 stats.intermediate_rows += pushed;
                 Ok(pushed)
@@ -872,6 +908,7 @@ impl PhysicalPlan {
                             left.run(catalog, cfg, stats, trace.as_deref_mut())?;
                         let (rrows, rscope) =
                             right.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                        let op_t0 = std::time::Instant::now();
                         let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
                         let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
                         note_parallel_sorts(ppat, true, &lwrapped, &rwrapped, stats);
@@ -925,6 +962,7 @@ impl PhysicalPlan {
                                 kind: Some(kind),
                                 partitions: *partitions,
                                 report: run.report,
+                                elapsed_us: op_t0.elapsed().as_micros() as u64,
                             });
                         }
                         stats.intermediate_rows += pushed;
@@ -944,6 +982,7 @@ impl PhysicalPlan {
                             left.run(catalog, cfg, stats, trace.as_deref_mut())?;
                         let (rrows, rscope) =
                             right.run(catalog, cfg, stats, trace.as_deref_mut())?;
+                        let op_t0 = std::time::Instant::now();
                         let lwrapped = wrap_rows(lrows, lscope.period_of_var(left_var)?)?;
                         let rwrapped = wrap_rows(rrows, rscope.period_of_var(right_var)?)?;
                         note_parallel_sorts(ppat, false, &lwrapped, &rwrapped, stats);
@@ -984,6 +1023,7 @@ impl PhysicalPlan {
                                 kind: Some(kind),
                                 partitions: *partitions,
                                 report: run.report,
+                                elapsed_us: op_t0.elapsed().as_micros() as u64,
                             });
                         }
                         stats.intermediate_rows += pushed;
@@ -1899,7 +1939,19 @@ mod tests {
             assert!(out.rows.is_empty(), "sink runs return no rows inline");
             assert_eq!(sink.rows(), &baseline.rows[..]);
             assert_eq!(out.stats, baseline.stats);
-            assert_eq!(out.trace, baseline.trace);
+            // Wall-clock per-operator timings are nondeterministic; the
+            // equivalence claim is about counters and workspace.
+            let untimed = |trace: &[OpObservation]| -> Vec<OpObservation> {
+                trace
+                    .iter()
+                    .cloned()
+                    .map(|mut o| {
+                        o.elapsed_us = 0;
+                        o
+                    })
+                    .collect()
+            };
+            assert_eq!(untimed(&out.trace), untimed(&baseline.trace));
             assert_eq!(sink.finish().rows as usize, baseline.rows.len());
         }
     }

@@ -14,7 +14,8 @@
 //! E18=observability overhead + metrics-scraped soak,
 //! E19=columnar batch execution vs row-at-a-time, E20=WAL durability:
 //! fsync-policy throughput + recovery cost vs the open window,
-//! E21=streaming result sinks vs output materialization.
+//! E21=streaming result sinks vs output materialization,
+//! E22=stage-span + SLO overhead and the burn-rate `/healthz` flip.
 //!
 //! Standalone artifacts (`BENCH_*.json`) are written under `results/`.
 
@@ -56,6 +57,7 @@ fn main() {
             "net",
             "obs",
             "wal",
+            "slo",
         ];
     }
     let json_path = args
@@ -85,6 +87,7 @@ fn main() {
             "net" => net(&mut json),
             "obs" => obs(&mut json),
             "wal" => wal(&mut json),
+            "slo" => slo(&mut json),
             other => eprintln!("unknown experiment `{other}`"),
         }
     }
@@ -1946,4 +1949,202 @@ fn obs(json: &mut BTreeMap<String, Json>) {
         },
     );
     let _ = std::fs::remove_dir_all(&root);
+}
+
+/// E22 — stage spans + SLO engine: overhead, event-ring integrity, and
+/// the burn-rate health flip observed through `/healthz`.
+///
+/// Three parts:
+///
+/// * **Overhead** — a contain-join executed through the full engine path
+///   (parse → plan → execute → render) with stage spans off and on
+///   (min-of-k each). Every query also classifies into the latency SLO
+///   and appends to the event ring, so the measured ratio covers the
+///   whole per-query bookkeeping; the run asserts it stays within the
+///   same 5% budget E18 enforces for operator traces.
+/// * **Burn-rate flip** — an impossible latency objective (1 µs) is
+///   injected in-process; the run asserts `\stats` health goes critical,
+///   the latency objective's fast burn crosses its threshold, and the
+///   event ring recorded the transition.
+/// * **Health surface** — the same injection against a framed-TCP server
+///   whose `/healthz` endpoint (attached via
+///   `serve_metrics_with_health`) is polled over raw HTTP; the run
+///   measures the wall time until the probe answers 503 and asserts the
+///   flip lands within the fast window. The scrape also checks
+///   `tdb_cap_exceeded_total 0` and that the per-stage histograms and
+///   SLO gauges are exported.
+///
+/// Emits `results/BENCH_slo.json`.
+fn slo(json: &mut BTreeMap<String, Json>) {
+    use tdb_engine::{ClientState, Engine, Response};
+    use tdb_net::{serve, Client, NetConfig};
+
+    println!("E22 · SLO engine: span overhead, burn-rate flip, and the /healthz surface");
+
+    // ── (a) span + SLO bookkeeping overhead on the full engine path ──
+    let dir = std::env::temp_dir().join(format!("tdb-e22-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut e = Engine::open(&dir).unwrap();
+    let mut ctx = ClientState::default();
+    let gen = e.execute(&mut ctx, "\\gen intervals X 20000 3 30 22");
+    assert!(matches!(gen, Response::Info(_)), "{gen:?}");
+    let query = "range of a is X range of b is X retrieve (P=a.Id, Q=b.Id) \
+                 where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo;";
+    // Warm-up: touches the catalog cache and reports the pair count.
+    let warm = e.execute(&mut ctx, query);
+    let Response::Query(q) = warm else {
+        panic!("expected query report, got {warm:?}");
+    };
+    let pairs = q.rows.total;
+    // Interleave the off/on samples pairwise so slow drift (allocator
+    // state, CPU frequency, noisy neighbours) hits both sides equally;
+    // the min over the rounds then compares best-case against best-case.
+    let mut spans_off_us = u128::MAX;
+    let mut spans_on_us = u128::MAX;
+    for _ in 0..9 {
+        for (toggle, best) in [
+            ("\\spans off", &mut spans_off_us),
+            ("\\spans on", &mut spans_on_us),
+        ] {
+            let ack = e.execute(&mut ctx, toggle);
+            assert!(matches!(ack, Response::Info(_)), "{ack:?}");
+            let (resp, us) = timed(|| e.execute(&mut ctx, query));
+            assert!(matches!(resp, Response::Query(_)), "{resp:?}");
+            *best = (*best).min(us);
+        }
+    }
+    let spans_off_us = spans_off_us.max(1);
+    let overhead = spans_on_us as f64 / spans_off_us as f64;
+    println!(
+        "    spans off {spans_off_us} µs, on {spans_on_us} µs — {overhead:.3}× \
+         ({pairs} pairs per query)"
+    );
+    assert!(
+        overhead <= 1.05,
+        "span + SLO bookkeeping overhead {overhead:.3}× exceeds the 5% budget"
+    );
+
+    // ── (b) burn-rate flip, observed in-process ──
+    let set = e.execute(&mut ctx, "\\slo latency 1");
+    assert!(matches!(set, Response::Info(_)), "{set:?}");
+    let resp = e.execute(&mut ctx, query);
+    assert!(matches!(resp, Response::Query(_)), "{resp:?}");
+    let Response::Stats(stats) = e.execute(&mut ctx, "\\stats") else {
+        panic!("\\stats must answer with a stats report");
+    };
+    assert_eq!(stats.cap_exceeded, 0, "cap exceeded: {stats:?}");
+    assert_eq!(stats.health, "critical", "{stats:?}");
+    let latency = stats
+        .slo
+        .iter()
+        .find(|s| s.objective == "latency")
+        .expect("latency objective in stats")
+        .clone();
+    assert!(
+        latency.fast_burn >= 14.0,
+        "fast burn {} under threshold",
+        latency.fast_burn
+    );
+    let Response::Info(events) = e.execute(&mut ctx, "\\events") else {
+        panic!("\\events must answer with an event listing");
+    };
+    assert!(events.contains("-> critical"), "{events}");
+    drop(e);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ── (c) the /healthz surface over the wire ──
+    let root = std::env::temp_dir().join(format!("tdb-e22-net-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = serve(root.join("srv"), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let source = server.metrics_source();
+    let health_source = source.clone();
+    let metrics = tdb_obs::serve_metrics_with_health(
+        "127.0.0.1:0",
+        move || source.render(),
+        move || health_source.health(),
+    )
+    .unwrap();
+    let get = |path: &str| -> String {
+        use std::io::{Read as _, Write as _};
+        let mut s = std::net::TcpStream::connect(metrics.addr()).unwrap();
+        write!(
+            s,
+            "GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    };
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    let gen = client.request("\\gen intervals X 2000 3 30 23").unwrap();
+    assert!(matches!(gen, Response::Info(_)), "{gen:?}");
+    let probe = "range of a is X retrieve (P=a.Id) where a.ValidFrom < 100;";
+    let resp = client.request(probe).unwrap();
+    assert!(matches!(resp, Response::Query(_)), "{resp:?}");
+    let healthy = get("/healthz");
+    assert!(healthy.starts_with("HTTP/1.1 200 OK"), "{healthy}");
+
+    // Inject the stall: with a 1 µs objective every query misses, the
+    // fast and slow windows both burn hot, and the probe must go 503.
+    let fast_window_s = 60u64;
+    let stall = std::time::Instant::now();
+    let set = client.request("\\slo latency 1").unwrap();
+    assert!(matches!(set, Response::Info(_)), "{set:?}");
+    let flip_ms = loop {
+        let resp = client.request(probe).unwrap();
+        assert!(matches!(resp, Response::Query(_)), "{resp:?}");
+        let reply = get("/healthz");
+        if reply.starts_with("HTTP/1.1 503") {
+            assert!(reply.contains("critical"), "{reply}");
+            break stall.elapsed().as_millis() as u64;
+        }
+        assert!(
+            stall.elapsed().as_secs() < fast_window_s,
+            "/healthz never flipped inside the fast window:\n{reply}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    };
+    println!("    /healthz flipped to 503 {flip_ms} ms after the stall injection");
+
+    let Response::Stats(stats) = client.stats().unwrap() else {
+        panic!("stats frame must answer with a stats report");
+    };
+    assert_eq!(stats.cap_exceeded, 0, "cap exceeded: {stats:?}");
+    let page = get("/metrics");
+    assert!(page.contains("tdb_cap_exceeded_total 0"), "{page}");
+    assert!(page.contains("tdb_slo_burn_rate_fast"), "{page}");
+    assert!(
+        page.contains("tdb_stage_duration_us_count{stage=\"execute\"}"),
+        "{page}"
+    );
+
+    client.close();
+    metrics.shutdown();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+
+    let doc = jobj! {
+        "experiment" => "E22 span+SLO overhead and the burn-rate health flip",
+        "spans_off_us" => spans_off_us,
+        "spans_on_us" => spans_on_us,
+        "span_overhead" => overhead,
+        "overhead_budget" => 1.05f64,
+        "join_pairs" => pairs,
+        "fast_burn_at_flip" => latency.fast_burn,
+        "healthz_flip_ms" => flip_ms,
+        "fast_window_s" => fast_window_s,
+        "cap_exceeded" => 0usize,
+    };
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/BENCH_slo.json", doc.to_string_pretty()).unwrap();
+    println!("\n    results/BENCH_slo.json written");
+    json.insert(
+        "slo".into(),
+        jobj! {
+            "span_overhead" => overhead, "healthz_flip_ms" => flip_ms,
+            "fast_burn_at_flip" => latency.fast_burn, "cap_exceeded" => 0usize,
+        },
+    );
 }

@@ -381,15 +381,21 @@ mod tests {
             "range of a is T range of b is T retrieve (X=a.Id, Y=b.Id) \
              where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo;",
         ));
-        assert!(msg.contains("── trace ──"), "{msg}");
+        assert!(msg.contains("── trace (query "), "{msg}");
         assert!(msg.contains("workspace peak"), "{msg}");
         assert!(msg.contains("λ·E[D]"), "{msg}");
         assert!(!msg.contains("CAP EXCEEDED"), "{msg}");
+        // Timed stage spans render above the operator spans.
+        assert!(msg.contains("parse"), "{msg}");
+        assert!(msg.contains("execute"), "{msg}");
         out(s.feed("\\trace off"));
         assert!(!s.trace);
         let msg = out(s.feed("\\stats"));
         assert!(msg.contains("1 queries"), "{msg}");
         assert!(msg.contains("cap exceeded 0"), "{msg}");
+        assert!(msg.contains("health ok"), "{msg}");
+        assert!(msg.contains("slo latency"), "{msg}");
+        assert!(msg.contains("p99"), "{msg}");
         assert!(msg.contains("last: `range of a is T"), "{msg}");
     }
 

@@ -155,9 +155,17 @@ fn serve_main(args: &[String]) -> ! {
     );
     let metrics = metrics_addr.map(|maddr| {
         let source = handle.metrics_source();
-        match tdb_obs::serve_metrics(maddr, move || source.render()) {
+        let health_source = source.clone();
+        match tdb_obs::serve_metrics_with_health(
+            maddr,
+            move || source.render(),
+            move || health_source.health(),
+        ) {
             Ok(m) => {
-                println!("metrics on http://{}/metrics", m.addr());
+                println!(
+                    "metrics on http://{0}/metrics, health on http://{0}/healthz",
+                    m.addr()
+                );
                 m
             }
             Err(e) => {

@@ -11,13 +11,15 @@
 use crate::response::{
     AnalysisReport, ConnMetrics, DeltaFrame, ErrorCode, ErrorInfo, IngestReport,
     LiveRelationMetrics, LiveRelationStatus, LiveStatus, NetMetrics, OpSpan, OpVerdict,
-    QueryReport, QueryStats, QueryTrace, Response, RowSet, SealReport, SlowFsyncInfo, StatsReport,
-    SubscribeReport, SubscriptionStatus, SuperstarRow, TableInfo, WalReport,
+    QueryReport, QueryStats, QueryTrace, Response, RowSet, SealReport, SloStatus, SlowFsyncInfo,
+    StageLatency, StatsReport, SubscribeReport, SubscriptionStatus, SuperstarRow, TableInfo,
+    WalReport,
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use tdb::core::{TdbError, TdbResult, TimePoint};
 use tdb::prelude::Row;
 use tdb::storage::Codec;
+use tdb_obs::{Stage, StageSpan};
 
 fn need(buf: &Bytes, n: usize, what: &str) -> TdbResult<()> {
     if buf.remaining() < n {
@@ -201,8 +203,38 @@ fn get_span(buf: &mut Bytes) -> TdbResult<OpSpan> {
     })
 }
 
+// Stage spans travel by stage *name* rather than a numeric discriminant,
+// so a frame stays decodable even if the stage set is reordered later.
+
+fn put_stage_span(buf: &mut BytesMut, s: &StageSpan) {
+    put_str(buf, s.stage.name());
+    put_u64(buf, s.start_us);
+    put_u64(buf, s.elapsed_us);
+    buf.put_u32_le(s.depth);
+    put_str(buf, &s.detail);
+}
+
+fn get_stage_span(buf: &mut Bytes) -> TdbResult<StageSpan> {
+    let name = get_str(buf)?;
+    let stage = Stage::parse_name(&name)
+        .ok_or_else(|| TdbError::Corrupt(format!("unknown stage name {name:?}")))?;
+    let start_us = get_u64(buf)?;
+    let elapsed_us = get_u64(buf)?;
+    need(buf, 4, "stage depth")?;
+    let depth = buf.get_u32_le();
+    let detail = get_str(buf)?;
+    Ok(StageSpan {
+        stage,
+        start_us,
+        elapsed_us,
+        depth,
+        detail,
+    })
+}
+
 /// Encode one [`QueryTrace`] with the storage conventions.
 pub fn put_trace(buf: &mut BytesMut, t: &QueryTrace) {
+    put_u64(buf, t.query_id);
     put_str(buf, &t.label);
     put_u64(buf, t.elapsed_us);
     put_u64(buf, t.rows);
@@ -212,10 +244,15 @@ pub fn put_trace(buf: &mut BytesMut, t: &QueryTrace) {
     for s in &t.spans {
         put_span(buf, s);
     }
+    buf.put_u32_le(t.stages.len() as u32);
+    for s in &t.stages {
+        put_stage_span(buf, s);
+    }
 }
 
 /// Decode one [`QueryTrace`]; truncated input yields [`TdbError::Corrupt`].
 pub fn get_trace(buf: &mut Bytes) -> TdbResult<QueryTrace> {
+    let query_id = get_u64(buf)?;
     let label = get_str(buf)?;
     let elapsed_us = get_u64(buf)?;
     let rows = get_u64(buf)?;
@@ -227,13 +264,21 @@ pub fn get_trace(buf: &mut Bytes) -> TdbResult<QueryTrace> {
     for _ in 0..n {
         spans.push(get_span(buf)?);
     }
+    need(buf, 4, "stage span count")?;
+    let n = buf.get_u32_le() as usize;
+    let mut stages = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        stages.push(get_stage_span(buf)?);
+    }
     Ok(QueryTrace {
+        query_id,
         label,
         elapsed_us,
         rows,
         sink_rows,
         sink_bytes,
         spans,
+        stages,
     })
 }
 
@@ -388,6 +433,7 @@ impl Codec for QueryStats {
 
 impl Codec for QueryReport {
     fn encode(&self, buf: &mut BytesMut) {
+        put_u64(buf, self.query_id);
         put_opt(buf, self.logical.as_ref(), |b, s| put_str(b, s));
         put_opt(buf, self.optimized.as_ref(), |b, s| put_str(b, s));
         put_opt(buf, self.physical.as_ref(), |b, s| put_str(b, s));
@@ -400,6 +446,7 @@ impl Codec for QueryReport {
 
     fn decode(buf: &mut Bytes) -> TdbResult<QueryReport> {
         Ok(QueryReport {
+            query_id: get_u64(buf)?,
             logical: get_opt(buf, get_str)?,
             optimized: get_opt(buf, get_str)?,
             physical: get_opt(buf, get_str)?,
@@ -734,6 +781,48 @@ impl Codec for WalReport {
     }
 }
 
+impl Codec for StageLatency {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_str(buf, &self.stage);
+        put_u64(buf, self.count);
+        put_u64(buf, self.p50_us);
+        put_u64(buf, self.p99_us);
+    }
+
+    fn decode(buf: &mut Bytes) -> TdbResult<StageLatency> {
+        Ok(StageLatency {
+            stage: get_str(buf)?,
+            count: get_u64(buf)?,
+            p50_us: get_u64(buf)?,
+            p99_us: get_u64(buf)?,
+        })
+    }
+}
+
+impl Codec for SloStatus {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_str(buf, &self.objective);
+        put_f64(buf, self.target);
+        put_u64(buf, self.fast_window_s);
+        put_u64(buf, self.slow_window_s);
+        put_f64(buf, self.fast_burn);
+        put_f64(buf, self.slow_burn);
+        put_str(buf, &self.health);
+    }
+
+    fn decode(buf: &mut Bytes) -> TdbResult<SloStatus> {
+        Ok(SloStatus {
+            objective: get_str(buf)?,
+            target: get_f64(buf)?,
+            fast_window_s: get_u64(buf)?,
+            slow_window_s: get_u64(buf)?,
+            fast_burn: get_f64(buf)?,
+            slow_burn: get_f64(buf)?,
+            health: get_str(buf)?,
+        })
+    }
+}
+
 impl Codec for StatsReport {
     fn encode(&self, buf: &mut BytesMut) {
         put_u64(buf, self.queries);
@@ -745,6 +834,9 @@ impl Codec for StatsReport {
         put_vec(buf, &self.live);
         put_opt(buf, self.net.as_ref(), |b, n| n.encode(b));
         put_opt(buf, self.wal.as_ref(), |b, w| w.encode(b));
+        put_vec(buf, &self.stages);
+        put_vec(buf, &self.slo);
+        put_str(buf, &self.health);
     }
 
     fn decode(buf: &mut Bytes) -> TdbResult<StatsReport> {
@@ -758,6 +850,9 @@ impl Codec for StatsReport {
             live: get_vec(buf)?,
             net: get_opt(buf, NetMetrics::decode)?,
             wal: get_opt(buf, WalReport::decode)?,
+            stages: get_vec(buf)?,
+            slo: get_vec(buf)?,
+            health: get_str(buf)?,
         })
     }
 }

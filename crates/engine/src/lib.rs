@@ -28,12 +28,17 @@ pub use render::{render, render_delta, render_rows, render_stream_footer, render
 pub use response::{
     AnalysisReport, ConnMetrics, DeltaFrame, ErrorCode, ErrorInfo, IngestReport,
     LiveRelationMetrics, LiveRelationStatus, LiveStatus, NetMetrics, OpSpan, OpVerdict,
-    QueryReport, QueryStats, QueryTrace, Response, RowSet, SealReport, SlowFsyncInfo, StatsReport,
-    SubscribeReport, SubscriptionStatus, SuperstarRow, TableInfo, WalReport,
+    QueryReport, QueryStats, QueryTrace, Response, RowSet, SealReport, SloStatus, SlowFsyncInfo,
+    StageLatency, StatsReport, SubscribeReport, SubscriptionStatus, SuperstarRow, TableInfo,
+    WalReport,
 };
+pub use tdb_obs::{HealthState, Stage, StageSpan, StageTimers};
 
 use tdb::prelude::*;
-use tdb_obs::{Counter, Histogram, Registry, SlowQueryLog, OCCUPANCY_BOUNDS};
+use tdb_obs::{
+    spans_to_json, Counter, EventRing, Histogram, QueryIdGen, Registry, SloConfig, SloEngine,
+    SloMetrics, SloReport, SlowQueryLog, OCCUPANCY_BOUNDS,
+};
 
 /// Per-client execution settings. Each transport session (shell, TCP
 /// connection) owns one; the engine mutates it in place when the client
@@ -77,6 +82,13 @@ const MAX_PARALLELISM: usize = 256;
 /// How many slow traces the log keeps.
 const SLOW_LOG_CAP: usize = 8;
 
+/// Default latency objective: queries at or under 10ms count as good
+/// (retune with `\slo latency <us>`).
+const DEFAULT_SLO_LATENCY_US: u64 = 10_000;
+
+/// How many structured events the `\events` ring retains.
+const EVENT_RING_CAP: usize = 256;
+
 /// The engine's observability state: the metrics registry plus the
 /// handles on the per-query hot path (registered once at open), the
 /// slow-query log, and the most recent trace.
@@ -89,11 +101,31 @@ struct ObsState {
     workspace_peak: Histogram,
     slow: SlowQueryLog,
     last: Option<QueryTrace>,
+    /// Per-stage latency histograms (`tdb_stage_duration_us{stage="…"}`).
+    stage_timers: StageTimers,
+    /// Mints one id per executed query (0 names "no query").
+    ids: QueryIdGen,
+    /// Record timed stage spans? `false` is the instrumentation-overhead
+    /// baseline the E22 experiment measures against; execution itself is
+    /// identical either way.
+    spans_enabled: bool,
+    /// The monotone clock behind SLO windows and event timestamps.
+    started: std::time::Instant,
+    /// Queries slower than this count against the latency objective.
+    latency_target_us: u64,
+    slo_latency: SloEngine,
+    slo_errors: SloEngine,
+    latency_gauges: SloMetrics,
+    errors_gauges: SloMetrics,
+    events: EventRing,
+    /// The folded verdict at the last evaluation, for transition events.
+    last_health: HealthState,
 }
 
 impl ObsState {
     fn new() -> ObsState {
         let registry = Registry::new();
+        let slo = SloConfig::default();
         ObsState {
             queries: registry.counter("tdb_queries_total", "Queries executed."),
             rows_returned: registry.counter(
@@ -117,8 +149,59 @@ impl ObsState {
             ),
             slow: SlowQueryLog::new(SLOW_THRESHOLD_US, SLOW_LOG_CAP),
             last: None,
+            stage_timers: StageTimers::register(&registry),
+            ids: QueryIdGen::new(),
+            spans_enabled: true,
+            started: std::time::Instant::now(),
+            latency_target_us: DEFAULT_SLO_LATENCY_US,
+            slo_latency: SloEngine::new(slo),
+            slo_errors: SloEngine::new(slo),
+            latency_gauges: SloMetrics::register(&registry, "latency"),
+            errors_gauges: SloMetrics::register(&registry, "errors"),
+            events: EventRing::new(EVENT_RING_CAP),
+            last_health: HealthState::Ok,
             registry,
         }
+    }
+
+    /// Seconds since the engine opened — the SLO window clock.
+    fn now_s(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Microseconds since the engine opened — event timestamps.
+    fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Evaluate both objectives as of now and publish the burn gauges.
+    fn evaluate_slo(&self) -> (SloReport, SloReport) {
+        let now = self.now_s();
+        let latency = self.slo_latency.evaluate_at(now);
+        let errors = self.slo_errors.evaluate_at(now);
+        self.latency_gauges.publish(&latency);
+        self.errors_gauges.publish(&errors);
+        (latency, errors)
+    }
+
+    /// Re-evaluate health and push a transition event when it changed.
+    fn note_health(&mut self) -> HealthState {
+        let (latency, errors) = self.evaluate_slo();
+        let health = latency.health.worst(errors.health);
+        if health != self.last_health {
+            let detail = format!(
+                "{} -> {} (latency burn {:.1}/{:.1}, errors burn {:.1}/{:.1})",
+                self.last_health.name(),
+                health.name(),
+                latency.fast_burn,
+                latency.slow_burn,
+                errors.fast_burn,
+                errors.slow_burn,
+            );
+            self.events.push(self.now_us(), "health", 0, detail);
+            self.last_health = health;
+        }
+        health
     }
 
     /// Fold one finished query's trace into every metric surface.
@@ -130,10 +213,41 @@ impl ObsState {
             self.workspace_peak.observe(span.workspace_peak);
             if span.cap_exceeded() {
                 self.cap_exceeded.inc();
+                self.events.push(
+                    self.now_us(),
+                    "cap_exceeded",
+                    trace.query_id,
+                    format!(
+                        "{}: observed workspace {} over the proven cap",
+                        span.operator, span.workspace_peak
+                    ),
+                );
             }
         }
-        self.slow.observe(&trace);
+        let now_s = self.now_s();
+        self.slo_latency
+            .record_at(now_s, trace.elapsed_us <= self.latency_target_us);
+        self.slo_errors.record_at(now_s, true);
+        if self.slow.observe(&trace) {
+            self.events.push(
+                self.now_us(),
+                "slow_query",
+                trace.query_id,
+                format!("{}µs: {}", trace.elapsed_us, trace.label),
+            );
+        }
         self.last = Some(trace);
+        self.note_health();
+    }
+
+    /// Fold one failed query into the error objective. Errors carry no
+    /// latency sample — the latency objective scores completed work.
+    fn record_error(&mut self, message: &str) {
+        let now_s = self.now_s();
+        self.slo_errors.record_at(now_s, false);
+        self.events
+            .push(self.now_us(), "query_error", 0, message.to_string());
+        self.note_health();
     }
 }
 
@@ -209,6 +323,13 @@ impl Engine {
         self.obs.registry.clone()
     }
 
+    /// A cloneable handle onto the per-stage latency histograms, for
+    /// serving layers that time `render` and `net_write` off the engine
+    /// lock (the writer thread must not contend with executing queries).
+    pub fn stage_timers(&self) -> StageTimers {
+        self.obs.stage_timers.clone()
+    }
+
     /// The underlying catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
@@ -240,7 +361,10 @@ impl Engine {
         let text = trimmed.trim_end_matches(';');
         match self.run_query(ctx, text) {
             Ok(r) => r,
-            Err(e) => Response::error(&e),
+            Err(e) => {
+                self.obs.record_error(&e.to_string());
+                Response::error(&e)
+            }
         }
     }
 
@@ -421,6 +545,76 @@ impl Engine {
                 ctx.trace = *v == "on";
                 Ok(Response::Info(format!("trace {v}\n")))
             }
+            ["\\trace", "export"] => Ok(Response::Info(match &self.obs.last {
+                Some(t) => spans_to_json(t.query_id, &t.label, &t.stages) + "\n",
+                None => "no trace recorded yet\n".to_string(),
+            })),
+            ["\\spans", v @ ("on" | "off")] => {
+                self.obs.spans_enabled = *v == "on";
+                Ok(Response::Info(format!("stage spans {v}\n")))
+            }
+            ["\\slo"] => Ok(Response::Info(self.slo_info())),
+            ["\\slo", "latency", us] => {
+                let us: u64 = us
+                    .parse()
+                    .map_err(|_| TdbError::Config(format!("bad latency objective `{us}`")))?;
+                self.obs.latency_target_us = us;
+                Ok(Response::Info(format!("slo latency objective: {us}µs\n")))
+            }
+            ["\\slo", "target", r] => {
+                let ratio: f64 = r
+                    .parse()
+                    .map_err(|_| TdbError::Config(format!("bad slo target `{r}`")))?;
+                if !(ratio > 0.0 && ratio < 1.0) {
+                    return Err(TdbError::Config(format!(
+                        "slo target {ratio} out of range (0 < target < 1)"
+                    )));
+                }
+                let c = self.reconfigure_slo(|c| c.target = ratio);
+                Ok(Response::Info(format!(
+                    "slo target: {:.4} (windows reset)\n",
+                    c.target
+                )))
+            }
+            ["\\slo", "windows", fast, slow] => {
+                let parse = |s: &str| {
+                    s.parse::<u64>()
+                        .map_err(|_| TdbError::Config(format!("bad window seconds `{s}`")))
+                };
+                let (fast, slow) = (parse(fast)?, parse(slow)?);
+                let c = self.reconfigure_slo(|c| {
+                    c.fast_window_s = fast;
+                    c.slow_window_s = slow;
+                });
+                Ok(Response::Info(format!(
+                    "slo windows: fast {}s, slow {}s (windows reset)\n",
+                    c.fast_window_s, c.slow_window_s
+                )))
+            }
+            ["\\slo", "burn", fast, slow] => {
+                let parse = |s: &str| {
+                    s.parse::<f64>()
+                        .map_err(|_| TdbError::Config(format!("bad burn threshold `{s}`")))
+                };
+                let (fast, slow) = (parse(fast)?, parse(slow)?);
+                if fast <= 0.0 || slow <= 0.0 {
+                    return Err(TdbError::Config("burn thresholds must be positive".into()));
+                }
+                let c = self.reconfigure_slo(|c| {
+                    c.fast_burn = fast;
+                    c.slow_burn = slow;
+                });
+                Ok(Response::Info(format!(
+                    "slo burn thresholds: fast {:.1}, slow {:.1} (windows reset)\n",
+                    c.fast_burn, c.slow_burn
+                )))
+            }
+            ["\\slo", ..] => Err(TdbError::Config(
+                "\\slo [latency <us> | target <ratio> | windows <fast_s> <slow_s> | \
+                 burn <fast> <slow>]"
+                    .into(),
+            )),
+            ["\\events"] => Ok(Response::Info(self.events_info())),
             ["\\slow", n] => {
                 let us: u64 = n
                     .parse()
@@ -454,12 +648,26 @@ impl Engine {
     }
 
     fn run_query(&mut self, ctx: &ClientState, text: &str) -> TdbResult<Response> {
+        let query_id = self.obs.ids.next_id();
+        let spans_on = self.obs.spans_enabled;
+        let q_start = std::time::Instant::now();
+        let mut stages: Vec<StageSpan> = Vec::new();
+
+        let t = std::time::Instant::now();
         let (logical, _query) = compile(text, &self.catalog)?;
+        self.mark_stage(&mut stages, spans_on, q_start, Stage::Parse, t);
+
+        let t = std::time::Instant::now();
         let optimized = conventional_optimize(logical.clone());
+        self.mark_stage(&mut stages, spans_on, q_start, Stage::Plan, t);
+
         // Every plan passes the static verifier before it executes; the
         // planner never emits a rejected plan, so a failure here means the
         // plan tree was corrupted, not that the query is wrong.
+        let t = std::time::Instant::now();
         let (physical, analysis) = plan_verified(&optimized, ctx.config, &self.catalog)?;
+        self.mark_stage(&mut stages, spans_on, q_start, Stage::Analyze, t);
+
         let start = std::time::Instant::now();
         // The client's row limit is a sink, not a post-hoc truncate: once
         // the sink has its quota the producer stops, so `\set limit 3` over
@@ -472,10 +680,40 @@ impl Engine {
                 .with_sink(&mut sink),
         )?;
         let elapsed_us = start.elapsed().as_micros() as u64;
+        self.mark_stage(&mut stages, spans_on, q_start, Stage::Execute, start);
+        if spans_on {
+            // One child span per operator occurrence, nested under the
+            // execute span; self-time comes from the executor's own clock.
+            let exec_start_us = start.duration_since(q_start).as_micros() as u64;
+            for obs in &result.trace {
+                self.obs
+                    .stage_timers
+                    .observe(Stage::Operator, obs.elapsed_us);
+                stages.push(StageSpan {
+                    stage: Stage::Operator,
+                    start_us: exec_start_us,
+                    elapsed_us: obs.elapsed_us,
+                    depth: 1,
+                    detail: obs.operator.clone(),
+                });
+            }
+        }
+
+        let t = std::time::Instant::now();
         let sink_stats = sink.finish();
         let rows = sink.into_rows();
+        self.mark_stage(&mut stages, spans_on, q_start, Stage::Sink, t);
 
-        let trace = build_trace(text, elapsed_us, &result, &analysis, sink_stats, rows.len());
+        let trace = build_trace(
+            query_id,
+            text,
+            elapsed_us,
+            &result,
+            &analysis,
+            sink_stats,
+            rows.len(),
+            stages,
+        );
         self.obs.record(trace.clone());
 
         let columns: Vec<String> = result
@@ -496,6 +734,7 @@ impl Engine {
         // limit exists to avoid).
         let total = sink_stats.rows;
         Ok(Response::Query(QueryReport {
+            query_id,
             logical: ctx.explain.then(|| logical.parse_tree()),
             optimized: ctx.explain.then(|| optimized.parse_tree()),
             physical: ctx.explain.then(|| physical.explain()),
@@ -516,10 +755,179 @@ impl Engine {
         }))
     }
 
+    /// Close one top-level stage span begun at `begun`: feed the stage
+    /// histogram and, when spans are on, append the span record.
+    fn mark_stage(
+        &self,
+        stages: &mut Vec<StageSpan>,
+        on: bool,
+        q_start: std::time::Instant,
+        stage: Stage,
+        begun: std::time::Instant,
+    ) {
+        if !on {
+            return;
+        }
+        let elapsed_us = begun.elapsed().as_micros() as u64;
+        self.obs.stage_timers.observe(stage, elapsed_us);
+        stages.push(StageSpan::top(
+            stage,
+            begun.duration_since(q_start).as_micros() as u64,
+            elapsed_us,
+        ));
+    }
+
+    /// Toggle stage-span recording (the `tracing off` baseline E22
+    /// measures instrumentation overhead against).
+    pub fn set_spans_enabled(&mut self, on: bool) {
+        self.obs.spans_enabled = on;
+    }
+
+    /// Feed one stage sample observed outside `run_query` — serving
+    /// layers time `render` (reply encode) and `net_write` (socket flush)
+    /// and report them here so the per-stage histograms cover the whole
+    /// client-visible path.
+    pub fn observe_stage(&self, stage: Stage, elapsed_us: u64) {
+        if self.obs.spans_enabled {
+            self.obs.stage_timers.observe(stage, elapsed_us);
+        }
+    }
+
+    /// The `/healthz` verdict: the worse of the latency and error
+    /// objectives, plus a small JSON body naming the burn rates so an
+    /// operator can see *why* from the probe alone.
+    pub fn health(&self) -> (HealthState, String) {
+        let (latency, errors) = self.obs.evaluate_slo();
+        let health = latency.health.worst(errors.health);
+        let body = format!(
+            concat!(
+                "{{\"health\":\"{}\",\"objectives\":[",
+                "{{\"name\":\"latency\",\"fast_burn\":{:.3},\"slow_burn\":{:.3}}},",
+                "{{\"name\":\"errors\",\"fast_burn\":{:.3},\"slow_burn\":{:.3}}}]}}\n"
+            ),
+            health.name(),
+            latency.fast_burn,
+            latency.slow_burn,
+            errors.fast_burn,
+            errors.slow_burn,
+        );
+        (health, body)
+    }
+
+    /// Rebuild both objective engines under an edited config. This resets
+    /// the evaluation windows — acceptable for an operator-driven
+    /// reconfiguration, which implies the old thresholds were wrong.
+    fn reconfigure_slo(&mut self, edit: impl Fn(&mut SloConfig)) -> SloConfig {
+        let mut config = self.obs.slo_latency.config();
+        edit(&mut config);
+        self.obs.slo_latency = SloEngine::new(config);
+        self.obs.slo_errors = SloEngine::new(config);
+        self.obs.slo_latency.config()
+    }
+
+    /// The `\slo` status text: objectives, windows, thresholds, burn.
+    fn slo_info(&self) -> String {
+        let (latency, errors) = self.obs.evaluate_slo();
+        let config = self.obs.slo_latency.config();
+        let health = latency.health.worst(errors.health);
+        let mut out = format!(
+            "slo: target {:.4}, windows {}s/{}s, burn thresholds {:.1}/{:.1}, \
+             latency objective {}µs\n",
+            config.target,
+            config.fast_window_s,
+            config.slow_window_s,
+            config.fast_burn,
+            config.slow_burn,
+            self.obs.latency_target_us,
+        );
+        for (name, r) in [("latency", &latency), ("errors", &errors)] {
+            out.push_str(&format!(
+                "  {:<8} {:<9} fast {:>4}/{:<6} burn {:>8.2}   slow {:>4}/{:<6} burn {:>8.2}\n",
+                name,
+                r.health.name(),
+                r.fast_bad,
+                r.fast_total,
+                r.fast_burn,
+                r.slow_bad,
+                r.slow_total,
+                r.slow_burn,
+            ));
+        }
+        out.push_str(&format!("  health: {}\n", health.name()));
+        out
+    }
+
+    /// The `\events` text: the bounded structured event ring, oldest
+    /// first.
+    fn events_info(&self) -> String {
+        let ring = &self.obs.events;
+        if ring.is_empty() {
+            return "no events recorded\n".to_string();
+        }
+        let mut out = format!("events ({} shown, {} total):\n", ring.len(), ring.total());
+        for e in ring.events() {
+            let qid = if e.query_id != 0 {
+                format!("q{} ", e.query_id)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "  #{:<4} +{:>10.3}s  {:<12} {}{}\n",
+                e.seq,
+                e.at_us as f64 / 1_000_000.0,
+                e.kind,
+                qid,
+                e.detail,
+            ));
+        }
+        out
+    }
+
+    /// Per-stage latency summaries for `\stats`, skipping stages that
+    /// have seen no samples.
+    fn stage_latencies(&self) -> Vec<StageLatency> {
+        Stage::ALL
+            .iter()
+            .filter_map(|&stage| {
+                let h = self.obs.stage_timers.histogram(stage);
+                let count = h.count();
+                if count == 0 {
+                    return None;
+                }
+                Some(StageLatency {
+                    stage: stage.name().to_string(),
+                    count,
+                    p50_us: h.quantile(0.5).unwrap_or(0),
+                    p99_us: h.quantile(0.99).unwrap_or(0),
+                })
+            })
+            .collect()
+    }
+
+    /// Both objectives' status rows plus the folded health verdict.
+    fn slo_statuses(&self) -> (Vec<SloStatus>, HealthState) {
+        let (latency, errors) = self.obs.evaluate_slo();
+        let config = self.obs.slo_latency.config();
+        let row = |name: &str, r: &SloReport| SloStatus {
+            objective: name.to_string(),
+            target: config.target,
+            fast_window_s: config.fast_window_s,
+            slow_window_s: config.slow_window_s,
+            fast_burn: r.fast_burn,
+            slow_burn: r.slow_burn,
+            health: r.health.name().to_string(),
+        };
+        (
+            vec![row("latency", &latency), row("errors", &errors)],
+            latency.health.worst(errors.health),
+        )
+    }
+
     /// The observability snapshot behind `\stats` and the `Stats` wire
     /// request. `net` is `None` here; `tdb-net` merges its own counters
     /// in before answering.
     pub fn stats_report(&self) -> StatsReport {
+        let (slo, health) = self.slo_statuses();
         StatsReport {
             queries: self.obs.queries.get(),
             rows_returned: self.obs.rows_returned.get(),
@@ -530,6 +938,9 @@ impl Engine {
             live: self.live_metrics(),
             net: None,
             wal: self.wal_report(),
+            stages: self.stage_latencies(),
+            slo,
+            health: health.name().to_string(),
         }
     }
 
@@ -659,6 +1070,9 @@ impl Engine {
              the live verifier's proven cap.",
         )
         .set(self.live_cap_violations() as f64);
+        // Burn-rate gauges decay as events age out of their windows, so a
+        // scrape re-evaluates them rather than reading the last query's.
+        self.obs.evaluate_slo();
         reg.render()
     }
 
@@ -820,13 +1234,16 @@ impl Engine {
 /// repeated operators pair positionally; instrumented non-temporal
 /// operators (`kind: None`, e.g. the merge equi-join) have no spec and
 /// carry no prediction.
+#[allow(clippy::too_many_arguments)]
 fn build_trace(
+    query_id: u64,
     label: &str,
     elapsed_us: u64,
     result: &QueryOutput,
     analysis: &Analysis,
     sink: tdb::stream::SinkStats,
     delivered: usize,
+    stages: Vec<StageSpan>,
 ) -> QueryTrace {
     let specs = &analysis.lowered.ops;
     let mut matched = vec![false; specs.len()];
@@ -862,12 +1279,14 @@ fn build_trace(
         })
         .collect();
     QueryTrace {
+        query_id,
         label: label.to_string(),
         elapsed_us,
         rows: result.stats.output_rows as u64,
         sink_rows: delivered as u64,
         sink_bytes: sink.bytes,
         spans,
+        stages,
     }
 }
 
@@ -970,6 +1389,14 @@ pub const HELP: &str = r#"commands:
   \stats                                      observability: counters, slow queries, live + net + wal telemetry
   \checkpoint                                 compact every relation's write-ahead log to its open window
   \trace on|off                               attach per-operator traces (observed vs predicted workspace)
+  \trace export                               last query's stage spans as JSON
+  \spans on|off                               record per-stage timed spans (on by default)
+  \slo                                        SLO status: burn rates, windows, health verdict
+  \slo latency <us>                           latency objective in microseconds
+  \slo target <ratio>                         required good ratio, e.g. 0.99 (resets windows)
+  \slo windows <fast_s> <slow_s>              burn evaluation windows in seconds (resets windows)
+  \slo burn <fast> <slow>                     burn-rate alert thresholds (resets windows)
+  \events                                     recent structured events (slow queries, health flips)
   \slow <us>                                  slow-query log threshold in microseconds
   \superstar                                  compare the Superstar formulations
   \help   \quit
@@ -1151,6 +1578,132 @@ mod tests {
         assert_eq!(s.queries, 2);
         assert_eq!(s.cap_exceeded, 0);
         assert!(s.last.is_some());
+    }
+
+    #[test]
+    fn stage_spans_cover_the_query_lifecycle() {
+        let (mut e, mut ctx) = engine("spans");
+        e.execute(&mut ctx, "\\gen intervals T 100 3 10 2");
+        e.execute(&mut ctx, "\\trace on");
+        let contain = "range of a is T range of b is T retrieve (X=a.Id) \
+             where a.ValidFrom < b.ValidFrom and b.ValidTo < a.ValidTo;";
+        let Response::Query(q) = e.execute(&mut ctx, contain) else {
+            panic!("expected query");
+        };
+        assert_ne!(q.query_id, 0, "every query gets a minted id");
+        let trace = q.trace.expect("trace attached");
+        assert_eq!(trace.query_id, q.query_id, "trace and report share the id");
+        for stage in [
+            Stage::Parse,
+            Stage::Plan,
+            Stage::Analyze,
+            Stage::Execute,
+            Stage::Sink,
+        ] {
+            assert!(
+                trace
+                    .stages
+                    .iter()
+                    .any(|s| s.stage == stage && s.depth == 0),
+                "missing top-level {} span in {:?}",
+                stage.name(),
+                trace.stages
+            );
+        }
+        let op = trace
+            .stages
+            .iter()
+            .find(|s| s.stage == Stage::Operator)
+            .expect("per-operator child span");
+        assert_eq!(op.depth, 1, "operator spans nest under execute");
+        assert!(op.detail.contains("ContainJoin"), "{:?}", op.detail);
+
+        // The same spans export as JSON, and the stats surface summarizes
+        // the per-stage histograms.
+        let Response::Info(json) = e.execute(&mut ctx, "\\trace export") else {
+            panic!("expected info");
+        };
+        assert!(json.contains("\"stage\":\"execute\""), "{json}");
+        assert!(
+            json.contains(&format!("\"query_id\":{}", q.query_id)),
+            "{json}"
+        );
+        let Response::Stats(s) = e.execute(&mut ctx, "\\stats") else {
+            panic!("expected stats");
+        };
+        assert!(
+            s.stages.iter().any(|l| l.stage == "execute" && l.count > 0),
+            "{:?}",
+            s.stages
+        );
+
+        // `\spans off` is the zero-instrumentation baseline: no span
+        // records, but queries still execute and ids still mint.
+        e.execute(&mut ctx, "\\spans off");
+        let Response::Query(q2) = e.execute(&mut ctx, contain) else {
+            panic!("expected query");
+        };
+        assert!(q2.query_id > q.query_id);
+        assert!(q2.trace.expect("trace still attached").stages.is_empty());
+    }
+
+    #[test]
+    fn impossible_latency_objective_burns_to_critical() {
+        let (mut e, mut ctx) = engine("slo");
+        e.execute(&mut ctx, "\\gen faculty 20 9");
+        // A 0µs objective makes every query bad; with no healthy history,
+        // both windows burn at 1/budget = 100 ≫ the 14/6 thresholds.
+        e.execute(&mut ctx, "\\slo latency 0");
+        e.execute(&mut ctx, "range of f is Faculty retrieve (N=f.Name);");
+        let Response::Stats(s) = e.execute(&mut ctx, "\\stats") else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.health, "critical", "{:?}", s.slo);
+        let latency = s.slo.iter().find(|o| o.objective == "latency").unwrap();
+        assert!(latency.fast_burn >= 14.0, "{latency:?}");
+        assert_eq!(latency.health, "critical");
+        let errors = s.slo.iter().find(|o| o.objective == "errors").unwrap();
+        assert_eq!(errors.health, "ok", "queries succeeded: {errors:?}");
+
+        // The health flip landed in the event ring, and /healthz agrees.
+        let Response::Info(events) = e.execute(&mut ctx, "\\events") else {
+            panic!("expected info");
+        };
+        assert!(events.contains("health"), "{events}");
+        assert!(events.contains("ok -> critical"), "{events}");
+        let (health, body) = e.health();
+        assert_eq!(health, HealthState::Critical);
+        assert!(body.contains("\"health\":\"critical\""), "{body}");
+
+        // Errors feed their own objective: a failing query flips it too.
+        e.execute(&mut ctx, "range of z is Nope retrieve (N=z.Name);");
+        let Response::Stats(s) = e.execute(&mut ctx, "\\stats") else {
+            panic!("expected stats");
+        };
+        let errors = s.slo.iter().find(|o| o.objective == "errors").unwrap();
+        assert!(errors.fast_burn > 0.0, "{errors:?}");
+    }
+
+    #[test]
+    fn slo_reconfiguration_validates_and_resets() {
+        let (mut e, mut ctx) = engine("slo-cfg");
+        assert!(matches!(
+            e.execute(&mut ctx, "\\slo target 1.5"),
+            Response::Error(_)
+        ));
+        assert!(matches!(
+            e.execute(&mut ctx, "\\slo burn -1 2"),
+            Response::Error(_)
+        ));
+        let Response::Info(msg) = e.execute(&mut ctx, "\\slo windows 5 60") else {
+            panic!("expected info");
+        };
+        assert!(msg.contains("fast 5s, slow 60s"), "{msg}");
+        let Response::Info(status) = e.execute(&mut ctx, "\\slo") else {
+            panic!("expected info");
+        };
+        assert!(status.contains("windows 5s/60s"), "{status}");
+        assert!(status.contains("health: ok"), "{status}");
     }
 
     #[test]

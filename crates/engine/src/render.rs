@@ -129,7 +129,27 @@ pub fn render_stream_footer(q: &QueryReport, shown: u64) -> String {
 /// One trace block: a span line per operator, observed workspace next to
 /// the analyzer's predictions.
 fn render_trace(t: &QueryTrace, out: &mut String) {
-    writeln!(out, "── trace ──").ok();
+    if t.query_id != 0 {
+        writeln!(out, "── trace (query {}) ──", t.query_id).ok();
+    } else {
+        writeln!(out, "── trace ──").ok();
+    }
+    for s in &t.stages {
+        let detail = if s.detail.is_empty() {
+            String::new()
+        } else {
+            format!("  {}", s.detail)
+        };
+        writeln!(
+            out,
+            "{}{:<10} +{:>8}µs  {:>8}µs{detail}",
+            "  ".repeat(s.depth as usize + 1),
+            s.stage.name(),
+            s.start_us,
+            s.elapsed_us,
+        )
+        .ok();
+    }
     for s in &t.spans {
         let cap = s
             .predicted_cap
@@ -279,10 +299,42 @@ fn render_stats(s: &StatsReport) -> String {
     let mut out = String::new();
     writeln!(
         out,
-        "{} queries, {} rows returned, cap exceeded {}",
-        s.queries, s.rows_returned, s.cap_exceeded
+        "{} queries, {} rows returned, cap exceeded {}{}",
+        s.queries,
+        s.rows_returned,
+        s.cap_exceeded,
+        if s.health.is_empty() {
+            String::new()
+        } else {
+            format!(", health {}", s.health)
+        },
     )
     .ok();
+    if !s.stages.is_empty() {
+        writeln!(out, "stage        count      p50        p99").ok();
+        for l in &s.stages {
+            writeln!(
+                out,
+                "  {:<10} {:>6} {:>7}µs  {:>7}µs",
+                l.stage, l.count, l.p50_us, l.p99_us
+            )
+            .ok();
+        }
+    }
+    for o in &s.slo {
+        writeln!(
+            out,
+            "slo {}: target {:.4}, burn {:.2} ({}s) / {:.2} ({}s) — {}",
+            o.objective,
+            o.target,
+            o.fast_burn,
+            o.fast_window_s,
+            o.slow_burn,
+            o.slow_window_s,
+            o.health,
+        )
+        .ok();
+    }
     if let Some(last) = &s.last {
         writeln!(
             out,
@@ -375,11 +427,20 @@ fn render_stats(s: &StatsReport) -> String {
             n.slow_subscriber_disconnects,
         )
         .ok();
+        // Under a burning SLO every open connection is a shed candidate;
+        // flag them so `tdb top` readers see where load could come off.
+        let shed = !s.health.is_empty() && s.health != "ok";
         for c in &n.conns {
             writeln!(
                 out,
-                "  conn #{}: frames {}/{} in/out, bytes {}/{}, push high-water {}",
-                c.id, c.frames_in, c.frames_out, c.bytes_in, c.bytes_out, c.push_highwater
+                "  conn #{}: frames {}/{} in/out, bytes {}/{}, push high-water {}{}",
+                c.id,
+                c.frames_in,
+                c.frames_out,
+                c.bytes_in,
+                c.bytes_out,
+                c.push_highwater,
+                if shed { "  [slo: shed candidate]" } else { "" },
             )
             .ok();
         }

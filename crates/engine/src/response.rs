@@ -116,6 +116,10 @@ pub struct QueryStats {
 /// The full report for an executed query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryReport {
+    /// The engine-minted query id, carried on the wire so a client's
+    /// round-trip sample, the server's trace, and the slow-query log all
+    /// name the same execution.
+    pub query_id: u64,
     /// Translated logical plan (present when explain is on).
     pub logical: Option<String>,
     /// Optimized logical plan (present when explain is on).
@@ -402,6 +406,40 @@ pub struct WalReport {
     pub slow_fsyncs: Vec<SlowFsyncInfo>,
 }
 
+/// One pipeline stage's latency summary in a [`StatsReport`], estimated
+/// from the engine's fixed-bucket stage histograms (quantiles report the
+/// bucket upper bound containing the rank, so they are conservative).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageLatency {
+    /// Stage name (`parse`, `plan`, `execute`, `wal_fsync`, …).
+    pub stage: String,
+    /// Observations recorded for this stage.
+    pub count: u64,
+    /// Estimated median latency in microseconds.
+    pub p50_us: u64,
+    /// Estimated 99th-percentile latency in microseconds.
+    pub p99_us: u64,
+}
+
+/// One SLO objective's burn-rate snapshot in a [`StatsReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// Objective name (`latency`, `errors`).
+    pub objective: String,
+    /// Required good ratio, e.g. 0.99.
+    pub target: f64,
+    /// Fast evaluation window in seconds.
+    pub fast_window_s: u64,
+    /// Slow evaluation window in seconds.
+    pub slow_window_s: u64,
+    /// Burn rate over the fast window.
+    pub fast_burn: f64,
+    /// Burn rate over the slow window.
+    pub slow_burn: f64,
+    /// This objective's verdict (`ok` / `degraded` / `critical`).
+    pub health: String,
+}
+
 /// The observability snapshot a `\stats` request returns.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsReport {
@@ -424,6 +462,14 @@ pub struct StatsReport {
     pub net: Option<NetMetrics>,
     /// Durability counters, when the engine write-ahead logs.
     pub wal: Option<WalReport>,
+    /// Per-stage latency summaries (stages with observations only), in
+    /// pipeline order.
+    pub stages: Vec<StageLatency>,
+    /// Per-objective SLO burn-rate snapshots.
+    pub slo: Vec<SloStatus>,
+    /// The folded health verdict across all objectives (`ok` /
+    /// `degraded` / `critical`) — what `/healthz` serves.
+    pub health: String,
 }
 
 /// The wire-level error taxonomy: every [`TdbError`] variant maps to a

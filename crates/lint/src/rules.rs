@@ -523,14 +523,22 @@ fn enclosing_fn_end(p: &Prepared, i: usize) -> usize {
 }
 
 /// `metrics-name`: metric names registered with `.counter(` / `.gauge(`
-/// / `.histogram(` must be literal `tdb_`-prefixed snake_case, so the
-/// Prometheus exposition stays one consistent namespace.
+/// / `.histogram(` — or their labeled `_with` variants — must be literal
+/// `tdb_`-prefixed snake_case, so the Prometheus exposition stays one
+/// consistent namespace.
 pub fn metrics_name(p: &Prepared, out: &mut Vec<Finding>) {
     for (i, raw) in p.raw.iter().enumerate() {
         if p.test[i] {
             continue;
         }
-        for method in [".counter(\"", ".gauge(\"", ".histogram(\""] {
+        for method in [
+            ".counter(\"",
+            ".gauge(\"",
+            ".histogram(\"",
+            ".counter_with(\"",
+            ".gauge_with(\"",
+            ".histogram_with(\"",
+        ] {
             let mut from = 0;
             while let Some(rel) = raw[from..].find(method) {
                 let at = from + rel + method.len();

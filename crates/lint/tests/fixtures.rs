@@ -286,6 +286,26 @@ pub fn register(m: &Registry) {
 }
 
 #[test]
+fn metrics_name_covers_labeled_with_variants() {
+    let text = r#"
+pub fn register(m: &Registry) {
+    m.gauge_with("tdb_slo_burn_rate_fast", &labels, "ok");
+    m.counter_with("slo_burns", &labels, "bad prefix");
+    m.histogram_with("tdb_stage_duration_us", &labels, "ok", &BOUNDS);
+    m.histogram_with("tdb-stage-duration", &labels, "bad charset", &BOUNDS);
+}
+"#;
+    let findings = lint_files(&[src("crates/obs/src/span.rs", text)]);
+    assert_eq!(
+        rules_of(&findings),
+        ["metrics-name", "metrics-name"],
+        "{findings:#?}"
+    );
+    assert_eq!(findings[0].line, 4, "{findings:#?}");
+    assert_eq!(findings[1].line, 6, "{findings:#?}");
+}
+
+#[test]
 fn allow_directive_suppresses_any_rule_on_line_or_line_above() {
     let text = r#"
 pub fn register(m: &Registry) {

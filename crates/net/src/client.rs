@@ -7,12 +7,31 @@
 //! to be drained with [`Client::try_push`] / [`Client::wait_push`].
 
 use crate::wire::{Frame, FrameReader, ReadOutcome};
+use std::collections::VecDeque;
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use tdb::core::{Row, TdbError, TdbResult};
 use tdb_engine::{DeltaFrame, QueryReport, Response};
+
+/// One query's client-observed round trip, correlated with the server's
+/// execution by the id minted there. `rtt_us − server_us` approximates
+/// the transport cost (encode + socket + decode + queueing) for that
+/// query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RttSample {
+    /// The server-minted query id this sample belongs to.
+    pub query_id: u64,
+    /// Wall-clock microseconds from sending the request to holding the
+    /// complete reply (all chunks, for a streamed result).
+    pub rtt_us: u64,
+    /// The server's own execute-stage wall clock for the same query.
+    pub server_us: u64,
+}
+
+/// Recent RTT samples retained per client.
+const RTT_RING_CAP: usize = 64;
 
 /// One event of a streamed query result, as seen by
 /// [`Client::request_with`].
@@ -27,10 +46,11 @@ pub enum StreamEvent<'a> {
 /// A connection to a `tdb serve` instance.
 pub struct Client {
     stream: TcpStream,
-    replies: Receiver<Response>,
+    replies: Receiver<(u64, Response)>,
     chunks: Receiver<(u32, bool, Vec<Row>)>,
     pushes: Receiver<DeltaFrame>,
     reader: Option<JoinHandle<()>>,
+    rtt: VecDeque<RttSample>,
 }
 
 /// Outstanding replies are bounded by the call-and-wait protocol (at
@@ -48,19 +68,21 @@ const CHUNK_QUEUE_BOUND: usize = 16;
 
 fn reader_loop(
     mut stream: TcpStream,
-    replies: &SyncSender<Response>,
+    replies: &SyncSender<(u64, Response)>,
     chunks: &SyncSender<(u32, bool, Vec<Row>)>,
     pushes: &SyncSender<DeltaFrame>,
 ) {
     let mut reader = FrameReader::new();
     loop {
         match reader.read(&mut stream) {
-            Ok(ReadOutcome::Frame(Frame::Reply(resp))) => {
-                if replies.send(*resp).is_err() {
+            Ok(ReadOutcome::Frame(Frame::Reply { query_id, response })) => {
+                if replies.send((query_id, *response)).is_err() {
                     break;
                 }
             }
-            Ok(ReadOutcome::Frame(Frame::ReplyChunk { seq, last, rows })) => {
+            Ok(ReadOutcome::Frame(Frame::ReplyChunk {
+                seq, last, rows, ..
+            })) => {
                 if chunks.send((seq, last, rows)).is_err() {
                     break;
                 }
@@ -95,6 +117,7 @@ impl Client {
             chunks,
             pushes,
             reader: Some(reader),
+            rtt: VecDeque::new(),
         })
     }
 
@@ -102,7 +125,7 @@ impl Client {
         frame.write_to(&mut self.stream)
     }
 
-    fn await_reply(&mut self) -> TdbResult<Response> {
+    fn await_reply(&mut self) -> TdbResult<(u64, Response)> {
         self.replies
             .recv_timeout(Duration::from_secs(30))
             .map_err(|e| match e {
@@ -113,6 +136,30 @@ impl Client {
                     TdbError::Eval("server closed the connection".into())
                 }
             })
+    }
+
+    /// Retain one RTT sample (queries only — command replies carry id 0).
+    fn note_rtt(&mut self, query_id: u64, rtt_us: u64, response: &Response) {
+        if query_id == 0 {
+            return;
+        }
+        let server_us = match response {
+            Response::Query(q) | Response::QueryStream(q) => q.elapsed_us,
+            _ => 0,
+        };
+        if self.rtt.len() == RTT_RING_CAP {
+            self.rtt.pop_front();
+        }
+        self.rtt.push_back(RttSample {
+            query_id,
+            rtt_us,
+            server_us,
+        });
+    }
+
+    /// The most recent query round trips, oldest first.
+    pub fn rtt_samples(&self) -> Vec<RttSample> {
+        self.rtt.iter().copied().collect()
     }
 
     /// Send one complete input (command or query) and wait for its
@@ -146,9 +193,11 @@ impl Client {
         text: &str,
         mut on_event: impl FnMut(StreamEvent<'_>),
     ) -> TdbResult<Response> {
+        let sent = std::time::Instant::now();
         self.send(&Frame::Input(text.to_string()))?;
-        let resp = self.await_reply()?;
+        let (query_id, resp) = self.await_reply()?;
         let Response::QueryStream(header) = resp else {
+            self.note_rtt(query_id, sent.elapsed().as_micros() as u64, &resp);
             return Ok(resp);
         };
         on_event(StreamEvent::Header(&header));
@@ -169,7 +218,9 @@ impl Client {
                 break;
             }
         }
-        Ok(Response::QueryStream(header))
+        let resp = Response::QueryStream(header);
+        self.note_rtt(query_id, sent.elapsed().as_micros() as u64, &resp);
+        Ok(resp)
     }
 
     /// Live-append arrival lines into `relation` and wait for the
@@ -179,14 +230,14 @@ impl Client {
             relation: relation.to_string(),
             lines: lines.to_string(),
         })?;
-        self.await_reply()
+        Ok(self.await_reply()?.1)
     }
 
     /// Ask for the observability snapshot (engine counters, slow-query
     /// log, live telemetry) with the server's network counters merged in.
     pub fn stats(&mut self) -> TdbResult<Response> {
         self.send(&Frame::Stats)?;
-        self.await_reply()
+        Ok(self.await_reply()?.1)
     }
 
     /// Drain one pending subscription delta, if any arrived.

@@ -27,7 +27,7 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, StreamEvent};
+pub use client::{Client, RttSample, StreamEvent};
 pub use server::{serve, MetricsSource, ServerHandle};
 
 /// Server tuning knobs.

@@ -32,7 +32,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use tdb::core::TdbResult;
-use tdb_engine::{ClientState, ConnMetrics, Engine, NetMetrics, Response};
+use tdb_engine::{
+    ClientState, ConnMetrics, Engine, HealthState, NetMetrics, Response, Stage, StageTimers,
+};
 
 /// Per-connection counters, updated lock-free on the read/write hot
 /// paths and folded into [`RetiredStats`] when the connection closes.
@@ -148,6 +150,10 @@ struct Shared {
     shutdown: AtomicBool,
     config: NetConfig,
     retired: RetiredStats,
+    /// Engine stage histograms, cloned here so writer threads can time
+    /// `render` (reply encode) and `net_write` (socket flush) without
+    /// taking the engine lock.
+    stage_timers: StageTimers,
 }
 
 impl Shared {
@@ -312,6 +318,15 @@ impl MetricsSource {
         );
         engine.prometheus()
     }
+
+    /// The `/healthz` verdict for this process: `false` (HTTP 503) only
+    /// when an SLO objective burns over both windows — a degraded server
+    /// still answers probes OK so routers shed load gradually, guided by
+    /// the burn-rate gauges, rather than all at once.
+    pub fn health(&self) -> (bool, String) {
+        let (state, body) = self.shared.engine.lock().health();
+        (state != HealthState::Critical, body)
+    }
 }
 
 /// Open the catalog at `dir` and serve it on `addr` (e.g.
@@ -329,6 +344,7 @@ pub fn serve(
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let stage_timers = engine.stage_timers();
     let shared = Arc::new(Shared {
         engine: Mutex::new(engine),
         conns: Mutex::new(HashMap::new()),
@@ -336,6 +352,7 @@ pub fn serve(
         shutdown: AtomicBool::new(false),
         config,
         retired: RetiredStats::default(),
+        stage_timers,
     });
     let accept_shared = Arc::clone(&shared);
     let accept = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
@@ -399,7 +416,10 @@ fn serve_conn(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
     let stats = Arc::new(ConnStats::default());
     let (queue, outbound) = sync_channel::<Frame>(shared.config.push_queue);
     let writer_stats = Arc::clone(&stats);
-    let writer = std::thread::spawn(move || writer_loop(write_half, &outbound, &writer_stats));
+    let writer_timers = shared.stage_timers.clone();
+    let writer = std::thread::spawn(move || {
+        writer_loop(write_half, &outbound, &writer_stats, &writer_timers)
+    });
     shared.conns.lock().insert(
         conn_id,
         Conn {
@@ -433,7 +453,11 @@ fn serve_conn(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
                     // `\quit` over the wire behaves like Bye after the
                     // reply is delivered.
                     stats.enqueued();
-                    if queue.send(Frame::Reply(Box::new(resp))).is_err() {
+                    let frame = Frame::Reply {
+                        query_id: 0,
+                        response: Box::new(resp),
+                    };
+                    if queue.send(frame).is_err() {
                         stats.enqueue_failed();
                     }
                     break;
@@ -458,7 +482,9 @@ fn serve_conn(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
             }
             // Server-direction frames from a client are a protocol
             // violation; drop the connection.
-            Frame::Reply(_) | Frame::ReplyChunk { .. } | Frame::Push(_) | Frame::Shutdown => break,
+            Frame::Reply { .. } | Frame::ReplyChunk { .. } | Frame::Push(_) | Frame::Shutdown => {
+                break
+            }
         };
         // Replies block (bounded by queue depth + socket buffer) — a
         // client slow to read its *own* replies only stalls itself.
@@ -508,13 +534,22 @@ fn enqueue(queue: &SyncSender<Frame>, stats: &ConnStats, frame: Frame) -> bool {
 fn enqueue_reply(queue: &SyncSender<Frame>, stats: &ConnStats, reply: Response) -> bool {
     let estimate =
         |rows: &[tdb::core::Row]| -> u64 { rows.iter().map(tdb::stream::row_bytes).sum() };
+    // The correlation id travels on every frame of the reply, so a
+    // client can pair its RTT sample with the server-side trace.
+    let query_id = match &reply {
+        Response::Query(q) | Response::QueryStream(q) => q.query_id,
+        _ => 0,
+    };
     match reply {
         Response::Query(mut q) if estimate(&q.rows.rows) > CHUNK_BYTES => {
             let rows = std::mem::take(&mut q.rows.rows);
             if !enqueue(
                 queue,
                 stats,
-                Frame::Reply(Box::new(Response::QueryStream(q))),
+                Frame::Reply {
+                    query_id,
+                    response: Box::new(Response::QueryStream(q)),
+                },
             ) {
                 return false;
             }
@@ -528,6 +563,7 @@ fn enqueue_reply(queue: &SyncSender<Frame>, stats: &ConnStats, reply: Response) 
                 let last = it.peek().is_none();
                 if budget >= CHUNK_BYTES || last {
                     let frame = Frame::ReplyChunk {
+                        query_id,
                         seq,
                         last,
                         rows: std::mem::take(&mut chunk),
@@ -541,19 +577,35 @@ fn enqueue_reply(queue: &SyncSender<Frame>, stats: &ConnStats, reply: Response) 
             }
             true
         }
-        other => enqueue(queue, stats, Frame::Reply(Box::new(other))),
+        other => enqueue(
+            queue,
+            stats,
+            Frame::Reply {
+                query_id,
+                response: Box::new(other),
+            },
+        ),
     }
 }
 
-fn writer_loop(mut stream: TcpStream, outbound: &Receiver<Frame>, stats: &ConnStats) {
+fn writer_loop(
+    mut stream: TcpStream,
+    outbound: &Receiver<Frame>,
+    stats: &ConnStats,
+    timers: &StageTimers,
+) {
     while let Ok(frame) = outbound.recv() {
         stats.dequeued();
         let last = matches!(frame, Frame::Shutdown);
+        let t = std::time::Instant::now();
         let mut buf = BytesMut::new();
         frame.encode(&mut buf);
+        timers.observe(Stage::Render, t.elapsed().as_micros() as u64);
+        let t = std::time::Instant::now();
         if stream.write_all(&buf).is_err() {
             break;
         }
+        timers.observe(Stage::NetWrite, t.elapsed().as_micros() as u64);
         stats.frames_out.fetch_add(1, Ordering::Relaxed);
         stats
             .bytes_out

@@ -21,8 +21,9 @@ use tdb_engine::{DeltaFrame, Response};
 
 /// Wire protocol version stamped into every frame. A server or client
 /// that sees a different version rejects the frame as corrupt rather
-/// than guessing at the body layout.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// than guessing at the body layout. Version 2 added the `query_id`
+/// correlation field to [`Frame::Reply`] and [`Frame::ReplyChunk`].
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Hard ceiling on a frame's declared payload length. A corrupt or
 /// hostile length prefix fails fast instead of driving a giant
@@ -63,13 +64,23 @@ pub enum Frame {
     /// Server→client: the response to the client's oldest unanswered
     /// request. Boxed so queued [`Frame::Push`] values don't pay the
     /// largest variant's footprint.
-    Reply(Box<Response>),
+    Reply {
+        /// The server-minted id of the query this reply answers (0 for
+        /// commands and other non-query replies), so a client RTT
+        /// sample, the server's trace, and the slow-query log all name
+        /// the same execution.
+        query_id: u64,
+        /// The response body.
+        response: Box<Response>,
+    },
     /// Server→client: one chunk of a streamed query result. Follows a
     /// [`Frame::Reply`] carrying `Response::QueryStream` (the header);
     /// chunks arrive in `seq` order and `last` marks the terminator, so a
     /// result of any size crosses the wire without any single frame
     /// approaching [`MAX_FRAME`].
     ReplyChunk {
+        /// The id of the query being streamed (see [`Frame::Reply`]).
+        query_id: u64,
         /// Chunk ordinal, starting at 0.
         seq: u32,
         /// `true` on the final chunk of the result (which may be empty).
@@ -93,7 +104,7 @@ impl Frame {
             Frame::Ingest { .. } => KIND_INGEST,
             Frame::Stats => KIND_STATS,
             Frame::Bye => KIND_BYE,
-            Frame::Reply(_) => KIND_REPLY,
+            Frame::Reply { .. } => KIND_REPLY,
             Frame::ReplyChunk { .. } => KIND_REPLY_CHUNK,
             Frame::Push(_) => KIND_PUSH,
             Frame::Shutdown => KIND_SHUTDOWN,
@@ -112,8 +123,17 @@ impl Frame {
                 put_str(&mut body, lines);
             }
             Frame::Stats | Frame::Bye | Frame::Shutdown => {}
-            Frame::Reply(resp) => resp.encode(&mut body),
-            Frame::ReplyChunk { seq, last, rows } => {
+            Frame::Reply { query_id, response } => {
+                body.put_u64_le(*query_id);
+                response.encode(&mut body);
+            }
+            Frame::ReplyChunk {
+                query_id,
+                seq,
+                last,
+                rows,
+            } => {
+                body.put_u64_le(*query_id);
                 body.put_u32_le(*seq);
                 body.put_u8(u8::from(*last));
                 body.put_u32_le(rows.len() as u32);
@@ -147,11 +167,21 @@ impl Frame {
             }),
             KIND_STATS => Ok(Frame::Stats),
             KIND_BYE => Ok(Frame::Bye),
-            KIND_REPLY => Ok(Frame::Reply(Box::new(Response::decode(&mut payload)?))),
+            KIND_REPLY => {
+                if payload.remaining() < 8 {
+                    return Err(TdbError::Corrupt("truncated reply header".into()));
+                }
+                let query_id = payload.get_u64_le();
+                Ok(Frame::Reply {
+                    query_id,
+                    response: Box::new(Response::decode(&mut payload)?),
+                })
+            }
             KIND_REPLY_CHUNK => {
-                if payload.remaining() < 9 {
+                if payload.remaining() < 17 {
                     return Err(TdbError::Corrupt("truncated reply chunk header".into()));
                 }
+                let query_id = payload.get_u64_le();
                 let seq = payload.get_u32_le();
                 let last = payload.get_u8() != 0;
                 let n = payload.get_u32_le() as usize;
@@ -161,7 +191,12 @@ impl Frame {
                 for _ in 0..n {
                     rows.push(tdb::prelude::Row::decode(&mut payload)?);
                 }
-                Ok(Frame::ReplyChunk { seq, last, rows })
+                Ok(Frame::ReplyChunk {
+                    query_id,
+                    seq,
+                    last,
+                    rows,
+                })
             }
             KIND_PUSH => Ok(Frame::Push(DeltaFrame::decode(&mut payload)?)),
             KIND_SHUTDOWN => Ok(Frame::Shutdown),
@@ -296,15 +331,17 @@ mod tests {
                 relation: "S".into(),
                 lines: "10 20 a\n".into(),
             },
-            Frame::Reply(Box::new(Response::Error(ErrorInfo::new(
-                ErrorCode::Protocol,
-                "nope",
-            )))),
+            Frame::Reply {
+                query_id: 0,
+                response: Box::new(Response::Error(ErrorInfo::new(ErrorCode::Protocol, "nope"))),
+            },
             Frame::Stats,
-            Frame::Reply(Box::new(
-                Response::Stats(tdb_engine::StatsReport::default()),
-            )),
+            Frame::Reply {
+                query_id: 99,
+                response: Box::new(Response::Stats(tdb_engine::StatsReport::default())),
+            },
             Frame::ReplyChunk {
+                query_id: 99,
                 seq: 7,
                 last: false,
                 rows: vec![tdb::prelude::Row::new(vec![
@@ -313,6 +350,7 @@ mod tests {
                 ])],
             },
             Frame::ReplyChunk {
+                query_id: 99,
                 seq: 8,
                 last: true,
                 rows: Vec::new(),

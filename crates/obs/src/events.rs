@@ -1,0 +1,113 @@
+//! A bounded structured event ring: the last N notable moments.
+//!
+//! Metrics aggregate and traces describe single queries; neither answers
+//! "what just happened on this server?". The [`EventRing`] keeps a small
+//! fixed-capacity buffer of structured [`Event`]s — slow queries, SLO
+//! health transitions, cap violations — that `\events` renders newest
+//! first. Pushing to a full ring drops the oldest entry; `seq` never
+//! resets, so a consumer can detect how many events it missed.
+
+use std::collections::VecDeque;
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone sequence number, starting at 1.
+    pub seq: u64,
+    /// Microseconds since the owning process's start.
+    pub at_us: u64,
+    /// Short machine-readable kind (`slow_query`, `health`, …).
+    pub kind: String,
+    /// The query this event belongs to, 0 when none.
+    pub query_id: u64,
+    /// Human-readable detail line.
+    pub detail: String,
+}
+
+/// A fixed-capacity ring of [`Event`]s.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    cap: usize,
+    next_seq: u64,
+    buf: VecDeque<Event>,
+}
+
+impl EventRing {
+    /// A ring retaining up to `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> EventRing {
+        EventRing {
+            cap: cap.max(1),
+            next_seq: 1,
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// Append one event, evicting the oldest when full. Returns the
+    /// event's sequence number.
+    pub fn push(&mut self, at_us: u64, kind: &str, query_id: u64, detail: String) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(Event {
+            seq,
+            at_us,
+            kind: kind.to_string(),
+            query_id,
+            detail,
+        });
+        seq
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Total events ever pushed (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_seq_is_monotone() {
+        let mut ring = EventRing::new(3);
+        assert!(ring.is_empty());
+        for i in 1..=5u64 {
+            let seq = ring.push(i * 10, "slow_query", i, format!("q{i}"));
+            assert_eq!(seq, i);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total(), 5);
+        let seqs: Vec<u64> = ring.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5], "oldest two evicted");
+        let first = ring.events().next().unwrap();
+        assert_eq!(first.kind, "slow_query");
+        assert_eq!(first.query_id, 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut ring = EventRing::new(0);
+        ring.push(1, "health", 0, "degraded".into());
+        ring.push(2, "health", 0, "ok".into());
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.events().next().unwrap().detail, "ok");
+    }
+}

@@ -39,10 +39,30 @@ impl MetricsServer {
 
 /// Bind `addr` (e.g. `127.0.0.1:0`) and serve `GET /metrics` with the
 /// output of `render` until shut down. Returns once the listener is
-/// bound.
+/// bound. `GET /healthz` always answers `200 ok` — use
+/// [`serve_metrics_with_health`] to wire a real health verdict.
 pub fn serve_metrics<F>(addr: &str, render: F) -> std::io::Result<MetricsServer>
 where
     F: Fn() -> String + Send + 'static,
+{
+    serve_metrics_with_health(addr, render, || {
+        (true, String::from("{\"health\":\"ok\"}\n"))
+    })
+}
+
+/// Like [`serve_metrics`], but `GET /healthz` answers with the supplied
+/// closure: `(serving, body)` where `serving == false` renders as
+/// `503 Service Unavailable` so a dumb TCP health check (or a router
+/// deciding where to shed load) needs only the status line, while the
+/// body carries the structured verdict (health state + burn rates).
+pub fn serve_metrics_with_health<F, H>(
+    addr: &str,
+    render: F,
+    health: H,
+) -> std::io::Result<MetricsServer>
+where
+    F: Fn() -> String + Send + 'static,
+    H: Fn() -> (bool, String) + Send + 'static,
 {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
@@ -52,7 +72,7 @@ where
     let thread = std::thread::spawn(move || {
         while !flag.load(Ordering::SeqCst) {
             match listener.accept() {
-                Ok((stream, _peer)) => handle(stream, &render),
+                Ok((stream, _peer)) => handle(stream, &render, &health),
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(10));
                 }
@@ -68,7 +88,11 @@ where
 }
 
 /// Read one request head (bounded, with a timeout), answer, close.
-fn handle<F: Fn() -> String>(mut stream: TcpStream, render: &F) {
+fn handle<F: Fn() -> String, H: Fn() -> (bool, String)>(
+    mut stream: TcpStream,
+    render: &F,
+    health: &H,
+) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let mut head = Vec::with_capacity(512);
@@ -88,6 +112,16 @@ fn handle<F: Fn() -> String>(mut stream: TcpStream, render: &F) {
         .unwrap_or("");
     let (status, body) = if request.starts_with("GET ") && (path == "/metrics" || path == "/") {
         ("200 OK", render())
+    } else if request.starts_with("GET ") && path == "/healthz" {
+        let (serving, body) = health();
+        (
+            if serving {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            },
+            body,
+        )
     } else {
         ("404 Not Found", String::from("not found\n"))
     };
@@ -118,8 +152,39 @@ mod tests {
         let reply = get(addr, "/metrics");
         assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
         assert!(reply.contains("tdb_up 1"), "{reply}");
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.contains("\"health\":\"ok\""), "{health}");
         let miss = get(addr, "/nope");
         assert!(miss.starts_with("HTTP/1.1 404"), "{miss}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_503_when_not_serving() {
+        use std::sync::atomic::AtomicBool;
+        let sick = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&sick);
+        let server = serve_metrics_with_health(
+            "127.0.0.1:0",
+            String::new,
+            move || {
+                if flag.load(Ordering::SeqCst) {
+                    (false, "{\"health\":\"critical\"}\n".into())
+                } else {
+                    (true, "{\"health\":\"degraded\"}\n".into())
+                }
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let soft = get(addr, "/healthz");
+        assert!(soft.starts_with("HTTP/1.1 200 OK"), "{soft}");
+        assert!(soft.contains("degraded"), "{soft}");
+        sick.store(true, Ordering::SeqCst);
+        let hard = get(addr, "/healthz");
+        assert!(hard.starts_with("HTTP/1.1 503"), "{hard}");
+        assert!(hard.contains("critical"), "{hard}");
         server.shutdown();
     }
 }

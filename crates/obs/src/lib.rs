@@ -20,14 +20,31 @@
 //! * [`SlowQueryLog`] — a bounded buffer retaining the N worst traces over
 //!   a configurable latency threshold;
 //! * [`serve_metrics`] — a tiny built-in HTTP listener (std only) that
-//!   answers `GET /metrics` with whatever the supplied closure renders.
+//!   answers `GET /metrics` with whatever the supplied closure renders,
+//!   and `GET /healthz` with the SLO verdict
+//!   ([`serve_metrics_with_health`]);
+//! * [`StageSpan`] / [`StageTimers`] — timed spans over the stages of a
+//!   query's life (parse/plan/analyze/execute/per-operator/sink/render,
+//!   plus `wal_fsync` and `net_write`), each stage feeding a
+//!   `tdb_stage_duration_us{stage="…"}` latency histogram;
+//! * [`SloEngine`] — latency/error-rate objectives evaluated as
+//!   multi-window burn rates, folded into a [`HealthState`] for load
+//!   shedding;
+//! * [`EventRing`] — a bounded structured log of notable moments
+//!   (slow queries, health transitions, cap violations).
 
 #![forbid(unsafe_code)]
 
+mod events;
 mod http;
 mod metrics;
+mod slo;
+mod span;
 mod trace;
 
-pub use http::{serve_metrics, MetricsServer};
+pub use events::{Event, EventRing};
+pub use http::{serve_metrics, serve_metrics_with_health, MetricsServer};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use slo::{HealthState, SloConfig, SloEngine, SloMetrics, SloReport};
+pub use span::{spans_to_json, QueryIdGen, Stage, StageSpan, StageTimers, STAGE_BOUNDS};
 pub use trace::{OpSpan, QueryTrace, SlowQueryLog, OCCUPANCY_BOUNDS};

@@ -103,6 +103,35 @@ impl Histogram {
     pub fn bounds(&self) -> &[u64] {
         &self.bounds
     }
+
+    /// Estimate the `q`-quantile (`0 ≤ q ≤ 1`) from the bucket counts:
+    /// the upper bound of the first bucket whose cumulative count reaches
+    /// `⌈q·count⌉`. Because bounds are *inclusive* upper limits, the
+    /// estimate is exact whenever observations sit on bucket edges, and
+    /// is always an upper bound on the true quantile otherwise.
+    /// Observations in the `+Inf` bucket report the last finite bound
+    /// (the histogram cannot say more). `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return Some(
+                    self.bounds
+                        .get(i)
+                        .or_else(|| self.bounds.last())
+                        .copied()
+                        .unwrap_or(0),
+                );
+            }
+        }
+        self.bounds.last().copied()
+    }
 }
 
 enum Series {
@@ -126,17 +155,29 @@ pub struct Registry {
     inner: Arc<Mutex<BTreeMap<String, Family>>>,
 }
 
+/// Escape a label value per the text exposition format: backslash,
+/// double quote, and line feed must be written as `\\`, `\"`, `\n` or
+/// the scrape output desynchronizes (a raw newline ends the sample line
+/// mid-value).
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escape HELP text: the exposition format escapes backslash and line
+/// feed there (quotes are legal in help strings).
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
 fn label_key(labels: &[(&str, &str)]) -> String {
     let mut out = String::new();
     for (i, (k, v)) in labels.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(
-            out,
-            "{k}=\"{}\"",
-            v.replace('\\', "\\\\").replace('"', "\\\"")
-        );
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
     }
     out
 }
@@ -228,7 +269,7 @@ impl Registry {
         let map = self.inner.lock();
         let mut out = String::new();
         for (name, family) in map.iter() {
-            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
             let _ = writeln!(out, "# TYPE {name} {}", family.kind);
             for (labels, series) in &family.series {
                 match series {
@@ -318,6 +359,78 @@ mod tests {
         assert!(text.contains("tdb_ws_bucket{le=\"+Inf\"} 5"), "{text}");
         assert!(text.contains("tdb_ws_sum 17"), "{text}");
         assert!(text.contains("tdb_ws_count 5"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped_per_exposition_format() {
+        let reg = Registry::new();
+        reg.counter_with(
+            "tdb_errors_total",
+            &[("detail", "path\\x \"quoted\"\nline2")],
+            "Errors by detail.",
+        )
+        .inc();
+        let text = reg.render();
+        // One physical line: backslash, quote, and newline all escaped.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("tdb_errors_total{"))
+            .unwrap();
+        assert_eq!(
+            line,
+            "tdb_errors_total{detail=\"path\\\\x \\\"quoted\\\"\\nline2\"} 1"
+        );
+    }
+
+    #[test]
+    fn help_text_escapes_backslash_and_newline() {
+        let reg = Registry::new();
+        reg.counter("tdb_x_total", "first\nsecond \\ third");
+        let text = reg.render();
+        assert!(
+            text.contains("# HELP tdb_x_total first\\nsecond \\\\ third\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn quantiles_are_exact_at_bucket_edges() {
+        let reg = Registry::new();
+        let h = reg.histogram("tdb_q", "Quantile test.", &[10, 20, 40]);
+        // 10 observations exactly on the edges: 4×10, 4×20, 2×40.
+        for v in [10, 10, 10, 10, 20, 20, 20, 20, 40, 40] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(10));
+        assert_eq!(h.quantile(0.4), Some(10), "rank 4 is the last 10");
+        assert_eq!(h.quantile(0.5), Some(20));
+        assert_eq!(h.quantile(0.8), Some(20));
+        assert_eq!(h.quantile(0.9), Some(40));
+        assert_eq!(h.quantile(1.0), Some(40));
+    }
+
+    #[test]
+    fn quantile_cdf_is_monotone_and_overflow_reports_last_bound() {
+        let reg = Registry::new();
+        let h = reg.histogram("tdb_q2", "Quantile test.", &[5, 50, 500]);
+        for v in [1, 3, 7, 60, 400, 9_999] {
+            h.observe(v);
+        }
+        let qs: Vec<u64> = (0..=10)
+            .map(|i| h.quantile(f64::from(i) / 10.0).unwrap())
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "monotone CDF: {qs:?}");
+        // The +Inf observation is capped at the last finite bound.
+        assert_eq!(h.quantile(1.0), Some(500));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("tdb_q3", "Quantile test.", &[1, 2]);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
     }
 
     #[test]

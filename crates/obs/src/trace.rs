@@ -57,6 +57,10 @@ impl OpSpan {
 /// The trace of one executed query.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct QueryTrace {
+    /// The engine-minted query id; correlates this trace with the reply
+    /// frame on the wire and the client's round-trip sample. 0 for
+    /// traces predating span support.
+    pub query_id: u64,
     /// The query text (or a label for internally-generated evaluations).
     pub label: String,
     /// Wall-clock execution time in microseconds.
@@ -71,6 +75,9 @@ pub struct QueryTrace {
     pub sink_bytes: u64,
     /// One span per instrumented operator, in execution (bottom-up) order.
     pub spans: Vec<OpSpan>,
+    /// The timed span tree: where the wall-clock time went, stage by
+    /// stage (parse/plan/analyze/execute/per-operator/sink/render).
+    pub stages: Vec<crate::span::StageSpan>,
 }
 
 impl QueryTrace {

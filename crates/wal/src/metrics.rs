@@ -8,7 +8,7 @@
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
-use tdb_obs::{Counter, Gauge, Histogram, Registry};
+use tdb_obs::{Counter, Gauge, Histogram, Registry, STAGE_BOUNDS};
 
 /// Fsyncs slower than this many microseconds land in the slow ring.
 pub const SLOW_FSYNC_THRESHOLD_US: u64 = 10_000;
@@ -36,6 +36,12 @@ pub struct WalMetrics {
     pub fsyncs: Counter,
     /// fsync latency in microseconds (`tdb_wal_fsync_micros`).
     pub fsync_micros: Histogram,
+    /// The same samples as the engine-wide per-stage series
+    /// (`tdb_stage_duration_us{stage="wal_fsync"}`), so fsync time lines
+    /// up against parse/plan/execute in one family. The registry dedups
+    /// by name+labels, so this aliases the engine's cell when both
+    /// register against the same registry.
+    pub stage_fsync: Histogram,
     /// Bytes written to log files (`tdb_wal_bytes_written_total`).
     pub bytes_written: Counter,
     /// Checkpoint compactions (`tdb_wal_checkpoints_total`).
@@ -62,6 +68,12 @@ impl WalMetrics {
                 "tdb_wal_fsync_micros",
                 "WAL fsync latency in microseconds.",
                 &[100, 500, 1_000, 5_000, 10_000, 50_000, 100_000],
+            ),
+            stage_fsync: reg.histogram_with(
+                "tdb_stage_duration_us",
+                &[("stage", "wal_fsync")],
+                "Per-stage query latency in microseconds.",
+                &STAGE_BOUNDS,
             ),
             bytes_written: reg.counter(
                 "tdb_wal_bytes_written_total",
@@ -101,6 +113,7 @@ impl WalMetrics {
     pub fn observe_fsync(&self, relation: &str, micros: u64) {
         self.fsyncs.inc();
         self.fsync_micros.observe(micros);
+        self.stage_fsync.observe(micros);
         if micros >= SLOW_FSYNC_THRESHOLD_US {
             let mut ring = self.slow.lock();
             if ring.len() == SLOW_RING_CAP {
@@ -144,12 +157,17 @@ mod tests {
         let m = WalMetrics::register(&reg);
         m.appends.add(3);
         m.replay_bytes.set(128.0);
+        m.observe_fsync("X", 42);
         let text = reg.render();
         assert!(text.contains("tdb_wal_appends_total 3"), "{text}");
         assert!(text.contains("tdb_wal_replay_bytes 128"), "{text}");
         assert!(
             text.contains("# TYPE tdb_wal_fsync_micros histogram"),
             "{text}"
+        );
+        assert!(
+            text.contains("tdb_stage_duration_us_count{stage=\"wal_fsync\"} 1"),
+            "fsyncs feed the engine-wide stage family: {text}"
         );
     }
 }

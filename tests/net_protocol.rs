@@ -32,8 +32,9 @@ use tdb::storage::Codec;
 use tdb_engine::{
     AnalysisReport, ConnMetrics, DeltaFrame, ErrorCode, ErrorInfo, IngestReport,
     LiveRelationMetrics, LiveRelationStatus, LiveStatus, NetMetrics, OpSpan, OpVerdict,
-    QueryReport, QueryStats, QueryTrace, Response, RowSet, SealReport, SlowFsyncInfo, StatsReport,
-    SubscribeReport, SubscriptionStatus, SuperstarRow, TableInfo, WalReport,
+    QueryReport, QueryStats, QueryTrace, Response, RowSet, SealReport, SloStatus, SlowFsyncInfo,
+    Stage, StageLatency, StageSpan, StatsReport, SubscribeReport, SubscriptionStatus, SuperstarRow,
+    TableInfo, WalReport,
 };
 use tdb_net::wire::{Frame, FrameReader, ReadOutcome};
 use tdb_net::{serve, Client, NetConfig, ServerHandle};
@@ -68,11 +69,22 @@ fn delta_frame(raw: &[(i64, i64)], name: &str, n: u64, wm: bool) -> DeltaFrame {
 
 fn sample_trace(n: u64, name: &str) -> QueryTrace {
     QueryTrace {
+        query_id: n.wrapping_add(1),
         label: format!("query {name}"),
         elapsed_us: n,
         rows: n % 41,
         sink_rows: n % 23,
         sink_bytes: n.wrapping_mul(9),
+        stages: vec![
+            StageSpan::top(Stage::Parse, 0, n % 53),
+            StageSpan {
+                stage: Stage::Operator,
+                start_us: n % 53,
+                elapsed_us: n % 71,
+                depth: 1,
+                detail: format!("ContainJoin {name}"),
+            },
+        ],
         spans: vec![OpSpan {
             operator: format!("ContainJoin {name}"),
             partitions: n % 4 + 1,
@@ -104,6 +116,7 @@ fn build_response(sel: u8, a: i64, n: u64, name: &str, raw: &[(i64, i64)], flag:
             max_concurrency: n % 97,
         }]),
         3 => Response::Query(QueryReport {
+            query_id: n.wrapping_add(1),
             logical: flag.then(|| format!("scan {name}")),
             optimized: flag.then(|| format!("opt {name}")),
             physical: (!flag).then(|| format!("phys {name}")),
@@ -232,6 +245,22 @@ fn build_response(sel: u8, a: i64, n: u64, name: &str, raw: &[(i64, i64)], flag:
                     micros: n % 100_000 + 10_000,
                 }],
             }),
+            stages: vec![StageLatency {
+                stage: "execute".to_string(),
+                count: n % 1000,
+                p50_us: n % 500,
+                p99_us: n % 5000,
+            }],
+            slo: vec![SloStatus {
+                objective: "latency".to_string(),
+                target: 0.99,
+                fast_window_s: n % 60 + 1,
+                slow_window_s: n % 600 + 60,
+                fast_burn: a as f64 / 7.0,
+                slow_burn: a as f64 / 13.0,
+                health: if flag { "ok" } else { "degraded" }.to_string(),
+            }],
+            health: if flag { "ok" } else { "critical" }.to_string(),
         }),
         11 => match build_response(3, a, n, name, raw, flag) {
             // A stream header is a query report whose rows travel as
@@ -267,13 +296,17 @@ proptest! {
         let back = Response::from_bytes(&resp.to_bytes()).unwrap();
         prop_assert_eq!(&back, &resp);
 
-        // Frame level: a full Reply frame through the incremental reader.
+        // Frame level: a full Reply frame through the incremental reader,
+        // with the correlation id intact.
         let mut wire = bytes::BytesMut::new();
-        Frame::Reply(Box::new(resp.clone())).encode(&mut wire);
+        Frame::Reply { query_id: n, response: Box::new(resp.clone()) }.encode(&mut wire);
         let mut reader = FrameReader::new();
         let mut src = std::io::Cursor::new(wire.to_vec());
         match reader.read(&mut src).unwrap() {
-            ReadOutcome::Frame(Frame::Reply(got)) => prop_assert_eq!(*got, resp),
+            ReadOutcome::Frame(Frame::Reply { query_id, response }) => {
+                prop_assert_eq!(query_id, n);
+                prop_assert_eq!(*response, resp);
+            }
             other => prop_assert!(false, "expected a reply frame, got {:?}", other),
         }
     }
@@ -531,7 +564,9 @@ fn raw_subscribe(addr: std::net::SocketAddr, query: &str) -> std::net::TcpStream
     let mut reader = FrameReader::new();
     loop {
         match reader.read(&mut stream).unwrap() {
-            ReadOutcome::Frame(Frame::Reply(resp)) if matches!(*resp, Response::Subscribed(_)) => {
+            ReadOutcome::Frame(Frame::Reply { response, .. })
+                if matches!(*response, Response::Subscribed(_)) =>
+            {
                 return stream
             }
             ReadOutcome::Frame(other) => panic!("expected subscription reply, got {other:?}"),
@@ -710,12 +745,40 @@ fn stats_frame_merges_engine_and_network_counters() {
         }
     }
 
+    // The reply frame carried the server-minted query id, and the
+    // client's RTT ring correlates its own clock with the server's.
+    assert_ne!(q.query_id, 0, "queries travel with their id");
+    assert_eq!(trace.query_id, q.query_id, "trace names the same query");
+    assert!(
+        trace.stages.iter().any(|s| s.stage == Stage::Execute),
+        "stage spans attached: {:?}",
+        trace.stages
+    );
+    let rtt = client.rtt_samples();
+    let sample = rtt
+        .iter()
+        .find(|s| s.query_id == q.query_id)
+        .expect("RTT ring holds a sample for the query");
+    assert!(
+        sample.rtt_us >= sample.server_us,
+        "client round trip {}µs cannot undercut server execute {}µs",
+        sample.rtt_us,
+        sample.server_us
+    );
+
     let reply = client.stats().expect("stats");
     let Response::Stats(stats) = reply else {
         panic!("expected stats report, got {reply:?}");
     };
     assert!(stats.queries >= 1, "{stats:?}");
     assert_eq!(stats.cap_exceeded, 0, "{stats:?}");
+    assert!(
+        stats.stages.iter().any(|s| s.stage == "execute"),
+        "per-stage latency summaries present: {:?}",
+        stats.stages
+    );
+    assert_eq!(stats.slo.len(), 2, "latency + errors objectives: {stats:?}");
+    assert!(!stats.health.is_empty(), "{stats:?}");
     assert!(
         stats.live.iter().any(|l| l.relation == "X"),
         "live telemetry must cover the ingested relation: {stats:?}"
